@@ -1,0 +1,72 @@
+// Extension: request batching / pipelining, the optimization the paper
+// scopes out (Section 2.2: "batching the requests or issuing several RDMA
+// operations without waiting for the notifications of their completion can
+// improve the performance. However, these optimizations are not always
+// applicable...", citing Kalia et al.).
+//
+// A single thread posts `depth` WRITEs asynchronously and reaps completions
+// from the CQ. Depth 1 is the paper's synchronous discipline; deeper
+// pipelines hide the per-op latency until the NIC's issue pipeline is the
+// only limit.
+
+#include "bench/common.h"
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+double RunPipelined(int depth, int threads) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server = fabric.AddNode("server");
+  std::vector<uint64_t> ops(static_cast<size_t>(threads), 0);
+  const sim::Time window = sim::Millis(3);
+  for (int t = 0; t < threads; ++t) {
+    rdma::Node& client = fabric.AddNode("client" + std::to_string(t));
+    rdma::MemoryRegion* remote = client.RegisterMemory(4096, rdma::kAccessRemoteWrite);
+    auto [sqp, cqp] = fabric.ConnectRc(server, client);
+    (void)cqp;
+    rdma::MemoryRegion* local = server.RegisterMemory(4096, rdma::kAccessLocal);
+    engine.Spawn([](sim::Engine& eng, rdma::QueuePair* qp, rdma::MemoryRegion* l,
+                    rdma::MemoryRegion* r, int d, sim::Time end,
+                    uint64_t* count) -> sim::Task<void> {
+      // Keep `d` WRITEs outstanding; replenish as completions arrive.
+      int outstanding = 0;
+      uint64_t next_id = 0;
+      while (eng.now() < end) {
+        while (outstanding < d) {
+          qp->PostWrite(next_id++, *l, 0, r->remote_key(), 0, 32);
+          ++outstanding;
+        }
+        rdma::WorkCompletion wc = co_await qp->send_cq()->Wait();
+        if (!wc.ok()) {
+          throw std::runtime_error("batching bench: write failed");
+        }
+        --outstanding;
+        ++*count;
+      }
+    }(engine, sqp, local, remote, depth, window, &ops[static_cast<size_t>(t)]));
+  }
+  engine.RunUntil(window);
+  uint64_t total = 0;
+  for (uint64_t o : ops) {
+    total += o;
+  }
+  return static_cast<double>(total) / sim::ToSeconds(window) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintTitle("Extension: out-bound WRITE IOPS vs pipeline depth (32 B)");
+  bench::PrintHeader({"depth", "1_thread", "2_threads", "4_threads"});
+  for (int depth : {1, 2, 4, 8, 16}) {
+    bench::PrintRow({std::to_string(depth), bench::Fmt(RunPipelined(depth, 1)),
+                     bench::Fmt(RunPipelined(depth, 2)), bench::Fmt(RunPipelined(depth, 4))});
+  }
+  std::printf("\nexpected: depth 1 reproduces the paper's per-thread sync rates (Fig 3);\n"
+              "deeper pipelines let even one thread saturate the 2.11 MOPS issue pipeline —\n"
+              "the Kalia-et-al. optimization the paper treats as orthogonal to the paradigm\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Extension: throughput-latency curves (the classic systems view the paper's
+// per-point tables imply but never plot).
+//
+// Sweeping offered load (client threads) maps each system's operating curve:
+// Jakiro rides flat latency until the in-bound path saturates; ServerReply
+// hits its out-bound wall at a third of the load and queues from there;
+// RDMA-Memcached saturates earliest on CPU/locks.
+
+#include "bench/common.h"
+
+int main() {
+  bench::PrintTitle("Extension: throughput vs mean latency under offered load (95% GET, 32 B)");
+  bench::PrintHeader({"clients", "jak_mops", "jak_us", "rep_mops", "rep_us", "memc_mops",
+                      "memc_us"});
+  for (int clients : {7, 14, 21, 28, 35, 49, 70}) {
+    std::vector<std::string> row{std::to_string(clients)};
+    for (auto system : {bench::KvSystem::kJakiro, bench::KvSystem::kServerReply,
+                        bench::KvSystem::kMemcached}) {
+      bench::KvRunConfig config;
+      config.system = system;
+      config.server_threads = system == bench::KvSystem::kMemcached ? 16 : 6;
+      config.client_threads = clients;
+      config.workload = bench::PaperWorkload();
+      const bench::KvRunResult r = bench::RunKv(config);
+      row.push_back(bench::Fmt(r.mops));
+      row.push_back(bench::Fmt(r.latency.mean() / 1000.0, 1));
+    }
+    bench::PrintRow(row);
+  }
+  std::printf("\nexpected: each system's throughput plateaus at its bottleneck and further\n"
+              "load only buys queueing latency; Jakiro's plateau is ~2.7x higher at lower\n"
+              "latency than either baseline\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 1 (conceptual): measured-performance bars of the three paradigms,
+// regenerated as the headline ratios of the evaluation.
+//
+// Paper abstract: RFP improves throughput by 1.6x-4x over both server-reply
+// and server-bypass.
+
+#include "bench/common.h"
+
+int main() {
+  bench::PrintTitle("Figure 1 summary: measured paradigm performance (32 B values)");
+
+  bench::KvRunConfig jc;
+  jc.workload = bench::PaperWorkload();
+  const double jakiro_95 = bench::RunKv(jc).mops;
+
+  jc.system = bench::KvSystem::kServerReply;
+  const double reply_95 = bench::RunKv(jc).mops;
+
+  bench::KvRunConfig j50 = jc;
+  j50.system = bench::KvSystem::kJakiro;
+  j50.workload.get_fraction = 0.5;
+  const double jakiro_50 = bench::RunKv(j50).mops;
+
+  bench::PilafRunConfig pc;
+  pc.workload = bench::PaperWorkload();
+  pc.workload.get_fraction = 0.5;
+  pc.workload.num_keys = 1 << 17;
+  const double pilaf_50 = bench::RunPilaf(pc).mops;
+
+  bench::PrintHeader({"paradigm", "workload", "mops", "rfp_gain"});
+  bench::PrintRow({"RFP(Jakiro)", "95% GET", bench::Fmt(jakiro_95), "1.0x"});
+  bench::PrintRow({"server-reply", "95% GET", bench::Fmt(reply_95),
+                   bench::Fmt(jakiro_95 / reply_95, 1) + "x"});
+  bench::PrintRow({"RFP(Jakiro)", "50% GET", bench::Fmt(jakiro_50), "1.0x"});
+  bench::PrintRow({"server-bypass", "50% GET", bench::Fmt(pilaf_50),
+                   bench::Fmt(jakiro_50 / pilaf_50, 1) + "x"});
+  std::printf("\npaper: RFP 1.6x-4x over both paradigms\n");
+  return 0;
+}

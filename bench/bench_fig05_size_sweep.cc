@@ -1,0 +1,21 @@
+// Figure 5: in-bound vs out-bound IOPS across payload sizes.
+//
+// Paper: in-bound is flat (~11.26 MOPS) up to 256 B, declines once
+// bandwidth dominates, and meets the out-bound curve at >= 2 KB where both
+// are bandwidth-bound. This curve defines the [L, H] fetch-size range
+// (L = 256 B, H = 1 KB on the paper's RNIC).
+
+#include "bench/common.h"
+
+int main() {
+  bench::PrintTitle("Figure 5: IOPS vs payload size");
+  bench::PrintHeader({"size_B", "inbound", "outbound", "ratio"});
+  for (uint32_t size : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    const double in = bench::RawInboundMops(7, 4, size);
+    const double out = bench::RawOutboundMops(4, size);
+    bench::PrintRow({std::to_string(size), bench::Fmt(in), bench::Fmt(out),
+                     bench::Fmt(in / out, 2) + "x"});
+  }
+  std::printf("\npaper: flat to 256 B, bandwidth knee after, parity at >= 2 KB\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 9: repeated remote fetching vs server-reply as the server process
+// time P varies (F = S = minimal).
+//
+// Paper: fetching wins below the crossover (~7 us on their hardware, where
+// server-reply becomes processing-bound anyway); beyond it the two converge.
+// This curve is what bounds the useful retry threshold N.
+
+#include "bench/common.h"
+
+int main() {
+  bench::PrintTitle("Figure 9: repeated remote fetching vs server-reply vs process time");
+  bench::PrintHeader({"P_us", "fetching", "server-reply", "gain"});
+  for (int p = 1; p <= 15; ++p) {
+    bench::EchoRunConfig config;
+    config.process_ns = sim::Micros(p);
+    config.result_size = 1;
+    config.channel.fetch_size = 16;
+    config.server_threads = 16;
+    config.channel.force_mode = rfp::RfpOptions::ForceMode::kForceFetch;
+    const bench::EchoRunResult fetch = bench::RunEcho(config);
+    config.channel.force_mode = rfp::RfpOptions::ForceMode::kForceReply;
+    const bench::EchoRunResult reply = bench::RunEcho(config);
+    bench::PrintRow({std::to_string(p), bench::Fmt(fetch.mops), bench::Fmt(reply.mops),
+                     bench::Fmt(fetch.mops / reply.mops, 2) + "x"});
+  }
+  std::printf("\npaper: fetching >> reply for small P; curves converge at P >= ~7 us\n");
+  return 0;
+}

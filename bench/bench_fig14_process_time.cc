@@ -1,0 +1,32 @@
+// Figure 14: throughput vs request process time, with and without the
+// hybrid switch (16 server threads, 35 client threads).
+//
+// Paper: below the ~7 us crossover Jakiro (adaptive) beats ServerReply by
+// 30-320%; at and beyond it RFP switches to server-reply automatically and
+// the two match. "Jakiro w/o switch" shows what pure fetching costs.
+
+#include "bench/common.h"
+
+int main() {
+  bench::PrintTitle("Figure 14: throughput vs request process time (echo RPC, 32 B results)");
+  bench::PrintHeader({"P_us", "jakiro", "server-reply", "no-switch", "reply_chans"});
+  for (int p = 1; p <= 12; ++p) {
+    bench::EchoRunConfig config;
+    config.process_ns = sim::Micros(p);
+    config.result_size = 32;
+    config.server_threads = 16;
+
+    config.channel.force_mode = rfp::RfpOptions::ForceMode::kAdaptive;
+    const bench::EchoRunResult adaptive = bench::RunEcho(config);
+    config.channel.force_mode = rfp::RfpOptions::ForceMode::kForceReply;
+    const bench::EchoRunResult reply = bench::RunEcho(config);
+    config.channel.force_mode = rfp::RfpOptions::ForceMode::kForceFetch;
+    const bench::EchoRunResult fetch = bench::RunEcho(config);
+
+    bench::PrintRow({std::to_string(p), bench::Fmt(adaptive.mops), bench::Fmt(reply.mops),
+                     bench::Fmt(fetch.mops),
+                     std::to_string(adaptive.channels_in_reply_mode) + "/35"});
+  }
+  std::printf("\npaper: adaptive wins below ~7 us, converges with server-reply beyond\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 18: Jakiro throughput under different fetch sizes F.
+//
+// Paper: F = 640 B gives good throughput for the whole 32-640 B value
+// range (one fetch covers header+payload) at a small cost for tiny values;
+// larger F wastes bandwidth and 1024 B performs worst. This is the
+// experiment the Eq-2 parameter selector optimizes.
+
+#include "bench/common.h"
+
+#include "src/rfp/params.h"
+
+int main() {
+  bench::PrintTitle("Figure 18: Jakiro throughput vs fetch size F (95% GET)");
+  const std::vector<uint32_t> fetch_sizes = {256, 512, 640, 748, 1024};
+  std::vector<std::string> header{"value_B"};
+  for (uint32_t f : fetch_sizes) {
+    header.push_back("F=" + std::to_string(f));
+  }
+  bench::PrintHeader(header);
+  for (uint32_t value : {32u, 64u, 128u, 256u, 384u, 512u, 640u, 1024u, 2048u}) {
+    std::vector<std::string> row{std::to_string(value)};
+    for (uint32_t f : fetch_sizes) {
+      bench::KvRunConfig config;
+      config.workload = bench::PaperWorkload();
+      config.workload.value_size = workload::ValueSizeSpec::Fixed(value);
+      config.channel.fetch_size = f;
+      config.measure = sim::Millis(5);
+      row.push_back(bench::Fmt(bench::RunKv(config).mops));
+    }
+    bench::PrintRow(row);
+  }
+
+  // What would the paper's selector pick for the mixed 32 B-8 KB workload?
+  rfp::HardwareProfile profile = rfp::MeasureProfile(rdma::FabricConfig{});
+  std::vector<uint32_t> samples;
+  sim::Rng rng(7);
+  for (int i = 0; i < 512; ++i) {
+    // GET response payload: status byte + value.
+    samples.push_back(1 + 32 + static_cast<uint32_t>(rng.NextBounded(8192 - 32 + 1)));
+  }
+  const rfp::ParamChoice choice = rfp::SelectParameters(profile, samples);
+  std::printf("\nEq-2 selector on the mixed 32B-8KB workload: R=%d F=%u"
+              " (L=%u H=%u N=%d)\n",
+              choice.retry_threshold, choice.fetch_size, rfp::DetectL(profile),
+              rfp::DetectH(profile), rfp::DeriveRetryBound(profile));
+  std::printf("paper: F=640 best overall for 32-640 B values; 1024 worst; pre-run picks 640\n");
+  return 0;
+}

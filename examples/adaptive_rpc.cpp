@@ -1,0 +1,83 @@
+// The hybrid paradigm switch, live.
+//
+// An analytics RPC service whose request cost changes at runtime: cheap
+// point queries at first, then a phase of heavy aggregation queries, then
+// cheap ones again. Watch the channel switch from remote fetching to
+// server-reply when requests become slow (saving client CPU) and back once
+// they are fast again — the mechanism of paper Section 3.2 / Figures 14-15.
+//
+//   $ ./examples/adaptive_rpc
+
+#include <cstdio>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+constexpr uint16_t kQuery = 7;
+
+// Three phases: fast (0.5 us), slow aggregations (20 us), fast again.
+sim::Time PhaseCost(int call_index) {
+  if (call_index < 40 || call_index >= 80) {
+    return sim::Nanos(500);
+  }
+  return sim::Micros(20);
+}
+
+sim::Task<void> AnalyticsClient(sim::Engine& engine, rfp::Channel* channel) {
+  rfp::RpcClient client(channel);
+  std::vector<std::byte> request(8);
+  std::vector<std::byte> response(256);
+  rfp::Mode last_mode = channel->client_mode();
+  std::printf("[%7.1f us] start in %s mode\n", sim::ToMicros(engine.now()),
+              rfp::ModeName(last_mode));
+  for (int i = 0; i < 120; ++i) {
+    request[0] = static_cast<std::byte>(i);
+    const sim::Time start = engine.now();
+    co_await client.Call(kQuery, request, response);
+    const rfp::Mode mode = channel->client_mode();
+    if (mode != last_mode) {
+      std::printf("[%7.1f us] call %3d: switched to %s (server time %u us, latency %.1f us)\n",
+                  sim::ToMicros(engine.now()), i, rfp::ModeName(mode),
+                  channel->last_server_time_us(),
+                  sim::ToMicros(engine.now() - start));
+      last_mode = mode;
+    }
+  }
+  const rfp::Channel::Stats& stats = channel->stats();
+  std::printf("[%7.1f us] done: %llu calls, %llu failed fetches, "
+              "%llu switches to reply, %llu back to fetch\n",
+              sim::ToMicros(engine.now()), static_cast<unsigned long long>(stats.calls),
+              static_cast<unsigned long long>(stats.failed_fetches),
+              static_cast<unsigned long long>(stats.switches_to_reply),
+              static_cast<unsigned long long>(stats.switches_to_fetch));
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("analytics-server");
+  rdma::Node& client_node = fabric.AddNode("dashboard");
+
+  rfp::RpcServer server(fabric, server_node, 1);
+  int served = 0;
+  server.RegisterHandler(kQuery, [&served](const rfp::HandlerContext&,
+                                           std::span<const std::byte>,
+                                           std::span<std::byte> response) -> rfp::HandlerResult {
+    response[0] = std::byte{42};
+    return rfp::HandlerResult{16, PhaseCost(served++)};
+  });
+
+  rfp::RfpOptions options;  // adaptive by default: R=5, switch after 2 slow calls
+  rfp::Channel* channel = server.AcceptChannel(client_node, options, 0);
+  server.Start();
+  engine.Spawn(AnalyticsClient(engine, channel));
+  engine.RunUntil(sim::Millis(10));
+  server.Stop();
+  return 0;
+}

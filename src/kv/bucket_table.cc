@@ -1,0 +1,148 @@
+#include "src/kv/bucket_table.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "src/kv/common.h"
+
+namespace kv {
+
+BucketTable::BucketTable(size_t num_buckets) {
+  if (num_buckets == 0) {
+    throw std::invalid_argument("bucket table: need at least one bucket");
+  }
+  buckets_.resize(std::bit_ceil(num_buckets));
+}
+
+void BucketTable::Touch(Bucket& bucket, int idx) {
+  const uint8_t old_rank = bucket.slots[static_cast<size_t>(idx)].lru;
+  for (Slot& slot : bucket.slots) {
+    if (slot.used != 0 && slot.lru < old_rank) {
+      ++slot.lru;
+    }
+  }
+  bucket.slots[static_cast<size_t>(idx)].lru = 0;
+}
+
+int BucketTable::FindSlot(const Bucket& bucket, uint16_t tag,
+                          std::span<const std::byte> key) const {
+  for (int i = 0; i < kSlotsPerBucket; ++i) {
+    const Slot& slot = bucket.slots[static_cast<size_t>(i)];
+    if (slot.used == 0 || slot.tag != tag) {
+      continue;
+    }
+    const Entry& entry = entries_[slot.entry];
+    if (entry.key.size() == key.size() &&
+        std::equal(entry.key.begin(), entry.key.end(), key.begin())) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+uint32_t BucketTable::AllocEntry() {
+  if (!free_entries_.empty()) {
+    const uint32_t idx = free_entries_.back();
+    free_entries_.pop_back();
+    return idx;
+  }
+  entries_.emplace_back();
+  return static_cast<uint32_t>(entries_.size() - 1);
+}
+
+void BucketTable::FreeEntry(uint32_t idx) {
+  entries_[idx].key.clear();
+  entries_[idx].value.clear();
+  free_entries_.push_back(idx);
+}
+
+std::optional<std::span<const std::byte>> BucketTable::Get(std::span<const std::byte> key) {
+  const uint64_t hash = HashBytes(key);
+  Bucket& bucket = buckets_[BucketIndex(hash)];
+  const int idx = FindSlot(bucket, Tag(hash), key);
+  if (idx < 0) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Touch(bucket, idx);
+  ++stats_.hits;
+  return std::span<const std::byte>(entries_[bucket.slots[static_cast<size_t>(idx)].entry].value);
+}
+
+void BucketTable::Put(std::span<const std::byte> key, std::span<const std::byte> value) {
+  const uint64_t hash = HashBytes(key);
+  Bucket& bucket = buckets_[BucketIndex(hash)];
+  const uint16_t tag = Tag(hash);
+
+  int idx = FindSlot(bucket, tag, key);
+  if (idx >= 0) {
+    // Overwrite in place.
+    Entry& entry = entries_[bucket.slots[static_cast<size_t>(idx)].entry];
+    entry.value.assign(value.begin(), value.end());
+    Touch(bucket, idx);
+    ++stats_.updates;
+    return;
+  }
+
+  // Free slot, or strict-LRU eviction within the bucket.
+  int victim = -1;
+  for (int i = 0; i < kSlotsPerBucket; ++i) {
+    if (bucket.slots[static_cast<size_t>(i)].used == 0) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim < 0) {
+    uint8_t oldest = 0;
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      if (bucket.slots[static_cast<size_t>(i)].lru >= oldest) {
+        oldest = bucket.slots[static_cast<size_t>(i)].lru;
+        victim = i;
+      }
+    }
+    FreeEntry(bucket.slots[static_cast<size_t>(victim)].entry);
+    --size_;
+    ++stats_.evictions;
+  }
+
+  Slot& slot = bucket.slots[static_cast<size_t>(victim)];
+  const uint32_t entry_idx = AllocEntry();
+  entries_[entry_idx].key.assign(key.begin(), key.end());
+  entries_[entry_idx].value.assign(value.begin(), value.end());
+  const bool was_used = slot.used != 0;
+  slot.tag = tag;
+  slot.entry = entry_idx;
+  slot.used = 1;
+  if (!was_used) {
+    // Fresh slot starts as oldest; Touch below promotes it.
+    slot.lru = kSlotsPerBucket - 1;
+  }
+  Touch(bucket, victim);
+  ++size_;
+  ++stats_.inserts;
+}
+
+bool BucketTable::Erase(std::span<const std::byte> key) {
+  const uint64_t hash = HashBytes(key);
+  Bucket& bucket = buckets_[BucketIndex(hash)];
+  const int idx = FindSlot(bucket, Tag(hash), key);
+  if (idx < 0) {
+    return false;
+  }
+  Slot& slot = bucket.slots[static_cast<size_t>(idx)];
+  FreeEntry(slot.entry);
+  // Keep remaining ranks dense: demote nothing, just age out the hole.
+  const uint8_t gone_rank = slot.lru;
+  slot = Slot{};
+  for (Slot& s : bucket.slots) {
+    if (s.used != 0 && s.lru > gone_rank) {
+      --s.lru;
+    }
+  }
+  --size_;
+  ++stats_.erases;
+  return true;
+}
+
+}  // namespace kv

@@ -1,0 +1,92 @@
+// Jakiro's in-memory key-value structure (paper Section 4.1):
+// a fixed array of buckets, eight 8-byte slots per bucket (one cache line),
+// strict per-bucket LRU eviction, and EREW partitioning — each server
+// thread owns one BucketTable instance and nobody else touches it.
+
+#ifndef SRC_KV_BUCKET_TABLE_H_
+#define SRC_KV_BUCKET_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace kv {
+
+class BucketTable {
+ public:
+  static constexpr int kSlotsPerBucket = 8;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t updates = 0;
+    uint64_t evictions = 0;
+    uint64_t erases = 0;
+  };
+
+  // `num_buckets` is rounded up to a power of two.
+  explicit BucketTable(size_t num_buckets);
+
+  BucketTable(const BucketTable&) = delete;
+  BucketTable& operator=(const BucketTable&) = delete;
+  BucketTable(BucketTable&&) = default;
+
+  // Returns a view of the stored value (valid until the next mutation) and
+  // refreshes the entry's LRU position.
+  std::optional<std::span<const std::byte>> Get(std::span<const std::byte> key);
+
+  // Inserts or overwrites. When the bucket is full, the least recently used
+  // slot in that bucket is evicted (strict LRU, paper Section 4.1).
+  void Put(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  // Removes the key; returns whether it was present.
+  bool Erase(std::span<const std::byte> key);
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // 8 bytes, like the paper's slot: a tag for fast rejection, the LRU rank
+  // within the bucket, and the index of the out-of-line entry.
+  struct Slot {
+    uint16_t tag = 0;
+    uint8_t lru = 0;   // 0 = most recent among used slots
+    uint8_t used = 0;
+    uint32_t entry = 0;
+  };
+  static_assert(sizeof(Slot) == 8, "slot must stay 8 bytes (bucket = cache line)");
+
+  struct Bucket {
+    std::array<Slot, kSlotsPerBucket> slots;
+  };
+
+  struct Entry {
+    std::vector<std::byte> key;
+    std::vector<std::byte> value;
+  };
+
+  size_t BucketIndex(uint64_t hash) const { return hash & (buckets_.size() - 1); }
+  static uint16_t Tag(uint64_t hash) { return static_cast<uint16_t>(hash >> 48); }
+
+  // Moves slot `idx` to LRU rank 0, shifting younger slots down.
+  void Touch(Bucket& bucket, int idx);
+
+  int FindSlot(const Bucket& bucket, uint16_t tag, std::span<const std::byte> key) const;
+
+  uint32_t AllocEntry();
+  void FreeEntry(uint32_t idx);
+
+  std::vector<Bucket> buckets_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> free_entries_;
+  size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace kv
+
+#endif  // SRC_KV_BUCKET_TABLE_H_

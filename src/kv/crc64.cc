@@ -1,0 +1,40 @@
+#include "src/kv/crc64.h"
+
+#include <array>
+
+namespace kv {
+
+namespace {
+
+// ECMA-182 polynomial, reflected form.
+constexpr uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+std::array<uint64_t, 256> BuildTable() {
+  std::array<uint64_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint64_t, 256>& Table() {
+  static const std::array<uint64_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint64_t Crc64(std::span<const std::byte> bytes, uint64_t seed) {
+  const auto& table = Table();
+  uint64_t crc = ~seed;
+  for (std::byte b : bytes) {
+    crc = table[(crc ^ static_cast<uint64_t>(b)) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace kv

@@ -1,0 +1,19 @@
+// CRC64 (ECMA-182 polynomial), the checksum Pilaf uses to detect races
+// between server-side writes and client-side one-sided READs (paper
+// Sections 1 and 2.3).
+
+#ifndef SRC_KV_CRC64_H_
+#define SRC_KV_CRC64_H_
+
+#include <cstdint>
+#include <span>
+
+namespace kv {
+
+// CRC of `bytes`, continuing from `seed` (pass the previous result to chain
+// discontiguous buffers; start with 0).
+uint64_t Crc64(std::span<const std::byte> bytes, uint64_t seed = 0);
+
+}  // namespace kv
+
+#endif  // SRC_KV_CRC64_H_

@@ -1,0 +1,131 @@
+// 3-way Cuckoo hash table backed by registered memory, the structure Pilaf
+// exposes to clients for one-sided GETs (paper Sections 1 and 2.3).
+//
+// Layout (both regions remotely readable):
+//   metadata MR: num_slots fixed 24-byte slots
+//       [u64 key_hash (0 = empty)][u32 extent_offset]
+//       [u16 key_size][u16 value_size][u64 crc64(key|value)]
+//   extent MR:   bump-allocated log of [key bytes][value bytes] records
+//
+// Clients READ a candidate slot, then READ the extent record it points to,
+// and validate the CRC; the server updates entries in two steps
+// (StageExtent then PublishSlot) so that remote readers racing an update
+// observe torn data and retry — exactly the race CRC64 exists to catch.
+
+#ifndef SRC_KV_CUCKOO_H_
+#define SRC_KV_CUCKOO_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdma/memory.h"
+#include "src/rdma/node.h"
+#include "src/sim/random.h"
+
+namespace kv {
+
+class CuckooTable {
+ public:
+  static constexpr size_t kSlotBytes = 24;
+  static constexpr int kWays = 3;
+
+  struct DecodedSlot {
+    uint64_t key_hash = 0;
+    uint32_t extent_offset = 0;
+    uint16_t key_size = 0;
+    uint16_t value_size = 0;
+    uint64_t crc = 0;
+
+    bool empty() const { return key_hash == 0; }
+  };
+
+  // Everything a remote client needs to run GETs against the table.
+  struct View {
+    rdma::RemoteKey meta_rkey;
+    rdma::RemoteKey extent_rkey;
+    uint64_t num_slots = 0;
+  };
+
+  struct Stats {
+    uint64_t inserts = 0;
+    uint64_t updates = 0;
+    uint64_t kicks = 0;
+    uint64_t failed_inserts = 0;
+    uint64_t erases = 0;
+  };
+
+  // A staged update: extent bytes already written, slot not yet published.
+  struct PendingPut {
+    uint64_t slot_index = 0;
+    DecodedSlot slot;
+  };
+
+  CuckooTable(rdma::Node& node, uint64_t num_slots, size_t extent_bytes, uint64_t seed);
+
+  CuckooTable(const CuckooTable&) = delete;
+  CuckooTable& operator=(const CuckooTable&) = delete;
+
+  View view() const;
+  uint64_t num_slots() const { return num_slots_; }
+  size_t size() const { return size_; }
+  double fill() const { return static_cast<double>(size_) / static_cast<double>(num_slots_); }
+  const Stats& stats() const { return stats_; }
+
+  // The three candidate slot indices for a key hash.
+  static void Positions(uint64_t key_hash, uint64_t num_slots, uint64_t out[kWays]);
+
+  static size_t SlotOffset(uint64_t index) { return index * kSlotBytes; }
+
+  static DecodedSlot DecodeSlot(std::span<const std::byte> bytes);
+
+  // ---- Server-side mutation --------------------------------------------------
+
+  // Writes the record bytes into the extent (reusing the key's old record
+  // when it fits) and returns the slot publication to apply later. Between
+  // StageExtent and PublishSlot the table is deliberately inconsistent.
+  // Returns nullopt when the table or the extent log is exhausted.
+  std::optional<PendingPut> StageExtent(std::span<const std::byte> key,
+                                        std::span<const std::byte> value);
+
+  // Publishes the staged slot: after this instant readers see a consistent
+  // entry again.
+  void PublishSlot(const PendingPut& pending);
+
+  // Atomic convenience for local/test use: stage + publish in one step.
+  bool Put(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  // Local lookup (server side / tests).
+  std::optional<std::vector<std::byte>> Get(std::span<const std::byte> key) const;
+
+  bool Erase(std::span<const std::byte> key);
+
+ private:
+  DecodedSlot LoadSlot(uint64_t index) const;
+  void StoreSlot(uint64_t index, const DecodedSlot& slot);
+
+  // Finds the slot currently holding `key_hash`+key, or -1.
+  int64_t FindSlot(uint64_t key_hash, std::span<const std::byte> key) const;
+
+  // Makes one of the key's candidate slots free, kicking residents along
+  // a bounded random walk. Returns the freed index or -1.
+  int64_t MakeRoom(uint64_t key_hash);
+
+  bool KeyMatchesExtent(const DecodedSlot& slot, std::span<const std::byte> key) const;
+
+  uint64_t num_slots_;
+  rdma::MemoryRegion* meta_;
+  rdma::MemoryRegion* extent_;
+  size_t extent_used_ = 0;
+  size_t size_ = 0;
+  sim::Rng rng_;
+  Stats stats_;
+  // Capacity of each extent record by offset, for in-place reuse.
+  std::unordered_map<uint32_t, uint32_t> record_capacity_;
+};
+
+}  // namespace kv
+
+#endif  // SRC_KV_CUCKOO_H_

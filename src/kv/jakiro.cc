@@ -1,0 +1,250 @@
+#include "src/kv/jakiro.h"
+
+#include <stdexcept>
+
+#include "src/kv/common.h"
+
+namespace kv {
+
+JakiroConfig ServerReplyConfig(JakiroConfig base) {
+  base.channel_options.force_mode = rfp::RfpOptions::ForceMode::kForceReply;
+  return base;
+}
+
+JakiroConfig NoSwitchConfig(JakiroConfig base) {
+  base.channel_options.force_mode = rfp::RfpOptions::ForceMode::kForceFetch;
+  return base;
+}
+
+JakiroServer::JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config)
+    : config_(config), rpc_(fabric, node, config.server_threads, config.server_options) {
+  for (int t = 0; t < config_.server_threads; ++t) {
+    partitions_.push_back(std::make_unique<BucketTable>(config_.buckets_per_partition));
+  }
+  RegisterHandlers();
+}
+
+int JakiroServer::OwnerThread(std::span<const std::byte> key) const {
+  // Mix the hash before reducing: the low bits also pick the bucket inside
+  // the partition, and reusing them directly would alias.
+  return static_cast<int>(sim::Mix64(HashBytes(key)) % static_cast<uint64_t>(num_threads()));
+}
+
+void JakiroServer::RegisterHandlers() {
+  rpc_.RegisterHandler(kRpcGet, [this](const rfp::HandlerContext& ctx,
+                                       std::span<const std::byte> req,
+                                       std::span<std::byte> resp) -> rfp::HandlerResult {
+    const auto get = DecodeGet(req);
+    if (!get.has_value()) {
+      return {EncodeStatus(resp, Status::kError), config_.get_process_ns};
+    }
+    BucketTable& table = partition(ctx.thread_index);
+    const auto value = table.Get(get->key);
+    if (!value.has_value()) {
+      return {EncodeStatus(resp, Status::kNotFound), config_.get_process_ns};
+    }
+    return {EncodeGetResponse(resp, Status::kOk, *value), config_.get_process_ns};
+  });
+
+  rpc_.RegisterHandler(kRpcPut, [this](const rfp::HandlerContext& ctx,
+                                       std::span<const std::byte> req,
+                                       std::span<std::byte> resp) -> rfp::HandlerResult {
+    const auto put = DecodePut(req);
+    if (!put.has_value()) {
+      return {EncodeStatus(resp, Status::kError), config_.put_process_ns};
+    }
+    partition(ctx.thread_index).Put(put->key, put->value);
+    return {EncodeStatus(resp, Status::kOk), config_.put_process_ns};
+  });
+
+  rpc_.RegisterHandler(kRpcMultiGet, [this](const rfp::HandlerContext& ctx,
+                                            std::span<const std::byte> req,
+                                            std::span<std::byte> resp) -> rfp::HandlerResult {
+    uint16_t count = 0;
+    if (req.size() < sizeof(count)) {
+      return {EncodeStatus(resp, Status::kError), config_.get_process_ns};
+    }
+    std::memcpy(&count, req.data(), sizeof(count));
+    BucketTable& table = partition(ctx.thread_index);
+    size_t in = sizeof(count);
+    size_t out = 1 + sizeof(count);
+    resp[0] = static_cast<std::byte>(Status::kOk);
+    std::memcpy(resp.data() + 1, &count, sizeof(count));
+    for (uint16_t i = 0; i < count; ++i) {
+      uint16_t key_size = 0;
+      if (req.size() < in + sizeof(key_size)) {
+        return {EncodeStatus(resp, Status::kError), config_.get_process_ns};
+      }
+      std::memcpy(&key_size, req.data() + in, sizeof(key_size));
+      in += sizeof(key_size);
+      if (req.size() < in + key_size) {
+        return {EncodeStatus(resp, Status::kError), config_.get_process_ns};
+      }
+      const auto value = table.Get(req.subspan(in, key_size));
+      in += key_size;
+      const uint32_t size =
+          value.has_value() ? static_cast<uint32_t>(value->size()) : kMultiGetMiss;
+      std::memcpy(resp.data() + out, &size, sizeof(size));
+      out += sizeof(size);
+      if (value.has_value()) {
+        std::memcpy(resp.data() + out, value->data(), value->size());
+        out += value->size();
+      }
+    }
+    // One hash-table lookup's worth of CPU per key.
+    return {out, config_.get_process_ns * count};
+  });
+
+  rpc_.RegisterHandler(kRpcDelete, [this](const rfp::HandlerContext& ctx,
+                                          std::span<const std::byte> req,
+                                          std::span<std::byte> resp) -> rfp::HandlerResult {
+    const auto del = DecodeGet(req);
+    if (!del.has_value()) {
+      return {EncodeStatus(resp, Status::kError), config_.put_process_ns};
+    }
+    const bool erased = partition(ctx.thread_index).Erase(del->key);
+    return {EncodeStatus(resp, erased ? Status::kOk : Status::kNotFound),
+            config_.put_process_ns};
+  });
+}
+
+JakiroClient::JakiroClient(JakiroServer& server, rdma::Node& client_node) : server_(server) {
+  for (int t = 0; t < server.num_threads(); ++t) {
+    rfp::Channel* channel =
+        server.rpc().AcceptChannel(client_node, server.config().channel_options, t);
+    channels_.push_back(channel);
+    stubs_.push_back(std::make_unique<rfp::RpcClient>(channel));
+  }
+  scratch_.resize(server.config().channel_options.max_message_bytes);
+}
+
+sim::Task<std::optional<size_t>> JakiroClient::Get(std::span<const std::byte> key,
+                                                   std::span<std::byte> value_out) {
+  const int owner = server_.OwnerThread(key);
+  const size_t req = EncodeGet(scratch_, key);
+  const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
+      kRpcGet, std::span<const std::byte>(scratch_.data(), req), scratch_);
+  ++operations_;
+  if (n < 1 || DecodeStatus(std::span<const std::byte>(scratch_.data(), n)) != Status::kOk) {
+    co_return std::nullopt;
+  }
+  const size_t value_size = n - 1;
+  if (value_size > value_out.size()) {
+    throw std::length_error("jakiro: value larger than output buffer");
+  }
+  std::memcpy(value_out.data(), scratch_.data() + 1, value_size);
+  co_return value_size;
+}
+
+sim::Task<bool> JakiroClient::Put(std::span<const std::byte> key,
+                                  std::span<const std::byte> value) {
+  const int owner = server_.OwnerThread(key);
+  const size_t req = EncodePut(scratch_, key, value);
+  const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
+      kRpcPut, std::span<const std::byte>(scratch_.data(), req), scratch_);
+  ++operations_;
+  co_return n >= 1 &&
+      DecodeStatus(std::span<const std::byte>(scratch_.data(), n)) == Status::kOk;
+}
+
+sim::Task<bool> JakiroClient::Delete(std::span<const std::byte> key) {
+  const int owner = server_.OwnerThread(key);
+  const size_t req = EncodeDelete(scratch_, key);
+  const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
+      kRpcDelete, std::span<const std::byte>(scratch_.data(), req), scratch_);
+  ++operations_;
+  co_return n >= 1 &&
+      DecodeStatus(std::span<const std::byte>(scratch_.data(), n)) == Status::kOk;
+}
+
+sim::Task<void> JakiroClient::MultiGet(
+    std::span<const std::span<const std::byte>> keys, std::span<std::byte> value_arena,
+    std::span<std::optional<std::span<const std::byte>>> values_out) {
+  if (values_out.size() < keys.size()) {
+    throw std::invalid_argument("jakiro multiget: values_out smaller than keys");
+  }
+  // Group key indices by owning server thread (EREW routing).
+  std::vector<std::vector<size_t>> by_owner(static_cast<size_t>(server_.num_threads()));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    by_owner[static_cast<size_t>(server_.OwnerThread(keys[i]))].push_back(i);
+  }
+  size_t arena_used = 0;
+  for (size_t owner = 0; owner < by_owner.size(); ++owner) {
+    const std::vector<size_t>& batch = by_owner[owner];
+    if (batch.empty()) {
+      continue;
+    }
+    // Encode the sub-batch request.
+    const uint16_t count = static_cast<uint16_t>(batch.size());
+    size_t n = 0;
+    std::memcpy(scratch_.data(), &count, sizeof(count));
+    n += sizeof(count);
+    for (size_t idx : batch) {
+      const uint16_t key_size = static_cast<uint16_t>(keys[idx].size());
+      std::memcpy(scratch_.data() + n, &key_size, sizeof(key_size));
+      n += sizeof(key_size);
+      std::memcpy(scratch_.data() + n, keys[idx].data(), key_size);
+      n += key_size;
+    }
+    const size_t resp_size = co_await stubs_[owner]->Call(
+        kRpcMultiGet, std::span<const std::byte>(scratch_.data(), n), scratch_);
+    ++operations_;
+    if (resp_size < 3 ||
+        DecodeStatus(std::span<const std::byte>(scratch_.data(), resp_size)) != Status::kOk) {
+      throw std::runtime_error("jakiro multiget: malformed response");
+    }
+    // Decode results back into caller order, copying values into the arena.
+    size_t out = 1 + sizeof(uint16_t);
+    for (size_t idx : batch) {
+      uint32_t size = 0;
+      std::memcpy(&size, scratch_.data() + out, sizeof(size));
+      out += sizeof(size);
+      if (size == kMultiGetMiss) {
+        values_out[idx] = std::nullopt;
+        continue;
+      }
+      if (arena_used + size > value_arena.size()) {
+        throw std::length_error("jakiro multiget: value arena exhausted");
+      }
+      std::memcpy(value_arena.data() + arena_used, scratch_.data() + out, size);
+      values_out[idx] = std::span<const std::byte>(value_arena.data() + arena_used, size);
+      arena_used += size;
+      out += size;
+    }
+  }
+}
+
+sim::Histogram JakiroClient::MergedLatency() const {
+  sim::Histogram merged;
+  for (const auto& stub : stubs_) {
+    merged.Merge(stub->latency());
+  }
+  return merged;
+}
+
+rfp::Channel::Stats JakiroClient::MergedChannelStats() const {
+  rfp::Channel::Stats merged;
+  for (const rfp::Channel* channel : channels_) {
+    const rfp::Channel::Stats& s = channel->stats();
+    merged.calls += s.calls;
+    merged.request_writes += s.request_writes;
+    merged.fetch_reads += s.fetch_reads;
+    merged.failed_fetches += s.failed_fetches;
+    merged.extra_fetches += s.extra_fetches;
+    merged.reply_pushes += s.reply_pushes;
+    merged.switches_to_reply += s.switches_to_reply;
+    merged.switches_to_fetch += s.switches_to_fetch;
+    merged.retries_per_call.Merge(s.retries_per_call);
+  }
+  return merged;
+}
+
+sim::Time JakiroClient::TotalBusy() const {
+  sim::Time total = 0;
+  for (rfp::Channel* channel : channels_) {
+    total += channel->client_busy().busy();
+  }
+  return total;
+}
+
+}  // namespace kv

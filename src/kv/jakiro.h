@@ -1,0 +1,120 @@
+// Jakiro: the RFP-based in-memory key-value store (paper Section 4.1).
+//
+// Server: one BucketTable partition per server thread (EREW — no sharing,
+// no locks), GET/PUT/DELETE exported as RPC handlers over RFP channels.
+// Client: one channel per server thread; requests route to the partition
+// that owns the key (hash % threads), so a server thread only ever touches
+// its own data.
+//
+// The ServerReply baseline of the paper ("extended from Jakiro, differs in
+// that the server thread directly sends the result back") is this same
+// store with the channels forced into server-reply mode — see
+// ServerReplyConfig(). "Jakiro w/o switch" (Fig 14) forces remote-fetch.
+
+#ifndef SRC_KV_JAKIRO_H_
+#define SRC_KV_JAKIRO_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/kv/bucket_table.h"
+#include "src/rdma/fabric.h"
+#include "src/rfp/options.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/stats.h"
+
+namespace kv {
+
+struct JakiroConfig {
+  int server_threads = 6;
+  size_t buckets_per_partition = 1 << 15;  // x8 slots each
+  // CPU cost of one hash-table operation (lookup / insert+LRU update).
+  sim::Time get_process_ns = 150;
+  sim::Time put_process_ns = 250;
+  rfp::RfpOptions channel_options;
+  rfp::ServerOptions server_options;
+};
+
+// The paper's ServerReply system: identical store, reply-only transport.
+JakiroConfig ServerReplyConfig(JakiroConfig base = {});
+
+// "Jakiro w/o switch": remote fetching with the hybrid fallback disabled.
+JakiroConfig NoSwitchConfig(JakiroConfig base = {});
+
+class JakiroServer {
+ public:
+  JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config = {});
+
+  JakiroServer(const JakiroServer&) = delete;
+  JakiroServer& operator=(const JakiroServer&) = delete;
+
+  const JakiroConfig& config() const { return config_; }
+  rfp::RpcServer& rpc() { return rpc_; }
+  rdma::Node& node() { return rpc_.node(); }
+  int num_threads() const { return rpc_.num_threads(); }
+  BucketTable& partition(int thread) { return *partitions_[static_cast<size_t>(thread)]; }
+
+  // Which server thread owns `key` (clients route with the same function).
+  int OwnerThread(std::span<const std::byte> key) const;
+
+  void Start() { rpc_.Start(); }
+  void Stop() { rpc_.Stop(); }
+
+ private:
+  void RegisterHandlers();
+
+  JakiroConfig config_;
+  rfp::RpcServer rpc_;
+  std::vector<std::unique_ptr<BucketTable>> partitions_;
+};
+
+class JakiroClient {
+ public:
+  // Opens one channel per server thread from `client_node`.
+  JakiroClient(JakiroServer& server, rdma::Node& client_node);
+
+  // GET: returns the value size, or nullopt when the key is absent.
+  sim::Task<std::optional<size_t>> Get(std::span<const std::byte> key,
+                                       std::span<std::byte> value_out);
+
+  sim::Task<bool> Put(std::span<const std::byte> key, std::span<const std::byte> value);
+
+  sim::Task<bool> Delete(std::span<const std::byte> key);
+
+  // Batched GET (extension): groups the keys by owning server thread, issues
+  // one RPC per owner, and fills `values_out[i]` with the i-th key's value
+  // size (nullopt = miss). Amortizes the per-call round trip; note that the
+  // batched response grows with the batch, interacting with the fetch-size
+  // parameter exactly as Eq. 2 predicts.
+  sim::Task<void> MultiGet(std::span<const std::span<const std::byte>> keys,
+                           std::span<std::byte> value_arena,
+                           std::span<std::optional<std::span<const std::byte>>> values_out);
+
+  uint64_t operations() const { return operations_; }
+
+  // Merged latency distribution across the per-thread stubs.
+  sim::Histogram MergedLatency() const;
+
+  // Aggregated channel statistics (retries, round trips, mode switches).
+  rfp::Channel::Stats MergedChannelStats() const;
+
+  // Aggregate client CPU busy time across this client's channels.
+  sim::Time TotalBusy() const;
+
+  rfp::Channel* channel(int thread) { return channels_[static_cast<size_t>(thread)]; }
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+
+ private:
+  JakiroServer& server_;
+  std::vector<rfp::Channel*> channels_;
+  std::vector<std::unique_ptr<rfp::RpcClient>> stubs_;
+  std::vector<std::byte> scratch_;
+  uint64_t operations_ = 0;
+};
+
+}  // namespace kv
+
+#endif  // SRC_KV_JAKIRO_H_

@@ -1,0 +1,79 @@
+#include "src/kv/lease_cache.h"
+
+#include <cstring>
+
+namespace kv {
+
+namespace {
+
+std::string KeyString(std::span<const std::byte> key) {
+  return std::string(reinterpret_cast<const char*>(key.data()), key.size());
+}
+
+}  // namespace
+
+LeaseCachedClient::LeaseCachedClient(sim::Engine& engine, PilafClient* base,
+                                     LeaseCacheConfig config)
+    : engine_(engine), base_(base), config_(config) {}
+
+void LeaseCachedClient::Install(std::string key, std::span<const std::byte> value) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->value.assign(value.begin(), value.end());
+    it->second->fetched_at = engine_.now();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= config_.capacity) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::vector<std::byte>(value.begin(), value.end()), engine_.now()});
+  entries_[std::move(key)] = lru_.begin();
+}
+
+sim::Task<std::optional<size_t>> LeaseCachedClient::Get(std::span<const std::byte> key,
+                                                        std::span<std::byte> value_out) {
+  ++stats_.gets;
+  const std::string key_str = KeyString(key);
+  auto it = entries_.find(key_str);
+  if (it != entries_.end()) {
+    if (Fresh(*it->second)) {
+      // Lease still valid: serve locally, no network traffic at all.
+      ++stats_.cache_hits;
+      const std::vector<std::byte>& value = it->second->value;
+      if (value.size() > value_out.size()) {
+        throw std::length_error("lease cache: value larger than output buffer");
+      }
+      std::memcpy(value_out.data(), value.data(), value.size());
+      lru_.splice(lru_.begin(), lru_, it->second);
+      co_return value.size();
+    }
+    // Present but past its lease: drop and refetch.
+    ++stats_.lease_expired;
+    lru_.erase(it->second);
+    entries_.erase(it);
+  } else {
+    ++stats_.cache_misses;
+  }
+
+  const std::optional<size_t> fetched = co_await base_->Get(key, value_out);
+  if (fetched.has_value()) {
+    Install(key_str, std::span<const std::byte>(value_out.data(), *fetched));
+  }
+  co_return fetched;
+}
+
+sim::Task<bool> LeaseCachedClient::Put(std::span<const std::byte> key,
+                                       std::span<const std::byte> value) {
+  ++stats_.puts;
+  const bool ok = co_await base_->Put(key, value);
+  if (ok) {
+    // Read-your-writes for this client; other clients stay bounded-stale.
+    Install(KeyString(key), value);
+  }
+  co_return ok;
+}
+
+}  // namespace kv

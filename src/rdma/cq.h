@@ -1,0 +1,78 @@
+// Completion queues.
+//
+// Completions are appended by the fabric when operations finish and drained
+// by application actors, either non-blockingly (Poll) or by suspending until
+// one arrives (Wait) — the coroutine analogue of busy-polling ibv_poll_cq.
+
+#ifndef SRC_RDMA_CQ_H_
+#define SRC_RDMA_CQ_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+
+#include "src/rdma/types.h"
+#include "src/sim/engine.h"
+#include "src/sim/signal.h"
+#include "src/sim/task.h"
+
+namespace rdma {
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Engine& engine) : engine_(engine), arrival_(engine) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  // Internal: appends a completion and wakes one waiter.
+  void Push(const WorkCompletion& wc) {
+    queue_.push_back(wc);
+    ++total_;
+    arrival_.NotifyOne();
+  }
+
+  // Non-blocking poll; std::nullopt when the queue is empty.
+  std::optional<WorkCompletion> Poll() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    WorkCompletion wc = queue_.front();
+    queue_.pop_front();
+    return wc;
+  }
+
+  // Drains up to out.size() completions; returns how many were written.
+  size_t PollBatch(std::span<WorkCompletion> out) {
+    size_t n = 0;
+    while (n < out.size() && !queue_.empty()) {
+      out[n++] = queue_.front();
+      queue_.pop_front();
+    }
+    return n;
+  }
+
+  // Suspends until a completion is available, then returns it.
+  sim::Task<WorkCompletion> Wait() {
+    while (true) {
+      if (auto wc = Poll()) {
+        co_return *wc;
+      }
+      co_await arrival_.Wait();
+    }
+  }
+
+  size_t depth() const { return queue_.size(); }
+  uint64_t total_completions() const { return total_; }
+
+ private:
+  sim::Engine& engine_;
+  sim::Notifier arrival_;
+  std::deque<WorkCompletion> queue_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace rdma
+
+#endif  // SRC_RDMA_CQ_H_

@@ -1,0 +1,87 @@
+#include "src/rdma/fabric.h"
+
+#include <utility>
+
+namespace rdma {
+
+namespace {
+
+uint64_t QpAddr(uint32_t node_id, uint32_t qp_num) {
+  return (static_cast<uint64_t>(node_id) << 32) | qp_num;
+}
+
+}  // namespace
+
+Fabric::Fabric(sim::Engine& engine, FabricConfig config)
+    : engine_(engine), config_(config), rng_(config.seed) {}
+
+Node& Fabric::AddNode(std::string name) {
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  // Per-node jitter streams derive from the fabric seed, so changing the
+  // seed perturbs every service time while keeping runs reproducible.
+  nodes_.push_back(std::make_unique<Node>(engine_, this, id, std::move(name), config_.nic,
+                                          sim::Mix64(config_.seed) ^ id));
+  return *nodes_.back();
+}
+
+CompletionQueue* Fabric::CreateCq(Node& node) {
+  (void)node;  // CQs carry no per-node state in the model, only identity.
+  cqs_.push_back(std::make_unique<CompletionQueue>(engine_));
+  return cqs_.back().get();
+}
+
+QpEnds Fabric::Connect(Node& a, Node& b, QpType type) {
+  CompletionQueue* a_send = CreateCq(a);
+  CompletionQueue* a_recv = CreateCq(a);
+  CompletionQueue* b_send = CreateCq(b);
+  CompletionQueue* b_recv = CreateCq(b);
+  const uint32_t qpn_a = next_qpn_++;
+  const uint32_t qpn_b = next_qpn_++;
+  qps_.push_back(std::make_unique<QueuePair>(this, type, qpn_a, &a, &b, a_send, a_recv));
+  QueuePair* qa = qps_.back().get();
+  qps_.push_back(std::make_unique<QueuePair>(this, type, qpn_b, &b, &a, b_send, b_recv));
+  QueuePair* qb = qps_.back().get();
+  qa->peer_qp_num_ = qpn_b;
+  qb->peer_qp_num_ = qpn_a;
+  qps_by_addr_[QpAddr(a.id(), qpn_a)] = qa;
+  qps_by_addr_[QpAddr(b.id(), qpn_b)] = qb;
+  a.nic().AddActiveQps(1);
+  b.nic().AddActiveQps(1);
+  return QpEnds{qa, qb};
+}
+
+QpEnds Fabric::ConnectRc(Node& a, Node& b) { return Connect(a, b, QpType::kRc); }
+
+QpEnds Fabric::ConnectUc(Node& a, Node& b) { return Connect(a, b, QpType::kUc); }
+
+QueuePair* Fabric::CreateUd(Node& node) {
+  CompletionQueue* send_cq = CreateCq(node);
+  CompletionQueue* recv_cq = CreateCq(node);
+  const uint32_t qpn = next_qpn_++;
+  qps_.push_back(
+      std::make_unique<QueuePair>(this, QpType::kUd, qpn, &node, nullptr, send_cq, recv_cq));
+  QueuePair* qp = qps_.back().get();
+  qps_by_addr_[QpAddr(node.id(), qpn)] = qp;
+  node.nic().AddActiveQps(1);
+  return qp;
+}
+
+MemoryRegion* Fabric::RegisterMemory(Node& node, size_t size, uint32_t access) {
+  const uint32_t key = next_key_++;
+  node.regions_.push_back(std::make_unique<MemoryRegion>(&node, key, key, size, access));
+  MemoryRegion* mr = node.regions_.back().get();
+  regions_by_rkey_[key] = mr;
+  return mr;
+}
+
+MemoryRegion* Fabric::FindRemote(RemoteKey rkey) {
+  auto it = regions_by_rkey_.find(rkey.rkey);
+  return it == regions_by_rkey_.end() ? nullptr : it->second;
+}
+
+QueuePair* Fabric::FindQp(uint32_t node_id, uint32_t qp_num) {
+  auto it = qps_by_addr_.find(QpAddr(node_id, qp_num));
+  return it == qps_by_addr_.end() ? nullptr : it->second;
+}
+
+}  // namespace rdma

@@ -1,0 +1,90 @@
+// The simulated cluster: nodes, wire model, QP wiring, and the remote-key
+// registry used to resolve one-sided operations.
+
+#ifndef SRC_RDMA_FABRIC_H_
+#define SRC_RDMA_FABRIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/rdma/config.h"
+#include "src/rdma/cq.h"
+#include "src/rdma/memory.h"
+#include "src/rdma/node.h"
+#include "src/rdma/qp.h"
+#include "src/rdma/types.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+
+namespace rdma {
+
+// A connected pair of QP endpoints (one per node).
+struct QpEnds {
+  QueuePair* first;
+  QueuePair* second;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Engine& engine, FabricConfig config = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const FabricConfig& config() const { return config_; }
+  sim::Time wire_latency() const { return config_.wire_latency_ns; }
+
+  // ---- Topology -------------------------------------------------------------
+
+  Node& AddNode(std::string name);
+  Node& node(size_t index) { return *nodes_[index]; }
+  size_t node_count() const { return nodes_.size(); }
+
+  // Creates a standalone CQ on a node (CQs may be shared between QPs).
+  CompletionQueue* CreateCq(Node& node);
+
+  // Connects two nodes with a reliable (RC) or unreliable (UC) connection.
+  // Each endpoint gets dedicated send/recv CQs unless explicit CQs are given.
+  QpEnds ConnectRc(Node& a, Node& b);
+  QpEnds ConnectUc(Node& a, Node& b);
+
+  // Creates an unconnected UD QP on a node (addressed per-SEND).
+  QueuePair* CreateUd(Node& node);
+
+  // ---- Internal services used by Node and QueuePair ------------------------
+
+  MemoryRegion* RegisterMemory(Node& node, size_t size, uint32_t access);
+
+  // Resolves an rkey to its region; nullptr when unknown.
+  MemoryRegion* FindRemote(RemoteKey rkey);
+
+  // Resolves a UD destination; nullptr when unknown.
+  QueuePair* FindQp(uint32_t node_id, uint32_t qp_num);
+
+  // Draws a loss decision for unreliable transports.
+  bool DrawLoss() {
+    return config_.unreliable_loss_prob > 0.0 && rng_.NextBernoulli(config_.unreliable_loss_prob);
+  }
+
+ private:
+  QpEnds Connect(Node& a, Node& b, QpType type);
+
+  sim::Engine& engine_;
+  FabricConfig config_;
+  sim::Rng rng_;
+  uint32_t next_key_ = 1;
+  uint32_t next_qpn_ = 1;
+  std::deque<std::unique_ptr<Node>> nodes_;
+  std::deque<std::unique_ptr<QueuePair>> qps_;
+  std::deque<std::unique_ptr<CompletionQueue>> cqs_;
+  std::unordered_map<uint32_t, MemoryRegion*> regions_by_rkey_;
+  std::unordered_map<uint64_t, QueuePair*> qps_by_addr_;
+};
+
+}  // namespace rdma
+
+#endif  // SRC_RDMA_FABRIC_H_

@@ -1,0 +1,79 @@
+// Registered memory regions.
+//
+// A MemoryRegion owns real bytes. One-sided operations copy actual data
+// between regions, so everything layered above (headers, checksums, hash
+// buckets) behaves exactly as it would on real hardware — including torn
+// reads when a responder mutates a region between simulated instants.
+
+#ifndef SRC_RDMA_MEMORY_H_
+#define SRC_RDMA_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/rdma/types.h"
+
+namespace rdma {
+
+class Node;
+
+class MemoryRegion {
+ public:
+  MemoryRegion(Node* node, uint32_t lkey, uint32_t rkey, size_t size, uint32_t access)
+      : node_(node), lkey_(lkey), rkey_(rkey), access_(access), data_(size) {}
+
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  Node* node() const { return node_; }
+  uint32_t lkey() const { return lkey_; }
+  RemoteKey remote_key() const { return RemoteKey{rkey_}; }
+  size_t size() const { return data_.size(); }
+  uint32_t access() const { return access_; }
+
+  bool AllowsRemoteRead() const { return (access_ & kAccessRemoteRead) != 0; }
+  bool AllowsRemoteWrite() const { return (access_ & kAccessRemoteWrite) != 0; }
+
+  std::span<std::byte> bytes() { return data_; }
+  std::span<const std::byte> bytes() const { return data_; }
+
+  bool InBounds(size_t offset, size_t len) const {
+    return offset <= data_.size() && len <= data_.size() - offset;
+  }
+
+  // Local typed accessors (bounds are the caller's responsibility after an
+  // InBounds check; they assert in debug builds via span).
+  template <typename T>
+  T Load(size_t offset) const {
+    T value;
+    std::memcpy(&value, data_.data() + offset, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void Store(size_t offset, const T& value) {
+    std::memcpy(data_.data() + offset, &value, sizeof(T));
+  }
+
+  void WriteBytes(size_t offset, std::span<const std::byte> src) {
+    std::memcpy(data_.data() + offset, src.data(), src.size());
+  }
+
+  void ReadBytes(size_t offset, std::span<std::byte> dst) const {
+    std::memcpy(dst.data(), data_.data() + offset, dst.size());
+  }
+
+ private:
+  Node* node_;
+  uint32_t lkey_;
+  uint32_t rkey_;
+  uint32_t access_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace rdma
+
+#endif  // SRC_RDMA_MEMORY_H_

@@ -1,0 +1,128 @@
+#include "src/rdma/nic.h"
+
+#include <algorithm>
+
+namespace rdma {
+
+namespace {
+
+sim::Time FromNs(double ns) { return static_cast<sim::Time>(ns + 0.5); }
+
+}  // namespace
+
+Nic::Nic(sim::Engine& engine, const NicConfig& config, uint64_t seed)
+    : engine_(engine),
+      config_(config),
+      rng_(sim::Mix64(seed ^ 0x4e4943)),  // "NIC"
+      issue_pipeline_(engine, 1),
+      inbound_engine_(engine, 1),
+      post_lock_(engine) {}
+
+sim::Time Nic::Jitter(sim::Time nominal) {
+  if (config_.service_jitter <= 0.0) {
+    return nominal;
+  }
+  const double u = 2.0 * rng_.NextDouble() - 1.0;  // [-1, 1)
+  return static_cast<sim::Time>(static_cast<double>(nominal) *
+                                (1.0 + config_.service_jitter * u));
+}
+
+double Nic::OutboundMultiplier(Opcode op) const {
+  const int extra = std::max(0, concurrent_outbound_ - config_.outbound_free_threads);
+  const double factor = op == Opcode::kRead ? config_.outbound_read_thread_factor
+                                            : config_.outbound_write_thread_factor;
+  return 1.0 + factor * static_cast<double>(extra);
+}
+
+sim::Time Nic::OutboundServiceTime(Opcode op, uint32_t payload) const {
+  double base = op == Opcode::kSend ? config_.two_sided_tx_ns : config_.outbound_issue_ns;
+  base *= OutboundMultiplier(op);
+  const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
+  return FromNs(std::max(base, serialization));
+}
+
+sim::Time Nic::InboundServiceTime(uint32_t payload) const {
+  const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
+  return FromNs(std::max(config_.inbound_min_gap_ns, serialization));
+}
+
+sim::Task<void> Nic::PostOverhead() {
+  co_await post_lock_.Lock();
+  co_await engine_.Sleep(FromNs(config_.post_lock_ns));
+  post_lock_.Unlock();
+  co_await engine_.Sleep(FromNs(config_.post_cpu_ns));
+}
+
+sim::Task<void> Nic::CompletionOverhead() {
+  co_await engine_.Sleep(FromNs(config_.completion_cpu_ns));
+}
+
+sim::Task<void> Nic::IssueOneSided(Opcode op, uint32_t outbound_payload) {
+  ++outbound_ops_;
+  co_await issue_pipeline_.Use(Jitter(OutboundServiceTime(op, outbound_payload)));
+}
+
+sim::Task<void> Nic::IssueTwoSided(uint32_t payload) {
+  ++outbound_ops_;
+  co_await issue_pipeline_.Use(Jitter(OutboundServiceTime(Opcode::kSend, payload)));
+}
+
+sim::Task<void> Nic::AbsorbReadResponse(uint32_t payload) {
+  const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
+  co_await engine_.Sleep(FromNs(serialization + config_.read_state_cpu_ns));
+}
+
+sim::Task<void> Nic::ServeInboundOneSided(uint32_t payload) {
+  ++inbound_ops_;
+  co_await inbound_engine_.Use(Jitter(InboundServiceTime(payload)));
+}
+
+sim::Task<void> Nic::ServeInboundTwoSided(uint32_t payload) {
+  ++inbound_ops_;
+  const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
+  co_await inbound_engine_.Use(Jitter(FromNs(std::max(config_.two_sided_rx_ns, serialization))));
+}
+
+const char* WcStatusName(WcStatus status) {
+  switch (status) {
+    case WcStatus::kSuccess:
+      return "SUCCESS";
+    case WcStatus::kUnsupportedOp:
+      return "UNSUPPORTED_OP";
+    case WcStatus::kRemoteAccessError:
+      return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRnrRetryExceeded:
+      return "RNR_RETRY_EXCEEDED";
+    case WcStatus::kLocalProtError:
+      return "LOCAL_PROT_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kRead:
+      return "READ";
+    case Opcode::kWrite:
+      return "WRITE";
+    case Opcode::kSend:
+      return "SEND";
+    case Opcode::kRecv:
+      return "RECV";
+  }
+  return "UNKNOWN";
+}
+
+const char* QpTypeName(QpType type) {
+  switch (type) {
+    case QpType::kRc:
+      return "RC";
+    case QpType::kUc:
+      return "UC";
+    case QpType::kUd:
+      return "UD";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace rdma

@@ -1,0 +1,117 @@
+// RNIC performance model.
+//
+// Two asymmetric stations per NIC (paper Section 2.2):
+//
+//  * The OUT-BOUND issue pipeline — serialized software/hardware interaction
+//    (WQE DMA, doorbell, completion generation) every *issued* one-sided op
+//    pays. Base service `outbound_issue_ns` caps a saturated NIC at
+//    ~2.11 MOPS; the service inflates when more threads post concurrently
+//    than `outbound_free_threads` (QP/CQ contention).
+//
+//  * The IN-BOUND serving engine — pure hardware. Service is
+//    max(inbound_min_gap_ns, bytes/bandwidth), giving ~11.24 MOPS for small
+//    payloads and a bandwidth-bound tail that meets the out-bound curve at
+//    ~2 KB (Fig 5). The gap inflates when the NIC serves more remote QPs
+//    than `inbound_free_qps` (QP-state cache pressure; Fig 4's decline).
+//
+// Two-sided SEND/RECV pays symmetric base costs on both sides — the paper's
+// observation that the asymmetry is specific to one-sided operations.
+
+#ifndef SRC_RDMA_NIC_H_
+#define SRC_RDMA_NIC_H_
+
+#include <cstdint>
+
+#include "src/rdma/config.h"
+#include "src/rdma/types.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace rdma {
+
+class Nic {
+ public:
+  Nic(sim::Engine& engine, const NicConfig& config, uint64_t seed = 0);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  const NicConfig& config() const { return config_; }
+
+  // ---- Requester (out-bound) path ----------------------------------------
+
+  // Marks a posting thread as having an op in flight; the count drives the
+  // out-bound contention multiplier. Paired with EndOutbound().
+  void BeginOutbound() { ++concurrent_outbound_; }
+  void EndOutbound() { --concurrent_outbound_; }
+  int concurrent_outbound() const { return concurrent_outbound_; }
+
+  // Software cost of building+posting a WR, including the per-node post lock.
+  sim::Task<void> PostOverhead();
+
+  // Software cost of detecting and reaping the completion.
+  sim::Task<void> CompletionOverhead();
+
+  // Occupies the serialized issue pipeline for a one-sided op that carries
+  // `outbound_payload` bytes onto the wire (WRITE payload; 0 for READ).
+  sim::Task<void> IssueOneSided(Opcode op, uint32_t outbound_payload);
+
+  // Same, for a two-sided SEND carrying `payload` bytes.
+  sim::Task<void> IssueTwoSided(uint32_t payload);
+
+  // Requester-side landing of READ response data: bandwidth only, the
+  // response is absorbed by the same hardware path that sent the request.
+  sim::Task<void> AbsorbReadResponse(uint32_t payload);
+
+  // ---- Responder (in-bound) path ------------------------------------------
+
+  // Number of QP endpoints living on this NIC. Informational (maintained by
+  // the fabric at QP creation); the performance model keys off concurrent
+  // posters, not QP count.
+  void AddActiveQps(int delta) { active_qps_ += delta; }
+  int active_qps() const { return active_qps_; }
+
+  // Serves an in-bound one-sided READ/WRITE of `payload` bytes in hardware.
+  sim::Task<void> ServeInboundOneSided(uint32_t payload);
+
+  // Serves an in-bound two-sided SEND of `payload` bytes.
+  sim::Task<void> ServeInboundTwoSided(uint32_t payload);
+
+  // ---- Introspection -------------------------------------------------------
+
+  uint64_t outbound_ops() const { return outbound_ops_; }
+  uint64_t inbound_ops() const { return inbound_ops_; }
+  double IssueUtilization(sim::Time from, sim::Time to) const {
+    return issue_pipeline_.Utilization(from, to);
+  }
+  double ServeUtilization(sim::Time from, sim::Time to) const {
+    return inbound_engine_.Utilization(from, to);
+  }
+
+  // Exposed for tests: effective service times under current contention.
+  sim::Time OutboundServiceTime(Opcode op, uint32_t payload) const;
+  sim::Time InboundServiceTime(uint32_t payload) const;
+
+ private:
+  double OutboundMultiplier(Opcode op) const;
+  // Applies the configured service jitter to a nominal service time.
+  sim::Time Jitter(sim::Time nominal);
+
+  sim::Engine& engine_;
+  const NicConfig config_;
+  sim::Rng rng_;
+  sim::Resource issue_pipeline_;
+  sim::Resource inbound_engine_;
+  sim::Mutex post_lock_;
+  int concurrent_outbound_ = 0;
+  int active_qps_ = 0;
+  uint64_t outbound_ops_ = 0;
+  uint64_t inbound_ops_ = 0;
+};
+
+}  // namespace rdma
+
+#endif  // SRC_RDMA_NIC_H_

@@ -1,0 +1,11 @@
+#include "src/rdma/node.h"
+
+#include "src/rdma/fabric.h"
+
+namespace rdma {
+
+MemoryRegion* Node::RegisterMemory(size_t size, uint32_t access) {
+  return fabric_->RegisterMemory(*this, size, access);
+}
+
+}  // namespace rdma

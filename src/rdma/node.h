@@ -1,0 +1,55 @@
+// A simulated machine: one RNIC, a core pool, and registered memory.
+
+#ifndef SRC_RDMA_NODE_H_
+#define SRC_RDMA_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/rdma/config.h"
+#include "src/rdma/memory.h"
+#include "src/rdma/nic.h"
+#include "src/sim/cpu.h"
+#include "src/sim/engine.h"
+
+namespace rdma {
+
+class Fabric;
+
+class Node {
+ public:
+  Node(sim::Engine& engine, Fabric* fabric, uint32_t id, std::string name,
+       const NicConfig& config, uint64_t seed)
+      : fabric_(fabric), id_(id), name_(std::move(name)), nic_(engine, config, seed),
+        cpus_(engine, config.cores) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Nic& nic() { return nic_; }
+  const Nic& nic() const { return nic_; }
+  sim::CpuSet& cpus() { return cpus_; }
+  Fabric* fabric() const { return fabric_; }
+
+  // Registers `size` bytes with the NIC (the paper's malloc_buf maps here).
+  // The region is owned by the node and remains valid for its lifetime.
+  MemoryRegion* RegisterMemory(size_t size, uint32_t access);
+
+ private:
+  friend class Fabric;
+
+  Fabric* fabric_;
+  uint32_t id_;
+  std::string name_;
+  Nic nic_;
+  sim::CpuSet cpus_;
+  std::deque<std::unique_ptr<MemoryRegion>> regions_;
+};
+
+}  // namespace rdma
+
+#endif  // SRC_RDMA_NODE_H_

@@ -1,0 +1,131 @@
+// Queue pairs.
+//
+// A QueuePair executes operations against the fabric's timing model while
+// copying real bytes between memory regions. The op-support matrix follows
+// the hardware (paper Section 5): RC supports READ/WRITE/SEND, UC drops
+// READ, UD supports SEND only (addressed per-op with an AddressHandle).
+//
+// Two usage styles:
+//  * synchronous — `co_await qp.Read(...)` returns the WorkCompletion
+//    directly (post + spin-until-complete, the pattern the paper's clients
+//    use: "we always wait for an RDMA operation's completion before
+//    starting the next operation");
+//  * asynchronous — `PostRead(wr_id, ...)` returns immediately and the
+//    completion lands on the send CQ.
+
+#ifndef SRC_RDMA_QP_H_
+#define SRC_RDMA_QP_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/rdma/cq.h"
+#include "src/rdma/memory.h"
+#include "src/rdma/types.h"
+#include "src/sim/task.h"
+
+namespace rdma {
+
+class Fabric;
+class Node;
+
+class QueuePair {
+ public:
+  QueuePair(Fabric* fabric, QpType type, uint32_t qp_num, Node* local, Node* peer,
+            CompletionQueue* send_cq, CompletionQueue* recv_cq)
+      : fabric_(fabric), type_(type), qp_num_(qp_num), local_(local), peer_(peer),
+        send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  QpType type() const { return type_; }
+  uint32_t qp_num() const { return qp_num_; }
+  Node* local_node() const { return local_; }
+  Node* peer_node() const { return peer_; }
+  CompletionQueue* send_cq() const { return send_cq_; }
+  CompletionQueue* recv_cq() const { return recv_cq_; }
+
+  // ---- Synchronous one-sided operations -----------------------------------
+
+  // RDMA READ: fetches `len` bytes from (rkey, remote_off) on the connected
+  // peer into `local` at `local_off`.
+  sim::Task<WorkCompletion> Read(MemoryRegion& local, size_t local_off, RemoteKey rkey,
+                                 size_t remote_off, uint32_t len);
+
+  // RDMA WRITE: pushes `len` bytes from `local` at `local_off` into
+  // (rkey, remote_off) on the connected peer.
+  sim::Task<WorkCompletion> Write(MemoryRegion& local, size_t local_off, RemoteKey rkey,
+                                  size_t remote_off, uint32_t len);
+
+  // ---- Synchronous two-sided operations ------------------------------------
+
+  // SEND on a connected QP (RC/UC): consumes a posted RECV at the peer.
+  sim::Task<WorkCompletion> Send(MemoryRegion& local, size_t local_off, uint32_t len);
+
+  // SEND on a UD QP to an explicit destination.
+  sim::Task<WorkCompletion> SendTo(AddressHandle ah, MemoryRegion& local, size_t local_off,
+                                   uint32_t len);
+
+  // Posts a receive buffer; incoming SENDs consume buffers in FIFO order and
+  // deliver a kRecv completion (with the data length) to the recv CQ.
+  void PostRecv(uint64_t wr_id, MemoryRegion& mr, size_t offset, uint32_t capacity);
+
+  size_t recv_queue_depth() const { return recv_queue_.size(); }
+
+  // Incoming unreliable messages dropped because no RECV was posted
+  // (invisible to the sender; the application-level symptom is a timeout).
+  uint64_t dropped_no_recv() const { return dropped_no_recv_; }
+
+  // ---- Asynchronous posts (completion delivered to the send CQ) -----------
+
+  void PostRead(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
+                size_t remote_off, uint32_t len);
+  void PostWrite(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
+                 size_t remote_off, uint32_t len);
+  void PostSend(uint64_t wr_id, MemoryRegion& local, size_t local_off, uint32_t len);
+
+ private:
+  friend class Fabric;
+
+  struct PostedRecv {
+    uint64_t wr_id;
+    MemoryRegion* mr;
+    size_t offset;
+    uint32_t capacity;
+  };
+
+  // Tracks this QP's outstanding-op count and registers the QP as an active
+  // poster on the NIC only on 0<->1 transitions: the per-node contention
+  // term counts posting contexts, not pipelined ops (a deep async pipeline
+  // on one QP is one context).
+  void BeginOp();
+  void EndOp();
+
+  // Detached continuation carrying an unacknowledged UC WRITE to its target.
+  sim::Task<void> DeliverUcWrite(RemoteKey rkey, size_t remote_off,
+                                 std::vector<std::byte> payload);
+  // Detached continuation delivering a SEND (UC or UD) to a destination QP.
+  sim::Task<void> DeliverSend(QueuePair* dst, std::vector<std::byte> payload, bool reliable);
+  // Consumes the head RECV buffer of `dst` and pushes the recv completion.
+  void DeliverIntoRecv(QueuePair* dst, const std::vector<std::byte>& payload, uint32_t src_qpn);
+
+  uint32_t PeerQpNum() const;
+
+  Fabric* fabric_;
+  QpType type_;
+  uint32_t qp_num_;
+  Node* local_;
+  Node* peer_;  // nullptr for UD
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  uint32_t peer_qp_num_ = 0;  // set by the fabric when connecting RC/UC pairs
+  int outstanding_ops_ = 0;
+  uint64_t dropped_no_recv_ = 0;
+  std::deque<PostedRecv> recv_queue_;
+};
+
+}  // namespace rdma
+
+#endif  // SRC_RDMA_QP_H_

@@ -1,0 +1,75 @@
+// Core vocabulary types for the simulated RDMA fabric.
+//
+// Names deliberately mirror the InfiniBand verbs API (queue pairs, work
+// requests, work completions, rkeys) so that code written against this
+// substrate reads like code written against libibverbs.
+
+#ifndef SRC_RDMA_TYPES_H_
+#define SRC_RDMA_TYPES_H_
+
+#include <cstdint>
+
+namespace rdma {
+
+// Transport service types. Only RC supports both one-sided READ and WRITE;
+// UC drops READ; UD supports two-sided SEND/RECV only (paper Section 5).
+enum class QpType : uint8_t {
+  kRc,  // Reliable Connection
+  kUc,  // Unreliable Connection
+  kUd,  // Unreliable Datagram
+};
+
+enum class Opcode : uint8_t {
+  kRead,   // one-sided RDMA READ
+  kWrite,  // one-sided RDMA WRITE
+  kSend,   // two-sided SEND (consumes a posted RECV at the responder)
+  kRecv,   // receive completion (responder side)
+};
+
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kUnsupportedOp,      // opcode not valid for this QP type
+  kRemoteAccessError,  // bad rkey, out-of-bounds, or missing access rights
+  kRnrRetryExceeded,   // RC SEND with no posted RECV at the responder
+  kLocalProtError,     // local buffer out of bounds
+};
+
+const char* WcStatusName(WcStatus status);
+const char* OpcodeName(Opcode op);
+const char* QpTypeName(QpType type);
+
+// Completion record, delivered on the requester (send) or responder (recv)
+// completion queue.
+struct WorkCompletion {
+  uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  Opcode opcode = Opcode::kRead;
+  uint32_t byte_len = 0;
+  uint32_t qp_num = 0;
+  // Immediate-style tag carried by SEND (used to identify the sender).
+  uint32_t src_qp_num = 0;
+
+  bool ok() const { return status == WcStatus::kSuccess; }
+};
+
+// Memory access permissions, combinable as a bitmask.
+enum AccessFlags : uint32_t {
+  kAccessLocal = 0,
+  kAccessRemoteRead = 1u << 0,
+  kAccessRemoteWrite = 1u << 1,
+};
+
+// Opaque handle a peer uses to address a registered memory region.
+struct RemoteKey {
+  uint32_t rkey = 0;
+};
+
+// Datagram destination for UD SENDs (the verbs "address handle").
+struct AddressHandle {
+  uint32_t node_id = 0;
+  uint32_t qp_num = 0;
+};
+
+}  // namespace rdma
+
+#endif  // SRC_RDMA_TYPES_H_

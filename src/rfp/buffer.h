@@ -1,0 +1,57 @@
+// Registered-buffer pool: the paper's malloc_buf / free_buf (Table 2).
+//
+// RDMA requires message memory to be registered with the RNIC, and
+// registration is expensive, so the pool recycles freed regions by
+// power-of-two size class instead of re-registering.
+
+#ifndef SRC_RFP_BUFFER_H_
+#define SRC_RFP_BUFFER_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdma/memory.h"
+#include "src/rdma/node.h"
+
+namespace rfp {
+
+class BufferPool {
+ public:
+  struct Buffer {
+    rdma::MemoryRegion* mr = nullptr;
+    std::span<std::byte> bytes;
+
+    bool valid() const { return mr != nullptr; }
+  };
+
+  explicit BufferPool(rdma::Node& node, uint32_t access = rdma::kAccessRemoteRead |
+                                                          rdma::kAccessRemoteWrite)
+      : node_(node), access_(access) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a registered buffer of at least `size` bytes (paper: malloc_buf).
+  Buffer MallocBuf(size_t size);
+
+  // Returns the buffer to the pool for reuse (paper: free_buf).
+  void FreeBuf(Buffer buffer);
+
+  uint64_t registrations() const { return registrations_; }
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  static size_t SizeClass(size_t size);
+
+  rdma::Node& node_;
+  uint32_t access_;
+  uint64_t registrations_ = 0;
+  uint64_t reuses_ = 0;
+  std::unordered_map<size_t, std::vector<rdma::MemoryRegion*>> free_lists_;
+};
+
+}  // namespace rfp
+
+#endif  // SRC_RFP_BUFFER_H_

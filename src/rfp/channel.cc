@@ -1,0 +1,227 @@
+#include "src/rfp/channel.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace rfp {
+
+namespace {
+
+void CheckOk(const rdma::WorkCompletion& wc, const char* what) {
+  if (!wc.ok()) {
+    throw std::runtime_error(std::string("rfp channel: ") + what + " failed: " +
+                             rdma::WcStatusName(wc.status));
+  }
+}
+
+}  // namespace
+
+Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
+                 const RfpOptions& options)
+    : engine_(fabric.engine()), options_(options) {
+  block_bytes_ = kHeaderBytes + options_.max_message_bytes;
+  resp_offset_ = block_bytes_;
+  auto [cqp, sqp] = fabric.ConnectRc(client, server);
+  client_qp_ = cqp;
+  server_qp_ = sqp;
+  // Request block is remotely written; response block is remotely read.
+  server_mr_ = server.RegisterMemory(2 * block_bytes_,
+                                     rdma::kAccessRemoteRead | rdma::kAccessRemoteWrite);
+  // Landing block is remotely written by reply pushes.
+  client_mr_ = client.RegisterMemory(2 * block_bytes_, rdma::kAccessRemoteWrite);
+  if (options_.force_mode == RfpOptions::ForceMode::kForceReply) {
+    mode_ = Mode::kServerReply;
+  }
+  set_fetch_size(options_.fetch_size);
+}
+
+void Channel::set_fetch_size(uint32_t f) {
+  options_.fetch_size =
+      std::clamp<uint32_t>(f, kHeaderBytes, static_cast<uint32_t>(block_bytes_));
+}
+
+ResponseHeader Channel::LandingHeader() const {
+  return client_mr_->Load<ResponseHeader>(resp_offset_);
+}
+
+Mode Channel::server_visible_mode() const {
+  return static_cast<Mode>(server_mr_->Load<uint8_t>(kRequestModeOffset));
+}
+
+sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg) {
+  if (msg.size() > options_.max_message_bytes) {
+    throw std::invalid_argument("rfp channel: request exceeds max_message_bytes");
+  }
+  const sim::Time start = engine_.now();
+  if (++seq_ == 0) {
+    ++seq_;  // reserve 0 for "never used"
+  }
+  RequestHeader header;
+  header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
+  header.seq = seq_;
+  header.mode = static_cast<uint8_t>(mode_);
+  client_mr_->Store(0, header);
+  client_mr_->WriteBytes(kHeaderBytes, msg);
+  rdma::WorkCompletion wc =
+      co_await client_qp_->Write(*client_mr_, 0, server_mr_->remote_key(), 0,
+                                 kHeaderBytes + static_cast<uint32_t>(msg.size()));
+  CheckOk(wc, "request write");
+  ++stats_.calls;
+  ++stats_.request_writes;
+  client_busy_.AddBusy(engine_.now() - start);
+}
+
+sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
+  const sim::Time start = engine_.now();
+
+  if (mode_ == Mode::kServerReply) {
+    co_return co_await AwaitReply(out);
+  }
+
+  // Remote-fetch path: spin on RDMA READs of F bytes.
+  const uint32_t f = options_.fetch_size;
+  int failed = 0;
+  while (true) {
+    rdma::WorkCompletion wc =
+        co_await client_qp_->Read(*client_mr_, resp_offset_, server_mr_->remote_key(),
+                                  resp_offset_, f);
+    CheckOk(wc, "result fetch");
+    ++stats_.fetch_reads;
+    const ResponseHeader header = LandingHeader();
+    if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
+      const uint32_t size = wire::UnpackSize(header.size_status);
+      if (size > out.size()) {
+        throw std::length_error("rfp channel: response larger than output buffer");
+      }
+      if (size + kHeaderBytes > f) {
+        // The inline fetch was short: one more READ collects the remainder.
+        rdma::WorkCompletion wc2 = co_await client_qp_->Read(
+            *client_mr_, resp_offset_ + f, server_mr_->remote_key(), resp_offset_ + f,
+            size + kHeaderBytes - f);
+        CheckOk(wc2, "remainder fetch");
+        ++stats_.fetch_reads;
+        ++stats_.extra_fetches;
+      }
+      client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
+      last_server_time_us_ = header.time_us;
+      stats_.retries_per_call.Record(failed);
+      // ">= R" to stay consistent with the mid-call switch check, which
+      // already treats a call as slow the moment it reaches R failures.
+      slow_streak_ = failed >= options_.retry_threshold ? slow_streak_ + 1 : 0;
+      client_busy_.AddBusy(engine_.now() - start);
+      co_return size;
+    }
+    ++failed;
+    ++stats_.failed_fetches;
+    if (failed == options_.retry_threshold && adaptive() &&
+        slow_streak_ + 1 >= options_.slow_calls_before_switch) {
+      // This call and its predecessors were all slow: fall back.
+      stats_.retries_per_call.Record(failed);
+      client_busy_.AddBusy(engine_.now() - start);
+      co_await SwitchToReply();
+      co_return co_await AwaitReply(out);
+    }
+  }
+}
+
+sim::Task<void> Channel::SwitchToReply() {
+  mode_ = Mode::kServerReply;
+  slow_streak_ = 0;
+  fast_streak_ = 0;
+  ++stats_.switches_to_reply;
+  // Publish the new mode to the server with a one-byte WRITE into the
+  // request block's mode field.
+  client_mr_->Store<uint8_t>(kRequestModeOffset, static_cast<uint8_t>(Mode::kServerReply));
+  rdma::WorkCompletion wc = co_await client_qp_->Write(
+      *client_mr_, kRequestModeOffset, server_mr_->remote_key(), kRequestModeOffset, 1);
+  CheckOk(wc, "mode switch write");
+}
+
+sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
+  while (true) {
+    const ResponseHeader header = LandingHeader();
+    if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
+      const uint32_t size = wire::UnpackSize(header.size_status);
+      if (size > out.size()) {
+        throw std::length_error("rfp channel: response larger than output buffer");
+      }
+      client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
+      client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+      FinishReplyCall(header);
+      co_return size;
+    }
+    client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+    co_await engine_.Sleep(options_.reply_poll_interval_ns);
+  }
+}
+
+void Channel::FinishReplyCall(const ResponseHeader& header) {
+  last_server_time_us_ = header.time_us;
+  if (!adaptive()) {
+    return;
+  }
+  if (header.time_us <= options_.switch_back_us) {
+    if (++fast_streak_ >= options_.fast_calls_before_switch_back) {
+      mode_ = Mode::kRemoteFetch;
+      fast_streak_ = 0;
+      slow_streak_ = 0;
+      ++stats_.switches_to_fetch;
+      // The next request header carries the new mode; no extra write needed.
+    }
+  } else {
+    fast_streak_ = 0;
+  }
+}
+
+bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
+  const RequestHeader header = server_mr_->Load<RequestHeader>(0);
+  if (!wire::UnpackStatus(header.size_status) || header.seq == last_recv_seq_) {
+    return false;
+  }
+  const uint32_t payload = wire::UnpackSize(header.size_status);
+  if (payload > out.size()) {
+    throw std::length_error("rfp channel: request larger than server buffer");
+  }
+  server_mr_->ReadBytes(kHeaderBytes, out.subspan(0, payload));
+  *size = payload;
+  last_recv_seq_ = header.seq;
+  recv_time_ = engine_.now();
+  return true;
+}
+
+sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
+  if (msg.size() > options_.max_message_bytes) {
+    throw std::invalid_argument("rfp channel: response exceeds max_message_bytes");
+  }
+  ResponseHeader header;
+  header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
+  header.time_us = SaturateTimeUs(engine_.now() - recv_time_);
+  header.seq = last_recv_seq_;
+  server_mr_->Store(resp_offset_, header);
+  server_mr_->WriteBytes(resp_offset_ + kHeaderBytes, msg);
+  last_resp_seq_ = last_recv_seq_;
+  last_resp_size_ = static_cast<uint32_t>(msg.size());
+  response_pushed_ = false;
+  if (server_visible_mode() == Mode::kServerReply) {
+    co_await PushReply();
+  }
+}
+
+sim::Task<void> Channel::PushReply() {
+  rdma::WorkCompletion wc =
+      co_await server_qp_->Write(*server_mr_, resp_offset_, client_mr_->remote_key(),
+                                 resp_offset_, kHeaderBytes + last_resp_size_);
+  CheckOk(wc, "reply push");
+  response_pushed_ = true;
+  ++stats_.reply_pushes;
+}
+
+sim::Task<void> Channel::MaybeResendAfterSwitch() {
+  if (!response_pushed_ && last_resp_seq_ != 0 &&
+      server_visible_mode() == Mode::kServerReply) {
+    co_await PushReply();
+  }
+}
+
+}  // namespace rfp

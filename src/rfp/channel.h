@@ -1,0 +1,168 @@
+// The RFP channel: one client thread <-> one server thread message pipe
+// implementing the paper's four primitives (Table 2) and the hybrid
+// remote-fetch / server-reply state machine (Section 3.2).
+//
+// Data path (paper Fig 7):
+//
+//   client_send  — RDMA WRITE of [RequestHeader|payload] into the server's
+//                  request block (in-bound at the server).
+//   server_recv  — the server thread polls its local request block.
+//   server_send  — the server stores [ResponseHeader|payload] into its local
+//                  response block; in server-reply mode it additionally RDMA
+//                  WRITEs the response to the client (out-bound).
+//   client_recv  — in remote-fetch mode the client repeatedly RDMA READs
+//                  `fetch_size` bytes of the response block until the header
+//                  matches its call sequence (in-bound at the server); if the
+//                  response exceeds the fetch size, one more READ collects
+//                  the remainder. In server-reply mode the client polls its
+//                  local landing buffer.
+//
+// Mode machine: after `slow_calls_before_switch` consecutive calls exceed
+// `retry_threshold` failed fetches, the client flips the channel to
+// server-reply (a one-byte RDMA WRITE updates the server-visible mode flag
+// mid-call). While replying, the server stamps its process time into each
+// response header; once `fast_calls_before_switch_back` consecutive replies
+// report a process time at or below `switch_back_us`, the client returns to
+// remote fetching (the next request header carries the new mode).
+
+#ifndef SRC_RFP_CHANNEL_H_
+#define SRC_RFP_CHANNEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/rdma/fabric.h"
+#include "src/rdma/memory.h"
+#include "src/rdma/qp.h"
+#include "src/rfp/options.h"
+#include "src/rfp/wire.h"
+#include "src/sim/cpu.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace rfp {
+
+class Channel {
+ public:
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t request_writes = 0;   // client_send RDMA WRITEs
+    uint64_t fetch_reads = 0;      // all client_recv RDMA READs
+    uint64_t failed_fetches = 0;   // READs that found no matching response
+    uint64_t extra_fetches = 0;    // second READs because size > fetch size
+    uint64_t reply_pushes = 0;     // server out-bound reply WRITEs
+    uint64_t switches_to_reply = 0;
+    uint64_t switches_to_fetch = 0;
+    // Failed-retry count per completed remote-fetch call (Table 3).
+    sim::Histogram retries_per_call;
+
+    // Average RDMA round trips needed per completed call (paper Section 4.3
+    // reports 2.005 for Jakiro).
+    double RoundTripsPerCall() const {
+      if (calls == 0) {
+        return 0.0;
+      }
+      return static_cast<double>(request_writes + fetch_reads + reply_pushes) /
+             static_cast<double>(calls);
+    }
+  };
+
+  // Builds a channel between `client` and `server`, registering the request/
+  // response blocks on the server and the staging/landing blocks on the
+  // client, connected by a dedicated RC queue pair.
+  Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
+          const RfpOptions& options);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // ---- Client-side primitives ----------------------------------------------
+
+  // Sends one request message. Pairs 1:1 with a following ClientRecv.
+  sim::Task<void> ClientSend(std::span<const std::byte> msg);
+
+  // Receives the response for the last ClientSend into `out`; returns the
+  // payload size. `out` must hold at least max_message_bytes.
+  sim::Task<size_t> ClientRecv(std::span<std::byte> out);
+
+  // ---- Server-side primitives ----------------------------------------------
+
+  // Non-blocking poll of the request block. On success copies the payload
+  // into `out`, stores its size in `*size`, and returns true.
+  bool TryServerRecv(std::span<std::byte> out, size_t* size);
+
+  // Publishes the response for the last received request.
+  sim::Task<void> ServerSend(std::span<const std::byte> msg);
+
+  // True when the last response was stored locally but never pushed while
+  // the client is (now) in server-reply mode — the switch race. Cheap; sweep
+  // loops use it to gate MaybeResendAfterSwitch.
+  bool NeedsReplyResend() const {
+    return !response_pushed_ && last_resp_seq_ != 0 &&
+           server_visible_mode() == Mode::kServerReply;
+  }
+
+  // Re-pushes the last response if the client switched to server-reply after
+  // the response was stored locally (closing the switch race). Server sweep
+  // loops call this when NeedsReplyResend() is true.
+  sim::Task<void> MaybeResendAfterSwitch();
+
+  // ---- Introspection ---------------------------------------------------------
+
+  Mode client_mode() const { return mode_; }
+  // Mode as currently visible to the server (via the request-block flag).
+  Mode server_visible_mode() const;
+  const Stats& stats() const { return stats_; }
+  sim::BusyMeter& client_busy() { return client_busy_; }
+  uint16_t last_server_time_us() const { return last_server_time_us_; }
+  const RfpOptions& options() const { return options_; }
+
+  // Adjusts F at runtime (used when the parameter selector re-tunes).
+  void set_fetch_size(uint32_t f);
+
+  rdma::Node* client_node() const { return client_qp_->local_node(); }
+  rdma::Node* server_node() const { return server_qp_->local_node(); }
+
+ private:
+  bool adaptive() const { return options_.force_mode == RfpOptions::ForceMode::kAdaptive; }
+
+  ResponseHeader LandingHeader() const;
+  // Flips the channel to server-reply and tells the server (1-byte WRITE).
+  sim::Task<void> SwitchToReply();
+  // Polls the local landing buffer until the reply for `seq_` arrives.
+  sim::Task<size_t> AwaitReply(std::span<std::byte> out);
+  // Books completion of a reply-mode call and evaluates switch-back.
+  void FinishReplyCall(const ResponseHeader& header);
+  // Pushes the response stored for `last_resp_seq_` to the client.
+  sim::Task<void> PushReply();
+
+  sim::Engine& engine_;
+  RfpOptions options_;
+  rdma::QueuePair* client_qp_;  // client-side endpoint of the RC pair
+  rdma::QueuePair* server_qp_;  // server-side endpoint of the RC pair
+  rdma::MemoryRegion* server_mr_;  // [request block][response block]
+  rdma::MemoryRegion* client_mr_;  // [staging block][landing block]
+  size_t block_bytes_;             // bytes per block (header + max message)
+  size_t resp_offset_;             // offset of the response block / landing
+
+  // Client state.
+  uint16_t seq_ = 0;
+  Mode mode_ = Mode::kRemoteFetch;
+  int slow_streak_ = 0;
+  int fast_streak_ = 0;
+  uint16_t last_server_time_us_ = 0;
+  sim::BusyMeter client_busy_;
+
+  // Server state.
+  uint16_t last_recv_seq_ = 0;
+  uint16_t last_resp_seq_ = 0;
+  bool response_pushed_ = true;  // no unsent response outstanding
+  sim::Time recv_time_ = 0;
+  uint32_t last_resp_size_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace rfp
+
+#endif  // SRC_RFP_CHANNEL_H_

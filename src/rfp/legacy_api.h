@@ -1,0 +1,104 @@
+// The paper's Table 2 interface, verbatim.
+//
+// RFP's porting story is that an RPC library moves from TCP/IP sockets to
+// RDMA by swapping send/recv primitives. This header provides exactly the
+// six functions of Table 2 as thin wrappers over Channel and BufferPool, so
+// code written against the paper's API compiles against this library:
+//
+//   client_send(server_id, local_buf, size)  client -> server request
+//   client_recv(server_id, local_buf)        remote-fetch the result
+//   server_send(client_id, local_buf, size)  publish the result
+//   server_recv(client_id, local_buf)        poll for a request
+//   malloc_buf(size) / free_buf(local_buf)   registered buffers
+//
+// An Endpoint maps the paper's integer peer ids onto channels. The OO
+// Channel API remains the primary interface; this one exists for legacy
+// call sites and for tests that pin the paper's calling convention.
+
+#ifndef SRC_RFP_LEGACY_API_H_
+#define SRC_RFP_LEGACY_API_H_
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/rfp/buffer.h"
+#include "src/rfp/channel.h"
+#include "src/sim/task.h"
+
+namespace rfp {
+
+// Registry translating the paper's peer ids to channels. A client endpoint
+// registers one channel per server id; a server endpoint one per client id.
+class Endpoint {
+ public:
+  explicit Endpoint(rdma::Node& node) : pool_(node) {}
+
+  // Binds `peer_id` to a channel; ids are dense small integers.
+  void Bind(int peer_id, Channel* channel) {
+    if (peer_id < 0) {
+      throw std::invalid_argument("rfp endpoint: negative peer id");
+    }
+    if (static_cast<size_t>(peer_id) >= channels_.size()) {
+      channels_.resize(static_cast<size_t>(peer_id) + 1, nullptr);
+    }
+    channels_[static_cast<size_t>(peer_id)] = channel;
+  }
+
+  Channel* channel(int peer_id) const {
+    if (peer_id < 0 || static_cast<size_t>(peer_id) >= channels_.size() ||
+        channels_[static_cast<size_t>(peer_id)] == nullptr) {
+      throw std::out_of_range("rfp endpoint: unknown peer id");
+    }
+    return channels_[static_cast<size_t>(peer_id)];
+  }
+
+  BufferPool& pool() { return pool_; }
+
+ private:
+  BufferPool pool_;
+  std::vector<Channel*> channels_;
+};
+
+// ---- Table 2, row by row -----------------------------------------------------
+
+// client sends message (kept in local_buf) to server's memory through
+// RDMA-write.
+inline sim::Task<void> client_send(Endpoint& ep, int server_id, const BufferPool::Buffer& local_buf,
+                                   size_t size) {
+  return ep.channel(server_id)->ClientSend(local_buf.bytes.subspan(0, size));
+}
+
+// client remotely fetches message from server's memory into local_buf
+// through RDMA-read; returns the message size.
+inline sim::Task<size_t> client_recv(Endpoint& ep, int server_id, BufferPool::Buffer& local_buf) {
+  return ep.channel(server_id)->ClientRecv(local_buf.bytes);
+}
+
+// server puts message for client into local_buf (and, in server-reply mode,
+// pushes it to the client).
+inline sim::Task<void> server_send(Endpoint& ep, int client_id, const BufferPool::Buffer& local_buf,
+                                   size_t size) {
+  return ep.channel(client_id)->ServerSend(local_buf.bytes.subspan(0, size));
+}
+
+// server receives message from local_buf; returns the size, or false when no
+// request is pending (non-blocking, as the server busy-polls its buffers).
+inline bool server_recv(Endpoint& ep, int client_id, BufferPool::Buffer& local_buf,
+                        size_t* size) {
+  return ep.channel(client_id)->TryServerRecv(local_buf.bytes, size);
+}
+
+// allocate local buffers that are registered in the RNIC for message
+// transferring through RDMA.
+inline BufferPool::Buffer malloc_buf(Endpoint& ep, size_t size) {
+  return ep.pool().MallocBuf(size);
+}
+
+// free local_buf that is allocated with malloc_buf.
+inline void free_buf(Endpoint& ep, BufferPool::Buffer buf) { ep.pool().FreeBuf(buf); }
+
+}  // namespace rfp
+
+#endif  // SRC_RFP_LEGACY_API_H_

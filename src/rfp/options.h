@@ -1,0 +1,76 @@
+// Tunables of the Remote Fetching Paradigm (paper Section 3.2).
+
+#ifndef SRC_RFP_OPTIONS_H_
+#define SRC_RFP_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace rfp {
+
+struct RfpOptions {
+  // R: failed remote-fetch retries tolerated per call before the call counts
+  // as "slow". The paper derives R <= N = 5 for its hardware.
+  int retry_threshold = 5;
+
+  // F: default fetch size in bytes, including the 8-byte response header.
+  // One RDMA READ completes the call whenever header+payload <= F.
+  // Must lie in [L, H] of the hardware profile; the paper uses 256 for
+  // 32-byte values and 640 for mixed-size workloads.
+  uint32_t fetch_size = 256;
+
+  // Paradigm switch hysteresis: only fall back to server-reply after this
+  // many *consecutive* calls exceeded retry_threshold (paper: two), so rare
+  // stragglers do not flap the mode.
+  int slow_calls_before_switch = 2;
+
+  // Switch back to remote fetching when the server-reported process time
+  // drops to or below this bound for `fast_calls_before_switch_back`
+  // consecutive replies. 7 us is the paper's fetch-vs-reply crossover.
+  uint16_t switch_back_us = 7;
+  int fast_calls_before_switch_back = 2;
+
+  // Largest message (request or response payload) a channel can carry.
+  uint32_t max_message_bytes = 8192 + 64;
+
+  // Forces a fixed paradigm, disabling the hybrid switch. Used by the
+  // ServerReply baseline ("Jakiro w/o switch" in Fig 14 uses kForceFetch).
+  enum class ForceMode : uint8_t { kAdaptive, kForceFetch, kForceReply };
+  ForceMode force_mode = ForceMode::kAdaptive;
+
+  // Client-side polling cadence while waiting in server-reply mode: the
+  // client checks its local response landing every interval, costing
+  // `reply_poll_cpu_ns` of CPU per check (this is what drops client CPU
+  // below 30% in Fig 15).
+  sim::Time reply_poll_interval_ns = 1000;
+  sim::Time reply_poll_cpu_ns = 30;
+};
+
+struct ServerOptions {
+  // Largest message any accepted channel may carry. The per-thread dispatch
+  // buffers are sized once from this (suspended handlers hold spans into
+  // them, so they must never reallocate).
+  uint32_t max_message_bytes = 8192 + 64;
+  // CPU cost of unpacking a request, dispatching, and packing the response
+  // (excluding the handler's own process time).
+  sim::Time dispatch_cpu_ns = 150;
+  // Straggler model: a small fraction of requests take unexpectedly long on
+  // the server (cache misses, interrupts — the paper's Section 3.2 reports
+  // ~0.2% of requests with unexpectedly long process time, which is what
+  // produces the 4-9 fetch-retry tail of Table 3 and the 15-17 us latency
+  // outliers of Section 4.4.2).
+  double straggler_prob = 0.0004;
+  sim::Time straggler_extra_ns = 9000;
+  uint64_t straggler_seed = 0x5247;  // "RG"
+  // CPU cost of scanning one channel's request header during a poll sweep.
+  sim::Time poll_cpu_per_channel_ns = 10;
+  // Idle back-off between sweeps that found no request.
+  sim::Time idle_sleep_ns = 200;
+  // Per-byte cost of copying payloads in and out of RFP buffers.
+  double copy_cpu_ns_per_byte = 0.02;
+};
+
+}  // namespace rfp
+
+#endif  // SRC_RFP_OPTIONS_H_

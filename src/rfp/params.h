@@ -1,0 +1,120 @@
+// Parameter selection for RFP (paper Section 3.2).
+//
+// The paper reduces "when should clients stop fetching" and "how much should
+// they fetch" to choosing R (retry threshold) and F (fetch size), bounded by
+// hardware knees:
+//
+//   * F must lie in [L, H]: below L the RNIC's per-op startup cost hides any
+//     size reduction; above H fetching loses to bandwidth/out-bound parity.
+//   * R must lie in [1, N]: past N retries a call has been outstanding
+//     longer than the fetch-vs-reply crossover P*, so continuing to spin
+//     buys <10% throughput while doubling client CPU (Fig 9).
+//
+// Within those bounds an enumeration evaluates Eq 2 over sampled result
+// sizes (and optionally process times) and picks the maximizing pair.
+
+#ifndef SRC_RFP_PARAMS_H_
+#define SRC_RFP_PARAMS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/rdma/config.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace rfp {
+
+struct IopsPoint {
+  uint32_t size;  // fetch size in bytes
+  double mops;    // measured in-bound READ IOPS at that size
+};
+
+// The hardware envelope, measured once per deployment (paper: "tested by
+// running benchmarks only once").
+struct HardwareProfile {
+  std::vector<IopsPoint> inbound_read;  // ascending by size
+  double outbound_write_mops = 0.0;     // saturated out-bound WRITE rate
+  double fetch_rtt_ns = 0.0;            // one small-fetch round trip
+
+  // Linear interpolation over the measured points (clamped at the ends).
+  double InboundMopsAt(uint32_t size) const;
+};
+
+struct ProfileOptions {
+  std::vector<uint32_t> sizes = {16,  32,  64,   128,  256,  384,  512,
+                                 640, 768, 1024, 1536, 2048, 4096, 8192};
+  sim::Time window = sim::Millis(1);
+  int client_nodes = 7;
+  int threads_per_node = 4;
+  int outbound_threads = 4;
+};
+
+// Runs the micro-benchmarks on a private fabric built from `config` and
+// returns the measured envelope.
+HardwareProfile MeasureProfile(const rdma::FabricConfig& config, const ProfileOptions& opts = {});
+
+// L: the largest measured size still within `flat_tolerance` of the
+// small-size IOPS peak (fetching less than L buys nothing).
+uint32_t DetectL(const HardwareProfile& profile, double flat_tolerance = 0.02);
+
+// H: the largest measured size where remote fetching still beats
+// server-reply by at least `advantage_margin` (in-bound/out-bound ratio).
+uint32_t DetectH(const HardwareProfile& profile, double advantage_margin = 1.50);
+
+// N: retries that fit within the fetch-vs-reply crossover P*, where
+// P* = server_threads / (outbound_mops * (1 + gain_threshold)) — beyond it
+// repeated fetching gains < gain_threshold over server-reply (Fig 9).
+int DeriveRetryBound(const HardwareProfile& profile, int server_threads = 16,
+                     double gain_threshold = 0.10);
+
+struct ParamChoice {
+  int retry_threshold = 5;    // R
+  uint32_t fetch_size = 256;  // F (includes the 8-byte response header)
+  double predicted_score = 0.0;
+};
+
+struct SelectorConfig {
+  uint32_t header_bytes = 8;
+  int max_retry = 0;       // 0 -> DeriveRetryBound
+  uint32_t l = 0;          // 0 -> DetectL
+  uint32_t h = 0;          // 0 -> DetectH
+  uint32_t size_step = 64; // enumeration granularity inside [L, H]
+  int server_threads = 16;
+};
+
+// Eq 2 enumeration. For each candidate (R, F):
+//   T(R,F) = sum_i Ti,   Ti = I(F)      if header+S_i <= F   (one fetch)
+//                        Ti = I(F)/2    otherwise            (two fetches)
+// When process-time samples are provided, calls whose P exceeds R fetch
+// round trips are scored at the server-reply (out-bound) rate instead,
+// which is what makes R matter in the enumeration.
+ParamChoice SelectParameters(const HardwareProfile& profile,
+                             std::span<const uint32_t> result_sizes,
+                             std::span<const sim::Time> process_times = {},
+                             const SelectorConfig& cfg = {});
+
+// Reservoir sampler feeding SelectParameters during a run (paper: pre-run
+// or periodic on-line sampling).
+class OnlineSampler {
+ public:
+  OnlineSampler(size_t capacity, uint64_t seed) : capacity_(capacity), rng_(seed) {}
+
+  void Record(uint32_t result_size, sim::Time process_ns);
+
+  uint64_t observed() const { return observed_; }
+  std::span<const uint32_t> sizes() const { return sizes_; }
+  std::span<const sim::Time> times() const { return times_; }
+
+ private:
+  size_t capacity_;
+  sim::Rng rng_;
+  uint64_t observed_ = 0;
+  std::vector<uint32_t> sizes_;
+  std::vector<sim::Time> times_;
+};
+
+}  // namespace rfp
+
+#endif  // SRC_RFP_PARAMS_H_

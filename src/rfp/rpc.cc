@@ -1,0 +1,149 @@
+#include "src/rfp/rpc.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/rfp/wire.h"
+
+namespace rfp {
+
+namespace {
+
+constexpr size_t kRpcIdBytes = sizeof(uint16_t);
+
+}  // namespace
+
+RpcServer::RpcServer(rdma::Fabric& fabric, rdma::Node& node, int num_threads,
+                     ServerOptions options)
+    : fabric_(fabric), node_(node), options_(options),
+      straggler_rng_(options.straggler_seed ^ node.id()),
+      threads_(static_cast<size_t>(num_threads)) {
+  for (ThreadState& state : threads_) {
+    state.request_buf.resize(options_.max_message_bytes);
+    state.response_buf.resize(options_.max_message_bytes);
+  }
+}
+
+namespace {
+
+// Lifts a synchronous handler into the coroutine calling convention. The
+// handler is copied into the frame as a parameter, so it cannot dangle.
+sim::Task<HandlerResult> RunSyncHandler(Handler handler, HandlerContext ctx,
+                                        std::span<const std::byte> request,
+                                        std::span<std::byte> response) {
+  co_return handler(ctx, request, response);
+}
+
+}  // namespace
+
+void RpcServer::RegisterHandler(uint16_t rpc_id, Handler handler) {
+  handlers_[rpc_id] = [h = std::move(handler)](const HandlerContext& ctx,
+                                               std::span<const std::byte> request,
+                                               std::span<std::byte> response) {
+    return RunSyncHandler(h, ctx, request, response);
+  };
+}
+
+void RpcServer::RegisterAsyncHandler(uint16_t rpc_id, AsyncHandler handler) {
+  handlers_[rpc_id] = std::move(handler);
+}
+
+Channel* RpcServer::AcceptChannel(rdma::Node& client, const RfpOptions& options, int thread) {
+  owned_channels_.push_back(std::make_unique<Channel>(fabric_, client, node_, options));
+  Channel* channel = owned_channels_.back().get();
+  ThreadState& state = threads_[static_cast<size_t>(thread)];
+  // Dispatch buffers are fixed-size (suspended handlers hold spans into
+  // them), so every channel's messages must fit the server-wide bound.
+  if (options.max_message_bytes > state.request_buf.size()) {
+    throw std::invalid_argument(
+        "rfp rpc: channel max_message_bytes exceeds ServerOptions.max_message_bytes");
+  }
+  state.channels.push_back(channel);
+  return channel;
+}
+
+void RpcServer::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (int t = 0; t < num_threads(); ++t) {
+    fabric_.engine().Spawn(ServeLoop(t));
+  }
+}
+
+sim::Task<void> RpcServer::ServeLoop(int thread_index) {
+  sim::Engine& engine = fabric_.engine();
+  ThreadState& state = threads_[static_cast<size_t>(thread_index)];
+  while (!stop_) {
+    bool any = false;
+    // One scan over this thread's channels costs CPU whether or not
+    // anything arrived (the server busy-polls, paper Section 4.1).
+    co_await engine.Sleep(options_.poll_cpu_per_channel_ns *
+                          static_cast<sim::Time>(state.channels.size() ? state.channels.size() : 1));
+    // Index-based iteration: AcceptChannel may push_back to this vector from
+    // another actor while this loop is suspended mid-body, which would
+    // invalidate range-for iterators.
+    for (size_t ci = 0; ci < state.channels.size(); ++ci) {
+      Channel* channel = state.channels[ci];
+      if (channel->NeedsReplyResend()) {
+        co_await channel->MaybeResendAfterSwitch();
+      }
+      size_t request_size = 0;
+      if (!channel->TryServerRecv(state.request_buf, &request_size)) {
+        continue;
+      }
+      any = true;
+      if (request_size < kRpcIdBytes) {
+        throw std::runtime_error("rfp rpc: runt request");
+      }
+      uint16_t rpc_id = 0;
+      std::memcpy(&rpc_id, state.request_buf.data(), kRpcIdBytes);
+      auto it = handlers_.find(rpc_id);
+      if (it == handlers_.end()) {
+        throw std::runtime_error("rfp rpc: no handler for id " + std::to_string(rpc_id));
+      }
+      const std::span<const std::byte> payload(state.request_buf.data() + kRpcIdBytes,
+                                               request_size - kRpcIdBytes);
+      const HandlerContext ctx{thread_index};
+      const HandlerResult result = co_await it->second(ctx, payload, state.response_buf);
+      // Unpack/dispatch/pack CPU plus the handler's declared process time
+      // elapse before the response is published, so the response header's
+      // time field reports the true per-request latency on the server.
+      const double copy_cost = options_.copy_cpu_ns_per_byte *
+                               static_cast<double>(request_size + result.response_size);
+      sim::Time process = options_.dispatch_cpu_ns + static_cast<sim::Time>(copy_cost) +
+                          result.process_ns;
+      if (options_.straggler_prob > 0.0 && straggler_rng_.NextBernoulli(options_.straggler_prob)) {
+        process += options_.straggler_extra_ns;
+      }
+      co_await engine.Sleep(process);
+      co_await channel->ServerSend(
+          std::span<const std::byte>(state.response_buf.data(), result.response_size));
+      ++state.served;
+      ++requests_served_;
+    }
+    if (!any) {
+      co_await engine.Sleep(options_.idle_sleep_ns);
+    }
+  }
+}
+
+RpcClient::RpcClient(Channel* channel) : channel_(channel) {
+  scratch_.resize(kRpcIdBytes + channel->options().max_message_bytes);
+}
+
+sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> request,
+                                  std::span<std::byte> response) {
+  const sim::Time start = channel_->client_node()->fabric()->engine().now();
+  std::memcpy(scratch_.data(), &rpc_id, kRpcIdBytes);
+  std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
+  co_await channel_->ClientSend(
+      std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()));
+  const size_t n = co_await channel_->ClientRecv(response);
+  ++calls_;
+  latency_.Record(channel_->client_node()->fabric()->engine().now() - start);
+  co_return n;
+}
+
+}  // namespace rfp

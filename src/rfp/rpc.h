@@ -1,0 +1,131 @@
+// RPC on top of RFP channels (paper Fig 2 / Section 3.1).
+//
+// The server registers handlers by id; each server thread sweeps the
+// channels assigned to it (EREW: a channel belongs to exactly one thread),
+// dispatches requests, and publishes responses through Channel::ServerSend —
+// which transparently follows whatever paradigm the client side of the
+// channel is in. Clients call through RpcClient stubs exactly as they would
+// with a socket-based RPC library; this is the "legacy interface" property
+// the paper claims.
+//
+// Message format: request = [uint16 rpc_id][payload]; response = [payload].
+
+#ifndef SRC_RFP_RPC_H_
+#define SRC_RFP_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rdma/fabric.h"
+#include "src/rfp/channel.h"
+#include "src/rfp/options.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace rfp {
+
+// What a handler produced: the response payload size (already written into
+// the response span) and the simulated compute time the request costs on the
+// server (the paper's "request process time" P).
+struct HandlerResult {
+  size_t response_size = 0;
+  sim::Time process_ns = 0;
+};
+
+// Execution context a handler runs under. thread_index identifies the server
+// thread, which EREW-partitioned applications (Jakiro) use to select their
+// per-thread data partition.
+struct HandlerContext {
+  int thread_index = 0;
+};
+
+using Handler = std::function<HandlerResult(const HandlerContext& ctx,
+                                            std::span<const std::byte> request,
+                                            std::span<std::byte> response)>;
+
+// Coroutine handler: may suspend (acquire simulated locks, stage multi-step
+// updates). Used by the Pilaf and Memcached baselines.
+using AsyncHandler = std::function<sim::Task<HandlerResult>(const HandlerContext& ctx,
+                                                            std::span<const std::byte> request,
+                                                            std::span<std::byte> response)>;
+
+class RpcServer {
+ public:
+  RpcServer(rdma::Fabric& fabric, rdma::Node& node, int num_threads, ServerOptions options = {});
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  rdma::Node& node() { return node_; }
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Registers the handler for `rpc_id`. Must happen before Start().
+  void RegisterHandler(uint16_t rpc_id, Handler handler);
+  void RegisterAsyncHandler(uint16_t rpc_id, AsyncHandler handler);
+
+  // Creates a channel from `client` to this server, served by `thread`.
+  // The returned channel is owned by the server and lives as long as it.
+  Channel* AcceptChannel(rdma::Node& client, const RfpOptions& options, int thread);
+
+  // Spawns one sweep actor per server thread.
+  void Start();
+
+  // Requests loops to exit at their next sweep.
+  void Stop() { stop_ = true; }
+
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t requests_served_by(int thread) const {
+    return threads_[static_cast<size_t>(thread)].served;
+  }
+
+ private:
+  struct ThreadState {
+    std::vector<Channel*> channels;
+    uint64_t served = 0;
+    std::vector<std::byte> request_buf;
+    std::vector<std::byte> response_buf;
+  };
+
+  sim::Task<void> ServeLoop(int thread_index);
+
+  rdma::Fabric& fabric_;
+  rdma::Node& node_;
+  ServerOptions options_;
+  sim::Rng straggler_rng_;
+  bool stop_ = false;
+  bool started_ = false;
+  uint64_t requests_served_ = 0;
+  std::unordered_map<uint16_t, AsyncHandler> handlers_;
+  std::vector<ThreadState> threads_;
+  std::vector<std::unique_ptr<Channel>> owned_channels_;
+};
+
+class RpcClient {
+ public:
+  explicit RpcClient(Channel* channel);
+
+  Channel* channel() { return channel_; }
+
+  // Invokes `rpc_id` with `request`, writing the response payload into
+  // `response` and returning its size.
+  sim::Task<size_t> Call(uint16_t rpc_id, std::span<const std::byte> request,
+                         std::span<std::byte> response);
+
+  uint64_t calls() const { return calls_; }
+  const sim::Histogram& latency() const { return latency_; }
+
+ private:
+  Channel* channel_;
+  uint64_t calls_ = 0;
+  sim::Histogram latency_;
+  std::vector<std::byte> scratch_;
+};
+
+}  // namespace rfp
+
+#endif  // SRC_RFP_RPC_H_

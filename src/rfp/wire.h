@@ -1,0 +1,83 @@
+// On-the-wire layout of RFP request and response buffers (paper Fig 7).
+//
+// Each channel owns one request block and one response block in the server's
+// registered memory:
+//
+//   request block   [RequestHeader (8 B)][payload ...]      client RDMA-WRITEs
+//   response block  [ResponseHeader (8 B)][payload ...]     client RDMA-READs
+//
+// Headers follow the paper — a status bit, a 31-bit size, and (responses
+// only) a 16-bit server process time — plus a 16-bit sequence tag. The tag
+// is a correctness addition documented in DESIGN.md §5: with a bare status
+// bit, a remote fetch racing the server's next poll can observe the
+// *previous* call's response; tagging both directions with the call sequence
+// makes matching exact. The request header also carries the client's current
+// paradigm mode so the server always knows how to return results.
+
+#ifndef SRC_RFP_WIRE_H_
+#define SRC_RFP_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfp {
+
+// Which paradigm the client is currently using for this channel.
+enum class Mode : uint8_t {
+  kRemoteFetch = 0,  // client fetches results with RDMA READ (the RFP path)
+  kServerReply = 1,  // server pushes results with RDMA WRITE (fallback path)
+};
+
+inline const char* ModeName(Mode mode) {
+  return mode == Mode::kRemoteFetch ? "remote-fetch" : "server-reply";
+}
+
+namespace wire {
+
+constexpr uint32_t kStatusBit = 0x8000'0000u;
+constexpr uint32_t kSizeMask = 0x7fff'ffffu;
+
+constexpr uint32_t PackSizeStatus(uint32_t size, bool status) {
+  return (size & kSizeMask) | (status ? kStatusBit : 0);
+}
+constexpr bool UnpackStatus(uint32_t size_status) { return (size_status & kStatusBit) != 0; }
+constexpr uint32_t UnpackSize(uint32_t size_status) { return size_status & kSizeMask; }
+
+}  // namespace wire
+
+// Header the client writes (together with the payload, in one RDMA WRITE)
+// into the server's request block.
+struct RequestHeader {
+  uint32_t size_status = 0;  // bit 31: request present; bits 0-30: payload size
+  uint16_t seq = 0;          // call sequence tag
+  uint8_t mode = 0;          // Mode the client is in (also rewritten mid-call
+                             // by a 1-byte RDMA WRITE on a paradigm switch)
+  uint8_t reserved = 0;
+};
+static_assert(sizeof(RequestHeader) == 8, "request header must stay 8 bytes");
+
+// Offset of RequestHeader::mode within the request block, used for the
+// mid-call mode-switch WRITE.
+constexpr size_t kRequestModeOffset = 6;
+
+// Header the server writes in front of the result payload.
+struct ResponseHeader {
+  uint32_t size_status = 0;  // bit 31: response ready; bits 0-30: payload size
+  uint16_t time_us = 0;      // server process time, saturating microseconds
+                             // (drives the client's switch-back decision)
+  uint16_t seq = 0;          // echo of the request's sequence tag
+};
+static_assert(sizeof(ResponseHeader) == 8, "response header must stay 8 bytes");
+
+constexpr uint32_t kHeaderBytes = 8;
+
+// Saturating conversion of a process time in nanoseconds to the header's
+// microsecond field.
+constexpr uint16_t SaturateTimeUs(int64_t ns) {
+  const int64_t us = ns / 1000;
+  return us > 0xffff ? 0xffff : static_cast<uint16_t>(us < 0 ? 0 : us);
+}
+
+}  // namespace rfp
+
+#endif  // SRC_RFP_WIRE_H_

@@ -1,0 +1,61 @@
+// CPU modelling helpers.
+//
+// CpuSet time-shares a fixed number of cores among actor "threads": an actor
+// charges compute time with `co_await cpus.Compute(ns)` and is serialized
+// against other compute on the same node when all cores are busy. BusyMeter
+// accumulates per-actor busy time so client CPU utilization (paper Fig. 15)
+// can be reported as busy-time over wall-time.
+
+#ifndef SRC_SIM_CPU_H_
+#define SRC_SIM_CPU_H_
+
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+
+class CpuSet {
+ public:
+  CpuSet(Engine& engine, int cores) : engine_(engine), cores_(engine, cores) {}
+
+  int cores() const { return cores_.capacity(); }
+
+  // Occupies one core for `cpu_time` of computation (FIFO when oversubscribed).
+  Task<void> Compute(Time cpu_time) { return cores_.Use(cpu_time); }
+
+  double Utilization(Time window_start, Time window_end) const {
+    return cores_.Utilization(window_start, window_end);
+  }
+
+ private:
+  Engine& engine_;
+  Resource cores_;
+};
+
+// Accumulates the virtual time an actor spent busy (computing or spinning).
+// Utilization over a window is busy / (end - start); callers snapshot the
+// meter at window boundaries.
+class BusyMeter {
+ public:
+  void AddBusy(Time t) { busy_ += t; }
+  Time busy() const { return busy_; }
+
+  double Utilization(Time window_start, Time window_end) const {
+    if (window_end <= window_start) {
+      return 0.0;
+    }
+    double u = static_cast<double>(busy_) / static_cast<double>(window_end - window_start);
+    return u > 1.0 ? 1.0 : u;
+  }
+
+  void Reset() { busy_ = 0; }
+
+ private:
+  Time busy_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_CPU_H_

@@ -1,0 +1,90 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+namespace sim {
+
+namespace {
+
+// Fire-and-forget wrapper coroutine used by Engine::Spawn. It starts eagerly,
+// runs the wrapped task to completion, and self-destructs (final_suspend is
+// suspend_never), so the engine never has to track frames explicitly.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    // The wrapper body catches everything; reaching here is a logic error.
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+Detached RunDetached(Engine* engine, Task<void> task) {
+  std::exception_ptr failure;
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  engine->ActorDone(failure);
+}
+
+}  // namespace
+
+void Engine::ScheduleAt(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(PendingEvent{when, next_seq_++, std::move(fn)});
+}
+
+void Engine::Spawn(Task<void> task) {
+  ++live_actors_;
+  RunDetached(this, std::move(task));
+}
+
+void Engine::ActorDone(std::exception_ptr e) {
+  --live_actors_;
+  if (e && !actor_failure_) {
+    actor_failure_ = e;
+  }
+}
+
+void Engine::DispatchOne() {
+  // Moving out of the const top() is not allowed; copy the function handle
+  // out through a const_cast-free path by re-popping into a local.
+  PendingEvent ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++events_processed_;
+  ev.fn();
+}
+
+void Engine::Run() {
+  while (!queue_.empty() && !actor_failure_) {
+    DispatchOne();
+  }
+  if (actor_failure_) {
+    std::exception_ptr e = std::exchange(actor_failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+bool Engine::RunUntil(Time deadline) {
+  while (!queue_.empty() && !actor_failure_) {
+    if (queue_.top().when > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    DispatchOne();
+  }
+  if (actor_failure_) {
+    std::exception_ptr e = std::exchange(actor_failure_, nullptr);
+    std::rethrow_exception(e);
+  }
+  now_ = deadline;
+  return true;
+}
+
+}  // namespace sim

@@ -1,0 +1,124 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a priority queue of pending events.
+// Actors are coroutines (see task.h) that suspend on awaitables — Sleep(),
+// Resource::Acquire(), Event::Wait() — and are resumed by the engine when
+// their wake-up event fires. Events at equal timestamps run in FIFO order
+// (a monotonically increasing sequence number breaks ties), which makes
+// every simulation fully deterministic for a given seed.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+
+class Engine {
+ public:
+  Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current virtual time.
+  Time now() const { return now_; }
+
+  // Total events dispatched so far (useful for progress accounting in tests).
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Schedules `fn` to run at absolute virtual time `when` (clamped to now()).
+  void ScheduleAt(Time when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` nanoseconds from now.
+  void ScheduleAfter(Time delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Resumes `handle` at absolute virtual time `when`.
+  void ResumeAt(Time when, std::coroutine_handle<> handle) {
+    ScheduleAt(when, [handle] { handle.resume(); });
+  }
+
+  // Awaitable: suspends the current coroutine for `delay` virtual nanoseconds.
+  auto Sleep(Time delay) {
+    struct Awaiter {
+      Engine* engine;
+      Time delay;
+      bool await_ready() const noexcept { return delay <= 0; }
+      void await_suspend(std::coroutine_handle<> h) { engine->ResumeAt(engine->now_ + delay, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  // Awaitable: yields to any other events pending at the current instant.
+  auto Yield() {
+    struct Awaiter {
+      Engine* engine;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { engine->ResumeAt(engine->now_, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  // Launches a detached actor. The engine owns the coroutine frame and reaps
+  // it when the actor finishes; exceptions escaping the actor are captured
+  // and rethrown from Run()/RunFor()/RunUntil().
+  void Spawn(Task<void> task);
+
+  // Number of spawned actors that have not finished yet.
+  int live_actors() const { return live_actors_; }
+
+  // Runs until the event queue drains. Rethrows the first actor exception.
+  void Run();
+
+  // Runs until the event queue drains or virtual time would exceed `deadline`.
+  // Returns true if the queue drained.
+  bool RunUntil(Time deadline);
+
+  // Convenience: RunUntil(now() + duration).
+  bool RunFor(Time duration) { return RunUntil(now_ + duration); }
+
+  // Internal: invoked by the Spawn wrapper when an actor finishes (with the
+  // exception that escaped it, if any).
+  void ActorDone(std::exception_ptr e);
+
+ private:
+  struct PendingEvent {
+    Time when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  struct EventOrder {
+    bool operator()(const PendingEvent& a, const PendingEvent& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;  // min-heap on time
+      }
+      return a.seq > b.seq;  // FIFO within an instant
+    }
+  };
+
+  void DispatchOne();
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  int live_actors_ = 0;
+  std::exception_ptr actor_failure_;
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, EventOrder> queue_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_ENGINE_H_

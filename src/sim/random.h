@@ -1,0 +1,78 @@
+// Deterministic random number generation for workloads and models.
+//
+// Rng is xoshiro256** seeded via SplitMix64 — fast, high quality, and fully
+// reproducible across platforms (unlike std::default_random_engine).
+// ZipfianGenerator implements the YCSB algorithm (Gray et al.), including the
+// scrambled variant that spreads hot keys across the key space.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_[4];
+};
+
+// 64-bit avalanche mix (SplitMix64 finalizer); also used for key scrambling.
+uint64_t Mix64(uint64_t x);
+
+// Zipfian-distributed values in [0, n). theta is the skew (YCSB default .99).
+// Construction is O(n) (zeta precomputation) and Next() is O(1).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  // Draws a rank: 0 is the most popular item.
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+// Zipfian ranks scrambled over the key space with Mix64, so popularity is not
+// correlated with key order (YCSB "scrambled zipfian").
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta) : zipf_(n, theta) {}
+
+  uint64_t Next(Rng& rng) { return Mix64(zipf_.Next(rng)) % zipf_.n(); }
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,131 @@
+// FIFO-queued resources for the simulator.
+//
+// A Resource models a station with `capacity` identical servers (a NIC issue
+// pipeline, a DMA engine, a CPU core pool, a lock). Actors acquire a permit,
+// hold it for however long they choose (usually via Engine::Sleep), and
+// release it; contenders queue in strict FIFO order, which keeps simulations
+// deterministic. `Use(service)` wraps the common acquire-hold-release
+// pattern. Utilization and queueing statistics are tracked for reporting.
+
+#ifndef SRC_SIM_RESOURCE_H_
+#define SRC_SIM_RESOURCE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+
+class Resource {
+ public:
+  Resource(Engine& engine, int capacity) : engine_(engine), capacity_(capacity), available_(capacity) {}
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  int capacity() const { return capacity_; }
+  int available() const { return available_; }
+  int queue_length() const { return static_cast<int>(waiters_.size()); }
+  uint64_t total_acquisitions() const { return total_acquisitions_; }
+  Time total_wait() const { return total_wait_; }
+
+  // Integral of (permits in use) over time; divide by capacity * elapsed to
+  // get average utilization.
+  Time busy_integral() const {
+    return busy_integral_ + static_cast<Time>(in_use()) * (engine_.now() - last_change_);
+  }
+
+  double Utilization(Time window_start, Time window_end) const {
+    if (window_end <= window_start || capacity_ == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(busy_integral()) /
+           static_cast<double>(capacity_ * (window_end - window_start));
+  }
+
+  // Awaitable that suspends until a permit is granted. Permits are granted
+  // in request order.
+  auto Acquire() {
+    struct Awaiter {
+      Resource* resource;
+      Time enqueued_at;
+
+      bool await_ready() {
+        if (resource->available_ > 0) {
+          resource->Grant();
+          return true;
+        }
+        return false;
+      }
+
+      void await_suspend(std::coroutine_handle<> h) {
+        enqueued_at = resource->engine_.now();
+        resource->waiters_.push_back(Waiter{h, enqueued_at});
+      }
+
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, 0};
+  }
+
+  // Returns a permit. If actors are queued, the permit passes directly to the
+  // head of the queue (resumed at the current instant).
+  void Release();
+
+  // Acquires a permit, holds it for `service`, then releases it.
+  Task<void> Use(Time service);
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    Time enqueued_at;
+  };
+
+  // A permit handed to a queued waiter (whose resume event is pending) counts
+  // as in use: it is already reserved for that waiter.
+  int in_use() const { return capacity_ - available_; }
+
+  void AccumulateBusy() {
+    busy_integral_ += static_cast<Time>(in_use()) * (engine_.now() - last_change_);
+    last_change_ = engine_.now();
+  }
+
+  void Grant() {
+    AccumulateBusy();
+    --available_;
+    ++total_acquisitions_;
+  }
+
+  Engine& engine_;
+  const int capacity_;
+  int available_;
+  uint64_t total_acquisitions_ = 0;
+  Time total_wait_ = 0;
+  Time busy_integral_ = 0;
+  Time last_change_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+// Mutual exclusion: a capacity-1 resource with lock/unlock vocabulary.
+class Mutex {
+ public:
+  explicit Mutex(Engine& engine) : resource_(engine, 1) {}
+
+  auto Lock() { return resource_.Acquire(); }
+  void Unlock() { resource_.Release(); }
+  bool locked() const { return resource_.available() == 0; }
+  int waiters() const { return resource_.queue_length(); }
+  Time total_wait() const { return resource_.total_wait(); }
+  uint64_t total_acquisitions() const { return resource_.total_acquisitions(); }
+
+ private:
+  Resource resource_;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_RESOURCE_H_

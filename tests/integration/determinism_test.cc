@@ -1,0 +1,105 @@
+// End-to-end determinism: a full KV cluster run is bit-identical for
+// identical seeds — the property that makes every number in
+// EXPERIMENTS.md reproducible.
+
+#include <gtest/gtest.h>
+
+#include "src/kv/jakiro.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+#include "src/workload/ycsb.h"
+
+namespace kv {
+namespace {
+
+struct RunFingerprint {
+  uint64_t ops = 0;
+  uint64_t fetch_reads = 0;
+  uint64_t failed_fetches = 0;
+  sim::Time final_time = 0;
+  uint64_t latency_checksum = 0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint RunCluster(uint64_t workload_seed) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  JakiroConfig config;
+  config.server_threads = 3;
+  JakiroServer server(fabric, server_node, config);
+
+  workload::WorkloadSpec spec;
+  spec.num_keys = 4096;
+  spec.get_fraction = 0.9;
+  spec.seed = workload_seed;
+  std::vector<std::byte> key(16);
+  std::vector<std::byte> value(64);
+  for (uint64_t id = 0; id < spec.num_keys; ++id) {
+    workload::MakeKey(id, key);
+    workload::FillValue(id, std::span<std::byte>(value.data(), 32));
+    server.partition(server.OwnerThread(key)).Put(key,
+                                                  std::span<const std::byte>(value.data(), 32));
+  }
+
+  RunFingerprint fp;
+  const int kClients = 9;
+  std::vector<rdma::Node*> nodes;
+  std::vector<std::unique_ptr<JakiroClient>> clients;
+  for (int t = 0; t < kClients; ++t) {
+    if (t < 3) {
+      nodes.push_back(&fabric.AddNode("client" + std::to_string(t)));
+    }
+    clients.push_back(std::make_unique<JakiroClient>(server, *nodes[static_cast<size_t>(t % 3)]));
+    engine.Spawn([](sim::Engine& eng, JakiroClient* c, workload::WorkloadSpec sp, int id,
+                    RunFingerprint* out) -> sim::Task<void> {
+      workload::Generator gen(sp, static_cast<uint64_t>(id));
+      std::vector<std::byte> k(16);
+      std::vector<std::byte> v(256);
+      std::vector<std::byte> o(256);
+      while (eng.now() < sim::Millis(2)) {
+        const workload::Op op = gen.Next();
+        workload::MakeKey(op.key_id, k);
+        const sim::Time start = eng.now();
+        if (op.type == workload::OpType::kGet) {
+          co_await c->Get(k, o);
+        } else {
+          workload::FillValue(op.key_id, std::span<std::byte>(v.data(), 32));
+          co_await c->Put(k, std::span<const std::byte>(v.data(), 32));
+        }
+        ++out->ops;
+        out->latency_checksum = sim::Mix64(out->latency_checksum ^
+                                           static_cast<uint64_t>(eng.now() - start));
+      }
+    }(engine, clients.back().get(), spec, t, &fp));
+  }
+  server.Start();
+  engine.RunUntil(sim::Millis(2));
+  server.Stop();
+  for (const auto& client : clients) {
+    const auto stats = client->MergedChannelStats();
+    fp.fetch_reads += stats.fetch_reads;
+    fp.failed_fetches += stats.failed_fetches;
+  }
+  fp.final_time = engine.now();
+  return fp;
+}
+
+TEST(DeterminismTest, IdenticalSeedsGiveIdenticalClusterRuns) {
+  const RunFingerprint a = RunCluster(7);
+  const RunFingerprint b = RunCluster(7);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.ops, 1000u);
+}
+
+TEST(DeterminismTest, DifferentWorkloadSeedsDiverge) {
+  const RunFingerprint a = RunCluster(7);
+  const RunFingerprint c = RunCluster(8);
+  EXPECT_NE(a.latency_checksum, c.latency_checksum);
+}
+
+}  // namespace
+}  // namespace kv

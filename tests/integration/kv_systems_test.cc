@@ -1,0 +1,235 @@
+// Cross-system integration tests: the four KV systems must agree
+// functionally (same operations -> same results) even though their
+// transports and data structures differ completely.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kv/jakiro.h"
+#include "src/kv/memcached_store.h"
+#include "src/kv/pilaf_store.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+#include "src/workload/ycsb.h"
+
+namespace kv {
+namespace {
+
+// A deterministic op script: (is_put, key_id, value_payload-id).
+struct ScriptOp {
+  bool put;
+  uint64_t key_id;
+  uint64_t value_id;
+};
+
+std::vector<ScriptOp> MakeScript(int n, uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<ScriptOp> script;
+  for (int i = 0; i < n; ++i) {
+    script.push_back(
+        ScriptOp{rng.NextBernoulli(0.4), rng.NextBounded(64), rng.NextBounded(1 << 20)});
+  }
+  return script;
+}
+
+// Outcome of a script: for each GET, the observed value id (or miss).
+using Observations = std::vector<std::optional<uint64_t>>;
+
+Observations ReferenceRun(const std::vector<ScriptOp>& script) {
+  std::map<uint64_t, uint64_t> state;
+  Observations obs;
+  for (const ScriptOp& op : script) {
+    if (op.put) {
+      state[op.key_id] = op.value_id;
+    } else {
+      auto it = state.find(op.key_id);
+      obs.push_back(it == state.end() ? std::nullopt : std::make_optional(it->second));
+    }
+  }
+  return obs;
+}
+
+std::optional<uint64_t> DecodeValue(std::span<const std::byte> bytes) {
+  // The script stores the value id in the first 8 bytes (EncodeValueId).
+  if (bytes.size() < 8) {
+    return std::nullopt;
+  }
+  uint64_t id = 0;
+  std::memcpy(&id, bytes.data(), sizeof(id));
+  return id;
+}
+
+void EncodeValueId(uint64_t value_id, std::vector<std::byte>& out) {
+  out.assign(32, std::byte{0});
+  std::memcpy(out.data(), &value_id, sizeof(value_id));
+}
+
+template <typename Client>
+sim::Task<void> RunScript(const std::vector<ScriptOp>* script, Client* client,
+                          Observations* obs) {
+  std::vector<std::byte> key(16);
+  std::vector<std::byte> value;
+  std::vector<std::byte> out(4096);
+  for (const ScriptOp& op : *script) {
+    workload::MakeKey(op.key_id, key);
+    if (op.put) {
+      EncodeValueId(op.value_id, value);
+      co_await client->Put(key, value);
+    } else {
+      auto got = co_await client->Get(key, out);
+      if (!got.has_value()) {
+        obs->push_back(std::nullopt);
+      } else {
+        obs->push_back(DecodeValue(std::span<const std::byte>(out.data(), *got)));
+      }
+    }
+  }
+}
+
+TEST(KvEquivalenceTest, JakiroMatchesReference) {
+  const auto script = MakeScript(600, 11);
+  const Observations expected = ReferenceRun(script);
+
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  JakiroServer server(fabric, server_node, JakiroConfig{});
+  JakiroClient client(server, client_node);
+  server.Start();
+  Observations observed;
+  engine.Spawn(RunScript(&script, &client, &observed));
+  engine.RunUntil(sim::Millis(50));
+  server.Stop();
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(KvEquivalenceTest, ServerReplyVariantMatchesReference) {
+  const auto script = MakeScript(600, 12);
+  const Observations expected = ReferenceRun(script);
+
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  JakiroServer server(fabric, server_node, ServerReplyConfig());
+  JakiroClient client(server, client_node);
+  server.Start();
+  Observations observed;
+  engine.Spawn(RunScript(&script, &client, &observed));
+  engine.RunUntil(sim::Millis(50));
+  server.Stop();
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(KvEquivalenceTest, MemcachedMatchesReference) {
+  const auto script = MakeScript(400, 13);
+  const Observations expected = ReferenceRun(script);
+
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  MemcachedServer server(fabric, server_node, MemcachedConfig{});
+  MemcachedClient client(server, client_node, 0);
+  server.Start();
+  Observations observed;
+  engine.Spawn(RunScript(&script, &client, &observed));
+  engine.RunUntil(sim::Millis(100));
+  server.Stop();
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(KvEquivalenceTest, PilafMatchesReferenceWithSingleClient) {
+  // With one client there are no read/write races, so Pilaf must agree
+  // exactly too (its CRC machinery only kicks in under concurrency).
+  const auto script = MakeScript(400, 14);
+  const Observations expected = ReferenceRun(script);
+
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  PilafServer server(fabric, server_node, PilafConfig{});
+  PilafClient client(fabric, client_node, server, 0);
+  server.Start();
+  Observations observed;
+  engine.Spawn(RunScript(&script, &client, &observed));
+  engine.RunUntil(sim::Millis(100));
+  server.Stop();
+  EXPECT_EQ(observed, expected);
+}
+
+// Paper Section 4.3: "the overhead of adding/reducing clients in Jakiro is
+// minimal" — dynamically joining clients mid-run must work and scale.
+TEST(ClientChurnTest, ClientsJoinMidRun) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  JakiroConfig config;
+  config.server_threads = 2;
+  JakiroServer server(fabric, server_node, config);
+  server.Start();
+
+  std::vector<std::unique_ptr<JakiroClient>> clients;
+  std::vector<rdma::Node*> nodes;
+  std::vector<uint64_t> ops(6, 0);
+
+  auto driver = [](sim::Engine& eng, JakiroClient* client, int id, sim::Time deadline,
+                   uint64_t* count) -> sim::Task<void> {
+    workload::WorkloadSpec spec;
+    spec.num_keys = 1000;
+    spec.get_fraction = 0.5;
+    workload::Generator gen(spec, static_cast<uint64_t>(id));
+    std::vector<std::byte> key(16);
+    std::vector<std::byte> value(64);
+    std::vector<std::byte> out(4096);
+    while (eng.now() < deadline) {
+      const workload::Op op = gen.Next();
+      workload::MakeKey(op.key_id, key);
+      if (op.type == workload::OpType::kGet) {
+        co_await client->Get(key, out);
+      } else {
+        workload::FillValue(op.key_id, std::span<std::byte>(value.data(), 32));
+        co_await client->Put(key, std::span<const std::byte>(value.data(), 32));
+      }
+      ++*count;
+    }
+  };
+
+  const sim::Time deadline = sim::Millis(4);
+  // Three clients from the start.
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back(&fabric.AddNode("early" + std::to_string(i)));
+    clients.push_back(std::make_unique<JakiroClient>(server, *nodes.back()));
+    engine.Spawn(driver(engine, clients.back().get(), i, deadline, &ops[static_cast<size_t>(i)]));
+  }
+  // Three more join at t = 2 ms.
+  engine.ScheduleAt(sim::Millis(2), [&] {
+    for (int i = 3; i < 6; ++i) {
+      nodes.push_back(&fabric.AddNode("late" + std::to_string(i)));
+      clients.push_back(std::make_unique<JakiroClient>(server, *nodes.back()));
+      engine.Spawn(
+          driver(engine, clients.back().get(), i, deadline, &ops[static_cast<size_t>(i)]));
+    }
+  });
+
+  engine.RunUntil(deadline);
+  server.Stop();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GT(ops[static_cast<size_t>(i)], 100u) << "client " << i;
+  }
+  // Late joiners ran for half the time: roughly half the ops.
+  const double early = static_cast<double>(ops[0] + ops[1] + ops[2]);
+  const double late = static_cast<double>(ops[3] + ops[4] + ops[5]);
+  EXPECT_NEAR(late / early, 0.5, 0.15);
+}
+
+}  // namespace
+}  // namespace kv

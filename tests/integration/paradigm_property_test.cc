@@ -1,0 +1,200 @@
+// Cross-module property tests for the paradigm itself, running full
+// client/server clusters on the fabric.
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace rfp {
+namespace {
+
+struct EchoOutcome {
+  double mops = 0;
+  uint64_t server_outbound_ops = 0;
+  uint64_t server_inbound_ops = 0;
+  uint64_t calls = 0;
+};
+
+// Runs a small echo cluster (7 client threads on 7 nodes, 4 server threads)
+// and reports throughput plus the server NIC's op counters.
+EchoOutcome RunEchoCluster(RfpOptions::ForceMode mode, sim::Time process_ns,
+                           uint32_t result_size, int retry, uint32_t fetch_size) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rfp::RpcServer server(fabric, server_node, 4);
+  server.RegisterHandler(1, [process_ns, result_size](const HandlerContext&,
+                                                      std::span<const std::byte>,
+                                                      std::span<std::byte>) -> HandlerResult {
+    return HandlerResult{result_size, process_ns};
+  });
+
+  RfpOptions options;
+  options.force_mode = mode;
+  options.retry_threshold = retry;
+  options.fetch_size = fetch_size;
+  const int kClients = 7;
+  std::vector<Channel*> channels;
+  std::vector<std::unique_ptr<RpcClient>> stubs;
+  std::vector<uint64_t> ops(kClients, 0);
+  for (int t = 0; t < kClients; ++t) {
+    rdma::Node& node = fabric.AddNode("client" + std::to_string(t));
+    channels.push_back(server.AcceptChannel(node, options, t % 4));
+    stubs.push_back(std::make_unique<RpcClient>(channels.back()));
+  }
+  server.Start();
+
+  const sim::Time warmup = sim::Millis(1);
+  const sim::Time end = sim::Millis(4);
+  for (int t = 0; t < kClients; ++t) {
+    engine.Spawn([](sim::Engine& eng, RpcClient* client, sim::Time w, sim::Time e,
+                    uint64_t* count) -> sim::Task<void> {
+      std::vector<std::byte> req(1);
+      std::vector<std::byte> resp(16384);
+      while (eng.now() < e) {
+        const sim::Time start = eng.now();
+        co_await client->Call(1, req, resp);
+        if (start >= w && eng.now() <= e) {
+          ++*count;
+        }
+      }
+    }(engine, stubs[static_cast<size_t>(t)].get(), warmup, end, &ops[static_cast<size_t>(t)]));
+  }
+  engine.RunUntil(end);
+  server.Stop();
+
+  EchoOutcome outcome;
+  for (uint64_t o : ops) {
+    outcome.calls += o;
+  }
+  outcome.mops = static_cast<double>(outcome.calls) / sim::ToSeconds(end - warmup) / 1e6;
+  outcome.server_outbound_ops = server_node.nic().outbound_ops();
+  outcome.server_inbound_ops = server_node.nic().inbound_ops();
+  return outcome;
+}
+
+// Paper Table 1, validated by op accounting: in RFP the server is involved
+// in processing but issues NO out-bound RDMA; in server-reply it issues one
+// out-bound WRITE per call; in both, requests arrive as in-bound ops.
+TEST(ParadigmMatrixTest, RfpServerHandlesOnlyInbound) {
+  const EchoOutcome rfp =
+      RunEchoCluster(RfpOptions::ForceMode::kForceFetch, sim::Nanos(400), 32, 5, 256);
+  EXPECT_EQ(rfp.server_outbound_ops, 0u);
+  // Requests + fetches all hit the in-bound engine: >= 2 per call.
+  EXPECT_GE(rfp.server_inbound_ops, 2 * rfp.calls);
+}
+
+TEST(ParadigmMatrixTest, ServerReplyIssuesOneOutboundPerCall) {
+  const EchoOutcome reply =
+      RunEchoCluster(RfpOptions::ForceMode::kForceReply, sim::Nanos(400), 32, 5, 256);
+  // One reply WRITE per call (plus warmup traffic; compare loosely).
+  EXPECT_GT(reply.server_outbound_ops, reply.calls);
+  EXPECT_LT(reply.server_outbound_ops, reply.calls * 2);
+}
+
+// The paper's safety claims: with the hybrid switch, RFP "at least has the
+// same performance with the server-reply paradigm when the server load
+// becomes extremely high", and with an *adequate* R it tracks the better of
+// the two pure modes. With an inadequate R (fewer retries than the process
+// time needs — Section 1's "using inappropriate parameters may offset the
+// performance advantage"), the machine deliberately degenerates to
+// server-reply to save client CPU. Property-swept over (R, F, P, S).
+class AdaptiveDominanceTest
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t, int64_t, uint32_t>> {};
+
+TEST_P(AdaptiveDominanceTest, AdaptiveTracksTheBetterParadigm) {
+  const auto [retry, fetch, process_us, result_size] = GetParam();
+  const sim::Time p = sim::Micros(process_us);
+  const EchoOutcome fetch_mode =
+      RunEchoCluster(RfpOptions::ForceMode::kForceFetch, p, result_size, retry, fetch);
+  const EchoOutcome reply_mode =
+      RunEchoCluster(RfpOptions::ForceMode::kForceReply, p, result_size, retry, fetch);
+  const EchoOutcome adaptive =
+      RunEchoCluster(RfpOptions::ForceMode::kAdaptive, p, result_size, retry, fetch);
+  // R is adequate when R fetch round trips (~1.3 us each) cover P.
+  const bool r_adequate = static_cast<double>(retry) * 1.3 >= static_cast<double>(process_us);
+  const double best = std::max(fetch_mode.mops, reply_mode.mops);
+  const double floor = r_adequate ? best : reply_mode.mops;
+  // Within 12% of the applicable bound (switching costs a little).
+  EXPECT_GE(adaptive.mops, floor * 0.88)
+      << "R=" << retry << " F=" << fetch << " P=" << process_us << "us S=" << result_size
+      << " (fetch=" << fetch_mode.mops << " reply=" << reply_mode.mops
+      << " adequate=" << r_adequate << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptiveDominanceTest,
+    ::testing::Combine(::testing::Values(2, 5),                 // R
+                       ::testing::Values(256u, 640u),           // F
+                       ::testing::Values(1, 4, 12),             // P (us)
+                       ::testing::Values(16u, 600u)));          // S
+
+// Responses larger than F must still complete (remainder fetch) for any
+// (F, S) combination, including S straddling the fetch boundary.
+class RemainderFetchTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(RemainderFetchTest, AllSizesComplete) {
+  const auto [fetch, result_size] = GetParam();
+  const EchoOutcome out =
+      RunEchoCluster(RfpOptions::ForceMode::kForceFetch, sim::Nanos(300), result_size, 5, fetch);
+  EXPECT_GT(out.calls, 100u) << "F=" << fetch << " S=" << result_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RemainderFetchTest,
+                         ::testing::Combine(::testing::Values(16u, 256u, 1024u),
+                                            ::testing::Values(1u, 247u, 248u, 249u, 4096u)));
+
+// Accounting identities that must hold for any run: every call issues
+// exactly one request WRITE, and every fetch READ is either the successful
+// final fetch, a failed retry, or a remainder fetch.
+TEST(AccountingInvariantTest, ChannelCountersBalance) {
+  for (int64_t p_us : {1, 5, 9}) {
+    const EchoOutcome outcome = RunEchoCluster(RfpOptions::ForceMode::kAdaptive,
+                                               sim::Micros(p_us), 32, 5, 256);
+    EXPECT_GT(outcome.calls, 0u) << "P=" << p_us;
+  }
+  // The identity itself is checked against a single channel where the full
+  // Stats struct is visible.
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  RpcServer server(fabric, server_node, 1);
+  server.RegisterHandler(1, [](const HandlerContext&, std::span<const std::byte>,
+                               std::span<std::byte>) -> HandlerResult {
+    return HandlerResult{600, sim::Micros(2)};  // forces retries AND remainders
+  });
+  rdma::Node& client_node = fabric.AddNode("client");
+  RfpOptions options;
+  options.fetch_size = 256;
+  Channel* channel = server.AcceptChannel(client_node, options, 0);
+  server.Start();
+  engine.Spawn([](Channel* ch) -> sim::Task<void> {
+    RpcClient client(ch);
+    std::vector<std::byte> resp(4096);
+    for (int i = 0; i < 200; ++i) {
+      co_await client.Call(1, {}, resp);
+    }
+  }(channel));
+  engine.RunUntil(sim::Millis(20));
+  server.Stop();
+
+  const Channel::Stats& stats = channel->stats();
+  EXPECT_EQ(stats.request_writes, stats.calls);
+  // fetch reads = successful final fetches (= calls completed by fetching)
+  //             + failed retries + remainder fetches.
+  EXPECT_EQ(stats.fetch_reads,
+            stats.calls + stats.failed_fetches + stats.extra_fetches);
+  EXPECT_GT(stats.failed_fetches, 0u);  // 2 us process time forces retries
+  EXPECT_EQ(stats.extra_fetches, stats.calls);  // 600 B > F=256 every time
+  EXPECT_EQ(stats.retries_per_call.count(), stats.calls);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,188 @@
+#include "src/kv/bucket_table.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace kv {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<std::byte>(s[i]);
+  }
+  return out;
+}
+
+TEST(BucketTableTest, PutGetRoundTrip) {
+  BucketTable table(64);
+  table.Put(Bytes("key1"), Bytes("value1"));
+  auto v = table.Get(Bytes("key1"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(v->data()), v->size()), "value1");
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(BucketTableTest, MissingKeyReturnsNullopt) {
+  BucketTable table(64);
+  EXPECT_FALSE(table.Get(Bytes("nope")).has_value());
+  EXPECT_EQ(table.stats().misses, 1u);
+}
+
+TEST(BucketTableTest, OverwriteUpdatesInPlace) {
+  BucketTable table(64);
+  table.Put(Bytes("k"), Bytes("old"));
+  table.Put(Bytes("k"), Bytes("newer-and-longer"));
+  auto v = table.Get(Bytes("k"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 16u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().updates, 1u);
+}
+
+TEST(BucketTableTest, EraseRemoves) {
+  BucketTable table(64);
+  table.Put(Bytes("k"), Bytes("v"));
+  EXPECT_TRUE(table.Erase(Bytes("k")));
+  EXPECT_FALSE(table.Get(Bytes("k")).has_value());
+  EXPECT_FALSE(table.Erase(Bytes("k")));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(BucketTableTest, BucketCountRoundsUpToPowerOfTwo) {
+  BucketTable table(100);
+  EXPECT_EQ(table.num_buckets(), 128u);
+}
+
+TEST(BucketTableTest, ZeroBucketsThrows) {
+  EXPECT_THROW(BucketTable(0), std::invalid_argument);
+}
+
+// With a single bucket, every key collides, exposing the strict LRU policy
+// (paper Section 4.1: 8 slots per bucket, strict LRU eviction).
+TEST(BucketTableTest, StrictLruEvictionInFullBucket) {
+  BucketTable table(1);
+  for (int i = 0; i < 8; ++i) {
+    table.Put(Bytes("key" + std::to_string(i)), Bytes("v"));
+  }
+  EXPECT_EQ(table.size(), 8u);
+  // Touch key0..key6 so key7 becomes the least recently used.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(table.Get(Bytes("key" + std::to_string(i))).has_value());
+  }
+  table.Put(Bytes("key8"), Bytes("v"));
+  EXPECT_EQ(table.size(), 8u);
+  EXPECT_EQ(table.stats().evictions, 1u);
+  EXPECT_FALSE(table.Get(Bytes("key7")).has_value()) << "LRU victim must be key7";
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(table.Get(Bytes("key" + std::to_string(i))).has_value());
+  }
+  EXPECT_TRUE(table.Get(Bytes("key8")).has_value());
+}
+
+TEST(BucketTableTest, GetRefreshesLruRank) {
+  BucketTable table(1);
+  for (int i = 0; i < 8; ++i) {
+    table.Put(Bytes("key" + std::to_string(i)), Bytes("v"));
+  }
+  // key0 is the oldest insert, but a Get refreshes it...
+  EXPECT_TRUE(table.Get(Bytes("key0")).has_value());
+  table.Put(Bytes("key8"), Bytes("v"));
+  // ...so the eviction victim is key1, not key0.
+  EXPECT_TRUE(table.Get(Bytes("key0")).has_value());
+  EXPECT_FALSE(table.Get(Bytes("key1")).has_value());
+}
+
+TEST(BucketTableTest, EvictionsCascadeThroughLruOrder) {
+  BucketTable table(1);
+  for (int i = 0; i < 8; ++i) {
+    table.Put(Bytes("key" + std::to_string(i)), Bytes("v"));
+  }
+  // Three more inserts evict the three oldest: key0, key1, key2.
+  for (int i = 8; i < 11; ++i) {
+    table.Put(Bytes("key" + std::to_string(i)), Bytes("v"));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(table.Get(Bytes("key" + std::to_string(i))).has_value());
+  }
+  for (int i = 3; i < 11; ++i) {
+    EXPECT_TRUE(table.Get(Bytes("key" + std::to_string(i))).has_value());
+  }
+}
+
+TEST(BucketTableTest, EraseKeepsLruConsistent) {
+  BucketTable table(1);
+  for (int i = 0; i < 8; ++i) {
+    table.Put(Bytes("key" + std::to_string(i)), Bytes("v"));
+  }
+  EXPECT_TRUE(table.Erase(Bytes("key3")));
+  // The freed slot absorbs the next insert without eviction.
+  table.Put(Bytes("key8"), Bytes("v"));
+  EXPECT_EQ(table.stats().evictions, 0u);
+  EXPECT_EQ(table.size(), 8u);
+}
+
+// Randomized oracle test against std::map, sized so no evictions occur.
+TEST(BucketTableTest, MatchesOracleWithoutEvictions) {
+  BucketTable table(4096);  // 32k slots
+  std::map<std::string, std::string> oracle;
+  sim::Rng rng(123);
+  for (int step = 0; step < 20000; ++step) {
+    const std::string key = "key" + std::to_string(rng.NextBounded(800));
+    const uint64_t action = rng.NextBounded(10);
+    if (action < 5) {
+      const std::string value = "value" + std::to_string(rng.Next() & 0xffff);
+      table.Put(Bytes(key), Bytes(value));
+      oracle[key] = value;
+    } else if (action < 8) {
+      auto got = table.Get(Bytes(key));
+      auto expect = oracle.find(key);
+      if (expect == oracle.end()) {
+        EXPECT_FALSE(got.has_value()) << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(got->data()), got->size()),
+                  expect->second);
+      }
+    } else {
+      EXPECT_EQ(table.Erase(Bytes(key)), oracle.erase(key) > 0) << key;
+    }
+  }
+  EXPECT_EQ(table.size(), oracle.size());
+  EXPECT_EQ(table.stats().evictions, 0u);
+}
+
+// Property sweep: under heavy overfill the table never exceeds its slot
+// capacity and keeps serving consistent data.
+class BucketTableFillTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BucketTableFillTest, CapacityBounded) {
+  const int buckets = GetParam();
+  BucketTable table(static_cast<size_t>(buckets));
+  const size_t capacity = table.num_buckets() * BucketTable::kSlotsPerBucket;
+  for (int i = 0; i < 5000; ++i) {
+    table.Put(Bytes("key" + std::to_string(i)), Bytes("v" + std::to_string(i)));
+    EXPECT_LE(table.size(), capacity);
+  }
+  // Anything still present must carry its own value.
+  int present = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = table.Get(Bytes("key" + std::to_string(i)));
+    if (v.has_value()) {
+      ++present;
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(v->data()), v->size()),
+                "v" + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(present), table.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BucketTableFillTest, ::testing::Values(1, 4, 64, 512));
+
+}  // namespace
+}  // namespace kv

@@ -1,0 +1,52 @@
+#include "src/kv/crc64.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kv {
+namespace {
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+TEST(Crc64Test, EmptyInputIsZero) {
+  EXPECT_EQ(Crc64({}), 0u);
+}
+
+TEST(Crc64Test, KnownVector) {
+  // CRC-64/XZ ("123456789") = 0x995DC9BBDF1939FA.
+  EXPECT_EQ(Crc64(AsBytes("123456789")), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(Crc64Test, Deterministic) {
+  const std::string data = "remote fetching paradigm";
+  EXPECT_EQ(Crc64(AsBytes(data)), Crc64(AsBytes(data)));
+}
+
+TEST(Crc64Test, SingleBitFlipChangesChecksum) {
+  std::string data(256, 'a');
+  const uint64_t base = Crc64(AsBytes(data));
+  for (size_t i = 0; i < data.size(); i += 37) {
+    std::string mutated = data;
+    mutated[i] ^= 1;
+    EXPECT_NE(Crc64(AsBytes(mutated)), base) << "flip at " << i;
+  }
+}
+
+TEST(Crc64Test, DistinguishesKeyValueSplits) {
+  // The torn-read detector must tell [k1|v1] from [k1|v2].
+  EXPECT_NE(Crc64(AsBytes("key1value1")), Crc64(AsBytes("key1value2")));
+}
+
+TEST(Crc64Test, ChainingMatchesConcatenation) {
+  const std::string a = "hello ";
+  const std::string b = "world";
+  const uint64_t chained = Crc64(AsBytes(b), Crc64(AsBytes(a)));
+  EXPECT_EQ(chained, Crc64(AsBytes("hello world")));
+}
+
+}  // namespace
+}  // namespace kv

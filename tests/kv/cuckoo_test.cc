@@ -1,0 +1,185 @@
+#include "src/kv/cuckoo.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kv/common.h"
+#include "src/kv/crc64.h"
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+
+namespace kv {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<std::byte>(s[i]);
+  }
+  return out;
+}
+
+std::string Str(std::span<const std::byte> bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+class CuckooTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node& node_{fabric_.AddNode("server")};
+};
+
+TEST_F(CuckooTest, PutGetRoundTrip) {
+  CuckooTable table(node_, 1024, 1 << 20, 1);
+  EXPECT_TRUE(table.Put(Bytes("key"), Bytes("value")));
+  auto v = table.Get(Bytes("key"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(Str(*v), "value");
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST_F(CuckooTest, MissingKeyNotFound) {
+  CuckooTable table(node_, 1024, 1 << 20, 1);
+  EXPECT_FALSE(table.Get(Bytes("ghost")).has_value());
+}
+
+TEST_F(CuckooTest, UpdateReusesExtentWhenItFits) {
+  CuckooTable table(node_, 1024, 1 << 20, 1);
+  table.Put(Bytes("key"), Bytes("12345678"));
+  table.Put(Bytes("key"), Bytes("1234"));  // shorter: reuse in place
+  auto v = table.Get(Bytes("key"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(Str(*v), "1234");
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().updates, 1u);
+}
+
+TEST_F(CuckooTest, EraseRemoves) {
+  CuckooTable table(node_, 1024, 1 << 20, 1);
+  table.Put(Bytes("key"), Bytes("value"));
+  EXPECT_TRUE(table.Erase(Bytes("key")));
+  EXPECT_FALSE(table.Get(Bytes("key")).has_value());
+  EXPECT_FALSE(table.Erase(Bytes("key")));
+}
+
+TEST_F(CuckooTest, FillsToSeventyFivePercent) {
+  // The paper quotes Pilaf at a 75%-filled 3-way table; inserts must keep
+  // succeeding (with kicks) well past naive single-choice occupancy.
+  CuckooTable table(node_, 4096, 8 << 20, 7);
+  const int target = 3072;  // 75%
+  for (int i = 0; i < target; ++i) {
+    ASSERT_TRUE(table.Put(Bytes("key" + std::to_string(i)), Bytes("v" + std::to_string(i))))
+        << "insert " << i << " failed at fill " << table.fill();
+  }
+  EXPECT_DOUBLE_EQ(table.fill(), 0.75);
+  EXPECT_GT(table.stats().kicks, 0u) << "75% fill requires cuckoo kicks";
+  for (int i = 0; i < target; ++i) {
+    auto v = table.Get(Bytes("key" + std::to_string(i)));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(Str(*v), "v" + std::to_string(i));
+  }
+}
+
+TEST_F(CuckooTest, SlotEncodeDecodeRoundTrip) {
+  CuckooTable table(node_, 64, 1 << 16, 1);
+  table.Put(Bytes("abc"), Bytes("defgh"));
+  // Find the non-empty slot and decode it like a remote client would.
+  rdma::MemoryRegion* meta = fabric_.FindRemote(table.view().meta_rkey);
+  ASSERT_NE(meta, nullptr);
+  bool found = false;
+  for (uint64_t i = 0; i < table.num_slots(); ++i) {
+    auto slot = CuckooTable::DecodeSlot(
+        meta->bytes().subspan(CuckooTable::SlotOffset(i), CuckooTable::kSlotBytes));
+    if (slot.empty()) {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(slot.key_size, 3u);
+    EXPECT_EQ(slot.value_size, 5u);
+    rdma::MemoryRegion* extent = fabric_.FindRemote(table.view().extent_rkey);
+    auto record = extent->bytes().subspan(slot.extent_offset, 8);
+    EXPECT_EQ(Str(record), "abcdefgh");
+    EXPECT_EQ(Crc64(record), slot.crc);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CuckooTest, StagedUpdateIsTornUntilPublished) {
+  CuckooTable table(node_, 64, 1 << 16, 1);
+  table.Put(Bytes("key"), Bytes("AAAA"));
+  // Stage a new value: extent bytes change, slot still carries the old CRC.
+  auto pending = table.StageExtent(Bytes("key"), Bytes("BBBB"));
+  ASSERT_TRUE(pending.has_value());
+  rdma::MemoryRegion* extent = fabric_.FindRemote(table.view().extent_rkey);
+  rdma::MemoryRegion* meta = fabric_.FindRemote(table.view().meta_rkey);
+  auto old_slot = CuckooTable::DecodeSlot(meta->bytes().subspan(
+      CuckooTable::SlotOffset(pending->slot_index), CuckooTable::kSlotBytes));
+  auto record = extent->bytes().subspan(old_slot.extent_offset,
+                                        old_slot.key_size + old_slot.value_size);
+  EXPECT_NE(Crc64(record), old_slot.crc) << "torn window must be CRC-detectable";
+  // Publishing restores consistency.
+  table.PublishSlot(*pending);
+  auto new_slot = CuckooTable::DecodeSlot(meta->bytes().subspan(
+      CuckooTable::SlotOffset(pending->slot_index), CuckooTable::kSlotBytes));
+  auto new_record = extent->bytes().subspan(new_slot.extent_offset,
+                                            new_slot.key_size + new_slot.value_size);
+  EXPECT_EQ(Crc64(new_record), new_slot.crc);
+  EXPECT_EQ(Str(*table.Get(Bytes("key"))), "BBBB");
+}
+
+TEST_F(CuckooTest, PositionsAreDeterministicAndInRange) {
+  uint64_t a[3];
+  uint64_t b[3];
+  CuckooTable::Positions(0x12345, 1024, a);
+  CuckooTable::Positions(0x12345, 1024, b);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_LT(a[i], 1024u);
+  }
+}
+
+TEST_F(CuckooTest, ExtentExhaustionFailsCleanly) {
+  CuckooTable table(node_, 1024, 64, 1);  // tiny extent: ~2 records
+  EXPECT_TRUE(table.Put(Bytes("k1"), Bytes(std::string(20, 'a'))));
+  EXPECT_TRUE(table.Put(Bytes("k2"), Bytes(std::string(20, 'b'))));
+  EXPECT_FALSE(table.Put(Bytes("k3"), Bytes(std::string(20, 'c'))));
+  EXPECT_EQ(table.stats().failed_inserts, 1u);
+  // Existing data is unharmed.
+  EXPECT_EQ(Str(*table.Get(Bytes("k1"))), std::string(20, 'a'));
+}
+
+TEST_F(CuckooTest, MatchesOracleUnderRandomOps) {
+  CuckooTable table(node_, 4096, 8 << 20, 11);
+  std::map<std::string, std::string> oracle;
+  sim::Rng rng(99);
+  for (int step = 0; step < 10000; ++step) {
+    const std::string key = "key" + std::to_string(rng.NextBounded(2000));
+    const uint64_t action = rng.NextBounded(10);
+    if (action < 5) {
+      const std::string value = "value" + std::to_string(rng.Next() & 0xffff);
+      if (table.Put(Bytes(key), Bytes(value))) {
+        oracle[key] = value;
+      }
+    } else if (action < 8) {
+      auto got = table.Get(Bytes(key));
+      auto expect = oracle.find(key);
+      if (expect == oracle.end()) {
+        EXPECT_FALSE(got.has_value()) << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(Str(*got), expect->second);
+      }
+    } else {
+      EXPECT_EQ(table.Erase(Bytes(key)), oracle.erase(key) > 0) << key;
+    }
+  }
+  EXPECT_EQ(table.size(), oracle.size());
+}
+
+}  // namespace
+}  // namespace kv

@@ -1,0 +1,315 @@
+#include "src/kv/jakiro.h"
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+#include "src/workload/ycsb.h"
+
+namespace kv {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<std::byte>(s[i]);
+  }
+  return out;
+}
+
+class JakiroTest : public ::testing::Test {
+ protected:
+  JakiroServer* MakeServer(JakiroConfig config = {}) {
+    server_ = std::make_unique<JakiroServer>(fabric_, *server_node_, config);
+    return server_.get();
+  }
+
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node* server_node_{&fabric_.AddNode("server")};
+  rdma::Node* client_node_{&fabric_.AddNode("client")};
+  std::unique_ptr<JakiroServer> server_;
+};
+
+TEST_F(JakiroTest, PutGetDeleteRoundTrip) {
+  JakiroServer* server = MakeServer();
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  bool done = false;
+  engine_.Spawn([](JakiroClient* c, bool* out) -> sim::Task<void> {
+    std::vector<std::byte> value(8192);
+    EXPECT_TRUE(co_await c->Put(Bytes("hello"), Bytes("world")));
+    auto got = co_await c->Get(Bytes("hello"), value);
+    EXPECT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 5u);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(value.data()), *got), "world");
+    EXPECT_TRUE(co_await c->Delete(Bytes("hello")));
+    EXPECT_FALSE((co_await c->Get(Bytes("hello"), value)).has_value());
+    EXPECT_FALSE(co_await c->Delete(Bytes("hello")));
+    *out = true;
+  }(&client, &done));
+  engine_.RunUntil(sim::Millis(10));
+  server->Stop();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(JakiroTest, KeysRouteToOwnerPartitionsErew) {
+  JakiroConfig config;
+  config.server_threads = 4;
+  JakiroServer* server = MakeServer(config);
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  const int n = 200;
+  engine_.Spawn([](JakiroClient* c, int count) -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      EXPECT_TRUE(co_await c->Put(Bytes("key" + std::to_string(i)), Bytes("v")));
+    }
+  }(&client, n));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+
+  // Every key lives exactly in its owner's partition and nowhere else.
+  size_t total = 0;
+  for (int t = 0; t < 4; ++t) {
+    total += server->partition(t).size();
+    EXPECT_GT(server->partition(t).size(), 0u) << "partition " << t << " unused";
+  }
+  EXPECT_EQ(total, static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto key = Bytes("key" + std::to_string(i));
+    const int owner = server->OwnerThread(key);
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_EQ(server->partition(t).Get(key).has_value(), t == owner);
+    }
+  }
+}
+
+TEST_F(JakiroTest, WorkloadValuesVerifyEndToEnd) {
+  JakiroServer* server = MakeServer();
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  int verified = 0;
+  engine_.Spawn([](JakiroClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> key(16);
+    std::vector<std::byte> value(1024);
+    std::vector<std::byte> got(8192);
+    for (uint64_t id = 0; id < 50; ++id) {
+      workload::MakeKey(id, key);
+      workload::FillValue(id, std::span(value.data(), 100 + id));
+      EXPECT_TRUE(co_await c->Put(key, std::span<const std::byte>(value.data(), 100 + id)));
+    }
+    for (uint64_t id = 0; id < 50; ++id) {
+      workload::MakeKey(id, key);
+      auto size = co_await c->Get(key, got);
+      EXPECT_TRUE(size.has_value());
+      if (size.has_value()) {
+        EXPECT_EQ(*size, 100 + id);
+        EXPECT_TRUE(workload::CheckValue(id, std::span<const std::byte>(got.data(), *size)));
+        ++*out;
+      }
+    }
+  }(&client, &verified));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_EQ(verified, 50);
+}
+
+TEST_F(JakiroTest, ServerReplyVariantUsesOutboundPushes) {
+  JakiroServer* server = MakeServer(ServerReplyConfig());
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
+    std::vector<std::byte> value(1024);
+    for (int i = 0; i < 10; ++i) {
+      co_await c->Put(Bytes("k" + std::to_string(i)), Bytes("v"));
+      co_await c->Get(Bytes("k" + std::to_string(i)), value);
+    }
+  }(&client));
+  engine_.RunUntil(sim::Millis(20));
+  server->Stop();
+
+  const auto stats = client.MergedChannelStats();
+  EXPECT_EQ(stats.fetch_reads, 0u);
+  EXPECT_EQ(stats.reply_pushes, 20u);
+}
+
+TEST_F(JakiroTest, RfpVariantFetchesInstead) {
+  JakiroServer* server = MakeServer();
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
+    std::vector<std::byte> value(1024);
+    for (int i = 0; i < 10; ++i) {
+      co_await c->Put(Bytes("k" + std::to_string(i)), Bytes("v"));
+      co_await c->Get(Bytes("k" + std::to_string(i)), value);
+    }
+  }(&client));
+  engine_.RunUntil(sim::Millis(20));
+  server->Stop();
+
+  const auto stats = client.MergedChannelStats();
+  EXPECT_GE(stats.fetch_reads, 20u);
+  EXPECT_EQ(stats.reply_pushes, 0u);
+  // Fast KV ops: ~2 round trips per call (Section 4.3).
+  EXPECT_LT(stats.RoundTripsPerCall(), 2.6);
+}
+
+TEST_F(JakiroTest, MultipleClientsShareNothing) {
+  JakiroConfig config;
+  config.server_threads = 2;
+  JakiroServer* server = MakeServer(config);
+  rdma::Node* client_node2 = &fabric_.AddNode("client2");
+  JakiroClient c1(*server, *client_node_);
+  JakiroClient c2(*server, *client_node2);
+  server->Start();
+
+  int done = 0;
+  auto driver = [](JakiroClient* c, const std::string& prefix, int* out) -> sim::Task<void> {
+    std::vector<std::byte> value(1024);
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_TRUE(co_await c->Put(Bytes(prefix + std::to_string(i)), Bytes(prefix)));
+    }
+    for (int i = 0; i < 30; ++i) {
+      auto got = co_await c->Get(Bytes(prefix + std::to_string(i)), value);
+      EXPECT_TRUE(got.has_value());
+    }
+    ++*out;
+  };
+  engine_.Spawn(driver(&c1, "alpha", &done));
+  engine_.Spawn(driver(&c2, "beta", &done));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_EQ(done, 2);
+}
+
+TEST_F(JakiroTest, LruEvictionUnderOverfill) {
+  JakiroConfig config;
+  config.server_threads = 1;
+  config.buckets_per_partition = 4;  // 32 slots total
+  JakiroServer* server = MakeServer(config);
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(co_await c->Put(Bytes("key" + std::to_string(i)), Bytes("v")));
+    }
+  }(&client));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_LE(server->partition(0).size(), 32u);
+  EXPECT_GT(server->partition(0).stats().evictions, 0u);
+}
+
+TEST_F(JakiroTest, MultiGetSpansPartitionsAndReportsMisses) {
+  JakiroConfig config;
+  config.server_threads = 4;
+  JakiroServer* server = MakeServer(config);
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  bool done = false;
+  engine_.Spawn([](JakiroClient* c, bool* out) -> sim::Task<void> {
+    // Seed 20 keys with distinct value sizes (every partition gets some).
+    std::vector<std::byte> value(512);
+    for (int i = 0; i < 20; ++i) {
+      std::string v(static_cast<size_t>(10 + i), static_cast<char>('a' + i % 26));
+      std::memcpy(value.data(), v.data(), v.size());
+      EXPECT_TRUE(co_await c->Put(Bytes("mk" + std::to_string(i)),
+                                  std::span<const std::byte>(value.data(), v.size())));
+    }
+    // Batch: all 20 present keys plus 4 misses, interleaved.
+    std::vector<std::vector<std::byte>> storage;
+    for (int i = 0; i < 20; ++i) {
+      storage.push_back(Bytes("mk" + std::to_string(i)));
+      if (i % 5 == 0) {
+        storage.push_back(Bytes("missing" + std::to_string(i)));
+      }
+    }
+    std::vector<std::span<const std::byte>> keys(storage.begin(), storage.end());
+    std::vector<std::byte> arena(16384);
+    std::vector<std::optional<std::span<const std::byte>>> results(keys.size());
+    co_await c->MultiGet(keys, arena, results);
+
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const std::string name(reinterpret_cast<const char*>(storage[k].data()),
+                             storage[k].size());
+      if (name.rfind("missing", 0) == 0) {
+        EXPECT_FALSE(results[k].has_value()) << name;
+      } else {
+        EXPECT_TRUE(results[k].has_value()) << name;
+        if (!results[k].has_value()) {
+          continue;
+        }
+        const int i = std::stoi(name.substr(2));
+        EXPECT_EQ(results[k]->size(), static_cast<size_t>(10 + i)) << name;
+        EXPECT_EQ(static_cast<char>((*results[k])[0]), static_cast<char>('a' + i % 26));
+      }
+    }
+    *out = true;
+  }(&client, &done));
+  engine_.RunUntil(sim::Millis(20));
+  server->Stop();
+  EXPECT_TRUE(done);
+  // Grouped by owner: at most one RPC per server thread for the batch
+  // (plus the 20 PUTs).
+  EXPECT_LE(client.operations(), 20u + 4u);
+}
+
+TEST_F(JakiroTest, MultiGetAmortizesRoundTrips) {
+  JakiroConfig config;
+  config.server_threads = 1;  // single owner: the whole batch is one RPC
+  JakiroServer* server = MakeServer(config);
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
+    for (int i = 0; i < 16; ++i) {
+      co_await c->Put(Bytes("b" + std::to_string(i)), Bytes("v"));
+    }
+    std::vector<std::vector<std::byte>> storage;
+    for (int i = 0; i < 16; ++i) {
+      storage.push_back(Bytes("b" + std::to_string(i)));
+    }
+    std::vector<std::span<const std::byte>> keys(storage.begin(), storage.end());
+    std::vector<std::byte> arena(4096);
+    std::vector<std::optional<std::span<const std::byte>>> results(keys.size());
+    co_await c->MultiGet(keys, arena, results);
+    for (const auto& r : results) {
+      EXPECT_TRUE(r.has_value());
+    }
+  }(&client));
+  engine_.RunUntil(sim::Millis(20));
+  server->Stop();
+  // 16 PUT calls + exactly 1 MULTIGET call.
+  EXPECT_EQ(client.MergedChannelStats().calls, 17u);
+}
+
+TEST_F(JakiroTest, MultiGetArenaExhaustionThrows) {
+  JakiroServer* server = MakeServer();
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+  engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
+    co_await c->Put(Bytes("big"), Bytes(std::string(500, 'x')));
+    std::vector<std::vector<std::byte>> storage{Bytes("big")};
+    std::vector<std::span<const std::byte>> keys(storage.begin(), storage.end());
+    std::vector<std::byte> arena(16);  // too small
+    std::vector<std::optional<std::span<const std::byte>>> results(1);
+    co_await c->MultiGet(keys, arena, results);
+  }(&client));
+  EXPECT_THROW(engine_.RunUntil(sim::Millis(5)), std::length_error);
+}
+
+}  // namespace
+}  // namespace kv

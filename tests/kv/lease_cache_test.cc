@@ -1,0 +1,190 @@
+#include "src/kv/lease_cache.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+#include "src/workload/ycsb.h"
+
+namespace kv {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<std::byte>(s[i]);
+  }
+  return out;
+}
+
+class LeaseCacheTest : public ::testing::Test {
+ protected:
+  LeaseCacheTest() {
+    server_ = std::make_unique<PilafServer>(fabric_, *server_node_, PilafConfig{});
+    client_ = std::make_unique<PilafClient>(fabric_, *client_node_, *server_, 0);
+  }
+
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node* server_node_{&fabric_.AddNode("server")};
+  rdma::Node* client_node_{&fabric_.AddNode("client")};
+  std::unique_ptr<PilafServer> server_;
+  std::unique_ptr<PilafClient> client_;
+};
+
+TEST_F(LeaseCacheTest, HitWithinLeaseCostsNoNetworkOps) {
+  ASSERT_TRUE(server_->Preload(Bytes("key"), Bytes("cached!!")));
+  LeaseCacheConfig config;
+  config.lease_ns = sim::Micros(100);
+  LeaseCachedClient cached(engine_, client_.get(), config);
+  server_->Start();
+
+  engine_.Spawn([](LeaseCachedClient* c, PilafClient* base) -> sim::Task<void> {
+    std::vector<std::byte> out(256);
+    auto first = co_await c->Get(Bytes("key"), out);
+    EXPECT_TRUE(first.has_value());
+    const uint64_t reads_after_first = base->stats().slot_reads + base->stats().extent_reads;
+    for (int i = 0; i < 10; ++i) {
+      auto hit = co_await c->Get(Bytes("key"), out);
+      EXPECT_TRUE(hit.has_value());
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), *hit), "cached!!");
+    }
+    // The 10 lease hits issued zero additional one-sided READs.
+    EXPECT_EQ(base->stats().slot_reads + base->stats().extent_reads, reads_after_first);
+  }(&cached, client_.get()));
+  engine_.RunUntil(sim::Millis(2));
+  server_->Stop();
+  EXPECT_EQ(cached.stats().cache_hits, 10u);
+  EXPECT_EQ(cached.stats().cache_misses, 1u);
+}
+
+TEST_F(LeaseCacheTest, ExpiredLeaseRefetchesAndSeesNewValue) {
+  ASSERT_TRUE(server_->Preload(Bytes("key"), Bytes("old")));
+  LeaseCacheConfig config;
+  config.lease_ns = sim::Micros(50);
+  LeaseCachedClient cached(engine_, client_.get(), config);
+  rdma::Node* writer_node = &fabric_.AddNode("writer");
+  PilafClient writer(fabric_, *writer_node, *server_, 1);
+  server_->Start();
+
+  engine_.Spawn([](sim::Engine& eng, LeaseCachedClient* c, PilafClient* w) -> sim::Task<void> {
+    std::vector<std::byte> out(256);
+    auto v1 = co_await c->Get(Bytes("key"), out);  // caches "old"
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), *v1), "old");
+    co_await w->Put(Bytes("key"), Bytes("new"));
+    // Still within the lease: the cache may (and does) serve the old value —
+    // the bounded staleness this design trades for.
+    auto stale = co_await c->Get(Bytes("key"), out);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), *stale), "old");
+    // Wait out the lease: the next read refetches and sees the new value.
+    co_await eng.Sleep(sim::Micros(60));
+    auto fresh = co_await c->Get(Bytes("key"), out);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), *fresh), "new");
+  }(engine_, &cached, &writer));
+  engine_.RunUntil(sim::Millis(2));
+  server_->Stop();
+  EXPECT_EQ(cached.stats().lease_expired, 1u);
+}
+
+TEST_F(LeaseCacheTest, OwnWritesAreImmediatelyVisible) {
+  LeaseCacheConfig config;
+  config.lease_ns = sim::Millis(10);  // long lease: only write-through saves us
+  LeaseCachedClient cached(engine_, client_.get(), config);
+  server_->Start();
+  engine_.Spawn([](LeaseCachedClient* c) -> sim::Task<void> {
+    std::vector<std::byte> out(256);
+    EXPECT_TRUE(co_await c->Put(Bytes("k"), Bytes("v1")));
+    auto r1 = co_await c->Get(Bytes("k"), out);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), *r1), "v1");
+    EXPECT_TRUE(co_await c->Put(Bytes("k"), Bytes("v2")));
+    auto r2 = co_await c->Get(Bytes("k"), out);
+    // Read-your-writes despite the live lease on "v1".
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), *r2), "v2");
+  }(&cached));
+  engine_.RunUntil(sim::Millis(2));
+  server_->Stop();
+}
+
+TEST_F(LeaseCacheTest, LruEvictionBoundsTheCache) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(server_->Preload(Bytes("key" + std::to_string(i)), Bytes("v")));
+  }
+  LeaseCacheConfig config;
+  config.capacity = 8;
+  config.lease_ns = sim::Millis(10);
+  LeaseCachedClient cached(engine_, client_.get(), config);
+  server_->Start();
+  engine_.Spawn([](LeaseCachedClient* c) -> sim::Task<void> {
+    std::vector<std::byte> out(256);
+    for (int i = 0; i < 20; ++i) {
+      co_await c->Get(Bytes("key" + std::to_string(i)), out);
+    }
+  }(&cached));
+  engine_.RunUntil(sim::Millis(5));
+  server_->Stop();
+  EXPECT_EQ(cached.size(), 8u);
+  EXPECT_EQ(cached.stats().evictions, 12u);
+}
+
+TEST_F(LeaseCacheTest, StalenessNeverExceedsTheLease) {
+  // Property: whenever the cached reader observes version v while the
+  // writer has already committed v' > v, the commit of the NEXT version
+  // the reader eventually sees lies within lease_ns of the stale read.
+  ASSERT_TRUE(server_->Preload(Bytes("hot"), Bytes(std::string(16, '\0'))));
+  LeaseCacheConfig config;
+  config.lease_ns = sim::Micros(80);
+  LeaseCachedClient cached(engine_, client_.get(), config);
+  rdma::Node* writer_node = &fabric_.AddNode("writer");
+  PilafClient writer(fabric_, *writer_node, *server_, 1);
+  server_->Start();
+
+  // Writer bumps a version counter value every ~20 us.
+  auto commit_times = std::make_shared<std::vector<sim::Time>>();
+  commit_times->push_back(0);
+  engine_.Spawn([](sim::Engine& eng, PilafClient* w,
+                   std::shared_ptr<std::vector<sim::Time>> commits) -> sim::Task<void> {
+    std::vector<std::byte> value(16);
+    for (uint64_t version = 1; version <= 100; ++version) {
+      std::memcpy(value.data(), &version, sizeof(version));
+      co_await w->Put(Bytes("hot"), value);
+      commits->push_back(eng.now());
+      co_await eng.Sleep(sim::Micros(20));
+    }
+  }(engine_, &writer, commit_times));
+
+  uint64_t violations = 0;
+  engine_.Spawn([](sim::Engine& eng, LeaseCachedClient* c,
+                   std::shared_ptr<std::vector<sim::Time>> commits,
+                   uint64_t* bad) -> sim::Task<void> {
+    std::vector<std::byte> out(256);
+    while (eng.now() < sim::Millis(2)) {
+      auto size = co_await c->Get(Bytes("hot"), out);
+      if (size.has_value() && *size >= 8) {
+        uint64_t version = 0;
+        std::memcpy(&version, out.data(), sizeof(version));
+        // The next version's commit must not be older than lease_ns: that
+        // would mean we served data staler than the lease allows.
+        if (version + 1 < commits->size()) {
+          const sim::Time next_commit = (*commits)[static_cast<size_t>(version + 1)];
+          if (eng.now() - next_commit > sim::Micros(80) + sim::Micros(5)) {
+            ++*bad;
+          }
+        }
+      }
+      co_await eng.Sleep(sim::Micros(7));
+    }
+  }(engine_, &cached, commit_times, &violations));
+
+  engine_.RunUntil(sim::Millis(2));
+  server_->Stop();
+  EXPECT_EQ(violations, 0u);
+  EXPECT_GT(cached.stats().cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace kv

@@ -1,0 +1,177 @@
+#include "src/kv/memcached_store.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace kv {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<std::byte>(s[i]);
+  }
+  return out;
+}
+
+class MemcachedTest : public ::testing::Test {
+ protected:
+  MemcachedServer* MakeServer(MemcachedConfig config = {}) {
+    server_ = std::make_unique<MemcachedServer>(fabric_, *server_node_, config);
+    return server_.get();
+  }
+
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node* server_node_{&fabric_.AddNode("server")};
+  rdma::Node* client_node_{&fabric_.AddNode("client")};
+  std::unique_ptr<MemcachedServer> server_;
+};
+
+TEST_F(MemcachedTest, PutGetRoundTrip) {
+  MemcachedServer* server = MakeServer();
+  MemcachedClient client(*server, *client_node_, 0);
+  server->Start();
+  std::string got;
+  engine_.Spawn([](MemcachedClient* c, std::string* out) -> sim::Task<void> {
+    std::vector<std::byte> value(1024);
+    EXPECT_TRUE(co_await c->Put(Bytes("key"), Bytes("cached")));
+    auto size = co_await c->Get(Bytes("key"), value);
+    EXPECT_TRUE(size.has_value());
+    out->assign(reinterpret_cast<const char*>(value.data()), *size);
+  }(&client, &got));
+  engine_.RunUntil(sim::Millis(5));
+  server->Stop();
+  EXPECT_EQ(got, "cached");
+  EXPECT_EQ(server->stats().hits, 1u);
+}
+
+TEST_F(MemcachedTest, MissReported) {
+  MemcachedServer* server = MakeServer();
+  MemcachedClient client(*server, *client_node_, 0);
+  server->Start();
+  bool checked = false;
+  engine_.Spawn([](MemcachedClient* c, bool* out) -> sim::Task<void> {
+    std::vector<std::byte> value(64);
+    EXPECT_FALSE((co_await c->Get(Bytes("ghost"), value)).has_value());
+    *out = true;
+  }(&client, &checked));
+  engine_.RunUntil(sim::Millis(5));
+  server->Stop();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(server->stats().misses, 1u);
+}
+
+TEST_F(MemcachedTest, GlobalLruEvictsOldest) {
+  MemcachedConfig config;
+  config.capacity_items = 3;
+  MemcachedServer* server = MakeServer(config);
+  server->Preload(Bytes("a"), Bytes("1"));
+  server->Preload(Bytes("b"), Bytes("2"));
+  server->Preload(Bytes("c"), Bytes("3"));
+  MemcachedClient client(*server, *client_node_, 0);
+  server->Start();
+  engine_.Spawn([](MemcachedClient* c) -> sim::Task<void> {
+    std::vector<std::byte> value(64);
+    // Touch "a" so "b" is the global LRU victim.
+    EXPECT_TRUE((co_await c->Get(Bytes("a"), value)).has_value());
+    EXPECT_TRUE(co_await c->Put(Bytes("d"), Bytes("4")));
+    EXPECT_FALSE((co_await c->Get(Bytes("b"), value)).has_value());
+    EXPECT_TRUE((co_await c->Get(Bytes("a"), value)).has_value());
+    EXPECT_TRUE((co_await c->Get(Bytes("d"), value)).has_value());
+  }(&client));
+  engine_.RunUntil(sim::Millis(5));
+  server->Stop();
+  EXPECT_EQ(server->stats().evictions, 1u);
+  EXPECT_EQ(server->size(), 3u);
+}
+
+TEST_F(MemcachedTest, RepeatedKeyHitsHotSet) {
+  MemcachedServer* server = MakeServer();
+  server->Preload(Bytes("hot"), Bytes("v"));
+  MemcachedClient client(*server, *client_node_, 0);
+  server->Start();
+  engine_.Spawn([](MemcachedClient* c) -> sim::Task<void> {
+    std::vector<std::byte> value(64);
+    for (int i = 0; i < 20; ++i) {
+      co_await c->Get(Bytes("hot"), value);
+    }
+  }(&client));
+  engine_.RunUntil(sim::Millis(5));
+  server->Stop();
+  // First access installs the key; the remaining 19 hit the hot set.
+  EXPECT_EQ(server->stats().hot_hits, 19u);
+}
+
+TEST_F(MemcachedTest, HotKeysAreServedFaster) {
+  // CPU-cache locality model: repeated access to one key must have lower
+  // latency than scattered access (drives the paper's Fig 19 behaviour).
+  MemcachedConfig config;
+  config.hot_set_size = 4;
+  MemcachedServer* server = MakeServer(config);
+  for (int i = 0; i < 200; ++i) {
+    server->Preload(Bytes("key" + std::to_string(i)), Bytes("v"));
+  }
+  MemcachedClient hot_client(*server, *client_node_, 0);
+  server->Start();
+
+  sim::Time hot_elapsed = 0;
+  sim::Time cold_elapsed = 0;
+  engine_.Spawn([](sim::Engine& eng, MemcachedClient* c, sim::Time* hot,
+                   sim::Time* cold) -> sim::Task<void> {
+    std::vector<std::byte> value(64);
+    sim::Time start = eng.now();
+    for (int i = 0; i < 50; ++i) {
+      co_await c->Get(Bytes("key0"), value);  // always the same key
+    }
+    *hot = eng.now() - start;
+    start = eng.now();
+    for (int i = 0; i < 50; ++i) {
+      co_await c->Get(Bytes("key" + std::to_string(i * 4 + 1)), value);  // scattered
+    }
+    *cold = eng.now() - start;
+  }(engine_, &hot_client, &hot_elapsed, &cold_elapsed));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_LT(static_cast<double>(hot_elapsed), 0.75 * static_cast<double>(cold_elapsed));
+}
+
+TEST_F(MemcachedTest, SharedLockSerializesThreads) {
+  // Two clients on two server threads: the shared cache lock means total
+  // time exceeds what two independent partitions would take.
+  MemcachedConfig config;
+  config.server_threads = 2;
+  config.get_cpu_ns = 100;     // make the lock the dominant cost
+  config.get_lock_ns = 5000;
+  MemcachedServer* server = MakeServer(config);
+  server->Preload(Bytes("x"), Bytes("1"));
+  MemcachedClient c1(*server, *client_node_, 0);
+  rdma::Node* client_node2 = &fabric_.AddNode("client2");
+  MemcachedClient c2(*server, *client_node2, 1);
+  server->Start();
+
+  int done = 0;
+  auto driver = [](MemcachedClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> value(64);
+    for (int i = 0; i < 20; ++i) {
+      co_await c->Get(Bytes("x"), value);
+    }
+    ++*out;
+  };
+  engine_.Spawn(driver(&c1, &done));
+  engine_.Spawn(driver(&c2, &done));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_EQ(done, 2);
+  // 40 gets x 5 us lock hold = 200 us of serialized lock time minimum.
+  EXPECT_GE(engine_.now(), sim::Micros(200));
+}
+
+}  // namespace
+}  // namespace kv

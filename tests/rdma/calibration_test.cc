@@ -1,0 +1,158 @@
+// End-to-end calibration checks: running real client/server actor loops on
+// the fabric must reproduce the paper's measured hardware envelope
+// (Section 2.2). These are small versions of the Fig 3/4/5 benchmarks with
+// assertions instead of tables.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace rdma {
+namespace {
+
+struct LoopStats {
+  uint64_t ops = 0;
+};
+
+// An actor that issues back-to-back synchronous READs of `size` bytes until
+// `deadline`, counting completions (the paper's in-bound IOPS pattern).
+sim::Task<void> ReadLoop(sim::Engine& eng, QueuePair* qp, MemoryRegion* local,
+                         MemoryRegion* remote, uint32_t size, sim::Time deadline,
+                         LoopStats* stats) {
+  while (eng.now() < deadline) {
+    WorkCompletion wc = co_await qp->Read(*local, 0, remote->remote_key(), 0, size);
+    if (!wc.ok()) {
+      break;
+    }
+    ++stats->ops;
+  }
+}
+
+// An actor that issues back-to-back synchronous WRITEs (the out-bound IOPS
+// pattern: the server writes to client memory).
+sim::Task<void> WriteLoop(sim::Engine& eng, QueuePair* qp, MemoryRegion* local,
+                          MemoryRegion* remote, uint32_t size, sim::Time deadline,
+                          LoopStats* stats) {
+  while (eng.now() < deadline) {
+    WorkCompletion wc = co_await qp->Write(*local, 0, remote->remote_key(), 0, size);
+    if (!wc.ok()) {
+      break;
+    }
+    ++stats->ops;
+  }
+}
+
+double MeasureInboundMops(int client_nodes, int threads_per_node, uint32_t size) {
+  sim::Engine engine;
+  Fabric fabric(engine);
+  Node& server = fabric.AddNode("server");
+  MemoryRegion* remote = server.RegisterMemory(8192, kAccessRemoteRead);
+  const sim::Time duration = sim::Millis(3);
+  std::vector<LoopStats> stats(static_cast<size_t>(client_nodes * threads_per_node));
+  size_t idx = 0;
+  for (int n = 0; n < client_nodes; ++n) {
+    Node& client = fabric.AddNode("client" + std::to_string(n));
+    for (int t = 0; t < threads_per_node; ++t) {
+      auto [cqp, sqp] = fabric.ConnectRc(client, server);
+      MemoryRegion* local = client.RegisterMemory(8192, kAccessLocal);
+      engine.Spawn(ReadLoop(engine, cqp, local, remote, size, duration, &stats[idx++]));
+      (void)sqp;
+    }
+  }
+  engine.Run();
+  uint64_t total = 0;
+  for (const auto& s : stats) {
+    total += s.ops;
+  }
+  return static_cast<double>(total) / sim::ToSeconds(duration) / 1e6;
+}
+
+double MeasureOutboundMops(int server_threads, uint32_t size) {
+  sim::Engine engine;
+  Fabric fabric(engine);
+  Node& server = fabric.AddNode("server");
+  const sim::Time duration = sim::Millis(3);
+  std::vector<LoopStats> stats(static_cast<size_t>(server_threads));
+  // 7 client machines, as in the paper's testbed.
+  std::vector<Node*> clients;
+  std::vector<MemoryRegion*> client_mem;
+  for (int n = 0; n < 7; ++n) {
+    clients.push_back(&fabric.AddNode("client" + std::to_string(n)));
+    client_mem.push_back(clients.back()->RegisterMemory(8192, kAccessRemoteWrite));
+  }
+  for (int t = 0; t < server_threads; ++t) {
+    // Each server thread writes to one client (round-robin).
+    auto [sqp, cqp] = fabric.ConnectRc(server, *clients[static_cast<size_t>(t) % 7]);
+    MemoryRegion* local = server.RegisterMemory(8192, kAccessLocal);
+    engine.Spawn(WriteLoop(engine, sqp, local, client_mem[static_cast<size_t>(t) % 7], size,
+                           duration, &stats[static_cast<size_t>(t)]));
+    (void)cqp;
+  }
+  engine.Run();
+  uint64_t total = 0;
+  for (const auto& s : stats) {
+    total += s.ops;
+  }
+  return static_cast<double>(total) / sim::ToSeconds(duration) / 1e6;
+}
+
+TEST(CalibrationTest, InboundPeaksNearPaperValue) {
+  // 7 clients x 4 threads, 32 B: paper measures ~11.26 MOPS.
+  const double mops = MeasureInboundMops(7, 4, 32);
+  EXPECT_GT(mops, 10.0);
+  EXPECT_LT(mops, 12.0);
+}
+
+TEST(CalibrationTest, OutboundSaturatesNearPaperValue) {
+  // >= 4 server threads, 32 B: paper measures ~2.11 MOPS.
+  const double mops = MeasureOutboundMops(4, 32);
+  EXPECT_GT(mops, 1.9);
+  EXPECT_LT(mops, 2.3);
+}
+
+TEST(CalibrationTest, SingleThreadOutboundWellBelowSaturation) {
+  const double mops = MeasureOutboundMops(1, 32);
+  EXPECT_GT(mops, 0.5);
+  EXPECT_LT(mops, 1.2);
+}
+
+TEST(CalibrationTest, AsymmetryRatioAboutFive) {
+  const double in = MeasureInboundMops(7, 4, 32);
+  const double out = MeasureOutboundMops(4, 32);
+  EXPECT_GT(in / out, 4.0);
+  EXPECT_LT(in / out, 6.5);
+}
+
+TEST(CalibrationTest, InboundScalesUpThenDeclines) {
+  // Fig 4's shape: rising with thread count, peaking around 28-35 total
+  // client threads, declining by the 70-thread mark.
+  const double at7 = MeasureInboundMops(7, 1, 32);
+  const double at28 = MeasureInboundMops(7, 4, 32);
+  const double at70 = MeasureInboundMops(7, 10, 32);
+  EXPECT_LT(at7, at28);
+  EXPECT_LT(at70, at28);
+  EXPECT_GT(at70, at28 * 0.7);  // decline is moderate, not a collapse
+}
+
+TEST(CalibrationTest, LargePayloadsEraseTheAsymmetry) {
+  // Fig 5: at >= 2 KB both directions are bandwidth-bound and equal.
+  const double in = MeasureInboundMops(7, 4, 2048);
+  const double out = MeasureOutboundMops(4, 2048);
+  EXPECT_NEAR(in / out, 1.0, 0.15);
+}
+
+TEST(CalibrationTest, InboundFlatUpTo256Bytes) {
+  const double at32 = MeasureInboundMops(7, 4, 32);
+  const double at256 = MeasureInboundMops(7, 4, 256);
+  EXPECT_NEAR(at256 / at32, 1.0, 0.05);
+  const double at1k = MeasureInboundMops(7, 4, 1024);
+  EXPECT_LT(at1k, at256 * 0.6);  // bandwidth knee in effect
+}
+
+}  // namespace
+}  // namespace rdma

@@ -1,0 +1,82 @@
+#include "src/rdma/memory.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+
+namespace rdma {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  Fabric fabric_{engine_};
+};
+
+TEST_F(MemoryTest, RegistrationAssignsUniqueKeys) {
+  Node& node = fabric_.AddNode("n0");
+  MemoryRegion* a = node.RegisterMemory(1024, kAccessRemoteRead);
+  MemoryRegion* b = node.RegisterMemory(1024, kAccessRemoteRead);
+  EXPECT_NE(a->remote_key().rkey, b->remote_key().rkey);
+  EXPECT_EQ(fabric_.FindRemote(a->remote_key()), a);
+  EXPECT_EQ(fabric_.FindRemote(b->remote_key()), b);
+}
+
+TEST_F(MemoryTest, UnknownRkeyResolvesToNull) {
+  EXPECT_EQ(fabric_.FindRemote(RemoteKey{9999}), nullptr);
+}
+
+TEST_F(MemoryTest, AccessFlagsReported) {
+  Node& node = fabric_.AddNode("n0");
+  MemoryRegion* ro = node.RegisterMemory(64, kAccessRemoteRead);
+  MemoryRegion* rw = node.RegisterMemory(64, kAccessRemoteRead | kAccessRemoteWrite);
+  MemoryRegion* local = node.RegisterMemory(64, kAccessLocal);
+  EXPECT_TRUE(ro->AllowsRemoteRead());
+  EXPECT_FALSE(ro->AllowsRemoteWrite());
+  EXPECT_TRUE(rw->AllowsRemoteWrite());
+  EXPECT_FALSE(local->AllowsRemoteRead());
+  EXPECT_FALSE(local->AllowsRemoteWrite());
+}
+
+TEST_F(MemoryTest, InBoundsChecks) {
+  Node& node = fabric_.AddNode("n0");
+  MemoryRegion* mr = node.RegisterMemory(100, kAccessLocal);
+  EXPECT_TRUE(mr->InBounds(0, 100));
+  EXPECT_TRUE(mr->InBounds(100, 0));
+  EXPECT_TRUE(mr->InBounds(50, 50));
+  EXPECT_FALSE(mr->InBounds(50, 51));
+  EXPECT_FALSE(mr->InBounds(101, 0));
+}
+
+TEST_F(MemoryTest, TypedLoadStoreRoundTrips) {
+  Node& node = fabric_.AddNode("n0");
+  MemoryRegion* mr = node.RegisterMemory(64, kAccessLocal);
+  mr->Store<uint64_t>(8, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(mr->Load<uint64_t>(8), 0xdeadbeefcafef00dULL);
+  mr->Store<uint16_t>(0, 42);
+  EXPECT_EQ(mr->Load<uint16_t>(0), 42);
+}
+
+TEST_F(MemoryTest, ByteCopiesRoundTrip) {
+  Node& node = fabric_.AddNode("n0");
+  MemoryRegion* mr = node.RegisterMemory(32, kAccessLocal);
+  const char msg[] = "remote fetching paradigm";
+  mr->WriteBytes(4, std::as_bytes(std::span(msg, sizeof(msg))));
+  char out[sizeof(msg)] = {};
+  mr->ReadBytes(4, std::as_writable_bytes(std::span(out, sizeof(out))));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(MemoryTest, RegionsZeroInitialized) {
+  Node& node = fabric_.AddNode("n0");
+  MemoryRegion* mr = node.RegisterMemory(256, kAccessLocal);
+  for (std::byte b : mr->bytes()) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+}  // namespace
+}  // namespace rdma

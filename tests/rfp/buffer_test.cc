@@ -1,0 +1,68 @@
+#include "src/rfp/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+
+namespace rfp {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node& node_{fabric_.AddNode("n0")};
+};
+
+TEST_F(BufferPoolTest, MallocReturnsUsableRegisteredMemory) {
+  BufferPool pool(node_);
+  BufferPool::Buffer buf = pool.MallocBuf(100);
+  ASSERT_TRUE(buf.valid());
+  EXPECT_EQ(buf.bytes.size(), 100u);
+  EXPECT_GE(buf.mr->size(), 100u);
+  // The region is registered: it resolves fabric-wide by rkey.
+  EXPECT_EQ(fabric_.FindRemote(buf.mr->remote_key()), buf.mr);
+}
+
+TEST_F(BufferPoolTest, FreeThenMallocReusesRegion) {
+  BufferPool pool(node_);
+  BufferPool::Buffer a = pool.MallocBuf(100);
+  rdma::MemoryRegion* mr = a.mr;
+  pool.FreeBuf(a);
+  BufferPool::Buffer b = pool.MallocBuf(90);  // same 128-byte size class
+  EXPECT_EQ(b.mr, mr);
+  EXPECT_EQ(pool.registrations(), 1u);
+  EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST_F(BufferPoolTest, DifferentSizeClassesDoNotMix) {
+  BufferPool pool(node_);
+  BufferPool::Buffer small = pool.MallocBuf(100);
+  pool.FreeBuf(small);
+  BufferPool::Buffer large = pool.MallocBuf(1000);
+  EXPECT_NE(large.mr, small.mr);
+  EXPECT_EQ(pool.registrations(), 2u);
+}
+
+TEST_F(BufferPoolTest, SizesRoundUpToPowerOfTwo) {
+  BufferPool pool(node_);
+  BufferPool::Buffer buf = pool.MallocBuf(33);
+  EXPECT_EQ(buf.mr->size(), 64u);
+  BufferPool::Buffer exact = pool.MallocBuf(64);
+  EXPECT_EQ(exact.mr->size(), 64u);
+}
+
+TEST_F(BufferPoolTest, ZeroSizeAllocationsWork) {
+  BufferPool pool(node_);
+  BufferPool::Buffer buf = pool.MallocBuf(0);
+  EXPECT_TRUE(buf.valid());
+}
+
+TEST_F(BufferPoolTest, FreeingInvalidBufferThrows) {
+  BufferPool pool(node_);
+  EXPECT_THROW(pool.FreeBuf(BufferPool::Buffer{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp

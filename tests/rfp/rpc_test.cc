@@ -1,0 +1,233 @@
+#include "src/rfp/rpc.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace rfp {
+namespace {
+
+constexpr uint16_t kEcho = 1;
+constexpr uint16_t kUpper = 2;
+constexpr uint16_t kSlow = 3;
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : server_node_(&fabric_.AddNode("server")) {}
+
+  RpcServer* MakeServer(int threads) {
+    server_ = std::make_unique<RpcServer>(fabric_, *server_node_, threads);
+    server_->RegisterHandler(kEcho, [](const HandlerContext&, std::span<const std::byte> req,
+                                       std::span<std::byte> resp) {
+      std::memcpy(resp.data(), req.data(), req.size());
+      return HandlerResult{req.size(), sim::Nanos(300)};
+    });
+    server_->RegisterHandler(kUpper, [](const HandlerContext&, std::span<const std::byte> req,
+                                        std::span<std::byte> resp) {
+      for (size_t i = 0; i < req.size(); ++i) {
+        resp[i] = static_cast<std::byte>(
+            std::toupper(static_cast<unsigned char>(std::to_integer<char>(req[i]))));
+      }
+      return HandlerResult{req.size(), sim::Nanos(300)};
+    });
+    server_->RegisterHandler(kSlow, [](const HandlerContext&, std::span<const std::byte> req,
+                                       std::span<std::byte> resp) {
+      std::memcpy(resp.data(), req.data(), req.size());
+      return HandlerResult{req.size(), sim::Micros(20)};
+    });
+    return server_.get();
+  }
+
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node* server_node_;
+  std::unique_ptr<RpcServer> server_;
+};
+
+TEST_F(RpcTest, SingleCallRoundTrip) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& client_node = fabric_.AddNode("client");
+  Channel* ch = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  server->Start();
+
+  std::string got;
+  engine_.Spawn([](Channel* channel, std::string* out) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    size_t n = co_await client.Call(kUpper, AsBytes("hello rfp"), resp);
+    out->assign(reinterpret_cast<const char*>(resp.data()), n);
+  }(ch, &got));
+  engine_.RunUntil(sim::Millis(5));
+  server->Stop();
+  EXPECT_EQ(got, "HELLO RFP");
+  EXPECT_EQ(server->requests_served(), 1u);
+}
+
+TEST_F(RpcTest, MultipleClientsAcrossThreads) {
+  RpcServer* server = MakeServer(2);
+  const int clients = 6;
+  const int calls = 25;
+  std::vector<Channel*> channels;
+  for (int i = 0; i < clients; ++i) {
+    rdma::Node& node = fabric_.AddNode("client" + std::to_string(i));
+    channels.push_back(server->AcceptChannel(node, RfpOptions{}, i % 2));
+  }
+  server->Start();
+
+  int completed = 0;
+  for (int i = 0; i < clients; ++i) {
+    engine_.Spawn([](Channel* channel, int id, int n, int* done) -> sim::Task<void> {
+      RpcClient client(channel);
+      std::vector<std::byte> resp(1024);
+      for (int k = 0; k < n; ++k) {
+        std::string msg = "c" + std::to_string(id) + "-m" + std::to_string(k);
+        size_t got = co_await client.Call(kEcho, AsBytes(msg), resp);
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(resp.data()), got), msg);
+      }
+      ++*done;
+    }(channels[static_cast<size_t>(i)], i, calls, &completed));
+  }
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_EQ(completed, clients);
+  EXPECT_EQ(server->requests_served(), static_cast<uint64_t>(clients * calls));
+  // EREW: each thread served only its own channels.
+  EXPECT_EQ(server->requests_served_by(0) + server->requests_served_by(1),
+            server->requests_served());
+  EXPECT_GT(server->requests_served_by(0), 0u);
+  EXPECT_GT(server->requests_served_by(1), 0u);
+}
+
+TEST_F(RpcTest, HandlerProcessTimeVisibleInResponseHeader) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& client_node = fabric_.AddNode("client");
+  Channel* ch = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  server->Start();
+
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    co_await client.Call(kSlow, AsBytes("x"), resp);
+  }(ch));
+  engine_.RunUntil(sim::Millis(5));
+  server->Stop();
+  EXPECT_GE(ch->last_server_time_us(), 20);
+  EXPECT_LE(ch->last_server_time_us(), 23);
+}
+
+TEST_F(RpcTest, SlowHandlerDrivesChannelToReplyMode) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& client_node = fabric_.AddNode("client");
+  Channel* ch = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  server->Start();
+
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < 5; ++i) {
+      co_await client.Call(kSlow, AsBytes("x"), resp);
+    }
+  }(ch));
+  engine_.RunUntil(sim::Millis(5));
+  server->Stop();
+  EXPECT_EQ(ch->client_mode(), Mode::kServerReply);
+}
+
+TEST_F(RpcTest, UnknownRpcIdFailsLoudly) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& client_node = fabric_.AddNode("client");
+  Channel* ch = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  server->Start();
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    co_await client.Call(999, AsBytes("x"), resp);
+  }(ch));
+  EXPECT_THROW(engine_.RunUntil(sim::Millis(5)), std::runtime_error);
+}
+
+TEST_F(RpcTest, LatencyHistogramPopulated) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& client_node = fabric_.AddNode("client");
+  Channel* ch = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  server->Start();
+  sim::Histogram latencies;
+  engine_.Spawn([](Channel* channel, sim::Histogram* out) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < 30; ++i) {
+      co_await client.Call(kEcho, AsBytes("payload"), resp);
+    }
+    *out = client.latency();
+  }(ch, &latencies));
+  engine_.RunUntil(sim::Millis(10));
+  server->Stop();
+  EXPECT_EQ(latencies.count(), 30u);
+  // Echo with 0.3 us process time: latency in the single-digit microseconds.
+  EXPECT_GT(latencies.mean(), 2000.0);
+  EXPECT_LT(latencies.mean(), 10000.0);
+}
+
+TEST_F(RpcTest, OversizedChannelRejectedAtAccept) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& client_node = fabric_.AddNode("client");
+  RfpOptions big;
+  big.max_message_bytes = ServerOptions{}.max_message_bytes + 1;
+  // Dispatch buffers are fixed-size; a channel that could outgrow them must
+  // be rejected up front, not corrupt memory later.
+  EXPECT_THROW(server->AcceptChannel(client_node, big, 0), std::invalid_argument);
+}
+
+TEST_F(RpcTest, ChannelsAcceptedMidRunAreServed) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& first_node = fabric_.AddNode("client0");
+  Channel* first = server->AcceptChannel(first_node, RfpOptions{}, 0);
+  server->Start();
+
+  int first_done = 0;
+  int late_done = 0;
+  engine_.Spawn([](Channel* channel, int* done) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < 50; ++i) {
+      co_await client.Call(kEcho, AsBytes("early"), resp);
+    }
+    ++*done;
+  }(first, &first_done));
+
+  // A second client joins while the serve loop is live (exercises the
+  // suspension-safe channel iteration).
+  rdma::Node& late_node = fabric_.AddNode("client1");
+  engine_.ScheduleAt(sim::Micros(50), [&] {
+    Channel* late = server->AcceptChannel(late_node, RfpOptions{}, 0);
+    engine_.Spawn([](Channel* channel, int* done) -> sim::Task<void> {
+      RpcClient client(channel);
+      std::vector<std::byte> resp(1024);
+      for (int i = 0; i < 50; ++i) {
+        size_t n = co_await client.Call(kEcho, AsBytes("late"), resp);
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(resp.data()), n), "late");
+      }
+      ++*done;
+    }(late, &late_done));
+  });
+
+  engine_.RunUntil(sim::Millis(10));
+  server->Stop();
+  EXPECT_EQ(first_done, 1);
+  EXPECT_EQ(late_done, 1);
+}
+
+}  // namespace
+}  // namespace rfp

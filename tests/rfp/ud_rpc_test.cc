@@ -1,0 +1,195 @@
+#include "src/rfp/ud_rpc.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace rfp {
+namespace {
+
+constexpr uint16_t kEcho = 1;
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+Handler EchoHandler() {
+  return [](const HandlerContext&, std::span<const std::byte> req,
+            std::span<std::byte> resp) -> HandlerResult {
+    std::memcpy(resp.data(), req.data(), req.size());
+    return HandlerResult{req.size(), sim::Nanos(300)};
+  };
+}
+
+class UdRpcTest : public ::testing::Test {
+ protected:
+  explicit UdRpcTest(double loss = 0.0) {
+    rdma::FabricConfig config;
+    config.unreliable_loss_prob = loss;
+    fabric_ = std::make_unique<rdma::Fabric>(engine_, config);
+    server_node_ = &fabric_->AddNode("server");
+    client_node_ = &fabric_->AddNode("client");
+  }
+
+  UdRpcServer* MakeServer(int threads = 1) {
+    server_ = std::make_unique<UdRpcServer>(*fabric_, *server_node_, threads);
+    server_->RegisterHandler(kEcho, EchoHandler());
+    server_->Start();
+    return server_.get();
+  }
+
+  sim::Engine engine_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  rdma::Node* server_node_ = nullptr;
+  rdma::Node* client_node_ = nullptr;
+  std::unique_ptr<UdRpcServer> server_;
+};
+
+TEST_F(UdRpcTest, LosslessEchoRoundTrip) {
+  UdRpcServer* server = MakeServer();
+  UdRpcClient client(*fabric_, *client_node_, server->address(0));
+  std::string got;
+  engine_.Spawn([](UdRpcClient* c, std::string* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(1024);
+    size_t n = co_await c->Call(kEcho, AsBytes("datagram rpc"), resp);
+    out->assign(reinterpret_cast<const char*>(resp.data()), n);
+  }(&client, &got));
+  engine_.RunUntil(sim::Millis(2));
+  server->Stop();
+  EXPECT_EQ(got, "datagram rpc");
+  EXPECT_EQ(client.stats().retransmits, 0u);
+  EXPECT_EQ(server->requests_served(), 1u);
+}
+
+TEST_F(UdRpcTest, ManySequentialCalls) {
+  UdRpcServer* server = MakeServer(2);
+  UdRpcClient c0(*fabric_, *client_node_, server->address(0));
+  UdRpcClient c1(*fabric_, *client_node_, server->address(1));
+  int done = 0;
+  auto driver = [](UdRpcClient* c, int n, int* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < n; ++i) {
+      std::string msg = "m" + std::to_string(i);
+      size_t got = co_await c->Call(kEcho, AsBytes(msg), resp);
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(resp.data()), got), msg);
+    }
+    ++*out;
+  };
+  engine_.Spawn(driver(&c0, 50, &done));
+  engine_.Spawn(driver(&c1, 50, &done));
+  engine_.RunUntil(sim::Millis(10));
+  server->Stop();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(server->requests_served(), 100u);
+}
+
+class LossyUdRpcTest : public UdRpcTest {
+ protected:
+  LossyUdRpcTest() : UdRpcTest(0.2) {}  // 20% loss each way
+};
+
+TEST_F(LossyUdRpcTest, RetransmitsRecoverFromHeavyLoss) {
+  UdRpcServer* server = MakeServer();
+  UdRpcClient client(*fabric_, *client_node_, server->address(0));
+  int completed = 0;
+  engine_.Spawn([](UdRpcClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < 100; ++i) {
+      std::string msg = "lossy" + std::to_string(i);
+      size_t got = co_await c->Call(kEcho, AsBytes(msg), resp);
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(resp.data()), got), msg);
+      ++*out;
+    }
+  }(&client, &completed));
+  engine_.RunUntil(sim::Millis(100));
+  server->Stop();
+  EXPECT_EQ(completed, 100);
+  // With ~36% round-trip loss, retransmits are unavoidable.
+  EXPECT_GT(client.stats().retransmits, 10u);
+  EXPECT_EQ(client.stats().failures, 0u);
+  // Duplicate replies (server re-served a retransmitted request whose first
+  // reply also arrived) must have been filtered, not surfaced.
+  // (count depends on timing; the assertion is that the calls above all
+  // matched their own sequence numbers.)
+}
+
+TEST_F(LossyUdRpcTest, LatencyTailReflectsRetransmitTimeouts) {
+  UdRpcServer* server = MakeServer();
+  UdRpcClient client(*fabric_, *client_node_, server->address(0));
+  engine_.Spawn([](UdRpcClient* c) -> sim::Task<void> {
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < 200; ++i) {
+      co_await c->Call(kEcho, AsBytes("x"), resp);
+    }
+  }(&client));
+  engine_.RunUntil(sim::Millis(200));
+  server->Stop();
+  // Median is a clean round trip; the tail carries >= one 20 us timeout.
+  EXPECT_LT(client.latency().Percentile(0.5), 10'000);
+  EXPECT_GT(client.latency().Percentile(0.99), 20'000);
+}
+
+TEST(UdRpcTotalLossTest, CallFailsAfterMaxRetransmits) {
+  sim::Engine engine;
+  rdma::FabricConfig config;
+  config.unreliable_loss_prob = 1.0;  // black hole
+  rdma::Fabric fabric(engine, config);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  UdRpcServer server(fabric, server_node, 1);
+  server.RegisterHandler(kEcho, EchoHandler());
+  server.Start();
+  UdRpcOptions options;
+  options.max_retransmits = 3;
+  options.retry_timeout_ns = 5'000;
+  UdRpcClient client(fabric, client_node, server.address(0), options);
+  engine.Spawn([](UdRpcClient* c) -> sim::Task<void> {
+    std::vector<std::byte> resp(64);
+    co_await c->Call(kEcho, AsBytes("void"), resp);
+  }(&client));
+  EXPECT_THROW(engine.RunUntil(sim::Millis(5)), std::runtime_error);
+  EXPECT_EQ(client.stats().failures, 1u);
+}
+
+TEST(UdRpcBurstTest, RecvPoolOverflowDropsRequestsSilently) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  UdRpcOptions tiny;
+  tiny.recv_pool = 1;  // overflow on any concurrency
+  UdRpcServer server(fabric, server_node, 1, tiny);
+  server.RegisterHandler(kEcho, EchoHandler());
+  server.Start();
+
+  // 8 clients hammer the single recv slot: drops happen, retransmits heal.
+  std::vector<std::unique_ptr<UdRpcClient>> clients;
+  std::vector<rdma::Node*> nodes;
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(&fabric.AddNode("client" + std::to_string(i)));
+    UdRpcOptions copts;
+    copts.retry_timeout_ns = 5'000;
+    copts.max_retransmits = 100;
+    clients.push_back(
+        std::make_unique<UdRpcClient>(fabric, *nodes.back(), server.address(0), copts));
+    engine.Spawn([](UdRpcClient* c, int* out) -> sim::Task<void> {
+      std::vector<std::byte> resp(64);
+      for (int k = 0; k < 20; ++k) {
+        co_await c->Call(kEcho, AsBytes("b"), resp);
+      }
+      ++*out;
+    }(clients.back().get(), &done));
+  }
+  engine.RunUntil(sim::Millis(50));
+  server.Stop();
+  EXPECT_EQ(done, 8);
+  EXPECT_GT(server.recv_overflows(), 0u);
+}
+
+}  // namespace
+}  // namespace rfp

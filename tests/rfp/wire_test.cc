@@ -1,0 +1,52 @@
+#include "src/rfp/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace rfp {
+namespace {
+
+TEST(WireTest, PackUnpackRoundTrips) {
+  const uint32_t packed = wire::PackSizeStatus(12345, true);
+  EXPECT_TRUE(wire::UnpackStatus(packed));
+  EXPECT_EQ(wire::UnpackSize(packed), 12345u);
+  const uint32_t unset = wire::PackSizeStatus(7, false);
+  EXPECT_FALSE(wire::UnpackStatus(unset));
+  EXPECT_EQ(wire::UnpackSize(unset), 7u);
+}
+
+TEST(WireTest, SizeUsesThirtyOneBits) {
+  const uint32_t max_size = wire::kSizeMask;
+  const uint32_t packed = wire::PackSizeStatus(max_size, false);
+  EXPECT_EQ(wire::UnpackSize(packed), max_size);
+  EXPECT_FALSE(wire::UnpackStatus(packed));
+}
+
+TEST(WireTest, HeadersAreEightBytes) {
+  EXPECT_EQ(sizeof(RequestHeader), 8u);
+  EXPECT_EQ(sizeof(ResponseHeader), 8u);
+  EXPECT_EQ(kHeaderBytes, 8u);
+}
+
+TEST(WireTest, ModeByteOffsetMatchesLayout) {
+  RequestHeader h;
+  h.mode = 0xAB;
+  const auto* raw = reinterpret_cast<const uint8_t*>(&h);
+  EXPECT_EQ(raw[kRequestModeOffset], 0xAB);
+}
+
+TEST(WireTest, TimeSaturatesAtSixteenBits) {
+  EXPECT_EQ(SaturateTimeUs(0), 0);
+  EXPECT_EQ(SaturateTimeUs(1500), 1);          // 1.5 us -> 1
+  EXPECT_EQ(SaturateTimeUs(7'000), 7);
+  EXPECT_EQ(SaturateTimeUs(65'535'000), 65535);
+  EXPECT_EQ(SaturateTimeUs(1'000'000'000), 65535);  // 1 s saturates
+  EXPECT_EQ(SaturateTimeUs(-5), 0);
+}
+
+TEST(WireTest, ModeNames) {
+  EXPECT_STREQ(ModeName(Mode::kRemoteFetch), "remote-fetch");
+  EXPECT_STREQ(ModeName(Mode::kServerReply), "server-reply");
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,61 @@
+#include "src/sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(CpuSetTest, ParallelComputeOnFreeCores) {
+  Engine engine;
+  CpuSet cpus(engine, 4);
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn(cpus.Compute(Micros(10)));
+  }
+  engine.Run();
+  EXPECT_EQ(engine.now(), Micros(10));
+}
+
+TEST(CpuSetTest, OversubscriptionSerializes) {
+  Engine engine;
+  CpuSet cpus(engine, 2);
+  for (int i = 0; i < 6; ++i) {
+    engine.Spawn(cpus.Compute(Micros(10)));
+  }
+  engine.Run();
+  EXPECT_EQ(engine.now(), Micros(30));
+}
+
+TEST(CpuSetTest, UtilizationReflectsLoad) {
+  Engine engine;
+  CpuSet cpus(engine, 2);
+  engine.Spawn(cpus.Compute(Micros(10)));
+  engine.Run();
+  EXPECT_DOUBLE_EQ(cpus.Utilization(0, engine.now()), 0.5);
+}
+
+TEST(BusyMeterTest, UtilizationIsBusyOverWindow) {
+  BusyMeter meter;
+  meter.AddBusy(Micros(30));
+  EXPECT_DOUBLE_EQ(meter.Utilization(0, Micros(100)), 0.3);
+  meter.Reset();
+  EXPECT_DOUBLE_EQ(meter.Utilization(0, Micros(100)), 0.0);
+}
+
+TEST(BusyMeterTest, UtilizationCapsAtOne) {
+  BusyMeter meter;
+  meter.AddBusy(Micros(200));
+  EXPECT_DOUBLE_EQ(meter.Utilization(0, Micros(100)), 1.0);
+}
+
+TEST(BusyMeterTest, EmptyWindowIsZero) {
+  BusyMeter meter;
+  meter.AddBusy(Micros(5));
+  EXPECT_DOUBLE_EQ(meter.Utilization(Micros(10), Micros(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,166 @@
+#include "src/sim/engine.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+#include "tests/testutil.h"
+
+namespace sim {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(EngineTest, ScheduledCallbacksRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(Micros(3), [&] { order.push_back(3); });
+  engine.ScheduleAt(Micros(1), [&] { order.push_back(1); });
+  engine.ScheduleAt(Micros(2), [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), Micros(3));
+}
+
+TEST(EngineTest, SameInstantEventsRunFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.ScheduleAt(Micros(5), [&order, i] { order.push_back(i); });
+  }
+  engine.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EngineTest, PastScheduleClampsToNow) {
+  Engine engine;
+  Time observed = -1;
+  engine.ScheduleAt(Micros(10), [&] {
+    engine.ScheduleAt(Micros(2), [&] { observed = engine.now(); });
+  });
+  engine.Run();
+  EXPECT_EQ(observed, Micros(10));
+}
+
+TEST(EngineTest, SleepAdvancesVirtualTime) {
+  Engine engine;
+  Time woke = 0;
+  engine.Spawn([](Engine& e, Time* out) -> Task<void> {
+    co_await e.Sleep(Micros(7));
+    *out = e.now();
+  }(engine, &woke));
+  engine.Run();
+  EXPECT_EQ(woke, Micros(7));
+}
+
+TEST(EngineTest, ZeroSleepDoesNotSuspend) {
+  Engine engine;
+  bool ran = false;
+  engine.Spawn([](Engine& e, bool* out) -> Task<void> {
+    co_await e.Sleep(0);
+    *out = true;
+    co_return;
+  }(engine, &ran));
+  // Spawn starts the actor inline; a zero sleep must complete synchronously.
+  EXPECT_TRUE(ran);
+  engine.Run();
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.ScheduleAt(Micros(1), [&] { ++fired; });
+  engine.ScheduleAt(Micros(100), [&] { ++fired; });
+  EXPECT_FALSE(engine.RunUntil(Micros(10)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), Micros(10));
+  EXPECT_TRUE(engine.RunUntil(Micros(1000)));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, RunForIsRelative) {
+  Engine engine;
+  engine.ScheduleAt(Micros(5), [] {});
+  engine.RunUntil(Micros(10));
+  int fired = 0;
+  engine.ScheduleAt(Micros(15), [&] { ++fired; });
+  engine.RunFor(Micros(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), Micros(20));
+}
+
+TEST(EngineTest, SpawnTracksLiveActors) {
+  Engine engine;
+  engine.Spawn([](Engine& e) -> Task<void> { co_await e.Sleep(Micros(1)); }(engine));
+  engine.Spawn([](Engine& e) -> Task<void> { co_await e.Sleep(Micros(2)); }(engine));
+  EXPECT_EQ(engine.live_actors(), 2);
+  engine.Run();
+  EXPECT_EQ(engine.live_actors(), 0);
+}
+
+TEST(EngineTest, ActorExceptionRethrownFromRun) {
+  Engine engine;
+  engine.Spawn([](Engine& e) -> Task<void> {
+    co_await e.Sleep(Micros(1));
+    throw std::runtime_error("actor failed");
+  }(engine));
+  EXPECT_THROW(engine.Run(), std::runtime_error);
+}
+
+TEST(EngineTest, YieldRunsAfterPendingEventsAtSameInstant) {
+  Engine engine;
+  std::vector<int> order;
+  engine.Spawn([](Engine& e, std::vector<int>* out) -> Task<void> {
+    co_await e.Sleep(Micros(1));
+    out->push_back(1);
+    co_await e.Yield();
+    out->push_back(3);
+  }(engine, &order));
+  engine.ScheduleAt(Micros(1), [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, NestedTaskAwaitPropagatesValue) {
+  Engine engine;
+  auto inner = [](Engine& e) -> Task<int> {
+    co_await e.Sleep(Micros(2));
+    co_return 42;
+  };
+  auto outer = [&inner](Engine& e) -> Task<int> {
+    int v = co_await inner(e);
+    co_return v + 1;
+  };
+  int result = rfptest::RunSync(engine, outer(engine));
+  EXPECT_EQ(result, 43);
+  EXPECT_EQ(engine.now(), Micros(2));
+}
+
+TEST(EngineTest, DeepTaskChainDoesNotOverflowStack) {
+  Engine engine;
+  // 50k chained awaits exercises symmetric transfer.
+  auto leaf = [](Engine& e) -> Task<int> {
+    co_await e.Sleep(1);
+    co_return 1;
+  };
+  auto driver = [&leaf](Engine& e) -> Task<int> {
+    int total = 0;
+    for (int i = 0; i < 50000; ++i) {
+      total += co_await leaf(e);
+    }
+    co_return total;
+  };
+  EXPECT_EQ(rfptest::RunSync(engine, driver(engine)), 50000);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,141 @@
+#include "src/sim/resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(ResourceTest, ImmediateAcquireWhenAvailable) {
+  Engine engine;
+  Resource res(engine, 2);
+  bool acquired = false;
+  engine.Spawn([](Resource& r, bool* out) -> Task<void> {
+    co_await r.Acquire();
+    *out = true;
+    r.Release();
+  }(res, &acquired));
+  engine.Run();
+  EXPECT_TRUE(acquired);
+  EXPECT_EQ(res.available(), 2);
+  EXPECT_EQ(res.total_acquisitions(), 1u);
+}
+
+TEST(ResourceTest, CapacityLimitsConcurrency) {
+  Engine engine;
+  Resource res(engine, 2);
+  int concurrent = 0;
+  int peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    engine.Spawn([](Engine& e, Resource& r, int* cur, int* pk) -> Task<void> {
+      co_await r.Acquire();
+      ++*cur;
+      *pk = std::max(*pk, *cur);
+      co_await e.Sleep(Micros(10));
+      --*cur;
+      r.Release();
+    }(engine, res, &concurrent, &peak));
+  }
+  engine.Run();
+  EXPECT_EQ(peak, 2);
+  // 6 jobs, 2 servers, 10us each -> 30us makespan.
+  EXPECT_EQ(engine.now(), Micros(30));
+}
+
+TEST(ResourceTest, GrantsAreFifo) {
+  Engine engine;
+  Resource res(engine, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.Spawn([](Engine& e, Resource& r, std::vector<int>* out, int id) -> Task<void> {
+      // Stagger arrival so the queue order is well defined.
+      co_await e.Sleep(Nanos(id));
+      co_await r.Acquire();
+      out->push_back(id);
+      co_await e.Sleep(Micros(1));
+      r.Release();
+    }(engine, res, &order, i));
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, UseHoldsForServiceTime) {
+  Engine engine;
+  Resource res(engine, 1);
+  engine.Spawn(res.Use(Micros(5)));
+  engine.Spawn(res.Use(Micros(5)));
+  engine.Run();
+  EXPECT_EQ(engine.now(), Micros(10));
+  EXPECT_EQ(res.total_acquisitions(), 2u);
+}
+
+TEST(ResourceTest, WaitTimeAccounted) {
+  Engine engine;
+  Resource res(engine, 1);
+  engine.Spawn(res.Use(Micros(4)));
+  engine.Spawn(res.Use(Micros(4)));  // waits 4us
+  engine.Spawn(res.Use(Micros(4)));  // waits 8us
+  engine.Run();
+  EXPECT_EQ(res.total_wait(), Micros(12));
+}
+
+TEST(ResourceTest, BusyIntegralMeasuresUtilization) {
+  Engine engine;
+  Resource res(engine, 2);
+  engine.Spawn(res.Use(Micros(10)));
+  engine.Run();
+  // One of two permits busy for 10us out of 10us elapsed = 50%.
+  EXPECT_DOUBLE_EQ(res.Utilization(0, engine.now()), 0.5);
+}
+
+TEST(MutexTest, ProvidesMutualExclusion) {
+  Engine engine;
+  Mutex mu(engine);
+  int in_section = 0;
+  bool overlapped = false;
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn([](Engine& e, Mutex& m, int* in, bool* bad) -> Task<void> {
+      co_await m.Lock();
+      if (++*in > 1) {
+        *bad = true;
+      }
+      co_await e.Sleep(Micros(3));
+      --*in;
+      m.Unlock();
+    }(engine, mu, &in_section, &overlapped));
+  }
+  engine.Run();
+  EXPECT_FALSE(overlapped);
+  EXPECT_EQ(engine.now(), Micros(12));
+  EXPECT_EQ(mu.total_acquisitions(), 4u);
+}
+
+// Property: for any (capacity, jobs, service), makespan equals the FIFO
+// k-server bound ceil(jobs / capacity) * service when all jobs arrive at t=0.
+class ResourceMakespanTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ResourceMakespanTest, MatchesKServerBound) {
+  const auto [capacity, jobs, service_us] = GetParam();
+  Engine engine;
+  Resource res(engine, capacity);
+  for (int i = 0; i < jobs; ++i) {
+    engine.Spawn(res.Use(Micros(service_us)));
+  }
+  engine.Run();
+  const int waves = (jobs + capacity - 1) / capacity;
+  EXPECT_EQ(engine.now(), Micros(static_cast<int64_t>(waves) * service_us));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ResourceMakespanTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                                            ::testing::Values(1, 5, 16, 33),
+                                            ::testing::Values(1, 7)));
+
+}  // namespace
+}  // namespace sim

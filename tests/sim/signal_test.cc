@@ -1,0 +1,94 @@
+#include "src/sim/signal.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(EventTest, WaitCompletesImmediatelyWhenSet) {
+  Engine engine;
+  Event ev(engine);
+  ev.Set();
+  bool done = false;
+  engine.Spawn([](Event& e, bool* out) -> Task<void> {
+    co_await e.Wait();
+    *out = true;
+  }(ev, &done));
+  EXPECT_TRUE(done);  // no suspension needed
+  engine.Run();
+}
+
+TEST(EventTest, SetReleasesAllWaiters) {
+  Engine engine;
+  Event ev(engine);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn([](Event& e, int* out) -> Task<void> {
+      co_await e.Wait();
+      ++*out;
+    }(ev, &released));
+  }
+  engine.ScheduleAt(Micros(5), [&] { ev.Set(); });
+  engine.Run();
+  EXPECT_EQ(released, 3);
+  EXPECT_EQ(engine.now(), Micros(5));
+}
+
+TEST(EventTest, ResetRearmsTheEvent) {
+  Engine engine;
+  Event ev(engine);
+  ev.Set();
+  ev.Reset();
+  EXPECT_FALSE(ev.is_set());
+  bool done = false;
+  engine.Spawn([](Event& e, bool* out) -> Task<void> {
+    co_await e.Wait();
+    *out = true;
+  }(ev, &done));
+  EXPECT_FALSE(done);
+  ev.Set();
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(NotifierTest, NotifyOneWakesExactlyOne) {
+  Engine engine;
+  Notifier n(engine);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn([](Notifier& no, int* out) -> Task<void> {
+      co_await no.Wait();
+      ++*out;
+    }(n, &woken));
+  }
+  EXPECT_EQ(n.waiters(), 3);
+  n.NotifyOne();
+  engine.Run();
+  EXPECT_EQ(woken, 1);
+  n.NotifyAll();
+  engine.Run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(NotifierTest, WaitAlwaysSuspends) {
+  Engine engine;
+  Notifier n(engine);
+  n.NotifyAll();  // no waiters: no-op, not sticky
+  bool done = false;
+  engine.Spawn([](Notifier& no, bool* out) -> Task<void> {
+    co_await no.Wait();
+    *out = true;
+  }(n, &done));
+  engine.Run();
+  EXPECT_FALSE(done);
+  n.NotifyOne();
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace sim

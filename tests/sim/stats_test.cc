@@ -1,0 +1,147 @@
+#include "src/sim/stats.h"
+
+#include <cstdint>
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace sim {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MeanVarTest, ComputesMoments) {
+  MeanVar mv;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    mv.Record(x);
+  }
+  EXPECT_EQ(mv.count(), 8u);
+  EXPECT_DOUBLE_EQ(mv.mean(), 5.0);
+  EXPECT_NEAR(mv.variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mv.min(), 2.0);
+  EXPECT_DOUBLE_EQ(mv.max(), 9.0);
+}
+
+TEST(MeanVarTest, EmptyIsZero) {
+  MeanVar mv;
+  EXPECT_EQ(mv.mean(), 0.0);
+  EXPECT_EQ(mv.variance(), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int64_t v = 0; v < 64; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(1.0), 63);
+  EXPECT_EQ(h.Percentile(0.5), 31);
+}
+
+TEST(HistogramTest, LargeValuesBoundedRelativeError) {
+  Histogram h;
+  const int64_t value = 5'780;  // Jakiro's mean latency, in ns
+  h.Record(value);
+  const int64_t p = h.Percentile(0.5);
+  EXPECT_GE(p, value);
+  EXPECT_LE(static_cast<double>(p - value), static_cast<double>(value) / 64.0 + 1);
+}
+
+TEST(HistogramTest, MeanIsExactRegardlessOfBinning) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(3000);
+  EXPECT_DOUBLE_EQ(h.mean(), 2000.0);
+}
+
+TEST(HistogramTest, PercentileMonotonic) {
+  Histogram h;
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBounded(1'000'000)));
+  }
+  int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    int64_t p = h.Percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(HistogramTest, CdfIsCompleteAndMonotone) {
+  Histogram h;
+  Rng rng(37);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBounded(60'000)));
+  }
+  auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0.0;
+  for (const auto& pt : cdf) {
+    EXPECT_GE(pt.cumulative, prev);
+    prev = pt.cumulative;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(100);
+  b.Record(200);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 300);
+  EXPECT_DOUBLE_EQ(a.mean(), 200.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+// Property sweep: percentile error is bounded by 1/64 relative for any value.
+class HistogramErrorTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramErrorTest, RelativeErrorBounded) {
+  Histogram h;
+  const int64_t v = GetParam();
+  h.Record(v);
+  const int64_t p = h.Percentile(0.99);
+  EXPECT_GE(p, v);
+  EXPECT_LE(static_cast<double>(p), static_cast<double>(v) * (1.0 + 1.0 / 64.0) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HistogramErrorTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000, 4096, 100000,
+                                           1'000'000, 123'456'789, 10'000'000'000LL));
+
+TEST(FormatMopsTest, FormatsWithPrecision) {
+  EXPECT_EQ(FormatMops(5.5234), "5.52");
+  EXPECT_EQ(FormatMops(2.1, 1), "2.1");
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,34 @@
+// Shared helpers for the test suites.
+
+#ifndef TESTS_TESTUTIL_H_
+#define TESTS_TESTUTIL_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+
+namespace rfptest {
+
+// Runs a coroutine task to completion on `engine` and returns its result.
+// The engine processes every pending event, so side effects of other spawned
+// actors are visible afterwards.
+template <typename T>
+T RunSync(sim::Engine& engine, sim::Task<T> task) {
+  std::optional<T> result;
+  engine.Spawn([](sim::Task<T> t, std::optional<T>* out) -> sim::Task<void> {
+    *out = co_await std::move(t);
+  }(std::move(task), &result));
+  engine.Run();
+  return std::move(*result);
+}
+
+inline void RunSync(sim::Engine& engine, sim::Task<void> task) {
+  engine.Spawn(std::move(task));
+  engine.Run();
+}
+
+}  // namespace rfptest
+
+#endif  // TESTS_TESTUTIL_H_
