@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_asymmetry_off.dir/bench_ablation_asymmetry_off.cc.o"
+  "CMakeFiles/bench_ablation_asymmetry_off.dir/bench_ablation_asymmetry_off.cc.o.d"
+  "bench_ablation_asymmetry_off"
+  "bench_ablation_asymmetry_off.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_asymmetry_off.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

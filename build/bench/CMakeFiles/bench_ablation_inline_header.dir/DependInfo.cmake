@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_inline_header.cc" "bench/CMakeFiles/bench_ablation_inline_header.dir/bench_ablation_inline_header.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_inline_header.dir/bench_ablation_inline_header.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/rfp_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfp/CMakeFiles/rfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rfp_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rfp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inline_header.dir/bench_ablation_inline_header.cc.o"
+  "CMakeFiles/bench_ablation_inline_header.dir/bench_ablation_inline_header.cc.o.d"
+  "bench_ablation_inline_header"
+  "bench_ablation_inline_header.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inline_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

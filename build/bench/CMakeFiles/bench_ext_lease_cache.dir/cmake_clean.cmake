@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lease_cache.dir/bench_ext_lease_cache.cc.o"
+  "CMakeFiles/bench_ext_lease_cache.dir/bench_ext_lease_cache.cc.o.d"
+  "bench_ext_lease_cache"
+  "bench_ext_lease_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lease_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_load_latency.dir/bench_ext_load_latency.cc.o"
+  "CMakeFiles/bench_ext_load_latency.dir/bench_ext_load_latency.cc.o.d"
+  "bench_ext_load_latency"
+  "bench_ext_load_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_load_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_server.dir/bench_ext_multi_server.cc.o"
+  "CMakeFiles/bench_ext_multi_server.dir/bench_ext_multi_server.cc.o.d"
+  "bench_ext_multi_server"
+  "bench_ext_multi_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

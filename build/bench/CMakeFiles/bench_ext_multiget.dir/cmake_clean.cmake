@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiget.dir/bench_ext_multiget.cc.o"
+  "CMakeFiles/bench_ext_multiget.dir/bench_ext_multiget.cc.o.d"
+  "bench_ext_multiget"
+  "bench_ext_multiget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ud_loss.dir/bench_ext_ud_loss.cc.o"
+  "CMakeFiles/bench_ext_ud_loss.dir/bench_ext_ud_loss.cc.o.d"
+  "bench_ext_ud_loss"
+  "bench_ext_ud_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ud_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_asymmetry.dir/bench_fig03_asymmetry.cc.o"
+  "CMakeFiles/bench_fig03_asymmetry.dir/bench_fig03_asymmetry.cc.o.d"
+  "bench_fig03_asymmetry"
+  "bench_fig03_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_fetch_vs_reply.dir/bench_fig09_fetch_vs_reply.cc.o"
+  "CMakeFiles/bench_fig09_fetch_vs_reply.dir/bench_fig09_fetch_vs_reply.cc.o.d"
+  "bench_fig09_fetch_vs_reply"
+  "bench_fig09_fetch_vs_reply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_fetch_vs_reply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_jakiro_clients.dir/bench_fig10_jakiro_clients.cc.o"
+  "CMakeFiles/bench_fig10_jakiro_clients.dir/bench_fig10_jakiro_clients.cc.o.d"
+  "bench_fig10_jakiro_clients"
+  "bench_fig10_jakiro_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_jakiro_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

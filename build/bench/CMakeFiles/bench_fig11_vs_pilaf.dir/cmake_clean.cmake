@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vs_pilaf.dir/bench_fig11_vs_pilaf.cc.o"
+  "CMakeFiles/bench_fig11_vs_pilaf.dir/bench_fig11_vs_pilaf.cc.o.d"
+  "bench_fig11_vs_pilaf"
+  "bench_fig11_vs_pilaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vs_pilaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_skewed.dir/bench_fig19_skewed.cc.o"
+  "CMakeFiles/bench_fig19_skewed.dir/bench_fig19_skewed.cc.o.d"
+  "bench_fig19_skewed"
+  "bench_fig19_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_retries.dir/bench_tab3_retries.cc.o"
+  "CMakeFiles/bench_tab3_retries.dir/bench_tab3_retries.cc.o.d"
+  "bench_tab3_retries"
+  "bench_tab3_retries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

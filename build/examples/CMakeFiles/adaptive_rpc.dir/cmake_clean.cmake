@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_rpc.dir/adaptive_rpc.cpp.o"
+  "CMakeFiles/adaptive_rpc.dir/adaptive_rpc.cpp.o.d"
+  "adaptive_rpc"
+  "adaptive_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_compare.dir/paradigm_compare.cpp.o"
+  "CMakeFiles/paradigm_compare.dir/paradigm_compare.cpp.o.d"
+  "paradigm_compare"
+  "paradigm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_service.dir/stats_service.cpp.o"
+  "CMakeFiles/stats_service.dir/stats_service.cpp.o.d"
+  "stats_service"
+  "stats_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/bucket_table.cc" "src/kv/CMakeFiles/rfp_kv.dir/bucket_table.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/bucket_table.cc.o.d"
+  "/root/repo/src/kv/crc64.cc" "src/kv/CMakeFiles/rfp_kv.dir/crc64.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/crc64.cc.o.d"
+  "/root/repo/src/kv/cuckoo.cc" "src/kv/CMakeFiles/rfp_kv.dir/cuckoo.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/cuckoo.cc.o.d"
+  "/root/repo/src/kv/farm_store.cc" "src/kv/CMakeFiles/rfp_kv.dir/farm_store.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/farm_store.cc.o.d"
+  "/root/repo/src/kv/jakiro.cc" "src/kv/CMakeFiles/rfp_kv.dir/jakiro.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/jakiro.cc.o.d"
+  "/root/repo/src/kv/lease_cache.cc" "src/kv/CMakeFiles/rfp_kv.dir/lease_cache.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/lease_cache.cc.o.d"
+  "/root/repo/src/kv/memcached_store.cc" "src/kv/CMakeFiles/rfp_kv.dir/memcached_store.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/memcached_store.cc.o.d"
+  "/root/repo/src/kv/pilaf_store.cc" "src/kv/CMakeFiles/rfp_kv.dir/pilaf_store.cc.o" "gcc" "src/kv/CMakeFiles/rfp_kv.dir/pilaf_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rfp/CMakeFiles/rfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rfp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rfp_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

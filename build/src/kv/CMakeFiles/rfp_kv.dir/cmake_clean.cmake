@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_kv.dir/bucket_table.cc.o"
+  "CMakeFiles/rfp_kv.dir/bucket_table.cc.o.d"
+  "CMakeFiles/rfp_kv.dir/crc64.cc.o"
+  "CMakeFiles/rfp_kv.dir/crc64.cc.o.d"
+  "CMakeFiles/rfp_kv.dir/cuckoo.cc.o"
+  "CMakeFiles/rfp_kv.dir/cuckoo.cc.o.d"
+  "CMakeFiles/rfp_kv.dir/farm_store.cc.o"
+  "CMakeFiles/rfp_kv.dir/farm_store.cc.o.d"
+  "CMakeFiles/rfp_kv.dir/jakiro.cc.o"
+  "CMakeFiles/rfp_kv.dir/jakiro.cc.o.d"
+  "CMakeFiles/rfp_kv.dir/lease_cache.cc.o"
+  "CMakeFiles/rfp_kv.dir/lease_cache.cc.o.d"
+  "CMakeFiles/rfp_kv.dir/memcached_store.cc.o"
+  "CMakeFiles/rfp_kv.dir/memcached_store.cc.o.d"
+  "CMakeFiles/rfp_kv.dir/pilaf_store.cc.o"
+  "CMakeFiles/rfp_kv.dir/pilaf_store.cc.o.d"
+  "librfp_kv.a"
+  "librfp_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/fabric.cc" "src/rdma/CMakeFiles/rfp_rdma.dir/fabric.cc.o" "gcc" "src/rdma/CMakeFiles/rfp_rdma.dir/fabric.cc.o.d"
+  "/root/repo/src/rdma/nic.cc" "src/rdma/CMakeFiles/rfp_rdma.dir/nic.cc.o" "gcc" "src/rdma/CMakeFiles/rfp_rdma.dir/nic.cc.o.d"
+  "/root/repo/src/rdma/node.cc" "src/rdma/CMakeFiles/rfp_rdma.dir/node.cc.o" "gcc" "src/rdma/CMakeFiles/rfp_rdma.dir/node.cc.o.d"
+  "/root/repo/src/rdma/qp.cc" "src/rdma/CMakeFiles/rfp_rdma.dir/qp.cc.o" "gcc" "src/rdma/CMakeFiles/rfp_rdma.dir/qp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_rdma.dir/fabric.cc.o"
+  "CMakeFiles/rfp_rdma.dir/fabric.cc.o.d"
+  "CMakeFiles/rfp_rdma.dir/nic.cc.o"
+  "CMakeFiles/rfp_rdma.dir/nic.cc.o.d"
+  "CMakeFiles/rfp_rdma.dir/node.cc.o"
+  "CMakeFiles/rfp_rdma.dir/node.cc.o.d"
+  "CMakeFiles/rfp_rdma.dir/qp.cc.o"
+  "CMakeFiles/rfp_rdma.dir/qp.cc.o.d"
+  "librfp_rdma.a"
+  "librfp_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfp/buffer.cc" "src/rfp/CMakeFiles/rfp_core.dir/buffer.cc.o" "gcc" "src/rfp/CMakeFiles/rfp_core.dir/buffer.cc.o.d"
+  "/root/repo/src/rfp/channel.cc" "src/rfp/CMakeFiles/rfp_core.dir/channel.cc.o" "gcc" "src/rfp/CMakeFiles/rfp_core.dir/channel.cc.o.d"
+  "/root/repo/src/rfp/params.cc" "src/rfp/CMakeFiles/rfp_core.dir/params.cc.o" "gcc" "src/rfp/CMakeFiles/rfp_core.dir/params.cc.o.d"
+  "/root/repo/src/rfp/rpc.cc" "src/rfp/CMakeFiles/rfp_core.dir/rpc.cc.o" "gcc" "src/rfp/CMakeFiles/rfp_core.dir/rpc.cc.o.d"
+  "/root/repo/src/rfp/ud_rpc.cc" "src/rfp/CMakeFiles/rfp_core.dir/ud_rpc.cc.o" "gcc" "src/rfp/CMakeFiles/rfp_core.dir/ud_rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/rfp_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

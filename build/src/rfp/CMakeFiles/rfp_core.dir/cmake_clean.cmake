@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_core.dir/buffer.cc.o"
+  "CMakeFiles/rfp_core.dir/buffer.cc.o.d"
+  "CMakeFiles/rfp_core.dir/channel.cc.o"
+  "CMakeFiles/rfp_core.dir/channel.cc.o.d"
+  "CMakeFiles/rfp_core.dir/params.cc.o"
+  "CMakeFiles/rfp_core.dir/params.cc.o.d"
+  "CMakeFiles/rfp_core.dir/rpc.cc.o"
+  "CMakeFiles/rfp_core.dir/rpc.cc.o.d"
+  "CMakeFiles/rfp_core.dir/ud_rpc.cc.o"
+  "CMakeFiles/rfp_core.dir/ud_rpc.cc.o.d"
+  "librfp_core.a"
+  "librfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

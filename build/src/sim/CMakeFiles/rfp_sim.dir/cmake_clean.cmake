@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_sim.dir/engine.cc.o"
+  "CMakeFiles/rfp_sim.dir/engine.cc.o.d"
+  "CMakeFiles/rfp_sim.dir/random.cc.o"
+  "CMakeFiles/rfp_sim.dir/random.cc.o.d"
+  "CMakeFiles/rfp_sim.dir/resource.cc.o"
+  "CMakeFiles/rfp_sim.dir/resource.cc.o.d"
+  "CMakeFiles/rfp_sim.dir/stats.cc.o"
+  "CMakeFiles/rfp_sim.dir/stats.cc.o.d"
+  "librfp_sim.a"
+  "librfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

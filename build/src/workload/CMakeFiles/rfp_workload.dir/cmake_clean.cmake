@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_workload.dir/ycsb.cc.o"
+  "CMakeFiles/rfp_workload.dir/ycsb.cc.o.d"
+  "librfp_workload.a"
+  "librfp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_kv_systems_test.dir/kv_systems_test.cc.o"
+  "CMakeFiles/integration_kv_systems_test.dir/kv_systems_test.cc.o.d"
+  "integration_kv_systems_test"
+  "integration_kv_systems_test.pdb"
+  "integration_kv_systems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_kv_systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_bucket_table_test.dir/bucket_table_test.cc.o"
+  "CMakeFiles/kv_bucket_table_test.dir/bucket_table_test.cc.o.d"
+  "kv_bucket_table_test"
+  "kv_bucket_table_test.pdb"
+  "kv_bucket_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_bucket_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_crc64_test.dir/crc64_test.cc.o"
+  "CMakeFiles/kv_crc64_test.dir/crc64_test.cc.o.d"
+  "kv_crc64_test"
+  "kv_crc64_test.pdb"
+  "kv_crc64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_crc64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

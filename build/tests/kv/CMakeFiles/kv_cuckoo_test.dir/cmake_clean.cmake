@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cuckoo_test.dir/cuckoo_test.cc.o"
+  "CMakeFiles/kv_cuckoo_test.dir/cuckoo_test.cc.o.d"
+  "kv_cuckoo_test"
+  "kv_cuckoo_test.pdb"
+  "kv_cuckoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cuckoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_jakiro_test.dir/jakiro_test.cc.o"
+  "CMakeFiles/kv_jakiro_test.dir/jakiro_test.cc.o.d"
+  "kv_jakiro_test"
+  "kv_jakiro_test.pdb"
+  "kv_jakiro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_jakiro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_memcached_test.dir/memcached_test.cc.o"
+  "CMakeFiles/kv_memcached_test.dir/memcached_test.cc.o.d"
+  "kv_memcached_test"
+  "kv_memcached_test.pdb"
+  "kv_memcached_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_memcached_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

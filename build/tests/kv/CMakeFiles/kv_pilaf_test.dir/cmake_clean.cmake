@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_pilaf_test.dir/pilaf_test.cc.o"
+  "CMakeFiles/kv_pilaf_test.dir/pilaf_test.cc.o.d"
+  "kv_pilaf_test"
+  "kv_pilaf_test.pdb"
+  "kv_pilaf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_pilaf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

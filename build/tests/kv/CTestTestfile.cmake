@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/kv
+# Build directory: /root/repo/build/tests/kv
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/kv/kv_crc64_test[1]_include.cmake")
+include("/root/repo/build/tests/kv/kv_bucket_table_test[1]_include.cmake")
+include("/root/repo/build/tests/kv/kv_cuckoo_test[1]_include.cmake")
+include("/root/repo/build/tests/kv/kv_jakiro_test[1]_include.cmake")
+include("/root/repo/build/tests/kv/kv_pilaf_test[1]_include.cmake")
+include("/root/repo/build/tests/kv/kv_memcached_test[1]_include.cmake")
+include("/root/repo/build/tests/kv/kv_farm_store_test[1]_include.cmake")
+include("/root/repo/build/tests/kv/kv_lease_cache_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_calibration_test.dir/calibration_test.cc.o"
+  "CMakeFiles/rdma_calibration_test.dir/calibration_test.cc.o.d"
+  "rdma_calibration_test"
+  "rdma_calibration_test.pdb"
+  "rdma_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_fabric_test.dir/fabric_test.cc.o"
+  "CMakeFiles/rdma_fabric_test.dir/fabric_test.cc.o.d"
+  "rdma_fabric_test"
+  "rdma_fabric_test.pdb"
+  "rdma_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

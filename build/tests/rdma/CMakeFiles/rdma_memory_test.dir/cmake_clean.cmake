@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_memory_test.dir/memory_test.cc.o"
+  "CMakeFiles/rdma_memory_test.dir/memory_test.cc.o.d"
+  "rdma_memory_test"
+  "rdma_memory_test.pdb"
+  "rdma_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_nic_test.dir/nic_test.cc.o"
+  "CMakeFiles/rdma_nic_test.dir/nic_test.cc.o.d"
+  "rdma_nic_test"
+  "rdma_nic_test.pdb"
+  "rdma_nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_stress_test.dir/stress_test.cc.o"
+  "CMakeFiles/rdma_stress_test.dir/stress_test.cc.o.d"
+  "rdma_stress_test"
+  "rdma_stress_test.pdb"
+  "rdma_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rdma
+# Build directory: /root/repo/build/tests/rdma
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rdma/rdma_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma/rdma_nic_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma/rdma_qp_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma/rdma_fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma/rdma_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma/rdma_stress_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_buffer_test.dir/buffer_test.cc.o"
+  "CMakeFiles/rfp_buffer_test.dir/buffer_test.cc.o.d"
+  "rfp_buffer_test"
+  "rfp_buffer_test.pdb"
+  "rfp_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_channel_test.dir/channel_test.cc.o"
+  "CMakeFiles/rfp_channel_test.dir/channel_test.cc.o.d"
+  "rfp_channel_test"
+  "rfp_channel_test.pdb"
+  "rfp_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_legacy_api_test.dir/legacy_api_test.cc.o"
+  "CMakeFiles/rfp_legacy_api_test.dir/legacy_api_test.cc.o.d"
+  "rfp_legacy_api_test"
+  "rfp_legacy_api_test.pdb"
+  "rfp_legacy_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_legacy_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_params_test.dir/params_test.cc.o"
+  "CMakeFiles/rfp_params_test.dir/params_test.cc.o.d"
+  "rfp_params_test"
+  "rfp_params_test.pdb"
+  "rfp_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_rpc_test.dir/rpc_test.cc.o"
+  "CMakeFiles/rfp_rpc_test.dir/rpc_test.cc.o.d"
+  "rfp_rpc_test"
+  "rfp_rpc_test.pdb"
+  "rfp_rpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_wire_test.dir/wire_test.cc.o"
+  "CMakeFiles/rfp_wire_test.dir/wire_test.cc.o.d"
+  "rfp_wire_test"
+  "rfp_wire_test.pdb"
+  "rfp_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

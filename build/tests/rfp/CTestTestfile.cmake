@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rfp
+# Build directory: /root/repo/build/tests/rfp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rfp/rfp_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/rfp/rfp_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/rfp/rfp_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/rfp/rfp_rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/rfp/rfp_params_test[1]_include.cmake")
+include("/root/repo/build/tests/rfp/rfp_legacy_api_test[1]_include.cmake")
+include("/root/repo/build/tests/rfp/rfp_ud_rpc_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_signal_test.dir/signal_test.cc.o"
+  "CMakeFiles/sim_signal_test.dir/signal_test.cc.o.d"
+  "sim_signal_test"
+  "sim_signal_test.pdb"
+  "sim_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

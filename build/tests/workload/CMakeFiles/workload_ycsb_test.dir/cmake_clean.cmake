@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_ycsb_test.dir/ycsb_test.cc.o"
+  "CMakeFiles/workload_ycsb_test.dir/ycsb_test.cc.o.d"
+  "workload_ycsb_test"
+  "workload_ycsb_test.pdb"
+  "workload_ycsb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_ycsb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
