@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Ablation: RFP gain with and without the in/out-bound asymmetry");
   bench::PrintHeader({"nic", "jakiro", "server-reply", "gain"});
 

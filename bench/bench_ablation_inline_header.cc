@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Ablation: inlined header+payload fetch vs separate size probe");
   bench::PrintHeader({"design", "F", "mops", "reads/call"});
   for (uint32_t fetch : {8u, 256u}) {

@@ -88,7 +88,8 @@ Result RunBimodal(int hysteresis, double slow_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Ablation: switch hysteresis under a bimodal workload (0.5% slow requests)");
   bench::PrintHeader({"hysteresis", "mops", "mode_switches", "p50_us", "p95_us"});
   for (int h : {1, 2, 3, 4}) {

@@ -58,7 +58,8 @@ double RunPipelined(int depth, int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Extension: out-bound WRITE IOPS vs pipeline depth (32 B)");
   bench::PrintHeader({"depth", "1_thread", "2_threads", "4_threads"});
   for (int depth : {1, 2, 4, 8, 16}) {

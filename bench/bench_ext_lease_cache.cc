@@ -134,7 +134,8 @@ Outcome RunLeased(sim::Time lease_ns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   // Reference: Jakiro on the same skewed workload (linearizable, no cache).
   bench::KvRunConfig jc;
   jc.workload = bench::PaperWorkload();

@@ -8,7 +8,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Extension: throughput vs mean latency under offered load (95% GET, 32 B)");
   bench::PrintHeader({"clients", "jak_mops", "jak_us", "rep_mops", "rep_us", "memc_mops",
                       "memc_us"});

@@ -102,7 +102,8 @@ double RunSharded(int num_servers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Extension: sharded Jakiro scale-out (70 clients, 95% GET, 32 B)");
   bench::PrintHeader({"servers", "agg_mops", "per_server"});
   for (int servers : {1, 2, 3, 4}) {

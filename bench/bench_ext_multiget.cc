@@ -90,7 +90,8 @@ Outcome RunBatched(int batch, uint32_t fetch_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Extension: batched MULTIGET (95% uniform keys, 32 B values, 6 threads)");
   bench::PrintHeader({"batch", "F", "keys_mops", "calls_mops"});
   for (int batch : {1, 2, 4, 8, 16}) {

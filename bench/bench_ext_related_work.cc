@@ -121,7 +121,8 @@ FarmOutcome RunFarm(uint32_t value_size, double get_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Extension: FaRM-style neighborhood reads vs Jakiro (95% GET)");
   bench::PrintHeader({"value_B", "jakiro", "farm", "farm_waste", "farm_us", "jakiro_us"});
   for (uint32_t value : {32u, 64u, 128u, 256u, 512u}) {

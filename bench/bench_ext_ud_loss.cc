@@ -86,7 +86,8 @@ UdOutcome RunUd(double loss) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   // RFP reference on the same task (RC is loss-free by transport contract).
   bench::EchoRunConfig rc;
   rc.process_ns = sim::Nanos(400);

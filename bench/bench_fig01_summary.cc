@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 1 summary: measured paradigm performance (32 B values)");
 
   bench::KvRunConfig jc;

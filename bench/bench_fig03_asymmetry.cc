@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 3: in-bound vs out-bound IOPS, 32-byte payloads");
   bench::PrintHeader({"srv_threads", "outbound", "inbound", "asymmetry"});
   const double inbound = bench::RawInboundMops(7, 4, 32);

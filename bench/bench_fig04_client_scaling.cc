@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 4: server in-bound IOPS vs client threads (32 B READs)");
   bench::PrintHeader({"clients", "inbound_mops"});
   for (int threads : {7, 14, 21, 28, 35, 42, 49, 56, 63, 70}) {

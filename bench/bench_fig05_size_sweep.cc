@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 5: IOPS vs payload size");
   bench::PrintHeader({"size_B", "inbound", "outbound", "ratio"});
   for (uint32_t size : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {

@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 6: server-bypass throughput vs RDMA ops per request");
   bench::PrintHeader({"ops_per_req", "request_mops", "iops_mops"});
   for (int k = 2; k <= 15; ++k) {

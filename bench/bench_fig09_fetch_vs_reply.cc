@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 9: repeated remote fetching vs server-reply vs process time");
   bench::PrintHeader({"P_us", "fetching", "server-reply", "gain"});
   for (int p = 1; p <= 15; ++p) {

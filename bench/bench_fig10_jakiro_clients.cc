@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 10: Jakiro throughput vs client threads (95% GET, 32 B)");
   bench::PrintHeader({"clients", "mops", "rtrips/call", "avg_us", "p99_us"});
   for (int clients : {7, 14, 21, 28, 35, 42, 49, 56, 63, 70}) {

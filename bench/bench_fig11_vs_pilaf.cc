@@ -8,7 +8,8 @@
 
 #include <algorithm>
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 11: Jakiro vs Pilaf, uniform 50% GET");
   bench::PrintHeader({"value_B", "jakiro", "pilaf", "speedup", "pilaf_rd/get", "crc_fail"});
   for (uint32_t value : {32u, 64u, 128u, 256u}) {

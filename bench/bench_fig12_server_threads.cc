@@ -8,7 +8,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 12: throughput vs server threads (95% GET, 32 B)");
   bench::PrintHeader({"srv_threads", "jakiro", "server-reply", "rdma-memc"});
   for (int threads : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {

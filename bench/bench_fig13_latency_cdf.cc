@@ -9,7 +9,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 13: latency at peak throughput (95% GET, 32 B)");
   bench::PrintHeader({"system", "mops", "mean_us", "p15", "p50", "p99", "max_us"});
   struct Setup {

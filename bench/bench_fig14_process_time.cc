@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 14: throughput vs request process time (echo RPC, 32 B results)");
   bench::PrintHeader({"P_us", "jakiro", "server-reply", "no-switch", "reply_chans"});
   for (int p = 1; p <= 12; ++p) {

@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 15: client CPU utilization vs request process time (adaptive RFP)");
   bench::PrintHeader({"P_us", "cpu_%", "mode"});
   for (int p = 1; p <= 12; ++p) {

@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 16: throughput vs GET percentage (uniform, 32 B)");
   bench::PrintHeader({"get_pct", "jakiro", "server-reply", "rdma-memc", "jak/memc"});
   for (double get : {0.95, 0.5, 0.05}) {

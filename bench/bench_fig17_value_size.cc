@@ -8,7 +8,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 17: throughput vs value size (95% GET, F=640)");
   bench::PrintHeader({"value_B", "jakiro", "server-reply", "rdma-memc"});
   for (uint32_t value : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {

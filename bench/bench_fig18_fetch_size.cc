@@ -9,7 +9,8 @@
 
 #include "src/rfp/params.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 18: Jakiro throughput vs fetch size F (95% GET)");
   const std::vector<uint32_t> fetch_sizes = {256, 512, 640, 748, 1024};
   std::vector<std::string> header{"value_B"};

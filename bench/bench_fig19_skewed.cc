@@ -7,7 +7,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 19: skewed workload (Zipf .99) throughput, 32 B values");
   bench::PrintHeader({"get_pct", "jakiro", "server-reply", "rdma-memc"});
   for (double get : {0.95, 0.5, 0.05}) {

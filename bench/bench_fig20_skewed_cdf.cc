@@ -5,7 +5,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Figure 20: latency CDF, skewed (Zipf .99) 95% GET, 32 B");
   bench::PrintHeader({"system", "mops", "mean_us", "p50", "p99"});
   std::vector<sim::Histogram> cdfs;

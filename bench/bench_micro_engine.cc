@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
+
 #include "src/rdma/fabric.h"
 #include "src/sim/engine.h"
 #include "src/sim/resource.h"
@@ -89,4 +91,15 @@ BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so bench::Init can strip --json/--trace before
+// google-benchmark sees (and rejects) them.
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

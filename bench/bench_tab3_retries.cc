@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Init(argc, argv);
   bench::PrintTitle("Table 3: Jakiro remote-fetch retries (32 B values)");
   bench::PrintHeader({"workload", "calls", "pct_N>1", "max_N", "switches"});
   struct Case {

@@ -2,12 +2,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "src/kv/jakiro.h"
 #include "src/kv/pilaf_store.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
 #include "src/rdma/fabric.h"
 #include "src/rfp/rpc.h"
 #include "src/sim/engine.h"
@@ -17,6 +21,145 @@ namespace bench {
 namespace {
 
 constexpr int kColumnWidth = 14;
+
+// ---- --json / --trace harness state -------------------------------------------
+
+// One printed table: PrintTitle opens it, PrintHeader names the columns,
+// PrintRow appends. The JSON dump replays these verbatim.
+struct CapturedTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+// One simulated run (one engine) with the parameters the runner was given.
+struct CapturedRun {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+struct Harness {
+  std::string bench_name;
+  std::string json_path;   // empty = no JSON dump
+  std::string trace_path;  // empty = no trace dump
+  std::vector<std::string> argv;
+  std::vector<CapturedTable> tables;
+  std::vector<CapturedRun> runs;
+  std::unique_ptr<obs::Tracer> tracer;
+};
+
+// Leaked singleton; nullptr until Init sees at least one harness flag, so the
+// capture paths below stay dead (and free) in plain text runs.
+Harness* harness = nullptr;
+
+bool CaptureRows() { return harness != nullptr && !harness->json_path.empty(); }
+
+CapturedTable& CurrentTable() {
+  if (harness->tables.empty()) {
+    harness->tables.emplace_back();  // rows printed before any PrintTitle
+  }
+  return harness->tables.back();
+}
+
+void WriteHarnessJson(const Harness& h, std::string* out) {
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Field("bench", h.bench_name);
+  w.Field("schema_version", 1);
+  w.Key("config");
+  w.BeginObject();
+  w.Key("argv");
+  w.BeginArray();
+  for (const auto& a : h.argv) {
+    w.String(a);
+  }
+  w.EndArray();
+  w.Field("bench_scale", [] {
+    const char* env = std::getenv("RFP_BENCH_SCALE");
+    return env == nullptr ? 1.0 : std::atof(env);
+  }());
+  w.Key("runs");
+  w.BeginArray();
+  for (const auto& run : h.runs) {
+    w.BeginObject();
+    w.Field("label", run.label);
+    w.Key("params");
+    w.BeginObject();
+    for (const auto& [k, v] : run.params) {
+      w.Field(k, v);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& table : h.tables) {
+    for (const auto& row : table.rows) {
+      w.BeginObject();
+      w.Field("table", table.title);
+      w.Key("values");
+      w.BeginObject();
+      for (size_t i = 0; i < row.size(); ++i) {
+        // Unnamed columns (no PrintHeader, or extra cells) fall back to c<i>.
+        const std::string key =
+            i < table.columns.size() ? table.columns[i] : "c" + std::to_string(i);
+        w.Field(key, row[i]);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Key("metrics");
+  obs::MetricsRegistry::Default().WriteJson(w);
+  w.EndObject();
+}
+
+// atexit hook: by now every runner-scoped server/client/NIC has been
+// destroyed, so the metrics registry holds the complete flush.
+void WriteHarnessOutputs() {
+  if (harness == nullptr) {
+    return;
+  }
+  if (!harness->json_path.empty()) {
+    std::string out;
+    WriteHarnessJson(*harness, &out);
+    out.push_back('\n');
+    std::FILE* f = std::fopen(harness->json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --json file %s\n", harness->json_path.c_str());
+    } else {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (!harness->trace_path.empty() && harness->tracer != nullptr) {
+    if (!harness->tracer->WriteFile(harness->trace_path)) {
+      std::fprintf(stderr, "bench: cannot write --trace file %s\n", harness->trace_path.c_str());
+    }
+  }
+}
+
+// Registers the run with the harness (for the JSON config block) and attaches
+// the tracer to the run's fresh engine as its own trace "process". Inert
+// without flags.
+void BeginBenchRun(sim::Engine& engine, std::string label,
+                   std::vector<std::pair<std::string, std::string>> params) {
+  if (harness == nullptr) {
+    return;
+  }
+  if (harness->tracer != nullptr) {
+    engine.set_trace_sink(harness->tracer.get());
+    harness->tracer->BeginRun(label);
+  }
+  if (!harness->json_path.empty()) {
+    harness->runs.push_back(CapturedRun{std::move(label), std::move(params)});
+  }
+}
+
+std::string TimeParam(sim::Time t) { return std::to_string(t); }
 
 struct LoopCounter {
   uint64_t ops = 0;
@@ -208,13 +351,58 @@ void MergeChannelStats(rfp::Channel::Stats& into, const rfp::Channel::Stats& fro
 
 }  // namespace
 
+// ---- Flag plumbing -------------------------------------------------------------
+
+void Init(int& argc, char** argv) {
+  std::string json_path;
+  std::string trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  if (json_path.empty() && trace_path.empty()) {
+    return;  // stay inert: no capture state, no atexit hook
+  }
+  harness = new Harness();
+  harness->json_path = std::move(json_path);
+  harness->trace_path = std::move(trace_path);
+  for (int i = 0; i < argc; ++i) {
+    harness->argv.push_back(argv[i]);
+  }
+  const char* base = argc > 0 ? std::strrchr(argv[0], '/') : nullptr;
+  harness->bench_name = argc > 0 ? (base != nullptr ? base + 1 : argv[0]) : "bench";
+  if (!harness->trace_path.empty()) {
+    harness->tracer = std::make_unique<obs::Tracer>();
+  }
+  argv[kept] = nullptr;
+  argc = kept;
+  std::atexit(WriteHarnessOutputs);
+}
+
+obs::Tracer* GlobalTracer() {
+  return harness != nullptr ? harness->tracer.get() : nullptr;
+}
+
 // ---- Output helpers ----------------------------------------------------------
 
 void PrintTitle(const std::string& title) {
+  if (CaptureRows()) {
+    harness->tables.push_back(CapturedTable{title, {}, {}});
+  }
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
 void PrintHeader(const std::vector<std::string>& columns) {
+  if (CaptureRows()) {
+    CurrentTable().columns = columns;
+  }
   for (const auto& c : columns) {
     std::printf("%-*s", kColumnWidth, c.c_str());
   }
@@ -226,6 +414,9 @@ void PrintHeader(const std::vector<std::string>& columns) {
 }
 
 void PrintRow(const std::vector<std::string>& cells) {
+  if (CaptureRows()) {
+    CurrentTable().rows.push_back(cells);
+  }
   for (const auto& c : cells) {
     std::printf("%-*s", kColumnWidth, c.c_str());
   }
@@ -247,6 +438,11 @@ double RawInboundMops(int client_nodes, int threads_per_node, uint32_t size, sim
                       const rdma::FabricConfig& fabric_config) {
   window = Scaled(window);
   sim::Engine engine;
+  BeginBenchRun(engine, "raw-inbound",
+                {{"client_nodes", std::to_string(client_nodes)},
+                 {"threads_per_node", std::to_string(threads_per_node)},
+                 {"size", std::to_string(size)},
+                 {"window_ns", TimeParam(window)}});
   rdma::Fabric fabric(engine, fabric_config);
   rdma::Node& server = fabric.AddNode("server");
   rdma::MemoryRegion* remote = server.RegisterMemory(65536, rdma::kAccessRemoteRead);
@@ -269,6 +465,10 @@ double RawOutboundMops(int server_threads, uint32_t size, sim::Time window,
                        const rdma::FabricConfig& fabric_config) {
   window = Scaled(window);
   sim::Engine engine;
+  BeginBenchRun(engine, "raw-outbound",
+                {{"server_threads", std::to_string(server_threads)},
+                 {"size", std::to_string(size)},
+                 {"window_ns", TimeParam(window)}});
   rdma::Fabric fabric(engine, fabric_config);
   rdma::Node& server = fabric.AddNode("server");
   std::vector<rdma::Node*> clients;
@@ -293,6 +493,11 @@ AmplificationResult RunAmplification(int ops_per_request, int client_threads, ui
                                      sim::Time window) {
   window = Scaled(window);
   sim::Engine engine;
+  BeginBenchRun(engine, "amplification",
+                {{"ops_per_request", std::to_string(ops_per_request)},
+                 {"client_threads", std::to_string(client_threads)},
+                 {"size", std::to_string(size)},
+                 {"window_ns", TimeParam(window)}});
   rdma::Fabric fabric(engine);
   rdma::Node& server = fabric.AddNode("server");
   rdma::MemoryRegion* remote =
@@ -323,6 +528,14 @@ EchoRunResult RunEcho(const EchoRunConfig& config_in) {
   config.warmup = Scaled(config.warmup);
   config.measure = Scaled(config.measure);
   sim::Engine engine;
+  BeginBenchRun(engine, "echo",
+                {{"process_ns", TimeParam(config.process_ns)},
+                 {"result_size", std::to_string(config.result_size)},
+                 {"server_threads", std::to_string(config.server_threads)},
+                 {"client_nodes", std::to_string(config.client_nodes)},
+                 {"client_threads", std::to_string(config.client_threads)},
+                 {"warmup_ns", TimeParam(config.warmup)},
+                 {"measure_ns", TimeParam(config.measure)}});
   rdma::Fabric fabric(engine, config.fabric);
   rdma::Node& server_node = fabric.AddNode("server");
   rfp::RpcServer server(fabric, server_node, config.server_threads);
@@ -418,6 +631,15 @@ KvRunResult RunKv(const KvRunConfig& config_in) {
   config.warmup = Scaled(config.warmup);
   config.measure = Scaled(config.measure);
   sim::Engine engine;
+  BeginBenchRun(engine, std::string("kv-") + KvSystemName(config.system),
+                {{"system", KvSystemName(config.system)},
+                 {"server_threads", std::to_string(config.server_threads)},
+                 {"client_nodes", std::to_string(config.client_nodes)},
+                 {"client_threads", std::to_string(config.client_threads)},
+                 {"num_keys", std::to_string(config.workload.num_keys)},
+                 {"get_fraction", std::to_string(config.workload.get_fraction)},
+                 {"warmup_ns", TimeParam(config.warmup)},
+                 {"measure_ns", TimeParam(config.measure)}});
   rdma::Fabric fabric(engine, config.fabric);
   rdma::Node& server_node = fabric.AddNode("server");
   std::vector<rdma::Node*> client_nodes;
@@ -550,6 +772,13 @@ PilafRunResult RunPilaf(const PilafRunConfig& config_in) {
   config.warmup = Scaled(config.warmup);
   config.measure = Scaled(config.measure);
   sim::Engine engine;
+  BeginBenchRun(engine, "pilaf",
+                {{"client_nodes", std::to_string(config.client_nodes)},
+                 {"client_threads", std::to_string(config.client_threads)},
+                 {"num_keys", std::to_string(config.workload.num_keys)},
+                 {"get_fraction", std::to_string(config.workload.get_fraction)},
+                 {"warmup_ns", TimeParam(config.warmup)},
+                 {"measure_ns", TimeParam(config.measure)}});
   rdma::Fabric fabric(engine, config.fabric);
   rdma::Node& server_node = fabric.AddNode("server");
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/kv/memcached_store.h"
+#include "src/obs/trace.h"
 #include "src/rdma/config.h"
 #include "src/rfp/channel.h"
 #include "src/rfp/options.h"
@@ -27,6 +28,27 @@
 #include "src/workload/ycsb.h"
 
 namespace bench {
+
+// ---- Observability flags (--json / --trace) -----------------------------------
+//
+// Call first in every bench main. Strips the harness's own flags from argv
+// before anything else (google-benchmark included) parses it:
+//
+//   --json=PATH    additionally write a machine-readable dump of the run:
+//                  {bench, schema_version, config, rows, metrics} — the rows
+//                  mirror the printed table cell for cell, and the metrics
+//                  are the process-wide obs::MetricsRegistry snapshot.
+//   --trace=PATH   write a Chrome-trace-event (Perfetto-loadable) file with
+//                  virtual-time spans of every simulated run.
+//
+// Without either flag the harness is inert: nothing is captured and the text
+// output is byte-identical to a build without this layer. Both files are
+// written by an atexit hook after all runs (and their destructor-time metric
+// flushes) finish. See docs/observability.md for the schemas.
+void Init(int& argc, char** argv);
+
+// The shared tracer when --trace is active, nullptr otherwise.
+obs::Tracer* GlobalTracer();
 
 // ---- Output helpers ----------------------------------------------------------
 

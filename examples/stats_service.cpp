@@ -9,7 +9,11 @@
 // RECORD-SAMPLE and QUANTILE-QUERY operations, running over exactly the
 // same channels, with the same remote-fetch data path, as Jakiro.
 //
-//   $ ./examples/stats_service
+//   $ ./examples/stats_service [--json=PATH] [--trace=PATH]
+//
+// --json dumps the process-wide metrics registry (channel/NIC/RPC counters
+// flushed by the simulation) as JSON; --trace writes a Chrome-trace-event
+// file of the run, loadable in Perfetto. See docs/observability.md.
 
 #include <cstdio>
 #include <cstring>
@@ -18,6 +22,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rdma/fabric.h"
 #include "src/rfp/rpc.h"
 #include "src/sim/engine.h"
@@ -52,8 +59,14 @@ size_t Write(std::span<std::byte> bytes, size_t offset, T v) {
 
 }  // namespace
 
-int main() {
+// The simulation proper; scoped so that every channel/NIC/RPC object has
+// been destroyed — and has flushed its metrics — before main exports them.
+void RunSimulation(obs::Tracer* tracer) {
   sim::Engine engine;
+  if (tracer != nullptr) {
+    engine.set_trace_sink(tracer);
+    tracer->BeginRun("stats-service");
+  }
   rdma::Fabric fabric(engine);
   rdma::Node& server_node = fabric.AddNode("metrics-server");
   const int kThreads = 4;
@@ -158,5 +171,41 @@ int main() {
               "key-value store uses — no application-specific remote data structure needed\n",
               static_cast<unsigned long long>(total), sim::ToMillis(engine.now()),
               static_cast<double>(total) / sim::ToSeconds(deadline) / 1e6);
+}
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
+  obs::Tracer tracer;
+  RunSimulation(trace_path.empty() ? nullptr : &tracer);
+
+  if (!json_path.empty()) {
+    std::string out;
+    obs::JsonWriter w(&out);
+    w.BeginObject();
+    w.Field("example", "stats_service");
+    w.Key("metrics");
+    obs::MetricsRegistry::Default().WriteJson(w);
+    w.EndObject();
+    out.push_back('\n');
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "stats_service: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+  if (!trace_path.empty() && !tracer.WriteFile(trace_path)) {
+    std::fprintf(stderr, "stats_service: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "src/kv/common.h"
 #include "src/kv/crc64.h"
+#include "src/obs/metrics.h"
 
 namespace kv {
 
@@ -21,7 +22,8 @@ uint64_t NormalizeHash(uint64_t h) { return h == 0 ? 1 : h; }
 //   [key bytes (max_key)][value bytes (max_value)]
 // The table is num_buckets x slots_per_bucket slots, plus `neighborhood`
 // extra trailing buckets so neighborhoods never wrap.
-FarmStore::FarmStore(rdma::Node& node, const FarmConfig& config) : config_(config) {
+FarmStore::FarmStore(rdma::Node& node, const FarmConfig& config)
+    : config_(config), node_name_(node.name()) {
   if (config_.num_buckets == 0 || config_.neighborhood <= 0 || config_.slots_per_bucket <= 0) {
     throw std::invalid_argument("farm store: bad geometry");
   }
@@ -31,6 +33,15 @@ FarmStore::FarmStore(rdma::Node& node, const FarmConfig& config) : config_(confi
   cells_ = node.RegisterMemory(
       total_buckets * static_cast<uint64_t>(config_.slots_per_bucket) * cell_bytes_,
       rdma::kAccessRemoteRead);
+}
+
+FarmStore::~FarmStore() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"store", "farm"}, {"node", node_name_}};
+  reg.GetCounter("kv.store.inserts", labels)->Add(stats_.inserts);
+  reg.GetCounter("kv.store.updates", labels)->Add(stats_.updates);
+  reg.GetCounter("kv.farm.displacements", labels)->Add(stats_.displacements);
+  reg.GetCounter("kv.farm.failed_inserts", labels)->Add(stats_.failed_inserts);
 }
 
 FarmStore::View FarmStore::view() const {

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/rdma/fabric.h"
@@ -75,6 +76,9 @@ class FarmStore {
 
   FarmStore(rdma::Node& node, const FarmConfig& config);
 
+  // Flushes Stats into the default metrics registry ({store: "farm"}).
+  ~FarmStore();
+
   FarmStore(const FarmStore&) = delete;
   FarmStore& operator=(const FarmStore&) = delete;
 
@@ -120,6 +124,7 @@ class FarmStore {
   int64_t MakeRoomInNeighborhood(uint64_t home);
 
   FarmConfig config_;
+  std::string node_name_;
   size_t cell_bytes_;
   rdma::MemoryRegion* cells_;
   size_t size_ = 0;

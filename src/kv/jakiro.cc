@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/kv/common.h"
+#include "src/obs/metrics.h"
 
 namespace kv {
 
@@ -22,6 +23,26 @@ JakiroServer::JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig 
     partitions_.push_back(std::make_unique<BucketTable>(config_.buckets_per_partition));
   }
   RegisterHandlers();
+}
+
+JakiroServer::~JakiroServer() {
+  BucketTable::Stats total;
+  for (const auto& partition : partitions_) {
+    total.hits += partition->stats().hits;
+    total.misses += partition->stats().misses;
+    total.inserts += partition->stats().inserts;
+    total.updates += partition->stats().updates;
+    total.evictions += partition->stats().evictions;
+    total.erases += partition->stats().erases;
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"store", "jakiro"}, {"node", rpc_.node().name()}};
+  reg.GetCounter("kv.store.hits", labels)->Add(total.hits);
+  reg.GetCounter("kv.store.misses", labels)->Add(total.misses);
+  reg.GetCounter("kv.store.inserts", labels)->Add(total.inserts);
+  reg.GetCounter("kv.store.updates", labels)->Add(total.updates);
+  reg.GetCounter("kv.store.evictions", labels)->Add(total.evictions);
+  reg.GetCounter("kv.store.erases", labels)->Add(total.erases);
 }
 
 int JakiroServer::OwnerThread(std::span<const std::byte> key) const {

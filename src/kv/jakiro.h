@@ -48,6 +48,10 @@ class JakiroServer {
  public:
   JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config = {});
 
+  // Flushes aggregated partition-table stats into the default metrics
+  // registry, labeled {store: "jakiro", node}.
+  ~JakiroServer();
+
   JakiroServer(const JakiroServer&) = delete;
   JakiroServer& operator=(const JakiroServer&) = delete;
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/kv/common.h"
+#include "src/obs/metrics.h"
 
 namespace kv {
 
@@ -22,6 +23,17 @@ MemcachedServer::MemcachedServer(rdma::Fabric& fabric, rdma::Node& node, Memcach
       rpc_(fabric, node, config_.server_threads, config_.server_options),
       cache_lock_(fabric.engine()) {
   RegisterHandlers();
+}
+
+MemcachedServer::~MemcachedServer() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"store", "memcached"}, {"node", rpc_.node().name()}};
+  reg.GetCounter("kv.store.gets", labels)->Add(stats_.gets);
+  reg.GetCounter("kv.store.puts", labels)->Add(stats_.puts);
+  reg.GetCounter("kv.store.hits", labels)->Add(stats_.hits);
+  reg.GetCounter("kv.store.misses", labels)->Add(stats_.misses);
+  reg.GetCounter("kv.store.evictions", labels)->Add(stats_.evictions);
+  reg.GetCounter("kv.store.hot_hits", labels)->Add(stats_.hot_hits);
 }
 
 bool MemcachedServer::TouchHotSet(uint64_t key_hash) {

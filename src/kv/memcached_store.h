@@ -63,6 +63,9 @@ class MemcachedServer {
 
   MemcachedServer(rdma::Fabric& fabric, rdma::Node& node, MemcachedConfig config = {});
 
+  // Flushes Stats into the default metrics registry ({store: "memcached"}).
+  ~MemcachedServer();
+
   MemcachedServer(const MemcachedServer&) = delete;
   MemcachedServer& operator=(const MemcachedServer&) = delete;
 

@@ -5,6 +5,7 @@
 
 #include "src/kv/common.h"
 #include "src/kv/crc64.h"
+#include "src/obs/metrics.h"
 
 namespace kv {
 
@@ -63,6 +64,20 @@ PilafClient::PilafClient(rdma::Fabric& fabric, rdma::Node& client_node, PilafSer
       client_node, server.config().channel_options, put_thread);
   put_stub_ = std::make_unique<rfp::RpcClient>(channel);
   scratch_.resize(server.config().channel_options.max_message_bytes);
+}
+
+PilafClient::~PilafClient() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"store", "pilaf"}, {"client", qp_->local_node()->name()}};
+  reg.GetCounter("kv.store.gets", labels)->Add(stats_.gets);
+  reg.GetCounter("kv.store.puts", labels)->Add(stats_.puts);
+  reg.GetCounter("kv.pilaf.slot_reads", labels)->Add(stats_.slot_reads);
+  reg.GetCounter("kv.pilaf.extent_reads", labels)->Add(stats_.extent_reads);
+  reg.GetCounter("kv.pilaf.crc_failures", labels)->Add(stats_.crc_failures);
+  reg.GetCounter("kv.pilaf.hash_misses", labels)->Add(stats_.hash_misses);
+  reg.GetCounter("kv.pilaf.retries", labels)->Add(stats_.retries);
+  reg.GetCounter("kv.store.misses", labels)->Add(stats_.not_found);
+  reg.GetHistogram("kv.pilaf.get_latency_ns", labels)->Merge(get_latency_);
 }
 
 sim::Task<std::optional<size_t>> PilafClient::Get(std::span<const std::byte> key,

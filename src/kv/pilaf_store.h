@@ -96,6 +96,10 @@ class PilafClient {
   PilafClient(rdma::Fabric& fabric, rdma::Node& client_node, PilafServer& server,
               int put_thread);
 
+  // Flushes Stats and the GET latency histogram into the default metrics
+  // registry ({store: "pilaf", client}).
+  ~PilafClient();
+
   // One-sided GET. Returns the value size, or nullopt when absent.
   sim::Task<std::optional<size_t>> Get(std::span<const std::byte> key,
                                        std::span<std::byte> value_out);

@@ -1,0 +1,148 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (depth_.empty()) {
+    if (wrote_root_) {
+      throw std::logic_error("obs json: more than one root value");
+    }
+    wrote_root_ = true;
+    return;
+  }
+  Frame& top = depth_.back();
+  if (top.is_object) {
+    if (!top.key_pending) {
+      throw std::logic_error("obs json: value inside object without a key");
+    }
+    top.key_pending = false;
+    return;
+  }
+  if (top.has_members) {
+    out_->push_back(',');
+  }
+  top.has_members = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (depth_.empty() || !depth_.back().is_object) {
+    throw std::logic_error("obs json: key outside an object");
+  }
+  Frame& top = depth_.back();
+  if (top.key_pending) {
+    throw std::logic_error("obs json: two keys in a row");
+  }
+  if (top.has_members) {
+    out_->push_back(',');
+  }
+  top.has_members = true;
+  top.key_pending = true;
+  out_->push_back('"');
+  *out_ += JsonEscape(key);
+  *out_ += "\":";
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  depth_.push_back(Frame{true, false, false});
+  out_->push_back('{');
+}
+
+void JsonWriter::EndObject() {
+  if (depth_.empty() || !depth_.back().is_object || depth_.back().key_pending) {
+    throw std::logic_error("obs json: mismatched EndObject");
+  }
+  depth_.pop_back();
+  out_->push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  depth_.push_back(Frame{false, false, false});
+  out_->push_back('[');
+}
+
+void JsonWriter::EndArray() {
+  if (depth_.empty() || depth_.back().is_object) {
+    throw std::logic_error("obs json: mismatched EndArray");
+  }
+  depth_.pop_back();
+  out_->push_back(']');
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_->push_back('"');
+  *out_ += JsonEscape(value);
+  out_->push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  *out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  *out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    *out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  *out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  *out_ += "null";
+}
+
+}  // namespace obs

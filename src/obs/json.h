@@ -1,0 +1,75 @@
+// Minimal streaming JSON writer.
+//
+// Both observability exporters (the metrics snapshot and the Chrome-trace
+// file) and the bench harness's --json output funnel through this writer so
+// escaping, number formatting, and comma placement are correct in one place.
+// The writer is strictly sequential: callers open containers, emit values,
+// and close them; a Key() must precede every value inside an object.
+
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  // Appends output to `*out`, which must outlive the writer.
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Emits the key for the next value. Only valid directly inside an object.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  // Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Key+value shorthands for object members.
+  void Field(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void Field(std::string_view key, const char* value) { Key(key); String(value); }
+  void Field(std::string_view key, int64_t value) { Key(key); Int(value); }
+  void Field(std::string_view key, int value) { Key(key); Int(value); }
+  void Field(std::string_view key, uint64_t value) { Key(key); UInt(value); }
+  void Field(std::string_view key, uint32_t value) { Key(key); UInt(value); }
+  void Field(std::string_view key, double value) { Key(key); Double(value); }
+  void Field(std::string_view key, bool value) { Key(key); Bool(value); }
+
+  // True once every opened container has been closed again.
+  bool complete() const { return depth_.empty() && wrote_root_; }
+
+ private:
+  void BeforeValue();
+
+  struct Frame {
+    bool is_object = false;
+    bool has_members = false;
+    bool key_pending = false;
+  };
+
+  std::string* out_;
+  std::vector<Frame> depth_;
+  bool wrote_root_ = false;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_JSON_H_

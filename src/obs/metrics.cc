@@ -1,0 +1,147 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace obs {
+
+namespace {
+
+Labels Sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+// Instruments are keyed by name plus the sorted label pairs, joined with
+// separators that cannot appear in well-formed names/labels.
+std::string MapKey(std::string_view name, const Labels& sorted_labels) {
+  std::string key(name);
+  for (const auto& [k, v] : sorted_labels) {
+    key.push_back('\x1f');
+    key += k;
+    key.push_back('\x1e');
+    key += v;
+  }
+  return key;
+}
+
+bool SampleOrder(const MetricsRegistry::Sample& a, const MetricsRegistry::Sample& b) {
+  if (a.name != b.name) {
+    return a.name < b.name;
+  }
+  return a.labels < b.labels;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+template <typename T>
+T* MetricsRegistry::Lookup(std::unordered_map<std::string, Entry<T>>& map,
+                           std::string_view name, const Labels& labels) {
+  Labels sorted = Sorted(labels);
+  std::string key = MapKey(name, sorted);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    Entry<T> entry{std::string(name), std::move(sorted), std::make_unique<T>()};
+    it = map.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second.instrument.get();
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, const Labels& labels) {
+  return Lookup(counters_, name, labels);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, const Labels& labels) {
+  return Lookup(gauges_, name, labels);
+}
+
+sim::Histogram* MetricsRegistry::GetHistogram(std::string_view name, const Labels& labels) {
+  return Lookup(histograms_, name, labels);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> samples;
+  samples.reserve(size());
+  for (const auto& [key, entry] : counters_) {
+    Sample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.kind = Kind::kCounter;
+    s.counter = entry.instrument->value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [key, entry] : gauges_) {
+    Sample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.kind = Kind::kGauge;
+    s.gauge = entry.instrument->value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& [key, entry] : histograms_) {
+    Sample s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.kind = Kind::kHistogram;
+    s.histogram = entry.instrument.get();
+    samples.push_back(std::move(s));
+  }
+  std::sort(samples.begin(), samples.end(), SampleOrder);
+  return samples;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  w.BeginArray();
+  for (const Sample& s : Snapshot()) {
+    w.BeginObject();
+    w.Field("name", s.name);
+    w.Key("labels");
+    w.BeginObject();
+    for (const auto& [k, v] : s.labels) {
+      w.Field(k, v);
+    }
+    w.EndObject();
+    switch (s.kind) {
+      case Kind::kCounter:
+        w.Field("kind", "counter");
+        w.Field("value", s.counter);
+        break;
+      case Kind::kGauge:
+        w.Field("kind", "gauge");
+        w.Field("value", s.gauge);
+        break;
+      case Kind::kHistogram: {
+        w.Field("kind", "histogram");
+        const sim::Histogram& h = *s.histogram;
+        w.Field("count", h.count());
+        w.Field("mean", h.mean());
+        w.Field("min", h.min());
+        w.Field("max", h.max());
+        w.Field("p50", h.Percentile(0.50));
+        w.Field("p90", h.Percentile(0.90));
+        w.Field("p99", h.Percentile(0.99));
+        break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto& [key, entry] : counters_) {
+    *entry.instrument = Counter();
+  }
+  for (auto& [key, entry] : gauges_) {
+    *entry.instrument = Gauge();
+  }
+  for (auto& [key, entry] : histograms_) {
+    entry.instrument->Reset();
+  }
+}
+
+}  // namespace obs

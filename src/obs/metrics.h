@@ -1,0 +1,112 @@
+// Process-wide metrics registry.
+//
+// Components register named instruments with hierarchical labels
+// (node / NIC / channel / rpc / store) and bump them as the simulation runs;
+// instruments with the same (name, labels) pair are shared, so repeated runs
+// inside one bench process aggregate naturally. The bench harness snapshots
+// the registry into the --json output; see docs/observability.md for the
+// exported schema.
+//
+// Instruments are plain accumulators — the simulator is single-threaded, so
+// no atomics are needed — and pointers returned by the registry stay valid
+// for the life of the process (instruments are never deleted, matching how
+// NICs, channels and stores flush into them from destructors).
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/sim/stats.h"
+
+namespace obs {
+
+// Label dimensions, e.g. {{"node", "server"}, {"store", "jakiro"}}.
+// Registries sort labels by key, so order at the call site does not matter.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every component reports into.
+  static MetricsRegistry& Default();
+
+  // Returns the instrument for (name, labels), creating it on first use.
+  // The same pair always yields the same instrument; kinds are namespaced
+  // separately (a counter and a histogram may share a name).
+  Counter* GetCounter(std::string_view name, const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, const Labels& labels = {});
+  sim::Histogram* GetHistogram(std::string_view name, const Labels& labels = {});
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Sample {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    uint64_t counter = 0;
+    double gauge = 0.0;
+    const sim::Histogram* histogram = nullptr;  // valid while registry lives
+  };
+
+  // All instruments, sorted by (name, labels) for deterministic export.
+  std::vector<Sample> Snapshot() const;
+
+  // Writes the snapshot as a JSON array of metric objects.
+  void WriteJson(JsonWriter& w) const;
+
+  // Zeroes every instrument (pointers stay valid). Test hook.
+  void ResetValues();
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> instrument;
+  };
+
+  template <typename T>
+  static T* Lookup(std::unordered_map<std::string, Entry<T>>& map, std::string_view name,
+                   const Labels& labels);
+
+  std::unordered_map<std::string, Entry<Counter>> counters_;
+  std::unordered_map<std::string, Entry<Gauge>> gauges_;
+  std::unordered_map<std::string, Entry<sim::Histogram>> histograms_;
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_METRICS_H_

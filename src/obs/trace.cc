@@ -1,0 +1,127 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace obs {
+
+namespace {
+
+// Virtual nanoseconds -> trace microseconds.
+double ToTraceTs(sim::Time t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace
+
+bool Tracer::Admit() {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void Tracer::Span(std::string_view cat, std::string_view name, uint64_t track,
+                  sim::Time start, sim::Time end) {
+  if (!Admit()) {
+    return;
+  }
+  events_.push_back(Event{'X', pid_, track, start, end - start, std::string(cat),
+                          std::string(name)});
+}
+
+void Tracer::Instant(std::string_view cat, std::string_view name, uint64_t track,
+                     sim::Time at) {
+  if (!Admit()) {
+    return;
+  }
+  events_.push_back(Event{'i', pid_, track, at, 0, std::string(cat), std::string(name)});
+}
+
+void Tracer::NameTrack(uint64_t track, std::string_view name) {
+  track_names_.emplace(track, std::string(name));
+}
+
+void Tracer::BeginRun(std::string_view label) {
+  ++pid_;
+  run_names_.emplace_back(pid_, std::string(label));
+}
+
+std::string Tracer::ToJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Field("displayTimeUnit", "ns");
+  if (dropped_ > 0) {
+    w.Field("droppedEventCount", dropped_);
+  }
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& [pid, label] : run_names_) {
+    w.BeginObject();
+    w.Field("ph", "M");
+    w.Field("name", "process_name");
+    w.Field("pid", static_cast<int64_t>(pid));
+    w.Field("tid", static_cast<uint64_t>(0));
+    w.Key("args");
+    w.BeginObject();
+    w.Field("name", label);
+    w.EndObject();
+    w.EndObject();
+  }
+  // Thread-name metadata is emitted per pid so every run's tracks are named.
+  std::vector<int> pids;
+  if (run_names_.empty()) {
+    pids.push_back(0);
+  }
+  for (const auto& [pid, label] : run_names_) {
+    (void)label;
+    pids.push_back(pid);
+  }
+  for (int pid : pids) {
+    for (const auto& [track, name] : track_names_) {
+      w.BeginObject();
+      w.Field("ph", "M");
+      w.Field("name", "thread_name");
+      w.Field("pid", static_cast<int64_t>(pid));
+      w.Field("tid", track);
+      w.Key("args");
+      w.BeginObject();
+      w.Field("name", name);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  for (const Event& e : events_) {
+    w.BeginObject();
+    w.Field("ph", std::string_view(&e.phase, 1));
+    w.Field("cat", e.cat);
+    w.Field("name", e.name);
+    w.Field("pid", static_cast<int64_t>(e.pid));
+    w.Field("tid", e.track);
+    w.Field("ts", ToTraceTs(e.start));
+    if (e.phase == 'X') {
+      w.Field("dur", ToTraceTs(e.duration));
+    } else {
+      w.Field("s", "t");  // instant scope: thread
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return out;
+}
+
+bool Tracer::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace obs

@@ -1,0 +1,75 @@
+// Chrome-trace-event (Perfetto-loadable) exporter.
+//
+// Implements sim::TraceSink by buffering complete ("X") and instant ("i")
+// events in memory and writing one JSON object with a traceEvents array on
+// Finish(). Virtual nanoseconds map to trace microseconds (ts is a double,
+// so sub-microsecond precision survives). Each simulated run inside a bench
+// process can be grouped as its own "process" via BeginRun(), which bumps
+// the pid and emits process_name metadata — successive runs then appear
+// side by side in the viewer instead of overlapping on one timeline.
+//
+// The buffer is capped (default 2M events) so tracing a long bench cannot
+// exhaust memory; overflow is counted and reported in the trace metadata.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace obs {
+
+class Tracer : public sim::TraceSink {
+ public:
+  explicit Tracer(size_t max_events = 2'000'000) : max_events_(max_events) {}
+
+  // ---- sim::TraceSink ------------------------------------------------------
+  void Span(std::string_view cat, std::string_view name, uint64_t track, sim::Time start,
+            sim::Time end) override;
+  void Instant(std::string_view cat, std::string_view name, uint64_t track,
+               sim::Time at) override;
+  void NameTrack(uint64_t track, std::string_view name) override;
+
+  // Starts a new trace "process" named `label`; subsequent events carry the
+  // new pid. Called by the bench runners once per simulated run.
+  void BeginRun(std::string_view label);
+
+  // Serializes everything recorded so far as a Chrome trace JSON object.
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`. Returns false (and keeps the buffer) on I/O
+  // failure.
+  bool WriteFile(const std::string& path) const;
+
+  size_t event_count() const { return events_.size(); }
+  uint64_t dropped_events() const { return dropped_; }
+
+ private:
+  struct Event {
+    char phase;  // 'X' or 'i'
+    int pid;
+    uint64_t track;
+    sim::Time start;
+    sim::Time duration;
+    std::string cat;
+    std::string name;
+  };
+
+  bool Admit();
+
+  size_t max_events_;
+  uint64_t dropped_ = 0;
+  int pid_ = 0;
+  std::vector<Event> events_;
+  std::vector<std::pair<int, std::string>> run_names_;        // pid -> process label
+  std::unordered_map<uint64_t, std::string> track_names_;     // track -> thread label
+};
+
+}  // namespace obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -58,11 +58,15 @@ class MemoryRegion {
     std::memcpy(data_.data() + offset, &value, sizeof(T));
   }
 
+  // Empty spans are valid (zero-length messages) but may carry a null data
+  // pointer, which memcpy must never see.
   void WriteBytes(size_t offset, std::span<const std::byte> src) {
+    if (src.empty()) return;
     std::memcpy(data_.data() + offset, src.data(), src.size());
   }
 
   void ReadBytes(size_t offset, std::span<std::byte> dst) const {
+    if (dst.empty()) return;
     std::memcpy(dst.data(), data_.data() + offset, dst.size());
   }
 

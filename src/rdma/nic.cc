@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace rdma {
 
 namespace {
@@ -10,13 +12,35 @@ sim::Time FromNs(double ns) { return static_cast<sim::Time>(ns + 0.5); }
 
 }  // namespace
 
-Nic::Nic(sim::Engine& engine, const NicConfig& config, uint64_t seed)
+Nic::Nic(sim::Engine& engine, const NicConfig& config, uint64_t seed, std::string node_name)
     : engine_(engine),
       config_(config),
+      node_name_(std::move(node_name)),
       rng_(sim::Mix64(seed ^ 0x4e4943)),  // "NIC"
       issue_pipeline_(engine, 1),
       inbound_engine_(engine, 1),
-      post_lock_(engine) {}
+      post_lock_(engine) {
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->NameTrack(reinterpret_cast<uint64_t>(this), node_name_ + " nic:outbound");
+    trace->NameTrack(reinterpret_cast<uint64_t>(this) + 1, node_name_ + " nic:inbound");
+  }
+}
+
+Nic::~Nic() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"node", node_name_}};
+  reg.GetCounter("rdma.nic.outbound_ops", labels)->Add(outbound_ops_);
+  reg.GetCounter("rdma.nic.inbound_ops", labels)->Add(inbound_ops_);
+  reg.GetHistogram("rdma.nic.issue_wait_ns", labels)->Merge(issue_wait_ns_);
+  reg.GetHistogram("rdma.nic.issue_queue_depth", labels)->Merge(issue_queue_depth_);
+}
+
+void Nic::TraceService(std::string_view name, bool inbound, sim::Time start) {
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    const uint64_t track = reinterpret_cast<uint64_t>(this) + (inbound ? 1 : 0);
+    trace->Span("nic", name, track, start, engine_.now());
+  }
+}
 
 sim::Time Nic::Jitter(sim::Time nominal) {
   if (config_.service_jitter <= 0.0) {
@@ -59,12 +83,30 @@ sim::Task<void> Nic::CompletionOverhead() {
 
 sim::Task<void> Nic::IssueOneSided(Opcode op, uint32_t outbound_payload) {
   ++outbound_ops_;
-  co_await issue_pipeline_.Use(Jitter(OutboundServiceTime(op, outbound_payload)));
+  // Service time (and any jitter draw) is fixed at post time, before
+  // queueing, so observability never changes the simulated schedule.
+  const sim::Time service = Jitter(OutboundServiceTime(op, outbound_payload));
+  issue_queue_depth_.Record(issue_pipeline_.queue_length());
+  const sim::Time posted = engine_.now();
+  co_await issue_pipeline_.Acquire();
+  const sim::Time granted = engine_.now();
+  issue_wait_ns_.Record(granted - posted);
+  co_await engine_.Sleep(service);
+  issue_pipeline_.Release();
+  TraceService(OpcodeName(op), false, granted);
 }
 
 sim::Task<void> Nic::IssueTwoSided(uint32_t payload) {
   ++outbound_ops_;
-  co_await issue_pipeline_.Use(Jitter(OutboundServiceTime(Opcode::kSend, payload)));
+  const sim::Time service = Jitter(OutboundServiceTime(Opcode::kSend, payload));
+  issue_queue_depth_.Record(issue_pipeline_.queue_length());
+  const sim::Time posted = engine_.now();
+  co_await issue_pipeline_.Acquire();
+  const sim::Time granted = engine_.now();
+  issue_wait_ns_.Record(granted - posted);
+  co_await engine_.Sleep(service);
+  issue_pipeline_.Release();
+  TraceService("SEND", false, granted);
 }
 
 sim::Task<void> Nic::AbsorbReadResponse(uint32_t payload) {
@@ -74,13 +116,23 @@ sim::Task<void> Nic::AbsorbReadResponse(uint32_t payload) {
 
 sim::Task<void> Nic::ServeInboundOneSided(uint32_t payload) {
   ++inbound_ops_;
-  co_await inbound_engine_.Use(Jitter(InboundServiceTime(payload)));
+  const sim::Time service = Jitter(InboundServiceTime(payload));
+  co_await inbound_engine_.Acquire();
+  const sim::Time granted = engine_.now();
+  co_await engine_.Sleep(service);
+  inbound_engine_.Release();
+  TraceService("serve", true, granted);
 }
 
 sim::Task<void> Nic::ServeInboundTwoSided(uint32_t payload) {
   ++inbound_ops_;
   const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
-  co_await inbound_engine_.Use(Jitter(FromNs(std::max(config_.two_sided_rx_ns, serialization))));
+  const sim::Time service = Jitter(FromNs(std::max(config_.two_sided_rx_ns, serialization)));
+  co_await inbound_engine_.Acquire();
+  const sim::Time granted = engine_.now();
+  co_await engine_.Sleep(service);
+  inbound_engine_.Release();
+  TraceService("recv", true, granted);
 }
 
 const char* WcStatusName(WcStatus status) {

@@ -21,12 +21,14 @@
 #define SRC_RDMA_NIC_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/rdma/config.h"
 #include "src/rdma/types.h"
 #include "src/sim/engine.h"
 #include "src/sim/random.h"
 #include "src/sim/resource.h"
+#include "src/sim/stats.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
@@ -34,7 +36,14 @@ namespace rdma {
 
 class Nic {
  public:
-  Nic(sim::Engine& engine, const NicConfig& config, uint64_t seed = 0);
+  // `node_name` labels this NIC's metrics in the observability registry
+  // (see src/obs/metrics.h) and its trace tracks.
+  Nic(sim::Engine& engine, const NicConfig& config, uint64_t seed = 0,
+      std::string node_name = "");
+
+  // Flushes per-NIC counters and queueing histograms into the default
+  // metrics registry, labeled {node: <node_name>}.
+  ~Nic();
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -84,6 +93,13 @@ class Nic {
 
   uint64_t outbound_ops() const { return outbound_ops_; }
   uint64_t inbound_ops() const { return inbound_ops_; }
+  const std::string& node_name() const { return node_name_; }
+
+  // Time outbound ops spent queued for the issue pipeline, and the pipeline
+  // queue depth sampled at each post (paper Section 2.2's out-bound
+  // bottleneck, now directly observable).
+  const sim::Histogram& issue_wait_ns() const { return issue_wait_ns_; }
+  const sim::Histogram& issue_queue_depth() const { return issue_queue_depth_; }
   double IssueUtilization(sim::Time from, sim::Time to) const {
     return issue_pipeline_.Utilization(from, to);
   }
@@ -100,8 +116,13 @@ class Nic {
   // Applies the configured service jitter to a nominal service time.
   sim::Time Jitter(sim::Time nominal);
 
+  // Emits a trace span for a station service interval when a sink is
+  // attached to the engine.
+  void TraceService(std::string_view name, bool inbound, sim::Time start);
+
   sim::Engine& engine_;
   const NicConfig config_;
+  std::string node_name_;
   sim::Rng rng_;
   sim::Resource issue_pipeline_;
   sim::Resource inbound_engine_;
@@ -110,6 +131,8 @@ class Nic {
   int active_qps_ = 0;
   uint64_t outbound_ops_ = 0;
   uint64_t inbound_ops_ = 0;
+  sim::Histogram issue_wait_ns_;
+  sim::Histogram issue_queue_depth_;
 };
 
 }  // namespace rdma

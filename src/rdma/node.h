@@ -22,7 +22,7 @@ class Node {
  public:
   Node(sim::Engine& engine, Fabric* fabric, uint32_t id, std::string name,
        const NicConfig& config, uint64_t seed)
-      : fabric_(fabric), id_(id), name_(std::move(name)), nic_(engine, config, seed),
+      : fabric_(fabric), id_(id), name_(std::move(name)), nic_(engine, config, seed, name_),
         cpus_(engine, config.cores) {}
 
   Node(const Node&) = delete;

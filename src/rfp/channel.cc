@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/metrics.h"
+
 namespace rfp {
 
 namespace {
@@ -34,6 +36,32 @@ Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
     mode_ = Mode::kServerReply;
   }
   set_fetch_size(options_.fetch_size);
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->NameTrack(reinterpret_cast<uint64_t>(this),
+                     "channel " + client.name() + "->" + server.name());
+  }
+}
+
+Channel::~Channel() {
+  // Close the open reply-mode span, if any, so traces show the final state.
+  if (mode_ == Mode::kServerReply && adaptive()) {
+    if (sim::TraceSink* trace = engine_.trace_sink()) {
+      trace->Span("rfp", "server_reply_mode", reinterpret_cast<uint64_t>(this),
+                  reply_mode_since_, engine_.now());
+    }
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"client", client_node()->name()},
+                           {"server", server_node()->name()}};
+  reg.GetCounter("rfp.channel.calls", labels)->Add(stats_.calls);
+  reg.GetCounter("rfp.channel.request_writes", labels)->Add(stats_.request_writes);
+  reg.GetCounter("rfp.channel.fetch_reads", labels)->Add(stats_.fetch_reads);
+  reg.GetCounter("rfp.channel.failed_fetches", labels)->Add(stats_.failed_fetches);
+  reg.GetCounter("rfp.channel.extra_fetches", labels)->Add(stats_.extra_fetches);
+  reg.GetCounter("rfp.channel.reply_pushes", labels)->Add(stats_.reply_pushes);
+  reg.GetCounter("rfp.channel.switches_to_reply", labels)->Add(stats_.switches_to_reply);
+  reg.GetCounter("rfp.channel.switches_to_fetch", labels)->Add(stats_.switches_to_fetch);
+  reg.GetHistogram("rfp.channel.retries_per_call", labels)->Merge(stats_.retries_per_call);
 }
 
 void Channel::set_fetch_size(uint32_t f) {
@@ -127,9 +155,13 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
 
 sim::Task<void> Channel::SwitchToReply() {
   mode_ = Mode::kServerReply;
+  reply_mode_since_ = engine_.now();
   slow_streak_ = 0;
   fast_streak_ = 0;
   ++stats_.switches_to_reply;
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", "switch_to_reply", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
   // Publish the new mode to the server with a one-byte WRITE into the
   // request block's mode field.
   client_mr_->Store<uint8_t>(kRequestModeOffset, static_cast<uint8_t>(Mode::kServerReply));
@@ -168,6 +200,12 @@ void Channel::FinishReplyCall(const ResponseHeader& header) {
       slow_streak_ = 0;
       ++stats_.switches_to_fetch;
       // The next request header carries the new mode; no extra write needed.
+      if (sim::TraceSink* trace = engine_.trace_sink()) {
+        trace->Span("rfp", "server_reply_mode", reinterpret_cast<uint64_t>(this),
+                    reply_mode_since_, engine_.now());
+        trace->Instant("rfp", "switch_to_fetch", reinterpret_cast<uint64_t>(this),
+                       engine_.now());
+      }
     }
   } else {
     fast_streak_ = 0;

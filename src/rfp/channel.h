@@ -73,6 +73,10 @@ class Channel {
   Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
           const RfpOptions& options);
 
+  // Flushes this channel's Stats into the default metrics registry, labeled
+  // {client, server} by node name (channels with equal labels aggregate).
+  ~Channel();
+
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
@@ -148,6 +152,7 @@ class Channel {
   // Client state.
   uint16_t seq_ = 0;
   Mode mode_ = Mode::kRemoteFetch;
+  sim::Time reply_mode_since_ = 0;  // trace: start of the current reply-mode span
   int slow_streak_ = 0;
   int fast_streak_ = 0;
   uint16_t last_server_time_us_ = 0;

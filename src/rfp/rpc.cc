@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
 #include "src/rfp/wire.h"
 
 namespace rfp {
@@ -22,6 +23,11 @@ RpcServer::RpcServer(rdma::Fabric& fabric, rdma::Node& node, int num_threads,
     state.request_buf.resize(options_.max_message_bytes);
     state.response_buf.resize(options_.max_message_bytes);
   }
+}
+
+RpcServer::~RpcServer() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("rfp.rpc.requests_served", {{"node", node_.name()}})->Add(requests_served_);
 }
 
 namespace {
@@ -133,11 +139,20 @@ RpcClient::RpcClient(Channel* channel) : channel_(channel) {
   scratch_.resize(kRpcIdBytes + channel->options().max_message_bytes);
 }
 
+RpcClient::~RpcClient() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"client", channel_->client_node()->name()}};
+  reg.GetCounter("rfp.rpc.client_calls", labels)->Add(calls_);
+  reg.GetHistogram("rfp.rpc.call_latency_ns", labels)->Merge(latency_);
+}
+
 sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> request,
                                   std::span<std::byte> response) {
   const sim::Time start = channel_->client_node()->fabric()->engine().now();
   std::memcpy(scratch_.data(), &rpc_id, kRpcIdBytes);
-  std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
+  if (!request.empty()) {  // empty requests carry a null span data pointer
+    std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
+  }
   co_await channel_->ClientSend(
       std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()));
   const size_t n = co_await channel_->ClientRecv(response);

@@ -58,6 +58,10 @@ class RpcServer {
  public:
   RpcServer(rdma::Fabric& fabric, rdma::Node& node, int num_threads, ServerOptions options = {});
 
+  // Flushes requests-served counters into the default metrics registry,
+  // labeled {node}. Channels flush their own stats as they are destroyed.
+  ~RpcServer();
+
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
 
@@ -108,6 +112,10 @@ class RpcServer {
 class RpcClient {
  public:
   explicit RpcClient(Channel* channel);
+
+  // Flushes call count and latency into the default metrics registry,
+  // labeled {client} by the channel's client node.
+  ~RpcClient();
 
   Channel* channel() { return channel_; }
 

@@ -1,5 +1,6 @@
 #include "src/sim/engine.h"
 
+#include <string>
 #include <utility>
 
 namespace sim {
@@ -20,12 +21,16 @@ struct Detached {
   };
 };
 
-Detached RunDetached(Engine* engine, Task<void> task) {
+Detached RunDetached(Engine* engine, Task<void> task, uint64_t actor_id, Time spawned_at) {
   std::exception_ptr failure;
   try {
     co_await std::move(task);
   } catch (...) {
     failure = std::current_exception();
+  }
+  if (TraceSink* trace = engine->trace_sink()) {
+    trace->Span("actor", "actor-" + std::to_string(actor_id), actor_id, spawned_at,
+                engine->now());
   }
   engine->ActorDone(failure);
 }
@@ -41,7 +46,7 @@ void Engine::ScheduleAt(Time when, std::function<void()> fn) {
 
 void Engine::Spawn(Task<void> task) {
   ++live_actors_;
-  RunDetached(this, std::move(task));
+  RunDetached(this, std::move(task), next_actor_id_++, now_);
 }
 
 void Engine::ActorDone(std::exception_ptr e) {

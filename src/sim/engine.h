@@ -19,6 +19,7 @@
 
 #include "src/sim/task.h"
 #include "src/sim/time.h"
+#include "src/sim/trace.h"
 
 namespace sim {
 
@@ -34,6 +35,14 @@ class Engine {
 
   // Total events dispatched so far (useful for progress accounting in tests).
   uint64_t events_processed() const { return events_processed_; }
+
+  // Attaches (or detaches, with nullptr) a trace sink. While attached, the
+  // engine emits virtual-time spans for actor lifetimes and sleeps, and
+  // components reached through this engine (NIC stations, RFP channels) emit
+  // their own service/state spans. The sink must outlive the engine or be
+  // detached first.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  TraceSink* trace_sink() const { return trace_; }
 
   // Schedules `fn` to run at absolute virtual time `when` (clamped to now()).
   void ScheduleAt(Time when, std::function<void()> fn);
@@ -54,7 +63,14 @@ class Engine {
       Engine* engine;
       Time delay;
       bool await_ready() const noexcept { return delay <= 0; }
-      void await_suspend(std::coroutine_handle<> h) { engine->ResumeAt(engine->now_ + delay, h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        if (engine->trace_ != nullptr) {
+          engine->trace_->Span("actor", "sleep",
+                               reinterpret_cast<uint64_t>(h.address()), engine->now_,
+                               engine->now_ + delay);
+        }
+        engine->ResumeAt(engine->now_ + delay, h);
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{this, delay};
@@ -112,6 +128,8 @@ class Engine {
   void DispatchOne();
 
   Time now_ = 0;
+  TraceSink* trace_ = nullptr;
+  uint64_t next_actor_id_ = 1;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   int live_actors_ = 0;

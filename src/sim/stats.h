@@ -54,6 +54,9 @@ class Histogram {
 
   Histogram();
 
+  // Records a sample. Negative values clamp to 0 (they can only come from
+  // subtracting timestamps across a warmup boundary and mean "effectively
+  // instant"); RecordN with n = 0 is a no-op and does not touch min/max.
   void Record(int64_t value);
   void RecordN(int64_t value, uint64_t n);
 
@@ -62,8 +65,10 @@ class Histogram {
   int64_t min() const { return count_ > 0 ? min_ : 0; }
   int64_t max() const { return count_ > 0 ? max_ : 0; }
 
-  // Value at quantile q in [0, 1] (q=0.5 is the median). Returns the upper
-  // edge of the containing bucket.
+  // Value at quantile q (q=0.5 is the median). Returns the upper edge of the
+  // containing bucket, clamped to the observed max. Edge cases: q outside
+  // [0, 1] clamps to the boundary; q=0 resolves to the lowest non-empty
+  // bucket; an empty histogram returns 0 for any q.
   int64_t Percentile(double q) const;
 
   // (value, cumulative fraction) pairs for every non-empty bucket, suitable

@@ -1,0 +1,39 @@
+// Trace sink interface for virtual-time instrumentation.
+//
+// The engine and the components built on it (NIC stations, RFP channels)
+// emit spans and instant events through this interface when a sink is
+// attached to the engine; with no sink attached the cost is one pointer
+// check per emission site. The concrete Chrome-trace-event implementation
+// lives in src/obs/trace.h — sim only knows the abstract sink, keeping the
+// simulator free of any observability dependency.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace sim {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // A span of virtual time [start, end] on a track (a NIC station, an actor,
+  // a channel). `cat` groups events in the viewer ("actor", "nic", "rfp").
+  virtual void Span(std::string_view cat, std::string_view name, uint64_t track,
+                    Time start, Time end) = 0;
+
+  // A zero-duration marker (mode switches, drops).
+  virtual void Instant(std::string_view cat, std::string_view name, uint64_t track,
+                       Time at) = 0;
+
+  // Assigns a human-readable name to a track id.
+  virtual void NameTrack(uint64_t track, std::string_view name) = 0;
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_TRACE_H_

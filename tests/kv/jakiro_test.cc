@@ -175,7 +175,10 @@ TEST_F(JakiroTest, MultipleClientsShareNothing) {
   server->Start();
 
   int done = 0;
-  auto driver = [](JakiroClient* c, const std::string& prefix, int* out) -> sim::Task<void> {
+  // `prefix` must be taken by value: the coroutine outlives the Spawn() call
+  // expression, so a reference parameter would dangle once the temporary
+  // argument is destroyed.
+  auto driver = [](JakiroClient* c, std::string prefix, int* out) -> sim::Task<void> {
     std::vector<std::byte> value(1024);
     for (int i = 0; i < 30; ++i) {
       EXPECT_TRUE(co_await c->Put(Bytes(prefix + std::to_string(i)), Bytes(prefix)));

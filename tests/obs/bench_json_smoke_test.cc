@@ -1,0 +1,84 @@
+// End-to-end smoke test of the bench --json plumbing: runs the real
+// bench_fig09_fetch_vs_reply binary (path injected by CMake) with a tiny
+// RFP_BENCH_SCALE, then checks the dump is valid JSON with the documented
+// schema. Guards the whole chain — flag parsing, row capture, the metrics
+// flush on component destruction, and the atexit writer.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_test_util.h"
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(BenchJsonSmokeTest, Fig09ProducesSchemaValidJson) {
+  const std::string json_path = ::testing::TempDir() + "/bench_fig09_smoke.json";
+  std::remove(json_path.c_str());
+  // 2% of the normal simulated window: seconds of wall clock, same code path.
+  const std::string cmd = std::string("RFP_BENCH_SCALE=0.02 '") + BENCH_FIG09_PATH +
+                          "' --json=" + json_path + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string text = ReadFile(json_path);
+  ASSERT_FALSE(text.empty()) << "no JSON written to " << json_path;
+  const testjson::Value v = testjson::Parse(text);  // throws if not valid JSON
+
+  EXPECT_EQ(v.at("bench").string, "bench_fig09_fetch_vs_reply");
+  EXPECT_EQ(v.at("schema_version").number, 1.0);
+
+  // config: argv echo, the scale we set, and one entry per simulated run
+  // (fig09 sweeps P over 15 points x 2 modes = 30 echo runs).
+  const testjson::Value& config = v.at("config");
+  EXPECT_FALSE(config.at("argv").array.empty());
+  EXPECT_EQ(config.at("bench_scale").number, 0.02);
+  ASSERT_EQ(config.at("runs").array.size(), 30u);
+  const testjson::Value& run0 = *config.at("runs").array[0];
+  EXPECT_EQ(run0.at("label").string, "echo");
+  EXPECT_TRUE(run0.at("params").has("process_ns"));
+
+  // rows: the printed table cell for cell — 15 rows of 4 named columns.
+  ASSERT_EQ(v.at("rows").array.size(), 15u);
+  const testjson::Value& row0 = *v.at("rows").array[0];
+  EXPECT_FALSE(row0.at("table").string.empty());
+  EXPECT_TRUE(row0.at("values").has("P_us"));
+  EXPECT_TRUE(row0.at("values").has("fetching"));
+  EXPECT_TRUE(row0.at("values").has("server-reply"));
+
+  // metrics: the registry snapshot; the echo runs must have flushed NIC and
+  // channel instruments with labels.
+  const testjson::Value& metrics = v.at("metrics");
+  ASSERT_TRUE(metrics.is_array());
+  ASSERT_FALSE(metrics.array.empty());
+  bool saw_channel_calls = false;
+  bool saw_nic_ops = false;
+  for (const auto& m : metrics.array) {
+    EXPECT_TRUE(m->has("name"));
+    EXPECT_TRUE(m->has("kind"));
+    EXPECT_TRUE(m->has("labels"));
+    if (m->at("name").string == "rfp.channel.calls") {
+      saw_channel_calls = true;
+      EXPECT_GT(m->at("value").number, 0.0);
+    }
+    if (m->at("name").string == "rdma.nic.inbound_ops") {
+      saw_nic_ops = true;
+    }
+  }
+  EXPECT_TRUE(saw_channel_calls);
+  EXPECT_TRUE(saw_nic_ops);
+
+  std::remove(json_path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_test_util.h"
+
+namespace obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecialsAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, WritesNestedContainers) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Field("name", "bench");
+  w.Field("n", 42);
+  w.Key("xs");
+  w.BeginArray();
+  w.Int(1);
+  w.Double(2.5);
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(out, "{\"name\":\"bench\",\"n\":42,\"xs\":[1,2.5,true,null]}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(out, "[null,null]");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  EXPECT_THROW(w.Int(1), std::logic_error);       // value without a key
+  EXPECT_THROW(w.EndArray(), std::logic_error);   // wrong closer
+  w.Key("k");
+  EXPECT_THROW(w.Key("k2"), std::logic_error);    // two keys in a row
+  EXPECT_THROW(w.EndObject(), std::logic_error);  // key left dangling
+}
+
+// Round trip: everything the writer emits must parse back to the same
+// structure through the test parser.
+TEST(JsonWriterTest, RoundTripsThroughParser) {
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Field("text", "line1\nline2 \"quoted\" back\\slash");
+  w.Field("count", uint64_t{18446744073709551615ull});
+  w.Field("ratio", 0.125);
+  w.Field("flag", false);
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("empty_array");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("empty_object");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  w.EndObject();
+  ASSERT_TRUE(w.complete());
+
+  const testjson::Value v = testjson::Parse(out);
+  EXPECT_EQ(v.at("text").string, "line1\nline2 \"quoted\" back\\slash");
+  EXPECT_EQ(v.at("count").number, 18446744073709551615.0);
+  EXPECT_EQ(v.at("ratio").number, 0.125);
+  EXPECT_FALSE(v.at("flag").boolean);
+  EXPECT_TRUE(v.at("nested").at("empty_array").array.empty());
+  EXPECT_TRUE(v.at("nested").at("empty_object").object.empty());
+}
+
+TEST(JsonWriterTest, ControlCharacterRoundTrips) {
+  std::string out;
+  JsonWriter w(&out);
+  w.String(std::string("a\x02") + "b");
+  const testjson::Value v = testjson::Parse(out);
+  EXPECT_EQ(v.string, std::string("a\x02") + "b");
+}
+
+}  // namespace
+}  // namespace obs

@@ -1,0 +1,258 @@
+// Minimal recursive-descent JSON parser for tests.
+//
+// The production code only ever *writes* JSON (src/obs/json.h), so the tests
+// bring their own reader to round-trip what the exporters produce. Supports
+// the full value grammar the writer can emit (objects, arrays, strings with
+// \uXXXX escapes, numbers, booleans, null); throws std::runtime_error on any
+// syntax error, which makes "this file is valid JSON" a one-line assertion.
+
+#ifndef TESTS_OBS_JSON_TEST_UTIL_H_
+#define TESTS_OBS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Object member access; throws when absent or not an object.
+  const Value& at(const std::string& key) const {
+    if (kind != Kind::kObject) {
+      throw std::runtime_error("json: not an object");
+    }
+    auto it = object.find(key);
+    if (it == object.end()) {
+      throw std::runtime_error("json: missing key " + key);
+    }
+    return *it->second;
+  }
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value Parse() {
+    Value v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end");
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = 0;
+    while (lit[n] != '\0') {
+      ++n;
+    }
+    if (text_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  Value ParseValue() {
+    SkipSpace();
+    Value v;
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        v.kind = Value::Kind::kString;
+        v.string = ParseString();
+        return v;
+      case 't':
+        if (!Literal("true")) Fail("bad literal");
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!Literal("false")) Fail("bad literal");
+        v.kind = Value::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!Literal("null")) Fail("bad literal");
+        v.kind = Value::Kind::kNull;
+        return v;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Value ParseObject() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    Expect('{');
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key = ParseString();
+      SkipSpace();
+      Expect(':');
+      v.object[key] = std::make_shared<Value>(ParseValue());
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return v;
+    }
+  }
+
+  Value ParseArray() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    Expect('[');
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(std::make_shared<Value>(ParseValue()));
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return v;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("short \\u escape");
+          }
+          const unsigned code =
+              static_cast<unsigned>(std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          // The writer only emits \u00XX for control characters; decode the
+          // low byte and reject anything the writer cannot have produced.
+          if (code > 0xff) {
+            Fail("unexpected non-latin \\u escape");
+          }
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          Fail("bad escape");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+    }
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline Value Parse(const std::string& text) { return Parser(text).Parse(); }
+
+}  // namespace testjson
+
+#endif  // TESTS_OBS_JSON_TEST_UTIL_H_

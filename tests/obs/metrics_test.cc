@@ -1,0 +1,111 @@
+#include "src/obs/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_test_util.h"
+
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameAndLabelsShareInstrument) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("ops", {{"node", "server"}});
+  Counter* b = reg.GetCounter("ops", {{"node", "server"}});
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("ops", {{"node", "n0"}, {"store", "jakiro"}});
+  Counter* b = reg.GetCounter("ops", {{"store", "jakiro"}, {"node", "n0"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, DifferentLabelsGetDifferentInstruments) {
+  MetricsRegistry reg;
+  EXPECT_NE(reg.GetCounter("ops", {{"node", "n0"}}), reg.GetCounter("ops", {{"node", "n1"}}));
+  EXPECT_NE(reg.GetCounter("ops"), reg.GetCounter("ops", {{"node", "n0"}}));
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistryTest, KindsAreNamespacedSeparately) {
+  MetricsRegistry reg;
+  reg.GetCounter("x")->Add(1);
+  reg.GetGauge("x")->Set(2.0);
+  reg.GetHistogram("x")->Record(3);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.GetCounter("x")->value(), 1u);
+  EXPECT_EQ(reg.GetGauge("x")->value(), 2.0);
+  EXPECT_EQ(reg.GetHistogram("x")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  MetricsRegistry reg;
+  reg.GetCounter("b");
+  reg.GetCounter("a", {{"node", "n1"}});
+  reg.GetCounter("a", {{"node", "n0"}});
+  const auto samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a");
+  EXPECT_EQ(samples[0].labels, (Labels{{"node", "n0"}}));
+  EXPECT_EQ(samples[1].name, "a");
+  EXPECT_EQ(samples[1].labels, (Labels{{"node", "n1"}}));
+  EXPECT_EQ(samples[2].name, "b");
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsPointersValid) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("ops");
+  sim::Histogram* h = reg.GetHistogram("lat");
+  c->Add(5);
+  h->Record(100);
+  reg.ResetValues();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.GetCounter("ops"), c);  // same instrument, just zeroed
+}
+
+TEST(MetricsRegistryTest, WriteJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops", {{"node", "server"}})->Add(7);
+  reg.GetGauge("load")->Set(0.5);
+  sim::Histogram* h = reg.GetHistogram("lat_ns", {{"store", "jakiro"}});
+  h->Record(10);
+  h->Record(1000);
+
+  std::string out;
+  JsonWriter w(&out);
+  reg.WriteJson(w);
+  ASSERT_TRUE(w.complete());
+
+  const testjson::Value v = testjson::Parse(out);
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array.size(), 3u);
+  // Snapshot order: lat_ns, load, ops.
+  const testjson::Value& lat = *v.array[0];
+  EXPECT_EQ(lat.at("name").string, "lat_ns");
+  EXPECT_EQ(lat.at("kind").string, "histogram");
+  EXPECT_EQ(lat.at("labels").at("store").string, "jakiro");
+  EXPECT_EQ(lat.at("count").number, 2.0);
+  EXPECT_EQ(lat.at("min").number, 10.0);
+  EXPECT_GE(lat.at("p99").number, 1000.0);
+  const testjson::Value& load = *v.array[1];
+  EXPECT_EQ(load.at("kind").string, "gauge");
+  EXPECT_EQ(load.at("value").number, 0.5);
+  const testjson::Value& ops = *v.array[2];
+  EXPECT_EQ(ops.at("kind").string, "counter");
+  EXPECT_EQ(ops.at("value").number, 7.0);
+  EXPECT_EQ(ops.at("labels").at("node").string, "server");
+}
+
+TEST(MetricsRegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace obs

@@ -326,6 +326,56 @@ TEST_F(ChannelTest, FetchSizeRetunedMidRunStaysCorrect) {
   EXPECT_EQ(ch->stats().extra_fetches, 20u);
 }
 
+TEST_F(ChannelTest, SwitchBoundaryImmediateWithMinimalThresholds) {
+  // R = 1, slow_calls_before_switch = 1: the very first failed fetch of the
+  // very first call must switch mid-call — the mid-call check fires at
+  // failed == R with slow_streak_ + 1 >= slow_calls_before_switch.
+  RfpOptions options;
+  options.retry_threshold = 1;
+  options.slow_calls_before_switch = 1;
+  Channel* ch = MakeChannel(options);
+  RunEcho(ch, 3, sim::Micros(30));
+  EXPECT_EQ(ch->stats().switches_to_reply, 1u);
+  EXPECT_EQ(ch->client_mode(), Mode::kServerReply);
+  // The switch happened on the first failed fetch: exactly one READ went out
+  // and it is the only failure ever recorded. Calls 2-3 ran in reply mode,
+  // which records nothing on the fetch path, so the histogram holds the one
+  // switching call.
+  EXPECT_EQ(ch->stats().fetch_reads, 1u);
+  EXPECT_EQ(ch->stats().failed_fetches, 1u);
+  EXPECT_EQ(ch->stats().retries_per_call.count(), 1u);
+  EXPECT_EQ(ch->stats().retries_per_call.min(), 1);
+  EXPECT_EQ(ch->stats().retries_per_call.max(), 1);
+}
+
+TEST_F(ChannelTest, MidCallAndPostSuccessSlowCountsAgree) {
+  // Boundary audit: a call is counted slow exactly once, whether it crosses
+  // R mid-call (the `failed == R` check) or completes with >= R failures
+  // (the post-success `failed >= R` streak update).
+  //
+  // With R = 1 and slow_calls_before_switch = 2, the first slow call cannot
+  // switch (streak is 0 when it hits failed == 1) and completes by fetching,
+  // overshooting R by many failures — but the equality check fires only once
+  // per call, and post-success the call still counts as ONE slow call. The
+  // second slow call then switches on its first failed fetch. If the two
+  // paths double-counted, the first call alone would switch; if the
+  // post-success check used `> R`, the overshooting call would be the only
+  // one counted and the switch would need a third call.
+  RfpOptions options;
+  options.retry_threshold = 1;
+  options.slow_calls_before_switch = 2;
+  Channel* ch = MakeChannel(options);
+  RunEcho(ch, 4, sim::Micros(30));
+  EXPECT_EQ(ch->stats().switches_to_reply, 1u);
+  EXPECT_EQ(ch->client_mode(), Mode::kServerReply);
+  // Call 1 recorded its full failure count at success; call 2 recorded
+  // exactly 1 failure at the mid-call switch; calls 3-4 ran in reply mode
+  // and recorded nothing on the fetch path.
+  EXPECT_EQ(ch->stats().retries_per_call.count(), 2u);
+  EXPECT_EQ(ch->stats().retries_per_call.min(), 1);
+  EXPECT_GT(ch->stats().retries_per_call.max(), 1);
+}
+
 TEST_F(ChannelTest, RoundTripsPerCallNearTwoWhenTuned) {
   // The headline accounting of Section 4.3: a request WRITE plus ~1 fetch
   // READ, i.e. ~2.005 round trips per call.

@@ -122,6 +122,72 @@ TEST(HistogramTest, NegativeValuesClampToZero) {
   EXPECT_EQ(h.Percentile(1.0), 0);
 }
 
+// ---- Edge-case regression pins ------------------------------------------------
+// These lock down behaviors callers (the metrics exporter, the bench CDF
+// printer) rely on: empty histograms read as all-zero, quantiles clamp to
+// [0, 1], negative samples clamp to 0, and a zero-count RecordN is a no-op.
+
+TEST(HistogramTest, EmptyReadsAsZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, QuantileBoundariesAndClamping) {
+  Histogram h;
+  h.Record(1);
+  h.Record(100);  // 64 <= 100 < 128: still an exact bucket (shift is 0)
+  // q = 0 resolves to the lowest non-empty bucket, q = 1 to the highest.
+  EXPECT_EQ(h.Percentile(0.0), 1);
+  EXPECT_EQ(h.Percentile(1.0), 100);
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(1.5), h.Percentile(1.0));
+}
+
+TEST(HistogramTest, NegativeValuesClampInAllAccessors) {
+  Histogram h;
+  h.Record(7);
+  h.Record(-1000);  // clamped to 0: must drag min to 0, not go negative
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_EQ(h.mean(), 3.5);  // sum counts the clamped 0, not -1000
+  EXPECT_EQ(h.Percentile(0.0), 0);
+}
+
+TEST(HistogramTest, RecordNZeroIsNoOp) {
+  Histogram h;
+  h.RecordN(42, 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);  // min/max must not latch the value of an empty record
+  h.RecordN(42, 3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+}
+
+TEST(HistogramTest, MergeWithEmptyPreservesBothDirections) {
+  Histogram a;
+  a.Record(9);
+  Histogram empty;
+  a.Merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 9);
+  EXPECT_EQ(a.max(), 9);
+  Histogram b;
+  b.Merge(a);  // merging into an empty histogram adopts min/max
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 9);
+  EXPECT_EQ(b.max(), 9);
+}
+
 // Property sweep: percentile error is bounded by 1/64 relative for any value.
 class HistogramErrorTest : public ::testing::TestWithParam<int64_t> {};
 
