@@ -52,6 +52,10 @@ struct Harness {
 // capture paths below stay dead (and free) in plain text runs.
 Harness* harness = nullptr;
 
+// --seed=N override; consulted by every runner through SeedOr().
+uint64_t g_seed = 0;
+bool g_seed_set = false;
+
 bool CaptureRows() { return harness != nullptr && !harness->json_path.empty(); }
 
 CapturedTable& CurrentTable() {
@@ -78,6 +82,9 @@ void WriteHarnessJson(const Harness& h, std::string* out) {
     const char* env = std::getenv("RFP_BENCH_SCALE");
     return env == nullptr ? 1.0 : std::atof(env);
   }());
+  if (g_seed_set) {
+    w.Field("seed", std::to_string(g_seed));
+  }
   w.Key("runs");
   w.BeginArray();
   for (const auto& run : h.runs) {
@@ -346,6 +353,10 @@ void MergeChannelStats(rfp::Channel::Stats& into, const rfp::Channel::Stats& fro
   into.reply_pushes += from.reply_pushes;
   into.switches_to_reply += from.switches_to_reply;
   into.switches_to_fetch += from.switches_to_fetch;
+  into.reconnects += from.reconnects;
+  into.reissues += from.reissues;
+  into.corrupt_fetches += from.corrupt_fetches;
+  into.fetch_timeouts += from.fetch_timeouts;
   into.retries_per_call.Merge(from.retries_per_call);
 }
 
@@ -363,10 +374,15 @@ void Init(int& argc, char** argv) {
       json_path = arg + 7;
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      g_seed = std::strtoull(arg + 7, nullptr, 0);
+      g_seed_set = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
+  argv[kept] = nullptr;
+  argc = kept;
   if (json_path.empty() && trace_path.empty()) {
     return;  // stay inert: no capture state, no atexit hook
   }
@@ -381,14 +397,16 @@ void Init(int& argc, char** argv) {
   if (!harness->trace_path.empty()) {
     harness->tracer = std::make_unique<obs::Tracer>();
   }
-  argv[kept] = nullptr;
-  argc = kept;
   std::atexit(WriteHarnessOutputs);
 }
 
 obs::Tracer* GlobalTracer() {
   return harness != nullptr ? harness->tracer.get() : nullptr;
 }
+
+bool SeedSet() { return g_seed_set; }
+
+uint64_t SeedOr(uint64_t fallback) { return g_seed_set ? g_seed : fallback; }
 
 // ---- Output helpers ----------------------------------------------------------
 
@@ -443,7 +461,9 @@ double RawInboundMops(int client_nodes, int threads_per_node, uint32_t size, sim
                  {"threads_per_node", std::to_string(threads_per_node)},
                  {"size", std::to_string(size)},
                  {"window_ns", TimeParam(window)}});
-  rdma::Fabric fabric(engine, fabric_config);
+  rdma::FabricConfig fc = fabric_config;
+  fc.seed = SeedOr(fc.seed);
+  rdma::Fabric fabric(engine, fc);
   rdma::Node& server = fabric.AddNode("server");
   rdma::MemoryRegion* remote = server.RegisterMemory(65536, rdma::kAccessRemoteRead);
   std::vector<LoopCounter> counters(static_cast<size_t>(client_nodes * threads_per_node));
@@ -469,7 +489,9 @@ double RawOutboundMops(int server_threads, uint32_t size, sim::Time window,
                 {{"server_threads", std::to_string(server_threads)},
                  {"size", std::to_string(size)},
                  {"window_ns", TimeParam(window)}});
-  rdma::Fabric fabric(engine, fabric_config);
+  rdma::FabricConfig fc = fabric_config;
+  fc.seed = SeedOr(fc.seed);
+  rdma::Fabric fabric(engine, fc);
   rdma::Node& server = fabric.AddNode("server");
   std::vector<rdma::Node*> clients;
   std::vector<rdma::MemoryRegion*> client_mem;
@@ -498,7 +520,9 @@ AmplificationResult RunAmplification(int ops_per_request, int client_threads, ui
                  {"client_threads", std::to_string(client_threads)},
                  {"size", std::to_string(size)},
                  {"window_ns", TimeParam(window)}});
-  rdma::Fabric fabric(engine);
+  rdma::FabricConfig fc;
+  fc.seed = SeedOr(fc.seed);
+  rdma::Fabric fabric(engine, fc);
   rdma::Node& server = fabric.AddNode("server");
   rdma::MemoryRegion* remote =
       server.RegisterMemory(static_cast<size_t>(ops_per_request) * size + 4096,
@@ -527,6 +551,7 @@ EchoRunResult RunEcho(const EchoRunConfig& config_in) {
   EchoRunConfig config = config_in;
   config.warmup = Scaled(config.warmup);
   config.measure = Scaled(config.measure);
+  config.fabric.seed = SeedOr(config.fabric.seed);
   sim::Engine engine;
   BeginBenchRun(engine, "echo",
                 {{"process_ns", TimeParam(config.process_ns)},
@@ -630,6 +655,7 @@ KvRunResult RunKv(const KvRunConfig& config_in) {
   KvRunConfig config = config_in;
   config.warmup = Scaled(config.warmup);
   config.measure = Scaled(config.measure);
+  config.fabric.seed = SeedOr(config.fabric.seed);
   sim::Engine engine;
   BeginBenchRun(engine, std::string("kv-") + KvSystemName(config.system),
                 {{"system", KvSystemName(config.system)},
@@ -678,7 +704,8 @@ KvRunResult RunKv(const KvRunConfig& config_in) {
           t % config.server_threads));
       all_channels.push_back(memcached_clients.back()->channel());
       engine.Spawn(KvDriver(engine, memcached_clients.back().get(),
-                            workload::Generator(config.workload, static_cast<uint64_t>(t)),
+                            workload::Generator(config.workload,
+                                                SeedOr(0) + static_cast<uint64_t>(t)),
                             config.verify_values, warmup_end, measure_end,
                             &counters[static_cast<size_t>(t)]));
     }
@@ -721,7 +748,8 @@ KvRunResult RunKv(const KvRunConfig& config_in) {
         all_channels.push_back(jakiro_clients.back()->channel(s));
       }
       engine.Spawn(KvDriver(engine, jakiro_clients.back().get(),
-                            workload::Generator(config.workload, static_cast<uint64_t>(t)),
+                            workload::Generator(config.workload,
+                                                SeedOr(0) + static_cast<uint64_t>(t)),
                             config.verify_values, warmup_end, measure_end,
                             &counters[static_cast<size_t>(t)]));
     }
@@ -771,6 +799,7 @@ PilafRunResult RunPilaf(const PilafRunConfig& config_in) {
   PilafRunConfig config = config_in;
   config.warmup = Scaled(config.warmup);
   config.measure = Scaled(config.measure);
+  config.fabric.seed = SeedOr(config.fabric.seed);
   sim::Engine engine;
   BeginBenchRun(engine, "pilaf",
                 {{"client_nodes", std::to_string(config.client_nodes)},
@@ -819,7 +848,8 @@ PilafRunResult RunPilaf(const PilafRunConfig& config_in) {
       spec.value_size.fixed = std::max<uint32_t>(8, spec.value_size.fixed);
     }
     engine.Spawn(PilafDriver(engine, clients.back().get(),
-                             workload::Generator(spec, static_cast<uint64_t>(t)), warmup_end,
+                             workload::Generator(spec, SeedOr(0) + static_cast<uint64_t>(t)),
+                             warmup_end,
                              measure_end, &counters[static_cast<size_t>(t)]));
   }
   server.Start();

@@ -40,8 +40,12 @@ namespace bench {
 //                  are the process-wide obs::MetricsRegistry snapshot.
 //   --trace=PATH   write a Chrome-trace-event (Perfetto-loadable) file with
 //                  virtual-time spans of every simulated run.
+//   --seed=N       override the fabric RNG seed and the workload generators'
+//                  base seed in every runner, so two invocations with the
+//                  same seed replay the identical event schedule. Recorded
+//                  in the --json config block when both flags are given.
 //
-// Without either flag the harness is inert: nothing is captured and the text
+// Without any flag the harness is inert: nothing is captured and the text
 // output is byte-identical to a build without this layer. Both files are
 // written by an atexit hook after all runs (and their destructor-time metric
 // flushes) finish. See docs/observability.md for the schemas.
@@ -49,6 +53,14 @@ void Init(int& argc, char** argv);
 
 // The shared tracer when --trace is active, nullptr otherwise.
 obs::Tracer* GlobalTracer();
+
+// True when --seed=N was given.
+bool SeedSet();
+
+// The --seed value when set, `fallback` otherwise. Runners resolve their
+// fabric seed as SeedOr(config.fabric.seed) and derive per-thread workload
+// seeds from SeedOr's base, so one flag pins the whole run.
+uint64_t SeedOr(uint64_t fallback);
 
 // ---- Output helpers ----------------------------------------------------------
 

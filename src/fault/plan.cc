@@ -1,0 +1,237 @@
+#include "src/fault/plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/sim/random.h"
+
+namespace fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNicStall:
+      return "nic_stall";
+    case FaultKind::kNicDegrade:
+      return "nic_degrade";
+    case FaultKind::kLinkBurst:
+      return "link_burst";
+    case FaultKind::kServerCrash:
+      return "server_crash";
+    case FaultKind::kQpError:
+      return "qp_error";
+    case FaultKind::kCorruptRegion:
+      return "corrupt_region";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void Reject(const FaultEvent& event, const char* what) {
+  throw std::invalid_argument(std::string("fault plan: ") + FaultKindName(event.kind) + ": " +
+                              what);
+}
+
+}  // namespace
+
+void FaultPlan::Validate() const {
+  for (const FaultEvent& event : events) {
+    if (event.at < 0) {
+      Reject(event, "fire time must be >= 0");
+    }
+    if (event.duration < 0) {
+      Reject(event, "duration must be >= 0");
+    }
+    switch (event.kind) {
+      case FaultKind::kNicStall:
+        if (event.duration == 0) Reject(event, "stall window must be > 0");
+        break;
+      case FaultKind::kNicDegrade:
+        if (event.duration == 0) Reject(event, "degrade window must be > 0");
+        if (!(event.severity >= 1.0)) Reject(event, "degrade factor must be >= 1");
+        break;
+      case FaultKind::kLinkBurst:
+        if (event.duration == 0) Reject(event, "burst window must be > 0");
+        if (!(event.severity >= 0.0 && event.severity <= 1.0)) {
+          Reject(event, "loss probability must be in [0, 1]");
+        }
+        if (event.extra_delay_ns < 0) Reject(event, "extra delay must be >= 0");
+        if (event.rc_retransmit_ns < 0) Reject(event, "rc retransmit must be >= 0");
+        if (event.node == event.peer) Reject(event, "link needs two distinct nodes");
+        break;
+      case FaultKind::kServerCrash:
+        if (event.duration == 0) Reject(event, "crash window must be > 0");
+        if (event.thread < 0) Reject(event, "thread index must be >= 0");
+        break;
+      case FaultKind::kQpError:
+        if (event.node == event.peer) Reject(event, "qp error needs two distinct nodes");
+        break;
+      case FaultKind::kCorruptRegion:
+        if (event.length == 0) Reject(event, "corruption length must be > 0");
+        break;
+    }
+  }
+}
+
+sim::Time FaultPlan::Horizon() const {
+  sim::Time horizon = 0;
+  for (const FaultEvent& event : events) {
+    horizon = std::max(horizon, event.at + event.duration);
+  }
+  return horizon;
+}
+
+FaultPlan& FaultPlan::NicStall(sim::Time at, uint32_t node, bool inbound, sim::Time window) {
+  FaultEvent event;
+  event.kind = FaultKind::kNicStall;
+  event.at = at;
+  event.duration = window;
+  event.node = node;
+  event.inbound = inbound;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::NicDegrade(sim::Time at, uint32_t node, bool inbound, double factor,
+                                 sim::Time window) {
+  FaultEvent event;
+  event.kind = FaultKind::kNicDegrade;
+  event.at = at;
+  event.duration = window;
+  event.node = node;
+  event.inbound = inbound;
+  event.severity = factor;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::LinkBurst(sim::Time at, uint32_t a, uint32_t b, double loss_prob,
+                                sim::Time extra_delay_ns, sim::Time window,
+                                sim::Time rc_retransmit_ns) {
+  FaultEvent event;
+  event.kind = FaultKind::kLinkBurst;
+  event.at = at;
+  event.duration = window;
+  event.node = a;
+  event.peer = b;
+  event.severity = loss_prob;
+  event.extra_delay_ns = extra_delay_ns;
+  event.rc_retransmit_ns = rc_retransmit_ns;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ServerCrash(sim::Time at, uint32_t node, int thread, sim::Time window) {
+  FaultEvent event;
+  event.kind = FaultKind::kServerCrash;
+  event.at = at;
+  event.duration = window;
+  event.node = node;
+  event.thread = thread;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::QpError(sim::Time at, uint32_t a, uint32_t b) {
+  FaultEvent event;
+  event.kind = FaultKind::kQpError;
+  event.at = at;
+  event.node = a;
+  event.peer = b;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::CorruptRegion(sim::Time at, uint32_t rkey, size_t offset, size_t length,
+                                    uint64_t seed) {
+  FaultEvent event;
+  event.kind = FaultKind::kCorruptRegion;
+  event.at = at;
+  event.rkey = rkey;
+  event.offset = offset;
+  event.length = length;
+  event.seed = seed;
+  events.push_back(event);
+  return *this;
+}
+
+FaultPlan RandomPlan(uint64_t seed, const RandomPlanOptions& options) {
+  if (options.events < 0) {
+    throw std::invalid_argument("fault plan: event count must be >= 0");
+  }
+  if (options.horizon <= options.start) {
+    throw std::invalid_argument("fault plan: horizon must exceed start");
+  }
+  if (options.max_window < options.min_window || options.min_window <= 0) {
+    throw std::invalid_argument("fault plan: bad window bounds");
+  }
+  if (options.nodes < 2) {
+    throw std::invalid_argument("fault plan: need at least two nodes");
+  }
+
+  std::vector<FaultKind> kinds;
+  if (options.enable_nic_stall) kinds.push_back(FaultKind::kNicStall);
+  if (options.enable_nic_degrade) kinds.push_back(FaultKind::kNicDegrade);
+  if (options.enable_link_burst) kinds.push_back(FaultKind::kLinkBurst);
+  if (options.enable_server_crash) kinds.push_back(FaultKind::kServerCrash);
+  if (options.enable_qp_error) kinds.push_back(FaultKind::kQpError);
+  if (kinds.empty()) {
+    throw std::invalid_argument("fault plan: no fault kinds enabled");
+  }
+
+  sim::Rng rng(sim::Mix64(seed ^ 0x46504c41));  // "FPLA"
+  FaultPlan plan;
+  for (int i = 0; i < options.events; ++i) {
+    const FaultKind kind = kinds[rng.NextBounded(kinds.size())];
+    const sim::Time at =
+        options.start + static_cast<sim::Time>(rng.NextBounded(
+                            static_cast<uint64_t>(options.horizon - options.start)));
+    const sim::Time window =
+        options.min_window + static_cast<sim::Time>(rng.NextBounded(static_cast<uint64_t>(
+                                 options.max_window - options.min_window + 1)));
+    const uint32_t node = static_cast<uint32_t>(rng.NextBounded(options.nodes));
+    uint32_t peer = static_cast<uint32_t>(rng.NextBounded(options.nodes - 1));
+    if (peer >= node) {
+      ++peer;  // uniform over nodes != node
+    }
+    switch (kind) {
+      case FaultKind::kNicStall:
+        plan.NicStall(at, node, rng.NextBernoulli(0.5), window);
+        break;
+      case FaultKind::kNicDegrade:
+        plan.NicDegrade(at, node, rng.NextBernoulli(0.5),
+                        options.degrade_min +
+                            rng.NextDouble() * (options.degrade_max - options.degrade_min),
+                        window);
+        break;
+      case FaultKind::kLinkBurst:
+        plan.LinkBurst(at, node, peer,
+                       options.loss_min + rng.NextDouble() * (options.loss_max - options.loss_min),
+                       static_cast<sim::Time>(
+                           rng.NextBounded(static_cast<uint64_t>(options.max_extra_delay_ns) + 1)),
+                       window);
+        break;
+      case FaultKind::kServerCrash:
+        plan.ServerCrash(at, options.server_node,
+                         static_cast<int>(rng.NextBounded(
+                             static_cast<uint64_t>(std::max(options.server_threads, 1)))),
+                         window);
+        break;
+      case FaultKind::kQpError:
+        plan.QpError(at, node, peer);
+        break;
+      case FaultKind::kCorruptRegion:
+        break;  // never drawn: not in `kinds`
+    }
+  }
+  // Stable order: sort by fire time so Arm() schedules chronologically and
+  // plans with equal seeds are structurally identical regardless of draw
+  // order details.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  plan.Validate();
+  return plan;
+}
+
+}  // namespace fault

@@ -1,0 +1,119 @@
+// Deterministic fault schedules.
+//
+// A FaultPlan is a list of FaultEvents pinned to virtual timestamps. Plans
+// are either scripted (the builder methods below) or generated from a seed
+// (RandomPlan), and are executed by a FaultInjector (injector.h). Because
+// every event fires at a fixed sim-clock instant and all randomness flows
+// through seeded sim::Rng streams, a (seed, plan) pair reproduces the exact
+// same run — faults, detections, and recoveries included. That determinism
+// guarantee is what tests/fault/ asserts and docs/fault_injection.md
+// documents.
+
+#ifndef SRC_FAULT_PLAN_H_
+#define SRC_FAULT_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace fault {
+
+// The five fault classes of the subsystem (ISSUE 2 / docs/fault_injection.md).
+enum class FaultKind : uint8_t {
+  kNicStall,       // occupy one NIC station for the window (head-of-line block)
+  kNicDegrade,     // multiply one NIC station's service time for the window
+  kLinkBurst,      // loss / extra-delay burst on one node pair for the window
+  kServerCrash,    // crash one bound RpcServer worker thread for the window
+  kQpError,        // transition every RC QP on one node pair to the error state
+  kCorruptRegion,  // XOR a byte range of a registered region (instantaneous)
+};
+
+constexpr int kFaultKindCount = 6;
+
+const char* FaultKindName(FaultKind kind);
+
+// One scheduled fault. Which fields matter depends on `kind`; the builder
+// methods on FaultPlan populate exactly the relevant ones.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNicStall;
+  sim::Time at = 0;        // virtual time the fault fires
+  sim::Time duration = 0;  // window length (ignored by kCorruptRegion, kQpError)
+
+  uint32_t node = 0;   // primary node id (NIC faults, crash, one end of a pair)
+  uint32_t peer = 0;   // second node id (kLinkBurst, kQpError)
+  bool inbound = false;  // NIC station selector: in-bound engine vs issue pipeline
+
+  double severity = 0.0;         // degrade factor (>= 1) or loss probability [0, 1]
+  sim::Time extra_delay_ns = 0;  // kLinkBurst: added per traversal
+  sim::Time rc_retransmit_ns = 0;  // kLinkBurst: RC per-loss retry penalty
+
+  int thread = 0;  // kServerCrash: worker index on the bound server
+
+  uint32_t rkey = 0;   // kCorruptRegion: target region
+  size_t offset = 0;   // kCorruptRegion: first byte
+  size_t length = 0;   // kCorruptRegion: bytes to flip
+  uint64_t seed = 1;   // kCorruptRegion: corruption byte stream
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  // Throws std::invalid_argument on out-of-range fields (negative times,
+  // degrade factor < 1, loss probability outside [0, 1], ...).
+  void Validate() const;
+
+  // Latest instant any event is still active (max over at + duration).
+  sim::Time Horizon() const;
+
+  bool empty() const { return events.empty(); }
+  size_t size() const { return events.size(); }
+
+  // ---- Builders (each appends one event and returns *this for chaining) ---
+
+  FaultPlan& NicStall(sim::Time at, uint32_t node, bool inbound, sim::Time window);
+  FaultPlan& NicDegrade(sim::Time at, uint32_t node, bool inbound, double factor,
+                        sim::Time window);
+  FaultPlan& LinkBurst(sim::Time at, uint32_t a, uint32_t b, double loss_prob,
+                       sim::Time extra_delay_ns, sim::Time window,
+                       sim::Time rc_retransmit_ns = 4000);
+  FaultPlan& ServerCrash(sim::Time at, uint32_t node, int thread, sim::Time window);
+  FaultPlan& QpError(sim::Time at, uint32_t a, uint32_t b);
+  FaultPlan& CorruptRegion(sim::Time at, uint32_t rkey, size_t offset, size_t length,
+                           uint64_t seed);
+};
+
+// Knobs for RandomPlan. The generator draws `events` faults uniformly over
+// [start, horizon), choosing kinds from the enabled set and targets from the
+// given topology. Corruption is opt-in because it needs concrete rkeys.
+struct RandomPlanOptions {
+  int events = 8;
+  sim::Time start = 0;
+  sim::Time horizon = sim::Millis(10);
+  sim::Time min_window = sim::Micros(50);
+  sim::Time max_window = sim::Micros(500);
+
+  uint32_t nodes = 2;         // node ids drawn from [0, nodes)
+  uint32_t server_node = 0;   // target of crash faults
+  int server_threads = 1;     // thread ids drawn from [0, server_threads)
+
+  bool enable_nic_stall = true;
+  bool enable_nic_degrade = true;
+  bool enable_link_burst = true;
+  bool enable_server_crash = true;
+  bool enable_qp_error = true;
+
+  double degrade_min = 2.0;
+  double degrade_max = 10.0;
+  double loss_min = 0.05;
+  double loss_max = 0.5;
+  sim::Time max_extra_delay_ns = sim::Micros(5);
+};
+
+// Deterministic: equal (seed, options) produce identical plans.
+FaultPlan RandomPlan(uint64_t seed, const RandomPlanOptions& options = {});
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_PLAN_H_

@@ -17,6 +17,14 @@ JakiroConfig NoSwitchConfig(JakiroConfig base) {
   return base;
 }
 
+JakiroConfig FaultTolerantConfig(JakiroConfig base) {
+  rfp::RfpOptions& ch = base.channel_options;
+  ch.fetch_timeout_ns = sim::Micros(200);
+  ch.fetch_backoff_initial_ns = sim::Micros(2);
+  ch.checksum_responses = true;
+  return base;
+}
+
 JakiroServer::JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config)
     : config_(config), rpc_(fabric, node, config.server_threads, config.server_options) {
   for (int t = 0; t < config_.server_threads; ++t) {
@@ -255,6 +263,10 @@ rfp::Channel::Stats JakiroClient::MergedChannelStats() const {
     merged.reply_pushes += s.reply_pushes;
     merged.switches_to_reply += s.switches_to_reply;
     merged.switches_to_fetch += s.switches_to_fetch;
+    merged.reconnects += s.reconnects;
+    merged.reissues += s.reissues;
+    merged.corrupt_fetches += s.corrupt_fetches;
+    merged.fetch_timeouts += s.fetch_timeouts;
     merged.retries_per_call.Merge(s.retries_per_call);
   }
   return merged;

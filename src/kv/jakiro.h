@@ -44,6 +44,12 @@ JakiroConfig ServerReplyConfig(JakiroConfig base = {});
 // "Jakiro w/o switch": remote fetching with the hybrid fallback disabled.
 JakiroConfig NoSwitchConfig(JakiroConfig base = {});
 
+// Fault-tolerant Jakiro: enables the channel recovery machinery (fetch
+// deadline with bounded backoff, response checksums with reissue-on-corrupt,
+// transparent RC reconnection). Throughput-neutral on a healthy fabric; see
+// docs/fault_injection.md.
+JakiroConfig FaultTolerantConfig(JakiroConfig base = {});
+
 class JakiroServer {
  public:
   JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config = {});

@@ -98,6 +98,14 @@ struct FabricConfig {
   uint64_t seed = 0x52465031;  // "RFP1"
 };
 
+// Throw std::invalid_argument when a calibration value is outside its valid
+// range (negative service times, probabilities outside [0,1], zero cores or
+// bandwidth, ...). Called by the Nic and Fabric constructors, so a bad
+// config fails loudly at construction instead of silently corrupting the
+// timing model. Defined in nic.cc / fabric.cc.
+void ValidateConfig(const NicConfig& config);
+void ValidateConfig(const FabricConfig& config);
+
 }  // namespace rdma
 
 #endif  // SRC_RDMA_CONFIG_H_

@@ -13,7 +13,9 @@ uint64_t QpAddr(uint32_t node_id, uint32_t qp_num) {
 }  // namespace
 
 Fabric::Fabric(sim::Engine& engine, FabricConfig config)
-    : engine_(engine), config_(config), rng_(config.seed) {}
+    : engine_(engine), config_(config), rng_(config.seed) {
+  ValidateConfig(config_);
+}
 
 Node& Fabric::AddNode(std::string name) {
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
@@ -82,6 +84,66 @@ MemoryRegion* Fabric::FindRemote(RemoteKey rkey) {
 QueuePair* Fabric::FindQp(uint32_t node_id, uint32_t qp_num) {
   auto it = qps_by_addr_.find(QpAddr(node_id, qp_num));
   return it == qps_by_addr_.end() ? nullptr : it->second;
+}
+
+void Fabric::SetLinkFault(uint32_t a, uint32_t b, const LinkFault& fault) {
+  link_faults_[PairKey(a, b)] = fault;
+}
+
+void Fabric::ClearLinkFault(uint32_t a, uint32_t b) { link_faults_.erase(PairKey(a, b)); }
+
+const LinkFault* Fabric::FindLinkFault(uint32_t a, uint32_t b) const {
+  auto it = link_faults_.find(PairKey(a, b));
+  return it == link_faults_.end() ? nullptr : &it->second;
+}
+
+sim::Time Fabric::WireDelay(const Node* from, const Node* to, bool reliable) {
+  sim::Time delay = config_.wire_latency_ns;
+  if (link_faults_.empty() || from == nullptr || to == nullptr) {
+    return delay;
+  }
+  auto it = link_faults_.find(PairKey(from->id(), to->id()));
+  if (it == link_faults_.end()) {
+    return delay;
+  }
+  const LinkFault& fault = it->second;
+  delay += fault.extra_delay_ns;
+  if (reliable && fault.loss_prob > 0.0) {
+    // RC retries until the packet gets through; each lost attempt costs one
+    // retransmission timeout. Geometric number of losses before success,
+    // capped so a total-blackhole (loss_prob == 1) burst stays finite.
+    for (int lost = 0; lost < 16 && rng_.NextBernoulli(fault.loss_prob); ++lost) {
+      delay += fault.rc_retransmit_ns;
+    }
+  }
+  return delay;
+}
+
+bool Fabric::DrawUnreliableLoss(const Node* from, const Node* to) {
+  bool lost = DrawLoss();
+  if (!link_faults_.empty() && from != nullptr && to != nullptr) {
+    auto it = link_faults_.find(PairKey(from->id(), to->id()));
+    if (it != link_faults_.end() && it->second.loss_prob > 0.0 &&
+        rng_.NextBernoulli(it->second.loss_prob)) {
+      lost = true;
+    }
+  }
+  return lost;
+}
+
+int Fabric::FailRcQps(uint32_t a, uint32_t b) {
+  const uint64_t key = PairKey(a, b);
+  int failed = 0;
+  for (auto& qp : qps_) {
+    if (qp->type() != QpType::kRc || qp->in_error() || qp->peer_node() == nullptr) {
+      continue;
+    }
+    if (PairKey(qp->local_node()->id(), qp->peer_node()->id()) == key) {
+      qp->SetError();
+      ++failed;
+    }
+  }
+  return failed;
 }
 
 }  // namespace rdma

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "src/rdma/config.h"
 #include "src/rdma/cq.h"
@@ -25,6 +26,18 @@ namespace rdma {
 struct QpEnds {
   QueuePair* first;
   QueuePair* second;
+};
+
+// A transient impairment on one node pair, installed/removed by the fault
+// layer (src/fault/). Applies on top of the global wire model:
+//  * `extra_delay_ns` is added to every traversal in either direction;
+//  * `loss_prob` drops unreliable (UC/UD) packets crossing the pair, and for
+//    reliable (RC) traffic charges `rc_retransmit_ns` per lost-and-retried
+//    packet instead (the transport hides the loss but not the latency).
+struct LinkFault {
+  double loss_prob = 0.0;
+  sim::Time extra_delay_ns = 0;
+  sim::Time rc_retransmit_ns = 0;
 };
 
 class Fabric {
@@ -70,8 +83,37 @@ class Fabric {
     return config_.unreliable_loss_prob > 0.0 && rng_.NextBernoulli(config_.unreliable_loss_prob);
   }
 
+  // ---- Fault hooks (src/fault/) -------------------------------------------
+
+  // Installs/removes a LinkFault on the unordered node pair {a, b}.
+  void SetLinkFault(uint32_t a, uint32_t b, const LinkFault& fault);
+  void ClearLinkFault(uint32_t a, uint32_t b);
+  const LinkFault* FindLinkFault(uint32_t a, uint32_t b) const;
+
+  // One-way traversal time between two nodes: the global wire latency plus
+  // any active link fault. For reliable transports a faulted link's loss
+  // draw converts into a retransmission delay rather than a drop. With no
+  // fault installed this consumes no RNG draws, so fault-free runs keep the
+  // exact event schedule they had before the fault layer existed.
+  sim::Time WireDelay(const Node* from, const Node* to, bool reliable);
+
+  // Loss decision for unreliable transports crossing a specific pair:
+  // the global `unreliable_loss_prob` draw plus any link-fault draw.
+  bool DrawUnreliableLoss(const Node* from, const Node* to);
+
+  // Transitions every RC QP whose endpoints live on the unordered node pair
+  // {a, b} into the error state (both directions). Returns the number of
+  // QPs transitioned. Recovery is by reconnecting (ConnectRc) — exactly the
+  // verbs contract, where an error'd QP is torn down and replaced.
+  int FailRcQps(uint32_t a, uint32_t b);
+
  private:
   QpEnds Connect(Node& a, Node& b, QpType type);
+
+  static uint64_t PairKey(uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
 
   sim::Engine& engine_;
   FabricConfig config_;
@@ -83,6 +125,7 @@ class Fabric {
   std::deque<std::unique_ptr<CompletionQueue>> cqs_;
   std::unordered_map<uint32_t, MemoryRegion*> regions_by_rkey_;
   std::unordered_map<uint64_t, QueuePair*> qps_by_addr_;
+  std::unordered_map<uint64_t, LinkFault> link_faults_;
 };
 
 }  // namespace rdma

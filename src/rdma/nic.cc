@@ -1,6 +1,8 @@
 #include "src/rdma/nic.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "src/obs/metrics.h"
 
@@ -20,6 +22,7 @@ Nic::Nic(sim::Engine& engine, const NicConfig& config, uint64_t seed, std::strin
       issue_pipeline_(engine, 1),
       inbound_engine_(engine, 1),
       post_lock_(engine) {
+  ValidateConfig(config_);
   if (sim::TraceSink* trace = engine_.trace_sink()) {
     trace->NameTrack(reinterpret_cast<uint64_t>(this), node_name_ + " nic:outbound");
     trace->NameTrack(reinterpret_cast<uint64_t>(this) + 1, node_name_ + " nic:inbound");
@@ -31,6 +34,9 @@ Nic::~Nic() {
   const obs::Labels labels{{"node", node_name_}};
   reg.GetCounter("rdma.nic.outbound_ops", labels)->Add(outbound_ops_);
   reg.GetCounter("rdma.nic.inbound_ops", labels)->Add(inbound_ops_);
+  if (stalls_ > 0) {
+    reg.GetCounter("rdma.nic.stalls", labels)->Add(stalls_);
+  }
   reg.GetHistogram("rdma.nic.issue_wait_ns", labels)->Merge(issue_wait_ns_);
   reg.GetHistogram("rdma.nic.issue_queue_depth", labels)->Merge(issue_queue_depth_);
 }
@@ -62,12 +68,12 @@ sim::Time Nic::OutboundServiceTime(Opcode op, uint32_t payload) const {
   double base = op == Opcode::kSend ? config_.two_sided_tx_ns : config_.outbound_issue_ns;
   base *= OutboundMultiplier(op);
   const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
-  return FromNs(std::max(base, serialization));
+  return FromNs(std::max(base, serialization) * outbound_degrade_);
 }
 
 sim::Time Nic::InboundServiceTime(uint32_t payload) const {
   const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
-  return FromNs(std::max(config_.inbound_min_gap_ns, serialization));
+  return FromNs(std::max(config_.inbound_min_gap_ns, serialization) * inbound_degrade_);
 }
 
 sim::Task<void> Nic::PostOverhead() {
@@ -127,12 +133,72 @@ sim::Task<void> Nic::ServeInboundOneSided(uint32_t payload) {
 sim::Task<void> Nic::ServeInboundTwoSided(uint32_t payload) {
   ++inbound_ops_;
   const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
-  const sim::Time service = Jitter(FromNs(std::max(config_.two_sided_rx_ns, serialization)));
+  const sim::Time service =
+      Jitter(FromNs(std::max(config_.two_sided_rx_ns, serialization) * inbound_degrade_));
   co_await inbound_engine_.Acquire();
   const sim::Time granted = engine_.now();
   co_await engine_.Sleep(service);
   inbound_engine_.Release();
   TraceService("recv", true, granted);
+}
+
+sim::Task<void> Nic::StallOutbound(sim::Time window) {
+  ++stalls_;
+  co_await issue_pipeline_.Acquire();
+  const sim::Time start = engine_.now();
+  co_await engine_.Sleep(window);
+  issue_pipeline_.Release();
+  TraceService("stall", false, start);
+}
+
+sim::Task<void> Nic::StallInbound(sim::Time window) {
+  ++stalls_;
+  co_await inbound_engine_.Acquire();
+  const sim::Time start = engine_.now();
+  co_await engine_.Sleep(window);
+  inbound_engine_.Release();
+  TraceService("stall", true, start);
+}
+
+namespace {
+
+void Reject(const char* what) {
+  throw std::invalid_argument(std::string("rdma config: ") + what);
+}
+
+void CheckNonNegative(double v, const char* what) {
+  if (!(v >= 0.0)) Reject(what);  // negated compare also rejects NaN
+}
+
+void CheckProbability(double v, const char* what) {
+  if (!(v >= 0.0 && v <= 1.0)) Reject(what);
+}
+
+}  // namespace
+
+void ValidateConfig(const NicConfig& config) {
+  CheckNonNegative(config.outbound_issue_ns, "outbound_issue_ns must be >= 0");
+  CheckNonNegative(config.read_state_cpu_ns, "read_state_cpu_ns must be >= 0");
+  CheckNonNegative(config.post_cpu_ns, "post_cpu_ns must be >= 0");
+  CheckNonNegative(config.completion_cpu_ns, "completion_cpu_ns must be >= 0");
+  CheckNonNegative(config.post_lock_ns, "post_lock_ns must be >= 0");
+  if (config.outbound_free_threads < 0) Reject("outbound_free_threads must be >= 0");
+  CheckNonNegative(config.outbound_read_thread_factor,
+                   "outbound_read_thread_factor must be >= 0");
+  CheckNonNegative(config.outbound_write_thread_factor,
+                   "outbound_write_thread_factor must be >= 0");
+  CheckNonNegative(config.inbound_min_gap_ns, "inbound_min_gap_ns must be >= 0");
+  if (!(config.bandwidth_bytes_per_ns > 0.0)) Reject("bandwidth_bytes_per_ns must be > 0");
+  CheckNonNegative(config.two_sided_tx_ns, "two_sided_tx_ns must be >= 0");
+  CheckNonNegative(config.two_sided_rx_ns, "two_sided_rx_ns must be >= 0");
+  if (config.cores < 1) Reject("cores must be >= 1");
+  CheckProbability(config.service_jitter, "service_jitter must be in [0, 1]");
+}
+
+void ValidateConfig(const FabricConfig& config) {
+  ValidateConfig(config.nic);
+  if (config.wire_latency_ns < 0) Reject("wire_latency_ns must be >= 0");
+  CheckProbability(config.unreliable_loss_prob, "unreliable_loss_prob must be in [0, 1]");
 }
 
 const char* WcStatusName(WcStatus status) {
@@ -147,6 +213,8 @@ const char* WcStatusName(WcStatus status) {
       return "RNR_RETRY_EXCEEDED";
     case WcStatus::kLocalProtError:
       return "LOCAL_PROT_ERROR";
+    case WcStatus::kQpError:
+      return "QP_ERROR";
   }
   return "UNKNOWN";
 }

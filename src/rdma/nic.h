@@ -89,6 +89,23 @@ class Nic {
   // Serves an in-bound two-sided SEND of `payload` bytes.
   sim::Task<void> ServeInboundTwoSided(uint32_t payload);
 
+  // ---- Fault hooks (src/fault/) -------------------------------------------
+
+  // Multiplies every subsequent service time at the chosen station; 1.0 is
+  // nominal. Used by the fault injector to model a degraded (hot, throttled,
+  // PCIe-starved) NIC engine for a window.
+  void SetOutboundDegrade(double factor) { outbound_degrade_ = factor; }
+  void SetInboundDegrade(double factor) { inbound_degrade_ = factor; }
+  double outbound_degrade() const { return outbound_degrade_; }
+  double inbound_degrade() const { return inbound_degrade_; }
+
+  // Occupies the station for `window` virtual time: ops already in service
+  // finish, queued and new ops wait out the stall. Modelled as a normal
+  // (highest-priority-by-arrival) occupant of the serialized station, so a
+  // stall composes with queueing exactly like a giant op would.
+  sim::Task<void> StallOutbound(sim::Time window);
+  sim::Task<void> StallInbound(sim::Time window);
+
   // ---- Introspection -------------------------------------------------------
 
   uint64_t outbound_ops() const { return outbound_ops_; }
@@ -129,6 +146,9 @@ class Nic {
   sim::Mutex post_lock_;
   int concurrent_outbound_ = 0;
   int active_qps_ = 0;
+  double outbound_degrade_ = 1.0;
+  double inbound_degrade_ = 1.0;
+  uint64_t stalls_ = 0;
   uint64_t outbound_ops_ = 0;
   uint64_t inbound_ops_ = 0;
   sim::Histogram issue_wait_ns_;

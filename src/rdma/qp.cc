@@ -40,6 +40,11 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
     wc.status = WcStatus::kUnsupportedOp;
     co_return wc;
   }
+  if (in_error()) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
+    co_return wc;
+  }
   if (!local.InBounds(local_off, len)) {
     wc.status = WcStatus::kLocalProtError;
     co_return wc;
@@ -51,7 +56,7 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
   co_await nic.PostOverhead();
   // The READ request itself carries no payload outward.
   co_await nic.IssueOneSided(Opcode::kRead, 0);
-  co_await eng.Sleep(fabric_->wire_latency());
+  co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/true));
 
   MemoryRegion* target = fabric_->FindRemote(rkey);
   const bool ok = target != nullptr && target->node() == peer_ &&
@@ -66,7 +71,7 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
     target->ReadBytes(remote_off, snapshot);
   }
 
-  co_await eng.Sleep(fabric_->wire_latency());
+  co_await eng.Sleep(fabric_->WireDelay(peer_, local_, /*reliable=*/true));
   co_await nic.AbsorbReadResponse(ok ? len : 0);
   if (ok) {
     local.WriteBytes(local_off, snapshot);
@@ -84,6 +89,11 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
   WorkCompletion wc = MakeWc(Opcode::kWrite, len, qp_num_);
   if (type_ == QpType::kUd) {
     wc.status = WcStatus::kUnsupportedOp;
+    co_return wc;
+  }
+  if (in_error()) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
     co_return wc;
   }
   if (!local.InBounds(local_off, len)) {
@@ -109,7 +119,7 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
     co_return wc;
   }
 
-  co_await eng.Sleep(fabric_->wire_latency());
+  co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/true));
   MemoryRegion* target = fabric_->FindRemote(rkey);
   const bool ok = target != nullptr && target->node() == peer_ &&
                   target->InBounds(remote_off, len) && target->AllowsRemoteWrite();
@@ -120,7 +130,7 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
     wc.status = WcStatus::kRemoteAccessError;
     wc.byte_len = 0;
   }
-  co_await eng.Sleep(fabric_->wire_latency());  // ACK
+  co_await eng.Sleep(fabric_->WireDelay(peer_, local_, /*reliable=*/true));  // ACK
   co_await nic.CompletionOverhead();
   EndOp();
   co_return wc;
@@ -129,10 +139,10 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
 sim::Task<void> QueuePair::DeliverUcWrite(RemoteKey rkey, size_t remote_off,
                                           std::vector<std::byte> payload) {
   sim::Engine& eng = fabric_->engine();
-  if (fabric_->DrawLoss()) {
+  if (fabric_->DrawUnreliableLoss(local_, peer_)) {
     co_return;  // dropped in the network; nobody ever knows
   }
-  co_await eng.Sleep(fabric_->wire_latency());
+  co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/false));
   MemoryRegion* target = fabric_->FindRemote(rkey);
   const bool ok = target != nullptr && target->node() == peer_ &&
                   target->InBounds(remote_off, payload.size()) && target->AllowsRemoteWrite();
@@ -146,6 +156,11 @@ sim::Task<WorkCompletion> QueuePair::Send(MemoryRegion& local, size_t local_off,
   WorkCompletion wc = MakeWc(Opcode::kSend, len, qp_num_);
   if (type_ == QpType::kUd) {
     wc.status = WcStatus::kUnsupportedOp;  // UD needs an explicit destination
+    co_return wc;
+  }
+  if (in_error()) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
     co_return wc;
   }
   if (!local.InBounds(local_off, len)) {
@@ -170,15 +185,18 @@ sim::Task<WorkCompletion> QueuePair::Send(MemoryRegion& local, size_t local_off,
   }
 
   // RC: delivery result is visible to the sender.
-  co_await eng.Sleep(fabric_->wire_latency());
+  co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/true));
   co_await peer_->nic().ServeInboundTwoSided(len);
-  if (dst == nullptr || dst->recv_queue_.empty()) {
+  if (dst != nullptr && dst->in_error()) {
+    wc.status = WcStatus::kQpError;  // remote endpoint torn down
+    wc.byte_len = 0;
+  } else if (dst == nullptr || dst->recv_queue_.empty()) {
     wc.status = WcStatus::kRnrRetryExceeded;
     wc.byte_len = 0;
   } else {
     DeliverIntoRecv(dst, payload, qp_num_);
   }
-  co_await eng.Sleep(fabric_->wire_latency());  // ACK
+  co_await eng.Sleep(fabric_->WireDelay(peer_, local_, /*reliable=*/true));  // ACK
   co_await nic.CompletionOverhead();
   EndOp();
   co_return wc;
@@ -189,6 +207,11 @@ sim::Task<WorkCompletion> QueuePair::SendTo(AddressHandle ah, MemoryRegion& loca
   WorkCompletion wc = MakeWc(Opcode::kSend, len, qp_num_);
   if (type_ != QpType::kUd) {
     wc.status = WcStatus::kUnsupportedOp;
+    co_return wc;
+  }
+  if (in_error()) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
     co_return wc;
   }
   if (!local.InBounds(local_off, len)) {
@@ -215,14 +238,18 @@ sim::Task<WorkCompletion> QueuePair::SendTo(AddressHandle ah, MemoryRegion& loca
 sim::Task<void> QueuePair::DeliverSend(QueuePair* dst, std::vector<std::byte> payload,
                                        bool reliable) {
   sim::Engine& eng = fabric_->engine();
-  if (!reliable && fabric_->DrawLoss()) {
+  if (!reliable && fabric_->DrawUnreliableLoss(local_, dst == nullptr ? nullptr : dst->local_)) {
     co_return;
   }
   if (dst == nullptr) {
     co_return;
   }
-  co_await eng.Sleep(fabric_->wire_latency());
+  co_await eng.Sleep(fabric_->WireDelay(local_, dst->local_, /*reliable=*/false));
   co_await dst->local_->nic().ServeInboundTwoSided(static_cast<uint32_t>(payload.size()));
+  if (dst->in_error()) {
+    ++dst->dropped_no_recv_;  // endpoint torn down; datagram evaporates
+    co_return;
+  }
   if (!dst->recv_queue_.empty()) {
     DeliverIntoRecv(dst, payload, qp_num_);
   } else {

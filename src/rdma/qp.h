@@ -30,6 +30,13 @@ namespace rdma {
 class Fabric;
 class Node;
 
+// Lifecycle of a QP, a two-state rendition of the verbs state machine
+// (INIT/RTR/RTS collapse into kReady; SQE/ERR collapse into kError).
+enum class QpState : uint8_t {
+  kReady,
+  kError,
+};
+
 class QueuePair {
  public:
   QueuePair(Fabric* fabric, QpType type, uint32_t qp_num, Node* local, Node* peer,
@@ -46,6 +53,22 @@ class QueuePair {
   Node* peer_node() const { return peer_; }
   CompletionQueue* send_cq() const { return send_cq_; }
   CompletionQueue* recv_cq() const { return recv_cq_; }
+
+  // ---- Error state (fault injection / recovery) ---------------------------
+
+  QpState state() const { return state_; }
+  bool in_error() const { return state_ == QpState::kError; }
+
+  // Transitions to the error state: every subsequent operation completes
+  // immediately with WcStatus::kQpError, and in-bound messages addressed to
+  // this QP are dropped. Operations already in flight complete normally
+  // (their packets are already on the wire).
+  void SetError() { state_ = QpState::kError; }
+
+  // Returns the QP to service. Real deployments replace an error'd QP with a
+  // fresh connection (see Fabric::ConnectRc); this exists for tests and for
+  // transports with no connection state to rebuild.
+  void Recover() { state_ = QpState::kReady; }
 
   // ---- Synchronous one-sided operations -----------------------------------
 
@@ -115,6 +138,7 @@ class QueuePair {
 
   Fabric* fabric_;
   QpType type_;
+  QpState state_ = QpState::kReady;
   uint32_t qp_num_;
   Node* local_;
   Node* peer_;  // nullptr for UD

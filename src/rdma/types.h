@@ -32,6 +32,7 @@ enum class WcStatus : uint8_t {
   kRemoteAccessError,  // bad rkey, out-of-bounds, or missing access rights
   kRnrRetryExceeded,   // RC SEND with no posted RECV at the responder
   kLocalProtError,     // local buffer out of bounds
+  kQpError,            // QP transitioned to the error state; needs reconnect
 };
 
 const char* WcStatusName(WcStatus status);

@@ -21,8 +21,14 @@ void CheckOk(const rdma::WorkCompletion& wc, const char* what) {
 
 Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
                  const RfpOptions& options)
-    : engine_(fabric.engine()), options_(options) {
-  block_bytes_ = kHeaderBytes + options_.max_message_bytes;
+    : engine_(fabric.engine()),
+      fabric_(&fabric),
+      client_node_(&client),
+      server_node_(&server),
+      options_(options) {
+  // The optional checksum trailer lives after the (max-sized) payload, so
+  // enabling it grows both blocks.
+  block_bytes_ = kHeaderBytes + options_.max_message_bytes + ChecksumBytes();
   resp_offset_ = block_bytes_;
   auto [cqp, sqp] = fabric.ConnectRc(client, server);
   client_qp_ = cqp;
@@ -62,6 +68,20 @@ Channel::~Channel() {
   reg.GetCounter("rfp.channel.switches_to_reply", labels)->Add(stats_.switches_to_reply);
   reg.GetCounter("rfp.channel.switches_to_fetch", labels)->Add(stats_.switches_to_fetch);
   reg.GetHistogram("rfp.channel.retries_per_call", labels)->Merge(stats_.retries_per_call);
+  // Recovery counters register only when something actually happened, so
+  // fault-free runs keep their metric catalog unchanged.
+  if (stats_.reconnects > 0) {
+    reg.GetCounter("rfp.channel.reconnects", labels)->Add(stats_.reconnects);
+  }
+  if (stats_.reissues > 0) {
+    reg.GetCounter("rfp.channel.reissues", labels)->Add(stats_.reissues);
+  }
+  if (stats_.corrupt_fetches > 0) {
+    reg.GetCounter("rfp.channel.corrupt_fetches", labels)->Add(stats_.corrupt_fetches);
+  }
+  if (stats_.fetch_timeouts > 0) {
+    reg.GetCounter("rfp.channel.fetch_timeouts", labels)->Add(stats_.fetch_timeouts);
+  }
 }
 
 void Channel::set_fetch_size(uint32_t f) {
@@ -91,10 +111,11 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg) {
   header.mode = static_cast<uint8_t>(mode_);
   client_mr_->Store(0, header);
   client_mr_->WriteBytes(kHeaderBytes, msg);
-  rdma::WorkCompletion wc =
-      co_await client_qp_->Write(*client_mr_, 0, server_mr_->remote_key(), 0,
-                                 kHeaderBytes + static_cast<uint32_t>(msg.size()));
-  CheckOk(wc, "request write");
+  // The staging block keeps the payload until the next ClientSend, which is
+  // what makes ReissueRequest possible without the caller's buffer.
+  last_req_size_ = static_cast<uint32_t>(msg.size());
+  co_await RcOp(/*from_client=*/true, /*is_read=*/false, 0, 0,
+                kHeaderBytes + static_cast<uint32_t>(msg.size()), "request write");
   ++stats_.calls;
   ++stats_.request_writes;
   client_busy_.AddBusy(engine_.now() - start);
@@ -109,12 +130,15 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
 
   // Remote-fetch path: spin on RDMA READs of F bytes.
   const uint32_t f = options_.fetch_size;
+  sim::Time deadline = options_.fetch_timeout_ns > 0 ? start + options_.fetch_timeout_ns : 0;
+  sim::Time backoff = options_.fetch_backoff_initial_ns;
+  sim::Time slept = 0;  // backoff sleeps are idle time, not client CPU
   int failed = 0;
+  int corrupt = 0;
+  int reissues = 0;
   while (true) {
-    rdma::WorkCompletion wc =
-        co_await client_qp_->Read(*client_mr_, resp_offset_, server_mr_->remote_key(),
-                                  resp_offset_, f);
-    CheckOk(wc, "result fetch");
+    co_await RcOp(/*from_client=*/true, /*is_read=*/true, resp_offset_, resp_offset_, f,
+                  "result fetch");
     ++stats_.fetch_reads;
     const ResponseHeader header = LandingHeader();
     if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
@@ -122,14 +146,26 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       if (size > out.size()) {
         throw std::length_error("rfp channel: response larger than output buffer");
       }
-      if (size + kHeaderBytes > f) {
+      if (size + kHeaderBytes + ChecksumBytes() > f) {
         // The inline fetch was short: one more READ collects the remainder.
-        rdma::WorkCompletion wc2 = co_await client_qp_->Read(
-            *client_mr_, resp_offset_ + f, server_mr_->remote_key(), resp_offset_ + f,
-            size + kHeaderBytes - f);
-        CheckOk(wc2, "remainder fetch");
+        co_await RcOp(true, true, resp_offset_ + f, resp_offset_ + f,
+                      size + kHeaderBytes + ChecksumBytes() - f, "remainder fetch");
         ++stats_.fetch_reads;
         ++stats_.extra_fetches;
+      }
+      if (options_.checksum_responses && !LandingChecksumOk(size)) {
+        // Corrupted (or torn mid-rewrite) response: never deliver the bytes.
+        // After enough corrupt observations, re-issue under a fresh seq tag
+        // and fetch the re-executed result.
+        ++stats_.corrupt_fetches;
+        if (++corrupt >= options_.corrupt_fetches_before_reissue) {
+          if (++reissues > options_.max_reissue_attempts) {
+            throw std::runtime_error("rfp channel: response corrupt after max reissues");
+          }
+          co_await ReissueRequest();
+          corrupt = 0;
+        }
+        continue;
       }
       client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
       last_server_time_us_ = header.time_us;
@@ -137,7 +173,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       // ">= R" to stay consistent with the mid-call switch check, which
       // already treats a call as slow the moment it reaches R failures.
       slow_streak_ = failed >= options_.retry_threshold ? slow_streak_ + 1 : 0;
-      client_busy_.AddBusy(engine_.now() - start);
+      client_busy_.AddBusy(engine_.now() - start - slept);
       co_return size;
     }
     ++failed;
@@ -146,9 +182,37 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
         slow_streak_ + 1 >= options_.slow_calls_before_switch) {
       // This call and its predecessors were all slow: fall back.
       stats_.retries_per_call.Record(failed);
-      client_busy_.AddBusy(engine_.now() - start);
+      client_busy_.AddBusy(engine_.now() - start - slept);
       co_await SwitchToReply();
       co_return co_await AwaitReply(out);
+    }
+    if (deadline != 0 && engine_.now() >= deadline) {
+      // The fetch deadline expired mid-call: the server is unreachable,
+      // crashed, or pathologically slow.
+      ++stats_.fetch_timeouts;
+      if (sim::TraceSink* trace = engine_.trace_sink()) {
+        trace->Instant("rfp", "fetch_timeout", reinterpret_cast<uint64_t>(this), engine_.now());
+      }
+      if (adaptive()) {
+        // Fall back to server-reply without waiting out the slow streak.
+        stats_.retries_per_call.Record(failed);
+        client_busy_.AddBusy(engine_.now() - start - slept);
+        co_await SwitchToReply();
+        co_return co_await AwaitReply(out);
+      }
+      if (++reissues > options_.max_reissue_attempts) {
+        throw std::runtime_error("rfp channel: fetch timed out after max reissues");
+      }
+      co_await ReissueRequest();
+      deadline = engine_.now() + options_.fetch_timeout_ns;
+      failed = 0;
+    }
+    if (backoff > 0 && failed > options_.retry_threshold) {
+      co_await engine_.Sleep(backoff);
+      slept += backoff;
+      const sim::Time cap =
+          std::max<sim::Time>(options_.fetch_backoff_max_ns, options_.fetch_backoff_initial_ns);
+      backoff = std::min<sim::Time>(backoff * 2, cap);
     }
   }
 }
@@ -165,18 +229,31 @@ sim::Task<void> Channel::SwitchToReply() {
   // Publish the new mode to the server with a one-byte WRITE into the
   // request block's mode field.
   client_mr_->Store<uint8_t>(kRequestModeOffset, static_cast<uint8_t>(Mode::kServerReply));
-  rdma::WorkCompletion wc = co_await client_qp_->Write(
-      *client_mr_, kRequestModeOffset, server_mr_->remote_key(), kRequestModeOffset, 1);
-  CheckOk(wc, "mode switch write");
+  co_await RcOp(/*from_client=*/true, /*is_read=*/false, kRequestModeOffset, kRequestModeOffset,
+                1, "mode switch write");
 }
 
 sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
+  int reissues = 0;
   while (true) {
     const ResponseHeader header = LandingHeader();
     if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
       const uint32_t size = wire::UnpackSize(header.size_status);
       if (size > out.size()) {
         throw std::length_error("rfp channel: response larger than output buffer");
+      }
+      if (options_.checksum_responses && !LandingChecksumOk(size)) {
+        // The pushed reply arrived corrupted: re-issue under a fresh seq and
+        // wait for the re-executed push (the stale header can no longer
+        // match the bumped sequence).
+        ++stats_.corrupt_fetches;
+        if (++reissues > options_.max_reissue_attempts) {
+          throw std::runtime_error("rfp channel: pushed reply corrupt after max reissues");
+        }
+        co_await ReissueRequest();
+        client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+        co_await engine_.Sleep(options_.reply_poll_interval_ns);
+        continue;
       }
       client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
       client_busy_.AddBusy(options_.reply_poll_cpu_ns);
@@ -238,6 +315,10 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
   header.seq = last_recv_seq_;
   server_mr_->Store(resp_offset_, header);
   server_mr_->WriteBytes(resp_offset_ + kHeaderBytes, msg);
+  if (options_.checksum_responses) {
+    server_mr_->Store(resp_offset_ + kHeaderBytes + msg.size(),
+                      wire::Checksum64(msg, last_recv_seq_));
+  }
   last_resp_seq_ = last_recv_seq_;
   last_resp_size_ = static_cast<uint32_t>(msg.size());
   response_pushed_ = false;
@@ -247,12 +328,79 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
 }
 
 sim::Task<void> Channel::PushReply() {
-  rdma::WorkCompletion wc =
-      co_await server_qp_->Write(*server_mr_, resp_offset_, client_mr_->remote_key(),
-                                 resp_offset_, kHeaderBytes + last_resp_size_);
-  CheckOk(wc, "reply push");
+  co_await RcOp(/*from_client=*/false, /*is_read=*/false, resp_offset_, resp_offset_,
+                kHeaderBytes + last_resp_size_ + ChecksumBytes(), "reply push");
   response_pushed_ = true;
   ++stats_.reply_pushes;
+}
+
+bool Channel::LandingChecksumOk(uint32_t size) const {
+  const uint64_t stored = client_mr_->Load<uint64_t>(resp_offset_ + kHeaderBytes + size);
+  const std::span<const std::byte> payload =
+      client_mr_->bytes().subspan(resp_offset_ + kHeaderBytes, size);
+  return stored == wire::Checksum64(payload, seq_);
+}
+
+sim::Task<rdma::WorkCompletion> Channel::RcOp(bool from_client, bool is_read, size_t local_off,
+                                              size_t remote_off, uint32_t len, const char* what) {
+  for (int attempt = 0;; ++attempt) {
+    // Re-resolve the endpoints each attempt: a reconnect replaces them.
+    rdma::QueuePair* qp = from_client ? client_qp_ : server_qp_;
+    rdma::MemoryRegion* local = from_client ? client_mr_ : server_mr_;
+    rdma::MemoryRegion* remote = from_client ? server_mr_ : client_mr_;
+    const rdma::WorkCompletion wc =
+        is_read ? co_await qp->Read(*local, local_off, remote->remote_key(), remote_off, len)
+                : co_await qp->Write(*local, local_off, remote->remote_key(), remote_off, len);
+    if (wc.status != rdma::WcStatus::kQpError) {
+      CheckOk(wc, what);
+      co_return wc;
+    }
+    if (attempt >= options_.max_reconnect_attempts) {
+      CheckOk(wc, what);  // throws, reporting QP_ERROR
+    }
+    co_await EnsureConnected(qp);
+  }
+}
+
+sim::Task<void> Channel::EnsureConnected(rdma::QueuePair* failed) {
+  // If another actor is mid-reconnect (the client's fetch and the server's
+  // push can observe the same failure), wait it out instead of racing a
+  // second connection.
+  while (reconnect_in_progress_) {
+    co_await engine_.Sleep(options_.reconnect_delay_ns / 4 + 1);
+  }
+  if (failed != client_qp_ && failed != server_qp_) {
+    co_return;  // already replaced by whoever observed the error first
+  }
+  reconnect_in_progress_ = true;
+  ++stats_.reconnects;
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", "reconnect", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  // Connection re-establishment (QP teardown + out-of-band handshake).
+  co_await engine_.Sleep(options_.reconnect_delay_ns);
+  auto [cqp, sqp] = fabric_->ConnectRc(*client_node_, *server_node_);
+  client_qp_ = cqp;
+  server_qp_ = sqp;
+  reconnect_in_progress_ = false;
+}
+
+sim::Task<void> Channel::ReissueRequest() {
+  ++stats_.reissues;
+  if (++seq_ == 0) {
+    ++seq_;  // 0 stays reserved for "never used"
+  }
+  RequestHeader header;
+  header.size_status = wire::PackSizeStatus(last_req_size_, true);
+  header.seq = seq_;
+  header.mode = static_cast<uint8_t>(mode_);
+  client_mr_->Store(0, header);  // the payload is still staged from ClientSend
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", "reissue", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  co_await RcOp(/*from_client=*/true, /*is_read=*/false, 0, 0, kHeaderBytes + last_req_size_,
+                "request reissue");
+  ++stats_.request_writes;
 }
 
 sim::Task<void> Channel::MaybeResendAfterSwitch() {

@@ -53,6 +53,12 @@ class Channel {
     uint64_t reply_pushes = 0;     // server out-bound reply WRITEs
     uint64_t switches_to_reply = 0;
     uint64_t switches_to_fetch = 0;
+    // Fault-recovery events (all zero unless faults were injected or the
+    // fault-tolerance options are enabled; see docs/fault_injection.md).
+    uint64_t reconnects = 0;       // RC pair replaced after a QP error
+    uint64_t reissues = 0;         // request re-sent (timeout or corruption)
+    uint64_t corrupt_fetches = 0;  // checksum-mismatching responses observed
+    uint64_t fetch_timeouts = 0;   // calls whose fetch deadline expired
     // Failed-retry count per completed remote-fetch call (Table 3).
     sim::Histogram retries_per_call;
 
@@ -124,8 +130,16 @@ class Channel {
   // Adjusts F at runtime (used when the parameter selector re-tunes).
   void set_fetch_size(uint32_t f);
 
-  rdma::Node* client_node() const { return client_qp_->local_node(); }
-  rdma::Node* server_node() const { return server_qp_->local_node(); }
+  rdma::Node* client_node() const { return client_node_; }
+  rdma::Node* server_node() const { return server_node_; }
+
+  // Fault-injection targeting: the server-side region holding this channel's
+  // [request block][response block], and the offset of the response block
+  // within it. A corruption fault flips bytes at rkey/offset (see
+  // fault::FaultPlan::CorruptRegion).
+  uint32_t server_rkey() const { return server_mr_->remote_key().rkey; }
+  size_t response_offset() const { return resp_offset_; }
+  size_t response_block_bytes() const { return block_bytes_; }
 
  private:
   bool adaptive() const { return options_.force_mode == RfpOptions::ForceMode::kAdaptive; }
@@ -140,7 +154,32 @@ class Channel {
   // Pushes the response stored for `last_resp_seq_` to the client.
   sim::Task<void> PushReply();
 
+  // ---- Fault recovery ------------------------------------------------------
+
+  uint32_t ChecksumBytes() const {
+    return options_.checksum_responses ? kChecksumBytes : 0;
+  }
+  // Validates the checksum trailer of the response currently in the landing
+  // block against the current call sequence.
+  bool LandingChecksumOk(uint32_t size) const;
+  // One RC op (read or write) between the channel's fixed regions with
+  // transparent reconnect-and-retry on a QP-error completion. Throws after
+  // max_reconnect_attempts or on any non-QP-error failure.
+  sim::Task<rdma::WorkCompletion> RcOp(bool from_client, bool is_read, size_t local_off,
+                                       size_t remote_off, uint32_t len, const char* what);
+  // Replaces the RC pair after `failed` completed with a QP error. A no-op
+  // when another actor already replaced it; concurrent callers wait for the
+  // in-flight reconnect instead of racing a second one.
+  sim::Task<void> EnsureConnected(rdma::QueuePair* failed);
+  // Re-sends the current request under a fresh sequence tag. The server
+  // re-executes it (handlers are idempotent by the RFP contract: one request
+  // block, one response block, last write wins).
+  sim::Task<void> ReissueRequest();
+
   sim::Engine& engine_;
+  rdma::Fabric* fabric_;
+  rdma::Node* client_node_;
+  rdma::Node* server_node_;
   RfpOptions options_;
   rdma::QueuePair* client_qp_;  // client-side endpoint of the RC pair
   rdma::QueuePair* server_qp_;  // server-side endpoint of the RC pair
@@ -151,6 +190,8 @@ class Channel {
 
   // Client state.
   uint16_t seq_ = 0;
+  uint32_t last_req_size_ = 0;  // payload bytes still staged for re-issue
+  bool reconnect_in_progress_ = false;
   Mode mode_ = Mode::kRemoteFetch;
   sim::Time reply_mode_since_ = 0;  // trace: start of the current reply-mode span
   int slow_streak_ = 0;

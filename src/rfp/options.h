@@ -45,6 +45,42 @@ struct RfpOptions {
   // below 30% in Fig 15).
   sim::Time reply_poll_interval_ns = 1000;
   sim::Time reply_poll_cpu_ns = 30;
+
+  // ---- Fault tolerance (docs/fault_injection.md) ---------------------------
+  // Everything below defaults to *off* / neutral: a channel built with
+  // default options behaves bit-for-bit like one built before the fault
+  // layer existed.
+
+  // Deadline for one remote-fetch call, measured from the start of
+  // ClientRecv. 0 disables. On expiry an adaptive channel falls back to
+  // server-reply immediately (without waiting out the slow-call streak); a
+  // forced-fetch channel re-issues the request instead and re-arms the
+  // deadline.
+  sim::Time fetch_timeout_ns = 0;
+
+  // Bounded exponential backoff between fetch retries once a call has
+  // exceeded retry_threshold failures: sleep initial, 2*initial, ... capped
+  // at max. 0 disables (the paper's tight retry loop).
+  sim::Time fetch_backoff_initial_ns = 0;
+  sim::Time fetch_backoff_max_ns = 100 * 1000;
+
+  // Appends an 8-byte checksum trailer to every response (see
+  // wire::Checksum64). A mismatching fetch counts as corrupt; after
+  // `corrupt_fetches_before_reissue` consecutive corrupt observations the
+  // client re-issues the request (idempotent re-execution keyed by the wire
+  // seq tag). Grows each response block by kChecksumBytes.
+  bool checksum_responses = false;
+  int corrupt_fetches_before_reissue = 2;
+
+  // A QP-error completion triggers transparent reconnection (tear down the
+  // RC pair, wait out the re-establishment handshake, retry the op). An op
+  // that still fails after `max_reconnect_attempts` reconnects throws.
+  int max_reconnect_attempts = 8;
+  sim::Time reconnect_delay_ns = 20 * 1000;
+
+  // Bound on request re-issues (timeout or corruption triggered) before the
+  // call gives up and throws.
+  int max_reissue_attempts = 8;
 };
 
 struct ServerOptions {

@@ -28,6 +28,34 @@ RpcServer::RpcServer(rdma::Fabric& fabric, rdma::Node& node, int num_threads,
 RpcServer::~RpcServer() {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   reg.GetCounter("rfp.rpc.requests_served", {{"node", node_.name()}})->Add(requests_served_);
+  if (thread_crashes_ > 0) {
+    reg.GetCounter("rfp.rpc.thread_crashes", {{"node", node_.name()}})->Add(thread_crashes_);
+  }
+}
+
+void RpcServer::CrashThread(int thread) {
+  ThreadState& state = threads_[static_cast<size_t>(thread)];
+  if (state.crashed) {
+    return;
+  }
+  state.crashed = true;
+  ++thread_crashes_;
+  if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
+    trace->Instant("fault", "server_thread_crash", reinterpret_cast<uint64_t>(this) + thread,
+                   fabric_.engine().now());
+  }
+}
+
+void RpcServer::RestartThread(int thread) {
+  ThreadState& state = threads_[static_cast<size_t>(thread)];
+  if (!state.crashed) {
+    return;
+  }
+  state.crashed = false;
+  if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
+    trace->Instant("fault", "server_thread_restart", reinterpret_cast<uint64_t>(this) + thread,
+                   fabric_.engine().now());
+  }
 }
 
 namespace {
@@ -82,6 +110,13 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
   sim::Engine& engine = fabric_.engine();
   ThreadState& state = threads_[static_cast<size_t>(thread_index)];
   while (!stop_) {
+    if (state.crashed) {
+      // The worker is dead: it burns no poll CPU and serves nothing. Pending
+      // request headers stay in the channels' request blocks (NIC and memory
+      // are alive — only the core is gone) and are served after restart.
+      co_await engine.Sleep(options_.idle_sleep_ns);
+      continue;
+    }
     bool any = false;
     // One scan over this thread's channels costs CPU whether or not
     // anything arrived (the server busy-polls, paper Section 4.1).

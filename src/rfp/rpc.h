@@ -82,6 +82,26 @@ class RpcServer {
   // Requests loops to exit at their next sweep.
   void Stop() { stop_ = true; }
 
+  // ---- Fault injection (src/fault/) ---------------------------------------
+
+  // Crashes worker `thread`: from its next sweep boundary it stops serving
+  // (its channels go dark — in-flight fetches fail or fall back, depending
+  // on the client's fault-tolerance options) until RestartThread. A request
+  // already mid-handler completes first; the crash takes effect between
+  // requests, which models a worker whose core is lost, not one whose
+  // memory is torn mid-write. Idempotent.
+  void CrashThread(int thread);
+
+  // Brings a crashed worker back. Its next sweep picks up whatever request
+  // headers are pending in its channels' request blocks, so requests issued
+  // into the dark window complete after recovery without client re-sends.
+  void RestartThread(int thread);
+
+  bool thread_crashed(int thread) const {
+    return threads_[static_cast<size_t>(thread)].crashed;
+  }
+  uint64_t thread_crashes() const { return thread_crashes_; }
+
   uint64_t requests_served() const { return requests_served_; }
   uint64_t requests_served_by(int thread) const {
     return threads_[static_cast<size_t>(thread)].served;
@@ -91,6 +111,7 @@ class RpcServer {
   struct ThreadState {
     std::vector<Channel*> channels;
     uint64_t served = 0;
+    bool crashed = false;
     std::vector<std::byte> request_buf;
     std::vector<std::byte> response_buf;
   };
@@ -104,6 +125,7 @@ class RpcServer {
   bool stop_ = false;
   bool started_ = false;
   uint64_t requests_served_ = 0;
+  uint64_t thread_crashes_ = 0;
   std::unordered_map<uint16_t, AsyncHandler> handlers_;
   std::vector<ThreadState> threads_;
   std::vector<std::unique_ptr<Channel>> owned_channels_;

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace rfp {
 
@@ -70,6 +71,29 @@ struct ResponseHeader {
 static_assert(sizeof(ResponseHeader) == 8, "response header must stay 8 bytes");
 
 constexpr uint32_t kHeaderBytes = 8;
+
+// Bytes of the optional response checksum trailer (RfpOptions::
+// checksum_responses). Layout: [ResponseHeader][payload][checksum], so a
+// single fetch of F >= header+payload+trailer bytes still completes a call
+// in one READ.
+constexpr uint32_t kChecksumBytes = 8;
+
+namespace wire {
+
+// FNV-1a over the payload, seeded with the call sequence tag so a stale
+// (previous-call) response can never validate against the current call even
+// if its bytes are intact. Not cryptographic — it models the CRC a real
+// fetch-validation path would use (cf. Pilaf's CRC64 race detection).
+inline uint64_t Checksum64(std::span<const std::byte> payload, uint16_t seq) {
+  uint64_t h = 0xcbf29ce484222325ull ^ (0x100000001b3ull * (seq + 1));
+  for (std::byte b : payload) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace wire
 
 // Saturating conversion of a process time in nanoseconds to the header's
 // microsecond field.

@@ -1,0 +1,136 @@
+#include "src/fault/plan.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/time.h"
+
+namespace fault {
+namespace {
+
+TEST(FaultPlanTest, BuildersProduceValidEvents) {
+  FaultPlan plan;
+  plan.NicStall(sim::Micros(10), 0, true, sim::Micros(50))
+      .NicDegrade(sim::Micros(20), 1, false, 4.0, sim::Micros(100))
+      .LinkBurst(sim::Micros(30), 0, 1, 0.25, sim::Micros(2), sim::Micros(80))
+      .ServerCrash(sim::Micros(40), 0, 2, sim::Micros(500))
+      .QpError(sim::Micros(50), 0, 1)
+      .CorruptRegion(sim::Micros(60), 7, 8, 16, 3);
+  EXPECT_EQ(plan.size(), 6u);
+  EXPECT_NO_THROW(plan.Validate());
+  // Horizon covers the longest window: crash at 40 us for 500 us.
+  EXPECT_EQ(plan.Horizon(), sim::Micros(540));
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadEvents) {
+  {
+    FaultPlan p;
+    p.NicStall(0, 0, true, 0);  // zero-length stall
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.NicDegrade(0, 0, true, 0.5, sim::Micros(10));  // factor < 1
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.LinkBurst(0, 0, 0, 0.5, 0, sim::Micros(10));  // same node twice
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.LinkBurst(0, 0, 1, 1.5, 0, sim::Micros(10));  // loss > 1
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.QpError(0, 2, 2);  // same node twice
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.CorruptRegion(0, 7, 0, 0, 1);  // zero-length corruption
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+  {
+    FaultPlan p;
+    p.NicStall(-1, 0, true, sim::Micros(10));  // negative fire time
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+  }
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicPerSeed) {
+  RandomPlanOptions options;
+  options.events = 32;
+  options.nodes = 4;
+  options.server_threads = 2;
+  const FaultPlan a = RandomPlan(123, options);
+  const FaultPlan b = RandomPlan(123, options);
+  const FaultPlan c = RandomPlan(124, options);
+
+  ASSERT_EQ(a.size(), 32u);
+  ASSERT_EQ(b.size(), 32u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].duration, b.events[i].duration);
+    EXPECT_EQ(a.events[i].node, b.events[i].node);
+    EXPECT_EQ(a.events[i].peer, b.events[i].peer);
+    EXPECT_EQ(a.events[i].severity, b.events[i].severity);
+  }
+  // A different seed produces a structurally different schedule.
+  bool differs = c.size() != a.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.events[i].at != c.events[i].at || a.events[i].kind != c.events[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanTest, RandomPlanIsSortedValidAndInHorizon) {
+  RandomPlanOptions options;
+  options.events = 64;
+  options.start = sim::Micros(100);
+  options.horizon = sim::Millis(4);
+  options.nodes = 3;
+  const FaultPlan plan = RandomPlan(9, options);
+  EXPECT_NO_THROW(plan.Validate());
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan.events[i - 1].at, plan.events[i].at);
+  }
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_GE(e.at, options.start);
+    EXPECT_LT(e.at, options.horizon);
+    EXPECT_LT(e.node, static_cast<uint32_t>(options.nodes));
+  }
+}
+
+TEST(FaultPlanTest, RandomPlanRespectsKindToggles) {
+  RandomPlanOptions options;
+  options.events = 40;
+  options.enable_nic_stall = false;
+  options.enable_nic_degrade = false;
+  options.enable_server_crash = false;
+  options.enable_qp_error = false;  // only link bursts remain
+  const FaultPlan plan = RandomPlan(5, options);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_EQ(e.kind, FaultKind::kLinkBurst);
+  }
+
+  RandomPlanOptions none = options;
+  none.enable_link_burst = false;
+  EXPECT_THROW(RandomPlan(5, none), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, KindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNicStall), "nic_stall");
+  EXPECT_STREQ(FaultKindName(FaultKind::kNicDegrade), "nic_degrade");
+  EXPECT_STREQ(FaultKindName(FaultKind::kLinkBurst), "link_burst");
+  EXPECT_STREQ(FaultKindName(FaultKind::kServerCrash), "server_crash");
+  EXPECT_STREQ(FaultKindName(FaultKind::kQpError), "qp_error");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCorruptRegion), "corrupt_region");
+}
+
+}  // namespace
+}  // namespace fault

@@ -156,6 +156,91 @@ TEST(UdRpcTotalLossTest, CallFailsAfterMaxRetransmits) {
   EXPECT_EQ(client.stats().failures, 1u);
 }
 
+TEST(UdRpcLinkFaultTest, BudgetExhaustsUnderSustainedPairLossThenRecovers) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);  // no global loss: only the pair fault drops
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  UdRpcServer server(fabric, server_node, 1);
+  server.RegisterHandler(kEcho, EchoHandler());
+  server.Start();
+
+  rdma::LinkFault burst;
+  burst.loss_prob = 1.0;  // sustained black hole on this pair only
+  fabric.SetLinkFault(server_node.id(), client_node.id(), burst);
+  engine.ScheduleAt(sim::Micros(50),
+                    [&] { fabric.ClearLinkFault(server_node.id(), client_node.id()); });
+
+  UdRpcOptions options;
+  options.retry_timeout_ns = 5'000;
+  options.max_retransmits = 3;
+  UdRpcClient client(fabric, client_node, server.address(0), options);
+  bool first_failed = false;
+  std::string second;
+  engine.Spawn([](sim::Engine* eng, UdRpcClient* c, bool* failed,
+                  std::string* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(64);
+    try {
+      co_await c->Call(kEcho, AsBytes("void"), resp);
+    } catch (const std::runtime_error&) {
+      *failed = true;  // budget exhausted: 1 send + 3 retransmits, all lost
+    }
+    co_await eng->Sleep(sim::Micros(100));  // outlive the burst
+    const size_t n = co_await c->Call(kEcho, AsBytes("back"), resp);
+    out->assign(reinterpret_cast<const char*>(resp.data()), n);
+  }(&engine, &client, &first_failed, &second));
+  engine.RunUntil(sim::Millis(2));
+  server.Stop();
+
+  EXPECT_TRUE(first_failed);
+  EXPECT_EQ(client.stats().failures, 1u);
+  EXPECT_EQ(client.stats().retransmits, 3u);
+  // The same client works again once the burst clears: datagram transports
+  // carry no connection state to repair.
+  EXPECT_EQ(second, "back");
+}
+
+TEST(UdRpcDuplicateTest, LateOriginalReplyAfterRetransmitIsFiltered) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  UdRpcServer server(fabric, server_node, 1);
+  server.RegisterHandler(kEcho, EchoHandler());
+  server.Start();
+
+  // Delay (not drop) the first exchange past the retry timeout: the client
+  // retransmits, the server serves the request twice, and both replies
+  // eventually arrive. The second one targets an already-completed sequence
+  // and must be filtered, never surfaced as another call's response.
+  rdma::LinkFault slow;
+  slow.extra_delay_ns = sim::Micros(30);
+  fabric.SetLinkFault(server_node.id(), client_node.id(), slow);
+  engine.ScheduleAt(sim::Micros(25),
+                    [&] { fabric.ClearLinkFault(server_node.id(), client_node.id()); });
+
+  UdRpcClient client(fabric, client_node, server.address(0));  // 20 us retry timeout
+  int correct = 0;
+  engine.Spawn([](UdRpcClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(64);
+    for (int i = 0; i < 10; ++i) {
+      std::string msg = "dup" + std::to_string(i);
+      const size_t n = co_await c->Call(kEcho, AsBytes(msg), resp);
+      if (std::string(reinterpret_cast<const char*>(resp.data()), n) == msg) {
+        ++*out;
+      }
+    }
+  }(&client, &correct));
+  engine.RunUntil(sim::Millis(2));
+  server.Stop();
+
+  EXPECT_EQ(correct, 10);  // every call matched its own sequence
+  EXPECT_GE(client.stats().retransmits, 1u);
+  EXPECT_GE(client.stats().duplicates, 1u);  // the late original reply
+  EXPECT_EQ(client.stats().failures, 0u);
+  EXPECT_GE(server.requests_served(), 11u);  // the duplicate was re-served
+}
+
 TEST(UdRpcBurstTest, RecvPoolOverflowDropsRequestsSilently) {
   sim::Engine engine;
   rdma::Fabric fabric(engine);
