@@ -116,7 +116,7 @@ Outcome RunClass(
   std::vector<uint64_t> ops(kClientThreads, 0);
   std::vector<uint64_t> mismatches(kClientThreads, 0);
   for (int t = 0; t < kClientThreads; ++t) {
-    rfp::Channel* channel = server.AcceptChannel(*client_nodes[t % kClientNodes], options,
+    rfp::Channel* channel = server.AcceptChannel(*client_nodes[static_cast<size_t>(t % kClientNodes)], options,
                                                  t % kServerThreads);
     channels.push_back(channel);
     stubs.push_back(std::make_unique<rfp::RpcClient>(channel));
@@ -222,7 +222,7 @@ int main(int argc, char** argv) {
            for (size_t c = 0; c < channels.size(); ++c) {
              plan.CorruptRegion(kFaultStart + i * (window / 20), channels[c]->server_rkey(),
                                 channels[c]->response_offset() + rfp::kHeaderBytes, 16,
-                                /*seed=*/i * 100 + c);
+                                /*seed=*/static_cast<uint64_t>(i) * 100 + c);
            }
          }
        }},

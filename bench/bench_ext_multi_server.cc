@@ -59,7 +59,7 @@ double RunSharded(int num_servers) {
     for (int s = 0; s < num_servers; ++s) {
       clients[static_cast<size_t>(t)].per_server.push_back(
           std::make_unique<kv::JakiroClient>(*servers[static_cast<size_t>(s)],
-                                             *nodes[t % kNodes]));
+                                             *nodes[static_cast<size_t>(t % kNodes)]));
     }
     engine.Spawn([](sim::Engine& eng, MultiClient* mc, workload::WorkloadSpec sp, int id,
                     int ns, sim::Time w, sim::Time e, uint64_t* count) -> sim::Task<void> {

@@ -52,7 +52,7 @@ Outcome RunBatched(int batch, uint32_t fetch_size) {
   const sim::Time warmup = sim::Millis(2);
   const sim::Time end = sim::Millis(6);
   for (int t = 0; t < kClients; ++t) {
-    clients.push_back(std::make_unique<kv::JakiroClient>(server, *nodes[t % kNodes]));
+    clients.push_back(std::make_unique<kv::JakiroClient>(server, *nodes[static_cast<size_t>(t % kNodes)]));
     engine.Spawn([](sim::Engine& eng, kv::JakiroClient* c, workload::WorkloadSpec sp, int id,
                     int n, sim::Time w, sim::Time e, uint64_t* count) -> sim::Task<void> {
       workload::Generator gen(sp, static_cast<uint64_t>(id));

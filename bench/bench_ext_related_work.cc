@@ -70,7 +70,7 @@ FarmOutcome RunFarm(uint32_t value_size, double get_fraction) {
   sim::Histogram latency;
   std::vector<sim::Histogram> lats(kClients);
   for (int t = 0; t < kClients; ++t) {
-    clients.push_back(std::make_unique<kv::FarmClient>(fabric, *nodes[t % kNodes], server,
+    clients.push_back(std::make_unique<kv::FarmClient>(fabric, *nodes[static_cast<size_t>(t % kNodes)], server,
                                                        t % config.server_threads));
     engine.Spawn([](sim::Engine& eng, kv::FarmClient* c, workload::WorkloadSpec sp, int id,
                     sim::Time w, sim::Time e, uint64_t* count,

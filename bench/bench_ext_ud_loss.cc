@@ -50,7 +50,7 @@ UdOutcome RunUd(double loss) {
   const sim::Time warmup = sim::Millis(2);
   const sim::Time end = sim::Millis(8);
   for (int t = 0; t < kClients; ++t) {
-    clients.push_back(std::make_unique<rfp::UdRpcClient>(fabric, *nodes[t % kNodes],
+    clients.push_back(std::make_unique<rfp::UdRpcClient>(fabric, *nodes[static_cast<size_t>(t % kNodes)],
                                                          server.address(t % 8)));
     engine.Spawn([](sim::Engine& eng, rfp::UdRpcClient* c, sim::Time w, sim::Time e,
                     uint64_t* count, sim::Histogram* lat) -> sim::Task<void> {

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/check/checker.h"
 #include "src/kv/jakiro.h"
 #include "src/kv/pilaf_store.h"
 #include "src/obs/json.h"
@@ -85,6 +86,7 @@ void WriteHarnessJson(const Harness& h, std::string* out) {
   if (g_seed_set) {
     w.Field("seed", std::to_string(g_seed));
   }
+  w.Field("check_mode", check::ModeName(check::CurrentMode()));
   w.Key("runs");
   w.BeginArray();
   for (const auto& run : h.runs) {
@@ -377,6 +379,10 @@ void Init(int& argc, char** argv) {
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       g_seed = std::strtoull(arg + 7, nullptr, 0);
       g_seed_set = true;
+    } else if (std::strcmp(arg, "--check") == 0 || std::strcmp(arg, "--check=strict") == 0) {
+      check::SetMode(check::Mode::kStrict);
+    } else if (std::strcmp(arg, "--check=report") == 0) {
+      check::SetMode(check::Mode::kReport);
     } else {
       argv[kept++] = argv[i];
     }

@@ -44,6 +44,13 @@ namespace bench {
 //                  base seed in every runner, so two invocations with the
 //                  same seed replay the identical event schedule. Recorded
 //                  in the --json config block when both flags are given.
+//   --check[=strict|report]
+//                  attach the protocol invariant checker (src/check/) to
+//                  every fabric the bench builds: strict (the default form)
+//                  aborts the run on the first violation, report counts
+//                  violations into check.violation{kind} and keeps going.
+//                  Equivalent to RFP_CHECK=...; the resolved mode lands in
+//                  the --json config block. See docs/static_analysis.md.
 //
 // Without any flag the harness is inert: nothing is captured and the text
 // output is byte-identical to a build without this layer. Both files are

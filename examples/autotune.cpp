@@ -66,7 +66,7 @@ double RunWithFetchSize(uint32_t fetch_size) {
     if (i < 7) {
       nodes.push_back(&fabric.AddNode("client" + std::to_string(i)));
     }
-    clients.push_back(std::make_unique<kv::JakiroClient>(server, *nodes[i % 7]));
+    clients.push_back(std::make_unique<kv::JakiroClient>(server, *nodes[static_cast<size_t>(i % 7)]));
     engine.Spawn([](sim::Engine& eng, kv::JakiroClient* c, workload::WorkloadSpec sp, int id,
                     sim::Time e, uint64_t* count) -> sim::Task<void> {
       workload::Generator gen(sp, static_cast<uint64_t>(id));

@@ -82,7 +82,7 @@ double RunRfpVariant(bool force_reply) {
     nodes.push_back(&fabric.AddNode("client" + std::to_string(n)));
   }
   for (int i = 0; i < kClients; ++i) {
-    clients.push_back(std::make_unique<kv::JakiroClient>(server, *nodes[i % kClientNodes]));
+    clients.push_back(std::make_unique<kv::JakiroClient>(server, *nodes[static_cast<size_t>(i % kClientNodes)]));
     engine.Spawn(Driver(engine, clients.back().get(), i, &ops[static_cast<size_t>(i)]));
   }
   server.Start();
@@ -118,7 +118,7 @@ double RunBypass() {
     nodes.push_back(&fabric.AddNode("client" + std::to_string(n)));
   }
   for (int i = 0; i < kClients; ++i) {
-    clients.push_back(std::make_unique<kv::PilafClient>(fabric, *nodes[i % kClientNodes],
+    clients.push_back(std::make_unique<kv::PilafClient>(fabric, *nodes[static_cast<size_t>(i % kClientNodes)],
                                                         server, i % 2));
     engine.Spawn([](sim::Engine& eng, kv::PilafClient* c, int id,
                     uint64_t* count) -> sim::Task<void> {

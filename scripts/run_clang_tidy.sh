@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over every first-party translation
+# unit, using a dedicated build tree for the compilation database.
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy)
+#   TIDY_JOBS   parallelism (default: nproc)
+#
+# Exits non-zero if any file produces a finding, so CI can gate on it.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build-tidy}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+TIDY_JOBS="${TIDY_JOBS:-$(nproc)}"
+
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "error: ${CLANG_TIDY} not found (set CLANG_TIDY or install clang-tidy)" >&2
+  exit 2
+fi
+
+cmake -S "${ROOT}" -B "${BUILD_DIR}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+# Every first-party TU in the compilation database (drops external/GTest
+# glue like the gtest_discover_tests probe binaries).
+mapfile -t FILES < <(
+  python3 - "${BUILD_DIR}/compile_commands.json" "${ROOT}" <<'EOF'
+import json, sys
+db, root = json.load(open(sys.argv[1])), sys.argv[2]
+seen = set()
+for entry in db:
+    f = entry["file"]
+    if f.startswith(root + "/") and ("/src/" in f or "/bench/" in f
+                                     or "/tests/" in f or "/examples/" in f):
+        seen.add(f)
+print("\n".join(sorted(seen)))
+EOF
+)
+
+echo "clang-tidy over ${#FILES[@]} files (${TIDY_JOBS} jobs)"
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "${TIDY_JOBS}" -n 4 "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet \
+    --warnings-as-errors='*'
+echo "clang-tidy: clean"

@@ -1,0 +1,323 @@
+// Protocol invariant checking for the simulated RDMA stack.
+//
+// The checker is an always-compiled, default-off verification layer. When a
+// fabric is built while the global mode is not kOff, it owns a FabricChecker
+// and every QP/CQ/MR operation reports into it. Three checker families run:
+//
+//  * QP/CQ state machine — posts are validated against the two-state verb
+//    machine (one post on an errored QP is legal discovery, a second post
+//    without reconnect/recover is a violation; retired QPs reject all posts),
+//    per-QP in-flight work requests are capped, completion queues are bounded,
+//    and per-QP completion order of successful async posts must match post
+//    order.
+//  * MR bounds & rkey — every one-sided access is resolved against the live
+//    registration table: rkey known, region on the peer node, offset+len in
+//    bounds, access flags allow the op, and the registration has not been
+//    torn down (use-after-deregister).
+//  * Registered-memory race detector — a happens-before tracker over a
+//    process-wide logical tick. CPU stores into a registered region mark
+//    bytes dirty; publication points (the RFP status-flag/checksum protocol)
+//    and remote WRITE deliveries mark them clean. A remote READ takes a
+//    snapshot tick; when the reader *accepts* those bytes, every byte must
+//    have been clean as of the snapshot. Symmetrically, a server accepting a
+//    request validates the request bytes against local CPU stores.
+//
+// Violations increment `check.violation{kind}` in the default metrics
+// registry, emit a Chrome-trace instant, and — in strict mode — throw
+// ViolationError out of the offending simulator actor (the engine rethrows it
+// from Run()). Report mode only records. See docs/static_analysis.md.
+
+#ifndef SRC_CHECK_CHECKER_H_
+#define SRC_CHECK_CHECKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "src/rdma/types.h"
+
+namespace sim {
+class Engine;
+}
+namespace obs {
+class Counter;
+}
+
+namespace check {
+
+// ---- Global mode -------------------------------------------------------------
+
+enum class Mode : uint8_t {
+  kOff,     // no checker is attached to new fabrics
+  kReport,  // violations are counted and recorded, execution continues
+  kStrict,  // violations throw ViolationError
+};
+
+const char* ModeName(Mode mode);
+
+// Resolves the mode from the RFP_CHECK environment variable ("strict",
+// "report", "off"/"0"/unset). Called once on first use of CurrentMode().
+Mode ModeFromEnv();
+
+// The mode new fabrics adopt; seeded from RFP_CHECK on first call.
+Mode CurrentMode();
+void SetMode(Mode mode);
+
+// RAII mode override (tests, bench --check flag).
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode mode);
+  ~ScopedMode();
+
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode saved_;
+};
+
+// Downgrades strict to report for a scope. Tests that deliberately exercise
+// illegal paths (bad rkeys, unsupported ops) wrap the offending calls so the
+// suite still passes under RFP_CHECK=strict while the violations are counted.
+class ScopedReportOnly {
+ public:
+  ScopedReportOnly();
+  ~ScopedReportOnly();
+
+  ScopedReportOnly(const ScopedReportOnly&) = delete;
+  ScopedReportOnly& operator=(const ScopedReportOnly&) = delete;
+
+ private:
+  Mode saved_;
+};
+
+// ---- Tunables ----------------------------------------------------------------
+
+struct Limits {
+  // Maximum simultaneously in-flight work requests per QP (send side).
+  int max_outstanding_wr = 1024;
+  // Maximum completions buffered in one CQ before overflow is flagged.
+  size_t cq_capacity = 16384;
+  // Events retained per region before the race tracker folds history into
+  // its baseline interval map.
+  size_t race_history = 4096;
+};
+
+Limits CurrentLimits();
+void SetLimits(const Limits& limits);
+
+// ---- Violations --------------------------------------------------------------
+
+enum class ViolationKind : uint8_t {
+  kQpPostAfterError,    // second post on an errored QP without reconnect
+  kQpPostOnRetired,     // post on a QP retired by Fabric::RetireQp
+  kQpUnsupportedOp,     // op outside the QP type's support matrix
+  kQpWrCapExceeded,     // in-flight WRs above Limits::max_outstanding_wr
+  kCqOverflow,          // CQ depth above Limits::cq_capacity
+  kCqCompletionOrder,   // successful completions out of post order on one QP
+  kMrBadRkey,           // rkey not in the live registration table
+  kMrDeregistered,      // rkey was valid once but has been deregistered
+  kMrWrongNode,         // rkey resolves to a region on a different node
+  kMrOutOfBounds,       // remote offset+len outside the registration
+  kMrAccessRights,      // region's access flags do not allow the op
+  kMrLocalOutOfBounds,  // local offset+len outside the local region
+  kRaceFetchStore,      // accepted READ bytes overlapped an unpublished store
+  kRaceRecvStore,       // accepted request bytes overlapped a local store
+  kRfpOverlappingCall,  // ClientSend while the previous call is outstanding
+  kRfpRecvWithoutSend,  // ClientRecv with no call outstanding
+  kNumKinds,
+};
+
+// The metric label, e.g. "qp.post_after_error". `check.violation{kind=<this>}`
+// is the counter every violation increments.
+const char* ViolationKindName(ViolationKind kind);
+
+class ViolationError : public std::runtime_error {
+ public:
+  ViolationError(ViolationKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  ViolationKind kind() const { return kind_; }
+
+ private:
+  ViolationKind kind_;
+};
+
+struct Violation {
+  ViolationKind kind;
+  std::string detail;
+  uint64_t tick = 0;
+};
+
+// ---- Race tracker ------------------------------------------------------------
+
+// Byte-granular happens-before state for one registered region, keyed by a
+// process-wide logical tick. Bounded: once the event log exceeds the history
+// limit, the oldest half is folded into a baseline interval map.
+class RaceTracker {
+ public:
+  explicit RaceTracker(size_t history_cap) : history_cap_(history_cap) {}
+
+  void Store(size_t off, size_t len, uint64_t tick);
+  void Publish(size_t off, size_t len, uint64_t tick);
+  // A remote WRITE delivery is an atomic store+publish: the NIC lands the
+  // bytes in one piece, so readers never observe them torn.
+  void RemoteWrite(size_t off, size_t len, uint64_t tick);
+
+  // Returns the first [off,len) overlap that was dirty (stored without a
+  // later publication) as of tick `as_of`, or nullopt when all bytes were
+  // clean. Events with tick > as_of are invisible to the query.
+  struct Dirty {
+    size_t off;
+    size_t len;
+    uint64_t store_tick;
+  };
+  std::optional<Dirty> FirstDirty(size_t off, size_t len, uint64_t as_of) const;
+
+ private:
+  enum class EventKind : uint8_t { kStore, kPublish, kRemoteWrite };
+  struct Event {
+    uint64_t tick;
+    EventKind kind;
+    size_t off;
+    size_t len;
+  };
+  struct BaseInterval {
+    size_t off;
+    size_t end;
+    bool dirty;
+    uint64_t tick;  // tick of the folded store when dirty
+  };
+
+  void Append(EventKind kind, size_t off, size_t len, uint64_t tick);
+  void Compact();
+
+  size_t history_cap_;
+  std::deque<Event> events_;
+  // Disjoint, sorted state for everything older than events_. `baseline_tick_`
+  // is the newest tick folded in; queries with as_of < baseline_tick_ answer
+  // conservatively clean for baseline bytes.
+  std::deque<BaseInterval> baseline_;
+  uint64_t baseline_tick_ = 0;
+};
+
+// ---- The per-fabric checker --------------------------------------------------
+
+class FabricChecker {
+ public:
+  FabricChecker(sim::Engine* engine, Mode mode);
+
+  Mode mode() const { return mode_; }
+
+  // Logical clock. Bumped on every recorded event so that same-sim-instant
+  // operations still have a total order (the sim executes them sequentially).
+  uint64_t tick() const { return tick_; }
+
+  // ---- Lifecycle (Fabric) --------------------------------------------------
+
+  void OnQpCreated(uint32_t qp_num, rdma::QpType type);
+  void OnQpRetired(uint32_t qp_num);
+  void OnQpError(uint32_t qp_num);
+  void OnQpRecovered(uint32_t qp_num);
+  void OnMrRegistered(uint32_t rkey, const void* node, size_t size, uint32_t access);
+  void OnMrDeregistered(uint32_t rkey);
+
+  // ---- QP hooks (QueuePair) ------------------------------------------------
+
+  // Validates a post. `supported` is false when the op falls outside the QP
+  // type's matrix; `retired` when the QP was retired by the fabric. In report
+  // mode the post proceeds into its error-completion path after the count;
+  // strict mode throws out of the posting actor instead.
+  void OnPost(uint32_t qp_num, rdma::Opcode op, bool in_error, bool supported, bool retired);
+  // Registers an async wr_id under the QP's post sequence so OnCqPush can
+  // validate completion order.
+  void OnAsyncPost(uint32_t qp_num, uint64_t wr_id);
+  void OnOpEnd(uint32_t qp_num);
+  // Local-buffer bounds for a post (checked by the QP before issuing).
+  void OnLocalBounds(uint32_t qp_num, rdma::Opcode op, size_t off, size_t len, size_t mr_size,
+                     bool in_bounds);
+  // One-sided remote access resolution: validates `rkey` against the live
+  // registration table (known, not deregistered, on `peer_node`, in bounds,
+  // access flags allow `op`).
+  void OnRemoteAccess(uint32_t qp_num, rdma::Opcode op, uint32_t rkey, size_t off, size_t len,
+                      const void* peer_node);
+
+  // ---- CQ hooks (CompletionQueue) ------------------------------------------
+
+  void OnCqPush(const void* cq, const rdma::WorkCompletion& wc, size_t depth_after);
+
+  // ---- Race hooks (memory / channel / fault injector) ----------------------
+
+  void OnCpuStore(uint32_t rkey, size_t off, size_t len);
+  void OnPublish(uint32_t rkey, size_t off, size_t len);
+  void OnRemoteWrite(uint32_t rkey, size_t off, size_t len);
+  // A remote READ snapshots the region; returns the snapshot tick the reader
+  // threads through to OnAccept once it decides to trust the bytes.
+  uint64_t OnReadSnapshot(uint32_t rkey, size_t off, size_t len);
+  // The reader accepted bytes [off,off+len) of `rkey` as a coherent message.
+  // `snapshot_tick` is the tick of the READ that fetched them (0 = now).
+  // `what` labels the protocol step for the violation detail.
+  void OnAccept(ViolationKind kind, uint32_t rkey, size_t off, size_t len,
+                uint64_t snapshot_tick, const char* what);
+
+  // ---- RFP protocol pairing (Channel) --------------------------------------
+
+  void OnClientSend(const void* channel);
+  void OnClientRecvStart(const void* channel);
+  void OnClientRecvDone(const void* channel);
+
+  // ---- Introspection (tests) -----------------------------------------------
+
+  uint64_t violations(ViolationKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+  uint64_t total_violations() const { return total_; }
+  const std::deque<Violation>& recent() const { return recent_; }
+
+ private:
+  struct QpInfo {
+    rdma::QpType type = rdma::QpType::kRc;
+    bool in_error = false;
+    bool error_observed = false;  // a post already discovered the error state
+    bool retired = false;
+    int in_flight = 0;
+    uint64_t next_wr_seq = 0;      // assigned at async post
+    uint64_t last_success_seq = 0;  // newest successfully completed post
+    bool any_success = false;
+  };
+
+  uint64_t NextTick() { return ++tick_; }
+  RaceTracker* TrackerFor(uint32_t rkey);
+  void Report(ViolationKind kind, std::string detail);
+
+  sim::Engine* engine_;
+  Mode mode_;
+  Limits limits_;
+  uint64_t tick_ = 0;
+
+  std::unordered_map<uint32_t, QpInfo> qps_;
+  struct MrInfo {
+    const void* node = nullptr;
+    size_t size = 0;
+    uint32_t access = 0;
+    bool live = true;
+  };
+  std::unordered_map<uint32_t, MrInfo> mrs_;
+  std::unordered_map<uint32_t, RaceTracker> trackers_;
+  // Async wr_id -> post sequence, for completion-order validation.
+  std::unordered_map<uint32_t, std::unordered_map<uint64_t, uint64_t>> wr_seq_;
+  std::unordered_map<const void*, bool> call_outstanding_;
+
+  uint64_t counts_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};
+  obs::Counter* counters_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};
+  uint64_t total_ = 0;
+  std::deque<Violation> recent_;
+};
+
+}  // namespace check
+
+#endif  // SRC_CHECK_CHECKER_H_

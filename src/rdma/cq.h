@@ -12,6 +12,7 @@
 #include <optional>
 #include <span>
 
+#include "src/check/checker.h"
 #include "src/rdma/types.h"
 #include "src/sim/engine.h"
 #include "src/sim/signal.h"
@@ -26,10 +27,16 @@ class CompletionQueue {
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
 
+  // Attached by the fabric when invariant checking is on (see src/check/).
+  void set_checker(check::FabricChecker* checker) { checker_ = checker; }
+
   // Internal: appends a completion and wakes one waiter.
   void Push(const WorkCompletion& wc) {
     queue_.push_back(wc);
     ++total_;
+    if (checker_ != nullptr) {
+      checker_->OnCqPush(this, wc, queue_.size());
+    }
     arrival_.NotifyOne();
   }
 
@@ -69,6 +76,7 @@ class CompletionQueue {
  private:
   sim::Engine& engine_;
   sim::Notifier arrival_;
+  check::FabricChecker* checker_ = nullptr;
   std::deque<WorkCompletion> queue_;
   uint64_t total_ = 0;
 };

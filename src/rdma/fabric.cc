@@ -15,6 +15,10 @@ uint64_t QpAddr(uint32_t node_id, uint32_t qp_num) {
 Fabric::Fabric(sim::Engine& engine, FabricConfig config)
     : engine_(engine), config_(config), rng_(config.seed) {
   ValidateConfig(config_);
+  const check::Mode mode = check::CurrentMode();
+  if (mode != check::Mode::kOff) {
+    checker_ = std::make_unique<check::FabricChecker>(&engine_, mode);
+  }
 }
 
 Node& Fabric::AddNode(std::string name) {
@@ -29,6 +33,7 @@ Node& Fabric::AddNode(std::string name) {
 CompletionQueue* Fabric::CreateCq(Node& node) {
   (void)node;  // CQs carry no per-node state in the model, only identity.
   cqs_.push_back(std::make_unique<CompletionQueue>(engine_));
+  cqs_.back()->set_checker(checker_.get());
   return cqs_.back().get();
 }
 
@@ -49,6 +54,10 @@ QpEnds Fabric::Connect(Node& a, Node& b, QpType type) {
   qps_by_addr_[QpAddr(b.id(), qpn_b)] = qb;
   a.nic().AddActiveQps(1);
   b.nic().AddActiveQps(1);
+  if (checker_ != nullptr) {
+    checker_->OnQpCreated(qpn_a, type);
+    checker_->OnQpCreated(qpn_b, type);
+  }
   return QpEnds{qa, qb};
 }
 
@@ -65,6 +74,9 @@ QueuePair* Fabric::CreateUd(Node& node) {
   QueuePair* qp = qps_.back().get();
   qps_by_addr_[QpAddr(node.id(), qpn)] = qp;
   node.nic().AddActiveQps(1);
+  if (checker_ != nullptr) {
+    checker_->OnQpCreated(qpn, QpType::kUd);
+  }
   return qp;
 }
 
@@ -73,7 +85,40 @@ MemoryRegion* Fabric::RegisterMemory(Node& node, size_t size, uint32_t access) {
   node.regions_.push_back(std::make_unique<MemoryRegion>(&node, key, key, size, access));
   MemoryRegion* mr = node.regions_.back().get();
   regions_by_rkey_[key] = mr;
+  if (checker_ != nullptr) {
+    checker_->OnMrRegistered(key, &node, size, access);
+  }
   return mr;
+}
+
+void Fabric::DeregisterMemory(MemoryRegion* mr) {
+  if (mr == nullptr) {
+    return;
+  }
+  const uint32_t key = mr->remote_key().rkey;
+  regions_by_rkey_.erase(key);
+  if (checker_ != nullptr) {
+    checker_->OnMrDeregistered(key);
+  }
+  Node* node = mr->node();
+  for (auto it = node->regions_.begin(); it != node->regions_.end(); ++it) {
+    if (it->get() == mr) {
+      node->regions_.erase(it);
+      break;
+    }
+  }
+}
+
+void Fabric::RetireQp(QueuePair* qp) {
+  if (qp == nullptr || qp->retired_) {
+    return;
+  }
+  qp->retired_ = true;
+  qps_by_addr_.erase(QpAddr(qp->local_node()->id(), qp->qp_num()));
+  qp->local_node()->nic().AddActiveQps(-1);
+  if (checker_ != nullptr) {
+    checker_->OnQpRetired(qp->qp_num());
+  }
 }
 
 MemoryRegion* Fabric::FindRemote(RemoteKey rkey) {
@@ -135,7 +180,8 @@ int Fabric::FailRcQps(uint32_t a, uint32_t b) {
   const uint64_t key = PairKey(a, b);
   int failed = 0;
   for (auto& qp : qps_) {
-    if (qp->type() != QpType::kRc || qp->in_error() || qp->peer_node() == nullptr) {
+    if (qp->type() != QpType::kRc || qp->in_error() || qp->retired() ||
+        qp->peer_node() == nullptr) {
       continue;
     }
     if (PairKey(qp->local_node()->id(), qp->peer_node()->id()) == key) {

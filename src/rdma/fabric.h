@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/check/checker.h"
 #include "src/rdma/config.h"
 #include "src/rdma/cq.h"
 #include "src/rdma/memory.h"
@@ -51,6 +52,11 @@ class Fabric {
   const FabricConfig& config() const { return config_; }
   sim::Time wire_latency() const { return config_.wire_latency_ns; }
 
+  // The invariant checker, attached at construction when the global check
+  // mode is not off (RFP_CHECK env / check::SetMode). Null otherwise; every
+  // hook site guards on it, so the default build path costs one null test.
+  check::FabricChecker* checker() const { return checker_.get(); }
+
   // ---- Topology -------------------------------------------------------------
 
   Node& AddNode(std::string name);
@@ -71,6 +77,18 @@ class Fabric {
   // ---- Internal services used by Node and QueuePair ------------------------
 
   MemoryRegion* RegisterMemory(Node& node, size_t size, uint32_t access);
+
+  // Tears down a registration: the rkey stops resolving (subsequent one-sided
+  // access completes with kRemoteAccessError and, under checking, flags
+  // mr.use_after_deregister) and the region's memory is released.
+  void DeregisterMemory(MemoryRegion* mr);
+
+  // Removes a replaced QP endpoint from the fabric: it stops resolving as a
+  // SEND destination, leaves the NIC's active-QP census, and rejects every
+  // subsequent post with kQpError. Channels retire both old endpoints after
+  // a reconnect so stale pointers cannot keep posting (and so NIC contention
+  // reflects live QPs, not the reconnect history).
+  void RetireQp(QueuePair* qp);
 
   // Resolves an rkey to its region; nullptr when unknown.
   MemoryRegion* FindRemote(RemoteKey rkey);
@@ -117,6 +135,7 @@ class Fabric {
 
   sim::Engine& engine_;
   FabricConfig config_;
+  std::unique_ptr<check::FabricChecker> checker_;
   sim::Rng rng_;
   uint32_t next_key_ = 1;
   uint32_t next_qpn_ = 1;

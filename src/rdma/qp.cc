@@ -1,8 +1,10 @@
 #include "src/rdma/qp.h"
 
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "src/check/checker.h"
 #include "src/rdma/fabric.h"
 #include "src/rdma/nic.h"
 #include "src/rdma/node.h"
@@ -21,6 +23,36 @@ WorkCompletion MakeWc(Opcode op, uint32_t len, uint32_t qpn) {
 
 }  // namespace
 
+void QueuePair::SetError() {
+  state_ = QpState::kError;
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnQpError(qp_num_);
+  }
+}
+
+void QueuePair::Recover() {
+  state_ = QpState::kReady;
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnQpRecovered(qp_num_);
+  }
+}
+
+sim::Task<void> QueuePair::AwaitTicket(uint64_t ticket) {
+  if (ticket == 0) {
+    co_return;
+  }
+  while (completed_ticket_ + 1 != ticket) {
+    if (order_waiters_ == nullptr) {
+      order_waiters_ = std::make_unique<sim::Notifier>(fabric_->engine());
+    }
+    co_await order_waiters_->Wait();
+  }
+  completed_ticket_ = ticket;
+  if (order_waiters_ != nullptr) {
+    order_waiters_->NotifyAll();
+  }
+}
+
 void QueuePair::BeginOp() {
   if (outstanding_ops_++ == 0) {
     local_->nic().BeginOutbound();
@@ -36,6 +68,15 @@ void QueuePair::EndOp() {
 sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off, RemoteKey rkey,
                                           size_t remote_off, uint32_t len) {
   WorkCompletion wc = MakeWc(Opcode::kRead, len, qp_num_);
+  check::FabricChecker* chk = fabric_->checker();
+  if (chk != nullptr) {
+    chk->OnPost(qp_num_, Opcode::kRead, in_error(), type_ == QpType::kRc, retired_);
+  }
+  if (retired_) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
+    co_return wc;
+  }
   if (type_ != QpType::kRc) {
     wc.status = WcStatus::kUnsupportedOp;
     co_return wc;
@@ -46,12 +87,17 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
     co_return wc;
   }
   if (!local.InBounds(local_off, len)) {
+    if (chk != nullptr) {
+      chk->OnLocalBounds(qp_num_, Opcode::kRead, local_off, len, local.size(), false);
+      chk->OnOpEnd(qp_num_);
+    }
     wc.status = WcStatus::kLocalProtError;
     co_return wc;
   }
 
   sim::Engine& eng = fabric_->engine();
   Nic& nic = local_->nic();
+  const uint64_t ticket = ++next_ticket_;
   BeginOp();
   co_await nic.PostOverhead();
   // The READ request itself carries no payload outward.
@@ -59,6 +105,9 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
   co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/true));
 
   MemoryRegion* target = fabric_->FindRemote(rkey);
+  if (chk != nullptr) {
+    chk->OnRemoteAccess(qp_num_, Opcode::kRead, rkey.rkey, remote_off, len, peer_);
+  }
   const bool ok = target != nullptr && target->node() == peer_ &&
                   target->InBounds(remote_off, len) && target->AllowsRemoteRead();
   co_await peer_->nic().ServeInboundOneSided(ok ? len : 0);
@@ -69,6 +118,9 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
   if (ok) {
     snapshot.resize(len);
     target->ReadBytes(remote_off, snapshot);
+    if (chk != nullptr) {
+      wc.check_tick = chk->OnReadSnapshot(rkey.rkey, remote_off, len);
+    }
   }
 
   co_await eng.Sleep(fabric_->WireDelay(peer_, local_, /*reliable=*/true));
@@ -79,14 +131,27 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
     wc.status = WcStatus::kRemoteAccessError;
     wc.byte_len = 0;
   }
+  co_await AwaitTicket(ticket);
   co_await nic.CompletionOverhead();
   EndOp();
+  if (chk != nullptr) {
+    chk->OnOpEnd(qp_num_);
+  }
   co_return wc;
 }
 
 sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off, RemoteKey rkey,
                                            size_t remote_off, uint32_t len) {
   WorkCompletion wc = MakeWc(Opcode::kWrite, len, qp_num_);
+  check::FabricChecker* chk = fabric_->checker();
+  if (chk != nullptr) {
+    chk->OnPost(qp_num_, Opcode::kWrite, in_error(), type_ != QpType::kUd, retired_);
+  }
+  if (retired_) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
+    co_return wc;
+  }
   if (type_ == QpType::kUd) {
     wc.status = WcStatus::kUnsupportedOp;
     co_return wc;
@@ -97,12 +162,17 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
     co_return wc;
   }
   if (!local.InBounds(local_off, len)) {
+    if (chk != nullptr) {
+      chk->OnLocalBounds(qp_num_, Opcode::kWrite, local_off, len, local.size(), false);
+      chk->OnOpEnd(qp_num_);
+    }
     wc.status = WcStatus::kLocalProtError;
     co_return wc;
   }
 
   sim::Engine& eng = fabric_->engine();
   Nic& nic = local_->nic();
+  const uint64_t ticket = type_ == QpType::kRc ? ++next_ticket_ : 0;
   BeginOp();
   co_await nic.PostOverhead();
   co_await nic.IssueOneSided(Opcode::kWrite, len);
@@ -116,23 +186,36 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
     eng.Spawn(DeliverUcWrite(rkey, remote_off, std::move(payload)));
     co_await nic.CompletionOverhead();
     EndOp();
+    if (chk != nullptr) {
+      chk->OnOpEnd(qp_num_);
+    }
     co_return wc;
   }
 
   co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/true));
   MemoryRegion* target = fabric_->FindRemote(rkey);
+  if (chk != nullptr) {
+    chk->OnRemoteAccess(qp_num_, Opcode::kWrite, rkey.rkey, remote_off, len, peer_);
+  }
   const bool ok = target != nullptr && target->node() == peer_ &&
                   target->InBounds(remote_off, len) && target->AllowsRemoteWrite();
   co_await peer_->nic().ServeInboundOneSided(ok ? len : 0);
   if (ok) {
     target->WriteBytes(remote_off, payload);
+    if (chk != nullptr) {
+      chk->OnRemoteWrite(rkey.rkey, remote_off, len);
+    }
   } else {
     wc.status = WcStatus::kRemoteAccessError;
     wc.byte_len = 0;
   }
   co_await eng.Sleep(fabric_->WireDelay(peer_, local_, /*reliable=*/true));  // ACK
+  co_await AwaitTicket(ticket);
   co_await nic.CompletionOverhead();
   EndOp();
+  if (chk != nullptr) {
+    chk->OnOpEnd(qp_num_);
+  }
   co_return wc;
 }
 
@@ -149,11 +232,23 @@ sim::Task<void> QueuePair::DeliverUcWrite(RemoteKey rkey, size_t remote_off,
   co_await peer_->nic().ServeInboundOneSided(ok ? static_cast<uint32_t>(payload.size()) : 0);
   if (ok) {
     target->WriteBytes(remote_off, payload);
+    if (check::FabricChecker* chk = fabric_->checker()) {
+      chk->OnRemoteWrite(rkey.rkey, remote_off, payload.size());
+    }
   }
 }
 
 sim::Task<WorkCompletion> QueuePair::Send(MemoryRegion& local, size_t local_off, uint32_t len) {
   WorkCompletion wc = MakeWc(Opcode::kSend, len, qp_num_);
+  check::FabricChecker* chk = fabric_->checker();
+  if (chk != nullptr) {
+    chk->OnPost(qp_num_, Opcode::kSend, in_error(), type_ != QpType::kUd, retired_);
+  }
+  if (retired_) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
+    co_return wc;
+  }
   if (type_ == QpType::kUd) {
     wc.status = WcStatus::kUnsupportedOp;  // UD needs an explicit destination
     co_return wc;
@@ -164,12 +259,17 @@ sim::Task<WorkCompletion> QueuePair::Send(MemoryRegion& local, size_t local_off,
     co_return wc;
   }
   if (!local.InBounds(local_off, len)) {
+    if (chk != nullptr) {
+      chk->OnLocalBounds(qp_num_, Opcode::kSend, local_off, len, local.size(), false);
+      chk->OnOpEnd(qp_num_);
+    }
     wc.status = WcStatus::kLocalProtError;
     co_return wc;
   }
 
   sim::Engine& eng = fabric_->engine();
   Nic& nic = local_->nic();
+  const uint64_t ticket = type_ == QpType::kRc ? ++next_ticket_ : 0;
   BeginOp();
   co_await nic.PostOverhead();
   co_await nic.IssueTwoSided(len);
@@ -181,13 +281,16 @@ sim::Task<WorkCompletion> QueuePair::Send(MemoryRegion& local, size_t local_off,
     eng.Spawn(DeliverSend(dst, std::move(payload), /*reliable=*/false));
     co_await nic.CompletionOverhead();
     EndOp();
+    if (chk != nullptr) {
+      chk->OnOpEnd(qp_num_);
+    }
     co_return wc;
   }
 
   // RC: delivery result is visible to the sender.
   co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/true));
   co_await peer_->nic().ServeInboundTwoSided(len);
-  if (dst != nullptr && dst->in_error()) {
+  if (dst != nullptr && (dst->in_error() || dst->retired_)) {
     wc.status = WcStatus::kQpError;  // remote endpoint torn down
     wc.byte_len = 0;
   } else if (dst == nullptr || dst->recv_queue_.empty()) {
@@ -197,14 +300,27 @@ sim::Task<WorkCompletion> QueuePair::Send(MemoryRegion& local, size_t local_off,
     DeliverIntoRecv(dst, payload, qp_num_);
   }
   co_await eng.Sleep(fabric_->WireDelay(peer_, local_, /*reliable=*/true));  // ACK
+  co_await AwaitTicket(ticket);
   co_await nic.CompletionOverhead();
   EndOp();
+  if (chk != nullptr) {
+    chk->OnOpEnd(qp_num_);
+  }
   co_return wc;
 }
 
 sim::Task<WorkCompletion> QueuePair::SendTo(AddressHandle ah, MemoryRegion& local,
                                             size_t local_off, uint32_t len) {
   WorkCompletion wc = MakeWc(Opcode::kSend, len, qp_num_);
+  check::FabricChecker* chk = fabric_->checker();
+  if (chk != nullptr) {
+    chk->OnPost(qp_num_, Opcode::kSend, in_error(), type_ == QpType::kUd, retired_);
+  }
+  if (retired_) {
+    wc.status = WcStatus::kQpError;
+    wc.byte_len = 0;
+    co_return wc;
+  }
   if (type_ != QpType::kUd) {
     wc.status = WcStatus::kUnsupportedOp;
     co_return wc;
@@ -215,6 +331,10 @@ sim::Task<WorkCompletion> QueuePair::SendTo(AddressHandle ah, MemoryRegion& loca
     co_return wc;
   }
   if (!local.InBounds(local_off, len)) {
+    if (chk != nullptr) {
+      chk->OnLocalBounds(qp_num_, Opcode::kSend, local_off, len, local.size(), false);
+      chk->OnOpEnd(qp_num_);
+    }
     wc.status = WcStatus::kLocalProtError;
     co_return wc;
   }
@@ -232,6 +352,9 @@ sim::Task<WorkCompletion> QueuePair::SendTo(AddressHandle ah, MemoryRegion& loca
   }
   co_await nic.CompletionOverhead();
   EndOp();
+  if (chk != nullptr) {
+    chk->OnOpEnd(qp_num_);
+  }
   co_return wc;
 }
 
@@ -246,7 +369,7 @@ sim::Task<void> QueuePair::DeliverSend(QueuePair* dst, std::vector<std::byte> pa
   }
   co_await eng.Sleep(fabric_->WireDelay(local_, dst->local_, /*reliable=*/false));
   co_await dst->local_->nic().ServeInboundTwoSided(static_cast<uint32_t>(payload.size()));
-  if (dst->in_error()) {
+  if (dst->in_error() || dst->retired_) {
     ++dst->dropped_no_recv_;  // endpoint torn down; datagram evaporates
     co_return;
   }
@@ -284,6 +407,9 @@ uint32_t QueuePair::PeerQpNum() const { return peer_qp_num_; }
 
 void QueuePair::PostRead(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
                          size_t remote_off, uint32_t len) {
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnAsyncPost(qp_num_, wr_id);
+  }
   fabric_->engine().Spawn([](QueuePair* qp, uint64_t id, MemoryRegion* mr, size_t loff,
                              RemoteKey key, size_t roff, uint32_t n) -> sim::Task<void> {
     WorkCompletion wc = co_await qp->Read(*mr, loff, key, roff, n);
@@ -294,6 +420,9 @@ void QueuePair::PostRead(uint64_t wr_id, MemoryRegion& local, size_t local_off, 
 
 void QueuePair::PostWrite(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
                           size_t remote_off, uint32_t len) {
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnAsyncPost(qp_num_, wr_id);
+  }
   fabric_->engine().Spawn([](QueuePair* qp, uint64_t id, MemoryRegion* mr, size_t loff,
                              RemoteKey key, size_t roff, uint32_t n) -> sim::Task<void> {
     WorkCompletion wc = co_await qp->Write(*mr, loff, key, roff, n);
@@ -303,6 +432,9 @@ void QueuePair::PostWrite(uint64_t wr_id, MemoryRegion& local, size_t local_off,
 }
 
 void QueuePair::PostSend(uint64_t wr_id, MemoryRegion& local, size_t local_off, uint32_t len) {
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnAsyncPost(qp_num_, wr_id);
+  }
   fabric_->engine().Spawn(
       [](QueuePair* qp, uint64_t id, MemoryRegion* mr, size_t loff, uint32_t n) -> sim::Task<void> {
         WorkCompletion wc = co_await qp->Send(*mr, loff, n);

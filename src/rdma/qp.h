@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/rdma/cq.h"
 #include "src/rdma/memory.h"
 #include "src/rdma/types.h"
+#include "src/sim/signal.h"
 #include "src/sim/task.h"
 
 namespace rdma {
@@ -59,16 +61,20 @@ class QueuePair {
   QpState state() const { return state_; }
   bool in_error() const { return state_ == QpState::kError; }
 
+  // True once Fabric::RetireQp removed this endpoint from the fabric (its
+  // connection was replaced). Retired QPs reject every post with kQpError.
+  bool retired() const { return retired_; }
+
   // Transitions to the error state: every subsequent operation completes
   // immediately with WcStatus::kQpError, and in-bound messages addressed to
   // this QP are dropped. Operations already in flight complete normally
   // (their packets are already on the wire).
-  void SetError() { state_ = QpState::kError; }
+  void SetError();
 
   // Returns the QP to service. Real deployments replace an error'd QP with a
   // fresh connection (see Fabric::ConnectRc); this exists for tests and for
   // transports with no connection state to rebuild.
-  void Recover() { state_ = QpState::kReady; }
+  void Recover();
 
   // ---- Synchronous one-sided operations -----------------------------------
 
@@ -126,6 +132,14 @@ class QueuePair {
   void BeginOp();
   void EndOp();
 
+  // RC send-queue ordering: every RC op takes a ticket at post time and its
+  // completion waits for all earlier tickets, so completions are generated in
+  // post order even when a faulted link's retransmissions reorder arrival
+  // times (real RC hardware acks strictly in order). Fault-free the gate is
+  // never taken: FIFO queueing already yields in-order completion, so the
+  // event schedule is byte-identical to a build without the gate.
+  sim::Task<void> AwaitTicket(uint64_t ticket);
+
   // Detached continuation carrying an unacknowledged UC WRITE to its target.
   sim::Task<void> DeliverUcWrite(RemoteKey rkey, size_t remote_off,
                                  std::vector<std::byte> payload);
@@ -145,9 +159,14 @@ class QueuePair {
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
   uint32_t peer_qp_num_ = 0;  // set by the fabric when connecting RC/UC pairs
+  bool retired_ = false;      // set by Fabric::RetireQp
   int outstanding_ops_ = 0;
   uint64_t dropped_no_recv_ = 0;
   std::deque<PostedRecv> recv_queue_;
+  // RC completion-order tickets (see AwaitTicket).
+  uint64_t next_ticket_ = 0;
+  uint64_t completed_ticket_ = 0;
+  std::unique_ptr<sim::Notifier> order_waiters_;  // lazily built on first stall
 };
 
 }  // namespace rdma

@@ -49,6 +49,11 @@ struct WorkCompletion {
   uint32_t qp_num = 0;
   // Immediate-style tag carried by SEND (used to identify the sender).
   uint32_t src_qp_num = 0;
+  // Logical snapshot tick of a READ's remote DMA, stamped by the invariant
+  // checker when one is attached (see src/check/). Zero otherwise. Readers
+  // thread it through to FabricChecker::OnAccept so the race detector can
+  // evaluate happens-before as of the fetch, not as of the accept.
+  uint64_t check_tick = 0;
 
   bool ok() const { return status == WcStatus::kSuccess; }
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/check/checker.h"
 #include "src/obs/metrics.h"
 
 namespace rfp {
@@ -82,6 +83,14 @@ Channel::~Channel() {
   if (stats_.fetch_timeouts > 0) {
     reg.GetCounter("rfp.channel.fetch_timeouts", labels)->Add(stats_.fetch_timeouts);
   }
+  // Release the channel's fabric resources: the endpoints stop resolving and
+  // the registration table drops both blocks, so any straggler holding a
+  // stale pointer or rkey fails loudly (and, under checking, flags
+  // qp.post_on_retired / mr.use_after_deregister) instead of scribbling.
+  fabric_->RetireQp(client_qp_);
+  fabric_->RetireQp(server_qp_);
+  fabric_->DeregisterMemory(server_mr_);
+  fabric_->DeregisterMemory(client_mr_);
 }
 
 void Channel::set_fetch_size(uint32_t f) {
@@ -102,6 +111,9 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg) {
     throw std::invalid_argument("rfp channel: request exceeds max_message_bytes");
   }
   const sim::Time start = engine_.now();
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnClientSend(this);
+  }
   if (++seq_ == 0) {
     ++seq_;  // reserve 0 for "never used"
   }
@@ -111,6 +123,9 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg) {
   header.mode = static_cast<uint8_t>(mode_);
   client_mr_->Store(0, header);
   client_mr_->WriteBytes(kHeaderBytes, msg);
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kHeaderBytes + msg.size());
+  }
   // The staging block keeps the payload until the next ClientSend, which is
   // what makes ReissueRequest possible without the caller's buffer.
   last_req_size_ = static_cast<uint32_t>(msg.size());
@@ -123,6 +138,9 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg) {
 
 sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
   const sim::Time start = engine_.now();
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnClientRecvStart(this);
+  }
 
   if (mode_ == Mode::kServerReply) {
     co_return co_await AwaitReply(out);
@@ -137,8 +155,8 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
   int corrupt = 0;
   int reissues = 0;
   while (true) {
-    co_await RcOp(/*from_client=*/true, /*is_read=*/true, resp_offset_, resp_offset_, f,
-                  "result fetch");
+    const rdma::WorkCompletion fetch_wc = co_await RcOp(
+        /*from_client=*/true, /*is_read=*/true, resp_offset_, resp_offset_, f, "result fetch");
     ++stats_.fetch_reads;
     const ResponseHeader header = LandingHeader();
     if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
@@ -146,10 +164,13 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       if (size > out.size()) {
         throw std::length_error("rfp channel: response larger than output buffer");
       }
-      if (size + kHeaderBytes + ChecksumBytes() > f) {
+      const uint32_t total = kHeaderBytes + size + ChecksumBytes();
+      uint64_t remainder_tick = 0;
+      if (total > f) {
         // The inline fetch was short: one more READ collects the remainder.
-        co_await RcOp(true, true, resp_offset_ + f, resp_offset_ + f,
-                      size + kHeaderBytes + ChecksumBytes() - f, "remainder fetch");
+        const rdma::WorkCompletion rest_wc = co_await RcOp(
+            true, true, resp_offset_ + f, resp_offset_ + f, total - f, "remainder fetch");
+        remainder_tick = rest_wc.check_tick;
         ++stats_.fetch_reads;
         ++stats_.extra_fetches;
       }
@@ -166,6 +187,18 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
           corrupt = 0;
         }
         continue;
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        // The fetched bytes become the call's result here: every byte must
+        // have been published as of the READ snapshot that carried it.
+        const uint32_t rkey = server_mr_->remote_key().rkey;
+        chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, resp_offset_,
+                      std::min(total, f), fetch_wc.check_tick, "result fetch");
+        if (total > f) {
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, resp_offset_ + f,
+                        total - f, remainder_tick, "remainder fetch");
+        }
+        chk->OnClientRecvDone(this);
       }
       client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
       last_server_time_us_ = header.time_us;
@@ -229,6 +262,9 @@ sim::Task<void> Channel::SwitchToReply() {
   // Publish the new mode to the server with a one-byte WRITE into the
   // request block's mode field.
   client_mr_->Store<uint8_t>(kRequestModeOffset, static_cast<uint8_t>(Mode::kServerReply));
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(client_mr_->remote_key().rkey, kRequestModeOffset, 1);
+  }
   co_await RcOp(/*from_client=*/true, /*is_read=*/false, kRequestModeOffset, kRequestModeOffset,
                 1, "mode switch write");
 }
@@ -254,6 +290,13 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
         client_busy_.AddBusy(options_.reply_poll_cpu_ns);
         co_await engine_.Sleep(options_.reply_poll_interval_ns);
         continue;
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        // The pushed reply is consumed from the local landing block: every
+        // byte must come from the push, not a lingering local store.
+        chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
+                      resp_offset_, kHeaderBytes + size + ChecksumBytes(), 0, "reply await");
+        chk->OnClientRecvDone(this);
       }
       client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
       client_busy_.AddBusy(options_.reply_poll_cpu_ns);
@@ -298,6 +341,12 @@ bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
   if (payload > out.size()) {
     throw std::length_error("rfp channel: request larger than server buffer");
   }
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    // The request bytes are consumed by the server thread: every byte must
+    // come from the client's WRITE, not a local scribble into the block.
+    chk->OnAccept(check::ViolationKind::kRaceRecvStore, server_mr_->remote_key().rkey, 0,
+                  kHeaderBytes + payload, 0, "server recv");
+  }
   server_mr_->ReadBytes(kHeaderBytes, out.subspan(0, payload));
   *size = payload;
   last_recv_seq_ = header.seq;
@@ -313,11 +362,32 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
   header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
   header.time_us = SaturateTimeUs(engine_.now() - recv_time_);
   header.seq = last_recv_seq_;
-  server_mr_->Store(resp_offset_, header);
+  check::FabricChecker* chk = fabric_->checker();
+  const uint32_t rkey = server_mr_->remote_key().rkey;
+  // Store order is the protocol's only fence against concurrent one-sided
+  // READs: payload first, then the checksum trailer, and the header — whose
+  // status bit + seq are what the client matches on — last. A client fetch
+  // that lands between these stores sees a stale header and retries instead
+  // of delivering a half-written payload. (The header used to be stored
+  // first; the race detector flags that order as race.fetch_store.)
   server_mr_->WriteBytes(resp_offset_ + kHeaderBytes, msg);
+  if (chk != nullptr) {
+    chk->OnCpuStore(rkey, resp_offset_ + kHeaderBytes, msg.size());
+  }
   if (options_.checksum_responses) {
     server_mr_->Store(resp_offset_ + kHeaderBytes + msg.size(),
                       wire::Checksum64(msg, last_recv_seq_));
+    if (chk != nullptr) {
+      chk->OnCpuStore(rkey, resp_offset_ + kHeaderBytes + msg.size(), kChecksumBytes);
+    }
+  }
+  server_mr_->Store(resp_offset_, header);
+  if (chk != nullptr) {
+    chk->OnCpuStore(rkey, resp_offset_, kHeaderBytes);
+    // The header store publishes the whole response: bytes stored after this
+    // point (without a fresh publication) are torn for any matching fetch.
+    chk->OnPublish(rkey, resp_offset_,
+                   kHeaderBytes + msg.size() + ChecksumBytes());
   }
   last_resp_seq_ = last_recv_seq_;
   last_resp_size_ = static_cast<uint32_t>(msg.size());
@@ -379,9 +449,16 @@ sim::Task<void> Channel::EnsureConnected(rdma::QueuePair* failed) {
   }
   // Connection re-establishment (QP teardown + out-of-band handshake).
   co_await engine_.Sleep(options_.reconnect_delay_ns);
+  rdma::QueuePair* old_client = client_qp_;
+  rdma::QueuePair* old_server = server_qp_;
   auto [cqp, sqp] = fabric_->ConnectRc(*client_node_, *server_node_);
   client_qp_ = cqp;
   server_qp_ = sqp;
+  // Tear the replaced endpoints out of the fabric. Without this every
+  // reconnect leaked the old pair into the address map and the NIC's
+  // active-QP census, and a stale pointer could keep posting on it.
+  fabric_->RetireQp(old_client);
+  fabric_->RetireQp(old_server);
   reconnect_in_progress_ = false;
 }
 
@@ -395,6 +472,9 @@ sim::Task<void> Channel::ReissueRequest() {
   header.seq = seq_;
   header.mode = static_cast<uint8_t>(mode_);
   client_mr_->Store(0, header);  // the payload is still staged from ClientSend
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kHeaderBytes);
+  }
   if (sim::TraceSink* trace = engine_.trace_sink()) {
     trace->Instant("rfp", "reissue", reinterpret_cast<uint64_t>(this), engine_.now());
   }

@@ -41,7 +41,7 @@ void RpcServer::CrashThread(int thread) {
   state.crashed = true;
   ++thread_crashes_;
   if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
-    trace->Instant("fault", "server_thread_crash", reinterpret_cast<uint64_t>(this) + thread,
+    trace->Instant("fault", "server_thread_crash", reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread),
                    fabric_.engine().now());
   }
 }
@@ -53,7 +53,7 @@ void RpcServer::RestartThread(int thread) {
   }
   state.crashed = false;
   if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
-    trace->Instant("fault", "server_thread_restart", reinterpret_cast<uint64_t>(this) + thread,
+    trace->Instant("fault", "server_thread_restart", reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread),
                    fabric_.engine().now());
   }
 }

@@ -143,7 +143,7 @@ Fingerprint RunMatrix(FaultKind kind, uint64_t seed) {
         for (size_t c = 0; c < channels.size(); ++c) {
           plan.CorruptRegion(kFaultStart + i * sim::Micros(10), channels[c]->server_rkey(),
                              channels[c]->response_offset() + rfp::kHeaderBytes, 16,
-                             /*seed=*/seed + i * 100 + c);
+                             /*seed=*/seed + static_cast<uint64_t>(i) * 100 + c);
         }
       }
       break;
@@ -216,8 +216,8 @@ INSTANTIATE_TEST_SUITE_P(AllClasses, FaultMatrixTest,
                          ::testing::Values(FaultKind::kNicStall, FaultKind::kNicDegrade,
                                            FaultKind::kLinkBurst, FaultKind::kServerCrash,
                                            FaultKind::kQpError, FaultKind::kCorruptRegion),
-                         [](const ::testing::TestParamInfo<FaultKind>& info) {
-                           return FaultKindName(info.param);
+                         [](const ::testing::TestParamInfo<FaultKind>& param_info) {
+                           return FaultKindName(param_info.param);
                          });
 
 // End-to-end through the KV store: a fault-tolerant Jakiro cluster under a
@@ -264,7 +264,7 @@ KvFingerprint RunKvMatrix(uint64_t seed) {
   KvFingerprint fp;
   for (int t = 0; t < 2; ++t) {
     clients.push_back(std::make_unique<kv::JakiroClient>(server, client_node));
-    engine.Spawn([](sim::Engine& eng, kv::JakiroClient* c, workload::WorkloadSpec sp, int id,
+    engine.Spawn([](kv::JakiroClient* c, workload::WorkloadSpec sp, int id,
                     KvFingerprint* out) -> sim::Task<void> {
       workload::Generator gen(sp, static_cast<uint64_t>(id));
       std::vector<std::byte> k(16);
@@ -286,7 +286,7 @@ KvFingerprint RunKvMatrix(uint64_t seed) {
         ++out->ops;
       }
       ++out->completed;
-    }(engine, clients.back().get(), spec, t, &fp));
+    }(clients.back().get(), spec, t, &fp));
   }
   server.Start();
 
@@ -299,7 +299,7 @@ KvFingerprint RunKvMatrix(uint64_t seed) {
   for (int i = 0; i < 10; ++i) {
     rfp::Channel* target = clients[0]->channel(i % kServerThreads);
     plan.CorruptRegion(sim::Micros(60) + i * sim::Micros(30), target->server_rkey(),
-                       target->response_offset() + rfp::kHeaderBytes, 16, seed + i);
+                       target->response_offset() + rfp::kHeaderBytes, 16, seed + static_cast<uint64_t>(i));
   }
   injector.Arm(plan);
 

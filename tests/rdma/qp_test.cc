@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/check/checker.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/engine.h"
 #include "tests/testutil.h"
@@ -73,6 +74,8 @@ TEST_F(QpTest, ReadTakesAboutOneRoundTrip) {
 }
 
 TEST_F(QpTest, WrongRkeyFailsWithRemoteAccessError) {
+  // Deliberately illegal: keep the checker counting instead of throwing.
+  check::ScopedReportOnly tolerate_violations;
   auto [cqp, sqp] = fabric_.ConnectRc(*client_, *server_);
   MemoryRegion* local = client_->RegisterMemory(64, kAccessLocal);
   WorkCompletion wc =
@@ -83,6 +86,8 @@ TEST_F(QpTest, WrongRkeyFailsWithRemoteAccessError) {
 }
 
 TEST_F(QpTest, RkeyFromThirdNodeRejected) {
+  // Deliberately illegal: keep the checker counting instead of throwing.
+  check::ScopedReportOnly tolerate_violations;
   Node* third = &fabric_.AddNode("third");
   auto [cqp, sqp] = fabric_.ConnectRc(*client_, *server_);
   MemoryRegion* local = client_->RegisterMemory(64, kAccessLocal);
@@ -96,6 +101,8 @@ TEST_F(QpTest, RkeyFromThirdNodeRejected) {
 }
 
 TEST_F(QpTest, MissingRemoteWritePermissionRejected) {
+  // Deliberately illegal: keep the checker counting instead of throwing.
+  check::ScopedReportOnly tolerate_violations;
   auto [cqp, sqp] = fabric_.ConnectRc(*client_, *server_);
   MemoryRegion* local = client_->RegisterMemory(64, kAccessLocal);
   MemoryRegion* read_only = server_->RegisterMemory(64, kAccessRemoteRead);
@@ -108,6 +115,8 @@ TEST_F(QpTest, MissingRemoteWritePermissionRejected) {
 }
 
 TEST_F(QpTest, RemoteOutOfBoundsRejected) {
+  // Deliberately illegal: keep the checker counting instead of throwing.
+  check::ScopedReportOnly tolerate_violations;
   auto [cqp, sqp] = fabric_.ConnectRc(*client_, *server_);
   MemoryRegion* local = client_->RegisterMemory(64, kAccessLocal);
   MemoryRegion* remote = server_->RegisterMemory(64, kAccessRemoteWrite);
@@ -118,6 +127,8 @@ TEST_F(QpTest, RemoteOutOfBoundsRejected) {
 }
 
 TEST_F(QpTest, LocalOutOfBoundsRejectedImmediately) {
+  // Deliberately illegal: keep the checker counting instead of throwing.
+  check::ScopedReportOnly tolerate_violations;
   auto [cqp, sqp] = fabric_.ConnectRc(*client_, *server_);
   MemoryRegion* local = client_->RegisterMemory(16, kAccessLocal);
   MemoryRegion* remote = server_->RegisterMemory(64, kAccessRemoteWrite);
@@ -261,6 +272,8 @@ TEST_F(QpTest, CqWaitSuspendsUntilCompletionArrives) {
 class OpMatrixTest : public ::testing::TestWithParam<std::tuple<QpType, Opcode>> {};
 
 TEST_P(OpMatrixTest, SupportMatrixEnforced) {
+  // Deliberately illegal: keep the checker counting instead of throwing.
+  check::ScopedReportOnly tolerate_violations;
   const auto [type, op] = GetParam();
   sim::Engine engine;
   Fabric fabric(engine);
