@@ -346,6 +346,8 @@ sim::Task<void> PilafDriver(sim::Engine& eng, kv::PilafClient* client, workload:
   }
 }
 
+}  // namespace
+
 void MergeChannelStats(rfp::Channel::Stats& into, const rfp::Channel::Stats& from) {
   into.calls += from.calls;
   into.request_writes += from.request_writes;
@@ -359,10 +361,14 @@ void MergeChannelStats(rfp::Channel::Stats& into, const rfp::Channel::Stats& fro
   into.reissues += from.reissues;
   into.corrupt_fetches += from.corrupt_fetches;
   into.fetch_timeouts += from.fetch_timeouts;
+  into.recovery_request_writes += from.recovery_request_writes;
+  into.recovery_fetch_reads += from.recovery_fetch_reads;
+  into.busy_responses += from.busy_responses;
+  into.shed_admission += from.shed_admission;
+  into.shed_deadline += from.shed_deadline;
+  into.breaker_opens += from.breaker_opens;
   into.retries_per_call.Merge(from.retries_per_call);
 }
-
-}  // namespace
 
 // ---- Flag plumbing -------------------------------------------------------------
 

@@ -25,6 +25,14 @@ JakiroConfig FaultTolerantConfig(JakiroConfig base) {
   return base;
 }
 
+JakiroConfig OverloadProtectedConfig(JakiroConfig base) {
+  rfp::RfpOptions& ch = base.channel_options;
+  ch.call_deadline_ns = sim::Millis(2);
+  ch.breaker_enabled = true;
+  base.server_options.admission_control = true;
+  return base;
+}
+
 JakiroServer::JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config)
     : config_(config), rpc_(fabric, node, config.server_threads, config.server_options) {
   for (int t = 0; t < config_.server_threads; ++t) {

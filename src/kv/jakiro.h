@@ -50,6 +50,11 @@ JakiroConfig NoSwitchConfig(JakiroConfig base = {});
 // docs/fault_injection.md.
 JakiroConfig FaultTolerantConfig(JakiroConfig base = {});
 
+// Overload-protected Jakiro: server-side admission control with deadline
+// shedding plus the client circuit breaker and a per-call deadline.
+// Behavior-neutral below the overload watermarks; see docs/overload.md.
+JakiroConfig OverloadProtectedConfig(JakiroConfig base = {});
+
 class JakiroServer {
  public:
   JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config = {});

@@ -27,9 +27,11 @@ Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
       client_node_(&client),
       server_node_(&server),
       options_(options) {
-  // The optional checksum trailer lives after the (max-sized) payload, so
-  // enabling it grows both blocks.
-  block_bytes_ = kHeaderBytes + options_.max_message_bytes + ChecksumBytes();
+  ValidateOptions(options_);
+  // Both blocks are sized for the larger (request) header plus the optional
+  // checksum trailer after the max-sized payload; the response block simply
+  // carries a little slack.
+  block_bytes_ = kReqHeaderBytes + options_.max_message_bytes + ChecksumBytes();
   resp_offset_ = block_bytes_;
   auto [cqp, sqp] = fabric.ConnectRc(client, server);
   client_qp_ = cqp;
@@ -39,6 +41,9 @@ Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
                                      rdma::kAccessRemoteRead | rdma::kAccessRemoteWrite);
   // Landing block is remotely written by reply pushes.
   client_mr_ = client.RegisterMemory(2 * block_bytes_, rdma::kAccessRemoteWrite);
+  // Per-channel deterministic jitter stream (breaker open intervals, busy
+  // retry backoff): the rkey is unique per channel within a fabric.
+  rng_.Seed(sim::Mix64(options_.breaker_seed ^ server_mr_->remote_key().rkey));
   if (options_.force_mode == RfpOptions::ForceMode::kForceReply) {
     mode_ = Mode::kServerReply;
   }
@@ -83,6 +88,27 @@ Channel::~Channel() {
   if (stats_.fetch_timeouts > 0) {
     reg.GetCounter("rfp.channel.fetch_timeouts", labels)->Add(stats_.fetch_timeouts);
   }
+  if (stats_.recovery_request_writes > 0) {
+    reg.GetCounter("rfp.channel.recovery_request_writes", labels)
+        ->Add(stats_.recovery_request_writes);
+  }
+  if (stats_.recovery_fetch_reads > 0) {
+    reg.GetCounter("rfp.channel.recovery_fetch_reads", labels)->Add(stats_.recovery_fetch_reads);
+  }
+  // Overload counters likewise register only when overload protection ever
+  // fired (see docs/overload.md).
+  if (stats_.busy_responses > 0) {
+    reg.GetCounter("rfp.channel.busy_responses", labels)->Add(stats_.busy_responses);
+  }
+  if (stats_.shed_admission > 0) {
+    reg.GetCounter("rfp.channel.shed_admission", labels)->Add(stats_.shed_admission);
+  }
+  if (stats_.shed_deadline > 0) {
+    reg.GetCounter("rfp.channel.shed_deadline", labels)->Add(stats_.shed_deadline);
+  }
+  if (stats_.breaker_opens > 0) {
+    reg.GetCounter("rfp.channel.breaker_opens", labels)->Add(stats_.breaker_opens);
+  }
   // Release the channel's fabric resources: the endpoints stop resolving and
   // the registration table drops both blocks, so any straggler holding a
   // stale pointer or rkey fails loudly (and, under checking, flags
@@ -106,10 +132,13 @@ Mode Channel::server_visible_mode() const {
   return static_cast<Mode>(server_mr_->Load<uint8_t>(kRequestModeOffset));
 }
 
-sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg) {
+sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg, sim::Time deadline_ns) {
   if (msg.size() > options_.max_message_bytes) {
     throw std::invalid_argument("rfp channel: request exceeds max_message_bytes");
   }
+  // An open breaker delays the send (idle, not client CPU) until its open
+  // interval elapses; this call then becomes the half-open probe.
+  co_await MaybeAwaitBreaker();
   const sim::Time start = engine_.now();
   if (check::FabricChecker* chk = fabric_->checker()) {
     chk->OnClientSend(this);
@@ -117,20 +146,24 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg) {
   if (++seq_ == 0) {
     ++seq_;  // reserve 0 for "never used"
   }
+  call_deadline_ = deadline_ns != 0 ? deadline_ns
+                   : options_.call_deadline_ns > 0 ? engine_.now() + options_.call_deadline_ns
+                                                   : 0;
   RequestHeader header;
   header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
   header.seq = seq_;
   header.mode = static_cast<uint8_t>(mode_);
+  header.deadline_ns = static_cast<uint64_t>(call_deadline_);
   client_mr_->Store(0, header);
-  client_mr_->WriteBytes(kHeaderBytes, msg);
+  client_mr_->WriteBytes(kReqHeaderBytes, msg);
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kHeaderBytes + msg.size());
+    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kReqHeaderBytes + msg.size());
   }
   // The staging block keeps the payload until the next ClientSend, which is
   // what makes ReissueRequest possible without the caller's buffer.
   last_req_size_ = static_cast<uint32_t>(msg.size());
   co_await RcOp(/*from_client=*/true, /*is_read=*/false, 0, 0,
-                kHeaderBytes + static_cast<uint32_t>(msg.size()), "request write");
+                kReqHeaderBytes + static_cast<uint32_t>(msg.size()), "request write");
   ++stats_.calls;
   ++stats_.request_writes;
   client_busy_.AddBusy(engine_.now() - start);
@@ -154,12 +187,56 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
   int failed = 0;
   int corrupt = 0;
   int reissues = 0;
+  int busy_streak = 0;        // consecutive BUSY(admission) sheds of this call
+  uint64_t attempt_reads = 0;  // this attempt's READs, moved to the recovery
+                               // bucket if a re-issue abandons the attempt
   while (true) {
     const rdma::WorkCompletion fetch_wc = co_await RcOp(
         /*from_client=*/true, /*is_read=*/true, resp_offset_, resp_offset_, f, "result fetch");
     ++stats_.fetch_reads;
+    ++attempt_reads;
     const ResponseHeader header = LandingHeader();
     if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
+      if (wire::UnpackBusy(header.size_status)) {
+        // The server shed this request instead of serving it. Only the
+        // header is meaningful (and published).
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_mr_->remote_key().rkey,
+                        resp_offset_, std::min<uint32_t>(kHeaderBytes, f), fetch_wc.check_tick,
+                        "busy fetch");
+        }
+        RecordBusyResponse(header);
+        if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
+            (call_deadline_ != 0 && engine_.now() >= call_deadline_)) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(engine_.now() - start - slept);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded (request shed)");
+        }
+        // BUSY(admission): back off per the retry-after hint, then re-issue.
+        const sim::Time delay = BusyRetryDelay(header.time_us, ++busy_streak);
+        co_await engine_.Sleep(delay);
+        slept += delay;
+        if (call_deadline_ != 0 && engine_.now() >= call_deadline_) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(engine_.now() - start - slept);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded while backing off");
+        }
+        if (++reissues > options_.max_reissue_attempts) {
+          throw std::runtime_error("rfp channel: request shed after max reissues");
+        }
+        TransferAttemptReads(&attempt_reads);
+        co_await ReissueRequest();
+        if (deadline != 0) {
+          deadline = engine_.now() + options_.fetch_timeout_ns;
+        }
+        failed = 0;
+        continue;
+      }
+      busy_streak = 0;
       const uint32_t size = wire::UnpackSize(header.size_status);
       if (size > out.size()) {
         throw std::length_error("rfp channel: response larger than output buffer");
@@ -172,6 +249,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
             true, true, resp_offset_ + f, resp_offset_ + f, total - f, "remainder fetch");
         remainder_tick = rest_wc.check_tick;
         ++stats_.fetch_reads;
+        ++attempt_reads;
         ++stats_.extra_fetches;
       }
       if (options_.checksum_responses && !LandingChecksumOk(size)) {
@@ -183,6 +261,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
           if (++reissues > options_.max_reissue_attempts) {
             throw std::runtime_error("rfp channel: response corrupt after max reissues");
           }
+          TransferAttemptReads(&attempt_reads);
           co_await ReissueRequest();
           corrupt = 0;
         }
@@ -205,13 +284,23 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       stats_.retries_per_call.Record(failed);
       // ">= R" to stay consistent with the mid-call switch check, which
       // already treats a call as slow the moment it reaches R failures.
-      slow_streak_ = failed >= options_.retry_threshold ? slow_streak_ + 1 : 0;
+      // While the overload override is active, slow calls do not build a
+      // switch streak: a shedding server is saturated, not slow-pathed, and
+      // a stampede of switches to server-reply would only add out-bound
+      // work (see RfpOptions::overload_override_calls).
+      slow_streak_ = failed >= options_.retry_threshold && !OverloadSuppressesSwitch()
+                         ? slow_streak_ + 1
+                         : 0;
+      RecordBreakerOutcome(false);
+      if (calls_since_busy_ < (1 << 30)) {
+        ++calls_since_busy_;
+      }
       client_busy_.AddBusy(engine_.now() - start - slept);
       co_return size;
     }
     ++failed;
     ++stats_.failed_fetches;
-    if (failed == options_.retry_threshold && adaptive() &&
+    if (failed == options_.retry_threshold && adaptive() && !OverloadSuppressesSwitch() &&
         slow_streak_ + 1 >= options_.slow_calls_before_switch) {
       // This call and its predecessors were all slow: fall back.
       stats_.retries_per_call.Record(failed);
@@ -223,11 +312,15 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       // The fetch deadline expired mid-call: the server is unreachable,
       // crashed, or pathologically slow.
       ++stats_.fetch_timeouts;
+      RecordBreakerOutcome(true);
       if (sim::TraceSink* trace = engine_.trace_sink()) {
         trace->Instant("rfp", "fetch_timeout", reinterpret_cast<uint64_t>(this), engine_.now());
       }
       if (adaptive()) {
         // Fall back to server-reply without waiting out the slow streak.
+        // Deliberately NOT gated on the overload override: the timeout is
+        // the crash-recovery path, and the abandoned READs stay in the
+        // primary counters (the call completes via the reply push).
         stats_.retries_per_call.Record(failed);
         client_busy_.AddBusy(engine_.now() - start - slept);
         co_await SwitchToReply();
@@ -236,9 +329,21 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       if (++reissues > options_.max_reissue_attempts) {
         throw std::runtime_error("rfp channel: fetch timed out after max reissues");
       }
+      TransferAttemptReads(&attempt_reads);
       co_await ReissueRequest();
       deadline = engine_.now() + options_.fetch_timeout_ns;
       failed = 0;
+    }
+    if (call_deadline_ != 0 && engine_.now() >= call_deadline_) {
+      // The call's own deadline is authoritative: the caller abandons the
+      // result whether the server is slow, saturated, or dark. (The fetch
+      // timeout above fires first when configured shorter, keeping its
+      // switch/reissue recovery semantics.)
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        chk->OnClientRecvDone(this);
+      }
+      client_busy_.AddBusy(engine_.now() - start - slept);
+      throw DeadlineExceeded("rfp channel: call deadline exceeded while fetching");
     }
     if (backoff > 0 && failed > options_.retry_threshold) {
       co_await engine_.Sleep(backoff);
@@ -271,9 +376,41 @@ sim::Task<void> Channel::SwitchToReply() {
 
 sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
   int reissues = 0;
+  int busy_streak = 0;
   while (true) {
     const ResponseHeader header = LandingHeader();
     if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
+      if (wire::UnpackBusy(header.size_status)) {
+        // The server shed this request; only the header was pushed.
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
+                        resp_offset_, kHeaderBytes, 0, "busy reply");
+        }
+        RecordBusyResponse(header);
+        if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
+            (call_deadline_ != 0 && engine_.now() >= call_deadline_)) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded (request shed)");
+        }
+        const sim::Time delay = BusyRetryDelay(header.time_us, ++busy_streak);
+        co_await engine_.Sleep(delay);
+        if (call_deadline_ != 0 && engine_.now() >= call_deadline_) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded while backing off");
+        }
+        if (++reissues > options_.max_reissue_attempts) {
+          throw std::runtime_error("rfp channel: request shed after max reissues");
+        }
+        co_await ReissueRequest();
+        client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+        continue;
+      }
       const uint32_t size = wire::UnpackSize(header.size_status);
       if (size > out.size()) {
         throw std::length_error("rfp channel: response larger than output buffer");
@@ -304,12 +441,24 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
       co_return size;
     }
     client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+    if (call_deadline_ != 0 && engine_.now() >= call_deadline_) {
+      // No reply before the call deadline (saturated or dark server): give
+      // up. A stale push that lands later is ignored by the bumped seq.
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        chk->OnClientRecvDone(this);
+      }
+      throw DeadlineExceeded("rfp channel: call deadline exceeded awaiting reply");
+    }
     co_await engine_.Sleep(options_.reply_poll_interval_ns);
   }
 }
 
 void Channel::FinishReplyCall(const ResponseHeader& header) {
   last_server_time_us_ = header.time_us;
+  RecordBreakerOutcome(false);
+  if (calls_since_busy_ < (1 << 30)) {
+    ++calls_since_busy_;
+  }
   if (!adaptive()) {
     return;
   }
@@ -332,6 +481,11 @@ void Channel::FinishReplyCall(const ResponseHeader& header) {
   }
 }
 
+bool Channel::HasPendingRequest() const {
+  const RequestHeader header = server_mr_->Load<RequestHeader>(0);
+  return wire::UnpackStatus(header.size_status) && header.seq != last_recv_seq_;
+}
+
 bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
   const RequestHeader header = server_mr_->Load<RequestHeader>(0);
   if (!wire::UnpackStatus(header.size_status) || header.seq == last_recv_seq_) {
@@ -345,11 +499,12 @@ bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
     // The request bytes are consumed by the server thread: every byte must
     // come from the client's WRITE, not a local scribble into the block.
     chk->OnAccept(check::ViolationKind::kRaceRecvStore, server_mr_->remote_key().rkey, 0,
-                  kHeaderBytes + payload, 0, "server recv");
+                  kReqHeaderBytes + payload, 0, "server recv");
   }
-  server_mr_->ReadBytes(kHeaderBytes, out.subspan(0, payload));
+  server_mr_->ReadBytes(kReqHeaderBytes, out.subspan(0, payload));
   *size = payload;
   last_recv_seq_ = header.seq;
+  last_recv_deadline_ns_ = header.deadline_ns;
   recv_time_ = engine_.now();
   return true;
 }
@@ -391,6 +546,40 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
   }
   last_resp_seq_ = last_recv_seq_;
   last_resp_size_ = static_cast<uint32_t>(msg.size());
+  last_resp_busy_ = false;
+  response_pushed_ = false;
+  if (server_visible_mode() == Mode::kServerReply) {
+    co_await PushReply();
+  }
+}
+
+sim::Task<void> Channel::ServerSendBusy(BusyReason reason, uint16_t retry_after_us) {
+  ResponseHeader header;
+  header.size_status = wire::PackBusy(reason);
+  header.time_us = retry_after_us;
+  header.seq = last_recv_seq_;
+  const uint32_t rkey = server_mr_->remote_key().rkey;
+  // A BUSY response is header-only: the single 8-byte store is its own
+  // publication point, so a racing fetch sees either the old header or the
+  // complete shed notice.
+  server_mr_->Store(resp_offset_, header);
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(rkey, resp_offset_, kHeaderBytes);
+    chk->OnPublish(rkey, resp_offset_, kHeaderBytes);
+  }
+  if (reason == BusyReason::kAdmission) {
+    ++stats_.shed_admission;
+  } else {
+    ++stats_.shed_deadline;
+  }
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp",
+                   reason == BusyReason::kAdmission ? "shed_admission" : "shed_deadline",
+                   reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  last_resp_seq_ = last_recv_seq_;
+  last_resp_size_ = 0;
+  last_resp_busy_ = true;
   response_pushed_ = false;
   if (server_visible_mode() == Mode::kServerReply) {
     co_await PushReply();
@@ -398,8 +587,12 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
 }
 
 sim::Task<void> Channel::PushReply() {
-  co_await RcOp(/*from_client=*/false, /*is_read=*/false, resp_offset_, resp_offset_,
-                kHeaderBytes + last_resp_size_ + ChecksumBytes(), "reply push");
+  // BUSY responses carry no payload (and no checksum trailer): push the
+  // header only.
+  const uint32_t len =
+      last_resp_busy_ ? kHeaderBytes : kHeaderBytes + last_resp_size_ + ChecksumBytes();
+  co_await RcOp(/*from_client=*/false, /*is_read=*/false, resp_offset_, resp_offset_, len,
+                "reply push");
   response_pushed_ = true;
   ++stats_.reply_pushes;
 }
@@ -471,22 +664,124 @@ sim::Task<void> Channel::ReissueRequest() {
   header.size_status = wire::PackSizeStatus(last_req_size_, true);
   header.seq = seq_;
   header.mode = static_cast<uint8_t>(mode_);
+  header.deadline_ns = static_cast<uint64_t>(call_deadline_);
   client_mr_->Store(0, header);  // the payload is still staged from ClientSend
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kHeaderBytes);
+    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kReqHeaderBytes);
   }
   if (sim::TraceSink* trace = engine_.trace_sink()) {
     trace->Instant("rfp", "reissue", reinterpret_cast<uint64_t>(this), engine_.now());
   }
-  co_await RcOp(/*from_client=*/true, /*is_read=*/false, 0, 0, kHeaderBytes + last_req_size_,
+  co_await RcOp(/*from_client=*/true, /*is_read=*/false, 0, 0, kReqHeaderBytes + last_req_size_,
                 "request reissue");
-  ++stats_.request_writes;
+  // Recovery traffic, not a primary-path WRITE: request_writes stays 1:1
+  // with issued calls so RoundTripsPerCall keeps the Table-3 semantics.
+  ++stats_.recovery_request_writes;
 }
 
 sim::Task<void> Channel::MaybeResendAfterSwitch() {
   if (!response_pushed_ && last_resp_seq_ != 0 &&
       server_visible_mode() == Mode::kServerReply) {
     co_await PushReply();
+  }
+}
+
+// ---- Overload protection (docs/overload.md) ----------------------------------
+
+void Channel::RecordBusyResponse(const ResponseHeader& header) {
+  ++stats_.busy_responses;
+  calls_since_busy_ = 0;
+  last_retry_after_us_ = header.time_us;
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", "busy_response", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  RecordBreakerOutcome(true);
+}
+
+void Channel::RecordBreakerOutcome(bool bad) {
+  if (!options_.breaker_enabled) {
+    return;
+  }
+  if (breaker_state_ == BreakerState::kHalfOpen) {
+    // This outcome is the half-open probe's verdict.
+    if (bad) {
+      OpenBreaker();
+    } else {
+      breaker_state_ = BreakerState::kClosed;
+      breaker_window_calls_ = 0;
+      breaker_window_bad_ = 0;
+      TraceBreaker("breaker_close");
+    }
+    return;
+  }
+  if (breaker_state_ == BreakerState::kOpen) {
+    return;  // outcomes of the call in flight while opening don't re-vote
+  }
+  ++breaker_window_calls_;
+  if (bad) {
+    ++breaker_window_bad_;
+  }
+  if (breaker_window_calls_ >= options_.breaker_window) {
+    if (static_cast<double>(breaker_window_bad_) >=
+        options_.breaker_failure_rate * static_cast<double>(breaker_window_calls_)) {
+      OpenBreaker();
+    }
+    breaker_window_calls_ = 0;
+    breaker_window_bad_ = 0;
+  }
+}
+
+void Channel::OpenBreaker() {
+  breaker_state_ = BreakerState::kOpen;
+  ++stats_.breaker_opens;
+  // Open for the configured interval, stretched to the server's latest
+  // retry-after hint when that is larger, and jittered by +/-25% so a fleet
+  // of breakers doesn't reclose in lockstep.
+  const sim::Time hint_ns = static_cast<sim::Time>(last_retry_after_us_) * 1000;
+  const sim::Time base = std::max<sim::Time>(options_.breaker_open_ns, hint_ns);
+  const double jitter = 0.75 + 0.5 * rng_.NextDouble();
+  breaker_open_until_ =
+      engine_.now() + static_cast<sim::Time>(static_cast<double>(base) * jitter);
+  breaker_window_calls_ = 0;
+  breaker_window_bad_ = 0;
+  TraceBreaker("breaker_open");
+}
+
+sim::Task<void> Channel::MaybeAwaitBreaker() {
+  if (!options_.breaker_enabled || breaker_state_ != BreakerState::kOpen) {
+    co_return;
+  }
+  if (breaker_open_until_ > engine_.now()) {
+    co_await engine_.Sleep(breaker_open_until_ - engine_.now());
+  }
+  breaker_state_ = BreakerState::kHalfOpen;
+  TraceBreaker("breaker_half_open");
+}
+
+sim::Time Channel::BusyRetryDelay(uint16_t hint_us, int nth_busy) {
+  // Exponential from the server's hint (floored at 1 us), capped, jittered.
+  sim::Time base = std::max<sim::Time>(static_cast<sim::Time>(hint_us) * 1000, 1000);
+  const int shift = std::min(nth_busy - 1, 10);
+  base = std::min<sim::Time>(base << shift, options_.busy_backoff_max_ns);
+  const double jitter = 0.75 + 0.5 * rng_.NextDouble();
+  sim::Time delay = static_cast<sim::Time>(static_cast<double>(base) * jitter);
+  if (options_.breaker_enabled && breaker_state_ == BreakerState::kOpen) {
+    // The breaker opened mid-call: honor the full open interval before the
+    // in-flight call retries, like the gate in ClientSend would.
+    delay = std::max<sim::Time>(delay, breaker_open_until_ - engine_.now());
+  }
+  return std::max<sim::Time>(delay, 1);
+}
+
+void Channel::TransferAttemptReads(uint64_t* attempt_reads) {
+  stats_.fetch_reads -= *attempt_reads;
+  stats_.recovery_fetch_reads += *attempt_reads;
+  *attempt_reads = 0;
+}
+
+void Channel::TraceBreaker(const char* what) {
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", what, reinterpret_cast<uint64_t>(this), engine_.now());
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 
 #include "src/rdma/fabric.h"
 #include "src/rdma/memory.h"
@@ -37,10 +38,20 @@
 #include "src/rfp/options.h"
 #include "src/rfp/wire.h"
 #include "src/sim/cpu.h"
+#include "src/sim/random.h"
 #include "src/sim/stats.h"
 #include "src/sim/task.h"
 
 namespace rfp {
+
+// Thrown by ClientRecv when the call's propagated deadline expired: either
+// the server shed the request with BUSY(deadline), or the deadline passed
+// while the client was backing off from BUSY(admission). The request was not
+// (and will not be) executed past the deadline.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Channel {
  public:
@@ -56,14 +67,30 @@ class Channel {
     // Fault-recovery events (all zero unless faults were injected or the
     // fault-tolerance options are enabled; see docs/fault_injection.md).
     uint64_t reconnects = 0;       // RC pair replaced after a QP error
-    uint64_t reissues = 0;         // request re-sent (timeout or corruption)
+    uint64_t reissues = 0;         // request re-sent (timeout, corruption, busy)
     uint64_t corrupt_fetches = 0;  // checksum-mismatching responses observed
     uint64_t fetch_timeouts = 0;   // calls whose fetch deadline expired
+    // Recovery traffic, accounted separately from the primary-path counters
+    // above so RoundTripsPerCall keeps the paper's Table-3 semantics (it
+    // used to fold re-issued WRITEs and their abandoned fetch READs into the
+    // numerator, inflating the metric whenever fault tolerance was active).
+    // Invariant: request_writes counts exactly one WRITE per issued call.
+    uint64_t recovery_request_writes = 0;  // re-issued request WRITEs
+    uint64_t recovery_fetch_reads = 0;     // READs of attempts abandoned by a re-issue
+    // Overload-protection events (docs/overload.md).
+    uint64_t busy_responses = 0;  // BUSY shed notices observed by the client
+    uint64_t shed_admission = 0;  // requests shed by admission control (server side)
+    uint64_t shed_deadline = 0;   // requests shed as already expired (server side)
+    uint64_t breaker_opens = 0;   // circuit-breaker closed/half-open -> open
     // Failed-retry count per completed remote-fetch call (Table 3).
     sim::Histogram retries_per_call;
 
     // Average RDMA round trips needed per completed call (paper Section 4.3
-    // reports 2.005 for Jakiro).
+    // reports 2.005 for Jakiro). Counts only primary-path traffic; recovery
+    // traffic (re-issues and the fetches of abandoned attempts) is reported
+    // by RecoveryRoundTripsPerCall. Fetch retries that resolve *within* an
+    // attempt — including the ones a timeout-driven mode switch abandons —
+    // stay in the numerator, as in the paper's own retry accounting.
     double RoundTripsPerCall() const {
       if (calls == 0) {
         return 0.0;
@@ -71,7 +98,21 @@ class Channel {
       return static_cast<double>(request_writes + fetch_reads + reply_pushes) /
              static_cast<double>(calls);
     }
+
+    // Extra round trips per call spent on fault/overload recovery.
+    double RecoveryRoundTripsPerCall() const {
+      if (calls == 0) {
+        return 0.0;
+      }
+      return static_cast<double>(recovery_request_writes + recovery_fetch_reads) /
+             static_cast<double>(calls);
+    }
   };
+
+  // Client circuit breaker state (docs/overload.md): kClosed passes calls
+  // through, kOpen delays the next call until the open interval elapses,
+  // kHalfOpen lets exactly one probe call decide between close and reopen.
+  enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
 
   // Builds a channel between `client` and `server`, registering the request/
   // response blocks on the server and the staging/landing blocks on the
@@ -89,20 +130,40 @@ class Channel {
   // ---- Client-side primitives ----------------------------------------------
 
   // Sends one request message. Pairs 1:1 with a following ClientRecv.
-  sim::Task<void> ClientSend(std::span<const std::byte> msg);
+  // `deadline_ns` is an absolute virtual-time deadline propagated to the
+  // server in the request header; 0 falls back to now + call_deadline_ns
+  // when that option is set (else no deadline). With the breaker open, the
+  // send first waits out the remaining open interval (half-open probe).
+  sim::Task<void> ClientSend(std::span<const std::byte> msg, sim::Time deadline_ns = 0);
 
   // Receives the response for the last ClientSend into `out`; returns the
-  // payload size. `out` must hold at least max_message_bytes.
+  // payload size. `out` must hold at least max_message_bytes. Throws
+  // DeadlineExceeded when the call's deadline expired (see class above);
+  // transparently backs off and re-issues on BUSY(admission).
   sim::Task<size_t> ClientRecv(std::span<std::byte> out);
 
   // ---- Server-side primitives ----------------------------------------------
+
+  // Non-consuming peek: true when a request is pending in the request block.
+  // Sweep loops use it to estimate backlog before deciding admission.
+  bool HasPendingRequest() const;
 
   // Non-blocking poll of the request block. On success copies the payload
   // into `out`, stores its size in `*size`, and returns true.
   bool TryServerRecv(std::span<std::byte> out, size_t* size);
 
+  // Absolute deadline carried by the last request TryServerRecv returned
+  // (0 = none). The server checks it before dispatching the handler.
+  uint64_t last_request_deadline_ns() const { return last_recv_deadline_ns_; }
+
   // Publishes the response for the last received request.
   sim::Task<void> ServerSend(std::span<const std::byte> msg);
+
+  // Publishes a header-only BUSY response for the last received request
+  // instead of serving it: the request was shed (admission budget exhausted
+  // or deadline already expired). `retry_after_us` hints when the client
+  // should retry.
+  sim::Task<void> ServerSendBusy(BusyReason reason, uint16_t retry_after_us);
 
   // True when the last response was stored locally but never pushed while
   // the client is (now) in server-reply mode — the switch race. Cheap; sweep
@@ -122,6 +183,7 @@ class Channel {
   Mode client_mode() const { return mode_; }
   // Mode as currently visible to the server (via the request-block flag).
   Mode server_visible_mode() const;
+  BreakerState breaker_state() const { return breaker_state_; }
   const Stats& stats() const { return stats_; }
   sim::BusyMeter& client_busy() { return client_busy_; }
   uint16_t last_server_time_us() const { return last_server_time_us_; }
@@ -176,6 +238,33 @@ class Channel {
   // block, one response block, last write wins).
   sim::Task<void> ReissueRequest();
 
+  // ---- Overload protection (docs/overload.md) ------------------------------
+
+  // True while the R-based switch to server-reply is suppressed because a
+  // BUSY response was observed within the last overload_override_calls
+  // completed calls.
+  bool OverloadSuppressesSwitch() const {
+    return calls_since_busy_ < options_.overload_override_calls;
+  }
+  // Books one call outcome into the breaker window (bad = BUSY or fetch
+  // timeout) and drives the state machine.
+  void RecordBreakerOutcome(bool bad);
+  // closed/half-open -> open: picks the jittered open interval.
+  void OpenBreaker();
+  // With the breaker open, sleeps out the open interval and arms the
+  // half-open probe. No-op otherwise.
+  sim::Task<void> MaybeAwaitBreaker();
+  // Jittered sleep before re-issuing after the `nth_busy`-th consecutive
+  // BUSY(admission) of this call.
+  sim::Time BusyRetryDelay(uint16_t hint_us, int nth_busy);
+  // Books a BUSY header observed for the current call; throws
+  // DeadlineExceeded for BUSY(deadline). Shared by fetch and reply paths.
+  void RecordBusyResponse(const ResponseHeader& header);
+  // Moves this call's attempt-local fetch READs into the recovery bucket
+  // (called when a re-issue abandons the attempt).
+  void TransferAttemptReads(uint64_t* attempt_reads);
+  void TraceBreaker(const char* what);
+
   sim::Engine& engine_;
   rdma::Fabric* fabric_;
   rdma::Node* client_node_;
@@ -199,12 +288,24 @@ class Channel {
   uint16_t last_server_time_us_ = 0;
   sim::BusyMeter client_busy_;
 
+  // Overload-protection client state.
+  sim::Time call_deadline_ = 0;  // absolute; 0 = none (current call)
+  int calls_since_busy_ = 1 << 30;  // effectively "never saw BUSY"
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  sim::Time breaker_open_until_ = 0;
+  int breaker_window_calls_ = 0;
+  int breaker_window_bad_ = 0;
+  uint16_t last_retry_after_us_ = 0;
+  sim::Rng rng_{0x4252};  // re-seeded per channel in the ctor
+
   // Server state.
   uint16_t last_recv_seq_ = 0;
   uint16_t last_resp_seq_ = 0;
   bool response_pushed_ = true;  // no unsent response outstanding
   sim::Time recv_time_ = 0;
   uint32_t last_resp_size_ = 0;
+  uint64_t last_recv_deadline_ns_ = 0;
+  bool last_resp_busy_ = false;  // BUSY responses push the header only
 
   Stats stats_;
 };

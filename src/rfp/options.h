@@ -81,6 +81,47 @@ struct RfpOptions {
   // Bound on request re-issues (timeout or corruption triggered) before the
   // call gives up and throws.
   int max_reissue_attempts = 8;
+
+  // ---- Overload protection (docs/overload.md) ------------------------------
+  // Also default-off / neutral. BUSY responses can only appear when the
+  // *server* enables admission control, so default channels never take any
+  // of these paths.
+
+  // Relative per-call deadline stamped (as an absolute virtual time) into
+  // every request header. 0 disables. The server sheds requests whose
+  // deadline expired before dispatch with BUSY(deadline); the client
+  // surfaces both that and a deadline that expires while backing off as
+  // DeadlineExceeded.
+  sim::Time call_deadline_ns = 0;
+
+  // Client circuit breaker (closed -> open -> half-open), driven by the
+  // BUSY/timeout rate over tumbling windows of `breaker_window` call
+  // outcomes: when bad/total >= breaker_failure_rate the breaker opens for
+  // breaker_open_ns (jittered by +/-25%, stretched to the server's
+  // retry-after hint when that is larger); the next call after the open
+  // interval is the half-open probe — success closes the breaker, another
+  // BUSY/timeout reopens it.
+  bool breaker_enabled = false;
+  int breaker_window = 16;
+  double breaker_failure_rate = 0.5;  // in (0, 1]
+  sim::Time breaker_open_ns = 50 * 1000;
+  uint64_t breaker_seed = 0x4252;  // "BR": jitter RNG, mixed per channel
+
+  // Jittered backoff before re-issuing a request the server shed with
+  // BUSY(admission): sleep ~hint * 2^(n-1) for the n-th consecutive BUSY of
+  // the call, capped here, jittered by +/-25% to de-synchronize retry
+  // stampedes across clients.
+  sim::Time busy_backoff_max_ns = 2 * 1000 * 1000;
+
+  // Overload override of the R-based switch hysteresis: after observing a
+  // BUSY response, suppress the switch to server-reply for this many
+  // completed calls. An overloaded server sheds because its sweep threads
+  // are saturated; switching to server-reply would add an out-bound WRITE
+  // per response on top — a stampede of switches collapses exactly the
+  // in/out asymmetry RFP exploits (paper Section 3.2, Fig 12). Timeout-driven
+  // switches (fetch_timeout_ns) are NOT suppressed: they are the crash
+  // recovery path, not a load signal.
+  int overload_override_calls = 8;
 };
 
 struct ServerOptions {
@@ -105,7 +146,32 @@ struct ServerOptions {
   sim::Time idle_sleep_ns = 200;
   // Per-byte cost of copying payloads in and out of RFP buffers.
   double copy_cpu_ns_per_byte = 0.02;
+
+  // ---- Admission control / overload shedding (docs/overload.md) ------------
+  // Default-off: a server built with default options serves exactly as
+  // before. Deadline shedding is independent of this switch — it activates
+  // whenever a request header carries a nonzero deadline.
+
+  bool admission_control = false;
+  // Max requests one sweep admits while the thread is overloaded; the rest
+  // receive BUSY(admission) with a retry-after hint.
+  int admission_budget = 4;
+  // Overload detector with watermark hysteresis: estimated queued work =
+  // (channels with a pending request) x (EWMA of measured per-request
+  // process time, floored at dispatch_cpu_ns). Enter overload at >= hi,
+  // leave at <= lo (lo <= hi enforced by ValidateOptions).
+  sim::Time overload_hi_watermark_ns = 40 * 1000;
+  sim::Time overload_lo_watermark_ns = 10 * 1000;
+  double process_ewma_alpha = 0.25;  // in (0, 1]
+  // CPU cost of publishing one BUSY response: shedding is cheap, not free.
+  sim::Time shed_cpu_ns = 60;
 };
+
+// Throw std::invalid_argument when an option set is inconsistent (negative
+// times, watermark lo > hi, breaker thresholds outside (0,1], ...). Channel
+// and RpcServer constructors enforce these, mirroring rdma::ValidateConfig.
+void ValidateOptions(const RfpOptions& options);
+void ValidateOptions(const ServerOptions& options);
 
 }  // namespace rfp
 

@@ -1,5 +1,6 @@
 #include "src/rfp/rpc.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -19,6 +20,7 @@ RpcServer::RpcServer(rdma::Fabric& fabric, rdma::Node& node, int num_threads,
     : fabric_(fabric), node_(node), options_(options),
       straggler_rng_(options.straggler_seed ^ node.id()),
       threads_(static_cast<size_t>(num_threads)) {
+  ValidateOptions(options_);
   for (ThreadState& state : threads_) {
     state.request_buf.resize(options_.max_message_bytes);
     state.response_buf.resize(options_.max_message_bytes);
@@ -30,6 +32,19 @@ RpcServer::~RpcServer() {
   reg.GetCounter("rfp.rpc.requests_served", {{"node", node_.name()}})->Add(requests_served_);
   if (thread_crashes_ > 0) {
     reg.GetCounter("rfp.rpc.thread_crashes", {{"node", node_.name()}})->Add(thread_crashes_);
+  }
+  // Overload counters register only when shedding actually happened, so
+  // runs without overload keep their metric catalog unchanged.
+  if (requests_shed_admission_ > 0) {
+    reg.GetCounter("rfp.rpc.shed_admission", {{"node", node_.name()}})
+        ->Add(requests_shed_admission_);
+  }
+  if (requests_shed_deadline_ > 0) {
+    reg.GetCounter("rfp.rpc.shed_deadline", {{"node", node_.name()}})
+        ->Add(requests_shed_deadline_);
+  }
+  if (overload_enters_ > 0) {
+    reg.GetCounter("rfp.rpc.overload_enters", {{"node", node_.name()}})->Add(overload_enters_);
   }
 }
 
@@ -122,6 +137,44 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
     // anything arrived (the server busy-polls, paper Section 4.1).
     co_await engine.Sleep(options_.poll_cpu_per_channel_ns *
                           static_cast<sim::Time>(state.channels.size() ? state.channels.size() : 1));
+    // ---- Overload detector (docs/overload.md) ----------------------------
+    // Estimated queued work for this sweep = pending requests x EWMA of the
+    // measured per-request process time (floored at the dispatch cost).
+    // Watermark hysteresis keeps the overloaded flag from flapping on a
+    // single busy sweep. The pending peek reads the same header the sweep
+    // poll already paid for, so it costs no extra CPU.
+    uint16_t retry_hint_us = 1;
+    if (options_.admission_control) {
+      size_t pending = 0;
+      for (Channel* channel : state.channels) {
+        if (channel->HasPendingRequest()) {
+          ++pending;
+        }
+      }
+      const double per_request =
+          std::max(state.process_ewma_ns, static_cast<double>(options_.dispatch_cpu_ns));
+      const double est_ns = per_request * static_cast<double>(pending);
+      if (!state.overloaded &&
+          est_ns >= static_cast<double>(options_.overload_hi_watermark_ns)) {
+        state.overloaded = true;
+        ++overload_enters_;
+        if (sim::TraceSink* trace = engine.trace_sink()) {
+          trace->Instant("rfp", "overload_on",
+                         reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread_index),
+                         engine.now());
+        }
+      } else if (state.overloaded &&
+                 est_ns <= static_cast<double>(options_.overload_lo_watermark_ns)) {
+        state.overloaded = false;
+        if (sim::TraceSink* trace = engine.trace_sink()) {
+          trace->Instant("rfp", "overload_off",
+                         reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread_index),
+                         engine.now());
+        }
+      }
+      retry_hint_us = static_cast<uint16_t>(std::clamp<double>(est_ns / 1000.0, 1.0, 65535.0));
+    }
+    int admitted = 0;
     // Index-based iteration: AcceptChannel may push_back to this vector from
     // another actor while this loop is suspended mid-body, which would
     // invalidate range-for iterators.
@@ -135,6 +188,32 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
         continue;
       }
       any = true;
+      // Deadline shedding: a request whose propagated deadline already
+      // passed is dead on arrival — publish BUSY(deadline) instead of
+      // burning handler time on a response the client will discard. Active
+      // whenever the request carries a deadline, admission control or not.
+      const uint64_t request_deadline = channel->last_request_deadline_ns();
+      if (request_deadline != 0 && static_cast<uint64_t>(engine.now()) > request_deadline) {
+        ++requests_shed_deadline_;
+        if (options_.shed_cpu_ns > 0) {
+          co_await engine.Sleep(options_.shed_cpu_ns);
+        }
+        co_await channel->ServerSendBusy(BusyReason::kDeadline, retry_hint_us);
+        continue;
+      }
+      // Admission control: while overloaded, at most admission_budget
+      // requests per sweep run handlers; the rest are shed with a first-
+      // class BUSY instead of silently aging in the request blocks.
+      if (options_.admission_control && state.overloaded &&
+          admitted >= options_.admission_budget) {
+        ++requests_shed_admission_;
+        if (options_.shed_cpu_ns > 0) {
+          co_await engine.Sleep(options_.shed_cpu_ns);
+        }
+        co_await channel->ServerSendBusy(BusyReason::kAdmission, retry_hint_us);
+        continue;
+      }
+      ++admitted;
       if (request_size < kRpcIdBytes) {
         throw std::runtime_error("rfp rpc: runt request");
       }
@@ -159,6 +238,14 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
         process += options_.straggler_extra_ns;
       }
       co_await engine.Sleep(process);
+      if (options_.admission_control) {
+        // Feed the measured process time into the detector's EWMA.
+        const double alpha = options_.process_ewma_alpha;
+        state.process_ewma_ns =
+            state.process_ewma_ns == 0.0
+                ? static_cast<double>(process)
+                : alpha * static_cast<double>(process) + (1.0 - alpha) * state.process_ewma_ns;
+      }
       co_await channel->ServerSend(
           std::span<const std::byte>(state.response_buf.data(), result.response_size));
       ++state.served;
@@ -182,14 +269,14 @@ RpcClient::~RpcClient() {
 }
 
 sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> request,
-                                  std::span<std::byte> response) {
+                                  std::span<std::byte> response, sim::Time deadline_ns) {
   const sim::Time start = channel_->client_node()->fabric()->engine().now();
   std::memcpy(scratch_.data(), &rpc_id, kRpcIdBytes);
   if (!request.empty()) {  // empty requests carry a null span data pointer
     std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
   }
   co_await channel_->ClientSend(
-      std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()));
+      std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()), deadline_ns);
   const size_t n = co_await channel_->ClientRecv(response);
   ++calls_;
   latency_.Record(channel_->client_node()->fabric()->engine().now() - start);

@@ -107,6 +107,18 @@ class RpcServer {
     return threads_[static_cast<size_t>(thread)].served;
   }
 
+  // ---- Overload protection (docs/overload.md) ------------------------------
+
+  // True while `thread`'s watermark detector holds the overloaded state.
+  bool thread_overloaded(int thread) const {
+    return threads_[static_cast<size_t>(thread)].overloaded;
+  }
+  // Requests shed with BUSY(admission) / BUSY(deadline), summed over threads.
+  uint64_t requests_shed_admission() const { return requests_shed_admission_; }
+  uint64_t requests_shed_deadline() const { return requests_shed_deadline_; }
+  // Times any thread's detector entered the overloaded state.
+  uint64_t overload_enters() const { return overload_enters_; }
+
  private:
   struct ThreadState {
     std::vector<Channel*> channels;
@@ -114,6 +126,9 @@ class RpcServer {
     bool crashed = false;
     std::vector<std::byte> request_buf;
     std::vector<std::byte> response_buf;
+    // Overload detector state (ServerOptions admission_control):
+    double process_ewma_ns = 0;  // EWMA of measured per-request process time
+    bool overloaded = false;
   };
 
   sim::Task<void> ServeLoop(int thread_index);
@@ -126,6 +141,9 @@ class RpcServer {
   bool started_ = false;
   uint64_t requests_served_ = 0;
   uint64_t thread_crashes_ = 0;
+  uint64_t requests_shed_admission_ = 0;
+  uint64_t requests_shed_deadline_ = 0;
+  uint64_t overload_enters_ = 0;
   std::unordered_map<uint16_t, AsyncHandler> handlers_;
   std::vector<ThreadState> threads_;
   std::vector<std::unique_ptr<Channel>> owned_channels_;
@@ -142,9 +160,12 @@ class RpcClient {
   Channel* channel() { return channel_; }
 
   // Invokes `rpc_id` with `request`, writing the response payload into
-  // `response` and returning its size.
+  // `response` and returning its size. `deadline_ns` (absolute virtual
+  // time, 0 = none) is propagated to the server in the request header;
+  // throws DeadlineExceeded when the deadline expires before the response
+  // (see Channel::ClientRecv).
   sim::Task<size_t> Call(uint16_t rpc_id, std::span<const std::byte> request,
-                         std::span<std::byte> response);
+                         std::span<std::byte> response, sim::Time deadline_ns = 0);
 
   uint64_t calls() const { return calls_; }
   const sim::Histogram& latency() const { return latency_; }

@@ -3,7 +3,7 @@
 // Each channel owns one request block and one response block in the server's
 // registered memory:
 //
-//   request block   [RequestHeader (8 B)][payload ...]      client RDMA-WRITEs
+//   request block   [RequestHeader (16 B)][payload ...]     client RDMA-WRITEs
 //   response block  [ResponseHeader (8 B)][payload ...]     client RDMA-READs
 //
 // Headers follow the paper — a status bit, a 31-bit size, and (responses
@@ -12,7 +12,14 @@
 // bit, a remote fetch racing the server's next poll can observe the
 // *previous* call's response; tagging both directions with the call sequence
 // makes matching exact. The request header also carries the client's current
-// paradigm mode so the server always knows how to return results.
+// paradigm mode so the server always knows how to return results, and an
+// absolute deadline so the server can shed requests that already expired
+// before it would run the handler (docs/overload.md).
+//
+// Responses additionally reserve bit 30 of size_status as a BUSY flag: an
+// overloaded server publishes a header-only BUSY response (no payload) whose
+// size bits carry a BusyReason code and whose time_us field carries a
+// retry-after hint in microseconds, instead of silently queueing work.
 
 #ifndef SRC_RFP_WIRE_H_
 #define SRC_RFP_WIRE_H_
@@ -33,9 +40,20 @@ inline const char* ModeName(Mode mode) {
   return mode == Mode::kRemoteFetch ? "remote-fetch" : "server-reply";
 }
 
+// Why an overloaded server shed a request instead of serving it.
+enum class BusyReason : uint8_t {
+  kAdmission = 0,  // per-sweep admission budget exhausted while overloaded
+  kDeadline = 1,   // the request's propagated deadline expired before dispatch
+};
+
+inline const char* BusyReasonName(BusyReason reason) {
+  return reason == BusyReason::kAdmission ? "admission" : "deadline";
+}
+
 namespace wire {
 
 constexpr uint32_t kStatusBit = 0x8000'0000u;
+constexpr uint32_t kBusyBit = 0x4000'0000u;
 constexpr uint32_t kSizeMask = 0x7fff'ffffu;
 
 constexpr uint32_t PackSizeStatus(uint32_t size, bool status) {
@@ -43,6 +61,17 @@ constexpr uint32_t PackSizeStatus(uint32_t size, bool status) {
 }
 constexpr bool UnpackStatus(uint32_t size_status) { return (size_status & kStatusBit) != 0; }
 constexpr uint32_t UnpackSize(uint32_t size_status) { return size_status & kSizeMask; }
+
+// A BUSY response is a ready response (status bit set) with the busy bit
+// set; the remaining size bits carry the BusyReason code instead of a
+// payload size, and ResponseHeader::time_us carries the retry-after hint.
+constexpr uint32_t PackBusy(BusyReason reason) {
+  return kStatusBit | kBusyBit | static_cast<uint32_t>(reason);
+}
+constexpr bool UnpackBusy(uint32_t size_status) { return (size_status & kBusyBit) != 0; }
+constexpr BusyReason UnpackBusyReason(uint32_t size_status) {
+  return static_cast<BusyReason>(size_status & 0xffu);
+}
 
 }  // namespace wire
 
@@ -54,8 +83,12 @@ struct RequestHeader {
   uint8_t mode = 0;          // Mode the client is in (also rewritten mid-call
                              // by a 1-byte RDMA WRITE on a paradigm switch)
   uint8_t reserved = 0;
+  uint64_t deadline_ns = 0;  // absolute virtual-time deadline; 0 = none. The
+                             // simulated hosts share one clock, which stands
+                             // in for the synchronized clocks a real
+                             // deployment would need for propagated deadlines.
 };
-static_assert(sizeof(RequestHeader) == 8, "request header must stay 8 bytes");
+static_assert(sizeof(RequestHeader) == 16, "request header must stay 16 bytes");
 
 // Offset of RequestHeader::mode within the request block, used for the
 // mid-call mode-switch WRITE.
@@ -63,14 +96,19 @@ constexpr size_t kRequestModeOffset = 6;
 
 // Header the server writes in front of the result payload.
 struct ResponseHeader {
-  uint32_t size_status = 0;  // bit 31: response ready; bits 0-30: payload size
+  uint32_t size_status = 0;  // bit 31: response ready; bit 30: BUSY shed
+                             // notice; bits 0-29: payload size (BUSY: reason)
   uint16_t time_us = 0;      // server process time, saturating microseconds
-                             // (drives the client's switch-back decision)
+                             // (drives the client's switch-back decision);
+                             // for BUSY responses: retry-after hint in us
   uint16_t seq = 0;          // echo of the request's sequence tag
 };
 static_assert(sizeof(ResponseHeader) == 8, "response header must stay 8 bytes");
 
+// Response headers keep the paper's 8-byte layout; request headers grew to
+// 16 bytes to carry the propagated deadline.
 constexpr uint32_t kHeaderBytes = 8;
+constexpr uint32_t kReqHeaderBytes = 16;
 
 // Bytes of the optional response checksum trailer (RfpOptions::
 // checksum_responses). Layout: [ResponseHeader][payload][checksum], so a

@@ -381,7 +381,7 @@ TEST_F(CheckerCorpusTest, RecvStoreRaceFlagged) {
     // (the header stays intact so the poll still matches the sequence).
     co_await eng.Sleep(sim::Micros(5));
     MemoryRegion* mr = fab.FindRemote(RemoteKey{ch->server_rkey()});
-    const size_t victim = rfp::kHeaderBytes + psize - 1;
+    const size_t victim = rfp::kReqHeaderBytes + psize - 1;
     mr->bytes()[victim] = std::byte{0xEE};
     fab.checker()->OnCpuStore(ch->server_rkey(), victim, 1);
     std::vector<std::byte> buf(16384);

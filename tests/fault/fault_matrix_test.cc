@@ -9,6 +9,7 @@
 // A Jakiro KV case repeats the same property end-to-end through the store.
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -61,7 +62,7 @@ sim::Task<void> Driver(sim::Engine& eng, rfp::RpcClient* client, Fingerprint* fp
   std::vector<std::byte> resp(256);
   for (int n = 1; n <= kCallsPerClient; ++n) {
     for (size_t i = 0; i < req.size(); ++i) {
-      req[i] = static_cast<std::byte>(static_cast<uint8_t>(n >> (8 * i)));
+      req[i] = static_cast<std::byte>(static_cast<uint8_t>(static_cast<uint64_t>(n) >> (8 * i)));
     }
     const sim::Time start = eng.now();
     const size_t got = co_await client->Call(1, req, resp);
@@ -324,6 +325,244 @@ TEST(FaultMatrixKvTest, JakiroSurvivesMixedPlanWithVerifiedValues) {
   EXPECT_GT(a.reconnects, 0u);
 
   const KvFingerprint b = RunKvMatrix(23);
+  EXPECT_EQ(a, b);
+}
+
+// Recovery-traffic accounting: a timed-out forced-fetch call re-issues its
+// request, but RoundTripsPerCall keeps its Table-3 meaning — one primary
+// WRITE per call; the re-issue and the abandoned attempt's READs move to the
+// recovery counters instead of inflating the primary metric.
+TEST(FaultRecoveryAccountingTest, ReissuesDoNotInflateRoundTripsPerCall) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& client_node = fabric.AddNode("client");
+  rdma::Node& server_node = fabric.AddNode("server");
+
+  rfp::RfpOptions options;
+  options.force_mode = rfp::RfpOptions::ForceMode::kForceFetch;
+  options.fetch_timeout_ns = sim::Micros(20);
+  rfp::Channel channel(fabric, client_node, server_node, options);
+
+  // The server is dark for the first 60 us — past the client's 20 us fetch
+  // deadline, forcing re-issues — then serves normally. Polling only after
+  // the outage means it reads the *latest* re-issued request (current seq),
+  // exactly like a restarted RpcServer sweep would.
+  engine.Spawn([](sim::Engine& eng, rfp::Channel* ch) -> sim::Task<void> {
+    std::vector<std::byte> buf(1024);
+    co_await eng.Sleep(sim::Micros(60));
+    int served = 0;
+    while (served < 2) {
+      size_t n = 0;
+      if (ch->TryServerRecv(buf, &n)) {
+        co_await ch->ServerSend(std::span<const std::byte>(buf.data(), n));
+        ++served;
+      } else {
+        co_await eng.Sleep(sim::Nanos(200));
+      }
+    }
+  }(engine, &channel));
+  engine.Spawn([](rfp::Channel* ch) -> sim::Task<void> {
+    std::vector<std::byte> out(256);
+    for (int i = 0; i < 2; ++i) {
+      std::byte msg[4] = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4}};
+      co_await ch->ClientSend(msg);
+      const size_t got = co_await ch->ClientRecv(out);
+      EXPECT_EQ(got, 4u);
+    }
+  }(&channel));
+  engine.RunUntil(sim::Millis(5));
+
+  const rfp::Channel::Stats& s = channel.stats();
+  EXPECT_EQ(s.calls, 2u);
+  EXPECT_GE(s.fetch_timeouts, 1u);
+  EXPECT_GE(s.reissues, 1u);
+  // The pinned invariant: exactly one primary WRITE per issued call, with
+  // the re-issued WRITEs and the abandoned attempts' READs accounted apart.
+  EXPECT_EQ(s.request_writes, s.calls);
+  EXPECT_EQ(s.recovery_request_writes, s.reissues);
+  EXPECT_GT(s.recovery_fetch_reads, 0u);
+  EXPECT_GT(s.RecoveryRoundTripsPerCall(), 0.0);
+  // Primary round trips stay at sane echo-call magnitude: 1 WRITE + a
+  // bounded number of fetch READs per call, nowhere near the ~4 extra
+  // READs/call the 60 us outage generated in recovery traffic.
+  EXPECT_LT(s.RoundTripsPerCall(),
+            1.0 + static_cast<double>(options.retry_threshold) + 2.0);
+}
+
+// The switch race under a crash: call 1 completes in fetch mode, so the
+// server still holds its response un-pushed; the serving thread then
+// crashes, call 2's WRITE lands into the dark thread, the client times out
+// and switches to server-reply mid-call. After restart the server first
+// resends the *stale* call-1 response (NeedsReplyResend / post-switch
+// resend), which the client must ignore by sequence before call 2's real
+// response arrives.
+TEST(FaultSwitchRaceTest, StaleResendAfterCrashAndSwitchIsIgnored) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+
+  rfp::RpcServer server(fabric, server_node, 1);
+  server.RegisterHandler(1, [](const rfp::HandlerContext&, std::span<const std::byte> req,
+                               std::span<std::byte> resp) -> rfp::HandlerResult {
+    // Echo with a marker so call 1 and call 2 responses are distinguishable.
+    std::memcpy(resp.data(), req.data(), req.size());
+    return rfp::HandlerResult{req.size(), sim::Nanos(500)};
+  });
+
+  rfp::RfpOptions options;
+  options.fetch_timeout_ns = sim::Micros(20);  // timeout-driven switch path
+  rfp::Channel* channel = server.AcceptChannel(client_node, options, 0);
+  rfp::RpcClient stub(channel);
+  server.Start();
+
+  engine.ScheduleAt(sim::Micros(10), [&server] { server.CrashThread(0); });
+  engine.ScheduleAt(sim::Micros(80), [&server] { server.RestartThread(0); });
+
+  std::vector<size_t> got_sizes;
+  std::vector<std::byte> first_bytes;
+  engine.Spawn([](sim::Engine& eng, rfp::RpcClient* client, std::vector<size_t>* sizes,
+                  std::vector<std::byte>* firsts) -> sim::Task<void> {
+    std::vector<std::byte> resp(256);
+    for (int call = 1; call <= 2; ++call) {
+      std::byte req[8];
+      for (size_t i = 0; i < 8; ++i) {
+        req[i] = static_cast<std::byte>(static_cast<uint8_t>(static_cast<size_t>(call * 16) + i));
+      }
+      const size_t got = co_await client->Call(1, req, resp);
+      sizes->push_back(got);
+      firsts->push_back(resp[0]);
+      if (call == 1) {
+        // Issue call 2 only once the thread is dark, so its request sits
+        // pending across the crash window.
+        co_await eng.Sleep(sim::Micros(12));
+      }
+    }
+  }(engine, &stub, &got_sizes, &first_bytes));
+  engine.RunUntil(sim::Millis(5));
+  server.Stop();
+
+  ASSERT_EQ(got_sizes.size(), 2u);
+  EXPECT_EQ(got_sizes[0], 8u);
+  EXPECT_EQ(got_sizes[1], 8u);
+  // Each call saw its own response: the stale post-switch resend of call 1
+  // carried a dead sequence number and was dropped by the client.
+  EXPECT_EQ(first_bytes[0], std::byte{16});
+  EXPECT_EQ(first_bytes[1], std::byte{32});
+  const rfp::Channel::Stats& s = channel->stats();
+  EXPECT_GE(s.fetch_timeouts, 1u);
+  EXPECT_GE(s.switches_to_reply, 1u);
+  EXPECT_EQ(server.thread_crashes(), 1u);
+}
+
+// Composition: a crash in the middle of an overloaded, admission-controlled
+// run. Shedding continues on the surviving side, client deadlines bound the
+// damage on the dark one, and the whole thing replays deterministically.
+struct OverloadCrashFingerprint {
+  uint64_t completed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t mismatches = 0;
+  uint64_t shed_admission = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t busy_responses = 0;
+  uint64_t crashes = 0;
+  sim::Time final_time = 0;
+
+  bool operator==(const OverloadCrashFingerprint&) const = default;
+};
+
+OverloadCrashFingerprint RunOverloadCrash(uint64_t seed) {
+  sim::Engine engine;
+  rdma::FabricConfig fc;
+  fc.seed = seed;
+  rdma::Fabric fabric(engine, fc);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+
+  rfp::ServerOptions server_options;
+  server_options.admission_control = true;
+  server_options.admission_budget = 1;
+  server_options.overload_hi_watermark_ns = sim::Micros(10);
+  server_options.overload_lo_watermark_ns = sim::Micros(2);
+  rfp::RpcServer server(fabric, server_node, kServerThreads, server_options);
+  server.RegisterHandler(1, [](const rfp::HandlerContext&, std::span<const std::byte> req,
+                               std::span<std::byte> resp) -> rfp::HandlerResult {
+    for (size_t i = 0; i < kResponseBytes; ++i) {
+      resp[i] = ExpectedByte(req, i);
+    }
+    return rfp::HandlerResult{kResponseBytes, sim::Micros(8)};
+  });
+
+  rfp::RfpOptions options;
+  options.call_deadline_ns = sim::Micros(120);
+  options.breaker_enabled = true;
+
+  std::vector<rfp::Channel*> channels;
+  std::vector<std::unique_ptr<rfp::RpcClient>> stubs;
+  for (int t = 0; t < 6; ++t) {
+    channels.push_back(server.AcceptChannel(client_node, options, t % kServerThreads));
+    stubs.push_back(std::make_unique<rfp::RpcClient>(channels.back()));
+  }
+  server.Start();
+
+  FaultInjector injector(fabric);
+  injector.BindServer(server_node.id(), &server);
+  FaultPlan plan;
+  plan.ServerCrash(sim::Micros(200), server_node.id(), /*thread=*/0, sim::Micros(150));
+  injector.Arm(plan);
+
+  OverloadCrashFingerprint fp;
+  for (int t = 0; t < 6; ++t) {
+    engine.Spawn([](rfp::RpcClient* client, OverloadCrashFingerprint* out) -> sim::Task<void> {
+      std::vector<std::byte> req(8, std::byte{0x7e});
+      std::vector<std::byte> resp(256);
+      for (int i = 0; i < 40; ++i) {
+        try {
+          const size_t got = co_await client->Call(1, req, resp);
+          ++out->completed;
+          if (got != kResponseBytes) {
+            ++out->mismatches;
+          } else {
+            for (size_t b = 0; b < kResponseBytes; ++b) {
+              if (resp[b] != ExpectedByte(req, b)) {
+                ++out->mismatches;
+                break;
+              }
+            }
+          }
+        } catch (const rfp::DeadlineExceeded&) {
+          ++out->deadline_exceeded;
+        }
+      }
+    }(stubs[static_cast<size_t>(t)].get(), &fp));
+  }
+  engine.RunUntil(sim::Millis(50));
+  server.Stop();
+
+  for (rfp::Channel* channel : channels) {
+    fp.busy_responses += channel->stats().busy_responses;
+  }
+  fp.shed_admission = server.requests_shed_admission();
+  fp.shed_deadline = server.requests_shed_deadline();
+  fp.crashes = server.thread_crashes();
+  fp.final_time = engine.now();
+  return fp;
+}
+
+TEST(FaultOverloadCompositionTest, CrashMidOverloadShedsAndReplaysDeterministically) {
+  const OverloadCrashFingerprint a = RunOverloadCrash(31);
+  // Every driver resolved all 40 calls one way or the other, correctly.
+  EXPECT_EQ(a.completed + a.deadline_exceeded, 240u);
+  EXPECT_GT(a.completed, 0u);
+  EXPECT_EQ(a.mismatches, 0u);
+  // Overload protection and the fault both actually bit.
+  EXPECT_GT(a.shed_admission, 0u);
+  EXPECT_GT(a.busy_responses, 0u);
+  EXPECT_EQ(a.crashes, 1u);
+  // The dark thread's channels hit their deadlines instead of hanging.
+  EXPECT_GT(a.deadline_exceeded, 0u);
+
+  const OverloadCrashFingerprint b = RunOverloadCrash(31);
   EXPECT_EQ(a, b);
 }
 

@@ -1,0 +1,71 @@
+// Smoke test of bench_ext_overload's --json output (path injected by
+// CMake): the open-loop sweep table lands row for row in the dump, and the
+// overload counters (BUSY responses, admission sheds) flush into the
+// metrics snapshot. Companion to bench_json_smoke_test.cc.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_test_util.h"
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(BenchOverloadJsonSmokeTest, OverloadBenchProducesSchemaValidJson) {
+  const std::string json_path = ::testing::TempDir() + "/bench_overload_smoke.json";
+  std::remove(json_path.c_str());
+  const std::string cmd = std::string("'") + BENCH_EXT_OVERLOAD_PATH + "' --json=" + json_path +
+                          " --seed=7 > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string text = ReadFile(json_path);
+  ASSERT_FALSE(text.empty()) << "no JSON written to " << json_path;
+  const testjson::Value v = testjson::Parse(text);
+
+  EXPECT_EQ(v.at("bench").string, "bench_ext_overload");
+  EXPECT_EQ(v.at("schema_version").number, 1.0);
+
+  // 6 offered loads x {protected, unprotected} + 1 crash-composition row.
+  ASSERT_EQ(v.at("rows").array.size(), 13u);
+  const testjson::Value& row0 = *v.at("rows").array[0];
+  EXPECT_TRUE(row0.at("values").has("config"));
+  EXPECT_TRUE(row0.at("values").has("offered"));
+  EXPECT_TRUE(row0.at("values").has("goodput"));
+  EXPECT_TRUE(row0.at("values").has("shed%"));
+  EXPECT_TRUE(row0.at("values").has("p99_us"));
+  EXPECT_TRUE(row0.at("values").has("busy"));
+
+  // The protected runs shed under overload, so the conditional flushes must
+  // have produced the overload instruments with nonzero totals.
+  const testjson::Value& metrics = v.at("metrics");
+  ASSERT_TRUE(metrics.is_array());
+  bool saw_busy = false;
+  bool saw_shed_admission = false;
+  for (const auto& m : metrics.array) {
+    if (m->at("name").string == "rfp.channel.busy_responses") {
+      saw_busy = true;
+      EXPECT_GT(m->at("value").number, 0.0);
+    }
+    if (m->at("name").string == "rfp.rpc.shed_admission") {
+      saw_shed_admission = true;
+      EXPECT_GT(m->at("value").number, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_busy);
+  EXPECT_TRUE(saw_shed_admission);
+
+  std::remove(json_path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include "src/rfp/options.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/rfp/channel.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/engine.h"
+
+namespace rfp {
+namespace {
+
+TEST(OptionsValidationTest, DefaultsAreValid) {
+  EXPECT_NO_THROW(ValidateOptions(RfpOptions{}));
+  EXPECT_NO_THROW(ValidateOptions(ServerOptions{}));
+}
+
+TEST(OptionsValidationTest, RejectsBadChannelCoreOptions) {
+  for (auto mutate : {
+           +[](RfpOptions& o) { o.retry_threshold = -1; },
+           +[](RfpOptions& o) { o.fetch_size = 0; },
+           +[](RfpOptions& o) { o.slow_calls_before_switch = 0; },
+           +[](RfpOptions& o) { o.fast_calls_before_switch_back = 0; },
+           +[](RfpOptions& o) { o.max_message_bytes = 0; },
+           +[](RfpOptions& o) { o.reply_poll_interval_ns = 0; },
+       }) {
+    RfpOptions options;
+    mutate(options);
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+}
+
+TEST(OptionsValidationTest, RejectsBadFaultToleranceOptions) {
+  for (auto mutate : {
+           +[](RfpOptions& o) { o.fetch_timeout_ns = -1; },
+           +[](RfpOptions& o) { o.fetch_backoff_initial_ns = -1; },
+           +[](RfpOptions& o) { o.fetch_backoff_max_ns = -1; },
+           +[](RfpOptions& o) { o.corrupt_fetches_before_reissue = 0; },
+           +[](RfpOptions& o) { o.max_reconnect_attempts = -1; },
+           +[](RfpOptions& o) { o.reconnect_delay_ns = -1; },
+           +[](RfpOptions& o) { o.max_reissue_attempts = 0; },
+       }) {
+    RfpOptions options;
+    mutate(options);
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+}
+
+TEST(OptionsValidationTest, RejectsBadOverloadOptions) {
+  for (auto mutate : {
+           +[](RfpOptions& o) { o.call_deadline_ns = -1; },
+           +[](RfpOptions& o) { o.breaker_window = 0; },
+           +[](RfpOptions& o) { o.breaker_failure_rate = 0.0; },
+           +[](RfpOptions& o) { o.breaker_failure_rate = 1.5; },
+           +[](RfpOptions& o) { o.breaker_failure_rate = -0.5; },
+           +[](RfpOptions& o) { o.breaker_open_ns = -1; },
+           +[](RfpOptions& o) { o.busy_backoff_max_ns = -1; },
+           +[](RfpOptions& o) { o.overload_override_calls = -1; },
+       }) {
+    RfpOptions options;
+    mutate(options);
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+  {
+    // NaN must not slip through the (0, 1] comparison.
+    RfpOptions options;
+    options.breaker_failure_rate = std::nan("");
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+}
+
+TEST(OptionsValidationTest, RejectsBadServerOptions) {
+  for (auto mutate : {
+           +[](ServerOptions& o) { o.max_message_bytes = 0; },
+           +[](ServerOptions& o) { o.dispatch_cpu_ns = -1; },
+           +[](ServerOptions& o) { o.straggler_prob = -0.1; },
+           +[](ServerOptions& o) { o.straggler_prob = 1.1; },
+           +[](ServerOptions& o) { o.straggler_extra_ns = -1; },
+           +[](ServerOptions& o) { o.poll_cpu_per_channel_ns = -1; },
+           +[](ServerOptions& o) { o.idle_sleep_ns = 0; },  // would wedge the sim
+           +[](ServerOptions& o) { o.copy_cpu_ns_per_byte = -0.01; },
+           +[](ServerOptions& o) { o.admission_budget = 0; },
+           +[](ServerOptions& o) { o.overload_hi_watermark_ns = -1; },
+           +[](ServerOptions& o) { o.overload_lo_watermark_ns = -1; },
+           +[](ServerOptions& o) { o.process_ewma_alpha = 0.0; },
+           +[](ServerOptions& o) { o.process_ewma_alpha = 1.5; },
+           +[](ServerOptions& o) { o.shed_cpu_ns = -1; },
+       }) {
+    ServerOptions options;
+    mutate(options);
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+}
+
+TEST(OptionsValidationTest, RejectsInvertedWatermarks) {
+  ServerOptions options;
+  options.overload_hi_watermark_ns = 5000;
+  options.overload_lo_watermark_ns = 10000;  // lo > hi
+  EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  options.overload_lo_watermark_ns = 5000;  // lo == hi is allowed
+  EXPECT_NO_THROW(ValidateOptions(options));
+}
+
+TEST(OptionsValidationTest, ConstructorsFailLoudly) {
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& client = fabric.AddNode("client");
+  rdma::Node& server = fabric.AddNode("server");
+
+  RfpOptions bad_channel;
+  bad_channel.breaker_failure_rate = 2.0;
+  EXPECT_THROW(Channel(fabric, client, server, bad_channel), std::invalid_argument);
+
+  ServerOptions bad_server;
+  bad_server.overload_lo_watermark_ns = bad_server.overload_hi_watermark_ns + 1;
+  EXPECT_THROW(RpcServer(fabric, server, 2, bad_server), std::invalid_argument);
+
+  // The error message names the layer, mirroring "rdma config: ...".
+  try {
+    RpcServer srv(fabric, server, 2, bad_server);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("rfp options"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace rfp

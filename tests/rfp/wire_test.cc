@@ -1,5 +1,7 @@
 #include "src/rfp/wire.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 namespace rfp {
@@ -21,10 +23,13 @@ TEST(WireTest, SizeUsesThirtyOneBits) {
   EXPECT_FALSE(wire::UnpackStatus(packed));
 }
 
-TEST(WireTest, HeadersAreEightBytes) {
-  EXPECT_EQ(sizeof(RequestHeader), 8u);
+TEST(WireTest, HeaderSizesArePinned) {
+  // The request header grew to 16 bytes for the propagated deadline;
+  // responses keep the paper's 8-byte layout.
+  EXPECT_EQ(sizeof(RequestHeader), 16u);
   EXPECT_EQ(sizeof(ResponseHeader), 8u);
   EXPECT_EQ(kHeaderBytes, 8u);
+  EXPECT_EQ(kReqHeaderBytes, 16u);
 }
 
 TEST(WireTest, ModeByteOffsetMatchesLayout) {
@@ -32,6 +37,36 @@ TEST(WireTest, ModeByteOffsetMatchesLayout) {
   h.mode = 0xAB;
   const auto* raw = reinterpret_cast<const uint8_t*>(&h);
   EXPECT_EQ(raw[kRequestModeOffset], 0xAB);
+}
+
+TEST(WireTest, DeadlineFieldOffsetMatchesLayout) {
+  RequestHeader h;
+  h.deadline_ns = 0x1122334455667788ull;
+  uint64_t stored = 0;
+  std::memcpy(&stored, reinterpret_cast<const uint8_t*>(&h) + 8, sizeof(stored));
+  EXPECT_EQ(stored, 0x1122334455667788ull);
+}
+
+TEST(WireTest, BusyPackUnpackRoundTrips) {
+  const uint32_t admission = wire::PackBusy(BusyReason::kAdmission);
+  EXPECT_TRUE(wire::UnpackStatus(admission));  // BUSY is a ready response
+  EXPECT_TRUE(wire::UnpackBusy(admission));
+  EXPECT_EQ(wire::UnpackBusyReason(admission), BusyReason::kAdmission);
+  const uint32_t deadline = wire::PackBusy(BusyReason::kDeadline);
+  EXPECT_TRUE(wire::UnpackBusy(deadline));
+  EXPECT_EQ(wire::UnpackBusyReason(deadline), BusyReason::kDeadline);
+}
+
+TEST(WireTest, OrdinaryResponsesAreNeverBusy) {
+  // Payload sizes stay below bit 30 (max_message_bytes is ~8 KB), so a real
+  // response can never alias the BUSY flag.
+  EXPECT_FALSE(wire::UnpackBusy(wire::PackSizeStatus(12345, true)));
+  EXPECT_FALSE(wire::UnpackBusy(wire::PackSizeStatus(0, false)));
+}
+
+TEST(WireTest, BusyReasonNames) {
+  EXPECT_STREQ(BusyReasonName(BusyReason::kAdmission), "admission");
+  EXPECT_STREQ(BusyReasonName(BusyReason::kDeadline), "deadline");
 }
 
 TEST(WireTest, TimeSaturatesAtSixteenBits) {
