@@ -367,7 +367,11 @@ void MergeChannelStats(rfp::Channel::Stats& into, const rfp::Channel::Stats& fro
   into.shed_admission += from.shed_admission;
   into.shed_deadline += from.shed_deadline;
   into.breaker_opens += from.breaker_opens;
+  into.doorbell_batches += from.doorbell_batches;
+  into.batched_ops += from.batched_ops;
   into.retries_per_call.Merge(from.retries_per_call);
+  into.submit_window.Merge(from.submit_window);
+  into.batch_occupancy.Merge(from.batch_occupancy);
 }
 
 // ---- Flag plumbing -------------------------------------------------------------

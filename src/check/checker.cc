@@ -511,28 +511,37 @@ void FabricChecker::OnAccept(ViolationKind kind, uint32_t rkey, size_t off, size
   Report(kind, os.str());
 }
 
+void FabricChecker::OnChannelWindow(const void* channel, int window) {
+  call_outstanding_[channel].window = window < 1 ? 1 : window;
+}
+
 void FabricChecker::OnClientSend(const void* channel) {
   NextTick();
-  bool& outstanding = call_outstanding_[channel];
-  if (outstanding) {
+  CallPairing& pairing = call_outstanding_[channel];
+  if (pairing.outstanding >= pairing.window) {
     Report(ViolationKind::kRfpOverlappingCall,
-           "ClientSend while the previous call's ClientRecv is still outstanding");
+           pairing.window == 1
+               ? "ClientSend while the previous call's ClientRecv is still outstanding"
+               : "ClientSend/SubmitCall beyond the channel's declared call window");
     return;
   }
-  outstanding = true;
+  ++pairing.outstanding;
 }
 
 void FabricChecker::OnClientRecvStart(const void* channel) {
   NextTick();
-  bool& outstanding = call_outstanding_[channel];
-  if (!outstanding) {
+  const CallPairing& pairing = call_outstanding_[channel];
+  if (pairing.outstanding == 0) {
     Report(ViolationKind::kRfpRecvWithoutSend,
            "ClientRecv with no ClientSend outstanding on this channel");
   }
 }
 
 void FabricChecker::OnClientRecvDone(const void* channel) {
-  call_outstanding_[channel] = false;
+  CallPairing& pairing = call_outstanding_[channel];
+  if (pairing.outstanding > 0) {
+    --pairing.outstanding;
+  }
 }
 
 }  // namespace check

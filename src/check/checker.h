@@ -266,6 +266,10 @@ class FabricChecker {
 
   // ---- RFP protocol pairing (Channel) --------------------------------------
 
+  // Declares the channel's call window (outstanding-call capacity). Channels
+  // call this once at construction when pipelining is enabled; an undeclared
+  // channel defaults to window 1 (the classic one-call-at-a-time pairing).
+  void OnChannelWindow(const void* channel, int window);
   void OnClientSend(const void* channel);
   void OnClientRecvStart(const void* channel);
   void OnClientRecvDone(const void* channel);
@@ -310,7 +314,13 @@ class FabricChecker {
   std::unordered_map<uint32_t, RaceTracker> trackers_;
   // Async wr_id -> post sequence, for completion-order validation.
   std::unordered_map<uint32_t, std::unordered_map<uint64_t, uint64_t>> wr_seq_;
-  std::unordered_map<const void*, bool> call_outstanding_;
+  // Per-channel send/recv pairing: outstanding calls must never exceed the
+  // channel's declared window (1 unless OnChannelWindow raised it).
+  struct CallPairing {
+    int outstanding = 0;
+    int window = 1;
+  };
+  std::unordered_map<const void*, CallPairing> call_outstanding_;
 
   uint64_t counts_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};
   obs::Counter* counters_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};

@@ -1,5 +1,6 @@
 #include "src/kv/jakiro.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/kv/common.h"
@@ -30,6 +31,11 @@ JakiroConfig OverloadProtectedConfig(JakiroConfig base) {
   ch.call_deadline_ns = sim::Millis(2);
   ch.breaker_enabled = true;
   base.server_options.admission_control = true;
+  return base;
+}
+
+JakiroConfig PipelinedConfig(JakiroConfig base, int window) {
+  base.channel_options.window = window;
   return base;
 }
 
@@ -205,6 +211,10 @@ sim::Task<void> JakiroClient::MultiGet(
   for (size_t i = 0; i < keys.size(); ++i) {
     by_owner[static_cast<size_t>(server_.OwnerThread(keys[i]))].push_back(i);
   }
+  if (server_.config().channel_options.window > 1) {
+    co_await MultiGetPipelined(keys, by_owner, value_arena, values_out);
+    co_return;
+  }
   size_t arena_used = 0;
   for (size_t owner = 0; owner < by_owner.size(); ++owner) {
     const std::vector<size_t>& batch = by_owner[owner];
@@ -251,6 +261,82 @@ sim::Task<void> JakiroClient::MultiGet(
   }
 }
 
+sim::Task<void> JakiroClient::MultiGetPipelined(
+    std::span<const std::span<const std::byte>> keys,
+    const std::vector<std::vector<size_t>>& by_owner, std::span<std::byte> value_arena,
+    std::span<std::optional<std::span<const std::byte>>> values_out) {
+  struct Pending {
+    size_t stub = 0;
+    rfp::Channel::CallHandle handle;
+    std::vector<size_t> idxs;        // key indices in this chunk, caller order
+    std::vector<std::byte> resp;     // landing buffer: responses overlap, so
+                                     // the shared scratch_ cannot hold them
+  };
+  const size_t window = static_cast<size_t>(server_.config().channel_options.window);
+  std::vector<Pending> pending;
+  for (size_t owner = 0; owner < by_owner.size(); ++owner) {
+    const std::vector<size_t>& batch = by_owner[owner];
+    if (batch.empty()) {
+      continue;
+    }
+    // Split the owner's keys into up to `window` contiguous chunks and stage
+    // one MultiGet call per chunk. The staged requests go out in a single
+    // doorbell batch when the first await flushes the channel, and their
+    // server-side lookups and response fetches overlap across slots.
+    const size_t chunks = std::min(batch.size(), window);
+    const size_t per_chunk = (batch.size() + chunks - 1) / chunks;
+    for (size_t begin = 0; begin < batch.size(); begin += per_chunk) {
+      const size_t end = std::min(begin + per_chunk, batch.size());
+      Pending p;
+      p.stub = owner;
+      p.idxs.assign(batch.begin() + static_cast<ptrdiff_t>(begin),
+                    batch.begin() + static_cast<ptrdiff_t>(end));
+      const uint16_t count = static_cast<uint16_t>(p.idxs.size());
+      size_t n = 0;
+      std::memcpy(scratch_.data(), &count, sizeof(count));
+      n += sizeof(count);
+      for (size_t idx : p.idxs) {
+        const uint16_t key_size = static_cast<uint16_t>(keys[idx].size());
+        std::memcpy(scratch_.data() + n, &key_size, sizeof(key_size));
+        n += sizeof(key_size);
+        std::memcpy(scratch_.data() + n, keys[idx].data(), key_size);
+        n += key_size;
+      }
+      p.handle = co_await stubs_[owner]->SubmitCall(
+          kRpcMultiGet, std::span<const std::byte>(scratch_.data(), n));
+      p.resp.resize(server_.config().channel_options.max_message_bytes);
+      pending.push_back(std::move(p));
+    }
+  }
+  size_t arena_used = 0;
+  for (Pending& p : pending) {
+    const size_t resp_size = co_await stubs_[p.stub]->AwaitCall(p.handle, p.resp);
+    ++operations_;
+    if (resp_size < 3 ||
+        DecodeStatus(std::span<const std::byte>(p.resp.data(), resp_size)) != Status::kOk) {
+      throw std::runtime_error("jakiro multiget: malformed response");
+    }
+    // Decode this chunk's results back into caller order.
+    size_t out = 1 + sizeof(uint16_t);
+    for (size_t idx : p.idxs) {
+      uint32_t size = 0;
+      std::memcpy(&size, p.resp.data() + out, sizeof(size));
+      out += sizeof(size);
+      if (size == kMultiGetMiss) {
+        values_out[idx] = std::nullopt;
+        continue;
+      }
+      if (arena_used + size > value_arena.size()) {
+        throw std::length_error("jakiro multiget: value arena exhausted");
+      }
+      std::memcpy(value_arena.data() + arena_used, p.resp.data() + out, size);
+      values_out[idx] = std::span<const std::byte>(value_arena.data() + arena_used, size);
+      arena_used += size;
+      out += size;
+    }
+  }
+}
+
 sim::Histogram JakiroClient::MergedLatency() const {
   sim::Histogram merged;
   for (const auto& stub : stubs_) {
@@ -275,7 +361,11 @@ rfp::Channel::Stats JakiroClient::MergedChannelStats() const {
     merged.reissues += s.reissues;
     merged.corrupt_fetches += s.corrupt_fetches;
     merged.fetch_timeouts += s.fetch_timeouts;
+    merged.doorbell_batches += s.doorbell_batches;
+    merged.batched_ops += s.batched_ops;
     merged.retries_per_call.Merge(s.retries_per_call);
+    merged.submit_window.Merge(s.submit_window);
+    merged.batch_occupancy.Merge(s.batch_occupancy);
   }
   return merged;
 }

@@ -55,6 +55,12 @@ JakiroConfig FaultTolerantConfig(JakiroConfig base = {});
 // Behavior-neutral below the overload watermarks; see docs/overload.md.
 JakiroConfig OverloadProtectedConfig(JakiroConfig base = {});
 
+// Pipelined Jakiro: multi-slot channels with doorbell-batched posting
+// (docs/pipelining.md). MultiGet splits each owner's sub-batch across the
+// call window and submits the chunks back to back, so the per-chunk fetches
+// overlap instead of running strictly in sequence.
+JakiroConfig PipelinedConfig(JakiroConfig base = {}, int window = 8);
+
 class JakiroServer {
  public:
   JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config = {});
@@ -123,6 +129,13 @@ class JakiroClient {
   int num_channels() const { return static_cast<int>(channels_.size()); }
 
  private:
+  // MultiGet over pipelined channels (RfpOptions::window > 1): each owner's
+  // sub-batch is split into up to `window` chunks submitted back to back.
+  sim::Task<void> MultiGetPipelined(std::span<const std::span<const std::byte>> keys,
+                                    const std::vector<std::vector<size_t>>& by_owner,
+                                    std::span<std::byte> value_arena,
+                                    std::span<std::optional<std::span<const std::byte>>> values_out);
+
   JakiroServer& server_;
   std::vector<rfp::Channel*> channels_;
   std::vector<std::unique_ptr<rfp::RpcClient>> stubs_;

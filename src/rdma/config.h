@@ -59,6 +59,15 @@ struct NicConfig {
   int outbound_free_threads = 6;
   double outbound_read_thread_factor = 0.10;
   double outbound_write_thread_factor = 0.02;
+  // Doorbell batching (docs/pipelining.md): when several WRs are posted in
+  // one sweep, only the first op rings the doorbell and pays the full
+  // `outbound_issue_ns`; each follower in the batch is fetched by the NIC's
+  // WQE prefetcher and pays this marginal issue cost instead (still floored
+  // by wire serialization). Batching only thins the *out-bound* pipeline;
+  // the in-bound engine serves each op individually, so the paper's in/out
+  // asymmetry is preserved. ~120 ns keeps a follower cheaper than a doorbell
+  // but dearer than the in-bound gap.
+  double outbound_batch_marginal_ns = 120.0;
 
   // --- In-bound (responder) path ------------------------------------------
   // Minimum gap between in-bound one-sided ops served purely in hardware.

@@ -64,8 +64,14 @@ double Nic::OutboundMultiplier(Opcode op) const {
   return 1.0 + factor * static_cast<double>(extra);
 }
 
-sim::Time Nic::OutboundServiceTime(Opcode op, uint32_t payload) const {
-  double base = op == Opcode::kSend ? config_.two_sided_tx_ns : config_.outbound_issue_ns;
+sim::Time Nic::OutboundServiceTime(Opcode op, uint32_t payload, bool batch_follower) const {
+  // A batch follower rides the leader's doorbell: the pipeline only pays the
+  // marginal WQE-prefetch cost for it. The contention multiplier still
+  // applies (per-op requester state is held either way), as does the wire
+  // serialization floor, so large batched WRITEs stay bandwidth-bound.
+  double base = op == Opcode::kSend    ? config_.two_sided_tx_ns
+                : batch_follower       ? config_.outbound_batch_marginal_ns
+                                       : config_.outbound_issue_ns;
   base *= OutboundMultiplier(op);
   const double serialization = static_cast<double>(payload) / config_.bandwidth_bytes_per_ns;
   return FromNs(std::max(base, serialization) * outbound_degrade_);
@@ -87,11 +93,11 @@ sim::Task<void> Nic::CompletionOverhead() {
   co_await engine_.Sleep(FromNs(config_.completion_cpu_ns));
 }
 
-sim::Task<void> Nic::IssueOneSided(Opcode op, uint32_t outbound_payload) {
+sim::Task<void> Nic::IssueOneSided(Opcode op, uint32_t outbound_payload, bool batch_follower) {
   ++outbound_ops_;
   // Service time (and any jitter draw) is fixed at post time, before
   // queueing, so observability never changes the simulated schedule.
-  const sim::Time service = Jitter(OutboundServiceTime(op, outbound_payload));
+  const sim::Time service = Jitter(OutboundServiceTime(op, outbound_payload, batch_follower));
   issue_queue_depth_.Record(issue_pipeline_.queue_length());
   const sim::Time posted = engine_.now();
   co_await issue_pipeline_.Acquire();
@@ -187,6 +193,8 @@ void ValidateConfig(const NicConfig& config) {
                    "outbound_read_thread_factor must be >= 0");
   CheckNonNegative(config.outbound_write_thread_factor,
                    "outbound_write_thread_factor must be >= 0");
+  CheckNonNegative(config.outbound_batch_marginal_ns,
+                   "outbound_batch_marginal_ns must be >= 0");
   CheckNonNegative(config.inbound_min_gap_ns, "inbound_min_gap_ns must be >= 0");
   if (!(config.bandwidth_bytes_per_ns > 0.0)) Reject("bandwidth_bytes_per_ns must be > 0");
   CheckNonNegative(config.two_sided_tx_ns, "two_sided_tx_ns must be >= 0");

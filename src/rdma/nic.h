@@ -66,7 +66,11 @@ class Nic {
 
   // Occupies the serialized issue pipeline for a one-sided op that carries
   // `outbound_payload` bytes onto the wire (WRITE payload; 0 for READ).
-  sim::Task<void> IssueOneSided(Opcode op, uint32_t outbound_payload);
+  // `batch_follower` marks an op posted in the same doorbell batch as an
+  // earlier op: it pays the configured marginal issue cost instead of the
+  // full doorbell service (see NicConfig::outbound_batch_marginal_ns).
+  sim::Task<void> IssueOneSided(Opcode op, uint32_t outbound_payload,
+                                bool batch_follower = false);
 
   // Same, for a two-sided SEND carrying `payload` bytes.
   sim::Task<void> IssueTwoSided(uint32_t payload);
@@ -125,7 +129,8 @@ class Nic {
   }
 
   // Exposed for tests: effective service times under current contention.
-  sim::Time OutboundServiceTime(Opcode op, uint32_t payload) const;
+  sim::Time OutboundServiceTime(Opcode op, uint32_t payload,
+                                bool batch_follower = false) const;
   sim::Time InboundServiceTime(uint32_t payload) const;
 
  private:

@@ -66,7 +66,7 @@ void QueuePair::EndOp() {
 }
 
 sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                                          size_t remote_off, uint32_t len) {
+                                          size_t remote_off, uint32_t len, bool batch_follower) {
   WorkCompletion wc = MakeWc(Opcode::kRead, len, qp_num_);
   check::FabricChecker* chk = fabric_->checker();
   if (chk != nullptr) {
@@ -101,7 +101,7 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
   BeginOp();
   co_await nic.PostOverhead();
   // The READ request itself carries no payload outward.
-  co_await nic.IssueOneSided(Opcode::kRead, 0);
+  co_await nic.IssueOneSided(Opcode::kRead, 0, batch_follower);
   co_await eng.Sleep(fabric_->WireDelay(local_, peer_, /*reliable=*/true));
 
   MemoryRegion* target = fabric_->FindRemote(rkey);
@@ -141,7 +141,7 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
 }
 
 sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                                           size_t remote_off, uint32_t len) {
+                                           size_t remote_off, uint32_t len, bool batch_follower) {
   WorkCompletion wc = MakeWc(Opcode::kWrite, len, qp_num_);
   check::FabricChecker* chk = fabric_->checker();
   if (chk != nullptr) {
@@ -175,7 +175,7 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
   const uint64_t ticket = type_ == QpType::kRc ? ++next_ticket_ : 0;
   BeginOp();
   co_await nic.PostOverhead();
-  co_await nic.IssueOneSided(Opcode::kWrite, len);
+  co_await nic.IssueOneSided(Opcode::kWrite, len, batch_follower);
   // The payload leaves the local buffer during issue; snapshot it so the
   // caller may reuse the buffer immediately after completion.
   std::vector<std::byte> payload(len);
@@ -406,29 +406,31 @@ void QueuePair::PostRecv(uint64_t wr_id, MemoryRegion& mr, size_t offset, uint32
 uint32_t QueuePair::PeerQpNum() const { return peer_qp_num_; }
 
 void QueuePair::PostRead(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                         size_t remote_off, uint32_t len) {
+                         size_t remote_off, uint32_t len, bool batch_follower) {
   if (check::FabricChecker* chk = fabric_->checker()) {
     chk->OnAsyncPost(qp_num_, wr_id);
   }
   fabric_->engine().Spawn([](QueuePair* qp, uint64_t id, MemoryRegion* mr, size_t loff,
-                             RemoteKey key, size_t roff, uint32_t n) -> sim::Task<void> {
-    WorkCompletion wc = co_await qp->Read(*mr, loff, key, roff, n);
+                             RemoteKey key, size_t roff, uint32_t n,
+                             bool follower) -> sim::Task<void> {
+    WorkCompletion wc = co_await qp->Read(*mr, loff, key, roff, n, follower);
     wc.wr_id = id;
     qp->send_cq_->Push(wc);
-  }(this, wr_id, &local, local_off, rkey, remote_off, len));
+  }(this, wr_id, &local, local_off, rkey, remote_off, len, batch_follower));
 }
 
 void QueuePair::PostWrite(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                          size_t remote_off, uint32_t len) {
+                          size_t remote_off, uint32_t len, bool batch_follower) {
   if (check::FabricChecker* chk = fabric_->checker()) {
     chk->OnAsyncPost(qp_num_, wr_id);
   }
   fabric_->engine().Spawn([](QueuePair* qp, uint64_t id, MemoryRegion* mr, size_t loff,
-                             RemoteKey key, size_t roff, uint32_t n) -> sim::Task<void> {
-    WorkCompletion wc = co_await qp->Write(*mr, loff, key, roff, n);
+                             RemoteKey key, size_t roff, uint32_t n,
+                             bool follower) -> sim::Task<void> {
+    WorkCompletion wc = co_await qp->Write(*mr, loff, key, roff, n, follower);
     wc.wr_id = id;
     qp->send_cq_->Push(wc);
-  }(this, wr_id, &local, local_off, rkey, remote_off, len));
+  }(this, wr_id, &local, local_off, rkey, remote_off, len, batch_follower));
 }
 
 void QueuePair::PostSend(uint64_t wr_id, MemoryRegion& local, size_t local_off, uint32_t len) {

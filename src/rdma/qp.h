@@ -79,14 +79,17 @@ class QueuePair {
   // ---- Synchronous one-sided operations -----------------------------------
 
   // RDMA READ: fetches `len` bytes from (rkey, remote_off) on the connected
-  // peer into `local` at `local_off`.
+  // peer into `local` at `local_off`. `batch_follower` marks an op posted in
+  // the same doorbell batch as an earlier op on this QP; it pays the NIC's
+  // marginal batched-issue cost (NicConfig::outbound_batch_marginal_ns)
+  // instead of the full out-bound service.
   sim::Task<WorkCompletion> Read(MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                                 size_t remote_off, uint32_t len);
+                                 size_t remote_off, uint32_t len, bool batch_follower = false);
 
   // RDMA WRITE: pushes `len` bytes from `local` at `local_off` into
   // (rkey, remote_off) on the connected peer.
   sim::Task<WorkCompletion> Write(MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                                  size_t remote_off, uint32_t len);
+                                  size_t remote_off, uint32_t len, bool batch_follower = false);
 
   // ---- Synchronous two-sided operations ------------------------------------
 
@@ -110,9 +113,9 @@ class QueuePair {
   // ---- Asynchronous posts (completion delivered to the send CQ) -----------
 
   void PostRead(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                size_t remote_off, uint32_t len);
+                size_t remote_off, uint32_t len, bool batch_follower = false);
   void PostWrite(uint64_t wr_id, MemoryRegion& local, size_t local_off, RemoteKey rkey,
-                 size_t remote_off, uint32_t len);
+                 size_t remote_off, uint32_t len, bool batch_follower = false);
   void PostSend(uint64_t wr_id, MemoryRegion& local, size_t local_off, uint32_t len);
 
  private:

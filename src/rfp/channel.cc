@@ -30,17 +30,26 @@ Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
   ValidateOptions(options_);
   // Both blocks are sized for the larger (request) header plus the optional
   // checksum trailer after the max-sized payload; the response block simply
-  // carries a little slack.
+  // carries a little slack. A pipelined channel repeats the layout per slot:
+  // [req slot 0..W-1][resp slot 0..W-1] (W=1 is the paper's single pair).
   block_bytes_ = kReqHeaderBytes + options_.max_message_bytes + ChecksumBytes();
-  resp_offset_ = block_bytes_;
+  const size_t window = static_cast<size_t>(options_.window);
+  resp_offset_ = window * block_bytes_;
   auto [cqp, sqp] = fabric.ConnectRc(client, server);
   client_qp_ = cqp;
   server_qp_ = sqp;
-  // Request block is remotely written; response block is remotely read.
-  server_mr_ = server.RegisterMemory(2 * block_bytes_,
+  // Request ring is remotely written; response ring is remotely read.
+  server_mr_ = server.RegisterMemory(2 * window * block_bytes_,
                                      rdma::kAccessRemoteRead | rdma::kAccessRemoteWrite);
-  // Landing block is remotely written by reply pushes.
-  client_mr_ = client.RegisterMemory(2 * block_bytes_, rdma::kAccessRemoteWrite);
+  // Landing ring is remotely written by reply pushes.
+  client_mr_ = client.RegisterMemory(2 * window * block_bytes_, rdma::kAccessRemoteWrite);
+  if (options_.window > 1) {
+    cslots_.resize(window);
+    sslots_.resize(window);
+    if (check::FabricChecker* chk = fabric.checker()) {
+      chk->OnChannelWindow(this, options_.window);
+    }
+  }
   // Per-channel deterministic jitter stream (breaker open intervals, busy
   // retry backoff): the rkey is unique per channel within a fabric.
   rng_.Seed(sim::Mix64(options_.breaker_seed ^ server_mr_->remote_key().rkey));
@@ -108,6 +117,14 @@ Channel::~Channel() {
   }
   if (stats_.breaker_opens > 0) {
     reg.GetCounter("rfp.channel.breaker_opens", labels)->Add(stats_.breaker_opens);
+  }
+  // Pipelining counters register only when the channel ever batched, so
+  // window=1 runs keep their metric catalog unchanged.
+  if (stats_.doorbell_batches > 0) {
+    reg.GetCounter("rfp.channel.doorbell_batches", labels)->Add(stats_.doorbell_batches);
+    reg.GetCounter("rfp.channel.batched_ops", labels)->Add(stats_.batched_ops);
+    reg.GetHistogram("rfp.channel.batch_occupancy", labels)->Merge(stats_.batch_occupancy);
+    reg.GetHistogram("rfp.channel.submit_window", labels)->Merge(stats_.submit_window);
   }
   // Release the channel's fabric resources: the endpoints stop resolving and
   // the registration table drops both blocks, so any straggler holding a
@@ -179,8 +196,11 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
     co_return co_await AwaitReply(out);
   }
 
-  // Remote-fetch path: spin on RDMA READs of F bytes.
-  const uint32_t f = options_.fetch_size;
+  // Remote-fetch path: spin on RDMA READs of F bytes. A window=1 SubmitCall
+  // may have left a per-call fetch-size override.
+  const uint32_t f =
+      fetch_override_ != 0 ? EffectiveFetch(fetch_override_) : options_.fetch_size;
+  fetch_override_ = 0;
   sim::Time deadline = options_.fetch_timeout_ns > 0 ? start + options_.fetch_timeout_ns : 0;
   sim::Time backoff = options_.fetch_backoff_initial_ns;
   sim::Time slept = 0;  // backoff sleeps are idle time, not client CPU
@@ -481,12 +501,37 @@ void Channel::FinishReplyCall(const ResponseHeader& header) {
   }
 }
 
+uint32_t Channel::EffectiveFetch(uint32_t override_f) const {
+  return std::clamp<uint32_t>(override_f, kHeaderBytes, static_cast<uint32_t>(block_bytes_));
+}
+
 bool Channel::HasPendingRequest() const {
+  if (options_.window > 1) {
+    return PendingRequests() > 0;
+  }
   const RequestHeader header = server_mr_->Load<RequestHeader>(0);
   return wire::UnpackStatus(header.size_status) && header.seq != last_recv_seq_;
 }
 
+int Channel::PendingRequests() const {
+  if (options_.window == 1) {
+    return HasPendingRequest() ? 1 : 0;
+  }
+  int pending = 0;
+  for (int s = 0; s < options_.window; ++s) {
+    const RequestHeader header = server_mr_->Load<RequestHeader>(req_off(s));
+    if (wire::UnpackStatus(header.size_status) && header.slot == s &&
+        header.seq != sslot(s).last_recv_seq) {
+      ++pending;
+    }
+  }
+  return pending;
+}
+
 bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
+  if (options_.window > 1) {
+    return TryServerRecvSlot(out, size);
+  }
   const RequestHeader header = server_mr_->Load<RequestHeader>(0);
   if (!wire::UnpackStatus(header.size_status) || header.seq == last_recv_seq_) {
     return false;
@@ -512,6 +557,9 @@ bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
 sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
   if (msg.size() > options_.max_message_bytes) {
     throw std::invalid_argument("rfp channel: response exceeds max_message_bytes");
+  }
+  if (options_.window > 1) {
+    co_return co_await ServerSendSlot(msg);
   }
   ResponseHeader header;
   header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
@@ -554,6 +602,9 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
 }
 
 sim::Task<void> Channel::ServerSendBusy(BusyReason reason, uint16_t retry_after_us) {
+  if (options_.window > 1) {
+    co_return co_await ServerSendBusySlot(reason, retry_after_us);
+  }
   ResponseHeader header;
   header.size_status = wire::PackBusy(reason);
   header.time_us = retry_after_us;
@@ -679,11 +730,643 @@ sim::Task<void> Channel::ReissueRequest() {
   ++stats_.recovery_request_writes;
 }
 
-sim::Task<void> Channel::MaybeResendAfterSwitch() {
-  if (!response_pushed_ && last_resp_seq_ != 0 &&
-      server_visible_mode() == Mode::kServerReply) {
-    co_await PushReply();
+bool Channel::NeedsReplyResend() const {
+  if (server_visible_mode() != Mode::kServerReply) {
+    return false;
   }
+  if (options_.window == 1) {
+    return !response_pushed_ && last_resp_seq_ != 0;
+  }
+  for (const ServerSlot& ss : sslots_) {
+    if (!ss.response_pushed && ss.last_resp_seq != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+sim::Task<void> Channel::MaybeResendAfterSwitch() {
+  if (server_visible_mode() != Mode::kServerReply) {
+    co_return;
+  }
+  if (options_.window == 1) {
+    if (!response_pushed_ && last_resp_seq_ != 0) {
+      co_await PushReply();
+    }
+    co_return;
+  }
+  for (int s = 0; s < options_.window; ++s) {
+    if (!sslot(s).response_pushed && sslot(s).last_resp_seq != 0) {
+      co_await PushReplySlot(s);
+    }
+  }
+}
+
+// ---- Pipelined calls (docs/pipelining.md) ------------------------------------
+
+sim::Task<Channel::CallHandle> Channel::SubmitCall(std::span<const std::byte> msg,
+                                                   const CallOptions& opts) {
+  if (options_.window == 1) {
+    // Degenerate pipelining: SubmitCall is exactly ClientSend; the per-call
+    // fetch size is parked for the paired ClientRecv/AwaitCall.
+    fetch_override_ = opts.fetch_size;
+    co_await ClientSend(msg, opts.deadline_ns);
+    co_return CallHandle{0, seq_};
+  }
+  if (msg.size() > options_.max_message_bytes) {
+    throw std::invalid_argument("rfp channel: request exceeds max_message_bytes");
+  }
+  co_await MaybeAwaitBreaker();
+  int slot = -1;
+  for (int s = 0; s < options_.window; ++s) {
+    if (cslot(s).state == ClientSlot::State::kFree) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    // Thrown before the checker's OnClientSend: a rejected submit never
+    // becomes an outstanding call.
+    throw std::runtime_error("rfp channel: call window full");
+  }
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnClientSend(this);
+  }
+  if (++seq_ == 0) {
+    ++seq_;  // reserve 0 for "never used"
+  }
+  ClientSlot& cs = cslot(slot);
+  cs = ClientSlot{};
+  cs.state = ClientSlot::State::kStaged;
+  cs.seq = seq_;
+  cs.req_bytes = static_cast<uint32_t>(msg.size());
+  cs.deadline = opts.deadline_ns != 0 ? opts.deadline_ns
+                : options_.call_deadline_ns > 0 ? engine_.now() + options_.call_deadline_ns
+                                                : 0;
+  cs.fetch_override = opts.fetch_size;
+  RequestHeader header;
+  header.size_status = wire::PackSizeStatus(cs.req_bytes, true);
+  header.seq = cs.seq;
+  header.mode = static_cast<uint8_t>(mode_);
+  header.slot = static_cast<uint8_t>(slot);
+  header.deadline_ns = static_cast<uint64_t>(cs.deadline);
+  client_mr_->Store(req_off(slot), header);
+  client_mr_->WriteBytes(req_off(slot) + kReqHeaderBytes, msg);
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(client_mr_->remote_key().rkey, req_off(slot), kReqHeaderBytes + msg.size());
+  }
+  ++staged_count_;
+  stats_.submit_window.Record(posted_count_ + staged_count_);
+  co_return CallHandle{slot, cs.seq};
+}
+
+sim::Task<void> Channel::FlushCalls() {
+  if (options_.window == 1 || staged_count_ == 0) {
+    co_return;
+  }
+  const sim::Time start = engine_.now();
+  std::vector<BatchOp> ops;
+  std::vector<int> slots;
+  ops.reserve(static_cast<size_t>(staged_count_));
+  slots.reserve(static_cast<size_t>(staged_count_));
+  check::FabricChecker* chk = fabric_->checker();
+  for (int s = 0; s < options_.window; ++s) {
+    const ClientSlot& cs = cslot(s);
+    if (cs.state != ClientSlot::State::kStaged) {
+      continue;
+    }
+    // Refresh the staged header's mode byte: the channel may have switched
+    // paradigms since the submit, and slot 0's mode byte in the server block
+    // is the server's source of truth — posting a stale one would revert it.
+    client_mr_->Store<uint8_t>(req_off(s) + kRequestModeOffset, static_cast<uint8_t>(mode_));
+    if (chk != nullptr) {
+      chk->OnCpuStore(client_mr_->remote_key().rkey, req_off(s) + kRequestModeOffset, 1);
+    }
+    ops.push_back({/*is_read=*/false, req_off(s), req_off(s),
+                   kReqHeaderBytes + cs.req_bytes});
+    slots.push_back(s);
+  }
+  co_await RcBatch(/*from_client=*/true, ops, "request batch write");
+  for (int s : slots) {
+    cslot(s).state = ClientSlot::State::kPosted;
+    ++stats_.calls;
+    ++stats_.request_writes;
+    ++posted_count_;
+  }
+  staged_count_ = 0;
+  client_busy_.AddBusy(engine_.now() - start);
+}
+
+sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out) {
+  if (options_.window == 1) {
+    if (handle.seq != seq_) {
+      throw std::invalid_argument("rfp channel: stale call handle");
+    }
+    co_return co_await ClientRecv(out);
+  }
+  if (handle.slot < 0 || handle.slot >= options_.window) {
+    throw std::invalid_argument("rfp channel: call handle slot out of range");
+  }
+  const int slot = handle.slot;
+  ClientSlot& cs = cslot(slot);
+  if (cs.state == ClientSlot::State::kFree || cs.seq != handle.seq) {
+    throw std::invalid_argument("rfp channel: stale call handle");
+  }
+  const sim::Time start = engine_.now();
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnClientRecvStart(this);
+  }
+  co_await FlushCalls();
+  sim::Time fetch_deadline =
+      options_.fetch_timeout_ns > 0 ? start + options_.fetch_timeout_ns : 0;
+  sim::Time backoff = options_.fetch_backoff_initial_ns;
+  sim::Time slept = 0;  // backoff sleeps are idle time, not client CPU
+  while (true) {
+    if (mode_ == Mode::kServerReply) {
+      co_return co_await AwaitReplySlot(slot, out);
+    }
+    if (!cs.landing_ready) {
+      co_await FetchSweep(slot);
+    }
+    if (cs.landing_ready) {
+      const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(slot));
+      if (wire::UnpackBusy(header.size_status)) {
+        cs.landing_ready = false;
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_mr_->remote_key().rkey,
+                        land_off(slot), std::min<uint32_t>(kHeaderBytes, cs.fetched_len),
+                        cs.fetch_tick, "busy fetch");
+        }
+        RecordBusyResponse(header);
+        if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
+            (cs.deadline != 0 && engine_.now() >= cs.deadline)) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(engine_.now() - start - slept);
+          FreeSlot(slot);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded (request shed)");
+        }
+        const sim::Time delay = BusyRetryDelay(header.time_us, ++cs.busy_streak);
+        co_await engine_.Sleep(delay);
+        slept += delay;
+        if (cs.deadline != 0 && engine_.now() >= cs.deadline) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(engine_.now() - start - slept);
+          FreeSlot(slot);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded while backing off");
+        }
+        if (++cs.reissues > options_.max_reissue_attempts) {
+          FreeSlot(slot);
+          throw std::runtime_error("rfp channel: request shed after max reissues");
+        }
+        TransferAttemptReads(&cs.attempt_reads);
+        co_await ReissueRequestSlot(slot);
+        if (fetch_deadline != 0) {
+          fetch_deadline = engine_.now() + options_.fetch_timeout_ns;
+        }
+        cs.failed = 0;
+        continue;
+      }
+      cs.busy_streak = 0;
+      const uint32_t size = wire::UnpackSize(header.size_status);
+      if (size > out.size()) {
+        FreeSlot(slot);
+        throw std::length_error("rfp channel: response larger than output buffer");
+      }
+      const uint32_t total = kHeaderBytes + size + ChecksumBytes();
+      uint64_t remainder_tick = 0;
+      if (total > cs.fetched_len) {
+        // The sweep's fetch was short: one more READ collects the remainder.
+        const rdma::WorkCompletion rest_wc = co_await RcOp(
+            true, true, land_off(slot) + cs.fetched_len, land_off(slot) + cs.fetched_len,
+            total - cs.fetched_len, "remainder fetch");
+        remainder_tick = rest_wc.check_tick;
+        ++stats_.fetch_reads;
+        ++cs.attempt_reads;
+        ++stats_.extra_fetches;
+      }
+      if (options_.checksum_responses && !SlotChecksumOk(slot, size)) {
+        ++stats_.corrupt_fetches;
+        cs.landing_ready = false;
+        if (++cs.corrupt >= options_.corrupt_fetches_before_reissue) {
+          if (++cs.reissues > options_.max_reissue_attempts) {
+            FreeSlot(slot);
+            throw std::runtime_error("rfp channel: response corrupt after max reissues");
+          }
+          TransferAttemptReads(&cs.attempt_reads);
+          co_await ReissueRequestSlot(slot);
+          cs.corrupt = 0;
+        }
+        continue;
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        const uint32_t rkey = server_mr_->remote_key().rkey;
+        chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, land_off(slot),
+                      std::min(total, cs.fetched_len), cs.fetch_tick, "result fetch");
+        if (total > cs.fetched_len) {
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey,
+                        land_off(slot) + cs.fetched_len, total - cs.fetched_len,
+                        remainder_tick, "remainder fetch");
+        }
+        chk->OnClientRecvDone(this);
+      }
+      client_mr_->ReadBytes(land_off(slot) + kHeaderBytes, out.subspan(0, size));
+      last_server_time_us_ = header.time_us;
+      stats_.retries_per_call.Record(cs.failed);
+      // ">=" rather than the scalar path's "==": a piggybacked sweep can step
+      // another slot's failure count past R between this slot's awaits.
+      slow_streak_ = cs.failed >= options_.retry_threshold && !OverloadSuppressesSwitch()
+                         ? slow_streak_ + 1
+                         : 0;
+      RecordBreakerOutcome(false);
+      if (calls_since_busy_ < (1 << 30)) {
+        ++calls_since_busy_;
+      }
+      client_busy_.AddBusy(engine_.now() - start - slept);
+      FreeSlot(slot);
+      co_return size;
+    }
+    // The sweep came back without this slot's response.
+    if (cs.failed >= options_.retry_threshold && adaptive() && !OverloadSuppressesSwitch() &&
+        slow_streak_ + 1 >= options_.slow_calls_before_switch) {
+      stats_.retries_per_call.Record(cs.failed);
+      client_busy_.AddBusy(engine_.now() - start - slept);
+      co_await SwitchToReply();
+      co_return co_await AwaitReplySlot(slot, out);
+    }
+    if (fetch_deadline != 0 && engine_.now() >= fetch_deadline) {
+      ++stats_.fetch_timeouts;
+      RecordBreakerOutcome(true);
+      if (sim::TraceSink* trace = engine_.trace_sink()) {
+        trace->Instant("rfp", "fetch_timeout", reinterpret_cast<uint64_t>(this), engine_.now());
+      }
+      if (adaptive()) {
+        stats_.retries_per_call.Record(cs.failed);
+        client_busy_.AddBusy(engine_.now() - start - slept);
+        co_await SwitchToReply();
+        co_return co_await AwaitReplySlot(slot, out);
+      }
+      if (++cs.reissues > options_.max_reissue_attempts) {
+        FreeSlot(slot);
+        throw std::runtime_error("rfp channel: fetch timed out after max reissues");
+      }
+      TransferAttemptReads(&cs.attempt_reads);
+      co_await ReissueRequestSlot(slot);
+      fetch_deadline = engine_.now() + options_.fetch_timeout_ns;
+      cs.failed = 0;
+    }
+    if (cs.deadline != 0 && engine_.now() >= cs.deadline) {
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        chk->OnClientRecvDone(this);
+      }
+      client_busy_.AddBusy(engine_.now() - start - slept);
+      FreeSlot(slot);
+      throw DeadlineExceeded("rfp channel: call deadline exceeded while fetching");
+    }
+    if (backoff > 0 && cs.failed > options_.retry_threshold) {
+      co_await engine_.Sleep(backoff);
+      slept += backoff;
+      const sim::Time cap =
+          std::max<sim::Time>(options_.fetch_backoff_max_ns, options_.fetch_backoff_initial_ns);
+      backoff = std::min<sim::Time>(backoff * 2, cap);
+    }
+  }
+}
+
+sim::Task<void> Channel::FetchSweep(int primary) {
+  std::vector<BatchOp> ops;
+  std::vector<int> slots;
+  const auto add = [&](int s) {
+    const ClientSlot& cs = cslot(s);
+    if (cs.state != ClientSlot::State::kPosted || cs.landing_ready) {
+      return;
+    }
+    const uint32_t f =
+        cs.fetch_override != 0 ? EffectiveFetch(cs.fetch_override) : options_.fetch_size;
+    ops.push_back({/*is_read=*/true, land_off(s), land_off(s), f});
+    slots.push_back(s);
+  };
+  // The awaited slot leads (it pays the doorbell); every other in-flight
+  // slot's fetch rides the same batch at the marginal issue cost.
+  add(primary);
+  for (int s = 0; s < options_.window; ++s) {
+    if (s != primary) {
+      add(s);
+    }
+  }
+  if (ops.empty()) {
+    co_return;
+  }
+  const std::vector<rdma::WorkCompletion> wcs =
+      co_await RcBatch(/*from_client=*/true, ops, "result fetch");
+  for (size_t i = 0; i < slots.size(); ++i) {
+    ClientSlot& cs = cslot(slots[i]);
+    ++stats_.fetch_reads;
+    ++cs.attempt_reads;
+    const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(slots[i]));
+    if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
+      cs.landing_ready = true;
+      cs.fetch_tick = wcs[i].check_tick;
+      cs.fetched_len = ops[i].len;
+    } else {
+      ++cs.failed;
+      ++stats_.failed_fetches;
+    }
+  }
+}
+
+sim::Task<size_t> Channel::AwaitReplySlot(int slot, std::span<std::byte> out) {
+  ClientSlot& cs = cslot(slot);
+  while (true) {
+    const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(slot));
+    if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
+      if (wire::UnpackBusy(header.size_status)) {
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
+                        land_off(slot), kHeaderBytes, 0, "busy reply");
+        }
+        RecordBusyResponse(header);
+        if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
+            (cs.deadline != 0 && engine_.now() >= cs.deadline)) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+          FreeSlot(slot);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded (request shed)");
+        }
+        const sim::Time delay = BusyRetryDelay(header.time_us, ++cs.busy_streak);
+        co_await engine_.Sleep(delay);
+        if (cs.deadline != 0 && engine_.now() >= cs.deadline) {
+          if (check::FabricChecker* chk = fabric_->checker()) {
+            chk->OnClientRecvDone(this);
+          }
+          client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+          FreeSlot(slot);
+          throw DeadlineExceeded("rfp channel: call deadline exceeded while backing off");
+        }
+        if (++cs.reissues > options_.max_reissue_attempts) {
+          FreeSlot(slot);
+          throw std::runtime_error("rfp channel: request shed after max reissues");
+        }
+        co_await ReissueRequestSlot(slot);
+        client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+        continue;
+      }
+      const uint32_t size = wire::UnpackSize(header.size_status);
+      if (size > out.size()) {
+        FreeSlot(slot);
+        throw std::length_error("rfp channel: response larger than output buffer");
+      }
+      if (options_.checksum_responses && !SlotChecksumOk(slot, size)) {
+        ++stats_.corrupt_fetches;
+        if (++cs.reissues > options_.max_reissue_attempts) {
+          FreeSlot(slot);
+          throw std::runtime_error("rfp channel: pushed reply corrupt after max reissues");
+        }
+        co_await ReissueRequestSlot(slot);
+        client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+        co_await engine_.Sleep(options_.reply_poll_interval_ns);
+        continue;
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
+                      land_off(slot), kHeaderBytes + size + ChecksumBytes(), 0, "reply await");
+        chk->OnClientRecvDone(this);
+      }
+      client_mr_->ReadBytes(land_off(slot) + kHeaderBytes, out.subspan(0, size));
+      client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+      FinishReplyCall(header);
+      FreeSlot(slot);
+      co_return size;
+    }
+    client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+    if (cs.deadline != 0 && engine_.now() >= cs.deadline) {
+      if (check::FabricChecker* chk = fabric_->checker()) {
+        chk->OnClientRecvDone(this);
+      }
+      FreeSlot(slot);
+      throw DeadlineExceeded("rfp channel: call deadline exceeded awaiting reply");
+    }
+    co_await engine_.Sleep(options_.reply_poll_interval_ns);
+  }
+}
+
+sim::Task<void> Channel::ReissueRequestSlot(int slot) {
+  ClientSlot& cs = cslot(slot);
+  ++stats_.reissues;
+  if (++seq_ == 0) {
+    ++seq_;  // 0 stays reserved for "never used"
+  }
+  cs.seq = seq_;
+  cs.landing_ready = false;
+  RequestHeader header;
+  header.size_status = wire::PackSizeStatus(cs.req_bytes, true);
+  header.seq = cs.seq;
+  header.mode = static_cast<uint8_t>(mode_);
+  header.slot = static_cast<uint8_t>(slot);
+  header.deadline_ns = static_cast<uint64_t>(cs.deadline);
+  client_mr_->Store(req_off(slot), header);  // the payload is still staged
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(client_mr_->remote_key().rkey, req_off(slot), kReqHeaderBytes);
+  }
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", "reissue", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  co_await RcOp(/*from_client=*/true, /*is_read=*/false, req_off(slot), req_off(slot),
+                kReqHeaderBytes + cs.req_bytes, "request reissue");
+  ++stats_.recovery_request_writes;
+}
+
+bool Channel::SlotChecksumOk(int slot, uint32_t size) const {
+  const uint64_t stored =
+      client_mr_->Load<uint64_t>(land_off(slot) + kHeaderBytes + size);
+  const std::span<const std::byte> payload =
+      client_mr_->bytes().subspan(land_off(slot) + kHeaderBytes, size);
+  return stored == wire::Checksum64(payload, cslot(slot).seq);
+}
+
+void Channel::FreeSlot(int slot) {
+  ClientSlot& cs = cslot(slot);
+  if (cs.state == ClientSlot::State::kPosted) {
+    --posted_count_;
+  } else if (cs.state == ClientSlot::State::kStaged) {
+    --staged_count_;
+  }
+  cs = ClientSlot{};
+}
+
+bool Channel::TryServerRecvSlot(std::span<std::byte> out, size_t* size) {
+  for (int i = 0; i < options_.window; ++i) {
+    const int s = (recv_rr_ + i) % options_.window;
+    const RequestHeader header = server_mr_->Load<RequestHeader>(req_off(s));
+    if (!wire::UnpackStatus(header.size_status) || header.slot != s ||
+        header.seq == sslot(s).last_recv_seq) {
+      continue;
+    }
+    const uint32_t payload = wire::UnpackSize(header.size_status);
+    if (payload > out.size()) {
+      throw std::length_error("rfp channel: request larger than server buffer");
+    }
+    if (check::FabricChecker* chk = fabric_->checker()) {
+      chk->OnAccept(check::ViolationKind::kRaceRecvStore, server_mr_->remote_key().rkey,
+                    req_off(s), kReqHeaderBytes + payload, 0, "server recv");
+    }
+    server_mr_->ReadBytes(req_off(s) + kReqHeaderBytes, out.subspan(0, payload));
+    *size = payload;
+    ServerSlot& ss = sslot(s);
+    ss.last_recv_seq = header.seq;
+    ss.recv_time = engine_.now();
+    last_recv_slot_ = s;
+    last_recv_deadline_ns_ = header.deadline_ns;  // mirror for last_request_deadline_ns()
+    recv_rr_ = (s + 1) % options_.window;
+    return true;
+  }
+  return false;
+}
+
+sim::Task<void> Channel::ServerSendSlot(std::span<const std::byte> msg) {
+  const int s = last_recv_slot_;
+  ServerSlot& ss = sslot(s);
+  const size_t off = land_off(s);
+  ResponseHeader header;
+  header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
+  header.time_us = SaturateTimeUs(engine_.now() - ss.recv_time);
+  header.seq = ss.last_recv_seq;
+  check::FabricChecker* chk = fabric_->checker();
+  const uint32_t rkey = server_mr_->remote_key().rkey;
+  // Same publication order as the scalar path: payload, checksum trailer,
+  // header last (docs/static_analysis.md).
+  server_mr_->WriteBytes(off + kHeaderBytes, msg);
+  if (chk != nullptr) {
+    chk->OnCpuStore(rkey, off + kHeaderBytes, msg.size());
+  }
+  if (options_.checksum_responses) {
+    server_mr_->Store(off + kHeaderBytes + msg.size(), wire::Checksum64(msg, ss.last_recv_seq));
+    if (chk != nullptr) {
+      chk->OnCpuStore(rkey, off + kHeaderBytes + msg.size(), kChecksumBytes);
+    }
+  }
+  server_mr_->Store(off, header);
+  if (chk != nullptr) {
+    chk->OnCpuStore(rkey, off, kHeaderBytes);
+    chk->OnPublish(rkey, off, kHeaderBytes + msg.size() + ChecksumBytes());
+  }
+  ss.last_resp_seq = ss.last_recv_seq;
+  ss.last_resp_size = static_cast<uint32_t>(msg.size());
+  ss.last_resp_busy = false;
+  ss.response_pushed = false;
+  if (server_visible_mode() == Mode::kServerReply) {
+    co_await PushReplySlot(s);
+  }
+}
+
+sim::Task<void> Channel::ServerSendBusySlot(BusyReason reason, uint16_t retry_after_us) {
+  const int s = last_recv_slot_;
+  ServerSlot& ss = sslot(s);
+  const size_t off = land_off(s);
+  ResponseHeader header;
+  header.size_status = wire::PackBusy(reason);
+  header.time_us = retry_after_us;
+  header.seq = ss.last_recv_seq;
+  const uint32_t rkey = server_mr_->remote_key().rkey;
+  // Header-only single-store publication, as in the scalar path.
+  server_mr_->Store(off, header);
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(rkey, off, kHeaderBytes);
+    chk->OnPublish(rkey, off, kHeaderBytes);
+  }
+  if (reason == BusyReason::kAdmission) {
+    ++stats_.shed_admission;
+  } else {
+    ++stats_.shed_deadline;
+  }
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp",
+                   reason == BusyReason::kAdmission ? "shed_admission" : "shed_deadline",
+                   reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  ss.last_resp_seq = ss.last_recv_seq;
+  ss.last_resp_size = 0;
+  ss.last_resp_busy = true;
+  ss.response_pushed = false;
+  if (server_visible_mode() == Mode::kServerReply) {
+    co_await PushReplySlot(s);
+  }
+}
+
+sim::Task<void> Channel::PushReplySlot(int slot) {
+  ServerSlot& ss = sslot(slot);
+  const uint32_t len =
+      ss.last_resp_busy ? kHeaderBytes : kHeaderBytes + ss.last_resp_size + ChecksumBytes();
+  co_await RcOp(/*from_client=*/false, /*is_read=*/false, land_off(slot), land_off(slot), len,
+                "reply push");
+  ss.response_pushed = true;
+  ++stats_.reply_pushes;
+}
+
+sim::Task<std::vector<rdma::WorkCompletion>> Channel::RcBatch(bool from_client,
+                                                              const std::vector<BatchOp>& ops,
+                                                              const char* what) {
+  std::vector<rdma::WorkCompletion> out(ops.size());
+  if (ops.empty()) {
+    co_return out;
+  }
+  std::vector<char> done(ops.size(), 0);
+  size_t remaining = ops.size();
+  for (int attempt = 0; remaining > 0; ++attempt) {
+    // Re-resolve the endpoints each attempt: a reconnect replaces them.
+    rdma::QueuePair* qp = from_client ? client_qp_ : server_qp_;
+    rdma::MemoryRegion* local = from_client ? client_mr_ : server_mr_;
+    rdma::MemoryRegion* remote = from_client ? server_mr_ : client_mr_;
+    size_t posted = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      const BatchOp& op = ops[i];
+      // Every WR after the first rides the leader's doorbell at the batched
+      // marginal issue cost (see rdma::NicConfig::outbound_batch_marginal_ns).
+      if (op.is_read) {
+        qp->PostRead(i, *local, op.local_off, remote->remote_key(), op.remote_off, op.len,
+                     /*batch_follower=*/posted > 0);
+      } else {
+        qp->PostWrite(i, *local, op.local_off, remote->remote_key(), op.remote_off, op.len,
+                      /*batch_follower=*/posted > 0);
+      }
+      ++posted;
+    }
+    ++stats_.doorbell_batches;
+    stats_.batch_occupancy.Record(static_cast<int64_t>(posted));
+    stats_.batched_ops += posted - 1;
+    bool qp_error = false;
+    for (size_t c = 0; c < posted; ++c) {
+      const rdma::WorkCompletion wc = co_await qp->send_cq()->Wait();
+      out[wc.wr_id] = wc;
+      if (wc.status == rdma::WcStatus::kQpError) {
+        qp_error = true;
+        continue;
+      }
+      CheckOk(wc, what);
+      done[wc.wr_id] = 1;
+      --remaining;
+    }
+    if (remaining == 0) {
+      break;
+    }
+    if (!qp_error || attempt >= options_.max_reconnect_attempts) {
+      for (size_t i = 0; i < ops.size(); ++i) {
+        if (!done[i]) {
+          CheckOk(out[i], what);  // throws, reporting the failure
+        }
+      }
+    }
+    co_await EnsureConnected(qp);
+  }
+  co_return out;
 }
 
 // ---- Overload protection (docs/overload.md) ----------------------------------

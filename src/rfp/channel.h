@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "src/rdma/fabric.h"
 #include "src/rdma/memory.h"
@@ -82,8 +83,15 @@ class Channel {
     uint64_t shed_admission = 0;  // requests shed by admission control (server side)
     uint64_t shed_deadline = 0;   // requests shed as already expired (server side)
     uint64_t breaker_opens = 0;   // circuit-breaker closed/half-open -> open
+    // Pipelining (docs/pipelining.md; all zero on window=1 channels).
+    uint64_t doorbell_batches = 0;  // posting sweeps (one leader doorbell each)
+    uint64_t batched_ops = 0;       // follower WRs that rode a leader's doorbell
     // Failed-retry count per completed remote-fetch call (Table 3).
     sim::Histogram retries_per_call;
+    // Outstanding calls (posted + staged) sampled at each SubmitCall, and
+    // WRs per doorbell batch (window=1 channels record neither).
+    sim::Histogram submit_window;
+    sim::Histogram batch_occupancy;
 
     // Average RDMA round trips needed per completed call (paper Section 4.3
     // reports 2.005 for Jakiro). Counts only primary-path traffic; recovery
@@ -142,11 +150,51 @@ class Channel {
   // transparently backs off and re-issues on BUSY(admission).
   sim::Task<size_t> ClientRecv(std::span<std::byte> out);
 
+  // ---- Pipelined call surface (docs/pipelining.md) -------------------------
+
+  // Identifies one in-flight pipelined call: the request/response slot it
+  // occupies and the wire sequence tag it was issued under.
+  struct CallHandle {
+    int slot = 0;
+    uint16_t seq = 0;
+  };
+
+  // Stages one request into a free slot and returns its handle. On a
+  // window=1 channel this is exactly ClientSend (the request is written
+  // immediately); with window > 1 the request stays staged until the next
+  // FlushCalls/AwaitCall, so a burst of submits coalesces into one
+  // doorbell-batched posting sweep. Throws when all `window` slots hold
+  // in-flight calls.
+  sim::Task<CallHandle> SubmitCall(std::span<const std::byte> msg,
+                                   const CallOptions& opts = {});
+
+  // Posts every staged request in one doorbell batch (the first WRITE pays
+  // the full out-bound issue cost, followers the batched marginal). No-op on
+  // window=1 channels or when nothing is staged; AwaitCall flushes
+  // implicitly.
+  sim::Task<void> FlushCalls();
+
+  // Completes the call identified by `handle` into `out`; returns the
+  // payload size. Fetch sweeps piggyback READs for every other in-flight
+  // slot onto the awaited slot's doorbell, so responses land regardless of
+  // await order. Same failure semantics as ClientRecv (DeadlineExceeded,
+  // BUSY re-issue, checksum re-issue, mode switching — the paradigm switch
+  // stays channel-level).
+  sim::Task<size_t> AwaitCall(CallHandle handle, std::span<std::byte> out);
+
+  // Outstanding-call capacity of this channel (RfpOptions::window).
+  int window() const { return options_.window; }
+
   // ---- Server-side primitives ----------------------------------------------
 
   // Non-consuming peek: true when a request is pending in the request block.
   // Sweep loops use it to estimate backlog before deciding admission.
   bool HasPendingRequest() const;
+
+  // Pending (written but not yet consumed) requests across all slots; equals
+  // HasPendingRequest() ? 1 : 0 on window=1 channels. Sweep loops use it to
+  // estimate backlog on pipelined channels.
+  int PendingRequests() const;
 
   // Non-blocking poll of the request block. On success copies the payload
   // into `out`, stores its size in `*size`, and returns true.
@@ -165,13 +213,11 @@ class Channel {
   // should retry.
   sim::Task<void> ServerSendBusy(BusyReason reason, uint16_t retry_after_us);
 
-  // True when the last response was stored locally but never pushed while
-  // the client is (now) in server-reply mode — the switch race. Cheap; sweep
-  // loops use it to gate MaybeResendAfterSwitch.
-  bool NeedsReplyResend() const {
-    return !response_pushed_ && last_resp_seq_ != 0 &&
-           server_visible_mode() == Mode::kServerReply;
-  }
+  // True when a response was stored locally but never pushed while the
+  // client is (now) in server-reply mode — the switch race. Cheap; sweep
+  // loops use it to gate MaybeResendAfterSwitch. Checks every slot on a
+  // pipelined channel.
+  bool NeedsReplyResend() const;
 
   // Re-pushes the last response if the client switched to server-reply after
   // the response was stored locally (closing the switch race). Server sweep
@@ -205,6 +251,71 @@ class Channel {
 
  private:
   bool adaptive() const { return options_.force_mode == RfpOptions::ForceMode::kAdaptive; }
+
+  // Slot layout: the server block is [req slot 0..W-1][resp slot 0..W-1] and
+  // the client block mirrors it as [staging 0..W-1][landing 0..W-1]; W=1
+  // degenerates to the paper's single request/response block pair.
+  size_t req_off(int slot) const { return static_cast<size_t>(slot) * block_bytes_; }
+  size_t land_off(int slot) const {
+    return resp_offset_ + static_cast<size_t>(slot) * block_bytes_;
+  }
+
+  // Per-slot client call state, used only when window > 1 (window=1 calls
+  // run the original scalar-state paths untouched).
+  struct ClientSlot {
+    enum class State : uint8_t { kFree, kStaged, kPosted };
+    State state = State::kFree;
+    uint16_t seq = 0;
+    uint32_t req_bytes = 0;  // staged payload bytes, kept for re-issue
+    sim::Time deadline = 0;  // absolute call deadline; 0 = none
+    uint32_t fetch_override = 0;
+    int failed = 0;              // failed fetches of the current attempt
+    int reissues = 0;
+    int corrupt = 0;
+    int busy_streak = 0;
+    uint64_t attempt_reads = 0;  // moved to recovery bucket on re-issue
+    bool landing_ready = false;  // a matching response header landed
+    uint64_t fetch_tick = 0;     // check_tick of the READ that landed it
+    uint32_t fetched_len = 0;    // bytes that READ carried
+  };
+
+  // Per-slot server state, used only when window > 1.
+  struct ServerSlot {
+    uint16_t last_recv_seq = 0;
+    uint16_t last_resp_seq = 0;
+    bool response_pushed = true;
+    sim::Time recv_time = 0;
+    uint32_t last_resp_size = 0;
+    bool last_resp_busy = false;
+  };
+
+  // One WR of a doorbell batch (see RcBatch).
+  struct BatchOp {
+    bool is_read = false;
+    size_t local_off = 0;
+    size_t remote_off = 0;
+    uint32_t len = 0;
+  };
+
+  uint32_t EffectiveFetch(uint32_t override_f) const;
+  void FreeSlot(int slot);
+  // Posts all `ops` on the channel's RC pair in one doorbell batch (the
+  // first WR pays the full issue cost, followers the batched marginal) and
+  // collects their completions, reconnecting and re-posting unfinished ops
+  // on a QP error. Returns completions indexed like `ops`.
+  sim::Task<std::vector<rdma::WorkCompletion>> RcBatch(bool from_client,
+                                                       const std::vector<BatchOp>& ops,
+                                                       const char* what);
+  // One batched fetch sweep: READs the awaited slot first (it leads the
+  // doorbell), piggybacking READs for every other in-flight fetch-mode slot.
+  sim::Task<void> FetchSweep(int primary);
+  sim::Task<size_t> AwaitReplySlot(int slot, std::span<std::byte> out);
+  sim::Task<void> ReissueRequestSlot(int slot);
+  bool SlotChecksumOk(int slot, uint32_t size) const;
+  bool TryServerRecvSlot(std::span<std::byte> out, size_t* size);
+  sim::Task<void> ServerSendSlot(std::span<const std::byte> msg);
+  sim::Task<void> ServerSendBusySlot(BusyReason reason, uint16_t retry_after_us);
+  sim::Task<void> PushReplySlot(int slot);
 
   ResponseHeader LandingHeader() const;
   // Flips the channel to server-reply and tells the server (1-byte WRITE).
@@ -280,6 +391,7 @@ class Channel {
   // Client state.
   uint16_t seq_ = 0;
   uint32_t last_req_size_ = 0;  // payload bytes still staged for re-issue
+  uint32_t fetch_override_ = 0;  // window=1 SubmitCall per-call fetch size
   bool reconnect_in_progress_ = false;
   Mode mode_ = Mode::kRemoteFetch;
   sim::Time reply_mode_since_ = 0;  // trace: start of the current reply-mode span
@@ -297,6 +409,18 @@ class Channel {
   int breaker_window_bad_ = 0;
   uint16_t last_retry_after_us_ = 0;
   sim::Rng rng_{0x4252};  // re-seeded per channel in the ctor
+
+  // Pipelined-call state (empty / unused when window == 1).
+  std::vector<ClientSlot> cslots_;
+  std::vector<ServerSlot> sslots_;
+  ClientSlot& cslot(int s) { return cslots_[static_cast<size_t>(s)]; }
+  const ClientSlot& cslot(int s) const { return cslots_[static_cast<size_t>(s)]; }
+  ServerSlot& sslot(int s) { return sslots_[static_cast<size_t>(s)]; }
+  const ServerSlot& sslot(int s) const { return sslots_[static_cast<size_t>(s)]; }
+  int staged_count_ = 0;
+  int posted_count_ = 0;
+  int last_recv_slot_ = 0;  // slot of the request TryServerRecv returned
+  int recv_rr_ = 0;         // round-robin start of the server's slot scan
 
   // Server state.
   uint16_t last_recv_seq_ = 0;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/rfp/wire.h"
+
 namespace rfp {
 
 namespace {
@@ -34,6 +36,19 @@ void ValidateOptions(const RfpOptions& options) {
     Reject("fast_calls_before_switch_back must be >= 1");
   }
   if (options.max_message_bytes == 0) Reject("max_message_bytes must be > 0");
+  if (options.window < 1) Reject("window must be >= 1");
+  if (options.window > kMaxWindow) Reject("window must be <= wire::kMaxWindow");
+  if (options.max_registered_bytes == 0) Reject("max_registered_bytes must be > 0");
+  {
+    // Request ring + response ring must fit in the per-channel registration
+    // budget; the response slot grows by the checksum trailer when enabled.
+    const uint64_t slot = static_cast<uint64_t>(kReqHeaderBytes) + options.max_message_bytes +
+                          (options.checksum_responses ? kChecksumBytes : 0);
+    if (uint64_t{2} * static_cast<uint64_t>(options.window) * slot >
+        options.max_registered_bytes) {
+      Reject("window * slot size exceeds max_registered_bytes");
+    }
+  }
   CheckPositive(options.reply_poll_interval_ns, "reply_poll_interval_ns must be > 0");
   CheckNonNegative(options.reply_poll_cpu_ns, "reply_poll_cpu_ns must be >= 0");
   CheckNonNegative(options.fetch_timeout_ns, "fetch_timeout_ns must be >= 0");

@@ -34,6 +34,21 @@ struct RfpOptions {
   // Largest message (request or response payload) a channel can carry.
   uint32_t max_message_bytes = 8192 + 64;
 
+  // ---- Pipelining (docs/pipelining.md) -------------------------------------
+
+  // W: outstanding calls the channel supports via per-channel request and
+  // response slot rings. 1 (the default) is the paper's one-call-at-a-time
+  // channel, bit-for-bit identical to the pre-pipelining implementation;
+  // window > 1 enables Channel::SubmitCall/AwaitCall with doorbell-batched
+  // posting. Bounded by wire::kMaxWindow.
+  int window = 1;
+
+  // Upper bound on the registered memory a single channel may pin on the
+  // server: 2 * window * slot bytes must fit (request ring + response ring).
+  // Guards against a window * max_message_bytes combination that would ask
+  // the server to register an unbounded block per channel.
+  uint32_t max_registered_bytes = 2u << 20;
+
   // Forces a fixed paradigm, disabling the hybrid switch. Used by the
   // ServerReply baseline ("Jakiro w/o switch" in Fig 14 uses kForceFetch).
   enum class ForceMode : uint8_t { kAdaptive, kForceFetch, kForceReply };
@@ -122,6 +137,22 @@ struct RfpOptions {
   // switches (fetch_timeout_ns) are NOT suppressed: they are the crash
   // recovery path, not a load signal.
   int overload_override_calls = 8;
+};
+
+// Per-call options for RpcClient::Call / SubmitCall (docs/pipelining.md §4).
+// Collapses what used to be positional trailing parameters into named fields
+// with neutral defaults; a default-constructed CallOptions reproduces the old
+// `Call(rpc_id, request, response)` behavior exactly.
+struct CallOptions {
+  // Absolute-relative per-call deadline: the call throws DeadlineExceeded if
+  // it is not complete within this many ns of issue. 0 falls back to the
+  // channel-level RfpOptions::call_deadline_ns (which itself defaults to 0 =
+  // no deadline).
+  sim::Time deadline_ns = 0;
+
+  // Per-call override of RfpOptions::fetch_size for this call's first fetch.
+  // 0 = use the channel default. Clamped to the channel's response block.
+  uint32_t fetch_size = 0;
 };
 
 struct ServerOptions {

@@ -147,9 +147,7 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
     if (options_.admission_control) {
       size_t pending = 0;
       for (Channel* channel : state.channels) {
-        if (channel->HasPendingRequest()) {
-          ++pending;
-        }
+        pending += static_cast<size_t>(channel->PendingRequests());
       }
       const double per_request =
           std::max(state.process_ewma_ns, static_cast<double>(options_.dispatch_cpu_ns));
@@ -183,73 +181,80 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
       if (channel->NeedsReplyResend()) {
         co_await channel->MaybeResendAfterSwitch();
       }
-      size_t request_size = 0;
-      if (!channel->TryServerRecv(state.request_buf, &request_size)) {
-        continue;
-      }
-      any = true;
-      // Deadline shedding: a request whose propagated deadline already
-      // passed is dead on arrival — publish BUSY(deadline) instead of
-      // burning handler time on a response the client will discard. Active
-      // whenever the request carries a deadline, admission control or not.
-      const uint64_t request_deadline = channel->last_request_deadline_ns();
-      if (request_deadline != 0 && static_cast<uint64_t>(engine.now()) > request_deadline) {
-        ++requests_shed_deadline_;
-        if (options_.shed_cpu_ns > 0) {
-          co_await engine.Sleep(options_.shed_cpu_ns);
+      // A pipelined channel (RfpOptions::window > 1) can hold up to `window`
+      // ready request slots; drain them all in this visit so one sweep
+      // serves a whole doorbell batch. window == 1 runs the body at most
+      // once and pays exactly one header poll, as before.
+      for (int served_here = 0; served_here < channel->window(); ++served_here) {
+        size_t request_size = 0;
+        if (!channel->TryServerRecv(state.request_buf, &request_size)) {
+          break;
         }
-        co_await channel->ServerSendBusy(BusyReason::kDeadline, retry_hint_us);
-        continue;
-      }
-      // Admission control: while overloaded, at most admission_budget
-      // requests per sweep run handlers; the rest are shed with a first-
-      // class BUSY instead of silently aging in the request blocks.
-      if (options_.admission_control && state.overloaded &&
-          admitted >= options_.admission_budget) {
-        ++requests_shed_admission_;
-        if (options_.shed_cpu_ns > 0) {
-          co_await engine.Sleep(options_.shed_cpu_ns);
+        any = true;
+        // Deadline shedding: a request whose propagated deadline already
+        // passed is dead on arrival — publish BUSY(deadline) instead of
+        // burning handler time on a response the client will discard. Active
+        // whenever the request carries a deadline, admission control or not.
+        const uint64_t request_deadline = channel->last_request_deadline_ns();
+        if (request_deadline != 0 && static_cast<uint64_t>(engine.now()) > request_deadline) {
+          ++requests_shed_deadline_;
+          if (options_.shed_cpu_ns > 0) {
+            co_await engine.Sleep(options_.shed_cpu_ns);
+          }
+          co_await channel->ServerSendBusy(BusyReason::kDeadline, retry_hint_us);
+          continue;  // a shed slot still leaves the rest of the window to serve
         }
-        co_await channel->ServerSendBusy(BusyReason::kAdmission, retry_hint_us);
-        continue;
+        // Admission control: while overloaded, at most admission_budget
+        // requests per sweep run handlers; the rest are shed with a first-
+        // class BUSY instead of silently aging in the request blocks.
+        if (options_.admission_control && state.overloaded &&
+            admitted >= options_.admission_budget) {
+          ++requests_shed_admission_;
+          if (options_.shed_cpu_ns > 0) {
+            co_await engine.Sleep(options_.shed_cpu_ns);
+          }
+          co_await channel->ServerSendBusy(BusyReason::kAdmission, retry_hint_us);
+          continue;
+        }
+        ++admitted;
+        if (request_size < kRpcIdBytes) {
+          throw std::runtime_error("rfp rpc: runt request");
+        }
+        uint16_t rpc_id = 0;
+        std::memcpy(&rpc_id, state.request_buf.data(), kRpcIdBytes);
+        auto it = handlers_.find(rpc_id);
+        if (it == handlers_.end()) {
+          throw std::runtime_error("rfp rpc: no handler for id " + std::to_string(rpc_id));
+        }
+        const std::span<const std::byte> payload(state.request_buf.data() + kRpcIdBytes,
+                                                 request_size - kRpcIdBytes);
+        const HandlerContext ctx{thread_index};
+        const HandlerResult result = co_await it->second(ctx, payload, state.response_buf);
+        // Unpack/dispatch/pack CPU plus the handler's declared process time
+        // elapse before the response is published, so the response header's
+        // time field reports the true per-request latency on the server.
+        const double copy_cost = options_.copy_cpu_ns_per_byte *
+                                 static_cast<double>(request_size + result.response_size);
+        sim::Time process = options_.dispatch_cpu_ns + static_cast<sim::Time>(copy_cost) +
+                            result.process_ns;
+        if (options_.straggler_prob > 0.0 &&
+            straggler_rng_.NextBernoulli(options_.straggler_prob)) {
+          process += options_.straggler_extra_ns;
+        }
+        co_await engine.Sleep(process);
+        if (options_.admission_control) {
+          // Feed the measured process time into the detector's EWMA.
+          const double alpha = options_.process_ewma_alpha;
+          state.process_ewma_ns =
+              state.process_ewma_ns == 0.0
+                  ? static_cast<double>(process)
+                  : alpha * static_cast<double>(process) + (1.0 - alpha) * state.process_ewma_ns;
+        }
+        co_await channel->ServerSend(
+            std::span<const std::byte>(state.response_buf.data(), result.response_size));
+        ++state.served;
+        ++requests_served_;
       }
-      ++admitted;
-      if (request_size < kRpcIdBytes) {
-        throw std::runtime_error("rfp rpc: runt request");
-      }
-      uint16_t rpc_id = 0;
-      std::memcpy(&rpc_id, state.request_buf.data(), kRpcIdBytes);
-      auto it = handlers_.find(rpc_id);
-      if (it == handlers_.end()) {
-        throw std::runtime_error("rfp rpc: no handler for id " + std::to_string(rpc_id));
-      }
-      const std::span<const std::byte> payload(state.request_buf.data() + kRpcIdBytes,
-                                               request_size - kRpcIdBytes);
-      const HandlerContext ctx{thread_index};
-      const HandlerResult result = co_await it->second(ctx, payload, state.response_buf);
-      // Unpack/dispatch/pack CPU plus the handler's declared process time
-      // elapse before the response is published, so the response header's
-      // time field reports the true per-request latency on the server.
-      const double copy_cost = options_.copy_cpu_ns_per_byte *
-                               static_cast<double>(request_size + result.response_size);
-      sim::Time process = options_.dispatch_cpu_ns + static_cast<sim::Time>(copy_cost) +
-                          result.process_ns;
-      if (options_.straggler_prob > 0.0 && straggler_rng_.NextBernoulli(options_.straggler_prob)) {
-        process += options_.straggler_extra_ns;
-      }
-      co_await engine.Sleep(process);
-      if (options_.admission_control) {
-        // Feed the measured process time into the detector's EWMA.
-        const double alpha = options_.process_ewma_alpha;
-        state.process_ewma_ns =
-            state.process_ewma_ns == 0.0
-                ? static_cast<double>(process)
-                : alpha * static_cast<double>(process) + (1.0 - alpha) * state.process_ewma_ns;
-      }
-      co_await channel->ServerSend(
-          std::span<const std::byte>(state.response_buf.data(), result.response_size));
-      ++state.served;
-      ++requests_served_;
     }
     if (!any) {
       co_await engine.Sleep(options_.idle_sleep_ns);
@@ -259,6 +264,7 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
 
 RpcClient::RpcClient(Channel* channel) : channel_(channel) {
   scratch_.resize(kRpcIdBytes + channel->options().max_message_bytes);
+  submit_start_.resize(static_cast<size_t>(channel->window()), 0);
 }
 
 RpcClient::~RpcClient() {
@@ -269,17 +275,49 @@ RpcClient::~RpcClient() {
 }
 
 sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> request,
-                                  std::span<std::byte> response, sim::Time deadline_ns) {
+                                  std::span<std::byte> response, const CallOptions& options) {
   const sim::Time start = channel_->client_node()->fabric()->engine().now();
   std::memcpy(scratch_.data(), &rpc_id, kRpcIdBytes);
   if (!request.empty()) {  // empty requests carry a null span data pointer
     std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
   }
-  co_await channel_->ClientSend(
-      std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()), deadline_ns);
-  const size_t n = co_await channel_->ClientRecv(response);
+  const Channel::CallHandle handle = co_await channel_->SubmitCall(
+      std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()), options);
+  const size_t n = co_await channel_->AwaitCall(handle, response);
   ++calls_;
   latency_.Record(channel_->client_node()->fabric()->engine().now() - start);
+  co_return n;
+}
+
+sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> request,
+                                  std::span<std::byte> response, sim::Time deadline_ns) {
+  CallOptions options;
+  options.deadline_ns = deadline_ns;
+  co_return co_await Call(rpc_id, request, response, options);
+}
+
+sim::Task<Channel::CallHandle> RpcClient::SubmitCall(uint16_t rpc_id,
+                                                     std::span<const std::byte> request,
+                                                     const CallOptions& options) {
+  const sim::Time start = channel_->client_node()->fabric()->engine().now();
+  std::memcpy(scratch_.data(), &rpc_id, kRpcIdBytes);
+  if (!request.empty()) {  // empty requests carry a null span data pointer
+    std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
+  }
+  // Channel::SubmitCall stages the bytes into the call's slot before it
+  // returns, so scratch_ is immediately reusable by the next submit.
+  const Channel::CallHandle handle = co_await channel_->SubmitCall(
+      std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()), options);
+  submit_start_[static_cast<size_t>(handle.slot)] = start;
+  co_return handle;
+}
+
+sim::Task<size_t> RpcClient::AwaitCall(Channel::CallHandle handle,
+                                       std::span<std::byte> response) {
+  const size_t n = co_await channel_->AwaitCall(handle, response);
+  ++calls_;
+  latency_.Record(channel_->client_node()->fabric()->engine().now() -
+                  submit_start_[static_cast<size_t>(handle.slot)]);
   co_return n;
 }
 

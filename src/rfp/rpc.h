@@ -160,12 +160,35 @@ class RpcClient {
   Channel* channel() { return channel_; }
 
   // Invokes `rpc_id` with `request`, writing the response payload into
-  // `response` and returning its size. `deadline_ns` (absolute virtual
-  // time, 0 = none) is propagated to the server in the request header;
-  // throws DeadlineExceeded when the deadline expires before the response
+  // `response` and returning its size. Per-call knobs — the propagated
+  // deadline and the fetch-size override — travel in `options` as named
+  // fields (see rfp::CallOptions); a default-constructed CallOptions
+  // reproduces the plain three-argument call exactly. Throws
+  // DeadlineExceeded when the call's deadline expires before the response
   // (see Channel::ClientRecv).
   sim::Task<size_t> Call(uint16_t rpc_id, std::span<const std::byte> request,
-                         std::span<std::byte> response, sim::Time deadline_ns = 0);
+                         std::span<std::byte> response, const CallOptions& options = {});
+
+  // Old calling convention with a positional trailing deadline. The
+  // parameter moved to CallOptions::deadline_ns.
+  [[deprecated("pass rfp::CallOptions{.deadline_ns = ...} instead")]] sim::Task<size_t> Call(
+      uint16_t rpc_id, std::span<const std::byte> request, std::span<std::byte> response,
+      sim::Time deadline_ns);
+
+  // ---- Pipelined calls (docs/pipelining.md) --------------------------------
+
+  // Stages one call and returns its handle without waiting for the
+  // response; on a channel with RfpOptions::window > 1 up to `window` calls
+  // can be in flight, and a burst of submits is posted in one doorbell
+  // batch by the next AwaitCall (or Channel::FlushCalls). Throws when the
+  // window is full.
+  sim::Task<Channel::CallHandle> SubmitCall(uint16_t rpc_id,
+                                            std::span<const std::byte> request,
+                                            const CallOptions& options = {});
+
+  // Completes a submitted call into `response`, returning the payload size.
+  // Calls may be awaited in any order.
+  sim::Task<size_t> AwaitCall(Channel::CallHandle handle, std::span<std::byte> response);
 
   uint64_t calls() const { return calls_; }
   const sim::Histogram& latency() const { return latency_; }
@@ -175,6 +198,8 @@ class RpcClient {
   uint64_t calls_ = 0;
   sim::Histogram latency_;
   std::vector<std::byte> scratch_;
+  // Submit time per slot, for end-to-end latency of pipelined calls.
+  std::vector<sim::Time> submit_start_;
 };
 
 }  // namespace rfp

@@ -75,6 +75,11 @@ constexpr BusyReason UnpackBusyReason(uint32_t size_status) {
 
 }  // namespace wire
 
+// Largest call window a pipelined channel may be configured with (the slot
+// index travels in RequestHeader::slot, a full byte, but 64 outstanding
+// calls already saturate the out-bound pipeline many times over).
+constexpr int kMaxWindow = 64;
+
 // Header the client writes (together with the payload, in one RDMA WRITE)
 // into the server's request block.
 struct RequestHeader {
@@ -82,7 +87,10 @@ struct RequestHeader {
   uint16_t seq = 0;          // call sequence tag
   uint8_t mode = 0;          // Mode the client is in (also rewritten mid-call
                              // by a 1-byte RDMA WRITE on a paradigm switch)
-  uint8_t reserved = 0;
+  uint8_t slot = 0;          // request/response slot index on a pipelined
+                             // channel (docs/pipelining.md); always 0 when
+                             // the channel window is 1 (the pre-pipelining
+                             // wire format had a zeroed reserved byte here)
   uint64_t deadline_ns = 0;  // absolute virtual-time deadline; 0 = none. The
                              // simulated hosts share one clock, which stands
                              // in for the synchronized clocks a real
@@ -93,6 +101,9 @@ static_assert(sizeof(RequestHeader) == 16, "request header must stay 16 bytes");
 // Offset of RequestHeader::mode within the request block, used for the
 // mid-call mode-switch WRITE.
 constexpr size_t kRequestModeOffset = 6;
+
+// Offset of RequestHeader::slot within the request block.
+constexpr size_t kRequestSlotOffset = 7;
 
 // Header the server writes in front of the result payload.
 struct ResponseHeader {

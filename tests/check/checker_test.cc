@@ -432,6 +432,69 @@ TEST_F(CheckerCorpusTest, RecvWithoutSendFlagged) {
   EXPECT_EQ(checker.violations(ViolationKind::kRfpOverlappingCall), 0u);
 }
 
+// A pipelined channel declares its window: that many concurrent submits are
+// clean, one more is the overlap violation (slot-granular pairing).
+TEST_F(CheckerCorpusTest, SubmitBeyondWindowFlagged) {
+  FabricChecker checker(nullptr, Mode::kReport);
+  int channel_tag = 0;
+  checker.OnChannelWindow(&channel_tag, 2);
+  checker.OnClientSend(&channel_tag);
+  checker.OnClientSend(&channel_tag);
+  EXPECT_EQ(checker.violations(ViolationKind::kRfpOverlappingCall), 0u);
+  checker.OnClientSend(&channel_tag);
+  EXPECT_EQ(checker.violations(ViolationKind::kRfpOverlappingCall), 1u);
+}
+
+// The fetch/store race on a *pipelined* channel, slot-granular: the server
+// scribbles slot 1's response region after publishing it; slot 0's region
+// stays clean. The batched fetch sweep snapshots both slots, and only the
+// accept of slot 1's bytes must flag the race.
+TEST_F(CheckerCorpusTest, OverlappingSlotStoreFlagged) {
+  Fabric fabric(engine_);
+  Node& client = fabric.AddNode("client");
+  Node& server = fabric.AddNode("server");
+  rfp::RfpOptions options;
+  options.window = 2;
+  rfp::Channel channel(fabric, client, server, options);
+  const uint64_t before = MetricValue(ViolationKind::kRaceFetchStore);
+
+  engine_.Spawn([](sim::Engine& eng, Fabric& fab, rfp::Channel* ch) -> sim::Task<void> {
+    std::vector<std::byte> buf(16384);
+    int served = 0;
+    while (served < 2) {
+      size_t n = 0;
+      if (ch->TryServerRecv(buf, &n)) {
+        co_await ch->ServerSend(std::span<const std::byte>(buf.data(), n));
+        ++served;
+      } else {
+        co_await eng.Sleep(sim::Nanos(200));
+      }
+    }
+    // The bug under test: after publishing both responses the server thread
+    // reuses slot 1's response block before the client fetched it.
+    MemoryRegion* mr = fab.FindRemote(RemoteKey{ch->server_rkey()});
+    const size_t victim =
+        ch->response_offset() + ch->response_block_bytes() + rfp::kHeaderBytes;
+    mr->bytes()[victim] = std::byte{0xEE};
+    fab.checker()->OnCpuStore(ch->server_rkey(), victim, 1);
+  }(engine_, fabric, &channel));
+
+  engine_.Spawn([](sim::Engine& eng, rfp::Channel* ch) -> sim::Task<void> {
+    const rfp::Channel::CallHandle a = co_await ch->SubmitCall(AsBytes("slot-zero"));
+    const rfp::Channel::CallHandle b = co_await ch->SubmitCall(AsBytes("slot-one"));
+    co_await ch->FlushCalls();  // post both requests without fetching yet
+    // Let the server publish AND scribble before the first fetch, so the
+    // sweep deterministically snapshots slot 1's dirty byte.
+    co_await eng.Sleep(sim::Micros(20));
+    std::vector<std::byte> out(16384);
+    (void)co_await ch->AwaitCall(a, out);
+    (void)co_await ch->AwaitCall(b, out);
+  }(engine_, &channel));
+
+  engine_.Run();
+  ExpectViolations(fabric, ViolationKind::kRaceFetchStore, 1, before);
+}
+
 // ---- Modes --------------------------------------------------------------------
 
 TEST_F(CheckerCorpusTest, StrictModeThrowsOutOfTheActor) {

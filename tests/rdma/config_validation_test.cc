@@ -25,6 +25,7 @@ TEST(ConfigValidationTest, RejectsNegativeServiceTimes) {
            +[](NicConfig& c) { c.completion_cpu_ns = -1.0; },
            +[](NicConfig& c) { c.post_lock_ns = -1.0; },
            +[](NicConfig& c) { c.inbound_min_gap_ns = -1.0; },
+           +[](NicConfig& c) { c.outbound_batch_marginal_ns = -1.0; },
            +[](NicConfig& c) { c.two_sided_tx_ns = -1.0; },
            +[](NicConfig& c) { c.two_sided_rx_ns = -1.0; },
        }) {

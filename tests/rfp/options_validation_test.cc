@@ -34,6 +34,29 @@ TEST(OptionsValidationTest, RejectsBadChannelCoreOptions) {
   }
 }
 
+TEST(OptionsValidationTest, RejectsBadPipelineOptions) {
+  for (auto mutate : {
+           +[](RfpOptions& o) { o.window = 0; },
+           +[](RfpOptions& o) { o.window = -1; },
+           +[](RfpOptions& o) { o.window = kMaxWindow + 1; },
+           +[](RfpOptions& o) { o.max_registered_bytes = 0; },
+           // Both rings must fit the registration budget.
+           +[](RfpOptions& o) {
+             o.window = kMaxWindow;
+             o.max_registered_bytes = 64 * 1024;
+           },
+       }) {
+    RfpOptions options;
+    mutate(options);
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+  {
+    RfpOptions options;
+    options.window = kMaxWindow;  // fits the default 2 MB budget
+    EXPECT_NO_THROW(ValidateOptions(options));
+  }
+}
+
 TEST(OptionsValidationTest, RejectsBadFaultToleranceOptions) {
   for (auto mutate : {
            +[](RfpOptions& o) { o.fetch_timeout_ns = -1; },

@@ -39,6 +39,23 @@ TEST(WireTest, ModeByteOffsetMatchesLayout) {
   EXPECT_EQ(raw[kRequestModeOffset], 0xAB);
 }
 
+TEST(WireTest, SlotByteOffsetMatchesLayout) {
+  // The pipelining slot index rides the byte after the mode flag; window=1
+  // traffic always carries slot 0 (the pre-pipelining wire image).
+  RequestHeader h;
+  h.slot = 0xC4;
+  const auto* raw = reinterpret_cast<const uint8_t*>(&h);
+  EXPECT_EQ(raw[kRequestSlotOffset], 0xC4);
+  EXPECT_EQ(kRequestSlotOffset, kRequestModeOffset + 1);
+  RequestHeader fresh;
+  EXPECT_EQ(fresh.slot, 0);
+}
+
+TEST(WireTest, MaxWindowFitsTheSlotByte) {
+  EXPECT_EQ(kMaxWindow, 64);
+  static_assert(kMaxWindow <= 256, "slot index must fit its u8 wire field");
+}
+
 TEST(WireTest, DeadlineFieldOffsetMatchesLayout) {
   RequestHeader h;
   h.deadline_ns = 0x1122334455667788ull;
