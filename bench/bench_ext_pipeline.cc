@@ -114,7 +114,10 @@ struct Outcome {
   uint64_t failed = 0;
 };
 
-Outcome RunSweepPoint(int window, uint32_t value_bytes) {
+// `workers` server threads; `multicore` additionally pins them to CpuSet
+// cores and turns on the multicore dispatch extras (coalesced fetch sweeps,
+// doorbell-batched reply publication — docs/multicore.md).
+Outcome RunSweepPoint(int window, uint32_t value_bytes, int workers, bool multicore) {
   sim::Engine engine;
   rdma::FabricConfig fc;
   fc.seed = bench::SeedOr(fc.seed);
@@ -125,7 +128,9 @@ Outcome RunSweepPoint(int window, uint32_t value_bytes) {
     client_nodes.push_back(&fabric.AddNode("client" + std::to_string(c)));
   }
 
-  rfp::RpcServer server(fabric, server_node, kServerThreads);
+  rfp::ServerOptions server_options;
+  server_options.multicore = multicore;
+  rfp::RpcServer server(fabric, server_node, workers, server_options);
   server.RegisterHandler(1, [value_bytes](const rfp::HandlerContext&,
                                           std::span<const std::byte>,
                                           std::span<std::byte> resp) -> rfp::HandlerResult {
@@ -140,13 +145,23 @@ Outcome RunSweepPoint(int window, uint32_t value_bytes) {
   // Pin remote-fetch so the sweep isolates pipelining on the RFP fast path
   // (no mode switches mid-run).
   options.force_mode = rfp::RfpOptions::ForceMode::kForceFetch;
+  options.coalesced_fetch = multicore;
+  if (multicore) {
+    // Coalesced sweeps read whole response blocks, so block size — not
+    // fetch_size — prices the spanning READ. Shrink the ring blocks to the
+    // payload and pace retries so failed sweeps back off instead of
+    // re-reading the span in a tight loop.
+    options.max_message_bytes = value_bytes + 64;
+    options.fetch_backoff_initial_ns = 500;
+    options.fetch_backoff_max_ns = 4000;
+  }
 
   std::vector<rfp::Channel*> channels;
   std::vector<std::unique_ptr<rfp::RpcClient>> stubs;
   std::vector<DriverCounts> counts(kClients);
   for (int t = 0; t < kClients; ++t) {
     rfp::Channel* channel = server.AcceptChannel(
-        *client_nodes[static_cast<size_t>(t % kClientNodes)], options, t % kServerThreads);
+        *client_nodes[static_cast<size_t>(t % kClientNodes)], options, t % workers);
     channels.push_back(channel);
     stubs.push_back(std::make_unique<rfp::RpcClient>(channel));
   }
@@ -189,25 +204,45 @@ int main(int argc, char** argv) {
 
   bench::PrintTitle(
       "Extension: pipelined multi-slot channels (closed-loop windowed echo, forced fetch)");
-  bench::PrintHeader({"window", "value", "mops", "speedup", "p50_us", "p99_us", "doorbells",
-                      "occupancy", "errors"});
+  bench::PrintHeader({"window", "value", "workers", "mops", "speedup", "p50_us", "p99_us",
+                      "doorbells", "occupancy", "errors"});
   double min_small_speedup_w4 = 1e9;
+  double baseline_small = 0;  // window=1 at the smallest value: multicore rows reuse it
   for (uint32_t value : values) {
     double baseline = 0;
     for (int window : windows) {
-      const Outcome out = RunSweepPoint(window, value);
+      const Outcome out = RunSweepPoint(window, value, kServerThreads, /*multicore=*/false);
       if (window == 1) {
         baseline = out.mops;
+        if (value == values.front()) {
+          baseline_small = baseline;
+        }
       }
       const double speedup = baseline > 0 ? out.mops / baseline : 0;
       if (value == values.front() && window >= 4 && speedup < min_small_speedup_w4) {
         min_small_speedup_w4 = speedup;
       }
       bench::PrintRow({bench::FmtInt(static_cast<uint64_t>(window)), bench::FmtInt(value),
+                       bench::FmtInt(static_cast<uint64_t>(kServerThreads)),
                        bench::Fmt(out.mops), bench::Fmt(speedup), bench::Fmt(out.p50_us, 1),
                        bench::Fmt(out.p99_us, 1), bench::FmtInt(out.stats.doorbell_batches),
                        bench::Fmt(out.occupancy), bench::FmtInt(out.mismatches + out.failed)});
     }
+  }
+
+  // Multicore dispatch rows (docs/multicore.md): deepest window, smallest
+  // value, workers swept — coalesced fetch + batched reply publication ride
+  // along. bench_ext_multicore drives the full MOPS-vs-workers x window grid.
+  for (int workers : {1, 2, 4}) {
+    const Outcome out =
+        RunSweepPoint(windows.back(), values.front(), workers, /*multicore=*/true);
+    const double speedup = baseline_small > 0 ? out.mops / baseline_small : 0;
+    bench::PrintRow({bench::FmtInt(static_cast<uint64_t>(windows.back())),
+                     bench::FmtInt(values.front()),
+                     bench::FmtInt(static_cast<uint64_t>(workers)), bench::Fmt(out.mops),
+                     bench::Fmt(speedup), bench::Fmt(out.p50_us, 1), bench::Fmt(out.p99_us, 1),
+                     bench::FmtInt(out.stats.doorbell_batches), bench::Fmt(out.occupancy),
+                     bench::FmtInt(out.mismatches + out.failed)});
   }
 
   std::printf(

@@ -5,19 +5,32 @@
 // in-bound path is the bottleneck, not server CPU); ServerReply peaks at
 // 2.1 MOPS at 6 threads and declines (out-bound scalability); RDMA-Memcached
 // is CPU-bound and climbs slowly to ~1.3 MOPS at 16 threads.
+//
+// The jakiro-mc column is the multi-core dispatch extension
+// (docs/multicore.md): the same store with workers pinned to CpuSet cores,
+// coalesced fetch sweeps, and doorbell-batched reply publication. It tracks
+// jakiro here — Fig 12's load is in-bound-limited long before dispatch CPU
+// matters — and exists to show the dispatch tier does not tax the paper's
+// operating point; bench_ext_multicore pushes it to where the extra
+// headroom shows.
 
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
   bench::Init(argc, argv);
   bench::PrintTitle("Figure 12: throughput vs server threads (95% GET, 32 B)");
-  bench::PrintHeader({"srv_threads", "jakiro", "server-reply", "rdma-memc"});
+  bench::PrintHeader({"srv_threads", "jakiro", "jakiro-mc", "server-reply", "rdma-memc"});
   for (int threads : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {
     std::vector<std::string> row{std::to_string(threads)};
-    for (auto system : {bench::KvSystem::kJakiro, bench::KvSystem::kServerReply,
-                        bench::KvSystem::kMemcached}) {
+    for (int variant = 0; variant < 4; ++variant) {
       bench::KvRunConfig config;
-      config.system = system;
+      config.system = variant <= 1   ? bench::KvSystem::kJakiro
+                      : variant == 2 ? bench::KvSystem::kServerReply
+                                     : bench::KvSystem::kMemcached;
+      if (variant == 1) {  // jakiro-mc: the multi-core dispatch tier
+        config.server.multicore = true;
+        config.channel.coalesced_fetch = true;
+      }
       config.server_threads = threads;
       config.workload = bench::PaperWorkload();
       row.push_back(bench::Fmt(bench::RunKv(config).mops));

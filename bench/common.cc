@@ -369,6 +369,8 @@ void MergeChannelStats(rfp::Channel::Stats& into, const rfp::Channel::Stats& fro
   into.breaker_opens += from.breaker_opens;
   into.doorbell_batches += from.doorbell_batches;
   into.batched_ops += from.batched_ops;
+  into.coalesced_fetches += from.coalesced_fetches;
+  into.coalesced_slots += from.coalesced_slots;
   into.retries_per_call.Merge(from.retries_per_call);
   into.submit_window.Merge(from.submit_window);
   into.batch_occupancy.Merge(from.batch_occupancy);
@@ -730,6 +732,7 @@ KvRunResult RunKv(const KvRunConfig& config_in) {
     kv::JakiroConfig jc;
     jc.server_threads = config.server_threads;
     jc.channel_options = config.channel;
+    jc.server_options = config.server;
     jc.get_process_ns = config.jakiro_get_ns;
     jc.put_process_ns = config.jakiro_put_ns;
     // Size partitions to hold the whole key space without evictions.

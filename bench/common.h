@@ -148,6 +148,7 @@ struct KvRunConfig {
   bool preload = true;
   bool verify_values = true;
   rfp::RfpOptions channel;          // force mode is overridden per system
+  rfp::ServerOptions server;        // dispatch tier (multicore, stealing, ...)
   sim::Time jakiro_get_ns = 150;
   sim::Time jakiro_put_ns = 250;
   kv::MemcachedConfig memcached;    // cost model for the memcached baseline

@@ -89,6 +89,15 @@ struct NicConfig {
   // Number of cores on the machine (dual 8-core Xeon E5-2640 v2).
   int cores = 16;
 
+  // Cores reserved next to the NIC for its stations (driver/IRQ work of the
+  // issue pipeline and completion handling). Dispatch workers that pin cores
+  // via Node::ReserveWorkerCore are affinitized to the remaining
+  // [nic_station_cores, cores) so they never time-share with the NIC's
+  // driver cores (docs/multicore.md). 0 (the default) reserves nothing and
+  // leaves every core available for compute — behavior-neutral. Must be
+  // < cores.
+  int nic_station_cores = 0;
+
   // Uniform +/- fraction applied to each op's service time at the issue
   // pipeline and the in-bound engine. Mean rates are unchanged; the jitter
   // produces realistic latency spread (and the paper's occasional fetch

@@ -200,6 +200,9 @@ void ValidateConfig(const NicConfig& config) {
   CheckNonNegative(config.two_sided_tx_ns, "two_sided_tx_ns must be >= 0");
   CheckNonNegative(config.two_sided_rx_ns, "two_sided_rx_ns must be >= 0");
   if (config.cores < 1) Reject("cores must be >= 1");
+  if (config.nic_station_cores < 0 || config.nic_station_cores >= config.cores) {
+    Reject("nic_station_cores must be in [0, cores)");
+  }
   CheckProbability(config.service_jitter, "service_jitter must be in [0, 1]");
 }
 

@@ -127,6 +127,14 @@ class Nic {
   double ServeUtilization(sim::Time from, sim::Time to) const {
     return inbound_engine_.Utilization(from, to);
   }
+  // Arms an exact utilization window on both engines (Resource::WatchFrom):
+  // call with the measurement start before running, then query
+  // Issue/ServeUtilization(at, end) for the busy fraction of that window
+  // alone.
+  void WatchUtilization(sim::Time at) {
+    issue_pipeline_.WatchFrom(at);
+    inbound_engine_.WatchFrom(at);
+  }
 
   // Exposed for tests: effective service times under current contention.
   sim::Time OutboundServiceTime(Opcode op, uint32_t payload,

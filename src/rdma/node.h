@@ -23,7 +23,8 @@ class Node {
   Node(sim::Engine& engine, Fabric* fabric, uint32_t id, std::string name,
        const NicConfig& config, uint64_t seed)
       : fabric_(fabric), id_(id), name_(std::move(name)), nic_(engine, config, seed, name_),
-        cpus_(engine, config.cores) {}
+        cpus_(engine, config.cores), worker_core_first_(config.nic_station_cores),
+        next_worker_core_(config.nic_station_cores) {}
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -39,6 +40,20 @@ class Node {
   // The region is owned by the node and remains valid for its lifetime.
   MemoryRegion* RegisterMemory(size_t size, uint32_t access);
 
+  // Hands out the next compute core for a pinned dispatch worker: round-robin
+  // over [NicConfig::nic_station_cores, cores), skipping the cores reserved
+  // for the NIC's stations. Wraps when workers outnumber compute cores, so
+  // extra workers time-share a core through CpuSet::ComputeOn instead of
+  // conjuring phantom parallelism (docs/multicore.md).
+  int ReserveWorkerCore() {
+    const int core = next_worker_core_;
+    ++next_worker_core_;
+    if (next_worker_core_ >= cpus_.cores()) {
+      next_worker_core_ = worker_core_first_;
+    }
+    return core;
+  }
+
  private:
   friend class Fabric;
 
@@ -47,6 +62,8 @@ class Node {
   std::string name_;
   Nic nic_;
   sim::CpuSet cpus_;
+  int worker_core_first_;
+  int next_worker_core_;
   std::deque<std::unique_ptr<MemoryRegion>> regions_;
 };
 

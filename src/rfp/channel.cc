@@ -118,6 +118,11 @@ Channel::~Channel() {
   if (stats_.breaker_opens > 0) {
     reg.GetCounter("rfp.channel.breaker_opens", labels)->Add(stats_.breaker_opens);
   }
+  // Coalesced-fetch counters register only when spanning READs happened.
+  if (stats_.coalesced_fetches > 0) {
+    reg.GetCounter("rfp.channel.coalesced_fetches", labels)->Add(stats_.coalesced_fetches);
+    reg.GetCounter("rfp.channel.coalesced_slots", labels)->Add(stats_.coalesced_slots);
+  }
   // Pipelining counters register only when the channel ever batched, so
   // window=1 runs keep their metric catalog unchanged.
   if (stats_.doorbell_batches > 0) {
@@ -596,7 +601,7 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
   last_resp_size_ = static_cast<uint32_t>(msg.size());
   last_resp_busy_ = false;
   response_pushed_ = false;
-  if (server_visible_mode() == Mode::kServerReply) {
+  if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
     co_await PushReply();
   }
 }
@@ -632,7 +637,7 @@ sim::Task<void> Channel::ServerSendBusy(BusyReason reason, uint16_t retry_after_
   last_resp_size_ = 0;
   last_resp_busy_ = true;
   response_pushed_ = false;
-  if (server_visible_mode() == Mode::kServerReply) {
+  if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
     co_await PushReply();
   }
 }
@@ -759,6 +764,44 @@ sim::Task<void> Channel::MaybeResendAfterSwitch() {
     if (!sslot(s).response_pushed && sslot(s).last_resp_seq != 0) {
       co_await PushReplySlot(s);
     }
+  }
+}
+
+sim::Task<void> Channel::FlushServerPushes() {
+  if (server_visible_mode() != Mode::kServerReply) {
+    co_return;  // remote fetch: responses are local stores, nothing to push
+  }
+  if (options_.window == 1) {
+    if (!response_pushed_ && last_resp_seq_ != 0) {
+      co_await PushReply();
+    }
+    co_return;
+  }
+  std::vector<BatchOp> ops;
+  std::vector<int> slots;
+  for (int s = 0; s < options_.window; ++s) {
+    const ServerSlot& ss = sslot(s);
+    if (ss.response_pushed || ss.last_resp_seq == 0) {
+      continue;
+    }
+    const uint32_t len =
+        ss.last_resp_busy ? kHeaderBytes : kHeaderBytes + ss.last_resp_size + ChecksumBytes();
+    ops.push_back({/*is_read=*/false, land_off(s), land_off(s), len});
+    slots.push_back(s);
+  }
+  if (ops.empty()) {
+    co_return;
+  }
+  if (ops.size() == 1) {
+    // A lone push needs no doorbell batch; keeps window=1-equivalent visits
+    // (one completed slot) off the batch counters.
+    co_await PushReplySlot(slots[0]);
+    co_return;
+  }
+  co_await RcBatch(/*from_client=*/false, ops, "reply push batch");
+  for (int s : slots) {
+    sslot(s).response_pushed = true;
+    ++stats_.reply_pushes;
   }
 }
 
@@ -1037,6 +1080,56 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
 }
 
 sim::Task<void> Channel::FetchSweep(int primary) {
+  if (options_.coalesced_fetch) {
+    // Slots still awaiting a response. Response slots are contiguous in the
+    // ring ([resp 0..W-1], block_bytes_ apart), so one spanning READ from the
+    // lowest pending slot through the highest covers them all.
+    std::vector<int> pending;
+    int lo = options_.window;
+    int hi = -1;
+    for (int s = 0; s < options_.window; ++s) {
+      const ClientSlot& cs = cslot(s);
+      if (cs.state == ClientSlot::State::kPosted && !cs.landing_ready) {
+        pending.push_back(s);
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+      }
+    }
+    if (pending.size() >= 2) {
+      // Whole blocks, so no slot ever needs a remainder fetch (a block holds
+      // the largest response + trailer). Re-landing the bytes of a ready-but-
+      // unawaited slot inside the span is benign: the server cannot rewrite a
+      // slot until the client frees it, so identical bytes land again. The
+      // span is ONE in-bound op at the server: service max(gap, bytes/bw)
+      // instead of one 89 ns gap per slot — the per-call in-bound cost drops
+      // toward the single request WRITE (docs/multicore.md).
+      const uint32_t len = static_cast<uint32_t>(static_cast<size_t>(hi - lo + 1) * block_bytes_);
+      const std::vector<BatchOp> span{{/*is_read=*/true, land_off(lo), land_off(lo), len}};
+      const std::vector<rdma::WorkCompletion> wcs =
+          co_await RcBatch(/*from_client=*/true, span, "coalesced fetch");
+      ++stats_.fetch_reads;
+      ++stats_.coalesced_fetches;
+      stats_.coalesced_slots += pending.size();
+      // The span is one wire READ; attribute it to the awaited slot so a
+      // re-issue moves exactly one op into the recovery bucket.
+      ++cslot(primary).attempt_reads;
+      for (int s : pending) {
+        ClientSlot& cs = cslot(s);
+        const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(s));
+        if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
+          cs.landing_ready = true;
+          cs.fetch_tick = wcs[0].check_tick;
+          cs.fetched_len = static_cast<uint32_t>(block_bytes_);
+        } else {
+          ++cs.failed;
+          ++stats_.failed_fetches;
+        }
+      }
+      co_return;
+    }
+    // A single pending slot falls through to the per-slot READ below (which
+    // honors fetch_size and per-call overrides).
+  }
   std::vector<BatchOp> ops;
   std::vector<int> slots;
   const auto add = [&](int s) {
@@ -1259,7 +1352,7 @@ sim::Task<void> Channel::ServerSendSlot(std::span<const std::byte> msg) {
   ss.last_resp_size = static_cast<uint32_t>(msg.size());
   ss.last_resp_busy = false;
   ss.response_pushed = false;
-  if (server_visible_mode() == Mode::kServerReply) {
+  if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
     co_await PushReplySlot(s);
   }
 }
@@ -1293,7 +1386,7 @@ sim::Task<void> Channel::ServerSendBusySlot(BusyReason reason, uint16_t retry_af
   ss.last_resp_size = 0;
   ss.last_resp_busy = true;
   ss.response_pushed = false;
-  if (server_visible_mode() == Mode::kServerReply) {
+  if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
     co_await PushReplySlot(s);
   }
 }

@@ -86,6 +86,9 @@ class Channel {
     // Pipelining (docs/pipelining.md; all zero on window=1 channels).
     uint64_t doorbell_batches = 0;  // posting sweeps (one leader doorbell each)
     uint64_t batched_ops = 0;       // follower WRs that rode a leader's doorbell
+    // Coalesced fetching (docs/multicore.md; zero unless coalesced_fetch).
+    uint64_t coalesced_fetches = 0;  // spanning READs issued by fetch sweeps
+    uint64_t coalesced_slots = 0;    // pending slots those spans covered
     // Failed-retry count per completed remote-fetch call (Table 3).
     sim::Histogram retries_per_call;
     // Outstanding calls (posted + staged) sampled at each SubmitCall, and
@@ -224,6 +227,22 @@ class Channel {
   // loops call this when NeedsReplyResend() is true.
   sim::Task<void> MaybeResendAfterSwitch();
 
+  // ---- Batched reply publication (docs/multicore.md) -----------------------
+
+  // When set, ServerSend/ServerSendBusy store the response locally but skip
+  // the immediate reply push even in server-reply mode; the sweep publishes
+  // everything at the end of its channel visit via FlushServerPushes. The
+  // NeedsReplyResend/MaybeResendAfterSwitch safety net still covers a crash
+  // or switch that interleaves a visit.
+  void set_defer_server_pushes(bool defer) { defer_server_pushes_ = defer; }
+
+  // Pushes every stored-but-unpushed reply-mode response in one doorbell
+  // batch (the first WRITE pays the full out-bound issue cost, followers the
+  // batched marginal — the server-side mirror of the client posting batch).
+  // No-op in remote-fetch mode (responses are local stores) or when nothing
+  // is unpushed; a lone push goes out unbatched.
+  sim::Task<void> FlushServerPushes();
+
   // ---- Introspection ---------------------------------------------------------
 
   Mode client_mode() const { return mode_; }
@@ -231,6 +250,9 @@ class Channel {
   Mode server_visible_mode() const;
   BreakerState breaker_state() const { return breaker_state_; }
   const Stats& stats() const { return stats_; }
+  // Retry-after hint (µs) carried by the last BUSY response this client
+  // observed; backlog-derived by the server sweep (docs/overload.md).
+  uint16_t last_retry_after_us() const { return last_retry_after_us_; }
   sim::BusyMeter& client_busy() { return client_busy_; }
   uint16_t last_server_time_us() const { return last_server_time_us_; }
   const RfpOptions& options() const { return options_; }
@@ -430,6 +452,7 @@ class Channel {
   uint32_t last_resp_size_ = 0;
   uint64_t last_recv_deadline_ns_ = 0;
   bool last_resp_busy_ = false;  // BUSY responses push the header only
+  bool defer_server_pushes_ = false;  // see set_defer_server_pushes
 
   Stats stats_;
 };

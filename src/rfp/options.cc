@@ -88,6 +88,8 @@ void ValidateOptions(const ServerOptions& options) {
   }
   CheckUnitInterval(options.process_ewma_alpha, "process_ewma_alpha must be in (0, 1]");
   CheckNonNegative(options.shed_cpu_ns, "shed_cpu_ns must be >= 0");
+  if (options.max_steals_per_sweep < 0) Reject("max_steals_per_sweep must be >= 0");
+  if (options.steal_min_backlog < 1) Reject("steal_min_backlog must be >= 1");
 }
 
 }  // namespace rfp

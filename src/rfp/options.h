@@ -49,6 +49,19 @@ struct RfpOptions {
   // the server to register an unbounded block per channel.
   uint32_t max_registered_bytes = 2u << 20;
 
+  // Coalesced fetch sweeps (docs/multicore.md): when a sweep has >= 2 slots
+  // awaiting responses, issue ONE spanning READ that covers every pending
+  // response slot between the lowest and highest index (whole blocks,
+  // contiguous in the response ring) instead of one READ per slot. The
+  // server's in-bound engine then serves ~1 op per call (the request WRITE)
+  // plus a bandwidth-priced sliver per sweep, instead of 2 ops per call —
+  // which is what lets pipelined fetch throughput approach the 11.26 MOPS
+  // in-bound envelope instead of half of it. Coalesced sweeps read whole
+  // response blocks, so fetch_size / per-call overrides only shape
+  // uncoalesced sweeps (single pending slot). Off by default: per-slot
+  // fetches reproduce the paper's Table-3 retry accounting exactly.
+  bool coalesced_fetch = false;
+
   // Forces a fixed paradigm, disabling the hybrid switch. Used by the
   // ServerReply baseline ("Jakiro w/o switch" in Fig 14 uses kForceFetch).
   enum class ForceMode : uint8_t { kAdaptive, kForceFetch, kForceReply };
@@ -196,6 +209,32 @@ struct ServerOptions {
   double process_ewma_alpha = 0.25;  // in (0, 1]
   // CPU cost of publishing one BUSY response: shedding is cheap, not free.
   sim::Time shed_cpu_ns = 60;
+
+  // ---- Multi-core dispatch (docs/multicore.md) -----------------------------
+  // Default-off: legacy sweep actors model CPU as pure virtual-time sleeps
+  // and never contend for cores — bit-for-bit the pre-multicore server.
+
+  // Pin each worker to a core reserved via rdma::Node::ReserveWorkerCore and
+  // charge all sweep CPU (poll, dispatch, copy, process, shed) through
+  // sim::CpuSet::ComputeOn, so workers sharing a core contend realistically.
+  bool multicore = false;
+  // (multicore) Let workers claim channels owned by crashed workers and, when
+  // idle, steal backlogged channels from loaded workers between sweeps.
+  bool work_stealing = true;
+  // Channels one worker may claim per sweep (orphan claims and load steals
+  // combined); bounds rebalancing churn.
+  int max_steals_per_sweep = 1;
+  // A live worker's channel is stealable only when it has at least this many
+  // pending requests — a cold channel is not worth migrating. Load steals
+  // additionally require the victim to own at least two more channels than
+  // the thief, so migration strictly improves balance and two idle workers
+  // cannot ping-pong a hot channel between sweeps.
+  int steal_min_backlog = 2;
+  // (multicore) Defer server-reply pushes during a channel visit and publish
+  // every completed slot in one doorbell batch when the visit ends (the first
+  // WRITE pays the full out-bound issue cost, followers the batched marginal
+  // — mirroring the client-side posting batch of docs/pipelining.md).
+  bool batch_reply_publication = true;
 };
 
 // Throw std::invalid_argument when an option set is inconsistent (negative

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "src/obs/metrics.h"
 #include "src/rfp/wire.h"
@@ -13,17 +14,38 @@ namespace {
 
 constexpr size_t kRpcIdBytes = sizeof(uint16_t);
 
+// Process-unique server ordinal for worker trace-track ids (see
+// RpcServer::worker_track_id). Monotonic, never reused — unlike heap
+// addresses, which the old this-pointer-derived ids leaned on.
+uint64_t NextServerOrdinal() {
+  static uint64_t next = 0;
+  return ++next;
+}
+
 }  // namespace
 
 RpcServer::RpcServer(rdma::Fabric& fabric, rdma::Node& node, int num_threads,
                      ServerOptions options)
     : fabric_(fabric), node_(node), options_(options),
       straggler_rng_(options.straggler_seed ^ node.id()),
+      server_ordinal_(NextServerOrdinal()),
       threads_(static_cast<size_t>(num_threads)) {
   ValidateOptions(options_);
   for (ThreadState& state : threads_) {
     state.request_buf.resize(options_.max_message_bytes);
     state.response_buf.resize(options_.max_message_bytes);
+    if (options_.multicore) {
+      // Pin each worker to a core from the node's worker range (above the
+      // NIC-station reservation); with more workers than cores, workers
+      // share cores and contend through CpuSet::ComputeOn.
+      state.core = node_.ReserveWorkerCore();
+    }
+  }
+  if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
+    for (int t = 0; t < num_threads; ++t) {
+      trace->NameTrack(worker_track_id(t),
+                       node_.name() + " rpc worker " + std::to_string(t));
+    }
   }
 }
 
@@ -46,6 +68,40 @@ RpcServer::~RpcServer() {
   if (overload_enters_ > 0) {
     reg.GetCounter("rfp.rpc.overload_enters", {{"node", node_.name()}})->Add(overload_enters_);
   }
+  if (malformed_requests_ > 0) {
+    reg.GetCounter("rfp.rpc.malformed_requests", {{"node", node_.name()}})
+        ->Add(malformed_requests_);
+  }
+  if (channel_steals_ > 0) {
+    reg.GetCounter("rfp.rpc.channel_steals", {{"node", node_.name()}})->Add(channel_steals_);
+  }
+}
+
+int RpcServer::channels_owned_by(int thread) const {
+  int owned = 0;
+  for (const ChannelEntry& entry : endpoints_) {
+    if (entry.owner == thread) {
+      ++owned;
+    }
+  }
+  return owned;
+}
+
+void RpcServer::RecordMalformedRequest(int thread_index, const char* why) {
+  ++malformed_requests_;
+  if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
+    trace->Instant("rfp", std::string("malformed_request:") + why,
+                   worker_track_id(thread_index), fabric_.engine().now());
+  }
+}
+
+void RpcServer::StealChannel(ChannelEntry& entry, int thief, const char* why) {
+  entry.owner = thief;
+  ++channel_steals_;
+  ++threads_[static_cast<size_t>(thief)].steals;
+  if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
+    trace->Instant("rfp", why, worker_track_id(thief), fabric_.engine().now());
+  }
 }
 
 void RpcServer::CrashThread(int thread) {
@@ -56,7 +112,7 @@ void RpcServer::CrashThread(int thread) {
   state.crashed = true;
   ++thread_crashes_;
   if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
-    trace->Instant("fault", "server_thread_crash", reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread),
+    trace->Instant("fault", "server_thread_crash", worker_track_id(thread),
                    fabric_.engine().now());
   }
 }
@@ -68,7 +124,7 @@ void RpcServer::RestartThread(int thread) {
   }
   state.crashed = false;
   if (sim::TraceSink* trace = fabric_.engine().trace_sink()) {
-    trace->Instant("fault", "server_thread_restart", reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread),
+    trace->Instant("fault", "server_thread_restart", worker_track_id(thread),
                    fabric_.engine().now());
   }
 }
@@ -100,14 +156,17 @@ void RpcServer::RegisterAsyncHandler(uint16_t rpc_id, AsyncHandler handler) {
 Channel* RpcServer::AcceptChannel(rdma::Node& client, const RfpOptions& options, int thread) {
   owned_channels_.push_back(std::make_unique<Channel>(fabric_, client, node_, options));
   Channel* channel = owned_channels_.back().get();
-  ThreadState& state = threads_[static_cast<size_t>(thread)];
+  ThreadState& state = threads_.at(static_cast<size_t>(thread));
   // Dispatch buffers are fixed-size (suspended handlers hold spans into
   // them), so every channel's messages must fit the server-wide bound.
   if (options.max_message_bytes > state.request_buf.size()) {
     throw std::invalid_argument(
         "rfp rpc: channel max_message_bytes exceeds ServerOptions.max_message_bytes");
   }
-  state.channels.push_back(channel);
+  if (options_.multicore && options_.batch_reply_publication) {
+    channel->set_defer_server_pushes(true);
+  }
+  endpoints_.push_back(ChannelEntry{channel, thread, false});
   return channel;
 }
 
@@ -128,56 +187,80 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
     if (state.crashed) {
       // The worker is dead: it burns no poll CPU and serves nothing. Pending
       // request headers stay in the channels' request blocks (NIC and memory
-      // are alive — only the core is gone) and are served after restart.
+      // are alive — only the core is gone) and are served after restart or,
+      // under multicore work stealing, when a surviving worker claims them.
       co_await engine.Sleep(options_.idle_sleep_ns);
       continue;
     }
     bool any = false;
-    // One scan over this thread's channels costs CPU whether or not
-    // anything arrived (the server busy-polls, paper Section 4.1).
-    co_await engine.Sleep(options_.poll_cpu_per_channel_ns *
-                          static_cast<sim::Time>(state.channels.size() ? state.channels.size() : 1));
+    size_t owned = 0;
+    for (const ChannelEntry& entry : endpoints_) {
+      if (entry.owner == thread_index) {
+        ++owned;
+      }
+    }
+    // One scan over this worker's channels costs CPU whether or not
+    // anything arrived (the server busy-polls, paper Section 4.1). Under
+    // multicore the charge runs on the worker's pinned core, so workers
+    // sharing a core queue behind each other.
+    {
+      const sim::Time poll_cpu =
+          options_.poll_cpu_per_channel_ns * static_cast<sim::Time>(owned ? owned : 1);
+      if (options_.multicore) {
+        co_await node_.cpus().ComputeOn(state.core, poll_cpu);
+      } else {
+        co_await engine.Sleep(poll_cpu);
+      }
+    }
     // ---- Overload detector (docs/overload.md) ----------------------------
     // Estimated queued work for this sweep = pending requests x EWMA of the
     // measured per-request process time (floored at the dispatch cost).
     // Watermark hysteresis keeps the overloaded flag from flapping on a
     // single busy sweep. The pending peek reads the same header the sweep
-    // poll already paid for, so it costs no extra CPU.
-    uint16_t retry_hint_us = 1;
-    if (options_.admission_control) {
-      size_t pending = 0;
-      for (Channel* channel : state.channels) {
-        pending += static_cast<size_t>(channel->PendingRequests());
+    // poll already paid for, so it costs no extra CPU. The backlog-derived
+    // retry hint is computed whenever ANY shedding path can fire — deadline
+    // shedding is live without admission_control, and a hard-coded 1 us hint
+    // there told clients to retry straight into the backlog.
+    size_t pending = 0;
+    for (const ChannelEntry& entry : endpoints_) {
+      if (entry.owner == thread_index) {
+        pending += static_cast<size_t>(entry.channel->PendingRequests());
       }
-      const double per_request =
-          std::max(state.process_ewma_ns, static_cast<double>(options_.dispatch_cpu_ns));
-      const double est_ns = per_request * static_cast<double>(pending);
+    }
+    const double per_request =
+        std::max(state.process_ewma_ns, static_cast<double>(options_.dispatch_cpu_ns));
+    const double est_ns = per_request * static_cast<double>(pending);
+    const uint16_t retry_hint_us =
+        static_cast<uint16_t>(std::clamp<double>(est_ns / 1000.0, 1.0, 65535.0));
+    if (options_.admission_control) {
       if (!state.overloaded &&
           est_ns >= static_cast<double>(options_.overload_hi_watermark_ns)) {
         state.overloaded = true;
         ++overload_enters_;
         if (sim::TraceSink* trace = engine.trace_sink()) {
-          trace->Instant("rfp", "overload_on",
-                         reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread_index),
-                         engine.now());
+          trace->Instant("rfp", "overload_on", worker_track_id(thread_index), engine.now());
         }
       } else if (state.overloaded &&
                  est_ns <= static_cast<double>(options_.overload_lo_watermark_ns)) {
         state.overloaded = false;
         if (sim::TraceSink* trace = engine.trace_sink()) {
-          trace->Instant("rfp", "overload_off",
-                         reinterpret_cast<uint64_t>(this) + static_cast<uint64_t>(thread_index),
-                         engine.now());
+          trace->Instant("rfp", "overload_off", worker_track_id(thread_index), engine.now());
         }
       }
-      retry_hint_us = static_cast<uint16_t>(std::clamp<double>(est_ns / 1000.0, 1.0, 65535.0));
     }
     int admitted = 0;
     // Index-based iteration: AcceptChannel may push_back to this vector from
     // another actor while this loop is suspended mid-body, which would
-    // invalidate range-for iterators.
-    for (size_t ci = 0; ci < state.channels.size(); ++ci) {
-      Channel* channel = state.channels[ci];
+    // invalidate range-for iterators. Ownership is re-checked per entry —
+    // a steal can only retarget channels this visit has not fenced busy.
+    for (size_t ci = 0; ci < endpoints_.size(); ++ci) {
+      if (endpoints_[ci].owner != thread_index || endpoints_[ci].busy) {
+        continue;
+      }
+      Channel* channel = endpoints_[ci].channel;
+      // Fence the visit: the body suspends (CPU charges, RDMA ops), and a
+      // concurrent steal mid-visit would hand two workers the same channel.
+      endpoints_[ci].busy = true;
       if (channel->NeedsReplyResend()) {
         co_await channel->MaybeResendAfterSwitch();
       }
@@ -187,7 +270,18 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
       // once and pays exactly one header poll, as before.
       for (int served_here = 0; served_here < channel->window(); ++served_here) {
         size_t request_size = 0;
-        if (!channel->TryServerRecv(state.request_buf, &request_size)) {
+        bool got = false;
+        try {
+          got = channel->TryServerRecv(state.request_buf, &request_size);
+        } catch (const std::length_error&) {
+          // A corrupted size field claims more bytes than the dispatch
+          // buffer holds. Counted drop, not an actor-killing throw; skip
+          // the channel for the rest of this sweep (the client's re-issue
+          // rewrites the header).
+          RecordMalformedRequest(thread_index, "oversized");
+          break;
+        }
+        if (!got) {
           break;
         }
         any = true;
@@ -199,7 +293,11 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
         if (request_deadline != 0 && static_cast<uint64_t>(engine.now()) > request_deadline) {
           ++requests_shed_deadline_;
           if (options_.shed_cpu_ns > 0) {
-            co_await engine.Sleep(options_.shed_cpu_ns);
+            if (options_.multicore) {
+              co_await node_.cpus().ComputeOn(state.core, options_.shed_cpu_ns);
+            } else {
+              co_await engine.Sleep(options_.shed_cpu_ns);
+            }
           }
           co_await channel->ServerSendBusy(BusyReason::kDeadline, retry_hint_us);
           continue;  // a shed slot still leaves the rest of the window to serve
@@ -211,20 +309,28 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
             admitted >= options_.admission_budget) {
           ++requests_shed_admission_;
           if (options_.shed_cpu_ns > 0) {
-            co_await engine.Sleep(options_.shed_cpu_ns);
+            if (options_.multicore) {
+              co_await node_.cpus().ComputeOn(state.core, options_.shed_cpu_ns);
+            } else {
+              co_await engine.Sleep(options_.shed_cpu_ns);
+            }
           }
           co_await channel->ServerSendBusy(BusyReason::kAdmission, retry_hint_us);
           continue;
         }
         ++admitted;
         if (request_size < kRpcIdBytes) {
-          throw std::runtime_error("rfp rpc: runt request");
+          // Runt request: shorter than the rpc id. Count and serve on — a
+          // malformed frame must not kill the sweep actor.
+          RecordMalformedRequest(thread_index, "runt");
+          continue;
         }
         uint16_t rpc_id = 0;
         std::memcpy(&rpc_id, state.request_buf.data(), kRpcIdBytes);
         auto it = handlers_.find(rpc_id);
         if (it == handlers_.end()) {
-          throw std::runtime_error("rfp rpc: no handler for id " + std::to_string(rpc_id));
+          RecordMalformedRequest(thread_index, "unknown_rpc");
+          continue;
         }
         const std::span<const std::byte> payload(state.request_buf.data() + kRpcIdBytes,
                                                  request_size - kRpcIdBytes);
@@ -241,9 +347,15 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
             straggler_rng_.NextBernoulli(options_.straggler_prob)) {
           process += options_.straggler_extra_ns;
         }
-        co_await engine.Sleep(process);
-        if (options_.admission_control) {
-          // Feed the measured process time into the detector's EWMA.
+        if (options_.multicore) {
+          co_await node_.cpus().ComputeOn(state.core, process);
+        } else {
+          co_await engine.Sleep(process);
+        }
+        {
+          // Feed the measured process time into the detector's EWMA. Updated
+          // unconditionally: the retry hint above needs it even when the
+          // watermark machine (admission_control) is off.
           const double alpha = options_.process_ewma_alpha;
           state.process_ewma_ns =
               state.process_ewma_ns == 0.0
@@ -254,6 +366,53 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
             std::span<const std::byte>(state.response_buf.data(), result.response_size));
         ++state.served;
         ++requests_served_;
+      }
+      if (options_.multicore && options_.batch_reply_publication) {
+        // Publish every slot this visit completed in one doorbell batch
+        // (reply mode only; fetch-mode responses are already local stores).
+        co_await channel->FlushServerPushes();
+      }
+      endpoints_[ci].busy = false;
+    }
+    // ---- Work stealing (docs/multicore.md) -------------------------------
+    // Between sweeps, claim channels stranded on crashed workers; when this
+    // sweep found nothing at all, also relieve a backlogged live worker.
+    // Bounded per sweep so ownership churn stays low, and never across a
+    // busy fence. Synchronous (no co_await), so the scan is atomic in the
+    // cooperative scheduler.
+    if (options_.multicore && options_.work_stealing) {
+      int budget = options_.max_steals_per_sweep;
+      for (size_t ci = 0; ci < endpoints_.size() && budget > 0; ++ci) {
+        ChannelEntry& entry = endpoints_[ci];
+        if (entry.owner == thread_index || entry.busy) {
+          continue;
+        }
+        if (!threads_[static_cast<size_t>(entry.owner)].crashed) {
+          continue;
+        }
+        StealChannel(entry, thread_index, "orphan_claim");
+        --budget;
+      }
+      if (!any) {
+        for (size_t ci = 0; ci < endpoints_.size() && budget > 0; ++ci) {
+          ChannelEntry& entry = endpoints_[ci];
+          if (entry.owner == thread_index || entry.busy ||
+              threads_[static_cast<size_t>(entry.owner)].crashed) {
+            continue;
+          }
+          if (entry.channel->PendingRequests() < options_.steal_min_backlog) {
+            continue;
+          }
+          // A load steal must strictly improve ownership balance, so two
+          // idle workers cannot ping-pong a channel between their sweep
+          // phases forever (each re-stealing before the new owner's visit):
+          // migration is monotone toward balance and then stops.
+          if (channels_owned_by(entry.owner) <= channels_owned_by(thread_index) + 1) {
+            continue;
+          }
+          StealChannel(entry, thread_index, "channel_steal");
+          --budget;
+        }
       }
     }
     if (!any) {

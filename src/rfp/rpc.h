@@ -1,12 +1,19 @@
 // RPC on top of RFP channels (paper Fig 2 / Section 3.1).
 //
-// The server registers handlers by id; each server thread sweeps the
-// channels assigned to it (EREW: a channel belongs to exactly one thread),
-// dispatches requests, and publishes responses through Channel::ServerSend —
-// which transparently follows whatever paradigm the client side of the
-// channel is in. Clients call through RpcClient stubs exactly as they would
-// with a socket-based RPC library; this is the "legacy interface" property
-// the paper claims.
+// The server registers handlers by id; each server worker sweeps the
+// channels it currently owns (EREW at any instant: a channel belongs to
+// exactly one worker), dispatches requests, and publishes responses through
+// Channel::ServerSend — which transparently follows whatever paradigm the
+// client side of the channel is in. Clients call through RpcClient stubs
+// exactly as they would with a socket-based RPC library; this is the
+// "legacy interface" property the paper claims.
+//
+// With ServerOptions::multicore the workers are scheduled on the node's
+// sim::CpuSet (one pinned core each, reserved via Node::ReserveWorkerCore
+// with NIC-station affinity), hot or orphaned channels migrate between
+// workers between sweeps, and each channel visit publishes its completed
+// reply-mode slots in one doorbell batch — see docs/multicore.md. Default
+// off: the legacy per-thread sweep with virtual-time-sleep CPU modelling.
 //
 // Message format: request = [uint16 rpc_id][payload]; response = [payload].
 
@@ -89,7 +96,9 @@ class RpcServer {
   // on the client's fault-tolerance options) until RestartThread. A request
   // already mid-handler completes first; the crash takes effect between
   // requests, which models a worker whose core is lost, not one whose
-  // memory is torn mid-write. Idempotent.
+  // memory is torn mid-write. Under multicore + work_stealing the surviving
+  // workers claim the crashed worker's channels at their next sweeps, so the
+  // dark window lasts sweeps, not the whole outage. Idempotent.
   void CrashThread(int thread);
 
   // Brings a crashed worker back. Its next sweep picks up whatever request
@@ -119,9 +128,38 @@ class RpcServer {
   // Times any thread's detector entered the overloaded state.
   uint64_t overload_enters() const { return overload_enters_; }
 
+  // ---- Sweep hardening / multi-core dispatch (docs/multicore.md) -----------
+
+  // Requests dropped instead of dispatched: runt requests (shorter than the
+  // rpc id), unknown rpc ids, and oversized/corrupt size fields. A malformed
+  // request must never kill the sweep actor — it is counted, traced, and the
+  // rest of the sweep is served.
+  uint64_t malformed_requests() const { return malformed_requests_; }
+
+  // Channel migrations between workers (orphan claims + load steals).
+  uint64_t channel_steals() const { return channel_steals_; }
+  uint64_t thread_steals(int thread) const {
+    return threads_[static_cast<size_t>(thread)].steals;
+  }
+  // Channels currently owned by `thread`'s sweep.
+  int channels_owned_by(int thread) const;
+  // Core the worker is pinned to under multicore (-1 when not multicore).
+  int thread_core(int thread) const {
+    return threads_[static_cast<size_t>(thread)].core;
+  }
+
+  // Stable trace-track id for worker `thread`: a tagged (server ordinal,
+  // thread) encoding, NOT derived from `this`. The old
+  // reinterpret_cast<uint64_t>(this) + thread scheme could collide across
+  // servers (one server's base + k aliases a neighbor allocated k bytes
+  // away); ordinals are process-unique and threads are < 2^16.
+  uint64_t worker_track_id(int thread) const {
+    return (uint64_t{0x5257} << 48) |  // "RW" tag, clear of heap pointers
+           (server_ordinal_ << 16) | static_cast<uint64_t>(thread & 0xffff);
+  }
+
  private:
   struct ThreadState {
-    std::vector<Channel*> channels;
     uint64_t served = 0;
     bool crashed = false;
     std::vector<std::byte> request_buf;
@@ -129,9 +167,26 @@ class RpcServer {
     // Overload detector state (ServerOptions admission_control):
     double process_ewma_ns = 0;  // EWMA of measured per-request process time
     bool overloaded = false;
+    // Multi-core dispatch state:
+    int core = -1;        // CpuSet core this worker is pinned to
+    uint64_t steals = 0;  // channels this worker claimed from others
+  };
+
+  // A served channel and the worker that currently sweeps it. EREW at any
+  // instant: `owner` names the only worker that may touch the channel, and
+  // `busy` fences a visit in progress (visits suspend, so a steal decided
+  // mid-visit would otherwise hand two workers the same channel).
+  struct ChannelEntry {
+    Channel* channel = nullptr;
+    int owner = 0;
+    bool busy = false;
   };
 
   sim::Task<void> ServeLoop(int thread_index);
+  void RecordMalformedRequest(int thread_index, const char* why);
+  // Claims `entry` for `thief`; `why` labels the trace instant
+  // ("orphan_claim" / "channel_steal").
+  void StealChannel(ChannelEntry& entry, int thief, const char* why);
 
   rdma::Fabric& fabric_;
   rdma::Node& node_;
@@ -139,13 +194,19 @@ class RpcServer {
   sim::Rng straggler_rng_;
   bool stop_ = false;
   bool started_ = false;
+  uint64_t server_ordinal_ = 0;
   uint64_t requests_served_ = 0;
   uint64_t thread_crashes_ = 0;
   uint64_t requests_shed_admission_ = 0;
   uint64_t requests_shed_deadline_ = 0;
   uint64_t overload_enters_ = 0;
+  uint64_t malformed_requests_ = 0;
+  uint64_t channel_steals_ = 0;
   std::unordered_map<uint16_t, AsyncHandler> handlers_;
   std::vector<ThreadState> threads_;
+  // All accepted channels in acceptance order; each worker's sweep visits
+  // the subsequence it owns, preserving the legacy per-thread order.
+  std::vector<ChannelEntry> endpoints_;
   std::vector<std::unique_ptr<Channel>> owned_channels_;
 };
 

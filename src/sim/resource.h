@@ -13,6 +13,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "src/sim/engine.h"
 #include "src/sim/task.h"
@@ -43,8 +44,20 @@ class Resource {
     if (window_end <= window_start || capacity_ == 0) {
       return 0.0;
     }
-    return static_cast<double>(busy_integral()) /
+    return static_cast<double>(busy_integral() - BusyIntegralAt(window_start)) /
            static_cast<double>(capacity_ * (window_end - window_start));
+  }
+
+  // Arms an exact utilization-window boundary: the busy integral is
+  // snapshotted as the simulation crosses `at`, so a later
+  // Utilization(at, end) reports the busy fraction of [at, end] alone
+  // instead of folding in busy time accumulated before the window.
+  // Snapshots resolve lazily on the next permit transition (O(1) amortized).
+  // An `at` already in the past clamps to the last transition — the nearest
+  // reconstructible instant.
+  void WatchFrom(Time at) {
+    watches_.push_back(Watch{at, 0, false});
+    ResolveWatches();
   }
 
   // Awaitable that suspends until a permit is granted. Permits are granted
@@ -85,13 +98,48 @@ class Resource {
     Time enqueued_at;
   };
 
+  struct Watch {
+    Time at;
+    Time busy;
+    bool resolved;
+  };
+
   // A permit handed to a queued waiter (whose resume event is pending) counts
   // as in use: it is already reserved for that waiter.
   int in_use() const { return capacity_ - available_; }
 
   void AccumulateBusy() {
+    ResolveWatches();  // before last_change_ moves past any armed boundary
     busy_integral_ += static_cast<Time>(in_use()) * (engine_.now() - last_change_);
     last_change_ = engine_.now();
+  }
+
+  // The permit count is constant on [last_change_, now], so any armed
+  // boundary inside that span has an exactly reconstructible busy integral.
+  void ResolveWatches() const {
+    for (Watch& w : watches_) {
+      if (!w.resolved && w.at <= engine_.now()) {
+        const Time at = w.at < last_change_ ? last_change_ : w.at;
+        w.busy = busy_integral_ + static_cast<Time>(in_use()) * (at - last_change_);
+        w.resolved = true;
+      }
+    }
+  }
+
+  Time BusyIntegralAt(Time t) const {
+    if (t <= 0) {
+      return 0;
+    }
+    ResolveWatches();
+    for (const Watch& w : watches_) {
+      if (w.resolved && w.at == t) {
+        return w.busy;
+      }
+    }
+    if (t >= last_change_ && t <= engine_.now()) {
+      return busy_integral_ + static_cast<Time>(in_use()) * (t - last_change_);
+    }
+    return 0;  // unwatched past instant: whole-history fallback
   }
 
   void Grant() {
@@ -108,6 +156,7 @@ class Resource {
   Time busy_integral_ = 0;
   Time last_change_ = 0;
   std::deque<Waiter> waiters_;
+  mutable std::vector<Watch> watches_;
 };
 
 // Mutual exclusion: a capacity-1 resource with lock/unlock vocabulary.

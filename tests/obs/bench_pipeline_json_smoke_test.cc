@@ -42,12 +42,13 @@ TEST(BenchPipelineJsonSmokeTest, PipelineBenchProducesSchemaValidJson) {
   EXPECT_EQ(v.at("bench").string, "bench_ext_pipeline");
   EXPECT_EQ(v.at("schema_version").number, 1.0);
 
-  // 5 windows x 3 value sizes.
-  ASSERT_EQ(v.at("rows").array.size(), 15u);
+  // 5 windows x 3 value sizes, plus 3 multicore worker-sweep rows.
+  ASSERT_EQ(v.at("rows").array.size(), 18u);
   bool saw_batched_row = false;
   for (const auto& row : v.at("rows").array) {
     const testjson::Value& values = row->at("values");
     EXPECT_TRUE(values.has("window"));
+    EXPECT_TRUE(values.has("workers"));
     EXPECT_TRUE(values.has("mops"));
     EXPECT_TRUE(values.has("speedup"));
     EXPECT_TRUE(values.has("doorbells"));

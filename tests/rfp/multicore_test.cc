@@ -1,0 +1,321 @@
+// Multi-core server dispatch (docs/multicore.md): worker/core pinning via
+// rdma::Node::ReserveWorkerCore, work stealing around worker crashes and
+// restarts, doorbell-batched reply publication, coalesced fetch sweeps, the
+// backlog-derived BUSY retry hint without admission control, and pipelined
+// latency accounting across slot reuse.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/rfp/channel.h"
+#include "src/rfp/options.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace rfp {
+namespace {
+
+constexpr uint16_t kEcho = 1;
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+void RegisterEcho(RpcServer& server) {
+  server.RegisterHandler(kEcho, [](const HandlerContext&, std::span<const std::byte> req,
+                                   std::span<std::byte> resp) {
+    std::memcpy(resp.data(), req.data(), req.size());
+    return HandlerResult{req.size(), sim::Nanos(300)};
+  });
+}
+
+// Sequential call loop; bumps *done after every completed call.
+sim::Task<void> CallLoop(Channel* channel, int calls, uint64_t* done) {
+  RpcClient client(channel);
+  std::vector<std::byte> resp(16384);
+  for (int i = 0; i < calls; ++i) {
+    co_await client.Call(kEcho, AsBytes("payload-" + std::to_string(i)), resp);
+    ++*done;
+  }
+}
+
+class MulticoreTest : public ::testing::Test {
+ protected:
+  MulticoreTest() {
+    rdma::FabricConfig fc;
+    fc.nic.cores = 4;
+    fc.nic.nic_station_cores = 2;
+    fabric_ = std::make_unique<rdma::Fabric>(engine_, fc);
+    server_node_ = &fabric_->AddNode("server");
+    client_node_ = &fabric_->AddNode("client");
+  }
+
+  sim::Engine engine_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  rdma::Node* server_node_ = nullptr;
+  rdma::Node* client_node_ = nullptr;
+};
+
+// Workers pin round-robin over the compute range [nic_station_cores, cores),
+// never onto the cores reserved for the NIC stations; with more workers than
+// compute cores they time-share. Legacy servers report no pinning.
+TEST_F(MulticoreTest, WorkersPinAboveNicStationCores) {
+  ServerOptions so;
+  so.multicore = true;
+  RpcServer server(*fabric_, *server_node_, 4, so);
+  EXPECT_EQ(server.thread_core(0), 2);
+  EXPECT_EQ(server.thread_core(1), 3);
+  EXPECT_EQ(server.thread_core(2), 2);  // wrapped: shares core 2 with worker 0
+  EXPECT_EQ(server.thread_core(3), 3);
+
+  RpcServer legacy(*fabric_, *server_node_, 2);
+  EXPECT_EQ(legacy.thread_core(0), -1);
+  EXPECT_EQ(legacy.thread_core(1), -1);
+}
+
+// Two pinned workers each sweep their own channels and all traffic
+// completes; CPU flows through the per-core resources, so the worker cores
+// show utilization while the NIC-station cores stay clear of sweep work.
+TEST_F(MulticoreTest, MulticoreSweepServesAcrossWorkers) {
+  ServerOptions so;
+  so.multicore = true;
+  RpcServer server(*fabric_, *server_node_, 2, so);
+  RegisterEcho(server);
+  Channel* ch0 = server.AcceptChannel(*client_node_, RfpOptions{}, 0);
+  Channel* ch1 = server.AcceptChannel(*client_node_, RfpOptions{}, 1);
+  server.Start();
+  uint64_t done0 = 0;
+  uint64_t done1 = 0;
+  engine_.Spawn(CallLoop(ch0, 50, &done0));
+  engine_.Spawn(CallLoop(ch1, 50, &done1));
+  engine_.RunUntil(sim::Millis(10));
+  server.Stop();
+  EXPECT_EQ(done0, 50u);
+  EXPECT_EQ(done1, 50u);
+  EXPECT_GT(server.requests_served_by(0), 0u);
+  EXPECT_GT(server.requests_served_by(1), 0u);
+  // Sweep CPU ran on the pinned compute cores, not the NIC-station cores.
+  EXPECT_GT(server_node_->cpus().CoreUtilization(2, 0, engine_.now()), 0.0);
+  EXPECT_GT(server_node_->cpus().CoreUtilization(3, 0, engine_.now()), 0.0);
+  EXPECT_EQ(server_node_->cpus().CoreUtilization(0, 0, engine_.now()), 0.0);
+  EXPECT_EQ(server_node_->cpus().CoreUtilization(1, 0, engine_.now()), 0.0);
+}
+
+// Crash one of two workers mid-traffic: the survivor claims the orphaned
+// channel and serves it (the dark window lasts sweeps, not the outage), and
+// after restart the crashed worker steals its way back into the rotation.
+TEST_F(MulticoreTest, CrashedWorkerChannelsAreStolenServedAndRejoinAfterRestart) {
+  ServerOptions so;
+  so.multicore = true;
+  so.steal_min_backlog = 1;  // single-call channels: any pending request is worth stealing
+  RpcServer server(*fabric_, *server_node_, 2, so);
+  RegisterEcho(server);
+  Channel* ch0 = server.AcceptChannel(*client_node_, RfpOptions{}, 0);
+  Channel* ch1 = server.AcceptChannel(*client_node_, RfpOptions{}, 1);
+  server.Start();
+  uint64_t done0 = 0;
+  uint64_t done1 = 0;
+  engine_.Spawn(CallLoop(ch0, 200, &done0));
+  engine_.Spawn(CallLoop(ch1, 200, &done1));
+  engine_.ScheduleAt(sim::Micros(20), [&server] { server.CrashThread(0); });
+  uint64_t served_by_0_at_restart = 0;
+  engine_.ScheduleAt(sim::Micros(200), [&server, &served_by_0_at_restart] {
+    served_by_0_at_restart = server.requests_served_by(0);
+    server.RestartThread(0);
+  });
+  engine_.RunUntil(sim::Millis(20));
+  server.Stop();
+  // All traffic completed despite the crash — no client-visible failures.
+  EXPECT_EQ(done0, 200u);
+  EXPECT_EQ(done1, 200u);
+  // The survivor claimed the orphaned channel...
+  EXPECT_GE(server.channel_steals(), 1u);
+  EXPECT_GE(server.thread_steals(1), 1u);
+  // ...and the restarted worker stole its way back to serving.
+  EXPECT_GT(server.requests_served_by(0), served_by_0_at_restart);
+}
+
+// With multicore batch_reply_publication, a visit that completes a window of
+// reply-mode slots publishes them in one doorbell batch instead of one WRITE
+// posting per slot.
+TEST_F(MulticoreTest, BatchedReplyPublicationCoalescesDoorbells) {
+  ServerOptions so;
+  so.multicore = true;  // batch_reply_publication defaults on
+  RpcServer server(*fabric_, *server_node_, 1, so);
+  RegisterEcho(server);
+  RfpOptions opts;
+  opts.window = 4;
+  opts.force_mode = RfpOptions::ForceMode::kForceReply;
+  Channel* ch = server.AcceptChannel(*client_node_, opts, 0);
+  server.Start();
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<Channel::CallHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+      handles.push_back(co_await client.SubmitCall(kEcho, AsBytes("m" + std::to_string(i))));
+    }
+    std::vector<std::byte> out(16384);
+    for (int i = 0; i < 4; ++i) {
+      const size_t got = co_await client.AwaitCall(handles[static_cast<size_t>(i)], out);
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), got),
+                "m" + std::to_string(i));
+    }
+  }(ch));
+  engine_.RunUntil(sim::Millis(5));
+  server.Stop();
+  EXPECT_EQ(ch->stats().reply_pushes, 4u);
+  // One doorbell batch for the client's submit burst, at least one for the
+  // server's deferred reply publication.
+  EXPECT_GE(ch->stats().doorbell_batches, 2u);
+  EXPECT_GE(ch->stats().batched_ops, 4u);
+}
+
+// Coalesced fetch: with >= 2 slots awaiting responses, a sweep issues one
+// spanning READ over the pending span instead of one READ per slot, and the
+// payloads still come back intact per slot.
+TEST_F(MulticoreTest, CoalescedFetchSpansPendingSlots) {
+  ServerOptions so;
+  so.multicore = true;
+  RpcServer server(*fabric_, *server_node_, 1, so);
+  RegisterEcho(server);
+  RfpOptions opts;
+  opts.window = 4;
+  opts.coalesced_fetch = true;
+  opts.force_mode = RfpOptions::ForceMode::kForceFetch;
+  Channel* ch = server.AcceptChannel(*client_node_, opts, 0);
+  server.Start();
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    RpcClient client(channel);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<Channel::CallHandle> handles;
+      for (int i = 0; i < 4; ++i) {
+        handles.push_back(co_await client.SubmitCall(
+            kEcho, AsBytes("r" + std::to_string(round) + "-m" + std::to_string(i))));
+      }
+      std::vector<std::byte> out(16384);
+      for (int i = 0; i < 4; ++i) {
+        const size_t got = co_await client.AwaitCall(handles[static_cast<size_t>(i)], out);
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), got),
+                  "r" + std::to_string(round) + "-m" + std::to_string(i));
+      }
+    }
+  }(ch));
+  engine_.RunUntil(sim::Millis(10));
+  server.Stop();
+  EXPECT_GE(ch->stats().coalesced_fetches, 1u);
+  EXPECT_GE(ch->stats().coalesced_slots, 2u);
+}
+
+// The BUSY(deadline) retry hint must reflect the backlog even when
+// admission_control is off: deadline shedding is live on its own, and the
+// old hard-coded 1 us hint told clients to retry straight into the backlog.
+TEST_F(MulticoreTest, DeadlineShedHintReflectsBacklogWithoutAdmissionControl) {
+  ServerOptions so;
+  so.dispatch_cpu_ns = 2000;  // per-request floor: 4 pending => 8 us of work
+  ASSERT_FALSE(so.admission_control);
+  RpcServer server(*fabric_, *server_node_, 1, so);
+  RegisterEcho(server);
+  RfpOptions opts;
+  opts.window = 4;
+  opts.force_mode = RfpOptions::ForceMode::kForceFetch;
+  opts.call_deadline_ns = 1;  // dead on arrival: every request is shed
+  Channel* ch = server.AcceptChannel(*client_node_, opts, 0);
+  server.Start();
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<Channel::CallHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+      handles.push_back(co_await client.SubmitCall(kEcho, AsBytes("doomed")));
+    }
+    std::vector<std::byte> out(16384);
+    for (int i = 0; i < 4; ++i) {
+      try {
+        (void)co_await client.AwaitCall(handles[static_cast<size_t>(i)], out);
+      } catch (const DeadlineExceeded&) {
+      }
+    }
+  }(ch));
+  engine_.RunUntil(sim::Millis(5));
+  server.Stop();
+  EXPECT_GE(server.requests_shed_deadline(), 1u);
+  // Backlog-derived hint: >= 2 us (4 pending x 2 us each), never the
+  // hard-coded 1 us the bug produced with admission control off.
+  EXPECT_GE(ch->last_retry_after_us(), 2);
+}
+
+// Pipelined latency accounting across slot reuse: a slot's submit timestamp
+// must be overwritten on resubmit, so a call staged into a recycled slot
+// after a long idle gap reports its own latency, not the gap.
+TEST_F(MulticoreTest, AwaitCallLatencyCorrectAcrossSlotReuse) {
+  RpcServer server(*fabric_, *server_node_, 1);
+  RegisterEcho(server);
+  RfpOptions opts;
+  opts.window = 2;
+  Channel* ch = server.AcceptChannel(*client_node_, opts, 0);
+  server.Start();
+  sim::Histogram latencies;
+  engine_.Spawn([](sim::Engine& eng, Channel* channel, sim::Histogram* out) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(16384);
+    // Out-of-order await across both slots.
+    const Channel::CallHandle a = co_await client.SubmitCall(kEcho, AsBytes("a"));
+    const Channel::CallHandle b = co_await client.SubmitCall(kEcho, AsBytes("b"));
+    (void)co_await client.AwaitCall(b, resp);
+    (void)co_await client.AwaitCall(a, resp);
+    // Long idle gap, then resubmit into the recycled slots: the gap must not
+    // leak into the new calls' latency.
+    co_await eng.Sleep(sim::Millis(2));
+    const Channel::CallHandle c = co_await client.SubmitCall(kEcho, AsBytes("c"));
+    (void)co_await client.AwaitCall(c, resp);
+    *out = client.latency();
+  }(engine_, ch, &latencies));
+  engine_.RunUntil(sim::Millis(10));
+  server.Stop();
+  EXPECT_EQ(latencies.count(), 3u);
+  EXPECT_LT(latencies.max(), sim::Millis(1));
+}
+
+// Per-worker overload detectors: only the loaded worker's watermark machine
+// trips; its neighbor on the other core stays clear.
+TEST_F(MulticoreTest, OverloadStateIsPerWorkerUnderMulticore) {
+  ServerOptions so;
+  so.multicore = true;
+  so.admission_control = true;
+  so.dispatch_cpu_ns = 2000;
+  so.overload_hi_watermark_ns = 4000;
+  so.overload_lo_watermark_ns = 1000;
+  so.admission_budget = 1;
+  RpcServer server(*fabric_, *server_node_, 2, so);
+  RegisterEcho(server);
+  RfpOptions opts;
+  opts.window = 8;
+  opts.force_mode = RfpOptions::ForceMode::kForceFetch;
+  Channel* hot = server.AcceptChannel(*client_node_, opts, 0);
+  server.Start();
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<Channel::CallHandle> handles;
+    for (int i = 0; i < 8; ++i) {
+      handles.push_back(co_await client.SubmitCall(kEcho, AsBytes("burst")));
+    }
+    std::vector<std::byte> out(16384);
+    for (int i = 0; i < 8; ++i) {
+      (void)co_await client.AwaitCall(handles[static_cast<size_t>(i)], out);
+    }
+  }(hot));
+  engine_.RunUntil(sim::Millis(5));
+  server.Stop();
+  EXPECT_GE(server.overload_enters(), 1u);
+  EXPECT_GE(server.requests_shed_admission(), 1u);
+  // The idle worker never tripped its detector.
+  EXPECT_FALSE(server.thread_overloaded(1));
+}
+
+}  // namespace
+}  // namespace rfp

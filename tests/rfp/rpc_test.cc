@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -145,17 +146,80 @@ TEST_F(RpcTest, SlowHandlerDrivesChannelToReplyMode) {
   EXPECT_EQ(ch->client_mode(), Mode::kServerReply);
 }
 
-TEST_F(RpcTest, UnknownRpcIdFailsLoudly) {
+// A request for an unregistered rpc id must not kill the sweep actor: it is
+// a counted drop, and the server keeps serving well-formed traffic on its
+// other channels for the rest of the run.
+TEST_F(RpcTest, UnknownRpcIdIsCountedDropNotFatal) {
   RpcServer* server = MakeServer(1);
   rdma::Node& client_node = fabric_.AddNode("client");
-  Channel* ch = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  Channel* bad = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  Channel* good = server->AcceptChannel(client_node, RfpOptions{}, 0);
   server->Start();
   engine_.Spawn([](Channel* channel) -> sim::Task<void> {
     RpcClient client(channel);
     std::vector<std::byte> resp(1024);
+    // The drop means no response ever lands; the call just stays pending
+    // until the run ends.
     co_await client.Call(999, AsBytes("x"), resp);
-  }(ch));
-  EXPECT_THROW(engine_.RunUntil(sim::Millis(5)), std::runtime_error);
+  }(bad));
+  uint64_t good_calls = 0;
+  engine_.Spawn([](Channel* channel, uint64_t* out) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < 20; ++i) {
+      co_await client.Call(kEcho, AsBytes("payload"), resp);
+    }
+    *out = client.calls();
+  }(good, &good_calls));
+  EXPECT_NO_THROW(engine_.RunUntil(sim::Millis(5)));
+  server->Stop();
+  EXPECT_EQ(server->malformed_requests(), 1u);
+  EXPECT_EQ(good_calls, 20u);
+}
+
+// A runt request (shorter than the rpc id) is likewise dropped and counted,
+// not thrown out of ServeLoop.
+TEST_F(RpcTest, RuntRequestIsCountedDropNotFatal) {
+  RpcServer* server = MakeServer(1);
+  rdma::Node& client_node = fabric_.AddNode("client");
+  Channel* bad = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  Channel* good = server->AcceptChannel(client_node, RfpOptions{}, 0);
+  server->Start();
+  engine_.Spawn([](Channel* channel) -> sim::Task<void> {
+    // Below RpcClient: a raw one-byte frame, shorter than the uint16 rpc id.
+    const std::byte runt{0x7f};
+    co_await channel->SubmitCall(std::span<const std::byte>(&runt, 1), {});
+    co_await channel->FlushCalls();
+  }(bad));
+  uint64_t good_calls = 0;
+  engine_.Spawn([](Channel* channel, uint64_t* out) -> sim::Task<void> {
+    RpcClient client(channel);
+    std::vector<std::byte> resp(1024);
+    for (int i = 0; i < 20; ++i) {
+      co_await client.Call(kEcho, AsBytes("payload"), resp);
+    }
+    *out = client.calls();
+  }(good, &good_calls));
+  EXPECT_NO_THROW(engine_.RunUntil(sim::Millis(5)));
+  server->Stop();
+  EXPECT_EQ(server->malformed_requests(), 1u);
+  EXPECT_EQ(good_calls, 20u);
+}
+
+// Worker trace-track ids must be distinct across servers and threads; the
+// old this-pointer-plus-thread scheme let server A's thread k alias server
+// B's thread 0 whenever the heap laid the objects k bytes apart.
+TEST_F(RpcTest, WorkerTrackIdsAreDistinctAcrossServersAndThreads) {
+  RpcServer* a = MakeServer(2);
+  rdma::Node& other = fabric_.AddNode("server2");
+  RpcServer b(fabric_, other, 2);
+  const uint64_t ids[] = {a->worker_track_id(0), a->worker_track_id(1),
+                          b.worker_track_id(0), b.worker_track_id(1)};
+  for (size_t i = 0; i < std::size(ids); ++i) {
+    for (size_t j = i + 1; j < std::size(ids); ++j) {
+      EXPECT_NE(ids[i], ids[j]) << "i=" << i << " j=" << j;
+    }
+  }
 }
 
 TEST_F(RpcTest, LatencyHistogramPopulated) {

@@ -37,6 +37,22 @@ TEST(CpuSetTest, UtilizationReflectsLoad) {
   EXPECT_DOUBLE_EQ(cpus.Utilization(0, engine.now()), 0.5);
 }
 
+TEST(CpuSetTest, WatchedWindowReportsPerCoreBusyFractionExactly) {
+  Engine engine;
+  CpuSet cpus(engine, 2);
+  cpus.WatchUtilization(Micros(10));
+  engine.Spawn([](Engine& e, CpuSet& c) -> Task<void> {
+    co_await c.ComputeOn(0, Micros(10));  // entirely before the window
+    co_await e.Sleep(Micros(5));
+    co_await c.ComputeOn(1, Micros(5));  // entirely inside it
+  }(engine, cpus));
+  engine.Run();
+  EXPECT_EQ(engine.now(), Micros(20));
+  // Core 0's pre-window busy time must not leak into the measure window.
+  EXPECT_DOUBLE_EQ(cpus.CoreUtilization(0, Micros(10), Micros(20)), 0.0);
+  EXPECT_DOUBLE_EQ(cpus.CoreUtilization(1, Micros(10), Micros(20)), 0.5);
+}
+
 TEST(BusyMeterTest, UtilizationIsBusyOverWindow) {
   BusyMeter meter;
   meter.AddBusy(Micros(30));

@@ -94,6 +94,46 @@ TEST(ResourceTest, BusyIntegralMeasuresUtilization) {
   EXPECT_DOUBLE_EQ(res.Utilization(0, engine.now()), 0.5);
 }
 
+TEST(ResourceTest, WatchedWindowExcludesEarlierBusyTime) {
+  Engine engine;
+  Resource res(engine, 1);
+  // Busy 10us, idle 10us, busy 5us. A window armed at 10us must see only the
+  // 5us of busy time inside [10us, 25us] — not the 10us from before it.
+  res.WatchFrom(Micros(10));
+  engine.Spawn([](Engine& e, Resource& r) -> Task<void> {
+    co_await r.Use(Micros(10));
+    co_await e.Sleep(Micros(10));
+    co_await r.Use(Micros(5));
+  }(engine, res));
+  engine.Run();
+  EXPECT_EQ(engine.now(), Micros(25));
+  EXPECT_DOUBLE_EQ(res.Utilization(Micros(10), Micros(25)), 5.0 / 15.0);
+  // Whole-run queries are unchanged by the watch.
+  EXPECT_DOUBLE_EQ(res.Utilization(0, Micros(25)), 15.0 / 25.0);
+}
+
+TEST(ResourceTest, WatchBoundaryInsideABusySpanSplitsIt) {
+  Engine engine;
+  Resource res(engine, 1);
+  // One 20us busy span; a window armed at its midpoint sees exactly half.
+  res.WatchFrom(Micros(10));
+  engine.Spawn(res.Use(Micros(20)));
+  engine.Run();
+  EXPECT_DOUBLE_EQ(res.Utilization(Micros(10), Micros(20)), 1.0);
+  EXPECT_DOUBLE_EQ(res.Utilization(0, Micros(20)), 1.0);
+}
+
+TEST(ResourceTest, UnwatchedWindowStartAfterLastChangeIsExact) {
+  Engine engine;
+  Resource res(engine, 1);
+  engine.Spawn(res.Use(Micros(10)));
+  engine.Run();
+  engine.RunUntil(Micros(40));
+  // No watch needed: 20us lies in the idle span since the last transition,
+  // so the busy integral there is reconstructible — zero busy in [20, 40].
+  EXPECT_DOUBLE_EQ(res.Utilization(Micros(20), Micros(40)), 0.0);
+}
+
 TEST(MutexTest, ProvidesMutualExclusion) {
   Engine engine;
   Mutex mu(engine);
