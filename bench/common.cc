@@ -371,6 +371,10 @@ void MergeChannelStats(rfp::Channel::Stats& into, const rfp::Channel::Stats& fro
   into.batched_ops += from.batched_ops;
   into.coalesced_fetches += from.coalesced_fetches;
   into.coalesced_slots += from.coalesced_slots;
+  into.zero_copy_sends += from.zero_copy_sends;
+  into.zero_copy_fetches += from.zero_copy_fetches;
+  into.zero_copy_bytes += from.zero_copy_bytes;
+  into.zero_copy_fallbacks += from.zero_copy_fallbacks;
   into.retries_per_call.Merge(from.retries_per_call);
   into.submit_window.Merge(from.submit_window);
   into.batch_occupancy.Merge(from.batch_occupancy);

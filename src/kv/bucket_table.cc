@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <utility>
 
+#include "src/check/checker.h"
 #include "src/kv/common.h"
+#include "src/rdma/fabric.h"
 
 namespace kv {
 
@@ -13,6 +16,32 @@ BucketTable::BucketTable(size_t num_buckets) {
     throw std::invalid_argument("bucket table: need at least one bucket");
   }
   buckets_.resize(std::bit_ceil(num_buckets));
+}
+
+BucketTable::BucketTable(size_t num_buckets, rdma::Node& node) : BucketTable(num_buckets) {
+  pool_ = mem::Pool::Shared(node);
+  node_ = &node;
+}
+
+void BucketTable::NoteCpuStore(const ValueCell& cell) {
+  if (cell.len == 0 || node_ == nullptr) {
+    return;
+  }
+  if (check::FabricChecker* checker = node_->fabric()->checker()) {
+    checker->OnCpuStore(cell.span.rkey(), cell.span.offset, cell.len);
+  }
+}
+
+std::shared_ptr<BucketTable::ValueCell> BucketTable::MakeCell(std::span<const std::byte> value,
+                                                              uint32_t epoch) {
+  auto cell = std::make_shared<ValueCell>();
+  cell->pool = pool_;
+  cell->span = pool_->Alloc(value.size());
+  cell->len = static_cast<uint32_t>(value.size());
+  cell->epoch = epoch;
+  rdma::CopyBytes(cell->bytes(), value);
+  NoteCpuStore(*cell);
+  return cell;
 }
 
 void BucketTable::Touch(Bucket& bucket, int idx) {
@@ -54,6 +83,9 @@ uint32_t BucketTable::AllocEntry() {
 void BucketTable::FreeEntry(uint32_t idx) {
   entries_[idx].key.clear();
   entries_[idx].value.clear();
+  // Deferred free: if a zero-copy pin still holds the cell, the span
+  // returns to the pool when that pin drops, not here.
+  entries_[idx].cell.reset();
   free_entries_.push_back(idx);
 }
 
@@ -67,7 +99,30 @@ std::optional<std::span<const std::byte>> BucketTable::Get(std::span<const std::
   }
   Touch(bucket, idx);
   ++stats_.hits;
-  return std::span<const std::byte>(entries_[bucket.slots[static_cast<size_t>(idx)].entry].value);
+  const Entry& entry = entries_[bucket.slots[static_cast<size_t>(idx)].entry];
+  if (pool_) {
+    return std::span<const std::byte>(entry.cell->bytes().data(), entry.cell->len);
+  }
+  return std::span<const std::byte>(entry.value);
+}
+
+std::optional<BucketTable::PinnedValue> BucketTable::GetPinned(std::span<const std::byte> key) {
+  if (!pool_) {
+    throw std::logic_error("bucket table: GetPinned requires a pool-backed table");
+  }
+  const uint64_t hash = HashBytes(key);
+  Bucket& bucket = buckets_[BucketIndex(hash)];
+  const int idx = FindSlot(bucket, Tag(hash), key);
+  if (idx < 0) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Touch(bucket, idx);
+  ++stats_.hits;
+  const std::shared_ptr<ValueCell>& cell =
+      entries_[bucket.slots[static_cast<size_t>(idx)].entry].cell;
+  return PinnedValue{cell->span.rkey(), cell->span.offset, cell->len, cell->epoch,
+                     std::shared_ptr<const void>(cell)};
 }
 
 void BucketTable::Put(std::span<const std::byte> key, std::span<const std::byte> value) {
@@ -77,9 +132,29 @@ void BucketTable::Put(std::span<const std::byte> key, std::span<const std::byte>
 
   int idx = FindSlot(bucket, tag, key);
   if (idx >= 0) {
-    // Overwrite in place.
     Entry& entry = entries_[bucket.slots[static_cast<size_t>(idx)].entry];
-    entry.value.assign(value.begin(), value.end());
+    if (pool_) {
+      // Overwrite in place only when no zero-copy pin could still READ the
+      // old bytes (and the new value fits the reserved span); otherwise
+      // copy-on-write into a fresh cell and let the pin's release free the
+      // old span.
+      std::shared_ptr<ValueCell>& cell = entry.cell;
+      const bool pinned = cell && cell.use_count() > 1;
+      if (cell && value.size() <= cell->span.size && (!pinned || unsafe_inplace_put_)) {
+        cell->len = static_cast<uint32_t>(value.size());
+        rdma::CopyBytes(cell->bytes(), value);
+        ++cell->epoch;
+        NoteCpuStore(*cell);
+      } else {
+        if (pinned) {
+          ++stats_.cow_puts;
+        }
+        entry.cell = MakeCell(value, cell ? cell->epoch + 1 : 0);
+      }
+    } else {
+      // Overwrite in place.
+      entry.value.assign(value.begin(), value.end());
+    }
     Touch(bucket, idx);
     ++stats_.updates;
     return;
@@ -109,7 +184,11 @@ void BucketTable::Put(std::span<const std::byte> key, std::span<const std::byte>
   Slot& slot = bucket.slots[static_cast<size_t>(victim)];
   const uint32_t entry_idx = AllocEntry();
   entries_[entry_idx].key.assign(key.begin(), key.end());
-  entries_[entry_idx].value.assign(value.begin(), value.end());
+  if (pool_) {
+    entries_[entry_idx].cell = MakeCell(value, 0);
+  } else {
+    entries_[entry_idx].value.assign(value.begin(), value.end());
+  }
   const bool was_used = slot.used != 0;
   slot.tag = tag;
   slot.entry = entry_idx;

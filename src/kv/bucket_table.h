@@ -2,15 +2,29 @@
 // a fixed array of buckets, eight 8-byte slots per bucket (one cache line),
 // strict per-bucket LRU eviction, and EREW partitioning — each server
 // thread owns one BucketTable instance and nobody else touches it.
+//
+// Two storage modes. Heap mode (the original): values live in plain
+// std::vector entries and GETs copy through the response ring. Pool mode
+// (the two-argument ctor): values live in registered slabs drawn from the
+// node's shared mem::Pool, so a GET handler can answer zero-copy — GetPinned
+// hands out the entry's (rkey, offset, len, epoch) plus a pin that keeps the
+// registered bytes alive until the client's fetch is proven consumed. A PUT
+// that lands while an entry is pinned copies-on-write into a fresh cell
+// (the old span is freed when the last pin drops), never overwriting bytes a
+// client may still READ; docs/memory.md spells out the lifetime rules.
 
 #ifndef SRC_KV_BUCKET_TABLE_H_
 #define SRC_KV_BUCKET_TABLE_H_
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "src/mem/pool.h"
+#include "src/rdma/node.h"
 
 namespace kv {
 
@@ -25,10 +39,32 @@ class BucketTable {
     uint64_t updates = 0;
     uint64_t evictions = 0;
     uint64_t erases = 0;
+    // Pool mode: PUTs that hit a pinned entry and had to allocate a fresh
+    // cell instead of overwriting in place (the zero-copy safety path).
+    uint64_t cow_puts = 0;
   };
 
-  // `num_buckets` is rounded up to a power of two.
+  // A pinned view of a pool-backed entry, for zero-copy GET responses. The
+  // coordinates name the value inside the node's registered memory; `pin`
+  // keeps the cell (and its span) alive even if a later PUT or eviction
+  // replaces the entry — the span returns to the pool when the last pin
+  // drops. `epoch` counts overwrites of the key, so a descriptor can be
+  // told apart from a reused cell.
+  struct PinnedValue {
+    uint32_t rkey = 0;
+    size_t offset = 0;
+    uint32_t len = 0;
+    uint32_t epoch = 0;
+    std::shared_ptr<const void> pin;
+  };
+
+  // `num_buckets` is rounded up to a power of two. Heap mode: values in
+  // plain vectors, GetPinned unavailable.
   explicit BucketTable(size_t num_buckets);
+
+  // Pool mode: values live in registered slabs from `node`'s shared
+  // mem::Pool (created on first use), enabling GetPinned / zero-copy GET.
+  BucketTable(size_t num_buckets, rdma::Node& node);
 
   BucketTable(const BucketTable&) = delete;
   BucketTable& operator=(const BucketTable&) = delete;
@@ -37,6 +73,11 @@ class BucketTable {
   // Returns a view of the stored value (valid until the next mutation) and
   // refreshes the entry's LRU position.
   std::optional<std::span<const std::byte>> Get(std::span<const std::byte> key);
+
+  // Pool mode only (throws std::logic_error otherwise): like Get — refreshes
+  // LRU, counts hit/miss — but returns the entry's registered coordinates
+  // plus a pin instead of a byte view.
+  std::optional<PinnedValue> GetPinned(std::span<const std::byte> key);
 
   // Inserts or overwrites. When the bucket is full, the least recently used
   // slot in that bucket is evicted (strict LRU, paper Section 4.1).
@@ -48,6 +89,13 @@ class BucketTable {
   size_t size() const { return size_; }
   size_t num_buckets() const { return buckets_.size(); }
   const Stats& stats() const { return stats_; }
+  bool pool_backed() const { return pool_ != nullptr; }
+
+  // TEST ONLY: disables the copy-on-write pin check, modelling a buggy store
+  // that overwrites a pinned entry in place. Exists so the race-detector
+  // corpus can prove the checker catches exactly that bug
+  // (tests/check/ zero-copy reuse case); never set in production paths.
+  void set_unsafe_inplace_put(bool unsafe) { unsafe_inplace_put_ = unsafe; }
 
  private:
   // 8 bytes, like the paper's slot: a tag for fast rejection, the LRU rank
@@ -64,9 +112,27 @@ class BucketTable {
     std::array<Slot, kSlotsPerBucket> slots;
   };
 
+  // Pool mode value storage: one registered span plus the reuse epoch. The
+  // cell is shared between the table and any outstanding zero-copy pins; the
+  // dtor returns the span to the pool, so replaced cells are freed exactly
+  // when the last pin drops (deferred free, never while a client may READ).
+  struct ValueCell {
+    std::shared_ptr<mem::Pool> pool;
+    mem::Span span;
+    uint32_t len = 0;    // live bytes (<= span.size after an in-place shrink)
+    uint32_t epoch = 0;  // overwrite count for this key
+    ~ValueCell() {
+      if (span.valid()) {
+        pool->Free(span);
+      }
+    }
+    std::span<std::byte> bytes() const { return span.mr->bytes().subspan(span.offset, len); }
+  };
+
   struct Entry {
     std::vector<std::byte> key;
-    std::vector<std::byte> value;
+    std::vector<std::byte> value;            // heap mode
+    std::shared_ptr<ValueCell> cell;         // pool mode
   };
 
   size_t BucketIndex(uint64_t hash) const { return hash & (buckets_.size() - 1); }
@@ -80,11 +146,20 @@ class BucketTable {
   uint32_t AllocEntry();
   void FreeEntry(uint32_t idx);
 
+  // Pool mode: allocates a cell, copies `value` in, and reports the CPU
+  // store to the fabric's race checker (the bytes stay "dirty" until a
+  // zero-copy send republishes them).
+  std::shared_ptr<ValueCell> MakeCell(std::span<const std::byte> value, uint32_t epoch);
+  void NoteCpuStore(const ValueCell& cell);
+
   std::vector<Bucket> buckets_;
   std::vector<Entry> entries_;
   std::vector<uint32_t> free_entries_;
   size_t size_ = 0;
   Stats stats_;
+  std::shared_ptr<mem::Pool> pool_;  // null = heap mode
+  rdma::Node* node_ = nullptr;
+  bool unsafe_inplace_put_ = false;
 };
 
 }  // namespace kv

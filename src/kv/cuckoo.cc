@@ -24,12 +24,21 @@ CuckooTable::CuckooTable(rdma::Node& node, uint64_t num_slots, size_t extent_byt
   if (num_slots == 0) {
     throw std::invalid_argument("cuckoo: need at least one slot");
   }
-  meta_ = node.RegisterMemory(num_slots * kSlotBytes, rdma::kAccessRemoteRead);
-  extent_ = node.RegisterMemory(extent_bytes, rdma::kAccessRemoteRead);
+  // Both regions come from the node's shared registered pool: table churn
+  // (tests, restarts) recycles the arenas instead of re-registering.
+  pool_ = mem::Pool::Shared(node);
+  meta_span_ = pool_->Alloc(num_slots * kSlotBytes);
+  extent_span_ = pool_->Alloc(extent_bytes);
+}
+
+CuckooTable::~CuckooTable() {
+  pool_->Free(meta_span_);
+  pool_->Free(extent_span_);
 }
 
 CuckooTable::View CuckooTable::view() const {
-  return View{meta_->remote_key(), extent_->remote_key(), num_slots_};
+  return View{meta_span_.mr->remote_key(), extent_span_.mr->remote_key(), num_slots_,
+              meta_span_.offset, extent_span_.offset};
 }
 
 void CuckooTable::Positions(uint64_t key_hash, uint64_t num_slots, uint64_t out[kWays]) {
@@ -49,11 +58,11 @@ CuckooTable::DecodedSlot CuckooTable::DecodeSlot(std::span<const std::byte> byte
 }
 
 CuckooTable::DecodedSlot CuckooTable::LoadSlot(uint64_t index) const {
-  return DecodeSlot(meta_->bytes().subspan(SlotOffset(index), kSlotBytes));
+  return DecodeSlot(meta_bytes().subspan(SlotOffset(index), kSlotBytes));
 }
 
 void CuckooTable::StoreSlot(uint64_t index, const DecodedSlot& slot) {
-  std::byte* p = meta_->bytes().data() + SlotOffset(index);
+  std::byte* p = meta_bytes().data() + SlotOffset(index);
   std::memcpy(p, &slot.key_hash, 8);
   std::memcpy(p + 8, &slot.extent_offset, 4);
   std::memcpy(p + 12, &slot.key_size, 2);
@@ -65,7 +74,7 @@ bool CuckooTable::KeyMatchesExtent(const DecodedSlot& slot, std::span<const std:
   if (slot.key_size != key.size()) {
     return false;
   }
-  return std::memcmp(extent_->bytes().data() + slot.extent_offset, key.data(), key.size()) == 0;
+  return std::memcmp(extent_bytes().data() + slot.extent_offset, key.data(), key.size()) == 0;
 }
 
 int64_t CuckooTable::FindSlot(uint64_t key_hash, std::span<const std::byte> key) const {
@@ -141,7 +150,7 @@ std::optional<CuckooTable::PendingPut> CuckooTable::StageExtent(std::span<const 
       offset = old.extent_offset;
     } else {
       const size_t aligned = (need + 7) & ~size_t{7};
-      if (extent_used_ + aligned > extent_->size()) {
+      if (extent_used_ + aligned > extent_span_.size) {
         ++stats_.failed_inserts;
         return std::nullopt;
       }
@@ -175,7 +184,7 @@ std::optional<CuckooTable::PendingPut> CuckooTable::StageExtent(std::span<const 
       return std::nullopt;
     }
     const size_t aligned = (need + 7) & ~size_t{7};
-    if (extent_used_ + aligned > extent_->size()) {
+    if (extent_used_ + aligned > extent_span_.size) {
       ++stats_.failed_inserts;
       return std::nullopt;
     }
@@ -189,8 +198,8 @@ std::optional<CuckooTable::PendingPut> CuckooTable::StageExtent(std::span<const 
   // Write the record bytes NOW: from this instant until PublishSlot the
   // entry is torn (new bytes, old slot/CRC) and remote readers must detect
   // it via the checksum.
-  extent_->WriteBytes(offset, key);
-  extent_->WriteBytes(offset + key.size(), value);
+  rdma::CopyBytes(extent_bytes().subspan(offset, key.size()), key);
+  rdma::CopyBytes(extent_bytes().subspan(offset + key.size(), value.size()), value);
 
   PendingPut pending;
   pending.slot_index = static_cast<uint64_t>(slot_index);
@@ -198,7 +207,7 @@ std::optional<CuckooTable::PendingPut> CuckooTable::StageExtent(std::span<const 
   pending.slot.extent_offset = offset;
   pending.slot.key_size = static_cast<uint16_t>(key.size());
   pending.slot.value_size = static_cast<uint16_t>(value.size());
-  pending.slot.crc = Crc64(extent_->bytes().subspan(offset, need));
+  pending.slot.crc = Crc64(extent_bytes().subspan(offset, need));
   return pending;
 }
 
@@ -223,7 +232,8 @@ std::optional<std::vector<std::byte>> CuckooTable::Get(std::span<const std::byte
   }
   const DecodedSlot slot = LoadSlot(static_cast<uint64_t>(idx));
   std::vector<std::byte> value(slot.value_size);
-  extent_->ReadBytes(slot.extent_offset + slot.key_size, value);
+  rdma::CopyBytes(value, extent_bytes().subspan(slot.extent_offset + slot.key_size,
+                                                slot.value_size));
   return value;
 }
 

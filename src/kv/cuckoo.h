@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/mem/pool.h"
 #include "src/rdma/memory.h"
 #include "src/rdma/node.h"
 #include "src/sim/random.h"
@@ -42,11 +43,16 @@ class CuckooTable {
     bool empty() const { return key_hash == 0; }
   };
 
-  // Everything a remote client needs to run GETs against the table.
+  // Everything a remote client needs to run GETs against the table. Both
+  // regions are spans inside the node's shared registered pool, so the
+  // rkeys name whole arenas and the base offsets locate the table inside
+  // them; clients add the base to every slot/extent offset they READ.
   struct View {
     rdma::RemoteKey meta_rkey;
     rdma::RemoteKey extent_rkey;
     uint64_t num_slots = 0;
+    uint64_t meta_base = 0;
+    uint64_t extent_base = 0;
   };
 
   struct Stats {
@@ -64,6 +70,9 @@ class CuckooTable {
   };
 
   CuckooTable(rdma::Node& node, uint64_t num_slots, size_t extent_bytes, uint64_t seed);
+
+  // Returns both regions to the node's pool (the arenas stay registered).
+  ~CuckooTable();
 
   CuckooTable(const CuckooTable&) = delete;
   CuckooTable& operator=(const CuckooTable&) = delete;
@@ -115,9 +124,13 @@ class CuckooTable {
 
   bool KeyMatchesExtent(const DecodedSlot& slot, std::span<const std::byte> key) const;
 
+  std::span<std::byte> meta_bytes() const { return meta_span_.bytes(); }
+  std::span<std::byte> extent_bytes() const { return extent_span_.bytes(); }
+
   uint64_t num_slots_;
-  rdma::MemoryRegion* meta_;
-  rdma::MemoryRegion* extent_;
+  std::shared_ptr<mem::Pool> pool_;
+  mem::Span meta_span_;    // num_slots fixed 24-byte slots
+  mem::Span extent_span_;  // bump-allocated record log
   size_t extent_used_ = 0;
   size_t size_ = 0;
   sim::Rng rng_;

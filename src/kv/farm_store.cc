@@ -30,12 +30,15 @@ FarmStore::FarmStore(rdma::Node& node, const FarmConfig& config)
   cell_bytes_ = kCellHeaderBytes + config_.max_key_bytes + config_.max_value_bytes;
   const uint64_t total_buckets =
       config_.num_buckets + static_cast<uint64_t>(config_.neighborhood);
-  cells_ = node.RegisterMemory(
-      total_buckets * static_cast<uint64_t>(config_.slots_per_bucket) * cell_bytes_,
-      rdma::kAccessRemoteRead);
+  // The cell array is a span inside the node's shared registered pool, so
+  // store churn recycles arenas instead of re-registering.
+  pool_ = mem::Pool::Shared(node);
+  cells_span_ = pool_->Alloc(total_buckets * static_cast<uint64_t>(config_.slots_per_bucket) *
+                             cell_bytes_);
 }
 
 FarmStore::~FarmStore() {
+  pool_->Free(cells_span_);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   const obs::Labels labels{{"store", "farm"}, {"node", node_name_}};
   reg.GetCounter("kv.store.inserts", labels)->Add(stats_.inserts);
@@ -45,8 +48,8 @@ FarmStore::~FarmStore() {
 }
 
 FarmStore::View FarmStore::view() const {
-  return View{cells_->remote_key(), config_.num_buckets, config_.neighborhood,
-              config_.slots_per_bucket, cell_bytes_};
+  return View{cells_span_.mr->remote_key(), config_.num_buckets, config_.neighborhood,
+              config_.slots_per_bucket, cell_bytes_, cells_span_.offset};
 }
 
 FarmStore::DecodedCell FarmStore::DecodeCell(std::span<const std::byte> bytes) {
@@ -59,11 +62,11 @@ FarmStore::DecodedCell FarmStore::DecodeCell(std::span<const std::byte> bytes) {
 }
 
 FarmStore::DecodedCell FarmStore::LoadCell(uint64_t slot_index) const {
-  return DecodeCell(cells_->bytes().subspan(slot_index * cell_bytes_, kCellHeaderBytes));
+  return DecodeCell(cells_bytes().subspan(slot_index * cell_bytes_, kCellHeaderBytes));
 }
 
 void FarmStore::StoreCellHeader(uint64_t slot_index, const DecodedCell& cell) {
-  std::byte* p = cells_->bytes().data() + slot_index * cell_bytes_;
+  std::byte* p = cells_bytes().data() + slot_index * cell_bytes_;
   std::memcpy(p, &cell.key_hash, 8);
   std::memcpy(p + 8, &cell.key_size, 2);
   std::memcpy(p + 10, &cell.value_size, 2);
@@ -77,7 +80,7 @@ bool FarmStore::KeyMatches(uint64_t slot_index, const DecodedCell& cell,
   if (cell.key_size != key.size()) {
     return false;
   }
-  return std::memcmp(cells_->bytes().data() + slot_index * cell_bytes_ + kCellHeaderBytes,
+  return std::memcmp(cells_bytes().data() + slot_index * cell_bytes_ + kCellHeaderBytes,
                      key.data(), key.size()) == 0;
 }
 
@@ -146,7 +149,7 @@ int64_t FarmStore::MakeRoomInNeighborhood(uint64_t home) {
       continue;  // this free slot cannot be walked back; try the next bucket
     }
     // Commit the chain in planned order; each move fills the current hole.
-    std::byte* base = cells_->bytes().data();
+    std::byte* base = cells_bytes().data();
     for (const auto& [from, to] : moves) {
       std::memcpy(base + to * cell_bytes_, base + from * cell_bytes_, cell_bytes_);
       StoreCellHeader(from, DecodedCell{});
@@ -193,15 +196,15 @@ std::optional<FarmStore::PendingPut> FarmStore::StageCell(std::span<const std::b
   // Phase 1: payload bytes land now; the header (with its CRC) follows at
   // PublishCell. In between the cell is torn.
   const size_t data_off = static_cast<uint64_t>(idx) * cell_bytes_ + kCellHeaderBytes;
-  cells_->WriteBytes(data_off, key);
-  cells_->WriteBytes(data_off + key.size(), value);
+  rdma::CopyBytes(cells_bytes().subspan(data_off, key.size()), key);
+  rdma::CopyBytes(cells_bytes().subspan(data_off + key.size(), value.size()), value);
 
   PendingPut pending;
   pending.cell_index = static_cast<uint64_t>(idx);
   pending.header.key_hash = key_hash;
   pending.header.key_size = static_cast<uint16_t>(key.size());
   pending.header.value_size = static_cast<uint16_t>(value.size());
-  pending.header.crc = Crc64(cells_->bytes().subspan(data_off, key.size() + value.size()));
+  pending.header.crc = Crc64(cells_bytes().subspan(data_off, key.size() + value.size()));
   return pending;
 }
 
@@ -226,8 +229,10 @@ std::optional<std::vector<std::byte>> FarmStore::Get(std::span<const std::byte> 
   }
   const DecodedCell cell = LoadCell(static_cast<uint64_t>(idx));
   std::vector<std::byte> value(cell.value_size);
-  cells_->ReadBytes(static_cast<uint64_t>(idx) * cell_bytes_ + kCellHeaderBytes + cell.key_size,
-                    value);
+  rdma::CopyBytes(value,
+                  cells_bytes().subspan(
+                      static_cast<uint64_t>(idx) * cell_bytes_ + kCellHeaderBytes + cell.key_size,
+                      cell.value_size));
   return value;
 }
 
@@ -289,14 +294,16 @@ FarmClient::FarmClient(rdma::Fabric& fabric, rdma::Node& client_node, FarmServer
   auto [cqp, sqp] = fabric.ConnectRc(client_node, server.node());
   (void)sqp;
   qp_ = cqp;
-  read_buf_ = client_node.RegisterMemory(
-      view_.cell_bytes * static_cast<size_t>(view_.neighborhood * view_.slots_per_bucket),
-      rdma::kAccessLocal);
+  pool_ = mem::Pool::Shared(client_node);
+  read_span_ = pool_->Alloc(
+      view_.cell_bytes * static_cast<size_t>(view_.neighborhood * view_.slots_per_bucket));
   rfp::Channel* channel =
       server.rpc().AcceptChannel(client_node, server.config().channel_options, put_thread);
   put_stub_ = std::make_unique<rfp::RpcClient>(channel);
   scratch_.resize(server.config().channel_options.max_message_bytes);
 }
+
+FarmClient::~FarmClient() { pool_->Free(read_span_); }
 
 sim::Task<std::optional<size_t>> FarmClient::Get(std::span<const std::byte> key,
                                                  std::span<std::byte> value_out) {
@@ -315,8 +322,8 @@ sim::Task<std::optional<size_t>> FarmClient::Get(std::span<const std::byte> key,
   ++stats_.gets;
   for (int attempt = 0; attempt < server_.config().max_get_retries; ++attempt) {
     // ONE one-sided READ covering the whole neighborhood (FaRM's pattern).
-    rdma::WorkCompletion wc = co_await qp_->Read(*read_buf_, 0, view_.rkey, home_offset,
-                                                 read_bytes);
+    rdma::WorkCompletion wc = co_await qp_->Read(*read_span_.mr, read_span_.offset, view_.rkey,
+                                                 view_.base + home_offset, read_bytes);
     if (!wc.ok()) {
       throw std::runtime_error("farm: neighborhood read failed");
     }
@@ -326,7 +333,7 @@ sim::Task<std::optional<size_t>> FarmClient::Get(std::span<const std::byte> key,
     bool torn = false;
     for (int i = 0; i < slots; ++i) {
       const auto cell_span =
-          read_buf_->bytes().subspan(static_cast<size_t>(i) * view_.cell_bytes, view_.cell_bytes);
+          read_buf().subspan(static_cast<size_t>(i) * view_.cell_bytes, view_.cell_bytes);
       const FarmStore::DecodedCell cell = FarmStore::DecodeCell(cell_span);
       if (cell.empty() || cell.key_hash != key_hash) {
         continue;
@@ -346,7 +353,8 @@ sim::Task<std::optional<size_t>> FarmClient::Get(std::span<const std::byte> key,
       if (cell.value_size > value_out.size()) {
         throw std::length_error("farm: value larger than output buffer");
       }
-      std::memcpy(value_out.data(), record.data() + cell.key_size, cell.value_size);
+      rdma::CopyBytes(value_out.subspan(0, cell.value_size),
+                      record.subspan(cell.key_size, cell.value_size));
       stats_.bytes_useful += key.size() + cell.value_size;
       get_latency_.Record(engine.now() - start);
       co_return cell.value_size;

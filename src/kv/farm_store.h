@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/mem/pool.h"
 #include "src/rdma/fabric.h"
 #include "src/rfp/options.h"
 #include "src/rfp/rpc.h"
@@ -65,6 +66,9 @@ class FarmStore {
     int neighborhood = 0;
     int slots_per_bucket = 0;
     size_t cell_bytes = 0;  // per slot
+    // Offset of the cell array inside the pooled region the rkey names;
+    // clients add it to every neighborhood offset they READ.
+    uint64_t base = 0;
   };
 
   struct Stats {
@@ -123,10 +127,13 @@ class FarmStore {
   // (plan-then-commit); -1 when impossible.
   int64_t MakeRoomInNeighborhood(uint64_t home);
 
+  std::span<std::byte> cells_bytes() const { return cells_span_.bytes(); }
+
   FarmConfig config_;
   std::string node_name_;
   size_t cell_bytes_;
-  rdma::MemoryRegion* cells_;
+  std::shared_ptr<mem::Pool> pool_;
+  mem::Span cells_span_;  // pooled cell array (registered, remotely readable)
   size_t size_ = 0;
   Stats stats_;
 };
@@ -178,6 +185,9 @@ class FarmClient {
 
   FarmClient(rdma::Fabric& fabric, rdma::Node& client_node, FarmServer& server, int put_thread);
 
+  // Returns the landing buffer to the client node's pool.
+  ~FarmClient();
+
   // One-sided GET: a single READ of the key's whole neighborhood.
   sim::Task<std::optional<size_t>> Get(std::span<const std::byte> key,
                                        std::span<std::byte> value_out);
@@ -188,10 +198,13 @@ class FarmClient {
   const sim::Histogram& get_latency() const { return get_latency_; }
 
  private:
+  std::span<std::byte> read_buf() const { return read_span_.bytes(); }
+
   FarmServer& server_;
   FarmStore::View view_;
   rdma::QueuePair* qp_;
-  rdma::MemoryRegion* read_buf_;
+  std::shared_ptr<mem::Pool> pool_;
+  mem::Span read_span_;  // pooled landing area for neighborhood READs
   std::unique_ptr<rfp::RpcClient> put_stub_;
   std::vector<std::byte> scratch_;
   Stats stats_;

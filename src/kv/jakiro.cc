@@ -5,6 +5,7 @@
 
 #include "src/kv/common.h"
 #include "src/obs/metrics.h"
+#include "src/rdma/memory.h"
 
 namespace kv {
 
@@ -39,10 +40,17 @@ JakiroConfig PipelinedConfig(JakiroConfig base, int window) {
   return base;
 }
 
+JakiroConfig ZeroCopyConfig(JakiroConfig base) {
+  base.zero_copy_get = true;
+  return base;
+}
+
 JakiroServer::JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config)
     : config_(config), rpc_(fabric, node, config.server_threads, config.server_options) {
   for (int t = 0; t < config_.server_threads; ++t) {
-    partitions_.push_back(std::make_unique<BucketTable>(config_.buckets_per_partition));
+    partitions_.push_back(config_.zero_copy_get
+                              ? std::make_unique<BucketTable>(config_.buckets_per_partition, node)
+                              : std::make_unique<BucketTable>(config_.buckets_per_partition));
   }
   RegisterHandlers();
 }
@@ -56,6 +64,7 @@ JakiroServer::~JakiroServer() {
     total.updates += partition->stats().updates;
     total.evictions += partition->stats().evictions;
     total.erases += partition->stats().erases;
+    total.cow_puts += partition->stats().cow_puts;
   }
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   const obs::Labels labels{{"store", "jakiro"}, {"node", rpc_.node().name()}};
@@ -65,6 +74,7 @@ JakiroServer::~JakiroServer() {
   reg.GetCounter("kv.store.updates", labels)->Add(total.updates);
   reg.GetCounter("kv.store.evictions", labels)->Add(total.evictions);
   reg.GetCounter("kv.store.erases", labels)->Add(total.erases);
+  reg.GetCounter("kv.store.cow_puts", labels)->Add(total.cow_puts);
 }
 
 int JakiroServer::OwnerThread(std::span<const std::byte> key) const {
@@ -82,6 +92,23 @@ void JakiroServer::RegisterHandlers() {
       return {EncodeStatus(resp, Status::kError), config_.get_process_ns};
     }
     BucketTable& table = partition(ctx.thread_index);
+    if (config_.zero_copy_get) {
+      // Zero-copy: the prefix is just the 1-byte status; the value travels
+      // as an indirect descriptor into the pinned, store-owned entry. The
+      // assembled client bytes ([status][value]) match EncodeGetResponse
+      // exactly, so the decode path below needs no mode awareness.
+      auto pinned = table.GetPinned(get->key);
+      if (!pinned.has_value()) {
+        return {EncodeStatus(resp, Status::kNotFound), config_.get_process_ns};
+      }
+      rfp::ZeroCopyRef ref;
+      ref.rkey = pinned->rkey;
+      ref.offset = pinned->offset;
+      ref.len = pinned->len;
+      ref.epoch = pinned->epoch;
+      ref.pin = std::move(pinned->pin);
+      return {EncodeStatus(resp, Status::kOk), config_.get_process_ns, std::move(ref)};
+    }
     const auto value = table.Get(get->key);
     if (!value.has_value()) {
       return {EncodeStatus(resp, Status::kNotFound), config_.get_process_ns};
@@ -130,7 +157,7 @@ void JakiroServer::RegisterHandlers() {
       std::memcpy(resp.data() + out, &size, sizeof(size));
       out += sizeof(size);
       if (value.has_value()) {
-        std::memcpy(resp.data() + out, value->data(), value->size());
+        rdma::CopyBytes(resp.subspan(out, value->size()), *value);
         out += value->size();
       }
     }
@@ -175,7 +202,8 @@ sim::Task<std::optional<size_t>> JakiroClient::Get(std::span<const std::byte> ke
   if (value_size > value_out.size()) {
     throw std::length_error("jakiro: value larger than output buffer");
   }
-  std::memcpy(value_out.data(), scratch_.data() + 1, value_size);
+  rdma::CopyBytes(value_out.subspan(0, value_size),
+                  std::span<const std::byte>(scratch_.data() + 1, value_size));
   co_return value_size;
 }
 
@@ -253,7 +281,8 @@ sim::Task<void> JakiroClient::MultiGet(
       if (arena_used + size > value_arena.size()) {
         throw std::length_error("jakiro multiget: value arena exhausted");
       }
-      std::memcpy(value_arena.data() + arena_used, scratch_.data() + out, size);
+      rdma::CopyBytes(value_arena.subspan(arena_used, size),
+                      std::span<const std::byte>(scratch_.data() + out, size));
       values_out[idx] = std::span<const std::byte>(value_arena.data() + arena_used, size);
       arena_used += size;
       out += size;
@@ -329,7 +358,8 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
       if (arena_used + size > value_arena.size()) {
         throw std::length_error("jakiro multiget: value arena exhausted");
       }
-      std::memcpy(value_arena.data() + arena_used, p.resp.data() + out, size);
+      rdma::CopyBytes(value_arena.subspan(arena_used, size),
+                      std::span<const std::byte>(p.resp.data() + out, size));
       values_out[idx] = std::span<const std::byte>(value_arena.data() + arena_used, size);
       arena_used += size;
       out += size;
@@ -363,6 +393,10 @@ rfp::Channel::Stats JakiroClient::MergedChannelStats() const {
     merged.fetch_timeouts += s.fetch_timeouts;
     merged.doorbell_batches += s.doorbell_batches;
     merged.batched_ops += s.batched_ops;
+    merged.zero_copy_sends += s.zero_copy_sends;
+    merged.zero_copy_fetches += s.zero_copy_fetches;
+    merged.zero_copy_bytes += s.zero_copy_bytes;
+    merged.zero_copy_fallbacks += s.zero_copy_fallbacks;
     merged.retries_per_call.Merge(s.retries_per_call);
     merged.submit_window.Merge(s.submit_window);
     merged.batch_occupancy.Merge(s.batch_occupancy);

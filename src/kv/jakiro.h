@@ -34,6 +34,12 @@ struct JakiroConfig {
   // CPU cost of one hash-table operation (lookup / insert+LRU update).
   sim::Time get_process_ns = 150;
   sim::Time put_process_ns = 250;
+  // Zero-copy GET (docs/memory.md): partitions store values in registered
+  // slabs from the node's shared mem::Pool, and the GET handler answers with
+  // an indirect descriptor — the client READs the value straight out of the
+  // store-owned entry, so it never crosses the server's CPU. PUTs that race
+  // a pinned entry copy-on-write (BucketTable::Stats::cow_puts).
+  bool zero_copy_get = false;
   rfp::RfpOptions channel_options;
   rfp::ServerOptions server_options;
 };
@@ -60,6 +66,11 @@ JakiroConfig OverloadProtectedConfig(JakiroConfig base = {});
 // call window and submits the chunks back to back, so the per-chunk fetches
 // overlap instead of running strictly in sequence.
 JakiroConfig PipelinedConfig(JakiroConfig base = {}, int window = 8);
+
+// Zero-copy Jakiro: pool-backed partitions plus indirect GET responses
+// (docs/memory.md). Wire-compatible with the plain client — the assembled
+// response bytes are identical; only the transport of the value changes.
+JakiroConfig ZeroCopyConfig(JakiroConfig base = {});
 
 class JakiroServer {
  public:

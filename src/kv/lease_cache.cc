@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/rdma/memory.h"
+
 namespace kv {
 
 namespace {
@@ -46,7 +48,7 @@ sim::Task<std::optional<size_t>> LeaseCachedClient::Get(std::span<const std::byt
       if (value.size() > value_out.size()) {
         throw std::length_error("lease cache: value larger than output buffer");
       }
-      std::memcpy(value_out.data(), value.data(), value.size());
+      rdma::CopyBytes(value_out.subspan(0, value.size()), std::span<const std::byte>(value));
       lru_.splice(lru_.begin(), lru_, it->second);
       co_return value.size();
     }

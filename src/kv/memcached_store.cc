@@ -1,9 +1,11 @@
 #include "src/kv/memcached_store.h"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "src/kv/common.h"
 #include "src/obs/metrics.h"
+#include "src/rdma/memory.h"
 
 namespace kv {
 
@@ -21,11 +23,15 @@ MemcachedServer::MemcachedServer(rdma::Fabric& fabric, rdma::Node& node, Memcach
         return config;
       }()),
       rpc_(fabric, node, config_.server_threads, config_.server_options),
+      pool_(mem::Pool::Shared(node)),
       cache_lock_(fabric.engine()) {
   RegisterHandlers();
 }
 
 MemcachedServer::~MemcachedServer() {
+  for (Item& item : lru_) {
+    pool_->Free(item.span);
+  }
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   const obs::Labels labels{{"store", "memcached"}, {"node", rpc_.node().name()}};
   reg.GetCounter("kv.store.gets", labels)->Add(stats_.gets);
@@ -63,16 +69,27 @@ MemcachedServer::Item* MemcachedServer::LookupAndTouch(const std::string& key) {
 void MemcachedServer::Store(const std::string& key, std::span<const std::byte> value) {
   auto it = items_.find(key);
   if (it != items_.end()) {
-    it->second->value.assign(value.begin(), value.end());
+    Item& item = *it->second;
+    if (value.size() > item.span.size) {
+      // Outgrew the slab chunk: swap in a larger one (memcached's
+      // slab-class promotion).
+      pool_->Free(item.span);
+      item.span = pool_->Alloc(value.size());
+    }
+    item.len = static_cast<uint32_t>(value.size());
+    rdma::CopyBytes(item.span.mr->bytes().subspan(item.span.offset, value.size()), value);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (items_.size() >= config_.capacity_items) {
+    pool_->Free(lru_.back().span);
     items_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.push_front(Item{key, std::vector<std::byte>(value.begin(), value.end())});
+  Item item{key, pool_->Alloc(value.size()), static_cast<uint32_t>(value.size())};
+  rdma::CopyBytes(item.span.mr->bytes().subspan(item.span.offset, value.size()), value);
+  lru_.push_front(std::move(item));
   items_[key] = lru_.begin();
 }
 
@@ -112,7 +129,7 @@ void MemcachedServer::RegisterHandlers() {
           n = EncodeStatus(resp, Status::kNotFound);
         } else {
           ++stats_.hits;
-          n = EncodeGetResponse(resp, Status::kOk, item->value);
+          n = EncodeGetResponse(resp, Status::kOk, item->value());
         }
         cache_lock_.Unlock();
         co_return rfp::HandlerResult{n, 0};
@@ -160,7 +177,11 @@ sim::Task<std::optional<size_t>> MemcachedClient::Get(std::span<const std::byte>
     co_return std::nullopt;
   }
   const size_t value_size = n - 1;
-  std::memcpy(value_out.data(), scratch_.data() + 1, value_size);
+  if (value_size > value_out.size()) {
+    throw std::length_error("memcached: value larger than output buffer");
+  }
+  rdma::CopyBytes(value_out.subspan(0, value_size),
+                  std::span<const std::byte>(scratch_.data() + 1, value_size));
   co_return value_size;
 }
 

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/mem/pool.h"
 #include "src/rdma/fabric.h"
 #include "src/rfp/options.h"
 #include "src/rfp/rpc.h"
@@ -82,9 +83,17 @@ class MemcachedServer {
   void Preload(std::span<const std::byte> key, std::span<const std::byte> value);
 
  private:
+  // Values live in registered slabs from the node's shared pool (the
+  // memcached slab allocator maps onto mem::Pool's size classes). The GET
+  // path still stages a copy through the response ring — server-reply has
+  // no zero-copy fast path; pooling here is about slab reuse, not bypass.
   struct Item {
     std::string key;
-    std::vector<std::byte> value;
+    mem::Span span;
+    uint32_t len = 0;
+    std::span<const std::byte> value() const {
+      return span.mr->bytes().subspan(span.offset, len);
+    }
   };
   using LruList = std::list<Item>;
 
@@ -98,6 +107,7 @@ class MemcachedServer {
 
   MemcachedConfig config_;
   rfp::RpcServer rpc_;
+  std::shared_ptr<mem::Pool> pool_;
   sim::Mutex cache_lock_;
   LruList lru_;  // front = most recent
   std::unordered_map<std::string, LruList::iterator> items_;

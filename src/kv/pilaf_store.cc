@@ -58,8 +58,8 @@ PilafClient::PilafClient(rdma::Fabric& fabric, rdma::Node& client_node, PilafSer
   auto [cqp, sqp] = fabric.ConnectRc(client_node, server.node());
   (void)sqp;
   qp_ = cqp;
-  read_buf_ = client_node.RegisterMemory(
-      CuckooTable::kSlotBytes + 2 * (UINT16_MAX + 1), rdma::kAccessLocal);
+  pool_ = mem::Pool::Shared(client_node);
+  read_span_ = pool_->Alloc(CuckooTable::kSlotBytes + 2 * (UINT16_MAX + 1));
   rfp::Channel* channel = server.rpc().AcceptChannel(
       client_node, server.config().channel_options, put_thread);
   put_stub_ = std::make_unique<rfp::RpcClient>(channel);
@@ -67,6 +67,7 @@ PilafClient::PilafClient(rdma::Fabric& fabric, rdma::Node& client_node, PilafSer
 }
 
 PilafClient::~PilafClient() {
+  pool_->Free(read_span_);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   const obs::Labels labels{{"store", "pilaf"}, {"client", qp_->local_node()->name()}};
   reg.GetCounter("kv.store.gets", labels)->Add(stats_.gets);
@@ -97,14 +98,15 @@ sim::Task<std::optional<size_t>> PilafClient::Get(std::span<const std::byte> key
     for (uint64_t pos : positions) {
       // Probe one candidate slot (one-sided READ of 24 bytes).
       rdma::WorkCompletion wc =
-          co_await qp_->Read(*read_buf_, 0, view_.meta_rkey,
-                             CuckooTable::SlotOffset(pos), CuckooTable::kSlotBytes);
+          co_await qp_->Read(*read_span_.mr, read_span_.offset, view_.meta_rkey,
+                             view_.meta_base + CuckooTable::SlotOffset(pos),
+                             CuckooTable::kSlotBytes);
       if (!wc.ok()) {
         throw std::runtime_error("pilaf: slot read failed");
       }
       ++stats_.slot_reads;
       const CuckooTable::DecodedSlot slot =
-          CuckooTable::DecodeSlot(read_buf_->bytes().subspan(0, CuckooTable::kSlotBytes));
+          CuckooTable::DecodeSlot(read_buf().subspan(0, CuckooTable::kSlotBytes));
       if (slot.empty() || slot.key_hash != key_hash) {
         ++stats_.hash_misses;
         continue;
@@ -112,12 +114,13 @@ sim::Task<std::optional<size_t>> PilafClient::Get(std::span<const std::byte> key
       // Fetch the record the slot points to (second one-sided READ).
       const uint32_t record_len = slot.key_size + slot.value_size;
       rdma::WorkCompletion wc2 = co_await qp_->Read(
-          *read_buf_, CuckooTable::kSlotBytes, view_.extent_rkey, slot.extent_offset, record_len);
+          *read_span_.mr, read_span_.offset + CuckooTable::kSlotBytes, view_.extent_rkey,
+          view_.extent_base + slot.extent_offset, record_len);
       if (!wc2.ok()) {
         throw std::runtime_error("pilaf: extent read failed");
       }
       ++stats_.extent_reads;
-      const auto record = read_buf_->bytes().subspan(CuckooTable::kSlotBytes, record_len);
+      const auto record = read_buf().subspan(CuckooTable::kSlotBytes, record_len);
       if (Crc64(record) != slot.crc) {
         // A concurrent PUT tore this entry: restart the whole lookup.
         ++stats_.crc_failures;
@@ -132,7 +135,8 @@ sim::Task<std::optional<size_t>> PilafClient::Get(std::span<const std::byte> key
       if (slot.value_size > value_out.size()) {
         throw std::length_error("pilaf: value larger than output buffer");
       }
-      std::memcpy(value_out.data(), record.data() + slot.key_size, slot.value_size);
+      rdma::CopyBytes(value_out.subspan(0, slot.value_size),
+                      record.subspan(slot.key_size, slot.value_size));
       get_latency_.Record(engine.now() - start);
       co_return slot.value_size;
     }

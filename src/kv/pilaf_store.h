@@ -111,10 +111,13 @@ class PilafClient {
   const sim::Histogram& get_latency() const { return get_latency_; }
 
  private:
+  std::span<std::byte> read_buf() const { return read_span_.bytes(); }
+
   PilafServer& server_;
   CuckooTable::View view_;
-  rdma::QueuePair* qp_;           // client endpoint for one-sided READs
-  rdma::MemoryRegion* read_buf_;  // landing area for slot + extent READs
+  rdma::QueuePair* qp_;  // client endpoint for one-sided READs
+  std::shared_ptr<mem::Pool> pool_;
+  mem::Span read_span_;  // pooled landing area for slot + extent READs
   std::unique_ptr<rfp::RpcClient> put_stub_;
   std::vector<std::byte> scratch_;
   Stats stats_;

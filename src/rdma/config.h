@@ -23,6 +23,7 @@
 #ifndef SRC_RDMA_CONFIG_H_
 #define SRC_RDMA_CONFIG_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/sim/time.h"
@@ -103,6 +104,29 @@ struct NicConfig {
   // produces realistic latency spread (and the paper's occasional fetch
   // retries, Table 3). Set to 0 for fully deterministic service.
   double service_jitter = 0.08;
+
+  // --- Registered-memory pool (docs/memory.md) ------------------------------
+  // Geometry of the per-node mem::Pool that backs channel slot rings, rfp
+  // buffers, and store value slabs (chubaofs-style buddy pool: block size x
+  // pool level fixes the arena, slab classes front the small sizes).
+  //
+  // Buddy leaf block: the smallest unit the buddy allocator hands out and
+  // the slab unit carved into sub-block chunks. Must be a power of two.
+  size_t mem_block_bytes = 4096;
+  // Buddy orders per arena: one arena registers
+  // mem_block_bytes << (mem_pool_level - 1) bytes (4 KiB x 13 => 16 MiB) and
+  // is never deregistered until the pool dies, so churn reuses MRs.
+  int mem_pool_level = 13;
+  // Power-of-two slab classes below the leaf block (block/2, block/4, ...,
+  // block >> mem_slab_classes); the smallest class must stay >= 32 bytes.
+  int mem_slab_classes = 6;
+  // Free blocks cached per slab/buddy size class before surplus frees fall
+  // through to buddy coalescing.
+  int mem_slab_magazine = 64;
+  // Hard cap on bytes the pool may register per node (0 = unbounded). An
+  // allocation that would push past the cap throws mem::ExhaustedError
+  // instead of registering more memory.
+  size_t mem_max_registered_bytes = 0;
 };
 
 struct FabricConfig {

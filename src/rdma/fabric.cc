@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace rdma {
 
 namespace {
@@ -18,6 +20,21 @@ Fabric::Fabric(sim::Engine& engine, FabricConfig config)
   const check::Mode mode = check::CurrentMode();
   if (mode != check::Mode::kOff) {
     checker_ = std::make_unique<check::FabricChecker>(&engine_, mode);
+  }
+}
+
+Fabric::~Fabric() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  for (const auto& node : nodes_) {
+    const obs::Labels labels{{"node", node->name()}};
+    reg.GetGauge("rdma.mr.registered_bytes", labels)
+        ->Set(static_cast<double>(node->registered_bytes_));
+    if (node->registration_count_ > 0) {
+      reg.GetCounter("rdma.mr.registrations", labels)->Add(node->registration_count_);
+    }
+    if (node->deregistration_count_ > 0) {
+      reg.GetCounter("rdma.mr.deregistrations", labels)->Add(node->deregistration_count_);
+    }
   }
 }
 
@@ -85,6 +102,8 @@ MemoryRegion* Fabric::RegisterMemory(Node& node, size_t size, uint32_t access) {
   node.regions_.push_back(std::make_unique<MemoryRegion>(&node, key, key, size, access));
   MemoryRegion* mr = node.regions_.back().get();
   regions_by_rkey_[key] = mr;
+  node.registered_bytes_ += size;
+  ++node.registration_count_;
   if (checker_ != nullptr) {
     checker_->OnMrRegistered(key, &node, size, access);
   }
@@ -103,6 +122,8 @@ void Fabric::DeregisterMemory(MemoryRegion* mr) {
   Node* node = mr->node();
   for (auto it = node->regions_.begin(); it != node->regions_.end(); ++it) {
     if (it->get() == mr) {
+      node->registered_bytes_ -= (*it)->size();
+      ++node->deregistration_count_;
       node->regions_.erase(it);
       break;
     }

@@ -45,6 +45,10 @@ class Fabric {
  public:
   explicit Fabric(sim::Engine& engine, FabricConfig config = {});
 
+  // Flushes the per-node registered-memory census to obs gauges
+  // (rdma.mr.registered_bytes / .registrations / .deregistrations).
+  ~Fabric();
+
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -89,6 +93,15 @@ class Fabric {
   // a reconnect so stale pointers cannot keep posting (and so NIC contention
   // reflects live QPs, not the reconnect history).
   void RetireQp(QueuePair* qp);
+
+  // Registered-memory census (docs/memory.md): bytes currently registered on
+  // `node` and how many registrations / deregistrations it has ever
+  // performed. Steady-state pooled operation — channel churn, reconnects via
+  // RetireQp — must leave RegistrationCount flat: re-registration is the
+  // control-plane cost the mem::Pool exists to avoid.
+  size_t RegisteredBytes(const Node& node) const { return node.registered_bytes_; }
+  uint64_t RegistrationCount(const Node& node) const { return node.registration_count_; }
+  uint64_t DeregistrationCount(const Node& node) const { return node.deregistration_count_; }
 
   // Resolves an rkey to its region; nullptr when unknown.
   MemoryRegion* FindRemote(RemoteKey rkey);

@@ -11,7 +11,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "src/rdma/types.h"
@@ -19,6 +21,31 @@
 namespace rdma {
 
 class Node;
+
+// The one checked byte-copy every registered-memory path funnels through
+// (region accessors, rfp staging, kv entry moves). Two guarantees memcpy
+// alone does not give:
+//  * zero-length spans are valid no-ops even when they carry a null data
+//    pointer (empty messages / empty values);
+//  * overlapping src/dst throws instead of silently invoking UB — staging
+//    buffers and registered entries never legitimately alias, so an overlap
+//    is always a caller bug worth failing loudly on.
+// The spans must be the same length; length mismatch is likewise a bug.
+inline void CopyBytes(std::span<std::byte> dst, std::span<const std::byte> src) {
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("rdma::CopyBytes: src/dst length mismatch");
+  }
+  if (src.empty()) return;
+  const std::byte* s = src.data();
+  const std::byte* d = dst.data();
+  // std::less gives the total pointer order the raw < lacks across objects.
+  const bool disjoint = std::less_equal<const std::byte*>{}(s + src.size(), d) ||
+                        std::less_equal<const std::byte*>{}(d + dst.size(), s);
+  if (!disjoint) {
+    throw std::invalid_argument("rdma::CopyBytes: overlapping spans");
+  }
+  std::memcpy(dst.data(), s, src.size());
+}
 
 class MemoryRegion {
  public:
@@ -58,16 +85,12 @@ class MemoryRegion {
     std::memcpy(data_.data() + offset, &value, sizeof(T));
   }
 
-  // Empty spans are valid (zero-length messages) but may carry a null data
-  // pointer, which memcpy must never see.
   void WriteBytes(size_t offset, std::span<const std::byte> src) {
-    if (src.empty()) return;
-    std::memcpy(data_.data() + offset, src.data(), src.size());
+    CopyBytes(std::span<std::byte>(data_).subspan(offset, src.size()), src);
   }
 
   void ReadBytes(size_t offset, std::span<std::byte> dst) const {
-    if (dst.empty()) return;
-    std::memcpy(dst.data(), data_.data() + offset, dst.size());
+    CopyBytes(dst, std::span<const std::byte>(data_).subspan(offset, dst.size()));
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "src/rdma/nic.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <string>
 
@@ -204,6 +205,26 @@ void ValidateConfig(const NicConfig& config) {
     Reject("nic_station_cores must be in [0, cores)");
   }
   CheckProbability(config.service_jitter, "service_jitter must be in [0, 1]");
+  if (!std::has_single_bit(config.mem_block_bytes) || config.mem_block_bytes < 64) {
+    Reject("mem_block_bytes must be a power of two >= 64");
+  }
+  if (config.mem_pool_level < 1 || config.mem_pool_level > 32) {
+    Reject("mem_pool_level must be in [1, 32]");
+  }
+  if (static_cast<size_t>(std::countl_zero(config.mem_block_bytes)) <
+      static_cast<size_t>(config.mem_pool_level - 1)) {
+    Reject("mem_block_bytes << (mem_pool_level - 1) overflows size_t");
+  }
+  if (config.mem_slab_classes < 0 ||
+      (config.mem_slab_classes > 0 &&
+       (config.mem_block_bytes >> config.mem_slab_classes) < 32)) {
+    Reject("mem_slab_classes must keep the smallest slab class >= 32 bytes");
+  }
+  if (config.mem_slab_magazine < 0) Reject("mem_slab_magazine must be >= 0");
+  if (config.mem_max_registered_bytes != 0 &&
+      config.mem_max_registered_bytes < (config.mem_block_bytes << (config.mem_pool_level - 1))) {
+    Reject("mem_max_registered_bytes below one arena (mem_block_bytes << (mem_pool_level - 1))");
+  }
 }
 
 void ValidateConfig(const FabricConfig& config) {

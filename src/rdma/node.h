@@ -40,6 +40,12 @@ class Node {
   // The region is owned by the node and remains valid for its lifetime.
   MemoryRegion* RegisterMemory(size_t size, uint32_t access);
 
+  // Opaque per-node service slot: mem::Pool parks the node's shared
+  // registered-memory pool here so every consumer on the node draws from one
+  // allocator (rdma cannot name mem — the dependency runs the other way).
+  const std::shared_ptr<void>& pool_handle() const { return pool_handle_; }
+  void set_pool_handle(std::shared_ptr<void> handle) { pool_handle_ = std::move(handle); }
+
   // Hands out the next compute core for a pinned dispatch worker: round-robin
   // over [NicConfig::nic_station_cores, cores), skipping the cores reserved
   // for the NIC's stations. Wraps when workers outnumber compute cores, so
@@ -65,6 +71,12 @@ class Node {
   int worker_core_first_;
   int next_worker_core_;
   std::deque<std::unique_ptr<MemoryRegion>> regions_;
+  std::shared_ptr<void> pool_handle_;
+  // Registered-memory census, maintained by Fabric::{Register,Deregister}Memory
+  // and read back through Fabric::RegisteredBytes/RegistrationCount.
+  size_t registered_bytes_ = 0;
+  uint64_t registration_count_ = 0;
+  uint64_t deregistration_count_ = 0;
 };
 
 }  // namespace rdma

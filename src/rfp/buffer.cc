@@ -1,37 +1,25 @@
 #include "src/rfp/buffer.h"
 
-#include <bit>
 #include <stdexcept>
 
 namespace rfp {
 
-size_t BufferPool::SizeClass(size_t size) {
-  if (size == 0) {
-    size = 1;
-  }
-  return std::bit_ceil(size);
-}
-
 BufferPool::Buffer BufferPool::MallocBuf(size_t size) {
-  const size_t cls = SizeClass(size);
-  auto& free_list = free_lists_[cls];
-  rdma::MemoryRegion* mr = nullptr;
-  if (!free_list.empty()) {
-    mr = free_list.back();
-    free_list.pop_back();
+  const uint64_t before = pool_->registrations();
+  mem::Span span = pool_->Alloc(size);
+  if (pool_->registrations() == before) {
     ++reuses_;
   } else {
-    mr = node_.RegisterMemory(cls, access_);
     ++registrations_;
   }
-  return Buffer{mr, mr->bytes().subspan(0, size)};
+  return Buffer{span, span.bytes().subspan(0, size), span.mr};
 }
 
 void BufferPool::FreeBuf(Buffer buffer) {
   if (!buffer.valid()) {
     throw std::invalid_argument("rfp buffer pool: freeing an invalid buffer");
   }
-  free_lists_[buffer.mr->size()].push_back(buffer.mr);
+  pool_->Free(buffer.span);
 }
 
 }  // namespace rfp

@@ -1,17 +1,20 @@
 // Registered-buffer pool: the paper's malloc_buf / free_buf (Table 2).
 //
 // RDMA requires message memory to be registered with the RNIC, and
-// registration is expensive, so the pool recycles freed regions by
-// power-of-two size class instead of re-registering.
+// registration is expensive, so buffers recycle registered memory instead of
+// re-registering. Since the mem::Pool subsystem (docs/memory.md) this is a
+// thin facade over the node's shared buddy/slab pool: buffers are spans of
+// the node's arenas, so rfp buffers, channel rings, and store slabs all
+// draw from (and return to) the same registered memory.
 
 #ifndef SRC_RFP_BUFFER_H_
 #define SRC_RFP_BUFFER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <unordered_map>
-#include <vector>
 
+#include "src/mem/pool.h"
 #include "src/rdma/memory.h"
 #include "src/rdma/node.h"
 
@@ -20,15 +23,16 @@ namespace rfp {
 class BufferPool {
  public:
   struct Buffer {
-    rdma::MemoryRegion* mr = nullptr;
+    mem::Span span;
     std::span<std::byte> bytes;
+    // Backing arena region (shared with other spans of the same arena);
+    // kept for call sites that resolve the buffer fabric-wide by rkey.
+    rdma::MemoryRegion* mr = nullptr;
 
-    bool valid() const { return mr != nullptr; }
+    bool valid() const { return span.valid(); }
   };
 
-  explicit BufferPool(rdma::Node& node, uint32_t access = rdma::kAccessRemoteRead |
-                                                          rdma::kAccessRemoteWrite)
-      : node_(node), access_(access) {}
+  explicit BufferPool(rdma::Node& node) : pool_(mem::Pool::Shared(node)) {}
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -39,17 +43,15 @@ class BufferPool {
   // Returns the buffer to the pool for reuse (paper: free_buf).
   void FreeBuf(Buffer buffer);
 
+  // MR registrations performed on behalf of this pool's allocations, and
+  // allocations served entirely from already-registered memory.
   uint64_t registrations() const { return registrations_; }
   uint64_t reuses() const { return reuses_; }
 
  private:
-  static size_t SizeClass(size_t size);
-
-  rdma::Node& node_;
-  uint32_t access_;
+  std::shared_ptr<mem::Pool> pool_;
   uint64_t registrations_ = 0;
   uint64_t reuses_ = 0;
-  std::unordered_map<size_t, std::vector<rdma::MemoryRegion*>> free_lists_;
 };
 
 }  // namespace rfp

@@ -38,11 +38,28 @@ Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
   auto [cqp, sqp] = fabric.ConnectRc(client, server);
   client_qp_ = cqp;
   server_qp_ = sqp;
-  // Request ring is remotely written; response ring is remotely read.
-  server_mr_ = server.RegisterMemory(2 * window * block_bytes_,
-                                     rdma::kAccessRemoteRead | rdma::kAccessRemoteWrite);
-  // Landing ring is remotely written by reply pushes.
-  client_mr_ = client.RegisterMemory(2 * window * block_bytes_, rdma::kAccessRemoteWrite);
+  // Both rings come from the nodes' shared registered-memory pools
+  // (docs/memory.md): no MR is registered per channel, so setup/teardown
+  // churn and reconnects recycle registered memory. The pool arenas allow
+  // remote read+write, which covers both the remotely-written request ring
+  // and the remotely-read response ring.
+  const size_t ring_bytes = 2 * window * block_bytes_;
+  server_pool_ = mem::Pool::Shared(server);
+  client_pool_ = mem::Pool::Shared(client);
+  try {
+    server_span_ = server_pool_->Alloc(ring_bytes);
+    client_span_ = client_pool_->Alloc(ring_bytes);
+  } catch (const mem::ExhaustedError&) {
+    if (server_span_.valid()) server_pool_->Free(server_span_);
+    throw;
+  }
+  server_ = RingView{server_span_.mr, server_span_.offset};
+  client_ = RingView{client_span_.mr, client_span_.offset};
+  // A recycled span may hold a predecessor's ring: stale headers could alias
+  // a fresh call's (slot, seq), so both rings start zeroed, exactly like a
+  // freshly registered MR.
+  std::fill(server_span_.bytes().begin(), server_span_.bytes().end(), std::byte{0});
+  std::fill(client_span_.bytes().begin(), client_span_.bytes().end(), std::byte{0});
   if (options_.window > 1) {
     cslots_.resize(window);
     sslots_.resize(window);
@@ -51,8 +68,10 @@ Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
     }
   }
   // Per-channel deterministic jitter stream (breaker open intervals, busy
-  // retry backoff): the rkey is unique per channel within a fabric.
-  rng_.Seed(sim::Mix64(options_.breaker_seed ^ server_mr_->remote_key().rkey));
+  // retry backoff): pooled channels can share an arena rkey, so the span
+  // base disambiguates them.
+  rng_.Seed(sim::Mix64(options_.breaker_seed ^ server_.remote_key().rkey ^
+                       static_cast<uint64_t>(server_span_.offset)));
   if (options_.force_mode == RfpOptions::ForceMode::kForceReply) {
     mode_ = Mode::kServerReply;
   }
@@ -123,6 +142,13 @@ Channel::~Channel() {
     reg.GetCounter("rfp.channel.coalesced_fetches", labels)->Add(stats_.coalesced_fetches);
     reg.GetCounter("rfp.channel.coalesced_slots", labels)->Add(stats_.coalesced_slots);
   }
+  // Zero-copy counters register only when indirect responses were sent.
+  if (stats_.zero_copy_sends > 0) {
+    reg.GetCounter("rfp.channel.zero_copy_sends", labels)->Add(stats_.zero_copy_sends);
+    reg.GetCounter("rfp.channel.zero_copy_fetches", labels)->Add(stats_.zero_copy_fetches);
+    reg.GetCounter("rfp.channel.zero_copy_bytes", labels)->Add(stats_.zero_copy_bytes);
+    reg.GetCounter("rfp.channel.zero_copy_fallbacks", labels)->Add(stats_.zero_copy_fallbacks);
+  }
   // Pipelining counters register only when the channel ever batched, so
   // window=1 runs keep their metric catalog unchanged.
   if (stats_.doorbell_batches > 0) {
@@ -131,14 +157,15 @@ Channel::~Channel() {
     reg.GetHistogram("rfp.channel.batch_occupancy", labels)->Merge(stats_.batch_occupancy);
     reg.GetHistogram("rfp.channel.submit_window", labels)->Merge(stats_.submit_window);
   }
-  // Release the channel's fabric resources: the endpoints stop resolving and
-  // the registration table drops both blocks, so any straggler holding a
-  // stale pointer or rkey fails loudly (and, under checking, flags
-  // qp.post_on_retired / mr.use_after_deregister) instead of scribbling.
+  // Release the channel's fabric resources: the endpoints stop resolving, so
+  // any straggler holding a stale pointer fails loudly (and, under checking,
+  // flags qp.post_on_retired) instead of scribbling. The ring spans return
+  // to their pools for reuse — no deregistration, which is the point of the
+  // pool (docs/memory.md).
   fabric_->RetireQp(client_qp_);
   fabric_->RetireQp(server_qp_);
-  fabric_->DeregisterMemory(server_mr_);
-  fabric_->DeregisterMemory(client_mr_);
+  server_pool_->Free(server_span_);
+  client_pool_->Free(client_span_);
 }
 
 void Channel::set_fetch_size(uint32_t f) {
@@ -147,11 +174,11 @@ void Channel::set_fetch_size(uint32_t f) {
 }
 
 ResponseHeader Channel::LandingHeader() const {
-  return client_mr_->Load<ResponseHeader>(resp_offset_);
+  return client_.Load<ResponseHeader>(resp_offset_);
 }
 
 Mode Channel::server_visible_mode() const {
-  return static_cast<Mode>(server_mr_->Load<uint8_t>(kRequestModeOffset));
+  return static_cast<Mode>(server_.Load<uint8_t>(kRequestModeOffset));
 }
 
 sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg, sim::Time deadline_ns) {
@@ -176,10 +203,10 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg, sim::Time de
   header.seq = seq_;
   header.mode = static_cast<uint8_t>(mode_);
   header.deadline_ns = static_cast<uint64_t>(call_deadline_);
-  client_mr_->Store(0, header);
-  client_mr_->WriteBytes(kReqHeaderBytes, msg);
+  client_.Store(0, header);
+  client_.WriteBytes(kReqHeaderBytes, msg);
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kReqHeaderBytes + msg.size());
+    chk->OnCpuStore(client_.remote_key().rkey, client_.abs(0), kReqHeaderBytes + msg.size());
   }
   // The staging block keeps the payload until the next ClientSend, which is
   // what makes ReissueRequest possible without the caller's buffer.
@@ -226,9 +253,9 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
         // The server shed this request instead of serving it. Only the
         // header is meaningful (and published).
         if (check::FabricChecker* chk = fabric_->checker()) {
-          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_mr_->remote_key().rkey,
-                        resp_offset_, std::min<uint32_t>(kHeaderBytes, f), fetch_wc.check_tick,
-                        "busy fetch");
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_.remote_key().rkey,
+                        server_.abs(resp_offset_), std::min<uint32_t>(kHeaderBytes, f),
+                        fetch_wc.check_tick, "busy fetch");
         }
         RecordBusyResponse(header);
         if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
@@ -295,16 +322,26 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       if (check::FabricChecker* chk = fabric_->checker()) {
         // The fetched bytes become the call's result here: every byte must
         // have been published as of the READ snapshot that carried it.
-        const uint32_t rkey = server_mr_->remote_key().rkey;
-        chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, resp_offset_,
+        const uint32_t rkey = server_.remote_key().rkey;
+        chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, server_.abs(resp_offset_),
                       std::min(total, f), fetch_wc.check_tick, "result fetch");
         if (total > f) {
-          chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, resp_offset_ + f,
-                        total - f, remainder_tick, "remainder fetch");
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey,
+                        server_.abs(resp_offset_ + f), total - f, remainder_tick,
+                        "remainder fetch");
         }
+      }
+      size_t delivered = size;
+      if (wire::UnpackIndirect(header.size_status)) {
+        // The staged bytes are an [IndirectRef][prefix] descriptor: one more
+        // READ collects the value straight from the store-owned entry.
+        delivered = co_await CompleteIndirect(resp_offset_, size, out, "zero-copy entry fetch");
+      } else {
+        client_.ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
         chk->OnClientRecvDone(this);
       }
-      client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
       last_server_time_us_ = header.time_us;
       stats_.retries_per_call.Record(failed);
       // ">= R" to stay consistent with the mid-call switch check, which
@@ -321,7 +358,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
         ++calls_since_busy_;
       }
       client_busy_.AddBusy(engine_.now() - start - slept);
-      co_return size;
+      co_return delivered;
     }
     ++failed;
     ++stats_.failed_fetches;
@@ -391,9 +428,9 @@ sim::Task<void> Channel::SwitchToReply() {
   }
   // Publish the new mode to the server with a one-byte WRITE into the
   // request block's mode field.
-  client_mr_->Store<uint8_t>(kRequestModeOffset, static_cast<uint8_t>(Mode::kServerReply));
+  client_.Store<uint8_t>(kRequestModeOffset, static_cast<uint8_t>(Mode::kServerReply));
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(client_mr_->remote_key().rkey, kRequestModeOffset, 1);
+    chk->OnCpuStore(client_.remote_key().rkey, client_.abs(kRequestModeOffset), 1);
   }
   co_await RcOp(/*from_client=*/true, /*is_read=*/false, kRequestModeOffset, kRequestModeOffset,
                 1, "mode switch write");
@@ -408,8 +445,8 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
       if (wire::UnpackBusy(header.size_status)) {
         // The server shed this request; only the header was pushed.
         if (check::FabricChecker* chk = fabric_->checker()) {
-          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
-                        resp_offset_, kHeaderBytes, 0, "busy reply");
+          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
+                        client_.abs(resp_offset_), kHeaderBytes, 0, "busy reply");
         }
         RecordBusyResponse(header);
         if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
@@ -456,14 +493,24 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
       if (check::FabricChecker* chk = fabric_->checker()) {
         // The pushed reply is consumed from the local landing block: every
         // byte must come from the push, not a lingering local store.
-        chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
-                      resp_offset_, kHeaderBytes + size + ChecksumBytes(), 0, "reply await");
+        chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
+                      client_.abs(resp_offset_), kHeaderBytes + size + ChecksumBytes(), 0,
+                      "reply await");
+      }
+      size_t delivered = size;
+      if (wire::UnpackIndirect(header.size_status)) {
+        // A descriptor staged before the switch to server-reply was pushed
+        // as-is; the client can still READ the entry it names.
+        delivered = co_await CompleteIndirect(resp_offset_, size, out, "zero-copy entry fetch");
+      } else {
+        client_.ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
         chk->OnClientRecvDone(this);
       }
-      client_mr_->ReadBytes(resp_offset_ + kHeaderBytes, out.subspan(0, size));
       client_busy_.AddBusy(options_.reply_poll_cpu_ns);
       FinishReplyCall(header);
-      co_return size;
+      co_return delivered;
     }
     client_busy_.AddBusy(options_.reply_poll_cpu_ns);
     if (call_deadline_ != 0 && engine_.now() >= call_deadline_) {
@@ -514,7 +561,7 @@ bool Channel::HasPendingRequest() const {
   if (options_.window > 1) {
     return PendingRequests() > 0;
   }
-  const RequestHeader header = server_mr_->Load<RequestHeader>(0);
+  const RequestHeader header = server_.Load<RequestHeader>(0);
   return wire::UnpackStatus(header.size_status) && header.seq != last_recv_seq_;
 }
 
@@ -524,7 +571,7 @@ int Channel::PendingRequests() const {
   }
   int pending = 0;
   for (int s = 0; s < options_.window; ++s) {
-    const RequestHeader header = server_mr_->Load<RequestHeader>(req_off(s));
+    const RequestHeader header = server_.Load<RequestHeader>(req_off(s));
     if (wire::UnpackStatus(header.size_status) && header.slot == s &&
         header.seq != sslot(s).last_recv_seq) {
       ++pending;
@@ -537,7 +584,7 @@ bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
   if (options_.window > 1) {
     return TryServerRecvSlot(out, size);
   }
-  const RequestHeader header = server_mr_->Load<RequestHeader>(0);
+  const RequestHeader header = server_.Load<RequestHeader>(0);
   if (!wire::UnpackStatus(header.size_status) || header.seq == last_recv_seq_) {
     return false;
   }
@@ -548,11 +595,14 @@ bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
   if (check::FabricChecker* chk = fabric_->checker()) {
     // The request bytes are consumed by the server thread: every byte must
     // come from the client's WRITE, not a local scribble into the block.
-    chk->OnAccept(check::ViolationKind::kRaceRecvStore, server_mr_->remote_key().rkey, 0,
-                  kReqHeaderBytes + payload, 0, "server recv");
+    chk->OnAccept(check::ViolationKind::kRaceRecvStore, server_.remote_key().rkey,
+                  server_.abs(0), kReqHeaderBytes + payload, 0, "server recv");
   }
-  server_mr_->ReadBytes(kReqHeaderBytes, out.subspan(0, payload));
+  server_.ReadBytes(kReqHeaderBytes, out.subspan(0, payload));
   *size = payload;
+  // A new request on the channel proves the previous response was consumed:
+  // release the zero-copy entry pinned for it, if any.
+  resp_pin_.reset();
   last_recv_seq_ = header.seq;
   last_recv_deadline_ns_ = header.deadline_ns;
   recv_time_ = engine_.now();
@@ -566,35 +616,37 @@ sim::Task<void> Channel::ServerSend(std::span<const std::byte> msg) {
   if (options_.window > 1) {
     co_return co_await ServerSendSlot(msg);
   }
+  resp_pin_.reset();  // a superseding send releases any pinned entry
   ResponseHeader header;
   header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
   header.time_us = SaturateTimeUs(engine_.now() - recv_time_);
   header.seq = last_recv_seq_;
   check::FabricChecker* chk = fabric_->checker();
-  const uint32_t rkey = server_mr_->remote_key().rkey;
+  const uint32_t rkey = server_.remote_key().rkey;
   // Store order is the protocol's only fence against concurrent one-sided
   // READs: payload first, then the checksum trailer, and the header — whose
   // status bit + seq are what the client matches on — last. A client fetch
   // that lands between these stores sees a stale header and retries instead
   // of delivering a half-written payload. (The header used to be stored
   // first; the race detector flags that order as race.fetch_store.)
-  server_mr_->WriteBytes(resp_offset_ + kHeaderBytes, msg);
+  server_.WriteBytes(resp_offset_ + kHeaderBytes, msg);
   if (chk != nullptr) {
-    chk->OnCpuStore(rkey, resp_offset_ + kHeaderBytes, msg.size());
+    chk->OnCpuStore(rkey, server_.abs(resp_offset_ + kHeaderBytes), msg.size());
   }
   if (options_.checksum_responses) {
-    server_mr_->Store(resp_offset_ + kHeaderBytes + msg.size(),
+    server_.Store(resp_offset_ + kHeaderBytes + msg.size(),
                       wire::Checksum64(msg, last_recv_seq_));
     if (chk != nullptr) {
-      chk->OnCpuStore(rkey, resp_offset_ + kHeaderBytes + msg.size(), kChecksumBytes);
+      chk->OnCpuStore(rkey, server_.abs(resp_offset_ + kHeaderBytes + msg.size()),
+                      kChecksumBytes);
     }
   }
-  server_mr_->Store(resp_offset_, header);
+  server_.Store(resp_offset_, header);
   if (chk != nullptr) {
-    chk->OnCpuStore(rkey, resp_offset_, kHeaderBytes);
+    chk->OnCpuStore(rkey, server_.abs(resp_offset_), kHeaderBytes);
     // The header store publishes the whole response: bytes stored after this
     // point (without a fresh publication) are torn for any matching fetch.
-    chk->OnPublish(rkey, resp_offset_,
+    chk->OnPublish(rkey, server_.abs(resp_offset_),
                    kHeaderBytes + msg.size() + ChecksumBytes());
   }
   last_resp_seq_ = last_recv_seq_;
@@ -610,18 +662,19 @@ sim::Task<void> Channel::ServerSendBusy(BusyReason reason, uint16_t retry_after_
   if (options_.window > 1) {
     co_return co_await ServerSendBusySlot(reason, retry_after_us);
   }
+  resp_pin_.reset();  // a superseding send releases any pinned entry
   ResponseHeader header;
   header.size_status = wire::PackBusy(reason);
   header.time_us = retry_after_us;
   header.seq = last_recv_seq_;
-  const uint32_t rkey = server_mr_->remote_key().rkey;
+  const uint32_t rkey = server_.remote_key().rkey;
   // A BUSY response is header-only: the single 8-byte store is its own
   // publication point, so a racing fetch sees either the old header or the
   // complete shed notice.
-  server_mr_->Store(resp_offset_, header);
+  server_.Store(resp_offset_, header);
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(rkey, resp_offset_, kHeaderBytes);
-    chk->OnPublish(rkey, resp_offset_, kHeaderBytes);
+    chk->OnCpuStore(rkey, server_.abs(resp_offset_), kHeaderBytes);
+    chk->OnPublish(rkey, server_.abs(resp_offset_), kHeaderBytes);
   }
   if (reason == BusyReason::kAdmission) {
     ++stats_.shed_admission;
@@ -642,6 +695,142 @@ sim::Task<void> Channel::ServerSendBusy(BusyReason reason, uint16_t retry_after_
   }
 }
 
+void Channel::StageIndirect(int slot, uint16_t seq, uint16_t time_us,
+                            std::span<const std::byte> prefix, const ZeroCopyRef& ref) {
+  const size_t off = land_off(slot);  // == resp_offset_ on window=1 (slot 0)
+  wire::IndirectRef desc;
+  desc.rkey = ref.rkey;
+  desc.value_len = ref.len;
+  desc.value_offset = static_cast<uint64_t>(ref.offset);
+  desc.prefix_len = static_cast<uint32_t>(prefix.size());
+  desc.epoch = ref.epoch;
+  const uint32_t staged = static_cast<uint32_t>(sizeof(wire::IndirectRef) + prefix.size());
+  check::FabricChecker* chk = fabric_->checker();
+  const uint32_t rkey = server_.remote_key().rkey;
+  // Same publication order as ServerSend: staged payload, checksum trailer,
+  // header last. The header store also publishes the ENTRY range — from this
+  // point the store must not touch the pinned value bytes until the channel
+  // releases the pin, or a client fetch can assemble a torn value (the race
+  // detector reports exactly that as race.fetch_store on the entry range).
+  server_.Store(off + kHeaderBytes, desc);
+  server_.WriteBytes(off + kHeaderBytes + sizeof(wire::IndirectRef), prefix);
+  if (chk != nullptr) {
+    chk->OnCpuStore(rkey, server_.abs(off + kHeaderBytes), staged);
+  }
+  if (options_.checksum_responses) {
+    // The trailer covers the staged descriptor+prefix only; the value's
+    // integrity is the pin contract, proven by the race detector.
+    const std::span<const std::byte> staged_bytes =
+        server_.bytes().subspan(off + kHeaderBytes, staged);
+    server_.Store(off + kHeaderBytes + staged, wire::Checksum64(staged_bytes, seq));
+    if (chk != nullptr) {
+      chk->OnCpuStore(rkey, server_.abs(off + kHeaderBytes + staged), kChecksumBytes);
+    }
+  }
+  ResponseHeader header;
+  header.size_status = wire::PackIndirect(staged);
+  header.time_us = time_us;
+  header.seq = seq;
+  server_.Store(off, header);
+  if (chk != nullptr) {
+    chk->OnCpuStore(rkey, server_.abs(off), kHeaderBytes);
+    chk->OnPublish(rkey, server_.abs(off), kHeaderBytes + staged + ChecksumBytes());
+    chk->OnPublish(ref.rkey, ref.offset, ref.len);
+  }
+  ++stats_.zero_copy_sends;
+}
+
+sim::Task<void> Channel::ServerSendZeroCopy(std::span<const std::byte> prefix,
+                                            const ZeroCopyRef& ref) {
+  if (!ref.valid()) {
+    throw std::invalid_argument("rfp channel: zero-copy send without a valid entry ref");
+  }
+  const size_t staged = sizeof(wire::IndirectRef) + prefix.size();
+  if (staged > options_.max_message_bytes) {
+    throw std::invalid_argument("rfp channel: zero-copy prefix exceeds max_message_bytes");
+  }
+  if (server_visible_mode() == Mode::kServerReply) {
+    // The client stopped fetching, so a descriptor alone cannot reach it:
+    // materialize prefix+value once (together they must fit
+    // max_message_bytes) and push through the regular copy path.
+    rdma::MemoryRegion* entry = fabric_->FindRemote(rdma::RemoteKey{ref.rkey});
+    if (entry == nullptr) {
+      throw std::invalid_argument("rfp channel: zero-copy ref names an unregistered region");
+    }
+    std::vector<std::byte> full(prefix.size() + ref.len);
+    rdma::CopyBytes(std::span<std::byte>(full).subspan(0, prefix.size()), prefix);
+    entry->ReadBytes(ref.offset, std::span<std::byte>(full).subspan(prefix.size()));
+    ++stats_.zero_copy_fallbacks;
+    co_return co_await ServerSend(full);
+  }
+  if (options_.window > 1) {
+    const int s = last_recv_slot_;
+    ServerSlot& ss = sslot(s);
+    ss.pin.reset();  // a superseding send releases the previous entry
+    StageIndirect(s, ss.last_recv_seq, SaturateTimeUs(engine_.now() - ss.recv_time), prefix,
+                  ref);
+    ss.pin = ref.pin;
+    ss.last_resp_seq = ss.last_recv_seq;
+    ss.last_resp_size = static_cast<uint32_t>(staged);
+    ss.last_resp_busy = false;
+    ss.response_pushed = false;
+  } else {
+    resp_pin_.reset();
+    StageIndirect(0, last_recv_seq_, SaturateTimeUs(engine_.now() - recv_time_), prefix, ref);
+    resp_pin_ = ref.pin;
+    last_resp_seq_ = last_recv_seq_;
+    last_resp_size_ = static_cast<uint32_t>(staged);
+    last_resp_busy_ = false;
+    response_pushed_ = false;
+  }
+}
+
+sim::Task<size_t> Channel::CompleteIndirect(size_t land, uint32_t staged_size,
+                                            std::span<std::byte> out, const char* what) {
+  if (staged_size < sizeof(wire::IndirectRef)) {
+    throw std::runtime_error("rfp channel: indirect response too small for its descriptor");
+  }
+  const wire::IndirectRef desc = client_.Load<wire::IndirectRef>(land + kHeaderBytes);
+  if (desc.prefix_len != staged_size - sizeof(wire::IndirectRef)) {
+    throw std::runtime_error("rfp channel: indirect descriptor prefix length mismatch");
+  }
+  const size_t total = static_cast<size_t>(desc.prefix_len) + desc.value_len;
+  if (total > out.size()) {
+    throw std::length_error("rfp channel: response larger than output buffer");
+  }
+  client_.ReadBytes(land + kHeaderBytes + sizeof(wire::IndirectRef),
+                    out.subspan(0, desc.prefix_len));
+  if (desc.value_len == 0) {
+    co_return total;
+  }
+  // Land the value in a pool bounce span, not the landing ring: the entry can
+  // be far larger than a ring block. The client still performs exactly one
+  // local copy per call (bounce -> out), same as the staged path's
+  // landing -> out.
+  mem::Span bounce = client_pool_->Alloc(desc.value_len);
+  try {
+    const rdma::WorkCompletion wc =
+        co_await FetchEntry(*bounce.mr, bounce.offset, desc.rkey,
+                            static_cast<size_t>(desc.value_offset), desc.value_len, what);
+    ++stats_.fetch_reads;
+    ++stats_.zero_copy_fetches;
+    stats_.zero_copy_bytes += desc.value_len;
+    if (check::FabricChecker* chk = fabric_->checker()) {
+      // The entry bytes become part of the call's result: the store must not
+      // have scribbled on them since publication (the pin contract).
+      chk->OnAccept(check::ViolationKind::kRaceFetchStore, desc.rkey,
+                    static_cast<size_t>(desc.value_offset), desc.value_len, wc.check_tick,
+                    "entry fetch");
+    }
+    bounce.mr->ReadBytes(bounce.offset, out.subspan(desc.prefix_len, desc.value_len));
+  } catch (...) {
+    client_pool_->Free(bounce);
+    throw;
+  }
+  client_pool_->Free(bounce);
+  co_return total;
+}
+
 sim::Task<void> Channel::PushReply() {
   // BUSY responses carry no payload (and no checksum trailer): push the
   // header only.
@@ -654,22 +843,48 @@ sim::Task<void> Channel::PushReply() {
 }
 
 bool Channel::LandingChecksumOk(uint32_t size) const {
-  const uint64_t stored = client_mr_->Load<uint64_t>(resp_offset_ + kHeaderBytes + size);
+  const uint64_t stored = client_.Load<uint64_t>(resp_offset_ + kHeaderBytes + size);
   const std::span<const std::byte> payload =
-      client_mr_->bytes().subspan(resp_offset_ + kHeaderBytes, size);
+      client_.bytes().subspan(resp_offset_ + kHeaderBytes, size);
   return stored == wire::Checksum64(payload, seq_);
 }
 
 sim::Task<rdma::WorkCompletion> Channel::RcOp(bool from_client, bool is_read, size_t local_off,
                                               size_t remote_off, uint32_t len, const char* what) {
+  // Ring offsets are ring-relative; shift by the pooled span's base here, at
+  // the MR boundary.
+  const RingView& local = from_client ? client_ : server_;
+  const RingView& remote = from_client ? server_ : client_;
   for (int attempt = 0;; ++attempt) {
-    // Re-resolve the endpoints each attempt: a reconnect replaces them.
+    // Re-resolve the QP each attempt: a reconnect replaces it.
     rdma::QueuePair* qp = from_client ? client_qp_ : server_qp_;
-    rdma::MemoryRegion* local = from_client ? client_mr_ : server_mr_;
-    rdma::MemoryRegion* remote = from_client ? server_mr_ : client_mr_;
     const rdma::WorkCompletion wc =
-        is_read ? co_await qp->Read(*local, local_off, remote->remote_key(), remote_off, len)
-                : co_await qp->Write(*local, local_off, remote->remote_key(), remote_off, len);
+        is_read ? co_await qp->Read(*local.mr, local.abs(local_off), remote.remote_key(),
+                                    remote.abs(remote_off), len)
+                : co_await qp->Write(*local.mr, local.abs(local_off), remote.remote_key(),
+                                     remote.abs(remote_off), len);
+    if (wc.status != rdma::WcStatus::kQpError) {
+      CheckOk(wc, what);
+      co_return wc;
+    }
+    if (attempt >= options_.max_reconnect_attempts) {
+      CheckOk(wc, what);  // throws, reporting QP_ERROR
+    }
+    co_await EnsureConnected(qp);
+  }
+}
+
+sim::Task<rdma::WorkCompletion> Channel::FetchEntry(rdma::MemoryRegion& local_mr,
+                                                    size_t local_off, uint32_t rkey,
+                                                    size_t remote_off, uint32_t len,
+                                                    const char* what) {
+  // The zero-copy entry READ: the remote target is a raw (rkey, absolute
+  // offset) pair naming a store-owned registered entry, not the peer ring;
+  // the local landing is a pool bounce span. Same reconnect contract as RcOp.
+  for (int attempt = 0;; ++attempt) {
+    rdma::QueuePair* qp = client_qp_;
+    const rdma::WorkCompletion wc =
+        co_await qp->Read(local_mr, local_off, rdma::RemoteKey{rkey}, remote_off, len);
     if (wc.status != rdma::WcStatus::kQpError) {
       CheckOk(wc, what);
       co_return wc;
@@ -721,9 +936,9 @@ sim::Task<void> Channel::ReissueRequest() {
   header.seq = seq_;
   header.mode = static_cast<uint8_t>(mode_);
   header.deadline_ns = static_cast<uint64_t>(call_deadline_);
-  client_mr_->Store(0, header);  // the payload is still staged from ClientSend
+  client_.Store(0, header);  // the payload is still staged from ClientSend
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(client_mr_->remote_key().rkey, 0, kReqHeaderBytes);
+    chk->OnCpuStore(client_.remote_key().rkey, client_.abs(0), kReqHeaderBytes);
   }
   if (sim::TraceSink* trace = engine_.trace_sink()) {
     trace->Instant("rfp", "reissue", reinterpret_cast<uint64_t>(this), engine_.now());
@@ -853,10 +1068,11 @@ sim::Task<Channel::CallHandle> Channel::SubmitCall(std::span<const std::byte> ms
   header.mode = static_cast<uint8_t>(mode_);
   header.slot = static_cast<uint8_t>(slot);
   header.deadline_ns = static_cast<uint64_t>(cs.deadline);
-  client_mr_->Store(req_off(slot), header);
-  client_mr_->WriteBytes(req_off(slot) + kReqHeaderBytes, msg);
+  client_.Store(req_off(slot), header);
+  client_.WriteBytes(req_off(slot) + kReqHeaderBytes, msg);
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(client_mr_->remote_key().rkey, req_off(slot), kReqHeaderBytes + msg.size());
+    chk->OnCpuStore(client_.remote_key().rkey, client_.abs(req_off(slot)),
+                    kReqHeaderBytes + msg.size());
   }
   ++staged_count_;
   stats_.submit_window.Record(posted_count_ + staged_count_);
@@ -881,9 +1097,9 @@ sim::Task<void> Channel::FlushCalls() {
     // Refresh the staged header's mode byte: the channel may have switched
     // paradigms since the submit, and slot 0's mode byte in the server block
     // is the server's source of truth — posting a stale one would revert it.
-    client_mr_->Store<uint8_t>(req_off(s) + kRequestModeOffset, static_cast<uint8_t>(mode_));
+    client_.Store<uint8_t>(req_off(s) + kRequestModeOffset, static_cast<uint8_t>(mode_));
     if (chk != nullptr) {
-      chk->OnCpuStore(client_mr_->remote_key().rkey, req_off(s) + kRequestModeOffset, 1);
+      chk->OnCpuStore(client_.remote_key().rkey, client_.abs(req_off(s) + kRequestModeOffset), 1);
     }
     ops.push_back({/*is_read=*/false, req_off(s), req_off(s),
                    kReqHeaderBytes + cs.req_bytes});
@@ -932,12 +1148,13 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
       co_await FetchSweep(slot);
     }
     if (cs.landing_ready) {
-      const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(slot));
+      const ResponseHeader header = client_.Load<ResponseHeader>(land_off(slot));
       if (wire::UnpackBusy(header.size_status)) {
         cs.landing_ready = false;
         if (check::FabricChecker* chk = fabric_->checker()) {
-          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_mr_->remote_key().rkey,
-                        land_off(slot), std::min<uint32_t>(kHeaderBytes, cs.fetched_len),
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_.remote_key().rkey,
+                        server_.abs(land_off(slot)),
+                        std::min<uint32_t>(kHeaderBytes, cs.fetched_len),
                         cs.fetch_tick, "busy fetch");
         }
         RecordBusyResponse(header);
@@ -1006,17 +1223,30 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
         continue;
       }
       if (check::FabricChecker* chk = fabric_->checker()) {
-        const uint32_t rkey = server_mr_->remote_key().rkey;
-        chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, land_off(slot),
+        const uint32_t rkey = server_.remote_key().rkey;
+        chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey, server_.abs(land_off(slot)),
                       std::min(total, cs.fetched_len), cs.fetch_tick, "result fetch");
         if (total > cs.fetched_len) {
           chk->OnAccept(check::ViolationKind::kRaceFetchStore, rkey,
-                        land_off(slot) + cs.fetched_len, total - cs.fetched_len,
+                        server_.abs(land_off(slot) + cs.fetched_len), total - cs.fetched_len,
                         remainder_tick, "remainder fetch");
         }
+      }
+      size_t delivered = size;
+      if (wire::UnpackIndirect(header.size_status)) {
+        try {
+          delivered =
+              co_await CompleteIndirect(land_off(slot), size, out, "zero-copy entry fetch");
+        } catch (...) {
+          FreeSlot(slot);
+          throw;
+        }
+      } else {
+        client_.ReadBytes(land_off(slot) + kHeaderBytes, out.subspan(0, size));
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
         chk->OnClientRecvDone(this);
       }
-      client_mr_->ReadBytes(land_off(slot) + kHeaderBytes, out.subspan(0, size));
       last_server_time_us_ = header.time_us;
       stats_.retries_per_call.Record(cs.failed);
       // ">=" rather than the scalar path's "==": a piggybacked sweep can step
@@ -1030,7 +1260,7 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
       }
       client_busy_.AddBusy(engine_.now() - start - slept);
       FreeSlot(slot);
-      co_return size;
+      co_return delivered;
     }
     // The sweep came back without this slot's response.
     if (cs.failed >= options_.retry_threshold && adaptive() && !OverloadSuppressesSwitch() &&
@@ -1115,7 +1345,7 @@ sim::Task<void> Channel::FetchSweep(int primary) {
       ++cslot(primary).attempt_reads;
       for (int s : pending) {
         ClientSlot& cs = cslot(s);
-        const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(s));
+        const ResponseHeader header = client_.Load<ResponseHeader>(land_off(s));
         if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
           cs.landing_ready = true;
           cs.fetch_tick = wcs[0].check_tick;
@@ -1159,7 +1389,7 @@ sim::Task<void> Channel::FetchSweep(int primary) {
     ClientSlot& cs = cslot(slots[i]);
     ++stats_.fetch_reads;
     ++cs.attempt_reads;
-    const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(slots[i]));
+    const ResponseHeader header = client_.Load<ResponseHeader>(land_off(slots[i]));
     if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
       cs.landing_ready = true;
       cs.fetch_tick = wcs[i].check_tick;
@@ -1174,12 +1404,12 @@ sim::Task<void> Channel::FetchSweep(int primary) {
 sim::Task<size_t> Channel::AwaitReplySlot(int slot, std::span<std::byte> out) {
   ClientSlot& cs = cslot(slot);
   while (true) {
-    const ResponseHeader header = client_mr_->Load<ResponseHeader>(land_off(slot));
+    const ResponseHeader header = client_.Load<ResponseHeader>(land_off(slot));
     if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
       if (wire::UnpackBusy(header.size_status)) {
         if (check::FabricChecker* chk = fabric_->checker()) {
-          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
-                        land_off(slot), kHeaderBytes, 0, "busy reply");
+          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
+                        client_.abs(land_off(slot)), kHeaderBytes, 0, "busy reply");
         }
         RecordBusyResponse(header);
         if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
@@ -1226,15 +1456,29 @@ sim::Task<size_t> Channel::AwaitReplySlot(int slot, std::span<std::byte> out) {
         continue;
       }
       if (check::FabricChecker* chk = fabric_->checker()) {
-        chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_mr_->remote_key().rkey,
-                      land_off(slot), kHeaderBytes + size + ChecksumBytes(), 0, "reply await");
+        chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
+                      client_.abs(land_off(slot)), kHeaderBytes + size + ChecksumBytes(), 0,
+                      "reply await");
+      }
+      size_t delivered = size;
+      if (wire::UnpackIndirect(header.size_status)) {
+        try {
+          delivered =
+              co_await CompleteIndirect(land_off(slot), size, out, "zero-copy entry fetch");
+        } catch (...) {
+          FreeSlot(slot);
+          throw;
+        }
+      } else {
+        client_.ReadBytes(land_off(slot) + kHeaderBytes, out.subspan(0, size));
+      }
+      if (check::FabricChecker* chk = fabric_->checker()) {
         chk->OnClientRecvDone(this);
       }
-      client_mr_->ReadBytes(land_off(slot) + kHeaderBytes, out.subspan(0, size));
       client_busy_.AddBusy(options_.reply_poll_cpu_ns);
       FinishReplyCall(header);
       FreeSlot(slot);
-      co_return size;
+      co_return delivered;
     }
     client_busy_.AddBusy(options_.reply_poll_cpu_ns);
     if (cs.deadline != 0 && engine_.now() >= cs.deadline) {
@@ -1262,9 +1506,9 @@ sim::Task<void> Channel::ReissueRequestSlot(int slot) {
   header.mode = static_cast<uint8_t>(mode_);
   header.slot = static_cast<uint8_t>(slot);
   header.deadline_ns = static_cast<uint64_t>(cs.deadline);
-  client_mr_->Store(req_off(slot), header);  // the payload is still staged
+  client_.Store(req_off(slot), header);  // the payload is still staged
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(client_mr_->remote_key().rkey, req_off(slot), kReqHeaderBytes);
+    chk->OnCpuStore(client_.remote_key().rkey, client_.abs(req_off(slot)), kReqHeaderBytes);
   }
   if (sim::TraceSink* trace = engine_.trace_sink()) {
     trace->Instant("rfp", "reissue", reinterpret_cast<uint64_t>(this), engine_.now());
@@ -1276,9 +1520,9 @@ sim::Task<void> Channel::ReissueRequestSlot(int slot) {
 
 bool Channel::SlotChecksumOk(int slot, uint32_t size) const {
   const uint64_t stored =
-      client_mr_->Load<uint64_t>(land_off(slot) + kHeaderBytes + size);
+      client_.Load<uint64_t>(land_off(slot) + kHeaderBytes + size);
   const std::span<const std::byte> payload =
-      client_mr_->bytes().subspan(land_off(slot) + kHeaderBytes, size);
+      client_.bytes().subspan(land_off(slot) + kHeaderBytes, size);
   return stored == wire::Checksum64(payload, cslot(slot).seq);
 }
 
@@ -1295,7 +1539,7 @@ void Channel::FreeSlot(int slot) {
 bool Channel::TryServerRecvSlot(std::span<std::byte> out, size_t* size) {
   for (int i = 0; i < options_.window; ++i) {
     const int s = (recv_rr_ + i) % options_.window;
-    const RequestHeader header = server_mr_->Load<RequestHeader>(req_off(s));
+    const RequestHeader header = server_.Load<RequestHeader>(req_off(s));
     if (!wire::UnpackStatus(header.size_status) || header.slot != s ||
         header.seq == sslot(s).last_recv_seq) {
       continue;
@@ -1305,12 +1549,15 @@ bool Channel::TryServerRecvSlot(std::span<std::byte> out, size_t* size) {
       throw std::length_error("rfp channel: request larger than server buffer");
     }
     if (check::FabricChecker* chk = fabric_->checker()) {
-      chk->OnAccept(check::ViolationKind::kRaceRecvStore, server_mr_->remote_key().rkey,
-                    req_off(s), kReqHeaderBytes + payload, 0, "server recv");
+      chk->OnAccept(check::ViolationKind::kRaceRecvStore, server_.remote_key().rkey,
+                    server_.abs(req_off(s)), kReqHeaderBytes + payload, 0, "server recv");
     }
-    server_mr_->ReadBytes(req_off(s) + kReqHeaderBytes, out.subspan(0, payload));
+    server_.ReadBytes(req_off(s) + kReqHeaderBytes, out.subspan(0, payload));
     *size = payload;
     ServerSlot& ss = sslot(s);
+    // A new request on this slot proves its previous response was consumed:
+    // release the zero-copy entry pinned for it, if any.
+    ss.pin.reset();
     ss.last_recv_seq = header.seq;
     ss.recv_time = engine_.now();
     last_recv_slot_ = s;
@@ -1324,29 +1571,30 @@ bool Channel::TryServerRecvSlot(std::span<std::byte> out, size_t* size) {
 sim::Task<void> Channel::ServerSendSlot(std::span<const std::byte> msg) {
   const int s = last_recv_slot_;
   ServerSlot& ss = sslot(s);
+  ss.pin.reset();  // a superseding send releases any pinned entry
   const size_t off = land_off(s);
   ResponseHeader header;
   header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
   header.time_us = SaturateTimeUs(engine_.now() - ss.recv_time);
   header.seq = ss.last_recv_seq;
   check::FabricChecker* chk = fabric_->checker();
-  const uint32_t rkey = server_mr_->remote_key().rkey;
+  const uint32_t rkey = server_.remote_key().rkey;
   // Same publication order as the scalar path: payload, checksum trailer,
   // header last (docs/static_analysis.md).
-  server_mr_->WriteBytes(off + kHeaderBytes, msg);
+  server_.WriteBytes(off + kHeaderBytes, msg);
   if (chk != nullptr) {
-    chk->OnCpuStore(rkey, off + kHeaderBytes, msg.size());
+    chk->OnCpuStore(rkey, server_.abs(off + kHeaderBytes), msg.size());
   }
   if (options_.checksum_responses) {
-    server_mr_->Store(off + kHeaderBytes + msg.size(), wire::Checksum64(msg, ss.last_recv_seq));
+    server_.Store(off + kHeaderBytes + msg.size(), wire::Checksum64(msg, ss.last_recv_seq));
     if (chk != nullptr) {
-      chk->OnCpuStore(rkey, off + kHeaderBytes + msg.size(), kChecksumBytes);
+      chk->OnCpuStore(rkey, server_.abs(off + kHeaderBytes + msg.size()), kChecksumBytes);
     }
   }
-  server_mr_->Store(off, header);
+  server_.Store(off, header);
   if (chk != nullptr) {
-    chk->OnCpuStore(rkey, off, kHeaderBytes);
-    chk->OnPublish(rkey, off, kHeaderBytes + msg.size() + ChecksumBytes());
+    chk->OnCpuStore(rkey, server_.abs(off), kHeaderBytes);
+    chk->OnPublish(rkey, server_.abs(off), kHeaderBytes + msg.size() + ChecksumBytes());
   }
   ss.last_resp_seq = ss.last_recv_seq;
   ss.last_resp_size = static_cast<uint32_t>(msg.size());
@@ -1360,17 +1608,18 @@ sim::Task<void> Channel::ServerSendSlot(std::span<const std::byte> msg) {
 sim::Task<void> Channel::ServerSendBusySlot(BusyReason reason, uint16_t retry_after_us) {
   const int s = last_recv_slot_;
   ServerSlot& ss = sslot(s);
+  ss.pin.reset();  // a superseding send releases any pinned entry
   const size_t off = land_off(s);
   ResponseHeader header;
   header.size_status = wire::PackBusy(reason);
   header.time_us = retry_after_us;
   header.seq = ss.last_recv_seq;
-  const uint32_t rkey = server_mr_->remote_key().rkey;
+  const uint32_t rkey = server_.remote_key().rkey;
   // Header-only single-store publication, as in the scalar path.
-  server_mr_->Store(off, header);
+  server_.Store(off, header);
   if (check::FabricChecker* chk = fabric_->checker()) {
-    chk->OnCpuStore(rkey, off, kHeaderBytes);
-    chk->OnPublish(rkey, off, kHeaderBytes);
+    chk->OnCpuStore(rkey, server_.abs(off), kHeaderBytes);
+    chk->OnPublish(rkey, server_.abs(off), kHeaderBytes);
   }
   if (reason == BusyReason::kAdmission) {
     ++stats_.shed_admission;
@@ -1411,10 +1660,11 @@ sim::Task<std::vector<rdma::WorkCompletion>> Channel::RcBatch(bool from_client,
   std::vector<char> done(ops.size(), 0);
   size_t remaining = ops.size();
   for (int attempt = 0; remaining > 0; ++attempt) {
-    // Re-resolve the endpoints each attempt: a reconnect replaces them.
+    // Re-resolve the QP each attempt: a reconnect replaces it. Offsets in
+    // `ops` are ring-relative; the pooled span base is applied here.
     rdma::QueuePair* qp = from_client ? client_qp_ : server_qp_;
-    rdma::MemoryRegion* local = from_client ? client_mr_ : server_mr_;
-    rdma::MemoryRegion* remote = from_client ? server_mr_ : client_mr_;
+    const RingView& local = from_client ? client_ : server_;
+    const RingView& remote = from_client ? server_ : client_;
     size_t posted = 0;
     for (size_t i = 0; i < ops.size(); ++i) {
       if (done[i]) {
@@ -1424,10 +1674,12 @@ sim::Task<std::vector<rdma::WorkCompletion>> Channel::RcBatch(bool from_client,
       // Every WR after the first rides the leader's doorbell at the batched
       // marginal issue cost (see rdma::NicConfig::outbound_batch_marginal_ns).
       if (op.is_read) {
-        qp->PostRead(i, *local, op.local_off, remote->remote_key(), op.remote_off, op.len,
+        qp->PostRead(i, *local.mr, local.abs(op.local_off), remote.remote_key(),
+                     remote.abs(op.remote_off), op.len,
                      /*batch_follower=*/posted > 0);
       } else {
-        qp->PostWrite(i, *local, op.local_off, remote->remote_key(), op.remote_off, op.len,
+        qp->PostWrite(i, *local.mr, local.abs(op.local_off), remote.remote_key(),
+                      remote.abs(op.remote_off), op.len,
                       /*batch_follower=*/posted > 0);
       }
       ++posted;

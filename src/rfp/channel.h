@@ -29,10 +29,12 @@
 #define SRC_RFP_CHANNEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "src/mem/pool.h"
 #include "src/rdma/fabric.h"
 #include "src/rdma/memory.h"
 #include "src/rdma/qp.h"
@@ -52,6 +54,27 @@ namespace rfp {
 class DeadlineExceeded : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+// A response value that lives in the server's registered memory (a mem::Pool
+// slab entry owned by a store) instead of the response ring. ServerSendZeroCopy
+// publishes a descriptor pointing at it; the client fetches the value with one
+// RDMA READ straight from the entry, so the server never copies value bytes.
+//
+// Lifetime contract (docs/memory.md): `pin` must keep the entry bytes from
+// being overwritten or reused until the channel releases it — on the next
+// request received on the same slot (which proves the client consumed the
+// response), on a superseding send, or at channel destruction. A store that
+// mutates a pinned entry in place violates the contract; under RFP_CHECK the
+// race detector reports it as race.fetch_store on the entry range.
+struct ZeroCopyRef {
+  uint32_t rkey = 0;   // registered region holding the value
+  size_t offset = 0;   // absolute offset of the value within that region
+  uint32_t len = 0;    // value bytes
+  uint32_t epoch = 0;  // entry reuse epoch (descriptive; travels to the client)
+  std::shared_ptr<const void> pin;  // keeps the entry alive until released
+
+  bool valid() const { return rkey != 0; }
 };
 
 class Channel {
@@ -89,6 +112,12 @@ class Channel {
     // Coalesced fetching (docs/multicore.md; zero unless coalesced_fetch).
     uint64_t coalesced_fetches = 0;  // spanning READs issued by fetch sweeps
     uint64_t coalesced_slots = 0;    // pending slots those spans covered
+    // Zero-copy GET (docs/memory.md; zero unless ServerSendZeroCopy is used).
+    uint64_t zero_copy_sends = 0;      // indirect descriptors published
+    uint64_t zero_copy_fetches = 0;    // client entry READs issued
+    uint64_t zero_copy_bytes = 0;      // value bytes moved without a server copy
+    uint64_t zero_copy_fallbacks = 0;  // sends materialized via the copy path
+                                       // (client was in server-reply mode)
     // Failed-retry count per completed remote-fetch call (Table 3).
     sim::Histogram retries_per_call;
     // Outstanding calls (posted + staged) sampled at each SubmitCall, and
@@ -125,9 +154,11 @@ class Channel {
   // kHalfOpen lets exactly one probe call decide between close and reopen.
   enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
 
-  // Builds a channel between `client` and `server`, registering the request/
-  // response blocks on the server and the staging/landing blocks on the
-  // client, connected by a dedicated RC queue pair.
+  // Builds a channel between `client` and `server`: the request/response
+  // rings on the server and the staging/landing rings on the client are
+  // drawn from the nodes' shared mem::Pools (docs/memory.md) — setup and
+  // teardown recycle registered memory instead of (de)registering MRs — and
+  // connected by a dedicated RC queue pair.
   Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
           const RfpOptions& options);
 
@@ -216,6 +247,19 @@ class Channel {
   // should retry.
   sim::Task<void> ServerSendBusy(BusyReason reason, uint16_t retry_after_us);
 
+  // Publishes a zero-copy response for the last received request: `prefix`
+  // bytes are staged in the response slot as usual, but the value stays in
+  // the registered entry `ref` names — the client collects it with one RDMA
+  // READ of (ref.rkey, ref.offset, ref.len). The channel holds ref.pin until
+  // the response is provably consumed (see ZeroCopyRef). The client's
+  // ClientRecv/AwaitCall returns prefix + value assembled in order, so
+  // handlers swap ServerSend for this without changing the client. When the
+  // client is in server-reply mode the value is materialized once and pushed
+  // through the regular copy path (prefix+value must then fit
+  // max_message_bytes).
+  sim::Task<void> ServerSendZeroCopy(std::span<const std::byte> prefix,
+                                     const ZeroCopyRef& ref);
+
   // True when a response was stored locally but never pushed while the
   // client is (now) in server-reply mode — the switch race. Cheap; sweep
   // loops use it to gate MaybeResendAfterSwitch. Checks every slot on a
@@ -264,15 +308,48 @@ class Channel {
   rdma::Node* server_node() const { return server_node_; }
 
   // Fault-injection targeting: the server-side region holding this channel's
-  // [request block][response block], and the offset of the response block
-  // within it. A corruption fault flips bytes at rkey/offset (see
-  // fault::FaultPlan::CorruptRegion).
-  uint32_t server_rkey() const { return server_mr_->remote_key().rkey; }
-  size_t response_offset() const { return resp_offset_; }
+  // [request block][response block] rings, and the offset of the response
+  // ring within that (pool-shared) region. A corruption fault flips bytes at
+  // rkey/offset (see fault::FaultPlan::CorruptRegion).
+  uint32_t server_rkey() const { return server_.rkey(); }
+  size_t request_offset() const { return server_.abs(0); }
+  size_t response_offset() const { return server_.abs(resp_offset_); }
   size_t response_block_bytes() const { return block_bytes_; }
 
  private:
   bool adaptive() const { return options_.force_mode == RfpOptions::ForceMode::kAdaptive; }
+
+  // The channel's view of one side's backing region. Rings live inside
+  // pool-allocated spans of large shared arenas, so every ring offset the
+  // protocol code computes is relative and shifts by `base` exactly at the
+  // MR boundary: local/remote offsets of RC ops, raw loads/stores, and the
+  // (rkey, offset) coordinates handed to the race checker (via abs()).
+  struct RingView {
+    rdma::MemoryRegion* mr = nullptr;
+    size_t base = 0;
+
+    uint32_t rkey() const { return mr->remote_key().rkey; }
+    rdma::RemoteKey remote_key() const { return mr->remote_key(); }
+    size_t abs(size_t off) const { return base + off; }
+    template <typename T>
+    T Load(size_t off) const {
+      return mr->Load<T>(base + off);
+    }
+    template <typename T>
+    void Store(size_t off, const T& value) {
+      mr->Store<T>(base + off, value);
+    }
+    void WriteBytes(size_t off, std::span<const std::byte> src) {
+      mr->WriteBytes(base + off, src);
+    }
+    void ReadBytes(size_t off, std::span<std::byte> dst) const {
+      mr->ReadBytes(base + off, dst);
+    }
+    // Ring-relative whole view, so callers can subspan with ring offsets.
+    std::span<const std::byte> bytes() const {
+      return std::span<const std::byte>(mr->bytes()).subspan(base);
+    }
+  };
 
   // Slot layout: the server block is [req slot 0..W-1][resp slot 0..W-1] and
   // the client block mirrors it as [staging 0..W-1][landing 0..W-1]; W=1
@@ -309,6 +386,9 @@ class Channel {
     sim::Time recv_time = 0;
     uint32_t last_resp_size = 0;
     bool last_resp_busy = false;
+    // Zero-copy entry pin for this slot's outstanding response; released on
+    // the next request received here or a superseding send.
+    std::shared_ptr<const void> pin;
   };
 
   // One WR of a doorbell batch (see RcBatch).
@@ -338,6 +418,22 @@ class Channel {
   sim::Task<void> ServerSendSlot(std::span<const std::byte> msg);
   sim::Task<void> ServerSendBusySlot(BusyReason reason, uint16_t retry_after_us);
   sim::Task<void> PushReplySlot(int slot);
+  // Stages the indirect descriptor + prefix into response slot `slot` with
+  // the regular publication order and publishes the entry range. Shared by
+  // the scalar and pipelined ServerSendZeroCopy paths.
+  void StageIndirect(int slot, uint16_t seq, uint16_t time_us,
+                     std::span<const std::byte> prefix, const ZeroCopyRef& ref);
+  // Client side of an indirect response: parses the descriptor staged at
+  // ring offset `land`, copies the prefix, fetches the entry with one READ
+  // (into a pool bounce span — the value can exceed the landing block), and
+  // assembles prefix+value into `out`. Returns the total payload size.
+  sim::Task<size_t> CompleteIndirect(size_t land, uint32_t staged_size,
+                                     std::span<std::byte> out, const char* what);
+  // One client READ of a raw (rkey, absolute offset) target outside the
+  // rings, with the same reconnect-and-retry contract as RcOp.
+  sim::Task<rdma::WorkCompletion> FetchEntry(rdma::MemoryRegion& local_mr, size_t local_off,
+                                             uint32_t rkey, size_t remote_off, uint32_t len,
+                                             const char* what);
 
   ResponseHeader LandingHeader() const;
   // Flips the channel to server-reply and tells the server (1-byte WRITE).
@@ -359,7 +455,8 @@ class Channel {
   bool LandingChecksumOk(uint32_t size) const;
   // One RC op (read or write) between the channel's fixed regions with
   // transparent reconnect-and-retry on a QP-error completion. Throws after
-  // max_reconnect_attempts or on any non-QP-error failure.
+  // max_reconnect_attempts or on any non-QP-error failure. Offsets are
+  // ring-relative and shifted by the pooled span base at the MR boundary.
   sim::Task<rdma::WorkCompletion> RcOp(bool from_client, bool is_read, size_t local_off,
                                        size_t remote_off, uint32_t len, const char* what);
   // Replaces the RC pair after `failed` completed with a QP error. A no-op
@@ -405,10 +502,14 @@ class Channel {
   RfpOptions options_;
   rdma::QueuePair* client_qp_;  // client-side endpoint of the RC pair
   rdma::QueuePair* server_qp_;  // server-side endpoint of the RC pair
-  rdma::MemoryRegion* server_mr_;  // [request block][response block]
-  rdma::MemoryRegion* client_mr_;  // [staging block][landing block]
-  size_t block_bytes_;             // bytes per block (header + max message)
-  size_t resp_offset_;             // offset of the response block / landing
+  std::shared_ptr<mem::Pool> server_pool_;  // keeps the arenas alive past the node
+  std::shared_ptr<mem::Pool> client_pool_;
+  mem::Span server_span_;  // pool span holding [request ring][response ring]
+  mem::Span client_span_;  // pool span holding [staging ring][landing ring]
+  RingView server_;        // ring-relative view of server_span_
+  RingView client_;        // ring-relative view of client_span_
+  size_t block_bytes_;     // bytes per block (header + max message)
+  size_t resp_offset_;     // ring offset of the response block / landing
 
   // Client state.
   uint16_t seq_ = 0;
@@ -453,6 +554,8 @@ class Channel {
   uint64_t last_recv_deadline_ns_ = 0;
   bool last_resp_busy_ = false;  // BUSY responses push the header only
   bool defer_server_pushes_ = false;  // see set_defer_server_pushes
+  // Zero-copy entry pin for the scalar path's outstanding response.
+  std::shared_ptr<const void> resp_pin_;
 
   Stats stats_;
 };

@@ -338,7 +338,11 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
         const HandlerResult result = co_await it->second(ctx, payload, state.response_buf);
         // Unpack/dispatch/pack CPU plus the handler's declared process time
         // elapse before the response is published, so the response header's
-        // time field reports the true per-request latency on the server.
+        // time field reports the true per-request latency on the server. For
+        // a zero-copy result response_size counts only the staged prefix, so
+        // the pack cost naturally excludes the value — it never crosses the
+        // server's CPU, which is the point of the indirect path
+        // (docs/memory.md).
         const double copy_cost = options_.copy_cpu_ns_per_byte *
                                  static_cast<double>(request_size + result.response_size);
         sim::Time process = options_.dispatch_cpu_ns + static_cast<sim::Time>(copy_cost) +
@@ -362,8 +366,14 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
                   ? static_cast<double>(process)
                   : alpha * static_cast<double>(process) + (1.0 - alpha) * state.process_ewma_ns;
         }
-        co_await channel->ServerSend(
-            std::span<const std::byte>(state.response_buf.data(), result.response_size));
+        if (result.zero_copy.valid()) {
+          co_await channel->ServerSendZeroCopy(
+              std::span<const std::byte>(state.response_buf.data(), result.response_size),
+              result.zero_copy);
+        } else {
+          co_await channel->ServerSend(
+              std::span<const std::byte>(state.response_buf.data(), result.response_size));
+        }
         ++state.served;
         ++requests_served_;
       }
@@ -437,9 +447,9 @@ sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> re
                                   std::span<std::byte> response, const CallOptions& options) {
   const sim::Time start = channel_->client_node()->fabric()->engine().now();
   std::memcpy(scratch_.data(), &rpc_id, kRpcIdBytes);
-  if (!request.empty()) {  // empty requests carry a null span data pointer
-    std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
-  }
+  // CopyBytes is the checked copy: an empty request (null span data pointer)
+  // is a valid no-op, and an overlap throws instead of invoking UB.
+  rdma::CopyBytes(std::span<std::byte>(scratch_.data() + kRpcIdBytes, request.size()), request);
   const Channel::CallHandle handle = co_await channel_->SubmitCall(
       std::span<const std::byte>(scratch_.data(), kRpcIdBytes + request.size()), options);
   const size_t n = co_await channel_->AwaitCall(handle, response);
@@ -460,9 +470,9 @@ sim::Task<Channel::CallHandle> RpcClient::SubmitCall(uint16_t rpc_id,
                                                      const CallOptions& options) {
   const sim::Time start = channel_->client_node()->fabric()->engine().now();
   std::memcpy(scratch_.data(), &rpc_id, kRpcIdBytes);
-  if (!request.empty()) {  // empty requests carry a null span data pointer
-    std::memcpy(scratch_.data() + kRpcIdBytes, request.data(), request.size());
-  }
+  // CopyBytes is the checked copy: an empty request (null span data pointer)
+  // is a valid no-op, and an overlap throws instead of invoking UB.
+  rdma::CopyBytes(std::span<std::byte>(scratch_.data() + kRpcIdBytes, request.size()), request);
   // Channel::SubmitCall stages the bytes into the call's slot before it
   // returns, so scratch_ is immediately reusable by the next submit.
   const Channel::CallHandle handle = co_await channel_->SubmitCall(

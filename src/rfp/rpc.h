@@ -39,9 +39,23 @@ namespace rfp {
 // What a handler produced: the response payload size (already written into
 // the response span) and the simulated compute time the request costs on the
 // server (the paper's "request process time" P).
+//
+// A handler that owns its value in registered memory may return it zero-copy
+// instead of copying it into the response span: set `zero_copy` to the entry
+// (see ZeroCopyRef's lifetime contract) and write only the prefix bytes —
+// headers, found/miss flags — into the response span, with response_size
+// counting just those prefix bytes. The server then publishes an indirect
+// descriptor and the value never crosses its CPU; the client receives
+// prefix + value assembled in order.
 struct HandlerResult {
   size_t response_size = 0;
   sim::Time process_ns = 0;
+  ZeroCopyRef zero_copy;  // invalid (default) = regular copied response
+
+  HandlerResult() = default;
+  HandlerResult(size_t size, sim::Time ns) : response_size(size), process_ns(ns) {}
+  HandlerResult(size_t size, sim::Time ns, ZeroCopyRef zc)
+      : response_size(size), process_ns(ns), zero_copy(std::move(zc)) {}
 };
 
 // Execution context a handler runs under. thread_index identifies the server

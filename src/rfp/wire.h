@@ -54,13 +54,27 @@ namespace wire {
 
 constexpr uint32_t kStatusBit = 0x8000'0000u;
 constexpr uint32_t kBusyBit = 0x4000'0000u;
-constexpr uint32_t kSizeMask = 0x7fff'ffffu;
+// Bit 29 of a response's size_status: the staged payload is an
+// [IndirectRef][prefix] descriptor instead of the result bytes; the client
+// fetches the value with one more READ straight out of the store-owned
+// registered entry the descriptor names (zero-copy GET, docs/memory.md).
+constexpr uint32_t kIndirectBit = 0x2000'0000u;
+// Size bits exclude every flag bit so UnpackSize is exact for plain, BUSY,
+// and indirect responses alike.
+constexpr uint32_t kSizeMask = 0x7fff'ffffu & ~kBusyBit & ~kIndirectBit;
 
 constexpr uint32_t PackSizeStatus(uint32_t size, bool status) {
   return (size & kSizeMask) | (status ? kStatusBit : 0);
 }
 constexpr bool UnpackStatus(uint32_t size_status) { return (size_status & kStatusBit) != 0; }
 constexpr uint32_t UnpackSize(uint32_t size_status) { return size_status & kSizeMask; }
+
+// An indirect response is a ready response whose size bits count only the
+// staged descriptor bytes (IndirectRef + prefix), not the value.
+constexpr uint32_t PackIndirect(uint32_t staged_size) {
+  return kStatusBit | kIndirectBit | (staged_size & kSizeMask);
+}
+constexpr bool UnpackIndirect(uint32_t size_status) { return (size_status & kIndirectBit) != 0; }
 
 // A BUSY response is a ready response (status bit set) with the busy bit
 // set; the remaining size bits carry the BusyReason code instead of a
@@ -120,6 +134,28 @@ static_assert(sizeof(ResponseHeader) == 8, "response header must stay 8 bytes");
 // 16 bytes to carry the propagated deadline.
 constexpr uint32_t kHeaderBytes = 8;
 constexpr uint32_t kReqHeaderBytes = 16;
+
+namespace wire {
+
+// Staged payload of an indirect (zero-copy) response: where the value lives
+// in the server's registered memory, how many prefix bytes the handler wrote
+// inline (staged right after this struct), and the entry's reuse epoch. The
+// client copies the prefix from the staged fetch and collects the value with
+// one RDMA READ of (rkey, value_offset, value_len) — the server never copies
+// the value into the response ring. The response checksum trailer covers
+// only the staged bytes; the entry's integrity is the store's publication
+// discipline, which the race detector proves (kRaceFetchStore on the entry
+// range against the READ's snapshot tick).
+struct IndirectRef {
+  uint32_t rkey = 0;
+  uint32_t value_len = 0;
+  uint64_t value_offset = 0;
+  uint32_t prefix_len = 0;
+  uint32_t epoch = 0;
+};
+static_assert(sizeof(IndirectRef) == 24, "indirect descriptor must stay 24 bytes");
+
+}  // namespace wire
 
 // Bytes of the optional response checksum trailer (RfpOptions::
 // checksum_responses). Layout: [ResponseHeader][payload][checksum], so a

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/kv/bucket_table.h"
 #include "src/obs/metrics.h"
 #include "src/rdma/fabric.h"
 #include "src/rfp/channel.h"
@@ -381,7 +382,7 @@ TEST_F(CheckerCorpusTest, RecvStoreRaceFlagged) {
     // (the header stays intact so the poll still matches the sequence).
     co_await eng.Sleep(sim::Micros(5));
     MemoryRegion* mr = fab.FindRemote(RemoteKey{ch->server_rkey()});
-    const size_t victim = rfp::kReqHeaderBytes + psize - 1;
+    const size_t victim = ch->request_offset() + rfp::kReqHeaderBytes + psize - 1;
     mr->bytes()[victim] = std::byte{0xEE};
     fab.checker()->OnCpuStore(ch->server_rkey(), victim, 1);
     std::vector<std::byte> buf(16384);
@@ -400,6 +401,116 @@ TEST_F(CheckerCorpusTest, RecvStoreRaceFlagged) {
 
   engine_.Run();
   ExpectViolations(fabric, ViolationKind::kRaceRecvStore, 1, before);
+}
+
+// A PUT that mutates a pinned zero-copy entry in place is the entry-reuse
+// lifetime bug the pin contract exists to prevent: the descriptor was
+// published, the client's entry READ is in flight, and the store scribbles
+// the value bytes under it. BucketTable's test-only unsafe_inplace_put knob
+// simulates the buggy store; the race detector must attribute exactly one
+// race.fetch_store to the entry range.
+TEST_F(CheckerCorpusTest, PinnedEntryOverwriteFlagged) {
+  Fabric fabric(engine_);
+  Node& client = fabric.AddNode("client");
+  Node& server = fabric.AddNode("server");
+  rfp::Channel channel(fabric, client, server, rfp::RfpOptions{});
+  kv::BucketTable table(64, server);
+  table.set_unsafe_inplace_put(true);
+  const uint64_t before = MetricValue(ViolationKind::kRaceFetchStore);
+
+  engine_.Spawn([](sim::Engine& eng, rfp::Channel* ch,
+                   kv::BucketTable* store) -> sim::Task<void> {
+    store->Put(AsBytes("k"), AsBytes("AAAA"));
+    std::vector<std::byte> buf(16384);
+    size_t n = 0;
+    while (!ch->TryServerRecv(buf, &n)) {
+      co_await eng.Sleep(sim::Nanos(200));
+    }
+    auto pinned = store->GetPinned(AsBytes("k"));
+    EXPECT_TRUE(pinned.has_value());
+    if (!pinned.has_value()) {
+      co_return;
+    }
+    rfp::ZeroCopyRef ref;
+    ref.rkey = pinned->rkey;
+    ref.offset = pinned->offset;
+    ref.len = pinned->len;
+    ref.epoch = pinned->epoch;
+    ref.pin = std::move(pinned->pin);
+    co_await ch->ServerSendZeroCopy({}, ref);
+    // The bug under test: the channel still pins the entry (the client has
+    // not fetched it), yet the store overwrites the value bytes in place.
+    store->Put(AsBytes("k"), AsBytes("BBBB"));
+  }(engine_, &channel, &table));
+
+  engine_.Spawn([](sim::Engine& eng, rfp::Channel* ch) -> sim::Task<void> {
+    std::vector<std::byte> out(16384);
+    co_await ch->ClientSend(AsBytes("get k"));
+    // Let the server publish AND overwrite before the fetch, so the entry
+    // READ deterministically snapshots the dirty bytes.
+    co_await eng.Sleep(sim::Micros(20));
+    (void)co_await ch->ClientRecv(out);
+  }(engine_, &channel));
+
+  engine_.Run();
+  ExpectViolations(fabric, ViolationKind::kRaceFetchStore, 1, before);
+  EXPECT_EQ(table.stats().cow_puts, 0u) << "unsafe knob must suppress the COW";
+}
+
+// The safe counterpart pins the fix: with the contract honored, the same
+// PUT-while-pinned races nothing. The store copies on write (cow_puts), the
+// published entry stays frozen, and the client reads the pre-PUT value —
+// clean under strict, where any entry-range race would throw.
+TEST_F(CheckerCorpusTest, PinnedEntryCowPutIsRaceFreeUnderStrict) {
+  ScopedMode strict(Mode::kStrict);
+  Fabric fabric(engine_);
+  Node& client = fabric.AddNode("client");
+  Node& server = fabric.AddNode("server");
+  rfp::Channel channel(fabric, client, server, rfp::RfpOptions{});
+  kv::BucketTable table(64, server);
+
+  engine_.Spawn([](sim::Engine& eng, rfp::Channel* ch,
+                   kv::BucketTable* store) -> sim::Task<void> {
+    store->Put(AsBytes("k"), AsBytes("AAAA"));
+    std::vector<std::byte> buf(16384);
+    size_t n = 0;
+    while (!ch->TryServerRecv(buf, &n)) {
+      co_await eng.Sleep(sim::Nanos(200));
+    }
+    auto pinned = store->GetPinned(AsBytes("k"));
+    EXPECT_TRUE(pinned.has_value());
+    if (!pinned.has_value()) {
+      co_return;
+    }
+    rfp::ZeroCopyRef ref;
+    ref.rkey = pinned->rkey;
+    ref.offset = pinned->offset;
+    ref.len = pinned->len;
+    ref.epoch = pinned->epoch;
+    ref.pin = std::move(pinned->pin);
+    co_await ch->ServerSendZeroCopy({}, ref);
+    store->Put(AsBytes("k"), AsBytes("BBBB"));  // pinned: must copy-on-write
+  }(engine_, &channel, &table));
+
+  size_t got = 0;
+  std::vector<std::byte> out(16384);
+  engine_.Spawn([](sim::Engine& eng, rfp::Channel* ch, std::vector<std::byte>* buf,
+                   size_t* n) -> sim::Task<void> {
+    co_await ch->ClientSend(AsBytes("get k"));
+    co_await eng.Sleep(sim::Micros(20));
+    *n = co_await ch->ClientRecv(*buf);
+  }(engine_, &channel, &out, &got));
+
+  engine_.Run();  // strict: an in-place overwrite would have thrown here
+  EXPECT_EQ(fabric.checker()->violations(ViolationKind::kRaceFetchStore), 0u);
+  EXPECT_EQ(table.stats().cow_puts, 1u);
+  ASSERT_EQ(got, 4u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.data()), got), "AAAA")
+      << "the pinned (pre-PUT) value must be what the client assembled";
+  // The store itself moved on: a fresh read sees the new value.
+  auto now = table.Get(AsBytes("k"));
+  ASSERT_TRUE(now.has_value());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(now->data()), now->size()), "BBBB");
 }
 
 // ---- RFP protocol pairing -----------------------------------------------------

@@ -281,7 +281,7 @@ MalformedFingerprint RunRequestCorruption(uint64_t seed) {
       // First 6 bytes of request slot 0: size_status + seq (not the mode
       // byte, which carries the paradigm and has its own 1-byte-WRITE path).
       plan.CorruptRegion(kFaultStart + i * sim::Micros(10), channels[c]->server_rkey(),
-                         /*offset=*/0, /*length=*/6,
+                         /*offset=*/channels[c]->request_offset(), /*length=*/6,
                          /*seed=*/seed + static_cast<uint64_t>(i) * 100 + c);
     }
   }

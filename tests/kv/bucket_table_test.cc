@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
 #include "src/sim/random.h"
 
 namespace kv {
@@ -155,6 +157,126 @@ TEST(BucketTableTest, MatchesOracleWithoutEvictions) {
   }
   EXPECT_EQ(table.size(), oracle.size());
   EXPECT_EQ(table.stats().evictions, 0u);
+}
+
+// ---- Pool-backed storage mode (docs/memory.md) --------------------------------
+
+class PoolBucketTableTest : public ::testing::Test {
+ protected:
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node& node_{fabric_.AddNode("server")};
+};
+
+TEST_F(PoolBucketTableTest, HeapModeHasNoPinnedPath) {
+  BucketTable table(64);
+  EXPECT_FALSE(table.pool_backed());
+  table.Put(Bytes("k"), Bytes("v"));
+  EXPECT_THROW(table.GetPinned(Bytes("k")), std::logic_error);
+}
+
+TEST_F(PoolBucketTableTest, PoolModeRoundTripsThroughRegisteredSlabs) {
+  BucketTable table(64, node_);
+  EXPECT_TRUE(table.pool_backed());
+  table.Put(Bytes("k"), Bytes("value"));
+  auto v = table.Get(Bytes("k"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(v->data()), v->size()), "value");
+
+  auto pinned = table.GetPinned(Bytes("k"));
+  ASSERT_TRUE(pinned.has_value());
+  EXPECT_EQ(pinned->len, 5u);
+  EXPECT_EQ(pinned->epoch, 0u);
+  // The descriptor resolves through the fabric like a remote client would.
+  rdma::MemoryRegion* mr = fabric_.FindRemote(rdma::RemoteKey{pinned->rkey});
+  ASSERT_NE(mr, nullptr);
+  auto bytes = mr->bytes().subspan(pinned->offset, pinned->len);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()), "value");
+}
+
+TEST_F(PoolBucketTableTest, UnpinnedOverwriteUpdatesInPlaceAndBumpsEpoch) {
+  BucketTable table(64, node_);
+  table.Put(Bytes("k"), Bytes("AAAA"));
+  uint32_t rkey = 0;
+  size_t offset = 0;
+  {
+    // Scoped so the pin is released before the overwrite below.
+    const auto first = table.GetPinned(Bytes("k"));
+    ASSERT_TRUE(first.has_value());
+    rkey = first->rkey;
+    offset = first->offset;
+  }
+
+  table.Put(Bytes("k"), Bytes("BB"));  // fits, nothing pinned: in place
+  const auto second = table.GetPinned(Bytes("k"));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->rkey, rkey);
+  EXPECT_EQ(second->offset, offset);
+  EXPECT_EQ(second->len, 2u);
+  EXPECT_EQ(second->epoch, 1u) << "every overwrite must bump the reuse epoch";
+  EXPECT_EQ(table.stats().cow_puts, 0u);
+}
+
+TEST_F(PoolBucketTableTest, PinnedOverwriteCopiesOnWrite) {
+  BucketTable table(64, node_);
+  table.Put(Bytes("k"), Bytes("AAAA"));
+  auto pinned = table.GetPinned(Bytes("k"));
+  ASSERT_TRUE(pinned.has_value());
+
+  table.Put(Bytes("k"), Bytes("BBBB"));  // same size, but the entry is pinned
+  EXPECT_EQ(table.stats().cow_puts, 1u);
+
+  // The pinned snapshot still reads the old bytes...
+  rdma::MemoryRegion* mr = fabric_.FindRemote(rdma::RemoteKey{pinned->rkey});
+  auto old_bytes = mr->bytes().subspan(pinned->offset, pinned->len);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(old_bytes.data()), old_bytes.size()),
+            "AAAA");
+  // ...while the table serves the new cell at a different location.
+  auto fresh = table.GetPinned(Bytes("k"));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(fresh->rkey != pinned->rkey || fresh->offset != pinned->offset);
+  EXPECT_EQ(fresh->epoch, 1u);
+  auto v = table.Get(Bytes("k"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(v->data()), v->size()), "BBBB");
+}
+
+TEST_F(PoolBucketTableTest, OutgrowingValueMovesToLargerSpan) {
+  BucketTable table(64, node_);
+  table.Put(Bytes("k"), Bytes("small"));
+  table.Put(Bytes("k"), Bytes(std::string(5000, 'z')));  // outgrows the slab chunk
+  auto v = table.Get(Bytes("k"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 5000u);
+  EXPECT_EQ(table.stats().updates, 1u);
+}
+
+TEST_F(PoolBucketTableTest, PoolModeMatchesOracleUnderChurn) {
+  BucketTable table(256, node_);
+  std::map<std::string, std::string> oracle;
+  sim::Rng rng(777);
+  for (int step = 0; step < 5000; ++step) {
+    const std::string key = "key" + std::to_string(rng.NextBounded(300));
+    const uint64_t action = rng.NextBounded(10);
+    if (action < 5) {
+      const std::string value(1 + rng.NextBounded(600), static_cast<char>('a' + step % 26));
+      table.Put(Bytes(key), Bytes(value));
+      oracle[key] = value;
+    } else if (action < 8) {
+      auto got = table.Get(Bytes(key));
+      auto expect = oracle.find(key);
+      if (expect == oracle.end()) {
+        EXPECT_FALSE(got.has_value()) << key;
+      } else {
+        ASSERT_TRUE(got.has_value()) << key;
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(got->data()), got->size()),
+                  expect->second);
+      }
+    } else {
+      EXPECT_EQ(table.Erase(Bytes(key)), oracle.erase(key) > 0) << key;
+    }
+  }
+  EXPECT_EQ(table.size(), oracle.size());
 }
 
 // Property sweep: under heavy overfill the table never exceeds its slot

@@ -89,20 +89,23 @@ TEST_F(CuckooTest, SlotEncodeDecodeRoundTrip) {
   CuckooTable table(node_, 64, 1 << 16, 1);
   table.Put(Bytes("abc"), Bytes("defgh"));
   // Find the non-empty slot and decode it like a remote client would.
-  rdma::MemoryRegion* meta = fabric_.FindRemote(table.view().meta_rkey);
+  const CuckooTable::View view = table.view();
+  rdma::MemoryRegion* meta = fabric_.FindRemote(view.meta_rkey);
   ASSERT_NE(meta, nullptr);
   bool found = false;
   for (uint64_t i = 0; i < table.num_slots(); ++i) {
-    auto slot = CuckooTable::DecodeSlot(
-        meta->bytes().subspan(CuckooTable::SlotOffset(i), CuckooTable::kSlotBytes));
+    // Remote clients add the view's base offsets: the rkeys name whole pool
+    // arenas, and the table lives at a span inside them.
+    auto slot = CuckooTable::DecodeSlot(meta->bytes().subspan(
+        view.meta_base + CuckooTable::SlotOffset(i), CuckooTable::kSlotBytes));
     if (slot.empty()) {
       continue;
     }
     found = true;
     EXPECT_EQ(slot.key_size, 3u);
     EXPECT_EQ(slot.value_size, 5u);
-    rdma::MemoryRegion* extent = fabric_.FindRemote(table.view().extent_rkey);
-    auto record = extent->bytes().subspan(slot.extent_offset, 8);
+    rdma::MemoryRegion* extent = fabric_.FindRemote(view.extent_rkey);
+    auto record = extent->bytes().subspan(view.extent_base + slot.extent_offset, 8);
     EXPECT_EQ(Str(record), "abcdefgh");
     EXPECT_EQ(Crc64(record), slot.crc);
   }
@@ -115,18 +118,19 @@ TEST_F(CuckooTest, StagedUpdateIsTornUntilPublished) {
   // Stage a new value: extent bytes change, slot still carries the old CRC.
   auto pending = table.StageExtent(Bytes("key"), Bytes("BBBB"));
   ASSERT_TRUE(pending.has_value());
-  rdma::MemoryRegion* extent = fabric_.FindRemote(table.view().extent_rkey);
-  rdma::MemoryRegion* meta = fabric_.FindRemote(table.view().meta_rkey);
+  const CuckooTable::View view = table.view();
+  rdma::MemoryRegion* extent = fabric_.FindRemote(view.extent_rkey);
+  rdma::MemoryRegion* meta = fabric_.FindRemote(view.meta_rkey);
   auto old_slot = CuckooTable::DecodeSlot(meta->bytes().subspan(
-      CuckooTable::SlotOffset(pending->slot_index), CuckooTable::kSlotBytes));
-  auto record = extent->bytes().subspan(old_slot.extent_offset,
+      view.meta_base + CuckooTable::SlotOffset(pending->slot_index), CuckooTable::kSlotBytes));
+  auto record = extent->bytes().subspan(view.extent_base + old_slot.extent_offset,
                                         old_slot.key_size + old_slot.value_size);
   EXPECT_NE(Crc64(record), old_slot.crc) << "torn window must be CRC-detectable";
   // Publishing restores consistency.
   table.PublishSlot(*pending);
   auto new_slot = CuckooTable::DecodeSlot(meta->bytes().subspan(
-      CuckooTable::SlotOffset(pending->slot_index), CuckooTable::kSlotBytes));
-  auto new_record = extent->bytes().subspan(new_slot.extent_offset,
+      view.meta_base + CuckooTable::SlotOffset(pending->slot_index), CuckooTable::kSlotBytes));
+  auto new_record = extent->bytes().subspan(view.extent_base + new_slot.extent_offset,
                                             new_slot.key_size + new_slot.value_size);
   EXPECT_EQ(Crc64(new_record), new_slot.crc);
   EXPECT_EQ(Str(*table.Get(Bytes("key"))), "BBBB");

@@ -299,6 +299,176 @@ TEST_F(JakiroTest, MultiGetAmortizesRoundTrips) {
   EXPECT_EQ(client.MergedChannelStats().calls, 17u);
 }
 
+// ---- Zero-copy GET (docs/memory.md) -------------------------------------------
+
+TEST_F(JakiroTest, ZeroCopyGetAssemblesIdenticalBytes) {
+  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+  EXPECT_TRUE(server->partition(0).pool_backed());
+
+  int verified = 0;
+  engine_.Spawn([](JakiroClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> key(16);
+    std::vector<std::byte> value(8192);
+    std::vector<std::byte> got(16384);
+    // Sizes span the pool's slab classes and buddy blocks.
+    for (uint64_t id = 0; id < 40; ++id) {
+      workload::MakeKey(id, key);
+      const size_t size = 32 + id * 150;
+      workload::FillValue(id, std::span(value.data(), size));
+      EXPECT_TRUE(co_await c->Put(key, std::span<const std::byte>(value.data(), size)));
+    }
+    for (uint64_t id = 0; id < 40; ++id) {
+      workload::MakeKey(id, key);
+      auto size = co_await c->Get(key, got);
+      EXPECT_TRUE(size.has_value());
+      if (size.has_value()) {
+        EXPECT_EQ(*size, 32 + id * 150);
+        EXPECT_TRUE(workload::CheckValue(id, std::span<const std::byte>(got.data(), *size)));
+        ++*out;
+      }
+    }
+  }(&client, &verified));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_EQ(verified, 40);
+
+  // Every hit GET traveled as an indirect descriptor plus one entry READ;
+  // no value bytes were staged through the server's response ring.
+  const auto stats = client.MergedChannelStats();
+  EXPECT_EQ(stats.zero_copy_sends, 40u);
+  EXPECT_EQ(stats.zero_copy_fetches, 40u);
+  EXPECT_EQ(stats.zero_copy_fallbacks, 0u);
+  uint64_t expected_bytes = 0;
+  for (uint64_t id = 0; id < 40; ++id) {
+    expected_bytes += 32 + id * 150;
+  }
+  EXPECT_EQ(stats.zero_copy_bytes, expected_bytes);
+}
+
+TEST_F(JakiroTest, ZeroCopyMissesAndDeletesStayOnCopyPath) {
+  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  bool done = false;
+  engine_.Spawn([](JakiroClient* c, bool* out) -> sim::Task<void> {
+    std::vector<std::byte> got(4096);
+    EXPECT_FALSE((co_await c->Get(Bytes("absent"), got)).has_value());
+    EXPECT_TRUE(co_await c->Put(Bytes("k"), Bytes("v")));
+    EXPECT_TRUE(co_await c->Delete(Bytes("k")));
+    EXPECT_FALSE((co_await c->Get(Bytes("k"), got)).has_value());
+    *out = true;
+  }(&client, &done));
+  engine_.RunUntil(sim::Millis(10));
+  server->Stop();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(client.MergedChannelStats().zero_copy_sends, 0u);
+}
+
+TEST_F(JakiroTest, ZeroCopyZeroLengthValueRoundTrips) {
+  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  bool done = false;
+  engine_.Spawn([](JakiroClient* c, bool* out) -> sim::Task<void> {
+    std::vector<std::byte> got(64);
+    EXPECT_TRUE(co_await c->Put(Bytes("empty"), {}));
+    auto size = co_await c->Get(Bytes("empty"), got);
+    EXPECT_TRUE(size.has_value());
+    if (size.has_value()) {
+      EXPECT_EQ(*size, 0u);
+    }
+    *out = true;
+  }(&client, &done));
+  engine_.RunUntil(sim::Millis(10));
+  server->Stop();
+  EXPECT_TRUE(done);
+  // Empty values need no entry READ: the descriptor alone resolves the call.
+  const auto stats = client.MergedChannelStats();
+  EXPECT_EQ(stats.zero_copy_sends, 1u);
+  EXPECT_EQ(stats.zero_copy_fetches, 0u);
+}
+
+TEST_F(JakiroTest, ZeroCopyOversizedValueThrowsLengthError) {
+  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+  engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
+    co_await c->Put(Bytes("big"), Bytes(std::string(500, 'x')));
+    std::vector<std::byte> tiny(16);
+    co_await c->Get(Bytes("big"), tiny);
+  }(&client));
+  EXPECT_THROW(engine_.RunUntil(sim::Millis(5)), std::length_error);
+}
+
+TEST_F(JakiroTest, ZeroCopyWorksOnPipelinedChannels) {
+  JakiroServer* server = MakeServer(ZeroCopyConfig(PipelinedConfig({}, 4)));
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  int verified = 0;
+  engine_.Spawn([](JakiroClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> value(2048);
+    std::vector<std::byte> got(8192);
+    for (int i = 0; i < 20; ++i) {
+      const std::string v(100 + static_cast<size_t>(i) * 10, static_cast<char>('a' + i % 26));
+      std::memcpy(value.data(), v.data(), v.size());
+      EXPECT_TRUE(co_await c->Put(Bytes("p" + std::to_string(i)),
+                                  std::span<const std::byte>(value.data(), v.size())));
+    }
+    for (int i = 0; i < 20; ++i) {
+      auto size = co_await c->Get(Bytes("p" + std::to_string(i)), got);
+      EXPECT_TRUE(size.has_value());
+      if (size.has_value()) {
+        EXPECT_EQ(*size, 100 + static_cast<size_t>(i) * 10);
+        EXPECT_EQ(static_cast<char>(got[0]), static_cast<char>('a' + i % 26));
+        ++*out;
+      }
+    }
+  }(&client, &verified));
+  engine_.RunUntil(sim::Millis(50));
+  server->Stop();
+  EXPECT_EQ(verified, 20);
+  EXPECT_EQ(client.MergedChannelStats().zero_copy_fetches, 20u);
+}
+
+TEST_F(JakiroTest, ZeroCopyFallsBackUnderForcedReply) {
+  // Forced server-reply channels cannot deliver an indirect descriptor (the
+  // client never fetches): the send must materialize the value once and take
+  // the copy path, counted as a fallback.
+  JakiroServer* server = MakeServer(ServerReplyConfig(ZeroCopyConfig()));
+  JakiroClient client(*server, *client_node_);
+  server->Start();
+
+  int verified = 0;
+  engine_.Spawn([](JakiroClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> got(4096);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(co_await c->Put(Bytes("f" + std::to_string(i)), Bytes("value")));
+    }
+    for (int i = 0; i < 10; ++i) {
+      auto size = co_await c->Get(Bytes("f" + std::to_string(i)), got);
+      EXPECT_TRUE(size.has_value());
+      if (size.has_value() && *size == 5u &&
+          std::string(reinterpret_cast<const char*>(got.data()), *size) == "value") {
+        ++*out;
+      }
+    }
+  }(&client, &verified));
+  engine_.RunUntil(sim::Millis(20));
+  server->Stop();
+  EXPECT_EQ(verified, 10);
+
+  const auto stats = client.MergedChannelStats();
+  EXPECT_EQ(stats.zero_copy_fallbacks, 10u);
+  EXPECT_EQ(stats.zero_copy_fetches, 0u);
+  EXPECT_EQ(stats.fetch_reads, 0u);
+  EXPECT_GE(stats.reply_pushes, 20u);
+}
+
 TEST_F(JakiroTest, MultiGetArenaExhaustionThrows) {
   JakiroServer* server = MakeServer();
   JakiroClient client(*server, *client_node_);

@@ -1,0 +1,142 @@
+// Regression suite for the zero-re-registration contract (docs/memory.md):
+// channel setup/teardown and reconnects recycle pooled MRs, so the fabric's
+// per-node registration census stays flat once the pools are warm. This is
+// the control-plane cost the allocator subsystem exists to remove — the seed
+// code registered (and on reconnect, re-registered) fresh rings per channel.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mem/pool.h"
+#include "src/obs/metrics.h"
+#include "src/rdma/fabric.h"
+#include "src/rfp/channel.h"
+#include "src/sim/engine.h"
+
+namespace mem {
+namespace {
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  // One echo call over `channel`, serving from an inline server loop.
+  void Echo(rfp::Channel& channel) {
+    engine_.Spawn([](sim::Engine& eng, rfp::Channel* ch) -> sim::Task<void> {
+      std::vector<std::byte> buf(16384);
+      size_t n = 0;
+      while (!ch->TryServerRecv(buf, &n)) {
+        co_await eng.Sleep(sim::Nanos(200));
+      }
+      co_await ch->ServerSend(std::span<const std::byte>(buf.data(), n));
+    }(engine_, &channel));
+    bool done = false;
+    engine_.Spawn([](rfp::Channel* ch, bool* out) -> sim::Task<void> {
+      std::vector<std::byte> reply(16384);
+      co_await ch->ClientSend(AsBytes("ping"));
+      const size_t got = co_await ch->ClientRecv(reply);
+      EXPECT_EQ(got, 4u);
+      *out = true;
+    }(&channel, &done));
+    engine_.Run();
+    EXPECT_TRUE(done);
+  }
+
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node& client_{fabric_.AddNode("client")};
+  rdma::Node& server_{fabric_.AddNode("server")};
+};
+
+TEST_F(ChurnTest, ChannelChurnPerformsZeroReRegistrations) {
+  // Warm the pools: the first channel registers the arenas its rings and
+  // buffers live in.
+  {
+    rfp::Channel warm(fabric_, client_, server_, rfp::RfpOptions{});
+    Echo(warm);
+  }
+  const uint64_t client_regs = fabric_.RegistrationCount(client_);
+  const uint64_t server_regs = fabric_.RegistrationCount(server_);
+  const size_t client_bytes = fabric_.RegisteredBytes(client_);
+  const size_t server_bytes = fabric_.RegisteredBytes(server_);
+
+  // Steady-state churn: every ring allocation must be served from the pooled
+  // arenas registered by the warm-up channel.
+  for (int i = 0; i < 25; ++i) {
+    rfp::Channel channel(fabric_, client_, server_, rfp::RfpOptions{});
+    Echo(channel);
+  }
+  EXPECT_EQ(fabric_.RegistrationCount(client_), client_regs);
+  EXPECT_EQ(fabric_.RegistrationCount(server_), server_regs);
+  EXPECT_EQ(fabric_.RegisteredBytes(client_), client_bytes);
+  EXPECT_EQ(fabric_.RegisteredBytes(server_), server_bytes);
+  EXPECT_EQ(fabric_.DeregistrationCount(client_), 0u);
+  EXPECT_EQ(fabric_.DeregistrationCount(server_), 0u);
+}
+
+TEST_F(ChurnTest, PipelinedChannelChurnStaysFlatToo) {
+  rfp::RfpOptions options;
+  options.window = 4;
+  {
+    rfp::Channel warm(fabric_, client_, server_, options);
+    Echo(warm);
+  }
+  const uint64_t client_regs = fabric_.RegistrationCount(client_);
+  const uint64_t server_regs = fabric_.RegistrationCount(server_);
+  for (int i = 0; i < 10; ++i) {
+    rfp::Channel channel(fabric_, client_, server_, options);
+    Echo(channel);
+  }
+  EXPECT_EQ(fabric_.RegistrationCount(client_), client_regs);
+  EXPECT_EQ(fabric_.RegistrationCount(server_), server_regs);
+}
+
+TEST_F(ChurnTest, ReconnectNeverReRegistersMemory) {
+  rfp::RfpOptions options;
+  options.max_reconnect_attempts = 4;
+  rfp::Channel channel(fabric_, client_, server_, options);
+  Echo(channel);  // warm: rings allocated, pools registered
+
+  const uint64_t client_regs = fabric_.RegistrationCount(client_);
+  const uint64_t server_regs = fabric_.RegistrationCount(server_);
+
+  // Kill every RC QP between the nodes three times; each subsequent call
+  // forces a reconnect. QPs are rebuilt — memory must not be.
+  for (int round = 0; round < 3; ++round) {
+    fabric_.FailRcQps(client_.id(), server_.id());
+    Echo(channel);
+  }
+  EXPECT_GE(channel.stats().reconnects, 3u);
+  EXPECT_EQ(fabric_.RegistrationCount(client_), client_regs);
+  EXPECT_EQ(fabric_.RegistrationCount(server_), server_regs);
+  EXPECT_EQ(fabric_.DeregistrationCount(client_), 0u);
+  EXPECT_EQ(fabric_.DeregistrationCount(server_), 0u);
+}
+
+TEST_F(ChurnTest, FabricCensusMatchesPoolAccounting) {
+  // Two sequential channels: the first registers the arenas, the second's
+  // ring allocations must be pure reuse.
+  for (int i = 0; i < 2; ++i) {
+    rfp::Channel channel(fabric_, client_, server_, rfp::RfpOptions{});
+    Echo(channel);
+  }
+  // Every registration on these nodes came through their shared pools, so
+  // the fabric census and the allocator's own books must agree.
+  std::shared_ptr<Pool> client_pool = Pool::Shared(client_);
+  std::shared_ptr<Pool> server_pool = Pool::Shared(server_);
+  EXPECT_EQ(fabric_.RegisteredBytes(client_), client_pool->registered_bytes());
+  EXPECT_EQ(fabric_.RegisteredBytes(server_), server_pool->registered_bytes());
+  EXPECT_EQ(fabric_.RegistrationCount(client_), client_pool->registrations());
+  EXPECT_EQ(fabric_.RegistrationCount(server_), server_pool->registrations());
+  EXPECT_GT(client_pool->mr_reuses(), 0u);
+}
+
+}  // namespace
+}  // namespace mem

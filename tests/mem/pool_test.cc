@@ -1,0 +1,350 @@
+// Unit suite for the registered-memory allocator (docs/memory.md): buddy
+// split/coalesce round-trips, slab reuse, the huge path, exhaustion under a
+// max_registered_bytes cap, alignment, and the registration accounting that
+// the zero-re-registration contract rests on.
+
+#include "src/mem/pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+
+namespace mem {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  // Small geometry so tests exercise arena growth without megabytes:
+  // 4 KiB blocks, 4 orders => 32 KiB arenas, 3 slab classes (512/1k/2k).
+  static PoolOptions SmallOptions() {
+    PoolOptions options;
+    options.block_bytes = 4096;
+    options.pool_level = 4;
+    options.slab_classes = 3;
+    options.slab_magazine = 2;
+    return options;
+  }
+
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node& node_{fabric_.AddNode("n")};
+};
+
+// ---- Options validation -------------------------------------------------------
+
+TEST(PoolOptionsTest, DefaultsAreValid) {
+  EXPECT_NO_THROW(ValidateOptions(PoolOptions{}));
+}
+
+TEST(PoolOptionsTest, RejectsBadGeometry) {
+  for (auto mutate : {
+           +[](PoolOptions& o) { o.block_bytes = 3000; },    // not a power of two
+           +[](PoolOptions& o) { o.block_bytes = 32; },      // below the floor
+           +[](PoolOptions& o) { o.pool_level = 0; },
+           +[](PoolOptions& o) { o.pool_level = 33; },
+           +[](PoolOptions& o) {
+             // block_bytes << (pool_level - 1) overflows size_t.
+             o.block_bytes = size_t{1} << 60;
+             o.pool_level = 10;
+           },
+           +[](PoolOptions& o) { o.slab_classes = -1; },
+           +[](PoolOptions& o) { o.slab_classes = 8; },      // 4096 >> 8 = 16 < 32
+           +[](PoolOptions& o) { o.slab_magazine = -1; },
+           +[](PoolOptions& o) {
+             // Cap below a single arena can never satisfy any allocation.
+             o.max_registered_bytes = (o.block_bytes << (o.pool_level - 1)) - 1;
+           },
+       }) {
+    PoolOptions options;
+    mutate(options);
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+}
+
+TEST(PoolOptionsTest, FromNicConfigMirrorsKnobs) {
+  rdma::NicConfig config;
+  config.mem_block_bytes = 8192;
+  config.mem_pool_level = 5;
+  config.mem_slab_classes = 2;
+  config.mem_slab_magazine = 7;
+  config.mem_max_registered_bytes = 8192u << 8;
+  const PoolOptions options = PoolOptionsFrom(config);
+  EXPECT_EQ(options.block_bytes, 8192u);
+  EXPECT_EQ(options.pool_level, 5);
+  EXPECT_EQ(options.slab_classes, 2);
+  EXPECT_EQ(options.slab_magazine, 7);
+  EXPECT_EQ(options.max_registered_bytes, 8192u << 8);
+}
+
+TEST_F(PoolTest, ConstructorValidatesOptions) {
+  PoolOptions bad = SmallOptions();
+  bad.pool_level = 0;
+  EXPECT_THROW(Pool(node_, bad), std::invalid_argument);
+}
+
+// ---- Buddy split / coalesce ---------------------------------------------------
+
+TEST_F(PoolTest, ConstructionRegistersNothing) {
+  Pool pool(node_, SmallOptions());
+  EXPECT_EQ(pool.registrations(), 0u);
+  EXPECT_EQ(pool.registered_bytes(), 0u);
+  EXPECT_EQ(pool.arena_count(), 0u);
+}
+
+TEST_F(PoolTest, BuddySplitAndCoalesceRoundTrip) {
+  Pool pool(node_, SmallOptions());
+  const size_t arena = pool.arena_bytes();
+
+  // Fill the arena with leaf blocks: repeated splits down to order 0.
+  std::vector<Span> blocks;
+  for (size_t i = 0; i < arena / 4096; ++i) {
+    blocks.push_back(pool.Alloc(4096));
+  }
+  EXPECT_EQ(pool.registrations(), 1u) << "one arena must satisfy all leaf blocks";
+  EXPECT_EQ(pool.in_use_bytes(), arena);
+
+  // Freeing every block must coalesce all the way back up: a full-arena
+  // allocation fits again without registering a second arena.
+  for (const Span& s : blocks) {
+    pool.Free(s);
+  }
+  EXPECT_EQ(pool.in_use_bytes(), 0u);
+  const Span whole = pool.Alloc(arena);
+  EXPECT_EQ(pool.registrations(), 1u) << "coalescing failed: buddies did not merge";
+  EXPECT_EQ(whole.offset, 0u);
+  pool.Free(whole);
+}
+
+TEST_F(PoolTest, FreedBuddyBlocksAreReused) {
+  Pool pool(node_, SmallOptions());
+  const Span a = pool.Alloc(8192);
+  pool.Free(a);
+  const Span b = pool.Alloc(8192);
+  EXPECT_EQ(b.mr, a.mr);
+  EXPECT_EQ(b.offset, a.offset);
+  EXPECT_EQ(pool.mr_reuses(), 1u);
+  pool.Free(b);
+}
+
+TEST_F(PoolTest, SecondArenaOnlyWhenFirstIsFull) {
+  Pool pool(node_, SmallOptions());
+  const Span first = pool.Alloc(pool.arena_bytes());
+  EXPECT_EQ(pool.registrations(), 1u);
+  const Span second = pool.Alloc(4096);  // no room left: new arena
+  EXPECT_EQ(pool.registrations(), 2u);
+  EXPECT_NE(second.mr, first.mr);
+  pool.Free(first);
+  pool.Free(second);
+}
+
+// ---- Slab front-end -----------------------------------------------------------
+
+TEST_F(PoolTest, SlabChunksComeFromOneLeafBlock) {
+  Pool pool(node_, SmallOptions());
+  // 512-byte class: 8 chunks per 4 KiB leaf block.
+  std::vector<Span> chunks;
+  for (int i = 0; i < 8; ++i) {
+    chunks.push_back(pool.Alloc(400));
+  }
+  EXPECT_EQ(pool.registrations(), 1u);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].mr, chunks[0].mr);
+  }
+  // Chunks tile the block without overlap.
+  std::vector<size_t> offsets;
+  for (const Span& s : chunks) {
+    offsets.push_back(s.offset);
+  }
+  std::sort(offsets.begin(), offsets.end());
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_EQ(offsets[i] - offsets[i - 1], 512u);
+  }
+  for (const Span& s : chunks) {
+    pool.Free(s);
+  }
+}
+
+TEST_F(PoolTest, SlabFreeRecyclesWithoutRegistration) {
+  Pool pool(node_, SmallOptions());
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const Span s = pool.Alloc(1000);
+    pool.Free(s);
+  }
+  EXPECT_EQ(pool.registrations(), 1u);
+  EXPECT_EQ(pool.allocs(), 100u);
+  EXPECT_EQ(pool.frees(), 100u);
+  EXPECT_EQ(pool.mr_reuses(), 99u) << "every alloc after the first reuses the MR";
+  EXPECT_EQ(pool.in_use_bytes(), 0u);
+}
+
+TEST_F(PoolTest, MagazineOverflowCoalescesSlabsBackToBuddy) {
+  PoolOptions options = SmallOptions();
+  options.slab_magazine = 0;  // no cached fully-free slabs
+  Pool pool(node_, options);
+  const Span s = pool.Alloc(500);
+  pool.Free(s);
+  // With the slab dissolved back into the buddy, the whole arena is one free
+  // extent again: a full-arena alloc fits in the same registration.
+  const Span whole = pool.Alloc(pool.arena_bytes());
+  EXPECT_EQ(pool.registrations(), 1u);
+  pool.Free(whole);
+}
+
+TEST_F(PoolTest, ZeroByteAllocIsServed) {
+  Pool pool(node_, SmallOptions());
+  const Span s = pool.Alloc(0);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.size, 0u);
+  EXPECT_EQ(s.bytes().size(), 0u);
+  pool.Free(s);
+  EXPECT_EQ(pool.in_use_bytes(), 0u);
+}
+
+// ---- Huge path ----------------------------------------------------------------
+
+TEST_F(PoolTest, HugeAllocationGetsDedicatedRegionAndReuse) {
+  Pool pool(node_, SmallOptions());
+  const size_t huge = pool.arena_bytes() * 2;
+  const Span a = pool.Alloc(huge);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.offset, 0u);
+  EXPECT_EQ(pool.registrations(), 1u);
+  pool.Free(a);
+  // Same-size reallocation reuses the cached region: no new registration.
+  const Span b = pool.Alloc(huge);
+  EXPECT_EQ(b.mr, a.mr);
+  EXPECT_EQ(pool.registrations(), 1u);
+  EXPECT_EQ(pool.mr_reuses(), 1u);
+  pool.Free(b);
+}
+
+// ---- Exhaustion and misuse ----------------------------------------------------
+
+TEST_F(PoolTest, ExhaustionThrowsCleanlyAndPoolStaysUsable) {
+  PoolOptions options = SmallOptions();
+  options.max_registered_bytes = options.block_bytes << (options.pool_level - 1);
+  Pool pool(node_, options);
+
+  const Span whole = pool.Alloc(pool.arena_bytes());  // fills the one allowed arena
+  EXPECT_THROW(pool.Alloc(4096), ExhaustedError) << "second arena exceeds the cap";
+  EXPECT_THROW(pool.Alloc(pool.arena_bytes() * 4), ExhaustedError) << "huge path too";
+
+  // The failure is a clean resource condition: freeing makes room again.
+  pool.Free(whole);
+  const Span retry = pool.Alloc(4096);
+  EXPECT_TRUE(retry.valid());
+  EXPECT_EQ(pool.registrations(), 1u);
+  pool.Free(retry);
+}
+
+TEST_F(PoolTest, FreeingInvalidSpanIsNoOp) {
+  Pool pool(node_, SmallOptions());
+  EXPECT_NO_THROW(pool.Free(Span{}));
+  EXPECT_EQ(pool.frees(), 0u);
+}
+
+TEST_F(PoolTest, FreeingForeignSpanThrows) {
+  Pool pool(node_, SmallOptions());
+  rdma::MemoryRegion* foreign = node_.RegisterMemory(4096, rdma::kAccessLocal);
+  EXPECT_THROW(pool.Free(Span{foreign, 0, 64}), std::invalid_argument);
+}
+
+TEST_F(PoolTest, FreeingUnallocatedBuddyOffsetThrows) {
+  Pool pool(node_, SmallOptions());
+  const Span s = pool.Alloc(8192);
+  // Same arena MR, but an offset the buddy never handed out.
+  EXPECT_THROW(pool.Free(Span{s.mr, s.offset + 8192, 8192}), std::invalid_argument);
+  pool.Free(s);
+}
+
+// ---- Alignment ----------------------------------------------------------------
+
+TEST_F(PoolTest, SpansAlignToTheirRoundedSize) {
+  Pool pool(node_, SmallOptions());
+  const size_t min_chunk = SmallOptions().block_bytes >> SmallOptions().slab_classes;
+  std::vector<Span> spans;
+  for (size_t size : {size_t{1}, size_t{100}, size_t{512}, size_t{900}, size_t{2048},
+                      size_t{4096}, size_t{6000}, size_t{16384}}) {
+    const Span s = pool.Alloc(size);
+    const size_t align = std::bit_ceil(std::max(size, min_chunk));
+    EXPECT_EQ(s.offset % align, 0u) << "size " << size;
+    EXPECT_EQ(s.size, size);
+    EXPECT_EQ(s.bytes().size(), size);
+    spans.push_back(s);
+  }
+  for (const Span& s : spans) {
+    pool.Free(s);
+  }
+}
+
+// ---- Fragmentation stress -----------------------------------------------------
+
+TEST_F(PoolTest, SeededChurnStaysConsistentAndRecyclesMemory) {
+  Pool pool(node_, SmallOptions());
+  sim::Rng rng(20260808);
+  std::vector<Span> live;
+  // Mixed-size churn across slab, buddy, and (rarely) huge paths.
+  for (int step = 0; step < 4000; ++step) {
+    if (live.empty() || rng.NextBounded(3) < 2) {
+      const size_t size = 1 + rng.NextBounded(pool.arena_bytes() / 2);
+      Span s = pool.Alloc(size);
+      // Touch both ends: the span must be fully inside its MR.
+      s.bytes().front() = std::byte{0xAB};
+      s.bytes().back() = std::byte{0xCD};
+      live.push_back(s);
+    } else {
+      const size_t victim = rng.NextBounded(live.size());
+      pool.Free(live[victim]);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(pool.allocs(), pool.frees() + live.size());
+
+  // Utilization snapshot is well-formed under fragmentation.
+  for (const Pool::ArenaStats& stats : pool.ArenaUtilization()) {
+    EXPECT_GE(stats.occupancy_pct, 0.0);
+    EXPECT_LE(stats.occupancy_pct, 100.0);
+    EXPECT_GE(stats.fragmentation_pct, 0.0);
+    EXPECT_LE(stats.fragmentation_pct, 100.0);
+  }
+
+  // Draining the survivors returns every byte; arenas stay registered for
+  // reuse (never deregistered), and a fresh full-arena alloc proves the free
+  // space coalesced rather than leaking into fragments.
+  for (const Span& s : live) {
+    pool.Free(s);
+  }
+  EXPECT_EQ(pool.in_use_bytes(), 0u);
+  const uint64_t registrations_before = pool.registrations();
+  const Span whole = pool.Alloc(pool.arena_bytes());
+  EXPECT_EQ(pool.registrations(), registrations_before);
+  pool.Free(whole);
+}
+
+// ---- Shared per-node pool -----------------------------------------------------
+
+TEST_F(PoolTest, SharedReturnsOneInstancePerNode) {
+  std::shared_ptr<Pool> a = Pool::Shared(node_);
+  std::shared_ptr<Pool> b = Pool::Shared(node_);
+  EXPECT_EQ(a.get(), b.get());
+  rdma::Node& other = fabric_.AddNode("m");
+  EXPECT_NE(Pool::Shared(other).get(), a.get());
+}
+
+TEST_F(PoolTest, SharedPoolFollowsNodeNicConfig) {
+  std::shared_ptr<Pool> pool = Pool::Shared(node_);
+  const rdma::NicConfig& config = node_.nic().config();
+  EXPECT_EQ(pool->options().block_bytes, config.mem_block_bytes);
+  EXPECT_EQ(pool->options().pool_level, config.mem_pool_level);
+}
+
+}  // namespace
+}  // namespace mem

@@ -1,0 +1,114 @@
+// Smoke test of bench_ext_memory's --json output (path injected by CMake):
+// the staged/zerocopy value sweep and the channel-churn table land row for
+// row in the dump, the zero-copy acceptance bar holds (>= 1.5x staged at
+// 64 KiB), churn rounds after the warm round perform zero re-registrations,
+// and the allocator instruments flush into the metrics snapshot. Companion
+// to bench_json_smoke_test.cc.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/obs/json_test_util.h"
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Table cells replay the printed strings verbatim; numeric columns parse.
+double Cell(const testjson::Value& values, const std::string& key) {
+  return std::stod(values.at(key).string);
+}
+
+TEST(BenchMemoryJsonSmokeTest, MemoryBenchProducesSchemaValidJson) {
+  const std::string json_path = ::testing::TempDir() + "/bench_memory_smoke.json";
+  std::remove(json_path.c_str());
+  const std::string cmd = std::string("'") + BENCH_EXT_MEMORY_PATH + "' --json=" + json_path +
+                          " --seed=7 > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const std::string text = ReadFile(json_path);
+  ASSERT_FALSE(text.empty()) << "no JSON written to " << json_path;
+  const testjson::Value v = testjson::Parse(text);
+
+  EXPECT_EQ(v.at("bench").string, "bench_ext_memory");
+  EXPECT_EQ(v.at("schema_version").number, 1.0);
+
+  // 6 value sizes x 2 modes, plus 5 churn rounds.
+  ASSERT_EQ(v.at("rows").array.size(), 17u);
+  int sweep_rows = 0;
+  int churn_rows = 0;
+  bool saw_64k_zerocopy = false;
+  for (const auto& row : v.at("rows").array) {
+    const testjson::Value& values = row->at("values");
+    if (values.has("mode")) {
+      ++sweep_rows;
+      EXPECT_TRUE(values.has("mops"));
+      EXPECT_TRUE(values.has("speedup"));
+      EXPECT_TRUE(values.has("reg_mib"));
+      EXPECT_TRUE(values.has("zc_fetches"));
+      EXPECT_EQ(Cell(values, "errors"), 0.0);
+      EXPECT_EQ(Cell(values, "fallbacks"), 0.0);
+      const bool zerocopy = values.at("mode").string == "zerocopy";
+      if (zerocopy) {
+        // Every zerocopy row actually took the indirect-descriptor path.
+        EXPECT_GT(Cell(values, "zc_fetches"), 0.0);
+      } else {
+        EXPECT_EQ(Cell(values, "zc_fetches"), 0.0);
+      }
+      if (zerocopy && Cell(values, "value") == 65536.0) {
+        saw_64k_zerocopy = true;
+        // The acceptance bar: zero-copy beats the staged copy path by at
+        // least 1.5x once the value is 64 KiB.
+        EXPECT_GE(Cell(values, "speedup"), 1.5);
+      }
+    } else {
+      ASSERT_TRUE(values.has("round"));
+      ++churn_rows;
+      EXPECT_TRUE(values.has("reg_kib"));
+      if (Cell(values, "round") > 0.0) {
+        // Steady-state churn: rings recycle through the pools, the fabric
+        // census stays flat.
+        EXPECT_EQ(Cell(values, "new_regs"), 0.0);
+        EXPECT_EQ(Cell(values, "dereg"), 0.0);
+        EXPECT_GT(Cell(values, "mr_reuses"), 0.0);
+        EXPECT_GE(Cell(values, "reconnects"), Cell(values, "round"));
+      }
+    }
+  }
+  EXPECT_EQ(sweep_rows, 12);
+  EXPECT_EQ(churn_rows, 5);
+  EXPECT_TRUE(saw_64k_zerocopy);
+
+  // The pools flush their books on teardown: allocator counters and the
+  // registered-footprint gauge must be present with meaningful totals.
+  const testjson::Value& metrics = v.at("metrics");
+  ASSERT_TRUE(metrics.is_array());
+  bool saw_mr_reuse = false;
+  bool saw_registered = false;
+  for (const auto& m : metrics.array) {
+    if (m->at("name").string == "mem.mr_reuse") {
+      saw_mr_reuse = true;
+      EXPECT_GT(m->at("value").number, 0.0);
+    }
+    if (m->at("name").string == "mem.registered_bytes") {
+      saw_registered = true;
+      EXPECT_GT(m->at("value").number, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_mr_reuse);
+  EXPECT_TRUE(saw_registered);
+
+  std::remove(json_path.c_str());
+}
+
+}  // namespace

@@ -58,6 +58,43 @@ TEST(ConfigValidationTest, RejectsBadScalingParameters) {
   }
 }
 
+TEST(ConfigValidationTest, RejectsBadMemoryPoolKnobs) {
+  for (auto mutate : {
+           +[](NicConfig& c) { c.mem_block_bytes = 3000; },  // not a power of two
+           +[](NicConfig& c) { c.mem_block_bytes = 32; },    // below the 64-byte floor
+           +[](NicConfig& c) { c.mem_pool_level = 0; },
+           +[](NicConfig& c) { c.mem_pool_level = 33; },
+           +[](NicConfig& c) {
+             // mem_block_bytes << (mem_pool_level - 1) overflows size_t.
+             c.mem_block_bytes = size_t{1} << 60;
+             c.mem_pool_level = 10;
+           },
+           +[](NicConfig& c) { c.mem_slab_classes = -1; },
+           +[](NicConfig& c) { c.mem_slab_classes = 8; },  // 4096 >> 8 = 16 < 32
+           +[](NicConfig& c) { c.mem_slab_magazine = -1; },
+           +[](NicConfig& c) {
+             // Cap below one arena: the pool could never register anything.
+             c.mem_max_registered_bytes =
+                 (c.mem_block_bytes << (c.mem_pool_level - 1)) - 1;
+           },
+       }) {
+    NicConfig config;
+    mutate(config);
+    EXPECT_THROW(ValidateConfig(config), std::invalid_argument);
+  }
+  // The cap is legal at exactly one arena, and 0 means unbounded.
+  {
+    NicConfig c;
+    c.mem_max_registered_bytes = c.mem_block_bytes << (c.mem_pool_level - 1);
+    EXPECT_NO_THROW(ValidateConfig(c));
+  }
+  {
+    NicConfig c;
+    c.mem_max_registered_bytes = 0;
+    EXPECT_NO_THROW(ValidateConfig(c));
+  }
+}
+
 TEST(ConfigValidationTest, RejectsOutOfRangeJitterAndNan) {
   {
     NicConfig c;

@@ -28,10 +28,12 @@ TEST_F(BufferPoolTest, MallocReturnsUsableRegisteredMemory) {
 TEST_F(BufferPoolTest, FreeThenMallocReusesRegion) {
   BufferPool pool(node_);
   BufferPool::Buffer a = pool.MallocBuf(100);
+  const size_t offset = a.span.offset;
   rdma::MemoryRegion* mr = a.mr;
   pool.FreeBuf(a);
   BufferPool::Buffer b = pool.MallocBuf(90);  // same 128-byte size class
   EXPECT_EQ(b.mr, mr);
+  EXPECT_EQ(b.span.offset, offset);  // the freed chunk itself came back
   EXPECT_EQ(pool.registrations(), 1u);
   EXPECT_EQ(pool.reuses(), 1u);
 }
@@ -39,18 +41,26 @@ TEST_F(BufferPoolTest, FreeThenMallocReusesRegion) {
 TEST_F(BufferPoolTest, DifferentSizeClassesDoNotMix) {
   BufferPool pool(node_);
   BufferPool::Buffer small = pool.MallocBuf(100);
+  const size_t small_offset = small.span.offset;
   pool.FreeBuf(small);
+  // The freed 128-byte chunk is not handed out for a 1024-byte request —
+  // but both classes draw from the same registered arena (the whole point
+  // of the pool: no second registration).
   BufferPool::Buffer large = pool.MallocBuf(1000);
-  EXPECT_NE(large.mr, small.mr);
-  EXPECT_EQ(pool.registrations(), 2u);
+  EXPECT_NE(large.span.offset, small_offset);
+  EXPECT_EQ(pool.registrations(), 1u);
+  EXPECT_EQ(pool.reuses(), 1u);
 }
 
 TEST_F(BufferPoolTest, SizesRoundUpToPowerOfTwo) {
   BufferPool pool(node_);
+  // 33 rounds up to the 64-byte class: freeing it and asking for exactly 64
+  // hands the same chunk back.
   BufferPool::Buffer buf = pool.MallocBuf(33);
-  EXPECT_EQ(buf.mr->size(), 64u);
+  const size_t offset = buf.span.offset;
+  pool.FreeBuf(buf);
   BufferPool::Buffer exact = pool.MallocBuf(64);
-  EXPECT_EQ(exact.mr->size(), 64u);
+  EXPECT_EQ(exact.span.offset, offset);
 }
 
 TEST_F(BufferPoolTest, ZeroSizeAllocationsWork) {
@@ -62,6 +72,17 @@ TEST_F(BufferPoolTest, ZeroSizeAllocationsWork) {
 TEST_F(BufferPoolTest, FreeingInvalidBufferThrows) {
   BufferPool pool(node_);
   EXPECT_THROW(pool.FreeBuf(BufferPool::Buffer{}), std::invalid_argument);
+}
+
+TEST_F(BufferPoolTest, PoolIsSharedAcrossConsumersOfOneNode) {
+  BufferPool a(node_);
+  BufferPool b(node_);
+  BufferPool::Buffer from_a = a.MallocBuf(256);
+  BufferPool::Buffer from_b = b.MallocBuf(256);
+  // Same node => same mem::Pool => same backing arena MR.
+  EXPECT_EQ(from_a.mr, from_b.mr);
+  EXPECT_EQ(b.registrations(), 0u);  // a's arena served b
+  EXPECT_EQ(b.reuses(), 1u);
 }
 
 }  // namespace
