@@ -10,6 +10,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/engine.h"
+#include "src/sim/schedule.h"
 
 namespace check {
 
@@ -285,7 +286,18 @@ void FabricChecker::Report(ViolationKind kind, std::string detail) {
   if (engine_ != nullptr && engine_->trace_sink() != nullptr) {
     engine_->trace_sink()->Instant("check", ViolationKindName(kind), 0, engine_->now());
   }
-  recent_.push_back(Violation{kind, detail, tick_});
+  // Under a schedule policy the violation is a property of the explored
+  // interleaving, not just the scenario — attach the decision trace so the
+  // exact schedule is a replayable artifact (and shows up in the strict-mode
+  // exception message).
+  std::string schedule_trace;
+  if (engine_ != nullptr && engine_->schedule_policy() != nullptr) {
+    schedule_trace = sim::FormatDecisionTrace(engine_->schedule_policy()->choices());
+  }
+  if (!schedule_trace.empty()) {
+    detail += " [schedule=" + schedule_trace + "]";
+  }
+  recent_.push_back(Violation{kind, detail, tick_, std::move(schedule_trace)});
   if (recent_.size() > kRecentCap) {
     recent_.pop_front();
   }
@@ -293,7 +305,8 @@ void FabricChecker::Report(ViolationKind kind, std::string detail) {
   // around deliberately-illegal test traffic.
   Mode live = CurrentMode() == Mode::kOff ? mode_ : CurrentMode();
   if (live == Mode::kStrict) {
-    throw ViolationError(kind, std::string(ViolationKindName(kind)) + ": " + detail);
+    throw ViolationError(kind,
+                         std::string(ViolationKindName(kind)) + ": " + recent_.back().detail);
   }
 }
 

@@ -151,6 +151,10 @@ struct Violation {
   ViolationKind kind;
   std::string detail;
   uint64_t tick = 0;
+  // Tie-break decisions recorded up to the violation when the run used a
+  // sim::SchedulePolicy (empty otherwise). Feeding this to ReplayPolicy /
+  // `explore::Replay` reproduces the offending interleaving exactly.
+  std::string schedule_trace;
 };
 
 // ---- Race tracker ------------------------------------------------------------

@@ -1,0 +1,59 @@
+// The explorer corpus: four dataplane scenarios, each pinned to a seeded
+// mutant knob that re-introduces a class of concurrency bug the RFP
+// protocol's invariants exist to prevent. Shared between the corpus tests
+// (tests/explore/corpus_test.cc), which assert both that each mutant is
+// caught within the CI schedule budget and that the real code passes, and
+// the CI driver (bench/bench_ext_explore.cc), which runs the clean corpus
+// at a fixed budget and dumps the exploration metrics via --json.
+//
+// Every builder takes `mutant`: false runs the real dataplane, true flips
+// the scenario's unsafe_* knob. The scenarios:
+//
+//   1. LateDuplicateScenario — Channel::set_unsafe_accept_stale_seq drops
+//      the response seq filter; a deadline-abandoned GET's stale response is
+//      accepted as the next call's result, which the per-key linearizability
+//      oracle rejects (a completed PUT was overwritten).
+//   2. StealBusyScenario — RpcServer::set_unsafe_steal_busy_channels lets
+//      the orphan-claim scan cross the busy fence; two workers sweep one
+//      pipelined channel and the thief's recv clobbers the victim's slot
+//      cursor, mis-slotting a response. Meant to be crossed with
+//      StealCrashPlans() so crashes race the victim's suspended visit.
+//   3. CowPinnedScenario — BucketTable::set_unsafe_inplace_put overwrites a
+//      pinned zero-copy entry in place; the strict-mode race detector throws
+//      race.fetch_store out of the run.
+//   4. SwitchRaceScenario — Channel::set_unsafe_switch_race disables the
+//      post-switch resend safety net; a response published while the
+//      client's mode-switch WRITE is in flight stays stranded server-side
+//      and the call dies on its deadline.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/explore/explorer.h"
+#include "src/fault/plan.h"
+
+namespace explore {
+namespace corpus {
+
+Scenario LateDuplicateScenario(bool mutant);
+Scenario StealBusyScenario(bool mutant);
+Scenario CowPinnedScenario(bool mutant);
+Scenario SwitchRaceScenario(bool mutant);
+
+// Fault cross-product for StealBusyScenario: crash worker 0 at staggered
+// instants so the orphan claim races the victim's visit.
+std::vector<fault::FaultPlan> StealCrashPlans();
+
+// The whole corpus, for drivers that iterate it.
+struct Entry {
+  std::string name;
+  Scenario (*make)(bool mutant);
+  // Plans to cross with the schedule exploration (empty for most entries).
+  std::vector<fault::FaultPlan> (*plans)();  // null when the entry has none
+};
+std::vector<Entry> Entries();
+
+}  // namespace corpus
+}  // namespace explore

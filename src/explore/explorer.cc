@@ -1,0 +1,250 @@
+#include "src/explore/explorer.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/sim/random.h"
+
+namespace explore {
+
+namespace {
+
+uint64_t MixFingerprint(const Outcome& outcome, const sim::Engine& engine) {
+  uint64_t h = sim::Mix64(outcome.state_hash + 0x9e3779b97f4a7c15ULL);
+  h ^= sim::Mix64(static_cast<uint64_t>(engine.now()) + 0x517cc1b727220a95ULL);
+  h ^= sim::Mix64(engine.events_processed() + 0x2545f4914f6cdd1dULL);
+  return h;
+}
+
+sim::DecisionTrace TrimTrailingZeros(sim::DecisionTrace trace) {
+  while (!trace.empty() && trace.back() == 0) {
+    trace.pop_back();
+  }
+  return trace;
+}
+
+const fault::FaultPlan& EmptyPlan() {
+  static const fault::FaultPlan* plan = new fault::FaultPlan();
+  return *plan;
+}
+
+}  // namespace
+
+std::string Report::Summary() const {
+  std::string out = "explored " + std::to_string(schedules) + " schedules (" +
+                    std::to_string(distinct_states) + " distinct states" +
+                    (exhausted ? ", tree exhausted" : "") + ")";
+  if (failed) {
+    out += "; FAILED [schedule=" + sim::FormatDecisionTrace(minimal_trace) +
+           "]: " + failure_message;
+  } else {
+    out += "; no violation";
+  }
+  return out;
+}
+
+Explorer::Explorer(Options options) : options_(std::move(options)) {
+  if (options_.max_schedules == 0) {
+    options_.max_schedules = 1;
+  }
+  options_.exhaustive_share_pct = std::min<uint32_t>(options_.exhaustive_share_pct, 100);
+}
+
+Explorer::RunResult Explorer::RunOne(const Scenario& scenario, sim::SchedulePolicy& policy,
+                                     const fault::FaultPlan& plan, size_t plan_index,
+                                     uint64_t schedule_index) {
+  policy.ResetRecording();
+  sim::Engine engine;
+  engine.set_schedule_policy(&policy);
+  ScenarioRun run{engine, plan, plan_index, schedule_index};
+  RunResult result;
+  try {
+    result.outcome = scenario(run);
+  } catch (const std::exception& e) {
+    result.outcome = Outcome::Fail(e.what());
+  }
+  result.decisions = policy.decisions();
+  result.trace = policy.choices();
+  result.fingerprint = MixFingerprint(result.outcome, engine);
+  return result;
+}
+
+bool Explorer::FailsUnder(const Scenario& scenario, const sim::DecisionTrace& trace,
+                          const fault::FaultPlan& plan, size_t plan_index,
+                          std::string* message) {
+  sim::ReplayPolicy policy(trace);
+  RunResult r = RunOne(scenario, policy, plan, plan_index, 0);
+  if (!r.outcome.ok && message != nullptr) {
+    *message = r.outcome.message;
+  }
+  return !r.outcome.ok;
+}
+
+sim::DecisionTrace Explorer::Shrink(const Scenario& scenario, sim::DecisionTrace trace,
+                                    const fault::FaultPlan& plan, size_t plan_index) {
+  trace = TrimTrailingZeros(std::move(trace));
+  uint64_t runs = 0;
+  // Greedy minimization over the choice lattice: a trace is "smaller" if it
+  // has fewer trailing decisions or smaller choice values (0 = FIFO). Each
+  // accepted candidate must still fail on replay, so the result is a failing
+  // schedule with a minimal set of non-FIFO decisions this procedure can
+  // reach — typically one or two choices for the corpus races.
+  bool improved = true;
+  while (improved && runs < options_.max_shrink_runs) {
+    improved = false;
+    for (size_t i = 0; i < trace.size() && runs < options_.max_shrink_runs; ++i) {
+      if (trace[i] == 0) {
+        continue;
+      }
+      for (uint32_t candidate_choice : {uint32_t{0}, trace[i] - 1}) {
+        if (candidate_choice >= trace[i]) {
+          break;  // decrement collapsed into the zero we already tried
+        }
+        sim::DecisionTrace candidate = trace;
+        candidate[i] = candidate_choice;
+        candidate = TrimTrailingZeros(std::move(candidate));
+        ++runs;
+        if (FailsUnder(scenario, candidate, plan, plan_index, nullptr)) {
+          trace = std::move(candidate);
+          improved = true;
+          break;
+        }
+      }
+      if (improved) {
+        break;  // indices may have shifted after trimming; rescan
+      }
+    }
+  }
+  return trace;
+}
+
+Report Explorer::Run(const Scenario& scenario) {
+  obs::Counter* schedules_metric = obs::MetricsRegistry::Default().GetCounter(
+      "explore.schedules", {{"scenario", options_.label}});
+  obs::Counter* states_metric = obs::MetricsRegistry::Default().GetCounter(
+      "explore.distinct_states", {{"scenario", options_.label}});
+  obs::Counter* violations_metric = obs::MetricsRegistry::Default().GetCounter(
+      "explore.violations", {{"scenario", options_.label}});
+
+  std::vector<const fault::FaultPlan*> plans;
+  if (options_.fault_plans.empty()) {
+    plans.push_back(&EmptyPlan());
+  } else {
+    for (const fault::FaultPlan& plan : options_.fault_plans) {
+      plans.push_back(&plan);
+    }
+  }
+
+  Report report;
+  std::unordered_set<uint64_t> states;
+  const uint64_t per_plan =
+      std::max<uint64_t>(1, options_.max_schedules / plans.size());
+  bool all_exhausted = true;
+
+  for (size_t p = 0; p < plans.size() && !report.failed; ++p) {
+    const fault::FaultPlan& plan = *plans[p];
+    const uint64_t exhaustive_budget =
+        options_.exhaustive_share_pct == 100
+            ? per_plan
+            : per_plan * options_.exhaustive_share_pct / 100;
+    uint64_t used = 0;
+    bool tree_exhausted = false;
+
+    auto note = [&](const RunResult& r) {
+      ++report.schedules;
+      ++used;
+      schedules_metric->Add(1);
+      if (states.insert(r.fingerprint).second) {
+        states_metric->Add(1);
+      }
+      if (!r.outcome.ok) {
+        report.failed = true;
+        ++report.violations;
+        violations_metric->Add(1);
+        report.failure_message = r.outcome.message;
+        report.failing_plan_index = p;
+        report.failing_trace = TrimTrailingZeros(r.trace);
+        report.minimal_trace = report.failing_trace;
+      }
+    };
+
+    // Phase 1: depth-first enumeration of the decision tree in lexicographic
+    // trace order. Each run's recorded (arity, choice) sequence tells us the
+    // next unexplored branch; determinism guarantees the forced prefix
+    // reproduces the same arities, so the walk covers the tree exactly once.
+    sim::DecisionTrace prefix;
+    while (used < exhaustive_budget && !report.failed) {
+      sim::ReplayPolicy policy(prefix);
+      RunResult r = RunOne(scenario, policy, plan, p, report.schedules);
+      note(r);
+      if (report.failed) {
+        break;
+      }
+      if (!NextTrace(r.decisions, options_.max_decision_depth, &prefix)) {
+        tree_exhausted = true;
+        break;
+      }
+    }
+
+    // Phase 2: seeded-random sampling for the remaining budget (skipped when
+    // the tree is already fully enumerated — more runs add nothing).
+    if (!tree_exhausted) {
+      all_exhausted = false;
+      while (used < per_plan && !report.failed) {
+        const uint64_t schedule_seed =
+            sim::Mix64(options_.seed ^ sim::Mix64(p * 0x100000001b3ULL + used));
+        sim::RandomShufflePolicy policy(schedule_seed);
+        RunResult r = RunOne(scenario, policy, plan, p, report.schedules);
+        note(r);
+      }
+    }
+
+    if (report.failed && options_.shrink) {
+      report.minimal_trace = Shrink(scenario, report.failing_trace, plan, p);
+      // Refresh the message from the minimal schedule (same bug, but the
+      // printed detail should match the artifact we hand the user).
+      std::string message;
+      if (FailsUnder(scenario, report.minimal_trace, plan, p, &message)) {
+        report.failure_message = message;
+      }
+    }
+  }
+
+  report.distinct_states = states.size();
+  report.exhausted = all_exhausted && !report.failed;
+  return report;
+}
+
+Outcome Replay(const Scenario& scenario, const sim::DecisionTrace& trace,
+               const fault::FaultPlan& plan) {
+  sim::ReplayPolicy policy(trace);
+  sim::Engine engine;
+  engine.set_schedule_policy(&policy);
+  ScenarioRun run{engine, plan, 0, 0};
+  try {
+    return scenario(run);
+  } catch (const std::exception& e) {
+    return Outcome::Fail(e.what());
+  }
+}
+
+bool NextTrace(const std::vector<sim::Decision>& decisions, size_t max_depth,
+               sim::DecisionTrace* next) {
+  const size_t depth = std::min(decisions.size(), max_depth);
+  for (size_t i = depth; i-- > 0;) {
+    if (decisions[i].choice + 1 < decisions[i].arity) {
+      next->clear();
+      next->reserve(i + 1);
+      for (size_t j = 0; j < i; ++j) {
+        next->push_back(decisions[j].choice);
+      }
+      next->push_back(decisions[i].choice + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace explore

@@ -1,0 +1,159 @@
+// Systematic schedule exploration over the deterministic simulator.
+//
+// The simulator is deterministic: for a fixed scenario, the only source of
+// nondeterminism real hardware would add is the order of same-timestamp
+// events. sim::SchedulePolicy turns each such tie into an explicit decision
+// point; the Explorer drives a scenario closure through many schedules by
+// controlling those decisions:
+//
+//   * bounded exhaustive enumeration — depth-first over the decision tree
+//     (lexicographic order on decision traces), complete for scenarios whose
+//     tree fits the schedule budget;
+//   * seeded-random sampling — uniform tie-breaks from per-schedule seeds,
+//     for scenarios whose tree does not fit;
+//   * optional cross-product with a set of fault::FaultPlans, so fault
+//     timing races against schedule choice.
+//
+// Every run's decision trace is recorded, distinct end states are counted by
+// state hash, and the first failing schedule is shrunk to a minimal decision
+// trace (fewest non-FIFO choices) that still fails — a replayable, diffable
+// artifact printed in the report and attached by check::FabricChecker to any
+// strict-mode violation. Reported through obs: explore.schedules,
+// explore.distinct_states, explore.violations.
+
+#ifndef SRC_EXPLORE_EXPLORER_H_
+#define SRC_EXPLORE_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fault/plan.h"
+#include "src/sim/engine.h"
+#include "src/sim/schedule.h"
+
+namespace explore {
+
+// Everything a scenario closure gets handed for one schedule. The engine has
+// the schedule policy pre-installed; the scenario builds its world on it,
+// runs it, and returns an Outcome.
+struct ScenarioRun {
+  sim::Engine& engine;
+  // Fault plan for this run (empty plan when Options::fault_plans is empty).
+  const fault::FaultPlan& plan;
+  // Index of the fault plan within Options::fault_plans (0 when empty).
+  size_t plan_index = 0;
+  // Sequential index of this schedule within the exploration.
+  uint64_t schedule_index = 0;
+};
+
+struct Outcome {
+  bool ok = true;
+  // Failure description (assertion text, exception message, ...).
+  std::string message;
+  // Scenario-defined end-state fingerprint, mixed with engine counters for
+  // distinct-state accounting. Scenarios that don't care can leave it 0.
+  uint64_t state_hash = 0;
+
+  static Outcome Pass(uint64_t hash = 0) { return Outcome{true, "", hash}; }
+  static Outcome Fail(std::string message) { return Outcome{false, std::move(message), 0}; }
+};
+
+// A scenario must be re-runnable: each invocation builds a fresh world on the
+// provided engine. Throwing (e.g. check::ViolationError in strict mode) is
+// equivalent to returning Outcome::Fail with the exception text.
+using Scenario = std::function<Outcome(ScenarioRun&)>;
+
+struct Options {
+  // Total schedule budget across all fault plans (>= 1).
+  uint64_t max_schedules = 256;
+  // Base seed for the random-sampling phase.
+  uint64_t seed = 1;
+  // Cap on the number of decision points the exhaustive phase will increment
+  // through; deeper decision points run FIFO. Bounds the enumerated tree.
+  size_t max_decision_depth = 24;
+  // Fraction of the budget (in percent) spent on exhaustive enumeration
+  // before falling back to random sampling. 100 = purely exhaustive until the
+  // budget or the tree is spent; 0 = purely random.
+  uint32_t exhaustive_share_pct = 50;
+  // Fault plans to cross with schedule exploration; empty = one empty plan.
+  std::vector<fault::FaultPlan> fault_plans;
+  // Shrink the first failing trace to a minimal one (extra scenario runs,
+  // bounded by max_shrink_runs, not counted against max_schedules).
+  bool shrink = true;
+  uint64_t max_shrink_runs = 512;
+  // Label for obs metrics ({scenario=<label>}) and report printing.
+  std::string label = "scenario";
+};
+
+struct Report {
+  // Schedules actually run (<= Options::max_schedules; exhaustive phase may
+  // finish the whole tree early).
+  uint64_t schedules = 0;
+  // Distinct (state_hash, engine fingerprint) end states observed.
+  uint64_t distinct_states = 0;
+  // Failing schedules observed (exploration stops at the first one, so this
+  // is 0 or 1 plus any shrink-phase reruns that also failed).
+  uint64_t violations = 0;
+  // True when the exhaustive phase enumerated the entire decision tree for
+  // every fault plan within the budget: the scenario is *verified* over all
+  // schedules up to max_decision_depth, not just sampled.
+  bool exhausted = false;
+  // First failure, if any.
+  bool failed = false;
+  std::string failure_message;
+  size_t failing_plan_index = 0;
+  // Decision trace of the first failing schedule, then the shrunk minimal
+  // trace (equal when shrinking is off or couldn't reduce it).
+  sim::DecisionTrace failing_trace;
+  sim::DecisionTrace minimal_trace;
+
+  // One-line human summary ("explored 128 schedules, 17 distinct states...").
+  std::string Summary() const;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(Options options);
+
+  // Runs the scenario under up to max_schedules schedules; stops at the
+  // first failure and (optionally) shrinks it.
+  Report Run(const Scenario& scenario);
+
+ private:
+  struct RunResult {
+    Outcome outcome;
+    sim::DecisionTrace trace;          // decisions the policy recorded
+    std::vector<sim::Decision> decisions;  // with arities, for DFS stepping
+    uint64_t fingerprint = 0;
+  };
+
+  RunResult RunOne(const Scenario& scenario, sim::SchedulePolicy& policy,
+                   const fault::FaultPlan& plan, size_t plan_index,
+                   uint64_t schedule_index);
+  // Replays `trace`; returns true if the scenario still fails.
+  bool FailsUnder(const Scenario& scenario, const sim::DecisionTrace& trace,
+                  const fault::FaultPlan& plan, size_t plan_index, std::string* message);
+  sim::DecisionTrace Shrink(const Scenario& scenario, sim::DecisionTrace trace,
+                            const fault::FaultPlan& plan, size_t plan_index);
+
+  Options options_;
+};
+
+// Convenience: replay one recorded schedule (e.g. a Report::minimal_trace or
+// the [schedule=...] suffix of a strict-mode violation) against a scenario.
+// `plan` defaults to the empty plan. Returns the scenario outcome.
+Outcome Replay(const Scenario& scenario, const sim::DecisionTrace& trace,
+               const fault::FaultPlan& plan = fault::FaultPlan());
+
+// Computes the next trace in lexicographic DFS order from the decisions of
+// the run just finished: the deepest decision (bounded by max_depth) whose
+// choice can still be incremented, with everything after it reset. Returns
+// false when the (depth-bounded) tree is exhausted.
+bool NextTrace(const std::vector<sim::Decision>& decisions, size_t max_depth,
+               sim::DecisionTrace* next);
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_EXPLORER_H_

@@ -1,0 +1,319 @@
+#include "src/explore/history.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "src/obs/metrics.h"
+
+namespace explore {
+
+namespace {
+
+std::string ViewToString(std::span<const std::byte> bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+std::string RenderOp(const HistoryOp& op) {
+  std::string out = OpKindName(op.kind);
+  out += "(" + op.key;
+  if (op.kind == OpKind::kPut) {
+    out += "=" + op.value;
+  }
+  out += ")";
+  if (op.pending()) {
+    out += "@(" + std::to_string(op.invoke_order) + ",pending)";
+    return out;
+  }
+  if (op.kind == OpKind::kGet) {
+    out += op.found ? "->" + op.value : "->miss";
+  } else if (op.kind == OpKind::kDelete) {
+    out += op.found ? "->hit" : "->miss";
+  }
+  out += "@(" + std::to_string(op.invoke_order) + "," + std::to_string(op.respond_order) + ")";
+  return out;
+}
+
+// Per-key Wing & Gong search. States are (applied-op bitmask, register
+// value); the register is "absent" or one of the values PUT can install,
+// interned to a small id so a state packs into one uint64_t memo key.
+class KeyLinearizer {
+ public:
+  KeyLinearizer(std::vector<const HistoryOp*> ops, const std::string* initial_value)
+      : ops_(std::move(ops)) {
+    // Intern the value alphabet: id 0 = absent.
+    values_.emplace_back();  // placeholder for "absent"
+    if (initial_value != nullptr) {
+      initial_state_ = Intern(*initial_value);
+    }
+    for (const HistoryOp* op : ops_) {
+      if (op->kind == OpKind::kPut) {
+        Intern(op->value);
+      }
+    }
+    completed_mask_ = 0;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (!ops_[i]->pending()) {
+        completed_mask_ |= uint64_t{1} << i;
+      }
+    }
+  }
+
+  bool Linearizable() {
+    return Dfs(0, initial_state_);
+  }
+
+  uint64_t states_explored() const { return memo_.size(); }
+
+ private:
+  uint64_t Intern(const std::string& value) {
+    for (size_t i = 1; i < values_.size(); ++i) {
+      if (values_[i] == value) {
+        return i;
+      }
+    }
+    values_.push_back(value);
+    return values_.size() - 1;
+  }
+
+  // True when the GET/DELETE result recorded in `op` matches register
+  // state `state` (0 = absent, else value id).
+  bool ResultConsistent(const HistoryOp& op, uint64_t state) const {
+    if (op.kind == OpKind::kGet) {
+      if (op.found != (state != 0)) {
+        return false;
+      }
+      return !op.found || values_[state] == op.value;
+    }
+    if (op.kind == OpKind::kDelete) {
+      return op.found == (state != 0);
+    }
+    return true;  // PUT carries no observable result
+  }
+
+  uint64_t Apply(const HistoryOp& op, uint64_t state) {
+    switch (op.kind) {
+      case OpKind::kPut:
+        return Intern(op.value);
+      case OpKind::kDelete:
+        return 0;
+      case OpKind::kGet:
+        return state;
+    }
+    return state;
+  }
+
+  bool Dfs(uint64_t applied, uint64_t state) {
+    if ((applied & completed_mask_) == completed_mask_) {
+      return true;  // all completed ops linearized; pending leftovers drop
+    }
+    if (!memo_.insert(applied * values_.size() + state).second) {
+      return false;
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      const uint64_t bit = uint64_t{1} << i;
+      if ((applied & bit) != 0) {
+        continue;
+      }
+      const HistoryOp& op = *ops_[i];
+      // Real-time order: op can only linearize now if no other unapplied
+      // *completed* op finished before this one was even invoked.
+      bool minimal = true;
+      for (size_t j = 0; j < ops_.size(); ++j) {
+        if (j == i || (applied & (uint64_t{1} << j)) != 0) {
+          continue;
+        }
+        const HistoryOp& other = *ops_[j];
+        if (!other.pending() && other.respond_order < op.invoke_order) {
+          minimal = false;
+          break;
+        }
+      }
+      if (!minimal) {
+        continue;
+      }
+      // Pending ops linearize without a result constraint (the client never
+      // saw one); completed ops must match what the client observed.
+      if (!op.pending() && !ResultConsistent(op, state)) {
+        continue;
+      }
+      if (Dfs(applied | bit, Apply(op, state))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<const HistoryOp*> ops_;
+  std::vector<std::string> values_;
+  uint64_t initial_state_ = 0;
+  uint64_t completed_mask_ = 0;
+  std::unordered_set<uint64_t> memo_;
+};
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGet:
+      return "GET";
+    case OpKind::kPut:
+      return "PUT";
+    case OpKind::kDelete:
+      return "DEL";
+  }
+  return "?";
+}
+
+uint64_t HistoryRecorder::OnInvoke(OpKind kind, std::string_view key,
+                                   std::string_view value) {
+  HistoryOp op;
+  op.id = next_id_++;
+  op.kind = kind;
+  op.key = std::string(key);
+  op.value = std::string(value);
+  op.invoke_order = next_order_++;
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+uint64_t HistoryRecorder::OnInvoke(OpKind kind, std::span<const std::byte> key,
+                                   std::span<const std::byte> value) {
+  return OnInvoke(kind, std::string_view(ViewToString(key)),
+                  std::string_view(ViewToString(value)));
+}
+
+void HistoryRecorder::OnGetResponse(uint64_t id, bool found, std::string_view value) {
+  for (HistoryOp& op : ops_) {
+    if (op.id == id) {
+      op.found = found;
+      op.value = std::string(value);
+      op.respond_order = next_order_++;
+      return;
+    }
+  }
+}
+
+void HistoryRecorder::OnGetResponse(uint64_t id, bool found,
+                                    std::span<const std::byte> value) {
+  OnGetResponse(id, found, std::string_view(ViewToString(value)));
+}
+
+void HistoryRecorder::OnPutResponse(uint64_t id) {
+  for (HistoryOp& op : ops_) {
+    if (op.id == id) {
+      op.respond_order = next_order_++;
+      return;
+    }
+  }
+}
+
+void HistoryRecorder::OnDeleteResponse(uint64_t id, bool found) {
+  for (HistoryOp& op : ops_) {
+    if (op.id == id) {
+      op.found = found;
+      op.respond_order = next_order_++;
+      return;
+    }
+  }
+}
+
+void HistoryRecorder::NoteInitialValue(std::string_view key, std::string_view value) {
+  initial_values_.emplace_back(std::string(key), std::string(value));
+}
+
+void HistoryRecorder::OnApply(OpKind kind, std::string_view key) {
+  applies_.push_back(ApplyEvent{kind, std::string(key), next_order_++});
+}
+
+size_t HistoryRecorder::completed_ops() const {
+  size_t n = 0;
+  for (const HistoryOp& op : ops_) {
+    n += op.pending() ? 0u : 1u;
+  }
+  return n;
+}
+
+void HistoryRecorder::Clear() {
+  ops_.clear();
+  applies_.clear();
+  initial_values_.clear();
+  next_order_ = 1;
+  next_id_ = 1;
+}
+
+LinResult HistoryRecorder::CheckLinearizable(size_t max_ops_per_key) const {
+  return explore::CheckLinearizable(ops_, initial_values_, max_ops_per_key);
+}
+
+void HistoryRecorder::CheckStrict(const std::string& schedule_trace) const {
+  obs::MetricsRegistry::Default()
+      .GetCounter("explore.lin_checks", {})
+      ->Add(1);
+  LinResult result = CheckLinearizable();
+  if (result.ok) {
+    return;
+  }
+  obs::MetricsRegistry::Default()
+      .GetCounter("explore.lin_violations", {})
+      ->Add(1);
+  std::string message = "history not linearizable: " + result.message;
+  if (!schedule_trace.empty()) {
+    message += " [schedule=" + schedule_trace + "]";
+  }
+  throw LinearizabilityError(message);
+}
+
+LinResult CheckLinearizable(
+    const std::vector<HistoryOp>& ops,
+    const std::vector<std::pair<std::string, std::string>>& initial_values,
+    size_t max_ops_per_key) {
+  LinResult result;
+  max_ops_per_key = std::min<size_t>(max_ops_per_key, 56);  // memo key packing
+  // Project the history per key (linearizability composes across keys).
+  // Pending GETs constrain nothing — they observed nothing and write
+  // nothing — so they are dropped before the search.
+  std::map<std::string, std::vector<const HistoryOp*>> by_key;
+  for (const HistoryOp& op : ops) {
+    if (op.pending() && op.kind == OpKind::kGet) {
+      continue;
+    }
+    by_key[op.key].push_back(&op);
+  }
+  for (auto& [key, key_ops] : by_key) {
+    ++result.keys_checked;
+    if (key_ops.size() > max_ops_per_key) {
+      result.ok = false;
+      result.message = "key '" + key + "' has " + std::to_string(key_ops.size()) +
+                       " ops, above the per-key DFS bound of " +
+                       std::to_string(max_ops_per_key);
+      return result;
+    }
+    const std::string* initial = nullptr;
+    for (const auto& [ikey, ivalue] : initial_values) {
+      if (ikey == key) {
+        initial = &ivalue;
+        break;
+      }
+    }
+    KeyLinearizer linearizer(key_ops, initial);
+    const bool ok = linearizer.Linearizable();
+    result.states_explored += linearizer.states_explored();
+    if (!ok) {
+      result.ok = false;
+      std::string rendered;
+      for (const HistoryOp* op : key_ops) {
+        if (!rendered.empty()) {
+          rendered += " ";
+        }
+        rendered += RenderOp(*op);
+      }
+      result.message = "key '" + key + "': no linearization of " +
+                       std::to_string(key_ops.size()) + " ops explains [" + rendered + "]";
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace explore

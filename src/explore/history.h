@@ -1,0 +1,128 @@
+// Operation histories and a linearizability oracle for KV scenarios.
+//
+// A HistoryRecorder collects the concurrent history of GET/PUT/DELETE
+// operations a scenario issues — invocation and response events stamped with
+// a recorder-wide monotone order — plus the store-side apply events
+// kv::BucketTable emits for diagnostics. CheckLinearizable() then decides
+// whether the completed operations admit a legal sequential order (Wing &
+// Gong's algorithm, with memoized DFS): each operation must appear to take
+// effect atomically between its invocation and its response, and operations
+// whose response never arrived (the client saw a deadline, crash, or BUSY
+// exhaustion) may have taken effect at any point after invocation — or never.
+//
+// Linearizability is compositional: a history is linearizable iff its
+// per-key projections are (Herlihy & Wing, Theorem 1 — keys are independent
+// objects as long as the store never couples them; scenarios that rely on
+// this should keep tables large enough that eviction can't link keys, and
+// can assert Stats::evictions == 0). The checker partitions by key, so cost
+// scales with per-key contention, not total history length.
+
+#ifndef SRC_EXPLORE_HISTORY_H_
+#define SRC_EXPLORE_HISTORY_H_
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace explore {
+
+enum class OpKind : uint8_t { kGet, kPut, kDelete };
+
+const char* OpKindName(OpKind kind);
+
+struct HistoryOp {
+  uint64_t id = 0;
+  OpKind kind = OpKind::kGet;
+  std::string key;
+  // PUT: the value written. GET: the value returned (when found).
+  std::string value;
+  // GET: key present. DELETE: key existed. Meaningless for PUT.
+  bool found = false;
+  // Global order stamps from the recorder's monotone counter. respond_order
+  // == 0 means the operation is still pending (no response recorded):
+  // a linearization may apply it at any point after invocation, or drop it.
+  uint64_t invoke_order = 0;
+  uint64_t respond_order = 0;
+
+  bool pending() const { return respond_order == 0; }
+};
+
+// Store-side apply event (BucketTable mutating/reading its state), recorded
+// for failure diagnostics only — the oracle judges the client-visible
+// history, never the internal order.
+struct ApplyEvent {
+  OpKind kind = OpKind::kGet;
+  std::string key;
+  uint64_t order = 0;
+};
+
+struct LinResult {
+  bool ok = true;
+  std::string message;  // first non-linearizable key + its projected history
+  uint64_t keys_checked = 0;
+  uint64_t states_explored = 0;  // memoized (applied-set, value) states
+};
+
+class HistoryRecorder {
+ public:
+  // Client-side hooks. OnInvoke returns the operation id to pass to the
+  // matching OnXxxResponse; an op with no response stays pending.
+  uint64_t OnInvoke(OpKind kind, std::string_view key, std::string_view value = {});
+  void OnGetResponse(uint64_t id, bool found, std::string_view value);
+  void OnPutResponse(uint64_t id);
+  void OnDeleteResponse(uint64_t id, bool found);
+
+  // Byte-span conveniences for kv callers.
+  uint64_t OnInvoke(OpKind kind, std::span<const std::byte> key,
+                    std::span<const std::byte> value = {});
+  void OnGetResponse(uint64_t id, bool found, std::span<const std::byte> value);
+
+  // Seeds the expected pre-history value of `key` (for scenarios that start
+  // recording against a pre-populated store). Unseeded keys start absent.
+  void NoteInitialValue(std::string_view key, std::string_view value);
+
+  // Store-side hook (BucketTable::set_history_recorder).
+  void OnApply(OpKind kind, std::string_view key);
+
+  const std::vector<HistoryOp>& ops() const { return ops_; }
+  const std::vector<ApplyEvent>& applies() const { return applies_; }
+  size_t completed_ops() const;
+  void Clear();
+
+  // Runs the per-key linearizability check over the recorded history.
+  // `max_ops_per_key` bounds the DFS (the mask fits a uint64_t shift); keys
+  // exceeding it fail with an "oversized" message rather than exploding.
+  LinResult CheckLinearizable(size_t max_ops_per_key = 24) const;
+
+  // Strict-mode wrapper: throws LinearizabilityError on a non-linearizable
+  // history and increments explore.lin_violations. `schedule_trace` (e.g.
+  // from the engine's policy) is appended to the message so the failing
+  // interleaving stays replayable.
+  void CheckStrict(const std::string& schedule_trace = "") const;
+
+ private:
+  uint64_t next_order_ = 1;
+  uint64_t next_id_ = 1;
+  std::vector<HistoryOp> ops_;
+  std::vector<ApplyEvent> applies_;
+  std::vector<std::pair<std::string, std::string>> initial_values_;
+};
+
+class LinearizabilityError : public std::runtime_error {
+ public:
+  explicit LinearizabilityError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Free-function form for histories assembled by hand (tests).
+LinResult CheckLinearizable(
+    const std::vector<HistoryOp>& ops,
+    const std::vector<std::pair<std::string, std::string>>& initial_values = {},
+    size_t max_ops_per_key = 24);
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_HISTORY_H_

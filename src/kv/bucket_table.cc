@@ -6,10 +6,19 @@
 #include <utility>
 
 #include "src/check/checker.h"
+#include "src/explore/history.h"
 #include "src/kv/common.h"
 #include "src/rdma/fabric.h"
 
 namespace kv {
+
+namespace {
+
+std::string_view KeyView(std::span<const std::byte> key) {
+  return std::string_view(reinterpret_cast<const char*>(key.data()), key.size());
+}
+
+}  // namespace
 
 BucketTable::BucketTable(size_t num_buckets) {
   if (num_buckets == 0) {
@@ -90,6 +99,9 @@ void BucketTable::FreeEntry(uint32_t idx) {
 }
 
 std::optional<std::span<const std::byte>> BucketTable::Get(std::span<const std::byte> key) {
+  if (recorder_ != nullptr) {
+    recorder_->OnApply(explore::OpKind::kGet, KeyView(key));
+  }
   const uint64_t hash = HashBytes(key);
   Bucket& bucket = buckets_[BucketIndex(hash)];
   const int idx = FindSlot(bucket, Tag(hash), key);
@@ -110,6 +122,9 @@ std::optional<BucketTable::PinnedValue> BucketTable::GetPinned(std::span<const s
   if (!pool_) {
     throw std::logic_error("bucket table: GetPinned requires a pool-backed table");
   }
+  if (recorder_ != nullptr) {
+    recorder_->OnApply(explore::OpKind::kGet, KeyView(key));
+  }
   const uint64_t hash = HashBytes(key);
   Bucket& bucket = buckets_[BucketIndex(hash)];
   const int idx = FindSlot(bucket, Tag(hash), key);
@@ -126,6 +141,9 @@ std::optional<BucketTable::PinnedValue> BucketTable::GetPinned(std::span<const s
 }
 
 void BucketTable::Put(std::span<const std::byte> key, std::span<const std::byte> value) {
+  if (recorder_ != nullptr) {
+    recorder_->OnApply(explore::OpKind::kPut, KeyView(key));
+  }
   const uint64_t hash = HashBytes(key);
   Bucket& bucket = buckets_[BucketIndex(hash)];
   const uint16_t tag = Tag(hash);
@@ -203,6 +221,9 @@ void BucketTable::Put(std::span<const std::byte> key, std::span<const std::byte>
 }
 
 bool BucketTable::Erase(std::span<const std::byte> key) {
+  if (recorder_ != nullptr) {
+    recorder_->OnApply(explore::OpKind::kDelete, KeyView(key));
+  }
   const uint64_t hash = HashBytes(key);
   Bucket& bucket = buckets_[BucketIndex(hash)];
   const int idx = FindSlot(bucket, Tag(hash), key);

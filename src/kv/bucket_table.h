@@ -26,6 +26,10 @@
 #include "src/mem/pool.h"
 #include "src/rdma/node.h"
 
+namespace explore {
+class HistoryRecorder;
+}
+
 namespace kv {
 
 class BucketTable {
@@ -97,6 +101,12 @@ class BucketTable {
   // (tests/check/ zero-copy reuse case); never set in production paths.
   void set_unsafe_inplace_put(bool unsafe) { unsafe_inplace_put_ = unsafe; }
 
+  // Attaches (or detaches, with nullptr) a history recorder: Get/GetPinned/
+  // Put/Erase report store-side apply events (explore::ApplyEvent) used to
+  // diagnose linearizability failures. The recorder must outlive this table
+  // or be detached first.
+  void set_history_recorder(explore::HistoryRecorder* recorder) { recorder_ = recorder; }
+
  private:
   // 8 bytes, like the paper's slot: a tag for fast rejection, the LRU rank
   // within the bucket, and the index of the out-of-line entry.
@@ -160,6 +170,7 @@ class BucketTable {
   std::shared_ptr<mem::Pool> pool_;  // null = heap mode
   rdma::Node* node_ = nullptr;
   bool unsafe_inplace_put_ = false;
+  explore::HistoryRecorder* recorder_ = nullptr;
 };
 
 }  // namespace kv

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/explore/history.h"
 #include "src/kv/common.h"
 #include "src/obs/metrics.h"
 #include "src/rdma/memory.h"
@@ -191,11 +192,16 @@ JakiroClient::JakiroClient(JakiroServer& server, rdma::Node& client_node) : serv
 sim::Task<std::optional<size_t>> JakiroClient::Get(std::span<const std::byte> key,
                                                    std::span<std::byte> value_out) {
   const int owner = server_.OwnerThread(key);
+  const uint64_t hid =
+      recorder_ == nullptr ? 0 : recorder_->OnInvoke(explore::OpKind::kGet, key);
   const size_t req = EncodeGet(scratch_, key);
   const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
       kRpcGet, std::span<const std::byte>(scratch_.data(), req), scratch_);
   ++operations_;
   if (n < 1 || DecodeStatus(std::span<const std::byte>(scratch_.data(), n)) != Status::kOk) {
+    if (recorder_ != nullptr) {
+      recorder_->OnGetResponse(hid, false, std::span<const std::byte>());
+    }
     co_return std::nullopt;
   }
   const size_t value_size = n - 1;
@@ -204,28 +210,45 @@ sim::Task<std::optional<size_t>> JakiroClient::Get(std::span<const std::byte> ke
   }
   rdma::CopyBytes(value_out.subspan(0, value_size),
                   std::span<const std::byte>(scratch_.data() + 1, value_size));
+  if (recorder_ != nullptr) {
+    recorder_->OnGetResponse(hid, true, std::span<const std::byte>(value_out.data(), value_size));
+  }
   co_return value_size;
 }
 
 sim::Task<bool> JakiroClient::Put(std::span<const std::byte> key,
                                   std::span<const std::byte> value) {
   const int owner = server_.OwnerThread(key);
+  const uint64_t hid =
+      recorder_ == nullptr ? 0 : recorder_->OnInvoke(explore::OpKind::kPut, key, value);
   const size_t req = EncodePut(scratch_, key, value);
   const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
       kRpcPut, std::span<const std::byte>(scratch_.data(), req), scratch_);
   ++operations_;
-  co_return n >= 1 &&
+  const bool ok = n >= 1 &&
       DecodeStatus(std::span<const std::byte>(scratch_.data(), n)) == Status::kOk;
+  // A rejected PUT stays pending in the history: the store may or may not
+  // have applied it, which is exactly the oracle's model for pending ops.
+  if (recorder_ != nullptr && ok) {
+    recorder_->OnPutResponse(hid);
+  }
+  co_return ok;
 }
 
 sim::Task<bool> JakiroClient::Delete(std::span<const std::byte> key) {
   const int owner = server_.OwnerThread(key);
+  const uint64_t hid =
+      recorder_ == nullptr ? 0 : recorder_->OnInvoke(explore::OpKind::kDelete, key);
   const size_t req = EncodeDelete(scratch_, key);
   const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
       kRpcDelete, std::span<const std::byte>(scratch_.data(), req), scratch_);
   ++operations_;
-  co_return n >= 1 &&
+  const bool found = n >= 1 &&
       DecodeStatus(std::span<const std::byte>(scratch_.data(), n)) == Status::kOk;
+  if (recorder_ != nullptr) {
+    recorder_->OnDeleteResponse(hid, found);
+  }
+  co_return found;
 }
 
 sim::Task<void> JakiroClient::MultiGet(
@@ -254,12 +277,16 @@ sim::Task<void> JakiroClient::MultiGet(
     size_t n = 0;
     std::memcpy(scratch_.data(), &count, sizeof(count));
     n += sizeof(count);
+    std::vector<uint64_t> hids;
     for (size_t idx : batch) {
       const uint16_t key_size = static_cast<uint16_t>(keys[idx].size());
       std::memcpy(scratch_.data() + n, &key_size, sizeof(key_size));
       n += sizeof(key_size);
       std::memcpy(scratch_.data() + n, keys[idx].data(), key_size);
       n += key_size;
+      if (recorder_ != nullptr) {
+        hids.push_back(recorder_->OnInvoke(explore::OpKind::kGet, keys[idx]));
+      }
     }
     const size_t resp_size = co_await stubs_[owner]->Call(
         kRpcMultiGet, std::span<const std::byte>(scratch_.data(), n), scratch_);
@@ -270,12 +297,16 @@ sim::Task<void> JakiroClient::MultiGet(
     }
     // Decode results back into caller order, copying values into the arena.
     size_t out = 1 + sizeof(uint16_t);
-    for (size_t idx : batch) {
+    for (size_t b = 0; b < batch.size(); ++b) {
+      const size_t idx = batch[b];
       uint32_t size = 0;
       std::memcpy(&size, scratch_.data() + out, sizeof(size));
       out += sizeof(size);
       if (size == kMultiGetMiss) {
         values_out[idx] = std::nullopt;
+        if (recorder_ != nullptr) {
+          recorder_->OnGetResponse(hids[b], false, std::span<const std::byte>());
+        }
         continue;
       }
       if (arena_used + size > value_arena.size()) {
@@ -284,6 +315,9 @@ sim::Task<void> JakiroClient::MultiGet(
       rdma::CopyBytes(value_arena.subspan(arena_used, size),
                       std::span<const std::byte>(scratch_.data() + out, size));
       values_out[idx] = std::span<const std::byte>(value_arena.data() + arena_used, size);
+      if (recorder_ != nullptr) {
+        recorder_->OnGetResponse(hids[b], true, *values_out[idx]);
+      }
       arena_used += size;
       out += size;
     }
@@ -298,6 +332,7 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
     size_t stub = 0;
     rfp::Channel::CallHandle handle;
     std::vector<size_t> idxs;        // key indices in this chunk, caller order
+    std::vector<uint64_t> hids;      // history op ids (when recording)
     std::vector<std::byte> resp;     // landing buffer: responses overlap, so
                                      // the shared scratch_ cannot hold them
   };
@@ -330,6 +365,9 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
         n += sizeof(key_size);
         std::memcpy(scratch_.data() + n, keys[idx].data(), key_size);
         n += key_size;
+        if (recorder_ != nullptr) {
+          p.hids.push_back(recorder_->OnInvoke(explore::OpKind::kGet, keys[idx]));
+        }
       }
       p.handle = co_await stubs_[owner]->SubmitCall(
           kRpcMultiGet, std::span<const std::byte>(scratch_.data(), n));
@@ -347,12 +385,16 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
     }
     // Decode this chunk's results back into caller order.
     size_t out = 1 + sizeof(uint16_t);
-    for (size_t idx : p.idxs) {
+    for (size_t b = 0; b < p.idxs.size(); ++b) {
+      const size_t idx = p.idxs[b];
       uint32_t size = 0;
       std::memcpy(&size, p.resp.data() + out, sizeof(size));
       out += sizeof(size);
       if (size == kMultiGetMiss) {
         values_out[idx] = std::nullopt;
+        if (recorder_ != nullptr) {
+          recorder_->OnGetResponse(p.hids[b], false, std::span<const std::byte>());
+        }
         continue;
       }
       if (arena_used + size > value_arena.size()) {
@@ -361,6 +403,9 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
       rdma::CopyBytes(value_arena.subspan(arena_used, size),
                       std::span<const std::byte>(p.resp.data() + out, size));
       values_out[idx] = std::span<const std::byte>(value_arena.data() + arena_used, size);
+      if (recorder_ != nullptr) {
+        recorder_->OnGetResponse(p.hids[b], true, *values_out[idx]);
+      }
       arena_used += size;
       out += size;
     }

@@ -26,6 +26,10 @@
 #include "src/rfp/rpc.h"
 #include "src/sim/stats.h"
 
+namespace explore {
+class HistoryRecorder;
+}
+
 namespace kv {
 
 struct JakiroConfig {
@@ -127,6 +131,14 @@ class JakiroClient {
 
   uint64_t operations() const { return operations_; }
 
+  // Attaches (or detaches, with nullptr) a history recorder: every Get/Put/
+  // Delete/MultiGet records its invocation and response so the explorer's
+  // linearizability oracle can judge the run (src/explore/history.h). Calls
+  // that never complete — deadline, crash, strict-mode throw — stay pending
+  // in the history, which is exactly what the oracle expects. The recorder
+  // must outlive this client or be detached first.
+  void set_history_recorder(explore::HistoryRecorder* recorder) { recorder_ = recorder; }
+
   // Merged latency distribution across the per-thread stubs.
   sim::Histogram MergedLatency() const;
 
@@ -152,6 +164,7 @@ class JakiroClient {
   std::vector<std::unique_ptr<rfp::RpcClient>> stubs_;
   std::vector<std::byte> scratch_;
   uint64_t operations_ = 0;
+  explore::HistoryRecorder* recorder_ = nullptr;
 };
 
 }  // namespace kv

@@ -248,7 +248,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
     ++stats_.fetch_reads;
     ++attempt_reads;
     const ResponseHeader header = LandingHeader();
-    if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
+    if (wire::UnpackStatus(header.size_status) && AcceptSeq(header.seq, seq_)) {
       if (wire::UnpackBusy(header.size_status)) {
         // The server shed this request instead of serving it. Only the
         // header is meaningful (and published).
@@ -441,7 +441,7 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
   int busy_streak = 0;
   while (true) {
     const ResponseHeader header = LandingHeader();
-    if (wire::UnpackStatus(header.size_status) && header.seq == seq_) {
+    if (wire::UnpackStatus(header.size_status) && AcceptSeq(header.seq, seq_)) {
       if (wire::UnpackBusy(header.size_status)) {
         // The server shed this request; only the header was pushed.
         if (check::FabricChecker* chk = fabric_->checker()) {
@@ -951,7 +951,7 @@ sim::Task<void> Channel::ReissueRequest() {
 }
 
 bool Channel::NeedsReplyResend() const {
-  if (server_visible_mode() != Mode::kServerReply) {
+  if (unsafe_switch_race_ || server_visible_mode() != Mode::kServerReply) {
     return false;
   }
   if (options_.window == 1) {
@@ -966,7 +966,7 @@ bool Channel::NeedsReplyResend() const {
 }
 
 sim::Task<void> Channel::MaybeResendAfterSwitch() {
-  if (server_visible_mode() != Mode::kServerReply) {
+  if (unsafe_switch_race_ || server_visible_mode() != Mode::kServerReply) {
     co_return;
   }
   if (options_.window == 1) {
@@ -1346,7 +1346,7 @@ sim::Task<void> Channel::FetchSweep(int primary) {
       for (int s : pending) {
         ClientSlot& cs = cslot(s);
         const ResponseHeader header = client_.Load<ResponseHeader>(land_off(s));
-        if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
+        if (wire::UnpackStatus(header.size_status) && AcceptSeq(header.seq, cs.seq)) {
           cs.landing_ready = true;
           cs.fetch_tick = wcs[0].check_tick;
           cs.fetched_len = static_cast<uint32_t>(block_bytes_);
@@ -1390,7 +1390,7 @@ sim::Task<void> Channel::FetchSweep(int primary) {
     ++stats_.fetch_reads;
     ++cs.attempt_reads;
     const ResponseHeader header = client_.Load<ResponseHeader>(land_off(slots[i]));
-    if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
+    if (wire::UnpackStatus(header.size_status) && AcceptSeq(header.seq, cs.seq)) {
       cs.landing_ready = true;
       cs.fetch_tick = wcs[i].check_tick;
       cs.fetched_len = ops[i].len;
@@ -1405,7 +1405,7 @@ sim::Task<size_t> Channel::AwaitReplySlot(int slot, std::span<std::byte> out) {
   ClientSlot& cs = cslot(slot);
   while (true) {
     const ResponseHeader header = client_.Load<ResponseHeader>(land_off(slot));
-    if (wire::UnpackStatus(header.size_status) && header.seq == cs.seq) {
+    if (wire::UnpackStatus(header.size_status) && AcceptSeq(header.seq, cs.seq)) {
       if (wire::UnpackBusy(header.size_status)) {
         if (check::FabricChecker* chk = fabric_->checker()) {
           chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,

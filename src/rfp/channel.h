@@ -304,6 +304,21 @@ class Channel {
   // Adjusts F at runtime (used when the parameter selector re-tunes).
   void set_fetch_size(uint32_t f);
 
+  // TEST ONLY (tests/explore corpus): drops the sequence-tag filter on
+  // response acceptance, modelling a client that trusts any completed
+  // response header. A late response from a superseded attempt (window
+  // re-issue, crash re-issue) is then accepted as the current call's result;
+  // the schedule explorer plus the linearizability oracle pin exactly that
+  // bug. Never set in production paths.
+  void set_unsafe_accept_stale_seq(bool unsafe) { unsafe_accept_stale_seq_ = unsafe; }
+
+  // TEST ONLY (tests/explore corpus): disables the post-switch resend safety
+  // net — NeedsReplyResend() reports nothing and MaybeResendAfterSwitch()
+  // does nothing — modelling a server without the switch-race republish
+  // (docs/overload.md). Schedules where the mode-switch WRITE lands after
+  // the handler sampled the request block then strand the stored response.
+  void set_unsafe_switch_race(bool unsafe) { unsafe_switch_race_ = unsafe; }
+
   rdma::Node* client_node() const { return client_node_; }
   rdma::Node* server_node() const { return server_node_; }
 
@@ -476,6 +491,10 @@ class Channel {
   bool OverloadSuppressesSwitch() const {
     return calls_since_busy_ < options_.overload_override_calls;
   }
+  // Response-acceptance seq filter (see set_unsafe_accept_stale_seq).
+  bool AcceptSeq(uint16_t header_seq, uint16_t expected) const {
+    return unsafe_accept_stale_seq_ || header_seq == expected;
+  }
   // Books one call outcome into the breaker window (bad = BUSY or fetch
   // timeout) and drives the state machine.
   void RecordBreakerOutcome(bool bad);
@@ -554,6 +573,8 @@ class Channel {
   uint64_t last_recv_deadline_ns_ = 0;
   bool last_resp_busy_ = false;  // BUSY responses push the header only
   bool defer_server_pushes_ = false;  // see set_defer_server_pushes
+  bool unsafe_accept_stale_seq_ = false;  // TEST ONLY, see setter
+  bool unsafe_switch_race_ = false;       // TEST ONLY, see setter
   // Zero-copy entry pin for the scalar path's outstanding response.
   std::shared_ptr<const void> resp_pin_;
 

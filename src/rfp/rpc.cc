@@ -254,7 +254,13 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
     // invalidate range-for iterators. Ownership is re-checked per entry —
     // a steal can only retarget channels this visit has not fenced busy.
     for (size_t ci = 0; ci < endpoints_.size(); ++ci) {
-      if (endpoints_[ci].owner != thread_index || endpoints_[ci].busy) {
+      // The busy skip below and the fences in the steal scans are one
+      // invariant with one mutant knob: unsafe_steal_busy_ models a
+      // dispatcher that forgot visits suspend, so it both steals fenced
+      // channels and sweeps a stolen channel whose old owner is still
+      // mid-visit (tests/explore corpus pins the resulting double-serve).
+      if (endpoints_[ci].owner != thread_index ||
+          (endpoints_[ci].busy && !unsafe_steal_busy_)) {
         continue;
       }
       Channel* channel = endpoints_[ci].channel;
@@ -394,7 +400,7 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
       int budget = options_.max_steals_per_sweep;
       for (size_t ci = 0; ci < endpoints_.size() && budget > 0; ++ci) {
         ChannelEntry& entry = endpoints_[ci];
-        if (entry.owner == thread_index || entry.busy) {
+        if (entry.owner == thread_index || (entry.busy && !unsafe_steal_busy_)) {
           continue;
         }
         if (!threads_[static_cast<size_t>(entry.owner)].crashed) {
@@ -406,7 +412,7 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
       if (!any) {
         for (size_t ci = 0; ci < endpoints_.size() && budget > 0; ++ci) {
           ChannelEntry& entry = endpoints_[ci];
-          if (entry.owner == thread_index || entry.busy ||
+          if (entry.owner == thread_index || (entry.busy && !unsafe_steal_busy_) ||
               threads_[static_cast<size_t>(entry.owner)].crashed) {
             continue;
           }
@@ -456,13 +462,6 @@ sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> re
   ++calls_;
   latency_.Record(channel_->client_node()->fabric()->engine().now() - start);
   co_return n;
-}
-
-sim::Task<size_t> RpcClient::Call(uint16_t rpc_id, std::span<const std::byte> request,
-                                  std::span<std::byte> response, sim::Time deadline_ns) {
-  CallOptions options;
-  options.deadline_ns = deadline_ns;
-  co_return co_await Call(rpc_id, request, response, options);
 }
 
 sim::Task<Channel::CallHandle> RpcClient::SubmitCall(uint16_t rpc_id,

@@ -150,6 +150,14 @@ class RpcServer {
   // rest of the sweep is served.
   uint64_t malformed_requests() const { return malformed_requests_; }
 
+  // TEST ONLY (tests/explore corpus): lets the steal scan cross the busy
+  // fence, modelling a dispatcher that forgets a visit can be suspended
+  // mid-handler. Two workers then sweep one channel concurrently in some
+  // schedules — the thief's recv clobbers the victim's slot cursor and a
+  // response goes out with the wrong payload. The schedule explorer pins
+  // exactly that bug; never set in production paths.
+  void set_unsafe_steal_busy_channels(bool unsafe) { unsafe_steal_busy_ = unsafe; }
+
   // Channel migrations between workers (orphan claims + load steals).
   uint64_t channel_steals() const { return channel_steals_; }
   uint64_t thread_steals(int thread) const {
@@ -208,6 +216,7 @@ class RpcServer {
   sim::Rng straggler_rng_;
   bool stop_ = false;
   bool started_ = false;
+  bool unsafe_steal_busy_ = false;  // TEST ONLY, see setter
   uint64_t server_ordinal_ = 0;
   uint64_t requests_served_ = 0;
   uint64_t thread_crashes_ = 0;
@@ -243,12 +252,6 @@ class RpcClient {
   // (see Channel::ClientRecv).
   sim::Task<size_t> Call(uint16_t rpc_id, std::span<const std::byte> request,
                          std::span<std::byte> response, const CallOptions& options = {});
-
-  // Old calling convention with a positional trailing deadline. The
-  // parameter moved to CallOptions::deadline_ns.
-  [[deprecated("pass rfp::CallOptions{.deadline_ns = ...} instead")]] sim::Task<size_t> Call(
-      uint16_t rpc_id, std::span<const std::byte> request, std::span<std::byte> response,
-      sim::Time deadline_ns);
 
   // ---- Pipelined calls (docs/pipelining.md) --------------------------------
 

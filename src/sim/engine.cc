@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "src/sim/schedule.h"
+
 namespace sim {
 
 namespace {
@@ -57,6 +59,10 @@ void Engine::ActorDone(std::exception_ptr e) {
 }
 
 void Engine::DispatchOne() {
+  if (policy_ != nullptr) {
+    DispatchOneWithPolicy();
+    return;
+  }
   // Moving out of the const top() is not allowed; copy the function handle
   // out through a const_cast-free path by re-popping into a local.
   PendingEvent ev = queue_.top();
@@ -64,6 +70,38 @@ void Engine::DispatchOne() {
   now_ = ev.when;
   ++events_processed_;
   ev.fn();
+}
+
+void Engine::DispatchOneWithPolicy() {
+  // Drain the full ready set for the next instant. Heap order yields the
+  // same-timestamp events in ascending seq, so the ready set the policy sees
+  // is indexed in FIFO order: choice 0 always means "what FIFO would do".
+  ready_scratch_.clear();
+  ready_scratch_.push_back(queue_.top());
+  queue_.pop();
+  const Time instant = ready_scratch_.front().when;
+  while (!queue_.empty() && queue_.top().when == instant) {
+    ready_scratch_.push_back(queue_.top());
+    queue_.pop();
+  }
+  size_t pick = 0;
+  if (ready_scratch_.size() > 1) {
+    pick = policy_->ChooseAndRecord(ready_scratch_.size());
+  }
+  PendingEvent chosen = std::move(ready_scratch_[pick]);
+  // Unchosen events go back with their original seq: relative FIFO order
+  // among them is preserved, so the next decision point sees a ready set
+  // that differs from this one only by the removal of `chosen` (plus
+  // whatever `chosen` itself schedules at this instant).
+  for (size_t i = 0; i < ready_scratch_.size(); ++i) {
+    if (i != pick) {
+      queue_.push(std::move(ready_scratch_[i]));
+    }
+  }
+  ready_scratch_.clear();
+  now_ = chosen.when;
+  ++events_processed_;
+  chosen.fn();
 }
 
 void Engine::Run() {

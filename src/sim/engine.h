@@ -6,6 +6,12 @@
 // their wake-up event fires. Events at equal timestamps run in FIFO order
 // (a monotonically increasing sequence number breaks ties), which makes
 // every simulation fully deterministic for a given seed.
+//
+// The FIFO tie-break can be overridden with a SchedulePolicy (schedule.h):
+// when a policy is installed, every instant with more than one ready event
+// becomes a recorded decision point, which is what explore::Explorer uses to
+// search the schedule space. With no policy installed the engine takes a
+// fast path that is bit-for-bit identical to the historical FIFO order.
 
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
@@ -22,6 +28,8 @@
 #include "src/sim/trace.h"
 
 namespace sim {
+
+class SchedulePolicy;
 
 class Engine {
  public:
@@ -44,7 +52,20 @@ class Engine {
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
   TraceSink* trace_sink() const { return trace_; }
 
+  // Installs (or removes, with nullptr) a same-timestamp tie-break policy.
+  // The policy must outlive the engine or be detached first; it is consulted
+  // only at instants with >= 2 ready events, so Yield() ordering and every
+  // other same-instant race is policy-controlled. Install before Run(): the
+  // decision-point sequence is only a stable replay artifact if the whole
+  // run used one policy.
+  void set_schedule_policy(SchedulePolicy* policy) { policy_ = policy; }
+  SchedulePolicy* schedule_policy() const { return policy_; }
+
   // Schedules `fn` to run at absolute virtual time `when` (clamped to now()).
+  // The clamp is a hard guarantee the schedule explorer relies on: an event
+  // can never be queued in the past, so the ready set at each instant — and
+  // therefore the decision-point sequence — is a function of prior decisions
+  // only, making recorded traces replayable.
   void ScheduleAt(Time when, std::function<void()> fn);
 
   // Schedules `fn` to run `delay` nanoseconds from now.
@@ -126,15 +147,18 @@ class Engine {
   };
 
   void DispatchOne();
+  void DispatchOneWithPolicy();
 
   Time now_ = 0;
   TraceSink* trace_ = nullptr;
+  SchedulePolicy* policy_ = nullptr;
   uint64_t next_actor_id_ = 1;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   int live_actors_ = 0;
   std::exception_ptr actor_failure_;
   std::priority_queue<PendingEvent, std::vector<PendingEvent>, EventOrder> queue_;
+  std::vector<PendingEvent> ready_scratch_;  // policy path: same-instant ready set
 };
 
 }  // namespace sim

@@ -1,0 +1,73 @@
+#include "src/sim/schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sim {
+
+std::string FormatDecisionTrace(const DecisionTrace& trace) {
+  std::string out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) {
+      out.push_back(',');
+    }
+    out += std::to_string(trace[i]);
+  }
+  return out;
+}
+
+DecisionTrace ParseDecisionTrace(const std::string& text) {
+  DecisionTrace trace;
+  if (text.empty() || text == "-") {
+    return trace;
+  }
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    const std::string token = text.substr(pos, comma - pos);
+    trace.push_back(static_cast<uint32_t>(std::strtoul(token.c_str(), nullptr, 10)));
+    pos = comma + 1;
+  }
+  return trace;
+}
+
+size_t SchedulePolicy::ChooseAndRecord(size_t arity) {
+  size_t pick = Choose(arity);
+  if (pick >= arity) {
+    pick = arity - 1;
+  }
+  decisions_.push_back(
+      Decision{static_cast<uint32_t>(arity), static_cast<uint32_t>(pick)});
+  return pick;
+}
+
+DecisionTrace SchedulePolicy::choices() const {
+  DecisionTrace out;
+  out.reserve(decisions_.size());
+  for (const Decision& d : decisions_) {
+    out.push_back(d.choice);
+  }
+  return out;
+}
+
+size_t ReplayPolicy::Choose(size_t arity) {
+  const size_t k = consumed_++;
+  if (k >= forced_.size()) {
+    return 0;  // past the recorded trace: FIFO
+  }
+  const size_t want = forced_[k];
+  if (want >= arity) {
+    if (strict_) {
+      throw ScheduleDivergence("replay diverged at decision " + std::to_string(k) +
+                               ": forced choice " + std::to_string(want) +
+                               " but ready set holds " + std::to_string(arity));
+    }
+    return arity - 1;
+  }
+  return want;
+}
+
+}  // namespace sim

@@ -1,0 +1,125 @@
+// Pluggable tie-break policies for the simulation engine.
+//
+// The engine's event queue orders events by (virtual time, sequence number):
+// same-timestamp events normally run in FIFO order, so every run explores
+// exactly one interleaving. A SchedulePolicy overrides the tie-break: at each
+// instant with more than one ready event, the engine hands the policy the
+// ready set (in FIFO order) and dispatches whichever event it picks. Every
+// pick is recorded as a (ready-set size, chosen index) pair, so the schedule
+// that a random policy happened to explore can be replayed exactly with
+// ReplayPolicy — a failing interleaving is a portable, diffable artifact.
+//
+// Policies only see *sizes and indices*, never event contents, which keeps
+// the decision space independent of wall-clock state and makes traces stable
+// across runs of the same scenario.
+
+#ifndef SRC_SIM_SCHEDULE_H_
+#define SRC_SIM_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace sim {
+
+// One recorded tie-break: the ready set held `arity` same-timestamp events
+// (arity >= 2; singletons are dispatched without consulting the policy) and
+// the policy picked the event at `choice` (0 = FIFO order, i.e. lowest seq).
+struct Decision {
+  uint32_t arity;
+  uint32_t choice;
+};
+
+// A schedule as a sequence of tie-break choices, in decision-point order.
+// Arities are not part of the trace: they are a property of the scenario and
+// are re-derived on replay (and checked, see ReplayPolicy::strict()).
+using DecisionTrace = std::vector<uint32_t>;
+
+// "0,2,1" <-> {0, 2, 1}. Empty trace formats as "" and "-" parses as empty.
+std::string FormatDecisionTrace(const DecisionTrace& trace);
+DecisionTrace ParseDecisionTrace(const std::string& text);
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  // Engine entry point: picks from a ready set of `arity` same-timestamp
+  // events (FIFO order; arity >= 2) and records the decision. Out-of-range
+  // picks from a policy are clamped to the ready set.
+  size_t ChooseAndRecord(size_t arity);
+
+  // Decisions recorded since construction / the last ResetRecording(), in
+  // decision-point order. choices() is the replayable DecisionTrace.
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  DecisionTrace choices() const;
+  void ResetRecording() { decisions_.clear(); }
+
+ protected:
+  // Returns the index (0 <= i < arity) of the ready-set event to dispatch.
+  virtual size_t Choose(size_t arity) = 0;
+
+ private:
+  std::vector<Decision> decisions_;
+};
+
+// Explicit FIFO: always picks index 0 (lowest sequence number), which is the
+// order the engine uses with no policy installed. Exists so tests can prove
+// the policy-dispatch path is schedule-equivalent to the built-in fast path.
+class FifoPolicy : public SchedulePolicy {
+ protected:
+  size_t Choose(size_t /*arity*/) override { return 0; }
+};
+
+// Seeded uniform shuffle: each tie-break picks uniformly from the ready set.
+// Same seed + same scenario => same schedule (the decision sequence depends
+// only on the seed and the arity sequence, which the scenario determines).
+class RandomShufflePolicy : public SchedulePolicy {
+ public:
+  explicit RandomShufflePolicy(uint64_t seed) : rng_(seed) {}
+
+ protected:
+  size_t Choose(size_t arity) override { return rng_.NextBounded(arity); }
+
+ private:
+  Rng rng_;
+};
+
+// Replays a recorded trace: decision point k picks forced[k] (clamped to the
+// ready set); decision points beyond the trace fall back to FIFO (index 0).
+// With strict mode on, a forced choice that exceeds the ready set — i.e. the
+// scenario diverged from the run that produced the trace — aborts the replay
+// with ScheduleDivergence instead of clamping.
+class ReplayPolicy : public SchedulePolicy {
+ public:
+  explicit ReplayPolicy(DecisionTrace forced) : forced_(std::move(forced)) {}
+
+  void set_strict(bool strict) { strict_ = strict; }
+
+  // Decision points consumed so far (including FIFO fallbacks past the end).
+  size_t consumed() const { return consumed_; }
+  // True once a decision point past the forced trace has been reached.
+  bool exhausted() const { return consumed_ > forced_.size(); }
+
+ protected:
+  size_t Choose(size_t arity) override;
+
+ private:
+  DecisionTrace forced_;
+  size_t consumed_ = 0;
+  bool strict_ = false;
+};
+
+// Thrown by a strict ReplayPolicy when the scenario's decision points no
+// longer match the recorded trace (ready set smaller than the forced choice).
+class ScheduleDivergence : public std::runtime_error {
+ public:
+  explicit ScheduleDivergence(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace sim
+
+#endif  // SRC_SIM_SCHEDULE_H_

@@ -18,6 +18,7 @@
 #include "src/rfp/channel.h"
 #include "src/rfp/wire.h"
 #include "src/sim/engine.h"
+#include "src/sim/schedule.h"
 #include "tests/testutil.h"
 
 namespace check {
@@ -606,6 +607,73 @@ TEST_F(CheckerCorpusTest, OverlappingSlotStoreFlagged) {
   ExpectViolations(fabric, ViolationKind::kRaceFetchStore, 1, before);
 }
 
+TEST_F(CheckerCorpusTest, SameInstantSlotScribblesFlaggedUnderShuffledPolicy) {
+  // Two CPU stores clobber both pipelined response slots at the identical
+  // virtual instant, with a shuffled tie-break policy permuting their order.
+  // Whatever order the policy picks, both slots are dirty when the client's
+  // sweep snapshots them: the verdict must be order-independent, and every
+  // violation must carry the decision trace that produced its interleaving.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    sim::Engine engine;
+    sim::RandomShufflePolicy policy(seed);
+    engine.set_schedule_policy(&policy);
+    Fabric fabric(engine);
+    Node& client = fabric.AddNode("client");
+    Node& server = fabric.AddNode("server");
+    rfp::RfpOptions options;
+    options.window = 2;
+    rfp::Channel channel(fabric, client, server, options);
+    const uint64_t before = MetricValue(ViolationKind::kRaceFetchStore);
+
+    engine.Spawn([](sim::Engine& eng, Fabric& fab, rfp::Channel* ch) -> sim::Task<void> {
+      std::vector<std::byte> buf(16384);
+      int served = 0;
+      while (served < 2) {
+        size_t n = 0;
+        if (ch->TryServerRecv(buf, &n)) {
+          co_await ch->ServerSend(std::span<const std::byte>(buf.data(), n));
+          ++served;
+        } else {
+          co_await eng.Sleep(sim::Nanos(200));
+        }
+      }
+      // Both scribbles land at the same instant; the shuffle decides which
+      // store the checker's logical clock orders first.
+      for (int slot = 0; slot < 2; ++slot) {
+        eng.ScheduleAt(eng.now() + sim::Micros(1), [&fab, ch, slot] {
+          MemoryRegion* mr = fab.FindRemote(RemoteKey{ch->server_rkey()});
+          const size_t victim = ch->response_offset() +
+                                static_cast<size_t>(slot) * ch->response_block_bytes() +
+                                rfp::kHeaderBytes;
+          mr->bytes()[victim] = std::byte{0xEE};
+          fab.checker()->OnCpuStore(ch->server_rkey(), victim, 1);
+        });
+      }
+    }(engine, fabric, &channel));
+
+    engine.Spawn([](sim::Engine& eng, rfp::Channel* ch) -> sim::Task<void> {
+      const rfp::Channel::CallHandle a = co_await ch->SubmitCall(AsBytes("slot-zero"));
+      const rfp::Channel::CallHandle b = co_await ch->SubmitCall(AsBytes("slot-one"));
+      co_await ch->FlushCalls();
+      co_await eng.Sleep(sim::Micros(20));
+      std::vector<std::byte> out(16384);
+      (void)co_await ch->AwaitCall(a, out);
+      (void)co_await ch->AwaitCall(b, out);
+    }(engine, &channel));
+
+    engine.Run();
+    ASSERT_NE(fabric.checker(), nullptr);
+    EXPECT_EQ(fabric.checker()->violations(ViolationKind::kRaceFetchStore), 2u)
+        << "seed " << seed;
+    EXPECT_EQ(MetricValue(ViolationKind::kRaceFetchStore) - before, 2u);
+    // With a policy installed, each recorded violation is replayable.
+    for (const Violation& v : fabric.checker()->recent()) {
+      EXPECT_FALSE(v.schedule_trace.empty()) << v.detail;
+      EXPECT_NE(v.detail.find("[schedule="), std::string::npos) << v.detail;
+    }
+  }
+}
+
 // ---- Modes --------------------------------------------------------------------
 
 TEST_F(CheckerCorpusTest, StrictModeThrowsOutOfTheActor) {
@@ -843,6 +911,62 @@ TEST(RaceTrackerTest, PartialPublishLeavesRestDirty) {
   auto dirty = tracker.FirstDirty(0, 16, 3);
   ASSERT_TRUE(dirty.has_value());
   EXPECT_EQ(dirty->off, 8u);
+}
+
+TEST(RaceTrackerTest, RemoteWriteRacingPublicationCleansOnlyItsBytes) {
+  // A NIC WRITE lands mid-range while the surrounding bytes sit dirty from a
+  // CPU store after the last publication point: the atomic store+publish of
+  // the WRITE must not launder its neighbors.
+  RaceTracker tracker(64);
+  tracker.Publish(0, 16, 1);
+  tracker.Store(0, 16, 2);     // whole range dirty again
+  tracker.RemoteWrite(4, 4, 3);  // lands atomically inside it
+  auto dirty = tracker.FirstDirty(0, 16, 4);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_EQ(dirty->off, 0u);  // bytes before the WRITE are still dirty
+  EXPECT_EQ(dirty->len, 4u);
+  // The WRITE's own bytes are clean; the tail beyond it is not.
+  EXPECT_FALSE(tracker.FirstDirty(4, 4, 4).has_value());
+  ASSERT_TRUE(tracker.FirstDirty(8, 8, 4).has_value());
+}
+
+TEST(RaceTrackerTest, RemoteWriteAfterSnapshotCannotRetroactivelyClean) {
+  // The reader snapshotted at tick 3; a WRITE landing at tick 5 is no
+  // publication for that earlier read — the dirty store must still surface.
+  RaceTracker tracker(64);
+  tracker.Publish(0, 8, 1);
+  tracker.Store(0, 8, 2);
+  tracker.RemoteWrite(0, 8, 5);
+  ASSERT_TRUE(tracker.FirstDirty(0, 8, 3).has_value());
+  EXPECT_EQ(tracker.FirstDirty(0, 8, 3)->store_tick, 2u);
+  EXPECT_FALSE(tracker.FirstDirty(0, 8, 5).has_value());
+}
+
+TEST(RaceTrackerTest, StoreAfterRemoteWriteRedirties) {
+  RaceTracker tracker(64);
+  tracker.RemoteWrite(0, 8, 1);
+  tracker.Store(2, 2, 2);
+  auto dirty = tracker.FirstDirty(0, 8, 3);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_EQ(dirty->off, 2u);
+  EXPECT_EQ(dirty->len, 2u);
+  EXPECT_EQ(dirty->store_tick, 2u);
+}
+
+TEST(RaceTrackerTest, IdenticalTickTiesAreDecidedByLogOrder) {
+  // Two events on the same bytes at the same tick: the checker's logical
+  // clock normally forbids this, but the tracker's contract is defined —
+  // the later-appended event decides (newest-to-oldest log scan). Pinned
+  // so a future refactor cannot silently flip the tie to "dirty wins".
+  RaceTracker store_then_write(64);
+  store_then_write.Store(0, 4, 7);
+  store_then_write.RemoteWrite(0, 4, 7);
+  EXPECT_FALSE(store_then_write.FirstDirty(0, 4, 7).has_value());
+
+  RaceTracker write_then_store(64);
+  write_then_store.RemoteWrite(0, 4, 7);
+  write_then_store.Store(0, 4, 7);
+  ASSERT_TRUE(write_then_store.FirstDirty(0, 4, 7).has_value());
 }
 
 TEST(RaceTrackerTest, CompactionPreservesDirtyState) {

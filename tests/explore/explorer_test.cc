@@ -1,0 +1,209 @@
+// Explorer unit tests: lexicographic DFS stepping (NextTrace), exhaustive
+// enumeration counts, seed-deterministic random sampling, shrinking to a
+// minimal failing trace, fault-plan cross-product, and Replay.
+
+#include "src/explore/explorer.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/schedule.h"
+#include "src/sim/time.h"
+
+namespace explore {
+namespace {
+
+std::vector<sim::Decision> Decisions(std::initializer_list<std::pair<uint32_t, uint32_t>> list) {
+  std::vector<sim::Decision> out;
+  for (const auto& [arity, choice] : list) {
+    out.push_back(sim::Decision{arity, choice});
+  }
+  return out;
+}
+
+TEST(NextTraceTest, IncrementsDeepestOpenDecision) {
+  sim::DecisionTrace next;
+  // Tree of arities (3, 2): after leaf {0, 0} the next leaf is {0, 1}.
+  ASSERT_TRUE(NextTrace(Decisions({{3, 0}, {2, 0}}), 24, &next));
+  EXPECT_EQ(next, (sim::DecisionTrace{0, 1}));
+  // After {0, 1} the deepest open decision is the first: {1} (suffix reset).
+  ASSERT_TRUE(NextTrace(Decisions({{3, 0}, {2, 1}}), 24, &next));
+  EXPECT_EQ(next, (sim::DecisionTrace{1}));
+  // Last leaf: nothing left.
+  EXPECT_FALSE(NextTrace(Decisions({{3, 2}, {2, 1}}), 24, &next));
+}
+
+TEST(NextTraceTest, DepthBoundFreezesDeeperDecisions) {
+  sim::DecisionTrace next;
+  // With max_depth 1 only the first decision is incremented; the second
+  // (arity 5, choice 0) is out of bounds and never stepped.
+  ASSERT_TRUE(NextTrace(Decisions({{3, 0}, {5, 0}}), 1, &next));
+  EXPECT_EQ(next, (sim::DecisionTrace{1}));
+  EXPECT_FALSE(NextTrace(Decisions({{3, 2}, {5, 0}}), 1, &next));
+}
+
+TEST(NextTraceTest, NoDecisionsMeansExhausted) {
+  sim::DecisionTrace next;
+  EXPECT_FALSE(NextTrace({}, 24, &next));
+}
+
+// Scenario: three same-instant events append their ids; the outcome hash
+// encodes the permutation. 3! = 6 leaves, all distinct.
+Scenario PermutationScenario(std::vector<std::vector<int>>* orders = nullptr) {
+  return [orders](ScenarioRun& run) {
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+      run.engine.ScheduleAt(sim::Micros(1), [&order, i] { order.push_back(i); });
+    }
+    run.engine.Run();
+    if (orders != nullptr) {
+      orders->push_back(order);
+    }
+    uint64_t hash = 0;
+    for (int v : order) {
+      hash = hash * 10 + static_cast<uint64_t>(v) + 1;
+    }
+    return Outcome::Pass(hash);
+  };
+}
+
+TEST(ExplorerTest, ExhaustiveEnumerationCoversAllPermutations) {
+  Options options;
+  options.max_schedules = 64;
+  options.exhaustive_share_pct = 100;
+  options.label = "perm";
+  std::vector<std::vector<int>> orders;
+  Report report = Explorer(options).Run(PermutationScenario(&orders));
+  EXPECT_FALSE(report.failed);
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.schedules, 6u);
+  EXPECT_EQ(report.distinct_states, 6u);
+  EXPECT_EQ(report.violations, 0u);
+  std::set<std::vector<int>> distinct(orders.begin(), orders.end());
+  EXPECT_EQ(distinct.size(), 6u);  // every permutation of {0,1,2} reached
+  EXPECT_NE(report.Summary().find("6"), std::string::npos);
+}
+
+TEST(ExplorerTest, BudgetStopsEnumerationEarly) {
+  Options options;
+  options.max_schedules = 4;
+  options.exhaustive_share_pct = 100;
+  Report report = Explorer(options).Run(PermutationScenario());
+  EXPECT_EQ(report.schedules, 4u);
+  EXPECT_FALSE(report.exhausted);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(ExplorerTest, RandomSamplingIsSeedDeterministic) {
+  auto run_with_seed = [](uint64_t seed) {
+    Options options;
+    options.max_schedules = 16;
+    options.exhaustive_share_pct = 0;  // purely random
+    options.seed = seed;
+    std::vector<std::vector<int>> orders;
+    Explorer(options).Run(PermutationScenario(&orders));
+    return orders;
+  };
+  const auto a = run_with_seed(42);
+  const auto b = run_with_seed(42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);
+  const auto c = run_with_seed(43);
+  EXPECT_NE(a, c);  // 6^16 orderings; a collision would be astronomical
+}
+
+// Fails exactly when event 2 runs first — reachable only off the FIFO path.
+Scenario FailIfTwoFirst() {
+  return [](ScenarioRun& run) {
+    std::vector<int> order;
+    for (int i = 0; i < 3; ++i) {
+      run.engine.ScheduleAt(sim::Micros(1), [&order, i] { order.push_back(i); });
+    }
+    run.engine.Run();
+    if (order[0] == 2) {
+      return Outcome::Fail("event 2 preempted the queue");
+    }
+    return Outcome::Pass();
+  };
+}
+
+TEST(ExplorerTest, FirstFailureIsShrunkToMinimalTrace) {
+  Options options;
+  options.max_schedules = 64;
+  options.exhaustive_share_pct = 100;
+  Report report = Explorer(options).Run(FailIfTwoFirst());
+  ASSERT_TRUE(report.failed);
+  EXPECT_EQ(report.violations, 1u);
+  EXPECT_EQ(report.failure_message, "event 2 preempted the queue");
+  // Lexicographic DFS steps {} -> {0,1} -> {1} -> {1,1} -> {2}: the failure
+  // is reached at the one-decision trace, which is already minimal.
+  EXPECT_EQ(report.failing_trace, (sim::DecisionTrace{2}));
+  EXPECT_EQ(report.minimal_trace, (sim::DecisionTrace{2}));
+  EXPECT_FALSE(report.exhausted);  // stopped at the failure
+
+  // The minimal trace is a replayable artifact.
+  Outcome replayed = Replay(FailIfTwoFirst(), report.minimal_trace);
+  EXPECT_FALSE(replayed.ok);
+  EXPECT_EQ(replayed.message, "event 2 preempted the queue");
+  // And the FIFO schedule (empty trace) passes.
+  EXPECT_TRUE(Replay(FailIfTwoFirst(), {}).ok);
+}
+
+TEST(ExplorerTest, ScenarioExceptionsBecomeFailures) {
+  Options options;
+  options.max_schedules = 8;
+  Report report = Explorer(options).Run([](ScenarioRun& run) -> Outcome {
+    run.engine.Run();
+    throw std::runtime_error("strict checker tripped");
+  });
+  ASSERT_TRUE(report.failed);
+  EXPECT_NE(report.failure_message.find("strict checker tripped"), std::string::npos);
+}
+
+TEST(ExplorerTest, FaultPlansCrossScheduleExploration) {
+  Options options;
+  options.max_schedules = 12;
+  options.exhaustive_share_pct = 100;
+  options.fault_plans.emplace_back();  // empty plan
+  options.fault_plans.emplace_back();
+  options.fault_plans.back().NicStall(sim::Micros(1), 0, true, sim::Micros(2));
+
+  std::set<size_t> plans_seen;
+  std::vector<size_t> plan_sizes;
+  Report report = Explorer(options).Run([&](ScenarioRun& run) {
+    plans_seen.insert(run.plan_index);
+    plan_sizes.push_back(run.plan.size());
+    run.engine.ScheduleAt(sim::Micros(1), [] {});
+    run.engine.ScheduleAt(sim::Micros(1), [] {});
+    run.engine.Run();
+    return Outcome::Pass(run.plan_index);
+  });
+  EXPECT_FALSE(report.failed);
+  EXPECT_TRUE(report.exhausted);  // 2 leaves per plan, budget 6 each
+  EXPECT_EQ(plans_seen, (std::set<size_t>{0, 1}));
+  // The handed-in plan matches the index: plan 0 empty, plan 1 has 1 event.
+  for (size_t i = 0; i < plan_sizes.size(); ++i) {
+    EXPECT_LE(plan_sizes[i], 1u);
+  }
+  EXPECT_GE(report.distinct_states, 2u);  // state hash separates the plans
+}
+
+TEST(ExplorerTest, ExplorationIsRepeatableEndToEnd) {
+  // Same options -> identical report (determinism of the whole pipeline).
+  Options options;
+  options.max_schedules = 20;
+  options.exhaustive_share_pct = 50;
+  options.seed = 7;
+  Report a = Explorer(options).Run(PermutationScenario());
+  Report b = Explorer(options).Run(PermutationScenario());
+  EXPECT_EQ(a.schedules, b.schedules);
+  EXPECT_EQ(a.distinct_states, b.distinct_states);
+  EXPECT_EQ(a.failed, b.failed);
+}
+
+}  // namespace
+}  // namespace explore

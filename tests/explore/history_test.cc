@@ -1,0 +1,258 @@
+// Linearizability-oracle unit tests: legal and illegal histories, pending
+// operations (apply-or-drop), delete semantics, per-key partitioning, the
+// per-key DFS bound, and the recorder's bookkeeping.
+
+#include "src/explore/history.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace explore {
+namespace {
+
+// Shorthand for hand-assembled histories. Orders are explicit; id is
+// positional.
+HistoryOp Op(OpKind kind, std::string key, std::string value, bool found,
+             uint64_t invoke, uint64_t respond) {
+  HistoryOp op;
+  op.id = invoke;  // unique enough for tests
+  op.kind = kind;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  op.found = found;
+  op.invoke_order = invoke;
+  op.respond_order = respond;
+  return op;
+}
+
+TEST(LinCheckerTest, SequentialPutThenGetIsLinearizable) {
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kPut, "k", "v1", false, 1, 2),
+      Op(OpKind::kGet, "k", "v1", true, 3, 4),
+  };
+  LinResult r = CheckLinearizable(ops);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.keys_checked, 1u);
+}
+
+TEST(LinCheckerTest, StaleReadAfterCompletedPutIsNotLinearizable) {
+  // GET invoked strictly after PUT responded must observe the write.
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kPut, "k", "v1", false, 1, 2),
+      Op(OpKind::kGet, "k", "", false, 3, 4),  // found=false: stale
+  };
+  LinResult r = CheckLinearizable(ops);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("key 'k'"), std::string::npos);
+  EXPECT_NE(r.message.find("no linearization"), std::string::npos);
+}
+
+TEST(LinCheckerTest, ConcurrentGetMaySeeEitherSideOfOverlappingPut) {
+  // GET overlaps the PUT: both found=false (before) and found=true "v1"
+  // (after) are legal.
+  for (bool found : {false, true}) {
+    std::vector<HistoryOp> ops{
+        Op(OpKind::kPut, "k", "v1", false, 1, 4),
+        Op(OpKind::kGet, "k", found ? "v1" : "", found, 2, 3),
+    };
+    LinResult r = CheckLinearizable(ops);
+    EXPECT_TRUE(r.ok) << "found=" << found << ": " << r.message;
+  }
+}
+
+TEST(LinCheckerTest, ValueNeverWrittenIsNotLinearizable) {
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kPut, "k", "v1", false, 1, 2),
+      Op(OpKind::kGet, "k", "phantom", true, 3, 4),
+  };
+  EXPECT_FALSE(CheckLinearizable(ops).ok);
+}
+
+TEST(LinCheckerTest, PendingPutMayApplyOrDrop) {
+  // A PUT with no response may have taken effect — or not. Both observations
+  // are legal.
+  for (bool saw_it : {false, true}) {
+    std::vector<HistoryOp> ops{
+        Op(OpKind::kPut, "k", "v1", false, 1, 0),  // pending
+        Op(OpKind::kGet, "k", saw_it ? "v1" : "", saw_it, 2, 3),
+    };
+    LinResult r = CheckLinearizable(ops);
+    EXPECT_TRUE(r.ok) << "saw_it=" << saw_it << ": " << r.message;
+  }
+}
+
+TEST(LinCheckerTest, PendingPutCannotExplainADifferentValue) {
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kPut, "k", "v1", false, 1, 0),  // pending
+      Op(OpKind::kGet, "k", "v2", true, 2, 3),
+  };
+  EXPECT_FALSE(CheckLinearizable(ops).ok);
+}
+
+TEST(LinCheckerTest, DeleteFoundRequiresPresence) {
+  // DELETE returning found=true on a key that was never written: illegal.
+  std::vector<HistoryOp> bad{
+      Op(OpKind::kDelete, "k", "", true, 1, 2),
+  };
+  EXPECT_FALSE(CheckLinearizable(bad).ok);
+  // found=false on the absent key: fine.
+  std::vector<HistoryOp> good{
+      Op(OpKind::kDelete, "k", "", false, 1, 2),
+  };
+  EXPECT_TRUE(CheckLinearizable(good).ok);
+  // PUT, DELETE(found), GET(absent): the classic legal sequence.
+  std::vector<HistoryOp> full{
+      Op(OpKind::kPut, "k", "v1", false, 1, 2),
+      Op(OpKind::kDelete, "k", "", true, 3, 4),
+      Op(OpKind::kGet, "k", "", false, 5, 6),
+  };
+  EXPECT_TRUE(CheckLinearizable(full).ok);
+}
+
+TEST(LinCheckerTest, InitialValuesSeedTheRegister) {
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kGet, "k", "seeded", true, 1, 2),
+  };
+  EXPECT_FALSE(CheckLinearizable(ops).ok);  // unseeded keys start absent
+  EXPECT_TRUE(CheckLinearizable(ops, {{"k", "seeded"}}).ok);
+}
+
+TEST(LinCheckerTest, KeysAreCheckedIndependently) {
+  // Key "a" is fine; key "b" carries the violation — the message names it.
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kPut, "a", "v1", false, 1, 2),
+      Op(OpKind::kGet, "a", "v1", true, 3, 4),
+      Op(OpKind::kPut, "b", "v1", false, 5, 6),
+      Op(OpKind::kGet, "b", "", false, 7, 8),
+  };
+  LinResult r = CheckLinearizable(ops);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("key 'b'"), std::string::npos);
+  EXPECT_EQ(r.message.find("key 'a'"), std::string::npos);
+}
+
+TEST(LinCheckerTest, PendingGetsAreDropped) {
+  // A GET that never responded constrains nothing.
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kPut, "k", "v1", false, 1, 2),
+      Op(OpKind::kGet, "k", "", false, 3, 0),  // pending GET
+      Op(OpKind::kGet, "k", "v1", true, 4, 5),
+  };
+  EXPECT_TRUE(CheckLinearizable(ops).ok);
+}
+
+TEST(LinCheckerTest, OversizedKeyFailsWithBoundMessage) {
+  std::vector<HistoryOp> ops;
+  for (uint64_t i = 0; i < 5; ++i) {
+    ops.push_back(Op(OpKind::kPut, "k", "v" + std::to_string(i), false,
+                     2 * i + 1, 2 * i + 2));
+  }
+  LinResult r = CheckLinearizable(ops, {}, /*max_ops_per_key=*/4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("DFS bound"), std::string::npos);
+}
+
+TEST(LinCheckerTest, ContendedWindowHistoryIsExplored) {
+  // Three overlapping PUTs and interleaved GETs — exercises the memoized
+  // DFS beyond trivial sizes. Every GET value is one of the written values
+  // in an order consistent with real time.
+  std::vector<HistoryOp> ops{
+      Op(OpKind::kPut, "k", "a", false, 1, 5),
+      Op(OpKind::kPut, "k", "b", false, 2, 6),
+      Op(OpKind::kPut, "k", "c", false, 3, 7),
+      Op(OpKind::kGet, "k", "b", true, 4, 8),
+      Op(OpKind::kGet, "k", "c", true, 9, 10),
+  };
+  LinResult r = CheckLinearizable(ops);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_GT(r.states_explored, 0u);
+
+  // Flip the last read to a value overwritten before its invocation in
+  // every legal order: "a" after "c" was read is fine... but reading "b"
+  // then "a" then requiring "c" read earlier makes it illegal.
+  std::vector<HistoryOp> bad{
+      Op(OpKind::kPut, "k", "a", false, 1, 5),
+      Op(OpKind::kPut, "k", "b", false, 2, 6),
+      Op(OpKind::kGet, "k", "a", true, 7, 8),
+      Op(OpKind::kGet, "k", "b", true, 9, 10),
+      Op(OpKind::kGet, "k", "a", true, 11, 12),
+  };
+  // a, b, a with no third write: the register can't oscillate back.
+  EXPECT_FALSE(CheckLinearizable(bad).ok);
+}
+
+TEST(HistoryRecorderTest, RecordsInvokeResponsePairs) {
+  HistoryRecorder rec;
+  uint64_t put = rec.OnInvoke(OpKind::kPut, "k", "v1");
+  rec.OnPutResponse(put);
+  uint64_t get = rec.OnInvoke(OpKind::kGet, "k");
+  rec.OnGetResponse(get, true, std::string_view("v1"));
+  uint64_t del = rec.OnInvoke(OpKind::kDelete, "k");
+  rec.OnDeleteResponse(del, true);
+
+  ASSERT_EQ(rec.ops().size(), 3u);
+  EXPECT_EQ(rec.completed_ops(), 3u);
+  EXPECT_LT(rec.ops()[0].invoke_order, rec.ops()[0].respond_order);
+  EXPECT_LT(rec.ops()[0].respond_order, rec.ops()[1].invoke_order);
+  EXPECT_TRUE(rec.CheckLinearizable().ok);
+
+  rec.Clear();
+  EXPECT_TRUE(rec.ops().empty());
+  EXPECT_EQ(rec.completed_ops(), 0u);
+}
+
+TEST(HistoryRecorderTest, UnrespondedOpsStayPending) {
+  HistoryRecorder rec;
+  rec.OnInvoke(OpKind::kPut, "k", "v1");  // never responded
+  ASSERT_EQ(rec.ops().size(), 1u);
+  EXPECT_TRUE(rec.ops()[0].pending());
+  EXPECT_EQ(rec.completed_ops(), 0u);
+  EXPECT_TRUE(rec.CheckLinearizable().ok);
+}
+
+TEST(HistoryRecorderTest, ApplyEventsAreDiagnosticsOnly) {
+  HistoryRecorder rec;
+  rec.OnApply(OpKind::kPut, "k");
+  rec.OnApply(OpKind::kGet, "k");
+  EXPECT_EQ(rec.applies().size(), 2u);
+  EXPECT_TRUE(rec.ops().empty());  // applies never enter the judged history
+  EXPECT_TRUE(rec.CheckLinearizable().ok);
+}
+
+TEST(HistoryRecorderTest, CheckStrictThrowsWithScheduleTrace) {
+  HistoryRecorder rec;
+  uint64_t put = rec.OnInvoke(OpKind::kPut, "k", "v1");
+  rec.OnPutResponse(put);
+  uint64_t get = rec.OnInvoke(OpKind::kGet, "k");
+  rec.OnGetResponse(get, false, std::string_view(""));
+
+  try {
+    rec.CheckStrict("2,0,1");
+    FAIL() << "expected LinearizabilityError";
+  } catch (const LinearizabilityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not linearizable"), std::string::npos);
+    EXPECT_NE(what.find("[schedule=2,0,1]"), std::string::npos);
+  }
+}
+
+TEST(HistoryRecorderTest, ByteSpanOverloadsMatchStringForm) {
+  HistoryRecorder rec;
+  const std::string key = "key16bytes_pad__";
+  const std::string value = "value";
+  auto key_span = std::as_bytes(std::span(key.data(), key.size()));
+  auto value_span = std::as_bytes(std::span(value.data(), value.size()));
+  uint64_t put = rec.OnInvoke(OpKind::kPut, key_span, value_span);
+  rec.OnPutResponse(put);
+  uint64_t get = rec.OnInvoke(OpKind::kGet, key_span);
+  rec.OnGetResponse(get, true, value_span);
+  ASSERT_EQ(rec.ops().size(), 2u);
+  EXPECT_EQ(rec.ops()[0].key, key);
+  EXPECT_EQ(rec.ops()[0].value, value);
+  EXPECT_TRUE(rec.CheckLinearizable().ok);
+}
+
+}  // namespace
+}  // namespace explore

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/explore/history.h"
 #include "src/rdma/fabric.h"
 #include "src/sim/engine.h"
 #include "src/sim/time.h"
@@ -467,6 +468,35 @@ TEST_F(JakiroTest, ZeroCopyFallsBackUnderForcedReply) {
   EXPECT_EQ(stats.zero_copy_fetches, 0u);
   EXPECT_EQ(stats.fetch_reads, 0u);
   EXPECT_GE(stats.reply_pushes, 20u);
+}
+
+TEST_F(JakiroTest, HistoryRecorderJudgesClientVisibleOps) {
+  // The explore oracle rides along on real Jakiro traffic: every client op
+  // is recorded as an invoke/response pair, and the resulting history is
+  // linearizable per key.
+  JakiroServer* server = MakeServer();
+  JakiroClient client(*server, *client_node_);
+  explore::HistoryRecorder recorder;
+  client.set_history_recorder(&recorder);
+  server->Start();
+
+  engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
+    std::vector<std::byte> value(4096);
+    EXPECT_TRUE(co_await c->Put(Bytes("h"), Bytes("v1")));
+    EXPECT_TRUE((co_await c->Get(Bytes("h"), value)).has_value());
+    EXPECT_TRUE(co_await c->Put(Bytes("h"), Bytes("v2")));
+    EXPECT_TRUE((co_await c->Get(Bytes("h"), value)).has_value());
+    EXPECT_TRUE(co_await c->Delete(Bytes("h")));
+    EXPECT_FALSE((co_await c->Get(Bytes("h"), value)).has_value());
+  }(&client));
+  engine_.RunUntil(sim::Millis(10));
+  server->Stop();
+
+  EXPECT_EQ(recorder.ops().size(), 6u);
+  EXPECT_EQ(recorder.completed_ops(), 6u);
+  explore::LinResult r = recorder.CheckLinearizable();
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_NO_THROW(recorder.CheckStrict());
 }
 
 TEST_F(JakiroTest, MultiGetArenaExhaustionThrows) {

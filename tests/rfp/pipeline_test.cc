@@ -337,18 +337,16 @@ TEST_F(PipelineRpcTest, CallOptionsCarryTheDeadline) {
   EXPECT_EQ(client_->calls(), 1u);
 }
 
-// The old positional-deadline overload keeps compiling and behaving; new
-// code gets steered to CallOptions by the deprecation warning.
-TEST_F(PipelineRpcTest, DeprecatedPositionalDeadlineOverloadStillWorks) {
+// The positional-deadline overload is gone (deprecated in the pipelining PR,
+// removed once the last caller migrated); designated-initializer CallOptions
+// is the single way to pass a deadline and behaves identically.
+TEST_F(PipelineRpcTest, CallOptionsDesignatedInitializerReplacesOldOverload) {
   RfpOptions options;
   StartEcho(options);
   engine_.Spawn([](sim::Engine& eng, RpcServer* srv, RpcClient* cl) -> sim::Task<void> {
     std::vector<std::byte> out(16384);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     const size_t got = co_await cl->Call(7, AsBytes("old-style"), out,
-                                         eng.now() + sim::Millis(5));
-#pragma GCC diagnostic pop
+                                         CallOptions{.deadline_ns = eng.now() + sim::Millis(5)});
     EXPECT_EQ(got, 9u);
     srv->Stop();
   }(engine_, server_.get(), client_.get()));

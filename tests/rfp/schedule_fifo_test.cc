@@ -1,0 +1,129 @@
+// S1 regression: installing an explicit FifoPolicy must reproduce the
+// engine's built-in FIFO fast path bit-for-bit on a realistic dataplane
+// scenario. The scenario mirrors the Fig 9 bench shape (bench::RunEcho):
+// an echo RPC with controlled server process time, swept across process
+// times under both forced paradigms. Equality is asserted on engine
+// virtual time, events processed, and every observable counter — if the
+// policy-dispatch slow path ever reorders a same-instant ready set
+// differently from the historical heap order, this test catches it.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rdma/fabric.h"
+#include "src/rfp/options.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/engine.h"
+#include "src/sim/schedule.h"
+#include "src/sim/time.h"
+
+namespace rfp {
+namespace {
+
+constexpr uint16_t kEcho = 1;
+
+// One fig09-shaped run: `clients` echo clients against a 2-thread server,
+// each issuing `calls` requests of `process_ns` server compute. Returns
+// every observable the run produces, for exact comparison.
+struct Fig09Observables {
+  sim::Time final_now = 0;
+  uint64_t events = 0;
+  uint64_t served = 0;
+  uint64_t served_t0 = 0;
+  uint64_t served_t1 = 0;
+  int completed = 0;
+
+  bool operator==(const Fig09Observables&) const = default;
+};
+
+Fig09Observables RunFig09Scenario(sim::SchedulePolicy* policy,
+                                  RfpOptions::ForceMode mode, sim::Time process_ns) {
+  sim::Engine engine;
+  engine.set_schedule_policy(policy);
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  RpcServer server(fabric, server_node, 2);
+  server.RegisterHandler(kEcho, [process_ns](const HandlerContext&,
+                                             std::span<const std::byte> req,
+                                             std::span<std::byte> resp) {
+    std::memcpy(resp.data(), req.data(), req.size());
+    return HandlerResult{req.size(), process_ns};
+  });
+
+  RfpOptions options;
+  options.force_mode = mode;
+  const int clients = 4;
+  const int calls = 12;
+  std::vector<Channel*> channels;
+  for (int i = 0; i < clients; ++i) {
+    rdma::Node& node = fabric.AddNode("client" + std::to_string(i));
+    channels.push_back(server.AcceptChannel(node, options, i % 2));
+  }
+  server.Start();
+
+  Fig09Observables out;
+  for (int i = 0; i < clients; ++i) {
+    engine.Spawn([](Channel* channel, int id, int n, int* done) -> sim::Task<void> {
+      RpcClient client(channel);
+      std::vector<std::byte> resp(256);
+      for (int k = 0; k < n; ++k) {
+        std::string msg = "c" + std::to_string(id) + "-" + std::to_string(k);
+        std::span<const std::byte> req = std::as_bytes(std::span(msg.data(), msg.size()));
+        size_t got = co_await client.Call(kEcho, req, resp);
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(resp.data()), got), msg);
+      }
+      ++*done;
+    }(channels[static_cast<size_t>(i)], i, calls, &out.completed));
+  }
+  engine.RunUntil(sim::Millis(20));
+  server.Stop();
+
+  out.final_now = engine.now();
+  out.events = engine.events_processed();
+  out.served = server.requests_served();
+  out.served_t0 = server.requests_served_by(0);
+  out.served_t1 = server.requests_served_by(1);
+  return out;
+}
+
+TEST(ScheduleFifoRegressionTest, ExplicitFifoReproducesFastPathOnFig09Scenario) {
+  // Sweep the paper's process-time axis under both forced paradigms, the
+  // same grid shape Fig 9 plots.
+  const sim::Time process_sweep[] = {sim::Nanos(300), sim::Micros(2), sim::Micros(8)};
+  const RfpOptions::ForceMode modes[] = {RfpOptions::ForceMode::kForceFetch,
+                                         RfpOptions::ForceMode::kForceReply};
+  for (RfpOptions::ForceMode mode : modes) {
+    for (sim::Time p : process_sweep) {
+      const Fig09Observables fast = RunFig09Scenario(nullptr, mode, p);
+      sim::FifoPolicy fifo;
+      const Fig09Observables policied = RunFig09Scenario(&fifo, mode, p);
+      EXPECT_EQ(fast, policied)
+          << "mode=" << static_cast<int>(mode) << " process_ns=" << p
+          << " fast={now=" << fast.final_now << ", events=" << fast.events
+          << "} policied={now=" << policied.final_now
+          << ", events=" << policied.events << "}";
+      EXPECT_EQ(fast.completed, 4);
+      EXPECT_EQ(fast.served, 48u);
+    }
+  }
+}
+
+TEST(ScheduleFifoRegressionTest, FifoRunsAreReplayableFromTheirOwnTrace) {
+  // A FIFO run's recorded decisions, replayed, land on the same observables
+  // — the trace format is lossless over a full dataplane scenario.
+  sim::FifoPolicy fifo;
+  const Fig09Observables recorded =
+      RunFig09Scenario(&fifo, RfpOptions::ForceMode::kAdaptive, sim::Micros(1));
+  ASSERT_FALSE(fifo.decisions().empty());
+  sim::ReplayPolicy replay(fifo.choices());
+  replay.set_strict(true);
+  const Fig09Observables replayed =
+      RunFig09Scenario(&replay, RfpOptions::ForceMode::kAdaptive, sim::Micros(1));
+  EXPECT_EQ(recorded, replayed);
+}
+
+}  // namespace
+}  // namespace rfp
