@@ -138,6 +138,8 @@ const char* ViolationKindName(ViolationKind kind) {
       return "rfp.overlapping_call";
     case ViolationKind::kRfpRecvWithoutSend:
       return "rfp.recv_without_send";
+    case ViolationKind::kReplEpochRegression:
+      return "repl.epoch_regression";
     case ViolationKind::kNumKinds:
       break;
   }
@@ -522,6 +524,22 @@ void FabricChecker::OnAccept(ViolationKind kind, uint32_t rkey, size_t off, size
      << ") was CPU-stored at tick " << dirty->store_tick
      << " with no publication point before the snapshot (tick " << as_of << ")";
   Report(kind, os.str());
+}
+
+void FabricChecker::OnEpochAdvance(const void* group, uint32_t epoch) {
+  NextTick();
+  auto [it, inserted] = repl_epochs_.try_emplace(group, epoch);
+  if (inserted) {
+    return;
+  }
+  if (epoch < it->second) {
+    std::ostringstream os;
+    os << "replication group served at epoch " << epoch << " after epoch " << it->second
+       << " — two leaders concurrently (split brain) or a skipped demotion";
+    Report(ViolationKind::kReplEpochRegression, os.str());
+    return;
+  }
+  it->second = epoch;
 }
 
 void FabricChecker::OnChannelWindow(const void* channel, int window) {

@@ -129,6 +129,7 @@ enum class ViolationKind : uint8_t {
   kRaceRecvStore,       // accepted request bytes overlapped a local store
   kRfpOverlappingCall,  // ClientSend while the previous call is outstanding
   kRfpRecvWithoutSend,  // ClientRecv with no call outstanding
+  kReplEpochRegression, // replication group's epoch moved backwards
   kNumKinds,
 };
 
@@ -268,6 +269,16 @@ class FabricChecker {
   void OnAccept(ViolationKind kind, uint32_t rkey, size_t off, size_t len,
                 uint64_t snapshot_tick, const char* what);
 
+  // ---- Replication epoch hooks (src/repl) ----------------------------------
+
+  // A node in replication group `group` (the coordinator's group key) started
+  // serving at `epoch`. Epochs must be monotone per group: a promotion always
+  // moves the group forward, so observing a smaller epoch than previously
+  // recorded means two nodes believe they lead concurrently (split brain) or
+  // a demotion was skipped. Wrap-around (wire epochs are 7 bits) is out of
+  // scope — simulated runs promote a handful of times, never 2^7.
+  void OnEpochAdvance(const void* group, uint32_t epoch);
+
   // ---- RFP protocol pairing (Channel) --------------------------------------
 
   // Declares the channel's call window (outstanding-call capacity). Channels
@@ -325,6 +336,9 @@ class FabricChecker {
     int window = 1;
   };
   std::unordered_map<const void*, CallPairing> call_outstanding_;
+
+  // Highest epoch each replication group has served at (OnEpochAdvance).
+  std::unordered_map<const void*, uint32_t> repl_epochs_;
 
   uint64_t counts_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};
   obs::Counter* counters_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};

@@ -11,7 +11,9 @@
 #include "src/explore/history.h"
 #include "src/fault/injector.h"
 #include "src/kv/bucket_table.h"
+#include "src/kv/jakiro.h"
 #include "src/rdma/fabric.h"
+#include "src/repl/cluster.h"
 #include "src/rfp/channel.h"
 #include "src/rfp/options.h"
 #include "src/rfp/rpc.h"
@@ -390,12 +392,113 @@ Scenario SwitchRaceScenario(bool mutant) {
   };
 }
 
+// Replicated two-node Jakiro cluster under a whole-node primary kill
+// (docs/replication.md). Real path: lease expiry promotes the backup at
+// epoch 2 and demotes the killed primary's gate in the same step, so the
+// restarted node fences the stale-epoch writer with a redirect and the
+// client-visible history stays linearizable. The mutant models a promotion
+// that forgot the demotion: the resurrected primary still serves epoch 1,
+// accepts and acks a write the new leader never sees, and the next read
+// returns the overwritten value — the per-key oracle rejects the history,
+// and in strict mode the coordinator's resurrection report trips the
+// checker's epoch-monotonicity invariant first.
+Scenario SplitBrainScenario(bool mutant) {
+  return [mutant](ScenarioRun& run) -> Outcome {
+    sim::Engine& eng = run.engine;
+    rdma::Fabric fabric(eng);
+
+    repl::ClusterConfig cfg = repl::DefaultClusterConfig();
+    cfg.kv.server_threads = 2;
+    cfg.kv.buckets_per_partition = 64;
+    cfg.repl.lease_interval_ns = sim::Micros(150);
+    cfg.repl.probe_interval_ns = sim::Micros(20);
+    cfg.repl.channel.fetch_timeout_ns = sim::Micros(50);
+    repl::Cluster cluster(fabric, cfg);
+    if (mutant) {
+      cluster.coordinator().set_unsafe_skip_demotion(true);
+    }
+
+    rdma::Node& client_node = fabric.AddNode("client");
+    rdma::Node& stale_node = fabric.AddNode("stale");
+    repl::Client client(cluster, client_node);
+    kv::JakiroClient stale(cluster.primary(), stale_node);
+    HistoryRecorder rec;
+    client.set_history_recorder(&rec);
+    stale.set_history_recorder(&rec);
+    // The stale writer is pinned at the pre-promotion epoch: it never
+    // re-resolves the leader, modeling a client that slept through the
+    // failover.
+    for (int t = 0; t < stale.num_channels(); ++t) {
+      stale.channel(t)->set_request_epoch(1);
+    }
+    cluster.Start();
+
+    fault::FaultInjector injector(fabric);
+    injector.BindServer(cluster.primary().node().id(), &cluster.primary().rpc());
+    fault::FaultPlan plan;
+    plan.ServerCrashAll(sim::Micros(300), cluster.primary().node().id(), sim::Micros(700));
+    injector.Arm(plan);
+
+    std::string failure;
+    bool done = false;
+    eng.Spawn([](sim::Engine& engine, repl::Cluster* cl, repl::Client* c, kv::JakiroClient* st,
+                 std::string* error, bool* finished) -> sim::Task<void> {
+      try {
+        co_await c->Put(AsBytes("k"), AsBytes("v1"));
+        // The kill lands at 300us; wait for the gate to flip so the second
+        // PUT completes in one attempt (a retried PUT would leave pending
+        // duplicate invocations the oracle could use to absorb the
+        // violation).
+        while (cl->leader_index() == 0 && engine.now() < sim::Micros(900)) {
+          co_await engine.Sleep(sim::Micros(10));
+        }
+        if (cl->leader_index() == 0) {
+          *error = "backup was never promoted";
+          *finished = true;
+          co_return;
+        }
+        c->Refresh();
+        co_await c->Put(AsBytes("k"), AsBytes("v2"));
+        // The old primary restarts at t=1ms; give it headroom, then write
+        // k=v3 through the stale-epoch client.
+        if (engine.now() < sim::Micros(1100)) {
+          co_await engine.Sleep(sim::Micros(1100) - engine.now());
+        }
+        try {
+          co_await st->Put(AsBytes("k"), AsBytes("v3"));
+        } catch (const rfp::Redirected&) {
+          // Real path: the demoted gate fences the stale writer; its PUT
+          // stays pending (apply-never is a legal linearization).
+        } catch (const rfp::DeadlineExceeded&) {
+        }
+        std::vector<std::byte> buf(256);
+        co_await c->Get(AsBytes("k"), buf);
+      } catch (const std::exception& e) {
+        *error = e.what();
+      }
+      *finished = true;
+    }(eng, &cluster, &client, &stale, &failure, &done));
+
+    eng.RunUntil(sim::Millis(4));
+    cluster.Stop();
+    if (!done) {
+      return Outcome::Fail("client actor wedged");
+    }
+    if (!failure.empty()) {
+      return Outcome::Fail(failure);
+    }
+    rec.CheckStrict(TraceOf(eng));  // throws LinearizabilityError on violation
+    return Outcome::Pass(rec.completed_ops() * 31 + cluster.coordinator().promotions());
+  };
+}
+
 std::vector<Entry> Entries() {
   return {
       {"late_duplicate", &LateDuplicateScenario, nullptr},
       {"steal_busy", &StealBusyScenario, &StealCrashPlans},
       {"cow_pinned", &CowPinnedScenario, nullptr},
       {"switch_race", &SwitchRaceScenario, nullptr},
+      {"split_brain", &SplitBrainScenario, nullptr},
   };
 }
 

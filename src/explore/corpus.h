@@ -1,4 +1,4 @@
-// The explorer corpus: four dataplane scenarios, each pinned to a seeded
+// The explorer corpus: five dataplane scenarios, each pinned to a seeded
 // mutant knob that re-introduces a class of concurrency bug the RFP
 // protocol's invariants exist to prevent. Shared between the corpus tests
 // (tests/explore/corpus_test.cc), which assert both that each mutant is
@@ -25,6 +25,11 @@
 //      post-switch resend safety net; a response published while the
 //      client's mode-switch WRITE is in flight stays stranded server-side
 //      and the call dies on its deadline.
+//   5. SplitBrainScenario — FailoverCoordinator::set_unsafe_skip_demotion
+//      models a promotion that forgot to demote the killed primary; the
+//      resurrected node serves a stale-epoch write the new leader never
+//      sees, which the per-key oracle (and the checker's epoch-monotonicity
+//      invariant) rejects.
 
 #pragma once
 
@@ -41,6 +46,7 @@ Scenario LateDuplicateScenario(bool mutant);
 Scenario StealBusyScenario(bool mutant);
 Scenario CowPinnedScenario(bool mutant);
 Scenario SwitchRaceScenario(bool mutant);
+Scenario SplitBrainScenario(bool mutant);
 
 // Fault cross-product for StealBusyScenario: crash worker 0 at staggered
 // instants so the orphan claim races the victim's visit.

@@ -49,7 +49,7 @@ void FaultInjector::Arm(const FaultPlan& plan) {
         throw std::invalid_argument("fault injector: server_crash targets node " +
                                     std::to_string(event.node) + " with no bound RpcServer");
       }
-      if (event.thread >= it->second->num_threads()) {
+      if (event.thread != kAllThreads && event.thread >= it->second->num_threads()) {
         throw std::invalid_argument("fault injector: server_crash thread out of range");
       }
     }
@@ -112,6 +112,20 @@ void FaultInjector::Fire(const FaultEvent& event) {
     }
     case FaultKind::kServerCrash: {
       rfp::RpcServer* server = servers_.at(event.node);
+      if (event.thread == kAllThreads) {
+        // Whole-node crash: every worker goes dark at once, so the outage
+        // cannot be masked by work stealing — surviving failover machinery
+        // (a lease-probing coordinator, docs/replication.md) must notice.
+        for (int t = 0; t < server->num_threads(); ++t) {
+          server->CrashThread(t);
+        }
+        engine_.ScheduleAfter(event.duration, [server] {
+          for (int t = 0; t < server->num_threads(); ++t) {
+            server->RestartThread(t);
+          }
+        });
+        break;
+      }
       server->CrashThread(event.thread);
       engine_.ScheduleAfter(event.duration,
                             [server, event] { server->RestartThread(event.thread); });

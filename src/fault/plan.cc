@@ -62,7 +62,9 @@ void FaultPlan::Validate() const {
         break;
       case FaultKind::kServerCrash:
         if (event.duration == 0) Reject(event, "crash window must be > 0");
-        if (event.thread < 0) Reject(event, "thread index must be >= 0");
+        if (event.thread < kAllThreads) {
+          Reject(event, "thread index must be >= 0 (or kAllThreads)");
+        }
         break;
       case FaultKind::kQpError:
         if (event.node == event.peer) Reject(event, "qp error needs two distinct nodes");
@@ -131,6 +133,10 @@ FaultPlan& FaultPlan::ServerCrash(sim::Time at, uint32_t node, int thread, sim::
   event.thread = thread;
   events.push_back(event);
   return *this;
+}
+
+FaultPlan& FaultPlan::ServerCrashAll(sim::Time at, uint32_t node, sim::Time window) {
+  return ServerCrash(at, node, kAllThreads, window);
 }
 
 FaultPlan& FaultPlan::QpError(sim::Time at, uint32_t a, uint32_t b) {

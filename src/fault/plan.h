@@ -32,6 +32,10 @@ enum class FaultKind : uint8_t {
 
 constexpr int kFaultKindCount = 6;
 
+// FaultEvent::thread sentinel: a kServerCrash that takes down every worker
+// of the bound server at once (node crash, not a lost core).
+constexpr int kAllThreads = -1;
+
 const char* FaultKindName(FaultKind kind);
 
 // One scheduled fault. Which fields matter depends on `kind`; the builder
@@ -49,7 +53,10 @@ struct FaultEvent {
   sim::Time extra_delay_ns = 0;  // kLinkBurst: added per traversal
   sim::Time rc_retransmit_ns = 0;  // kLinkBurst: RC per-loss retry penalty
 
-  int thread = 0;  // kServerCrash: worker index on the bound server
+  int thread = 0;  // kServerCrash: worker index on the bound server, or
+                   // kAllThreads (-1) for a whole-node crash — every worker
+                   // goes dark at once, so work stealing cannot mask the
+                   // outage (the failover path, docs/replication.md)
 
   uint32_t rkey = 0;   // kCorruptRegion: target region
   size_t offset = 0;   // kCorruptRegion: first byte
@@ -79,6 +86,10 @@ struct FaultPlan {
                        sim::Time extra_delay_ns, sim::Time window,
                        sim::Time rc_retransmit_ns = 4000);
   FaultPlan& ServerCrash(sim::Time at, uint32_t node, int thread, sim::Time window);
+  // Whole-node crash: every worker thread of the bound server goes dark for
+  // the window (FaultEvent::thread = kAllThreads). Unlike a single-thread
+  // crash, work stealing cannot route around it — the failover trigger.
+  FaultPlan& ServerCrashAll(sim::Time at, uint32_t node, sim::Time window);
   FaultPlan& QpError(sim::Time at, uint32_t a, uint32_t b);
   FaultPlan& CorruptRegion(sim::Time at, uint32_t rkey, size_t offset, size_t length,
                            uint64_t seed);

@@ -220,6 +220,38 @@ void BucketTable::Put(std::span<const std::byte> key, std::span<const std::byte>
   ++stats_.inserts;
 }
 
+size_t BucketTable::SnapshotChunk(size_t cursor, size_t max_buckets,
+                                  std::vector<SnapshotItem>* out) const {
+  const size_t end = std::min(cursor + max_buckets, buckets_.size());
+  for (size_t b = cursor; b < end; ++b) {
+    for (const Slot& slot : buckets_[b].slots) {
+      if (slot.used == 0) {
+        continue;
+      }
+      const Entry& entry = entries_[slot.entry];
+      SnapshotItem item;
+      item.key = entry.key;
+      if (pool_) {
+        const std::span<std::byte> bytes = entry.cell->bytes();
+        item.value.assign(bytes.begin(), bytes.end());
+      } else {
+        item.value = entry.value;
+      }
+      out->push_back(std::move(item));
+    }
+  }
+  return end;
+}
+
+void BucketTable::Clear() {
+  for (Bucket& bucket : buckets_) {
+    bucket = Bucket{};
+  }
+  entries_.clear();
+  free_entries_.clear();
+  size_ = 0;
+}
+
 bool BucketTable::Erase(std::span<const std::byte> key) {
   if (recorder_ != nullptr) {
     recorder_->OnApply(explore::OpKind::kDelete, KeyView(key));

@@ -90,6 +90,29 @@ class BucketTable {
   // Removes the key; returns whether it was present.
   bool Erase(std::span<const std::byte> key);
 
+  // Drops every entry (stats and mode are kept). Used when a backup
+  // re-bootstraps: an aborted snapshot transfer leaves partial state that a
+  // fresh sweep must not merge with. Pool-mode cells honor the usual
+  // deferred-free rule — a pinned cell's span returns to the pool when its
+  // last pin drops.
+  void Clear();
+
+  // One live (key, value) pair copied out of the table by SnapshotChunk.
+  struct SnapshotItem {
+    std::vector<std::byte> key;
+    std::vector<std::byte> value;
+  };
+
+  // Cursor-driven snapshot sweep for backup bootstrap (docs/replication.md):
+  // appends every live pair in buckets [cursor, cursor + max_buckets) to
+  // `out` and returns the next cursor (num_buckets() = sweep complete).
+  // Values are copied, so the chunk stays stable while it is shipped; the
+  // sweep does not touch LRU state or hit/miss counters, and mutations
+  // between chunks are legal — the replication log replays whatever raced
+  // the sweep (snapshot-then-tail, not a frozen table).
+  size_t SnapshotChunk(size_t cursor, size_t max_buckets,
+                       std::vector<SnapshotItem>* out) const;
+
   size_t size() const { return size_; }
   size_t num_buckets() const { return buckets_.size(); }
   const Stats& stats() const { return stats_; }

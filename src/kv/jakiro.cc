@@ -117,16 +117,23 @@ void JakiroServer::RegisterHandlers() {
     return {EncodeGetResponse(resp, Status::kOk, *value), config_.get_process_ns};
   });
 
-  rpc_.RegisterHandler(kRpcPut, [this](const rfp::HandlerContext& ctx,
-                                       std::span<const std::byte> req,
-                                       std::span<std::byte> resp) -> rfp::HandlerResult {
-    const auto put = DecodePut(req);
-    if (!put.has_value()) {
-      return {EncodeStatus(resp, Status::kError), config_.put_process_ns};
-    }
-    partition(ctx.thread_index).Put(put->key, put->value);
-    return {EncodeStatus(resp, Status::kOk), config_.put_process_ns};
-  });
+  // PUT and DELETE are coroutine handlers so the replication hook can
+  // suspend them between the local apply and the reply (ship-then-ack:
+  // in sync mode the backup holds the op before the client ever sees OK).
+  rpc_.RegisterAsyncHandler(
+      kRpcPut, [this](const rfp::HandlerContext& ctx, std::span<const std::byte> req,
+                      std::span<std::byte> resp) -> sim::Task<rfp::HandlerResult> {
+        const auto put = DecodePut(req);
+        if (!put.has_value()) {
+          co_return rfp::HandlerResult{EncodeStatus(resp, Status::kError),
+                                       config_.put_process_ns};
+        }
+        partition(ctx.thread_index).Put(put->key, put->value);
+        if (repl_hook_) {
+          co_await repl_hook_(ctx.thread_index, kRpcPut, put->key, put->value);
+        }
+        co_return rfp::HandlerResult{EncodeStatus(resp, Status::kOk), config_.put_process_ns};
+      });
 
   rpc_.RegisterHandler(kRpcMultiGet, [this](const rfp::HandlerContext& ctx,
                                             std::span<const std::byte> req,
@@ -166,17 +173,23 @@ void JakiroServer::RegisterHandlers() {
     return {out, config_.get_process_ns * count};
   });
 
-  rpc_.RegisterHandler(kRpcDelete, [this](const rfp::HandlerContext& ctx,
-                                          std::span<const std::byte> req,
-                                          std::span<std::byte> resp) -> rfp::HandlerResult {
-    const auto del = DecodeGet(req);
-    if (!del.has_value()) {
-      return {EncodeStatus(resp, Status::kError), config_.put_process_ns};
-    }
-    const bool erased = partition(ctx.thread_index).Erase(del->key);
-    return {EncodeStatus(resp, erased ? Status::kOk : Status::kNotFound),
-            config_.put_process_ns};
-  });
+  rpc_.RegisterAsyncHandler(
+      kRpcDelete, [this](const rfp::HandlerContext& ctx, std::span<const std::byte> req,
+                         std::span<std::byte> resp) -> sim::Task<rfp::HandlerResult> {
+        const auto del = DecodeGet(req);
+        if (!del.has_value()) {
+          co_return rfp::HandlerResult{EncodeStatus(resp, Status::kError),
+                                       config_.put_process_ns};
+        }
+        const bool erased = partition(ctx.thread_index).Erase(del->key);
+        // Only applied mutations replicate: a miss changed nothing, so the
+        // backup has nothing to learn from it.
+        if (erased && repl_hook_) {
+          co_await repl_hook_(ctx.thread_index, kRpcDelete, del->key, {});
+        }
+        co_return rfp::HandlerResult{EncodeStatus(resp, erased ? Status::kOk : Status::kNotFound),
+                                     config_.put_process_ns};
+      });
 }
 
 JakiroClient::JakiroClient(JakiroServer& server, rdma::Node& client_node) : server_(server) {
@@ -442,6 +455,8 @@ rfp::Channel::Stats JakiroClient::MergedChannelStats() const {
     merged.zero_copy_fetches += s.zero_copy_fetches;
     merged.zero_copy_bytes += s.zero_copy_bytes;
     merged.zero_copy_fallbacks += s.zero_copy_fallbacks;
+    merged.redirects += s.redirects;
+    merged.shed_redirect += s.shed_redirect;
     merged.retries_per_call.Merge(s.retries_per_call);
     merged.submit_window.Merge(s.submit_window);
     merged.batch_occupancy.Merge(s.batch_occupancy);

@@ -15,6 +15,7 @@
 #define SRC_KV_JAKIRO_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -99,12 +100,27 @@ class JakiroServer {
   void Start() { rpc_.Start(); }
   void Stop() { rpc_.Stop(); }
 
+  // Replication hook (docs/replication.md): when set, every PUT/DELETE
+  // handler co_awaits it after the mutation applied to the local partition
+  // and before the reply publishes — the suspension point where a
+  // synchronous replicator ships the op and waits for the backup's ack.
+  // `rpc_id` is kRpcPut or kRpcDelete; `value` is empty for deletes. The
+  // spans point into the dispatch buffer and are valid only until the hook
+  // returns. A throwing hook fails the request (the client sees no reply
+  // and recovers via its own machinery), so an acked PUT is always a
+  // replicated PUT in sync mode.
+  using ReplHook = std::function<sim::Task<void>(int thread, uint16_t rpc_id,
+                                                 std::span<const std::byte> key,
+                                                 std::span<const std::byte> value)>;
+  void set_repl_hook(ReplHook hook) { repl_hook_ = std::move(hook); }
+
  private:
   void RegisterHandlers();
 
   JakiroConfig config_;
   rfp::RpcServer rpc_;
   std::vector<std::unique_ptr<BucketTable>> partitions_;
+  ReplHook repl_hook_;
 };
 
 class JakiroClient {

@@ -1,0 +1,156 @@
+#include "src/repl/cluster.h"
+
+#include <utility>
+
+#include "src/check/checker.h"
+#include "src/kv/common.h"
+#include "src/rfp/channel.h"
+#include "src/sim/engine.h"
+
+namespace repl {
+
+ClusterConfig DefaultClusterConfig() {
+  ClusterConfig config;
+  rfp::RfpOptions& ch = config.kv.channel_options;
+  ch.fetch_timeout_ns = sim::Micros(100);
+  ch.fetch_backoff_initial_ns = sim::Micros(2);
+  ch.call_deadline_ns = sim::Micros(300);
+  return config;
+}
+
+namespace {
+
+void GateKvRpcs(kv::JakiroServer& server) {
+  server.rpc().GateRpc(kv::kRpcGet);
+  server.rpc().GateRpc(kv::kRpcPut);
+  server.rpc().GateRpc(kv::kRpcDelete);
+  server.rpc().GateRpc(kv::kRpcMultiGet);
+}
+
+}  // namespace
+
+Cluster::Cluster(rdma::Fabric& fabric, ClusterConfig config)
+    : config_(std::move(config)), fabric_(fabric) {
+  ValidateOptions(config_.repl);
+  primary_node_ = &fabric_.AddNode("primary");
+  backup_node_ = &fabric_.AddNode("backup");
+  primary_server_ = std::make_unique<kv::JakiroServer>(fabric_, *primary_node_, config_.kv);
+  backup_server_ = std::make_unique<kv::JakiroServer>(fabric_, *backup_node_, config_.kv);
+  // Stream handlers and channels must exist before either server starts.
+  RegisterProbeHandler(primary_server_->rpc());
+  sink_ = std::make_unique<ReplSink>(*backup_server_, config_.repl);
+  replicator_ = std::make_unique<Replicator>(*primary_server_, *backup_server_, config_.repl);
+  coordinator_ = std::make_unique<FailoverCoordinator>(*primary_server_, *backup_server_,
+                                                       *replicator_, *sink_, group_key(),
+                                                       config_.repl, /*backup_leader_hint=*/1);
+  GateKvRpcs(*primary_server_);
+  GateKvRpcs(*backup_server_);
+  // Epochs start at 1; the backup redirects toward node 0 until promoted.
+  primary_server_->rpc().SetReplGate(/*serving=*/true, /*epoch=*/1, /*leader_hint=*/0);
+  backup_server_->rpc().SetReplGate(/*serving=*/false, /*epoch=*/1, /*leader_hint=*/0);
+}
+
+void Cluster::Start() {
+  if (check::FabricChecker* chk = fabric_.checker()) {
+    chk->OnEpochAdvance(group_key(), 1);
+  }
+  primary_server_->Start();
+  backup_server_->Start();
+  sink_->Start();
+  replicator_->Start();
+  coordinator_->Start();
+  fabric_.engine().Spawn(replicator_->AttachBackup());
+}
+
+void Cluster::Stop() {
+  coordinator_->Stop();
+  replicator_->Stop();
+  sink_->StopApply();
+  primary_server_->Stop();
+  backup_server_->Stop();
+}
+
+int Cluster::leader_index() const {
+  return backup_server_->rpc().repl_serving() ? 1 : 0;
+}
+
+uint32_t Cluster::epoch() const {
+  return leader_index() == 1 ? backup_server_->rpc().repl_epoch()
+                             : primary_server_->rpc().repl_epoch();
+}
+
+// ---- Client -----------------------------------------------------------------
+
+Client::Client(Cluster& cluster, rdma::Node& client_node)
+    : cluster_(cluster), engine_(client_node.fabric()->engine()) {
+  primary_client_ = std::make_unique<kv::JakiroClient>(cluster_.primary(), client_node);
+  backup_client_ = std::make_unique<kv::JakiroClient>(cluster_.backup(), client_node);
+  Refresh();
+}
+
+void Client::Refresh() {
+  leader_ = cluster_.leader_index();
+  const uint32_t epoch = cluster_.epoch();
+  for (kv::JakiroClient* client : {primary_client_.get(), backup_client_.get()}) {
+    for (int t = 0; t < client->num_channels(); ++t) {
+      client->channel(t)->set_request_epoch(epoch);
+    }
+  }
+}
+
+void Client::set_history_recorder(explore::HistoryRecorder* recorder) {
+  primary_client_->set_history_recorder(recorder);
+  backup_client_->set_history_recorder(recorder);
+}
+
+sim::Time Client::RetryBackoff() const {
+  return cluster_.config().repl.lease_interval_ns / 8;
+}
+
+sim::Task<bool> Client::Put(std::span<const std::byte> key, std::span<const std::byte> value) {
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    try {
+      co_return co_await client_for(leader_).Put(key, value);
+    } catch (const rfp::Redirected&) {
+      ++redirects_seen_;
+    } catch (const rfp::DeadlineExceeded&) {
+      ++deadline_retries_;
+    }
+    co_await engine_.Sleep(RetryBackoff());
+    Refresh();
+  }
+  throw rfp::DeadlineExceeded("repl client: put retries exhausted");
+}
+
+sim::Task<std::optional<size_t>> Client::Get(std::span<const std::byte> key,
+                                             std::span<std::byte> value_out) {
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    try {
+      co_return co_await client_for(leader_).Get(key, value_out);
+    } catch (const rfp::Redirected&) {
+      ++redirects_seen_;
+    } catch (const rfp::DeadlineExceeded&) {
+      ++deadline_retries_;
+    }
+    co_await engine_.Sleep(RetryBackoff());
+    Refresh();
+  }
+  throw rfp::DeadlineExceeded("repl client: get retries exhausted");
+}
+
+sim::Task<bool> Client::Delete(std::span<const std::byte> key) {
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    try {
+      co_return co_await client_for(leader_).Delete(key);
+    } catch (const rfp::Redirected&) {
+      ++redirects_seen_;
+    } catch (const rfp::DeadlineExceeded&) {
+      ++deadline_retries_;
+    }
+    co_await engine_.Sleep(RetryBackoff());
+    Refresh();
+  }
+  throw rfp::DeadlineExceeded("repl client: delete retries exhausted");
+}
+
+}  // namespace repl

@@ -1,0 +1,126 @@
+// A two-node replicated Jakiro cluster (docs/replication.md): a primary and
+// a backup JakiroServer wired together with the Replicator (primary-side
+// shipper), ReplSink (backup-side stream handlers + apply actor), and
+// FailoverCoordinator (backup-side lease probing + promotion), plus the
+// failover-aware client that follows the leader across a promotion.
+//
+// Epoch/leader state lives in the servers' RPC gates, never in this object:
+// leader_index() and epoch() read the gates, so clients, coordinators, and
+// tests all agree on one authority. Epochs start at 1 (wire epoch 0 means
+// "legacy client, skip the gate check").
+
+#ifndef SRC_REPL_CLUSTER_H_
+#define SRC_REPL_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "src/kv/jakiro.h"
+#include "src/rdma/fabric.h"
+#include "src/repl/failover.h"
+#include "src/repl/options.h"
+#include "src/repl/replicator.h"
+
+namespace repl {
+
+struct ClusterConfig {
+  kv::JakiroConfig kv;
+  ReplOptions repl;
+};
+
+// Failover-ready defaults: client channels get a fetch timeout (dead-primary
+// fetches fail instead of spinning forever) and a call deadline (so a call
+// in flight across a kill surfaces as DeadlineExceeded and the client
+// re-resolves the leader).
+ClusterConfig DefaultClusterConfig();
+
+class Cluster {
+ public:
+  // Builds both servers on fresh fabric nodes ("primary", "backup") and all
+  // replication machinery; nothing starts until Start().
+  explicit Cluster(rdma::Fabric& fabric, ClusterConfig config = DefaultClusterConfig());
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Gates the kv RPCs behind the epoch check on both servers, reports the
+  // initial epoch to the checker, starts servers/shipper/apply/probing, and
+  // kicks off the backup bootstrap.
+  void Start();
+  void Stop();
+
+  kv::JakiroServer& primary() { return *primary_server_; }
+  kv::JakiroServer& backup() { return *backup_server_; }
+  Replicator& replicator() { return *replicator_; }
+  ReplSink& sink() { return *sink_; }
+  FailoverCoordinator& coordinator() { return *coordinator_; }
+  const ClusterConfig& config() const { return config_; }
+
+  // Gate-authoritative: 1 once the backup's gate opened (promotion), else 0.
+  int leader_index() const;
+  kv::JakiroServer& leader() { return leader_index() == 0 ? primary() : backup(); }
+  uint32_t epoch() const;
+
+  // Keys the checker's per-group epoch history.
+  const void* group_key() const { return this; }
+
+ private:
+  ClusterConfig config_;
+  rdma::Fabric& fabric_;
+  rdma::Node* primary_node_;
+  rdma::Node* backup_node_;
+  std::unique_ptr<kv::JakiroServer> primary_server_;
+  std::unique_ptr<kv::JakiroServer> backup_server_;
+  std::unique_ptr<ReplSink> sink_;
+  std::unique_ptr<Replicator> replicator_;
+  std::unique_ptr<FailoverCoordinator> coordinator_;
+};
+
+// Failover-aware kv client: one JakiroClient per cluster node, ops issued
+// against the gate-designated leader under the current epoch. A Redirected
+// or DeadlineExceeded response triggers backoff (lease/8) + leader
+// re-resolution + idempotent re-issue — a re-issued PUT of the same value
+// is linearizability-safe, and the first attempt stays pending in the
+// history, which the oracle models as apply-anytime-or-never. Throws
+// DeadlineExceeded when the retry budget (which spans several lease
+// intervals) is exhausted.
+class Client {
+ public:
+  Client(Cluster& cluster, rdma::Node& client_node);
+
+  sim::Task<bool> Put(std::span<const std::byte> key, std::span<const std::byte> value);
+  sim::Task<std::optional<size_t>> Get(std::span<const std::byte> key,
+                                       std::span<std::byte> value_out);
+  sim::Task<bool> Delete(std::span<const std::byte> key);
+
+  // Re-reads the leader and epoch from the cluster gates and stamps the
+  // epoch onto every channel of both underlying clients.
+  void Refresh();
+
+  // Forwards to both underlying clients (a failed-over op records its
+  // invocations wherever its attempts ran).
+  void set_history_recorder(explore::HistoryRecorder* recorder);
+
+  uint64_t redirects_seen() const { return redirects_seen_; }
+  uint64_t deadline_retries() const { return deadline_retries_; }
+  kv::JakiroClient& client_for(int index) { return index == 0 ? *primary_client_ : *backup_client_; }
+
+ private:
+  // Shared retry scaffolding: how many attempts and how long between them.
+  static constexpr int kMaxAttempts = 20;
+  sim::Time RetryBackoff() const;
+
+  Cluster& cluster_;
+  sim::Engine& engine_;
+  std::unique_ptr<kv::JakiroClient> primary_client_;
+  std::unique_ptr<kv::JakiroClient> backup_client_;
+  int leader_ = 0;
+  uint64_t redirects_seen_ = 0;
+  uint64_t deadline_retries_ = 0;
+};
+
+}  // namespace repl
+
+#endif  // SRC_REPL_CLUSTER_H_

@@ -1,0 +1,74 @@
+// The primary's sequenced replication log (docs/replication.md).
+//
+// Every accepted PUT/DELETE appends one record; the shipper drains records
+// in LSN order over the dedicated replication channel and advances the acked
+// watermark as the backup acknowledges them. Records are dropped once acked
+// — the log is a shipping window, not durable storage (the store itself is
+// the state; a fresh backup bootstraps via snapshot chunks, not log replay
+// from LSN 1).
+
+#ifndef SRC_REPL_LOG_H_
+#define SRC_REPL_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace repl {
+
+struct Record {
+  uint64_t lsn = 0;
+  uint16_t rpc_id = 0;  // kv::kRpcPut or kv::kRpcDelete
+  std::vector<std::byte> key;
+  std::vector<std::byte> value;  // empty for deletes
+};
+
+// Wire encoding of one shipped record:
+//   [u64 lsn][u16 rpc_id][u16 key_size][u32 value_size][key][value]
+constexpr size_t kRecordHeaderBytes = 8 + 2 + 2 + 4;
+
+size_t EncodedSize(const Record& record);
+
+// Writes `record` into `out` (which must hold EncodedSize bytes); returns
+// the bytes written.
+size_t EncodeRecord(std::span<std::byte> out, const Record& record);
+
+// Returns nullopt on a malformed payload (truncated header or body).
+std::optional<Record> DecodeRecord(std::span<const std::byte> payload);
+
+class ReplLog {
+ public:
+  // Appends a record, assigning the next LSN (LSNs start at 1; 0 means
+  // "nothing"). Returns the assigned LSN.
+  uint64_t Append(uint16_t rpc_id, std::span<const std::byte> key,
+                  std::span<const std::byte> value);
+
+  // The oldest record not yet handed to the shipper, or nullptr when
+  // everything appended has been shipped. MarkShipped advances the cursor.
+  const Record* NextToShip() const;
+  void MarkShipped();
+
+  // The backup acknowledged everything up to `lsn`: drop the acked prefix.
+  // Acks arrive in LSN order (one channel, FIFO), so a smaller lsn than the
+  // watermark is ignored.
+  void OnAcked(uint64_t lsn);
+
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  uint64_t acked_lsn() const { return acked_lsn_; }
+  // Appended but not yet acknowledged (the async mode's bounded lag).
+  size_t lag() const { return static_cast<size_t>(last_lsn() - acked_lsn_); }
+  size_t unshipped() const { return records_.size() - ship_cursor_; }
+
+ private:
+  std::deque<Record> records_;  // [acked_lsn_+1, last_lsn()]
+  size_t ship_cursor_ = 0;      // records_[ship_cursor_] = next to ship
+  uint64_t next_lsn_ = 1;
+  uint64_t acked_lsn_ = 0;
+};
+
+}  // namespace repl
+
+#endif  // SRC_REPL_LOG_H_

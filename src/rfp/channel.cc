@@ -137,6 +137,13 @@ Channel::~Channel() {
   if (stats_.breaker_opens > 0) {
     reg.GetCounter("rfp.channel.breaker_opens", labels)->Add(stats_.breaker_opens);
   }
+  // Replication counters register only when a redirect ever happened.
+  if (stats_.redirects > 0) {
+    reg.GetCounter("rfp.channel.redirects", labels)->Add(stats_.redirects);
+  }
+  if (stats_.shed_redirect > 0) {
+    reg.GetCounter("rfp.channel.shed_redirect", labels)->Add(stats_.shed_redirect);
+  }
   // Coalesced-fetch counters register only when spanning READs happened.
   if (stats_.coalesced_fetches > 0) {
     reg.GetCounter("rfp.channel.coalesced_fetches", labels)->Add(stats_.coalesced_fetches);
@@ -188,6 +195,7 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg, sim::Time de
   // An open breaker delays the send (idle, not client CPU) until its open
   // interval elapses; this call then becomes the half-open probe.
   co_await MaybeAwaitBreaker();
+  scalar_breaker_epoch_ = breaker_epoch_;
   const sim::Time start = engine_.now();
   if (check::FabricChecker* chk = fabric_->checker()) {
     chk->OnClientSend(this);
@@ -199,7 +207,8 @@ sim::Task<void> Channel::ClientSend(std::span<const std::byte> msg, sim::Time de
                    : options_.call_deadline_ns > 0 ? engine_.now() + options_.call_deadline_ns
                                                    : 0;
   RequestHeader header;
-  header.size_status = wire::PackSizeStatus(static_cast<uint32_t>(msg.size()), true);
+  header.size_status =
+      wire::PackRequestSizeStatus(static_cast<uint32_t>(msg.size()), true, request_epoch_);
   header.seq = seq_;
   header.mode = static_cast<uint8_t>(mode_);
   header.deadline_ns = static_cast<uint64_t>(call_deadline_);
@@ -257,7 +266,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
                         server_.abs(resp_offset_), std::min<uint32_t>(kHeaderBytes, f),
                         fetch_wc.check_tick, "busy fetch");
         }
-        RecordBusyResponse(header);
+        RecordBusyResponse(header, scalar_breaker_epoch_);
         if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
             (call_deadline_ != 0 && engine_.now() >= call_deadline_)) {
           if (check::FabricChecker* chk = fabric_->checker()) {
@@ -287,6 +296,20 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
         }
         failed = 0;
         continue;
+      }
+      if (wire::UnpackRedirect(header.size_status)) {
+        // This server is not the primary for the epoch the request carried;
+        // only the header is meaningful (and published). The caller's
+        // failover layer re-resolves the leader and re-issues.
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_.remote_key().rkey,
+                        server_.abs(resp_offset_), std::min<uint32_t>(kHeaderBytes, f),
+                        fetch_wc.check_tick, "redirect fetch");
+          chk->OnClientRecvDone(this);
+        }
+        ++stats_.redirects;
+        client_busy_.AddBusy(engine_.now() - start - slept);
+        throw Redirected(wire::UnpackRedirectEpoch(header.size_status), header.time_us);
       }
       busy_streak = 0;
       const uint32_t size = wire::UnpackSize(header.size_status);
@@ -353,7 +376,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       slow_streak_ = failed >= options_.retry_threshold && !OverloadSuppressesSwitch()
                          ? slow_streak_ + 1
                          : 0;
-      RecordBreakerOutcome(false);
+      RecordBreakerOutcome(false, scalar_breaker_epoch_);
       if (calls_since_busy_ < (1 << 30)) {
         ++calls_since_busy_;
       }
@@ -374,7 +397,7 @@ sim::Task<size_t> Channel::ClientRecv(std::span<std::byte> out) {
       // The fetch deadline expired mid-call: the server is unreachable,
       // crashed, or pathologically slow.
       ++stats_.fetch_timeouts;
-      RecordBreakerOutcome(true);
+      RecordBreakerOutcome(true, scalar_breaker_epoch_);
       if (sim::TraceSink* trace = engine_.trace_sink()) {
         trace->Instant("rfp", "fetch_timeout", reinterpret_cast<uint64_t>(this), engine_.now());
       }
@@ -448,7 +471,7 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
           chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
                         client_.abs(resp_offset_), kHeaderBytes, 0, "busy reply");
         }
-        RecordBusyResponse(header);
+        RecordBusyResponse(header, scalar_breaker_epoch_);
         if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
             (call_deadline_ != 0 && engine_.now() >= call_deadline_)) {
           if (check::FabricChecker* chk = fabric_->checker()) {
@@ -472,6 +495,16 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
         co_await ReissueRequest();
         client_busy_.AddBusy(options_.reply_poll_cpu_ns);
         continue;
+      }
+      if (wire::UnpackRedirect(header.size_status)) {
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
+                        client_.abs(resp_offset_), kHeaderBytes, 0, "redirect reply");
+          chk->OnClientRecvDone(this);
+        }
+        ++stats_.redirects;
+        client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+        throw Redirected(wire::UnpackRedirectEpoch(header.size_status), header.time_us);
       }
       const uint32_t size = wire::UnpackSize(header.size_status);
       if (size > out.size()) {
@@ -509,7 +542,7 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
         chk->OnClientRecvDone(this);
       }
       client_busy_.AddBusy(options_.reply_poll_cpu_ns);
-      FinishReplyCall(header);
+      FinishReplyCall(header, scalar_breaker_epoch_);
       co_return delivered;
     }
     client_busy_.AddBusy(options_.reply_poll_cpu_ns);
@@ -525,9 +558,9 @@ sim::Task<size_t> Channel::AwaitReply(std::span<std::byte> out) {
   }
 }
 
-void Channel::FinishReplyCall(const ResponseHeader& header) {
+void Channel::FinishReplyCall(const ResponseHeader& header, uint64_t sent_epoch) {
   last_server_time_us_ = header.time_us;
-  RecordBreakerOutcome(false);
+  RecordBreakerOutcome(false, sent_epoch);
   if (calls_since_busy_ < (1 << 30)) {
     ++calls_since_busy_;
   }
@@ -588,7 +621,7 @@ bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
   if (!wire::UnpackStatus(header.size_status) || header.seq == last_recv_seq_) {
     return false;
   }
-  const uint32_t payload = wire::UnpackSize(header.size_status);
+  const uint32_t payload = wire::UnpackRequestSize(header.size_status);
   if (payload > out.size()) {
     throw std::length_error("rfp channel: request larger than server buffer");
   }
@@ -605,6 +638,7 @@ bool Channel::TryServerRecv(std::span<std::byte> out, size_t* size) {
   resp_pin_.reset();
   last_recv_seq_ = header.seq;
   last_recv_deadline_ns_ = header.deadline_ns;
+  last_recv_epoch_ = wire::UnpackRequestEpoch(header.size_status);
   recv_time_ = engine_.now();
   return true;
 }
@@ -689,6 +723,36 @@ sim::Task<void> Channel::ServerSendBusy(BusyReason reason, uint16_t retry_after_
   last_resp_seq_ = last_recv_seq_;
   last_resp_size_ = 0;
   last_resp_busy_ = true;
+  response_pushed_ = false;
+  if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
+    co_await PushReply();
+  }
+}
+
+sim::Task<void> Channel::ServerSendRedirect(uint32_t epoch, uint16_t leader_hint) {
+  if (options_.window > 1) {
+    co_return co_await ServerSendRedirectSlot(epoch, leader_hint);
+  }
+  resp_pin_.reset();  // a superseding send releases any pinned entry
+  ResponseHeader header;
+  header.size_status = wire::PackRedirect(epoch);
+  header.time_us = leader_hint;
+  header.seq = last_recv_seq_;
+  const uint32_t rkey = server_.remote_key().rkey;
+  // Like BUSY, a REDIRECT is header-only: the single 8-byte store is its own
+  // publication point.
+  server_.Store(resp_offset_, header);
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(rkey, server_.abs(resp_offset_), kHeaderBytes);
+    chk->OnPublish(rkey, server_.abs(resp_offset_), kHeaderBytes);
+  }
+  ++stats_.shed_redirect;
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", "shed_redirect", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  last_resp_seq_ = last_recv_seq_;
+  last_resp_size_ = 0;
+  last_resp_busy_ = true;  // header-only, like BUSY, for resend/flush sizing
   response_pushed_ = false;
   if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
     co_await PushReply();
@@ -932,7 +996,7 @@ sim::Task<void> Channel::ReissueRequest() {
     ++seq_;  // 0 stays reserved for "never used"
   }
   RequestHeader header;
-  header.size_status = wire::PackSizeStatus(last_req_size_, true);
+  header.size_status = wire::PackRequestSizeStatus(last_req_size_, true, request_epoch_);
   header.seq = seq_;
   header.mode = static_cast<uint8_t>(mode_);
   header.deadline_ns = static_cast<uint64_t>(call_deadline_);
@@ -1056,6 +1120,7 @@ sim::Task<Channel::CallHandle> Channel::SubmitCall(std::span<const std::byte> ms
   ClientSlot& cs = cslot(slot);
   cs = ClientSlot{};
   cs.state = ClientSlot::State::kStaged;
+  cs.breaker_epoch = breaker_epoch_;
   cs.seq = seq_;
   cs.req_bytes = static_cast<uint32_t>(msg.size());
   cs.deadline = opts.deadline_ns != 0 ? opts.deadline_ns
@@ -1063,7 +1128,7 @@ sim::Task<Channel::CallHandle> Channel::SubmitCall(std::span<const std::byte> ms
                                                 : 0;
   cs.fetch_override = opts.fetch_size;
   RequestHeader header;
-  header.size_status = wire::PackSizeStatus(cs.req_bytes, true);
+  header.size_status = wire::PackRequestSizeStatus(cs.req_bytes, true, request_epoch_);
   header.seq = cs.seq;
   header.mode = static_cast<uint8_t>(mode_);
   header.slot = static_cast<uint8_t>(slot);
@@ -1157,7 +1222,7 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
                         std::min<uint32_t>(kHeaderBytes, cs.fetched_len),
                         cs.fetch_tick, "busy fetch");
         }
-        RecordBusyResponse(header);
+        RecordBusyResponse(header, cs.breaker_epoch);
         if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
             (cs.deadline != 0 && engine_.now() >= cs.deadline)) {
           if (check::FabricChecker* chk = fabric_->checker()) {
@@ -1189,6 +1254,21 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
         }
         cs.failed = 0;
         continue;
+      }
+      if (wire::UnpackRedirect(header.size_status)) {
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceFetchStore, server_.remote_key().rkey,
+                        server_.abs(land_off(slot)),
+                        std::min<uint32_t>(kHeaderBytes, cs.fetched_len),
+                        cs.fetch_tick, "redirect fetch");
+          chk->OnClientRecvDone(this);
+        }
+        ++stats_.redirects;
+        client_busy_.AddBusy(engine_.now() - start - slept);
+        const Redirected redirected(wire::UnpackRedirectEpoch(header.size_status),
+                                    header.time_us);
+        FreeSlot(slot);
+        throw redirected;
       }
       cs.busy_streak = 0;
       const uint32_t size = wire::UnpackSize(header.size_status);
@@ -1254,7 +1334,7 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
       slow_streak_ = cs.failed >= options_.retry_threshold && !OverloadSuppressesSwitch()
                          ? slow_streak_ + 1
                          : 0;
-      RecordBreakerOutcome(false);
+      RecordBreakerOutcome(false, cs.breaker_epoch);
       if (calls_since_busy_ < (1 << 30)) {
         ++calls_since_busy_;
       }
@@ -1272,7 +1352,7 @@ sim::Task<size_t> Channel::AwaitCall(CallHandle handle, std::span<std::byte> out
     }
     if (fetch_deadline != 0 && engine_.now() >= fetch_deadline) {
       ++stats_.fetch_timeouts;
-      RecordBreakerOutcome(true);
+      RecordBreakerOutcome(true, cs.breaker_epoch);
       if (sim::TraceSink* trace = engine_.trace_sink()) {
         trace->Instant("rfp", "fetch_timeout", reinterpret_cast<uint64_t>(this), engine_.now());
       }
@@ -1411,7 +1491,7 @@ sim::Task<size_t> Channel::AwaitReplySlot(int slot, std::span<std::byte> out) {
           chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
                         client_.abs(land_off(slot)), kHeaderBytes, 0, "busy reply");
         }
-        RecordBusyResponse(header);
+        RecordBusyResponse(header, cs.breaker_epoch);
         if (wire::UnpackBusyReason(header.size_status) == BusyReason::kDeadline ||
             (cs.deadline != 0 && engine_.now() >= cs.deadline)) {
           if (check::FabricChecker* chk = fabric_->checker()) {
@@ -1438,6 +1518,19 @@ sim::Task<size_t> Channel::AwaitReplySlot(int slot, std::span<std::byte> out) {
         co_await ReissueRequestSlot(slot);
         client_busy_.AddBusy(options_.reply_poll_cpu_ns);
         continue;
+      }
+      if (wire::UnpackRedirect(header.size_status)) {
+        if (check::FabricChecker* chk = fabric_->checker()) {
+          chk->OnAccept(check::ViolationKind::kRaceRecvStore, client_.remote_key().rkey,
+                        client_.abs(land_off(slot)), kHeaderBytes, 0, "redirect reply");
+          chk->OnClientRecvDone(this);
+        }
+        ++stats_.redirects;
+        client_busy_.AddBusy(options_.reply_poll_cpu_ns);
+        const Redirected redirected(wire::UnpackRedirectEpoch(header.size_status),
+                                    header.time_us);
+        FreeSlot(slot);
+        throw redirected;
       }
       const uint32_t size = wire::UnpackSize(header.size_status);
       if (size > out.size()) {
@@ -1476,7 +1569,7 @@ sim::Task<size_t> Channel::AwaitReplySlot(int slot, std::span<std::byte> out) {
         chk->OnClientRecvDone(this);
       }
       client_busy_.AddBusy(options_.reply_poll_cpu_ns);
-      FinishReplyCall(header);
+      FinishReplyCall(header, cs.breaker_epoch);
       FreeSlot(slot);
       co_return delivered;
     }
@@ -1501,7 +1594,7 @@ sim::Task<void> Channel::ReissueRequestSlot(int slot) {
   cs.seq = seq_;
   cs.landing_ready = false;
   RequestHeader header;
-  header.size_status = wire::PackSizeStatus(cs.req_bytes, true);
+  header.size_status = wire::PackRequestSizeStatus(cs.req_bytes, true, request_epoch_);
   header.seq = cs.seq;
   header.mode = static_cast<uint8_t>(mode_);
   header.slot = static_cast<uint8_t>(slot);
@@ -1544,7 +1637,7 @@ bool Channel::TryServerRecvSlot(std::span<std::byte> out, size_t* size) {
         header.seq == sslot(s).last_recv_seq) {
       continue;
     }
-    const uint32_t payload = wire::UnpackSize(header.size_status);
+    const uint32_t payload = wire::UnpackRequestSize(header.size_status);
     if (payload > out.size()) {
       throw std::length_error("rfp channel: request larger than server buffer");
     }
@@ -1562,6 +1655,7 @@ bool Channel::TryServerRecvSlot(std::span<std::byte> out, size_t* size) {
     ss.recv_time = engine_.now();
     last_recv_slot_ = s;
     last_recv_deadline_ns_ = header.deadline_ns;  // mirror for last_request_deadline_ns()
+    last_recv_epoch_ = wire::UnpackRequestEpoch(header.size_status);
     recv_rr_ = (s + 1) % options_.window;
     return true;
   }
@@ -1634,6 +1728,35 @@ sim::Task<void> Channel::ServerSendBusySlot(BusyReason reason, uint16_t retry_af
   ss.last_resp_seq = ss.last_recv_seq;
   ss.last_resp_size = 0;
   ss.last_resp_busy = true;
+  ss.response_pushed = false;
+  if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
+    co_await PushReplySlot(s);
+  }
+}
+
+sim::Task<void> Channel::ServerSendRedirectSlot(uint32_t epoch, uint16_t leader_hint) {
+  const int s = last_recv_slot_;
+  ServerSlot& ss = sslot(s);
+  ss.pin.reset();  // a superseding send releases any pinned entry
+  const size_t off = land_off(s);
+  ResponseHeader header;
+  header.size_status = wire::PackRedirect(epoch);
+  header.time_us = leader_hint;
+  header.seq = ss.last_recv_seq;
+  const uint32_t rkey = server_.remote_key().rkey;
+  // Header-only single-store publication, as in the scalar path.
+  server_.Store(off, header);
+  if (check::FabricChecker* chk = fabric_->checker()) {
+    chk->OnCpuStore(rkey, server_.abs(off), kHeaderBytes);
+    chk->OnPublish(rkey, server_.abs(off), kHeaderBytes);
+  }
+  ++stats_.shed_redirect;
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("rfp", "shed_redirect", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
+  ss.last_resp_seq = ss.last_recv_seq;
+  ss.last_resp_size = 0;
+  ss.last_resp_busy = true;  // header-only, like BUSY, for resend/flush sizing
   ss.response_pushed = false;
   if (!defer_server_pushes_ && server_visible_mode() == Mode::kServerReply) {
     co_await PushReplySlot(s);
@@ -1716,21 +1839,29 @@ sim::Task<std::vector<rdma::WorkCompletion>> Channel::RcBatch(bool from_client,
 
 // ---- Overload protection (docs/overload.md) ----------------------------------
 
-void Channel::RecordBusyResponse(const ResponseHeader& header) {
+void Channel::RecordBusyResponse(const ResponseHeader& header, uint64_t sent_epoch) {
   ++stats_.busy_responses;
   calls_since_busy_ = 0;
   last_retry_after_us_ = header.time_us;
   if (sim::TraceSink* trace = engine_.trace_sink()) {
     trace->Instant("rfp", "busy_response", reinterpret_cast<uint64_t>(this), engine_.now());
   }
-  RecordBreakerOutcome(true);
+  RecordBreakerOutcome(true, sent_epoch);
 }
 
-void Channel::RecordBreakerOutcome(bool bad) {
+void Channel::RecordBreakerOutcome(bool bad, uint64_t sent_epoch) {
   if (!options_.breaker_enabled) {
     return;
   }
   if (breaker_state_ == BreakerState::kHalfOpen) {
+    if (sent_epoch != breaker_epoch_) {
+      // A call sent before the breaker (last) opened, still draining its
+      // retries — possibly across a reconnect. It is not the probe: its
+      // stale verdict must neither re-open the breaker (double-counting
+      // breaker_opens for one outage and discarding the real probe's
+      // result) nor close it early.
+      return;
+    }
     // This outcome is the half-open probe's verdict.
     if (bad) {
       OpenBreaker();
@@ -1762,6 +1893,7 @@ void Channel::RecordBreakerOutcome(bool bad) {
 void Channel::OpenBreaker() {
   breaker_state_ = BreakerState::kOpen;
   ++stats_.breaker_opens;
+  ++breaker_epoch_;  // outcomes of calls sent before this instant are stale
   // Open for the configured interval, stretched to the server's latest
   // retry-after hint when that is larger, and jittered by +/-25% so a fleet
   // of breakers doesn't reclose in lockstep.

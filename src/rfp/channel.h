@@ -56,6 +56,27 @@ class DeadlineExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Thrown by ClientRecv/AwaitCall when the server answered with a REDIRECT
+// header: the server is not (or no longer) the primary for the epoch the
+// request carried. The request was not executed. `server_epoch` is the
+// rejecting server's current epoch and `leader_hint` the node id it believes
+// is the leader; a replication-aware client re-resolves the leader (see
+// repl::Client) and re-issues under the new epoch.
+class Redirected : public std::runtime_error {
+ public:
+  Redirected(uint32_t server_epoch, uint16_t leader_hint)
+      : std::runtime_error("rfp channel: redirected (stale epoch / not the primary)"),
+        server_epoch_(server_epoch),
+        leader_hint_(leader_hint) {}
+
+  uint32_t server_epoch() const { return server_epoch_; }
+  uint16_t leader_hint() const { return leader_hint_; }
+
+ private:
+  uint32_t server_epoch_;
+  uint16_t leader_hint_;
+};
+
 // A response value that lives in the server's registered memory (a mem::Pool
 // slab entry owned by a store) instead of the response ring. ServerSendZeroCopy
 // publishes a descriptor pointing at it; the client fetches the value with one
@@ -106,6 +127,9 @@ class Channel {
     uint64_t shed_admission = 0;  // requests shed by admission control (server side)
     uint64_t shed_deadline = 0;   // requests shed as already expired (server side)
     uint64_t breaker_opens = 0;   // circuit-breaker closed/half-open -> open
+    // Replication / failover (docs/replication.md).
+    uint64_t redirects = 0;       // REDIRECT responses observed by the client
+    uint64_t shed_redirect = 0;   // requests rejected with REDIRECT (server side)
     // Pipelining (docs/pipelining.md; all zero on window=1 channels).
     uint64_t doorbell_batches = 0;  // posting sweeps (one leader doorbell each)
     uint64_t batched_ops = 0;       // follower WRs that rode a leader's doorbell
@@ -238,6 +262,11 @@ class Channel {
   // (0 = none). The server checks it before dispatching the handler.
   uint64_t last_request_deadline_ns() const { return last_recv_deadline_ns_; }
 
+  // Replication epoch carried by the last request TryServerRecv returned
+  // (0 = legacy / not replication-aware). A gated RpcServer compares it to
+  // its own epoch before dispatching (docs/replication.md).
+  uint32_t last_request_epoch() const { return last_recv_epoch_; }
+
   // Publishes the response for the last received request.
   sim::Task<void> ServerSend(std::span<const std::byte> msg);
 
@@ -246,6 +275,12 @@ class Channel {
   // or deadline already expired). `retry_after_us` hints when the client
   // should retry.
   sim::Task<void> ServerSendBusy(BusyReason reason, uint16_t retry_after_us);
+
+  // Publishes a header-only REDIRECT response for the last received request:
+  // this server is not the primary for the request's epoch. `epoch` is the
+  // server's current epoch, `leader_hint` the node id of the believed leader
+  // (travels in time_us). The client-side call throws Redirected.
+  sim::Task<void> ServerSendRedirect(uint32_t epoch, uint16_t leader_hint);
 
   // Publishes a zero-copy response for the last received request: `prefix`
   // bytes are staged in the response slot as usual, but the value stays in
@@ -303,6 +338,12 @@ class Channel {
 
   // Adjusts F at runtime (used when the parameter selector re-tunes).
   void set_fetch_size(uint32_t f);
+
+  // Replication epoch stamped into every request header this client issues
+  // (bits 24-30 of size_status; 0 = legacy). Set by replication-aware
+  // clients after resolving the leader; re-issues reuse the current value.
+  void set_request_epoch(uint32_t epoch) { request_epoch_ = epoch & wire::kReqEpochMax; }
+  uint32_t request_epoch() const { return request_epoch_; }
 
   // TEST ONLY (tests/explore corpus): drops the sequence-tag filter on
   // response acceptance, modelling a client that trusts any completed
@@ -391,6 +432,7 @@ class Channel {
     bool landing_ready = false;  // a matching response header landed
     uint64_t fetch_tick = 0;     // check_tick of the READ that landed it
     uint32_t fetched_len = 0;    // bytes that READ carried
+    uint64_t breaker_epoch = 0;  // breaker epoch at submit (verdict filter)
   };
 
   // Per-slot server state, used only when window > 1.
@@ -432,6 +474,7 @@ class Channel {
   bool TryServerRecvSlot(std::span<std::byte> out, size_t* size);
   sim::Task<void> ServerSendSlot(std::span<const std::byte> msg);
   sim::Task<void> ServerSendBusySlot(BusyReason reason, uint16_t retry_after_us);
+  sim::Task<void> ServerSendRedirectSlot(uint32_t epoch, uint16_t leader_hint);
   sim::Task<void> PushReplySlot(int slot);
   // Stages the indirect descriptor + prefix into response slot `slot` with
   // the regular publication order and publishes the entry range. Shared by
@@ -456,7 +499,7 @@ class Channel {
   // Polls the local landing buffer until the reply for `seq_` arrives.
   sim::Task<size_t> AwaitReply(std::span<std::byte> out);
   // Books completion of a reply-mode call and evaluates switch-back.
-  void FinishReplyCall(const ResponseHeader& header);
+  void FinishReplyCall(const ResponseHeader& header, uint64_t sent_epoch);
   // Pushes the response stored for `last_resp_seq_` to the client.
   sim::Task<void> PushReply();
 
@@ -496,8 +539,14 @@ class Channel {
     return unsafe_accept_stale_seq_ || header_seq == expected;
   }
   // Books one call outcome into the breaker window (bad = BUSY or fetch
-  // timeout) and drives the state machine.
-  void RecordBreakerOutcome(bool bad);
+  // timeout) and drives the state machine. `sent_epoch` is the breaker
+  // epoch the call was sent under (stamped at ClientSend/SubmitCall): in
+  // the half-open state only a call sent since the last open — the probe —
+  // may deliver the verdict, so a stale call still draining from before
+  // the outage can neither re-open the breaker a second time for the same
+  // episode (double-counting breaker_opens) nor close it in the probe's
+  // stead.
+  void RecordBreakerOutcome(bool bad, uint64_t sent_epoch);
   // closed/half-open -> open: picks the jittered open interval.
   void OpenBreaker();
   // With the breaker open, sleeps out the open interval and arms the
@@ -508,7 +557,7 @@ class Channel {
   sim::Time BusyRetryDelay(uint16_t hint_us, int nth_busy);
   // Books a BUSY header observed for the current call; throws
   // DeadlineExceeded for BUSY(deadline). Shared by fetch and reply paths.
-  void RecordBusyResponse(const ResponseHeader& header);
+  void RecordBusyResponse(const ResponseHeader& header, uint64_t sent_epoch);
   // Moves this call's attempt-local fetch READs into the recovery bucket
   // (called when a re-issue abandons the attempt).
   void TransferAttemptReads(uint64_t* attempt_reads);
@@ -532,6 +581,7 @@ class Channel {
 
   // Client state.
   uint16_t seq_ = 0;
+  uint32_t request_epoch_ = 0;  // stamped into every request header (0 = legacy)
   uint32_t last_req_size_ = 0;  // payload bytes still staged for re-issue
   uint32_t fetch_override_ = 0;  // window=1 SubmitCall per-call fetch size
   bool reconnect_in_progress_ = false;
@@ -549,6 +599,8 @@ class Channel {
   sim::Time breaker_open_until_ = 0;
   int breaker_window_calls_ = 0;
   int breaker_window_bad_ = 0;
+  uint64_t breaker_epoch_ = 0;         // bumped on every open
+  uint64_t scalar_breaker_epoch_ = 0;  // epoch the scalar call was sent under
   uint16_t last_retry_after_us_ = 0;
   sim::Rng rng_{0x4252};  // re-seeded per channel in the ctor
 
@@ -571,6 +623,7 @@ class Channel {
   sim::Time recv_time_ = 0;
   uint32_t last_resp_size_ = 0;
   uint64_t last_recv_deadline_ns_ = 0;
+  uint32_t last_recv_epoch_ = 0;  // epoch of the last received request
   bool last_resp_busy_ = false;  // BUSY responses push the header only
   bool defer_server_pushes_ = false;  // see set_defer_server_pushes
   bool unsafe_accept_stale_seq_ = false;  // TEST ONLY, see setter

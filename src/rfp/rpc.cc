@@ -75,6 +75,10 @@ RpcServer::~RpcServer() {
   if (channel_steals_ > 0) {
     reg.GetCounter("rfp.rpc.channel_steals", {{"node", node_.name()}})->Add(channel_steals_);
   }
+  if (requests_shed_redirect_ > 0) {
+    reg.GetCounter("rfp.rpc.shed_redirect", {{"node", node_.name()}})
+        ->Add(requests_shed_redirect_);
+  }
 }
 
 int RpcServer::channels_owned_by(int thread) const {
@@ -333,6 +337,20 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
         }
         uint16_t rpc_id = 0;
         std::memcpy(&rpc_id, state.request_buf.data(), kRpcIdBytes);
+        // Replication epoch gate: a gated request from the wrong epoch — or
+        // any gated request while this node is not serving — is redirected,
+        // never dispatched. This is what fences a restarted old primary
+        // (docs/replication.md): its clients learn the promotion from the
+        // redirect and re-resolve the leader.
+        if (!gated_rpcs_.empty() && gated_rpcs_.count(rpc_id) != 0 &&
+            (!repl_serving_ || channel->last_request_epoch() != repl_epoch_)) {
+          ++requests_shed_redirect_;
+          if (sim::TraceSink* trace = engine.trace_sink()) {
+            trace->Instant("repl", "redirect", worker_track_id(thread_index), engine.now());
+          }
+          co_await channel->ServerSendRedirect(repl_epoch_, repl_leader_hint_);
+          continue;
+        }
         auto it = handlers_.find(rpc_id);
         if (it == handlers_.end()) {
           RecordMalformedRequest(thread_index, "unknown_rpc");

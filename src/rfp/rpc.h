@@ -25,6 +25,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/rdma/fabric.h"
@@ -130,6 +131,31 @@ class RpcServer {
     return threads_[static_cast<size_t>(thread)].served;
   }
 
+  // ---- Replication epoch gate (docs/replication.md) ------------------------
+
+  // Marks `rpc_id` as epoch-gated: before dispatch, a gated request's header
+  // epoch (RequestHeader bits 24-30) is compared to this server's epoch, and
+  // a mismatch — or a server that is not serving at all — is rejected with a
+  // header-only REDIRECT instead of running the handler. Ungated ids (the
+  // replication stream itself, health probes) always dispatch. Call at
+  // setup, alongside RegisterHandler.
+  void GateRpc(uint16_t rpc_id) { gated_rpcs_.insert(rpc_id); }
+
+  // Updates the gate's view: `serving` is whether this node believes it is
+  // the primary, `epoch` its current epoch, `leader_hint` the node id it
+  // believes leads (echoed in redirects). A server with no gated rpc ids
+  // ignores this entirely.
+  void SetReplGate(bool serving, uint32_t epoch, uint16_t leader_hint) {
+    repl_serving_ = serving;
+    repl_epoch_ = epoch;
+    repl_leader_hint_ = leader_hint;
+  }
+
+  bool repl_serving() const { return repl_serving_; }
+  uint32_t repl_epoch() const { return repl_epoch_; }
+  // Requests rejected with REDIRECT by the epoch gate.
+  uint64_t requests_shed_redirect() const { return requests_shed_redirect_; }
+
   // ---- Overload protection (docs/overload.md) ------------------------------
 
   // True while `thread`'s watermark detector holds the overloaded state.
@@ -225,6 +251,13 @@ class RpcServer {
   uint64_t overload_enters_ = 0;
   uint64_t malformed_requests_ = 0;
   uint64_t channel_steals_ = 0;
+  // Replication epoch gate (docs/replication.md). Empty gated_rpcs_ = the
+  // legacy single-node server; the defaults below then never matter.
+  std::unordered_set<uint16_t> gated_rpcs_;
+  bool repl_serving_ = true;
+  uint32_t repl_epoch_ = 0;
+  uint16_t repl_leader_hint_ = 0;
+  uint64_t requests_shed_redirect_ = 0;
   std::unordered_map<uint16_t, AsyncHandler> handlers_;
   std::vector<ThreadState> threads_;
   // All accepted channels in acceptance order; each worker's sweep visits

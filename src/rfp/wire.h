@@ -59,15 +59,41 @@ constexpr uint32_t kBusyBit = 0x4000'0000u;
 // fetches the value with one more READ straight out of the store-owned
 // registered entry the descriptor names (zero-copy GET, docs/memory.md).
 constexpr uint32_t kIndirectBit = 0x2000'0000u;
+// Bit 28 of a response's size_status: the server is not (or no longer) the
+// primary for this service — a replication-aware client should re-resolve
+// the leader and re-issue (docs/replication.md). The size bits carry the
+// server's current epoch and time_us carries a leader node-id hint.
+constexpr uint32_t kRedirectBit = 0x1000'0000u;
 // Size bits exclude every flag bit so UnpackSize is exact for plain, BUSY,
-// and indirect responses alike.
-constexpr uint32_t kSizeMask = 0x7fff'ffffu & ~kBusyBit & ~kIndirectBit;
+// indirect, and redirect responses alike.
+constexpr uint32_t kSizeMask = 0x7fff'ffffu & ~kBusyBit & ~kIndirectBit & ~kRedirectBit;
 
 constexpr uint32_t PackSizeStatus(uint32_t size, bool status) {
   return (size & kSizeMask) | (status ? kStatusBit : 0);
 }
 constexpr bool UnpackStatus(uint32_t size_status) { return (size_status & kStatusBit) != 0; }
 constexpr uint32_t UnpackSize(uint32_t size_status) { return size_status & kSizeMask; }
+
+// ---- Request epoch (docs/replication.md) -----------------------------------
+//
+// Requests reuse bits 24-30 of size_status — reserved-zero since the seed
+// (request payloads are bounded well under 16 MiB) — as a 7-bit replication
+// epoch. Epoch 0 means "not replication-aware" and reproduces the legacy
+// header bit-for-bit; epochs compare by equality only (the coordinator owns
+// monotonicity, the wire just carries the fence). 7 bits wrap at 128
+// promotions, far beyond any simulated run.
+constexpr uint32_t kReqEpochShift = 24;
+constexpr uint32_t kReqEpochMax = 0x7fu;
+constexpr uint32_t kReqSizeMask = 0x00ff'ffffu;
+
+constexpr uint32_t PackRequestSizeStatus(uint32_t size, bool status, uint32_t epoch) {
+  return (size & kReqSizeMask) | ((epoch & kReqEpochMax) << kReqEpochShift) |
+         (status ? kStatusBit : 0);
+}
+constexpr uint32_t UnpackRequestSize(uint32_t size_status) { return size_status & kReqSizeMask; }
+constexpr uint32_t UnpackRequestEpoch(uint32_t size_status) {
+  return (size_status >> kReqEpochShift) & kReqEpochMax;
+}
 
 // An indirect response is a ready response whose size bits count only the
 // staged descriptor bytes (IndirectRef + prefix), not the value.
@@ -87,6 +113,21 @@ constexpr BusyReason UnpackBusyReason(uint32_t size_status) {
   return static_cast<BusyReason>(size_status & 0xffu);
 }
 
+// A REDIRECT response is a ready, header-only response (status bit set, no
+// payload) whose size bits carry the rejecting server's current epoch and
+// whose time_us field carries a leader node-id hint. Published when a gated
+// server receives a request whose epoch does not match its own — the old
+// primary after a restart, or any replica that is not serving.
+constexpr uint32_t PackRedirect(uint32_t epoch) {
+  return kStatusBit | kRedirectBit | (epoch & kReqEpochMax);
+}
+constexpr bool UnpackRedirect(uint32_t size_status) {
+  return (size_status & kRedirectBit) != 0;
+}
+constexpr uint32_t UnpackRedirectEpoch(uint32_t size_status) {
+  return size_status & kReqEpochMax;
+}
+
 }  // namespace wire
 
 // Largest call window a pipelined channel may be configured with (the slot
@@ -97,7 +138,10 @@ constexpr int kMaxWindow = 64;
 // Header the client writes (together with the payload, in one RDMA WRITE)
 // into the server's request block.
 struct RequestHeader {
-  uint32_t size_status = 0;  // bit 31: request present; bits 0-30: payload size
+  uint32_t size_status = 0;  // bit 31: request present; bits 24-30: 7-bit
+                             // replication epoch (0 = legacy, see
+                             // wire::PackRequestSizeStatus); bits 0-23:
+                             // payload size
   uint16_t seq = 0;          // call sequence tag
   uint8_t mode = 0;          // Mode the client is in (also rewritten mid-call
                              // by a 1-byte RDMA WRITE on a paradigm switch)
@@ -122,10 +166,14 @@ constexpr size_t kRequestSlotOffset = 7;
 // Header the server writes in front of the result payload.
 struct ResponseHeader {
   uint32_t size_status = 0;  // bit 31: response ready; bit 30: BUSY shed
-                             // notice; bits 0-29: payload size (BUSY: reason)
+                             // notice; bit 29: indirect; bit 28: REDIRECT
+                             // (wrong epoch / not the primary); remaining
+                             // size bits: payload size (BUSY: reason;
+                             // REDIRECT: server epoch)
   uint16_t time_us = 0;      // server process time, saturating microseconds
                              // (drives the client's switch-back decision);
-                             // for BUSY responses: retry-after hint in us
+                             // for BUSY responses: retry-after hint in us;
+                             // for REDIRECT responses: leader node-id hint
   uint16_t seq = 0;          // echo of the request's sequence tag
 };
 static_assert(sizeof(ResponseHeader) == 8, "response header must stay 8 bytes");

@@ -23,6 +23,7 @@ namespace {
 
 using corpus::CowPinnedScenario;
 using corpus::LateDuplicateScenario;
+using corpus::SplitBrainScenario;
 using corpus::StealBusyScenario;
 using corpus::StealCrashPlans;
 using corpus::SwitchRaceScenario;
@@ -120,6 +121,23 @@ TEST(ExploreCorpusTest, SwitchRaceCleanPasses) {
   ExpectCleanPasses(SwitchRaceScenario(false), CorpusOptions("switch_race_clean"));
 }
 
+TEST(ExploreCorpusTest, SplitBrainMutantIsCaught) {
+  Report report = Explorer(CorpusOptions("split_brain_mutant")).Run(SplitBrainScenario(true));
+  ASSERT_TRUE(report.failed) << report.Summary();
+  // Depending on the check mode the failure surfaces as a linearizability
+  // violation (the stale write is lost) or as the checker's epoch-regression
+  // invariant; either way it is the split brain, not a wedged failover.
+  EXPECT_TRUE(report.failure_message.find("not linearizable") != std::string::npos ||
+              report.failure_message.find("epoch_regression") != std::string::npos)
+      << report.failure_message;
+  Outcome replayed = Replay(SplitBrainScenario(true), report.minimal_trace);
+  EXPECT_FALSE(replayed.ok);
+}
+
+TEST(ExploreCorpusTest, SplitBrainCleanPasses) {
+  ExpectCleanPasses(SplitBrainScenario(false), CorpusOptions("split_brain_clean"));
+}
+
 // The corpus reports through obs: every entry above left its schedule count
 // under its own {scenario=<label>} metric.
 TEST(ExploreCorpusTest, ExplorationMetricsAreRecorded) {
@@ -134,7 +152,7 @@ TEST(ExploreCorpusTest, ExplorationMetricsAreRecorded) {
 // Entries() drives the CI corpus runner; it must cover every scenario above.
 TEST(ExploreCorpusTest, EntriesEnumerateTheWholeCorpus) {
   const auto entries = corpus::Entries();
-  ASSERT_EQ(entries.size(), 4u);
+  ASSERT_EQ(entries.size(), 5u);
   for (const auto& entry : entries) {
     EXPECT_NE(entry.make, nullptr) << entry.name;
   }

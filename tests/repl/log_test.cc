@@ -1,0 +1,121 @@
+// Record wire codec and ReplLog shipping-window unit tests.
+
+#include "src/repl/log.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kv/common.h"
+
+namespace repl {
+namespace {
+
+std::vector<std::byte> Bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<std::byte>(s[i]);
+  }
+  return out;
+}
+
+TEST(ReplRecordTest, EncodeDecodeRoundTrip) {
+  Record record;
+  record.lsn = 42;
+  record.rpc_id = kv::kRpcPut;
+  record.key = Bytes("door");
+  record.value = Bytes("bell");
+
+  std::vector<std::byte> wire(EncodedSize(record));
+  EXPECT_EQ(EncodeRecord(wire, record), wire.size());
+  auto decoded = DecodeRecord(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->lsn, 42u);
+  EXPECT_EQ(decoded->rpc_id, kv::kRpcPut);
+  EXPECT_EQ(decoded->key, record.key);
+  EXPECT_EQ(decoded->value, record.value);
+}
+
+TEST(ReplRecordTest, DeleteRecordHasEmptyValue) {
+  Record record;
+  record.lsn = 7;
+  record.rpc_id = kv::kRpcDelete;
+  record.key = Bytes("k");
+
+  std::vector<std::byte> wire(EncodedSize(record));
+  EncodeRecord(wire, record);
+  auto decoded = DecodeRecord(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rpc_id, kv::kRpcDelete);
+  EXPECT_TRUE(decoded->value.empty());
+}
+
+TEST(ReplRecordTest, DecodeRejectsTruncation) {
+  Record record;
+  record.lsn = 1;
+  record.rpc_id = kv::kRpcPut;
+  record.key = Bytes("key");
+  record.value = Bytes("value");
+  std::vector<std::byte> wire(EncodedSize(record));
+  EncodeRecord(wire, record);
+
+  // Truncated header and truncated body are both rejected, at every length.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(DecodeRecord(std::span<const std::byte>(wire.data(), n)).has_value()) << n;
+  }
+}
+
+TEST(ReplLogTest, LsnsStartAtOneAndShipInOrder) {
+  ReplLog log;
+  EXPECT_EQ(log.last_lsn(), 0u);
+  EXPECT_EQ(log.NextToShip(), nullptr);
+
+  EXPECT_EQ(log.Append(kv::kRpcPut, Bytes("a"), Bytes("1")), 1u);
+  EXPECT_EQ(log.Append(kv::kRpcPut, Bytes("b"), Bytes("2")), 2u);
+  EXPECT_EQ(log.Append(kv::kRpcDelete, Bytes("a"), {}), 3u);
+  EXPECT_EQ(log.last_lsn(), 3u);
+  EXPECT_EQ(log.unshipped(), 3u);
+
+  ASSERT_NE(log.NextToShip(), nullptr);
+  EXPECT_EQ(log.NextToShip()->lsn, 1u);
+  log.MarkShipped();
+  EXPECT_EQ(log.NextToShip()->lsn, 2u);
+  log.MarkShipped();
+  log.MarkShipped();
+  EXPECT_EQ(log.NextToShip(), nullptr);
+  EXPECT_EQ(log.unshipped(), 0u);
+}
+
+TEST(ReplLogTest, AckDropsPrefixAndTracksLag) {
+  ReplLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.Append(kv::kRpcPut, Bytes("k"), Bytes("v"));
+  }
+  log.MarkShipped();
+  log.MarkShipped();
+  EXPECT_EQ(log.lag(), 5u);
+
+  log.OnAcked(2);
+  EXPECT_EQ(log.acked_lsn(), 2u);
+  EXPECT_EQ(log.lag(), 3u);
+  // The ship cursor survives the prefix drop: lsn 3 is still next.
+  ASSERT_NE(log.NextToShip(), nullptr);
+  EXPECT_EQ(log.NextToShip()->lsn, 3u);
+
+  // Stale (already-covered) acks are ignored.
+  log.OnAcked(1);
+  EXPECT_EQ(log.acked_lsn(), 2u);
+
+  log.MarkShipped();
+  log.MarkShipped();
+  log.MarkShipped();
+  log.OnAcked(5);
+  EXPECT_EQ(log.lag(), 0u);
+  EXPECT_EQ(log.NextToShip(), nullptr);
+  // New appends after a fully-drained window keep the LSN sequence.
+  EXPECT_EQ(log.Append(kv::kRpcPut, Bytes("k"), Bytes("v")), 6u);
+}
+
+}  // namespace
+}  // namespace repl
