@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/check/checker.h"
+#include "src/conn/connector.h"
 #include "src/kv/jakiro.h"
 #include "src/kv/pilaf_store.h"
 #include "src/obs/json.h"
@@ -596,29 +597,28 @@ EchoRunResult RunEcho(const EchoRunConfig& config_in) {
   for (int n = 0; n < config.client_nodes; ++n) {
     client_nodes.push_back(&fabric.AddNode("client" + std::to_string(n)));
   }
-  std::vector<rfp::Channel*> channels;
-  std::vector<std::unique_ptr<rfp::RpcClient>> stubs;
+  conn::Connector connector;
+  std::vector<conn::ChannelLease> endpoints;
   std::vector<ThreadCounters> counters(static_cast<size_t>(config.client_threads));
   for (int t = 0; t < config.client_threads; ++t) {
-    rfp::Channel* channel = server.AcceptChannel(
-        *client_nodes[static_cast<size_t>(t % config.client_nodes)], config.channel,
-        t % config.server_threads);
-    channels.push_back(channel);
-    stubs.push_back(std::make_unique<rfp::RpcClient>(channel));
+    endpoints.push_back(
+        connector.Lease(server, *client_nodes[static_cast<size_t>(t % config.client_nodes)],
+                        config.channel, t % config.server_threads));
   }
   server.Start();
 
   const sim::Time warmup_end = config.warmup;
   const sim::Time measure_end = config.warmup + config.measure;
   for (int t = 0; t < config.client_threads; ++t) {
-    engine.Spawn(EchoDriver(engine, stubs[static_cast<size_t>(t)].get(), config.result_size,
-                            warmup_end, measure_end, &counters[static_cast<size_t>(t)]));
+    engine.Spawn(EchoDriver(engine, endpoints[static_cast<size_t>(t)].stub(),
+                            config.result_size, warmup_end, measure_end,
+                            &counters[static_cast<size_t>(t)]));
   }
 
-  std::vector<sim::Time> busy_at_warmup(channels.size(), 0);
+  std::vector<sim::Time> busy_at_warmup(endpoints.size(), 0);
   engine.ScheduleAt(warmup_end, [&] {
-    for (size_t i = 0; i < channels.size(); ++i) {
-      busy_at_warmup[i] = channels[i]->client_busy().busy();
+    for (size_t i = 0; i < endpoints.size(); ++i) {
+      busy_at_warmup[i] = endpoints[i].channel()->client_busy().busy();
     }
   });
 
@@ -632,10 +632,11 @@ EchoRunResult RunEcho(const EchoRunConfig& config_in) {
   }
   result.mops = static_cast<double>(result.ops) / sim::ToSeconds(config.measure) / 1e6;
   double busy_total = 0;
-  for (size_t i = 0; i < channels.size(); ++i) {
-    busy_total += static_cast<double>(channels[i]->client_busy().busy() - busy_at_warmup[i]);
-    MergeChannelStats(result.channels, channels[i]->stats());
-    if (channels[i]->client_mode() == rfp::Mode::kServerReply) {
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    rfp::Channel* channel = endpoints[i].channel();
+    busy_total += static_cast<double>(channel->client_busy().busy() - busy_at_warmup[i]);
+    MergeChannelStats(result.channels, channel->stats());
+    if (channel->client_mode() == rfp::Mode::kServerReply) {
       ++result.channels_in_reply_mode;
     }
   }
@@ -746,10 +747,10 @@ KvRunResult RunKv(const KvRunConfig& config_in) {
                                       4);
     switch (config.system) {
       case KvSystem::kServerReply:
-        jc = kv::ServerReplyConfig(jc);
+        jc = kv::JakiroConfig::Build(jc).ServerReply();
         break;
       case KvSystem::kJakiroNoSwitch:
-        jc = kv::NoSwitchConfig(jc);
+        jc = kv::JakiroConfig::Build(jc).NoSwitch();
         break;
       default:
         break;

@@ -62,7 +62,7 @@ double RunRfpVariant(bool force_reply) {
   kv::JakiroConfig config;
   config.server_threads = 4;
   if (force_reply) {
-    config = kv::ServerReplyConfig(config);
+    config = kv::JakiroConfig::Build(config).ServerReply();
   }
   kv::JakiroServer server(fabric, server_node, config);
 

@@ -140,6 +140,10 @@ const char* ViolationKindName(ViolationKind kind) {
       return "rfp.recv_without_send";
     case ViolationKind::kReplEpochRegression:
       return "repl.epoch_regression";
+    case ViolationKind::kConnCidAssign:
+      return "conn.cid_assign";
+    case ViolationKind::kConnCidRelease:
+      return "conn.cid_release";
     case ViolationKind::kNumKinds:
       break;
   }
@@ -333,7 +337,7 @@ void FabricChecker::OnQpRecovered(uint32_t qp_num) {
 }
 
 void FabricChecker::OnPost(uint32_t qp_num, rdma::Opcode op, bool in_error, bool supported,
-                           bool retired) {
+                           bool retired, bool batch_follower) {
   NextTick();
   QpInfo& info = qps_[qp_num];
   if (retired || info.retired) {
@@ -353,8 +357,10 @@ void FabricChecker::OnPost(uint32_t qp_num, rdma::Opcode op, bool in_error, bool
   if (in_error || info.in_error) {
     // First post discovers the error (legal: the poster learns via the
     // kQpError completion). A second post without reconnect/recover means
-    // the caller ignored the completion status.
-    if (info.error_observed) {
+    // the caller ignored the completion status — unless it rides the same
+    // doorbell as the discovering leader: a batch chain is posted whole
+    // before any completion is visible, and the NIC flushes it as a unit.
+    if (info.error_observed && !batch_follower) {
       std::ostringstream os;
       os << "post of " << OpName(op) << " on errored qp " << qp_num
          << " after the error was already reported; reconnect or Recover() first";
@@ -540,6 +546,28 @@ void FabricChecker::OnEpochAdvance(const void* group, uint32_t epoch) {
     return;
   }
   it->second = epoch;
+}
+
+void FabricChecker::OnCidAssign(const void* server, uint32_t cid) {
+  NextTick();
+  auto [it, inserted] = live_cids_[server].insert(cid);
+  (void)it;
+  if (!inserted) {
+    std::ostringstream os;
+    os << "pooled connection id " << cid
+       << " assigned while still live — two logical clients would alias one "
+          "connection entry";
+    Report(ViolationKind::kConnCidAssign, os.str());
+  }
+}
+
+void FabricChecker::OnCidRelease(const void* server, uint32_t cid) {
+  NextTick();
+  if (live_cids_[server].erase(cid) == 0) {
+    std::ostringstream os;
+    os << "pooled connection id " << cid << " released while not live";
+    Report(ViolationKind::kConnCidRelease, os.str());
+  }
 }
 
 void FabricChecker::OnChannelWindow(const void* channel, int window) {

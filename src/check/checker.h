@@ -37,6 +37,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/rdma/types.h"
 
@@ -130,6 +131,8 @@ enum class ViolationKind : uint8_t {
   kRfpOverlappingCall,  // ClientSend while the previous call is outstanding
   kRfpRecvWithoutSend,  // ClientRecv with no call outstanding
   kReplEpochRegression, // replication group's epoch moved backwards
+  kConnCidAssign,       // pooled connection id assigned while still live
+  kConnCidRelease,      // pooled connection id released while not live
   kNumKinds,
 };
 
@@ -236,8 +239,12 @@ class FabricChecker {
   // Validates a post. `supported` is false when the op falls outside the QP
   // type's matrix; `retired` when the QP was retired by the fabric. In report
   // mode the post proceeds into its error-completion path after the count;
-  // strict mode throws out of the posting actor instead.
-  void OnPost(uint32_t qp_num, rdma::Opcode op, bool in_error, bool supported, bool retired);
+  // strict mode throws out of the posting actor instead. `batch_follower`
+  // marks a WR riding an earlier post's doorbell: a whole chain is posted
+  // before any completion can be observed, so followers share their leader's
+  // error discovery instead of counting as ignore-the-completion reposts.
+  void OnPost(uint32_t qp_num, rdma::Opcode op, bool in_error, bool supported, bool retired,
+              bool batch_follower = false);
   // Registers an async wr_id under the QP's post sequence so OnCqPush can
   // validate completion order.
   void OnAsyncPost(uint32_t qp_num, uint64_t wr_id);
@@ -278,6 +285,17 @@ class FabricChecker {
   // a demotion was skipped. Wrap-around (wire epochs are 7 bits) is out of
   // scope — simulated runs promote a handful of times, never 2^7.
   void OnEpochAdvance(const void* group, uint32_t epoch);
+
+  // ---- Pooled connection-id lifecycle (src/conn) ----------------------------
+
+  // `server` (a conn::PooledServer) assigned or released pooled connection
+  // id `cid`. Cids are the demux key that lets N QPs serve M >> N logical
+  // clients, so their lifecycle is an aliasing invariant: assigning a cid
+  // that is already live, or releasing one that is not, would route two
+  // logical clients' replies through one connection entry
+  // (docs/connections.md).
+  void OnCidAssign(const void* server, uint32_t cid);
+  void OnCidRelease(const void* server, uint32_t cid);
 
   // ---- RFP protocol pairing (Channel) --------------------------------------
 
@@ -339,6 +357,9 @@ class FabricChecker {
 
   // Highest epoch each replication group has served at (OnEpochAdvance).
   std::unordered_map<const void*, uint32_t> repl_epochs_;
+
+  // Live pooled connection ids per conn::PooledServer (OnCidAssign/Release).
+  std::unordered_map<const void*, std::unordered_set<uint32_t>> live_cids_;
 
   uint64_t counts_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};
   obs::Counter* counters_[static_cast<size_t>(ViolationKind::kNumKinds)] = {};

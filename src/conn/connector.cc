@@ -1,0 +1,46 @@
+#include "src/conn/connector.h"
+
+#include <utility>
+
+#include "src/rfp/channel.h"
+
+namespace conn {
+
+Connector::Connector(ConnectorOptions options) : options_(options) {
+  if (options_.mode == ConnectorOptions::Mode::kCached) {
+    cache_ = std::make_unique<ChannelCache>(options_.cache);
+  }
+}
+
+ChannelLease Connector::Lease(rfp::RpcServer& server, rdma::Node& client,
+                              const rfp::RfpOptions& options, int thread) {
+  if (cache_ != nullptr) {
+    return cache_->Get(server, client, options, thread);
+  }
+  // Direct mode reproduces the legacy bringup exactly: the channel is
+  // server-owned and outlives the lease (no CloseChannel on release), the
+  // stub is lease-owned.
+  rfp::Channel* channel = server.AcceptChannel(client, options, thread);
+  ChannelLease lease;
+  lease.channel_ = channel;
+  lease.owned_stub_ = std::make_unique<rfp::RpcClient>(channel);
+  lease.stub_ = lease.owned_stub_.get();
+  return lease;
+}
+
+std::vector<ChannelLease> Connector::LeaseAll(rfp::RpcServer& server, rdma::Node& client,
+                                              const rfp::RfpOptions& options) {
+  std::vector<ChannelLease> leases;
+  leases.reserve(static_cast<size_t>(server.num_threads()));
+  for (int thread = 0; thread < server.num_threads(); ++thread) {
+    leases.push_back(Lease(server, client, options, thread));
+  }
+  return leases;
+}
+
+Connector& Connector::Direct() {
+  static Connector connector{ConnectorOptions{}};
+  return connector;
+}
+
+}  // namespace conn

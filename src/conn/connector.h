@@ -1,0 +1,73 @@
+// The unified client-construction API (docs/connections.md).
+//
+// Before this tier, every client brought its channels up by hand — the same
+// AcceptChannel + RpcClient block copy-pasted across bench drivers,
+// JakiroClient, and repl::Client. Connector centralizes that bringup behind
+// one call and makes the connection strategy a configuration choice:
+//
+//   * kDirect — a dedicated channel per lease, owned by the server for its
+//     lifetime (the legacy behavior, still right for benchmarks that want a
+//     fixed fleet with no cache effects).
+//   * kCached — leases resolve through an LRU ChannelCache, so a bounded
+//     channel/byte budget serves an unbounded client population with
+//     transparent re-establish on eviction.
+//
+// (The pooled datagram path, conn::PooledClient, stays a separate endpoint
+// type: it trades per-call latency for connection scalability and does not
+// speak the channel protocol, so it is not a lease mode.)
+
+#ifndef SRC_CONN_CONNECTOR_H_
+#define SRC_CONN_CONNECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/conn/cache.h"
+#include "src/rdma/node.h"
+#include "src/rfp/options.h"
+#include "src/rfp/rpc.h"
+
+namespace conn {
+
+struct ConnectorOptions {
+  enum class Mode {
+    kDirect,  // dedicated channel per lease, server-owned lifetime
+    kCached,  // lease through an LRU ChannelCache
+  };
+  Mode mode = Mode::kDirect;
+  CacheOptions cache;  // used by kCached only
+};
+
+class Connector {
+ public:
+  explicit Connector(ConnectorOptions options = {});
+
+  Connector(const Connector&) = delete;
+  Connector& operator=(const Connector&) = delete;
+
+  // One channel + stub to `server`'s dispatch thread `thread`. Leases must
+  // not outlive this Connector.
+  ChannelLease Lease(rfp::RpcServer& server, rdma::Node& client,
+                     const rfp::RfpOptions& options, int thread);
+
+  // One lease per server dispatch thread — the standard client bringup
+  // (JakiroClient holds one endpoint per server thread).
+  std::vector<ChannelLease> LeaseAll(rfp::RpcServer& server, rdma::Node& client,
+                                     const rfp::RfpOptions& options);
+
+  const ConnectorOptions& options() const { return options_; }
+  // The cache behind kCached leases; nullptr in kDirect mode.
+  ChannelCache* cache() { return cache_.get(); }
+
+  // Process-wide direct-mode connector, the default for legacy call sites
+  // (JakiroClient's two-argument constructor).
+  static Connector& Direct();
+
+ private:
+  ConnectorOptions options_;
+  std::unique_ptr<ChannelCache> cache_;
+};
+
+}  // namespace conn
+
+#endif  // SRC_CONN_CONNECTOR_H_

@@ -1,0 +1,423 @@
+#include "src/conn/pooled.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "src/check/checker.h"
+#include "src/obs/metrics.h"
+#include "src/rfp/wire.h"
+
+namespace conn {
+
+namespace {
+
+constexpr size_t kRpcIdBytes = sizeof(uint16_t);
+
+// One slot fits the larger (request) direction: header + rpc id + max body.
+size_t SlotBytesFor(const PooledOptions& options) {
+  return rfp::kReqHeaderBytes + kRpcIdBytes + options.max_message_bytes;
+}
+
+void Reject(const char* what) {
+  throw std::invalid_argument(std::string("conn pooled: ") + what);
+}
+
+}  // namespace
+
+void ValidateOptions(const PooledOptions& options) {
+  if (options.qps < 1) Reject("qps must be >= 1");
+  if (options.recv_slots < options.qps) Reject("recv_slots must be >= qps");
+  if (options.client_recv_slots < 1) Reject("client_recv_slots must be >= 1");
+  if (options.max_message_bytes == 0) Reject("max_message_bytes must be > 0");
+  // The pooled size field shares size_status with the cid's high byte, so a
+  // message (rpc id + body) must fit 16 bits (wire::kPooledSizeMask).
+  if (options.max_message_bytes + kRpcIdBytes > rfp::wire::kPooledSizeMask) {
+    Reject("max_message_bytes must fit the pooled 16-bit size field");
+  }
+  if (options.server_poll_ns <= 0) Reject("server_poll_ns must be > 0");
+  if (options.client_poll_ns <= 0) Reject("client_poll_ns must be > 0");
+  if (options.retry_timeout_ns <= 0) Reject("retry_timeout_ns must be > 0");
+  if (options.max_retransmits < 0) Reject("max_retransmits must be >= 0");
+  if (options.dispatch_cpu_ns < 0) Reject("dispatch_cpu_ns must be >= 0");
+}
+
+// ---- Server -------------------------------------------------------------------
+
+PooledServer::PooledServer(rdma::Fabric& fabric, rfp::RpcServer& rpc, PooledOptions options)
+    : fabric_(fabric), rpc_(rpc), node_(rpc.node()), options_(options) {
+  ValidateOptions(options_);
+  for (int q = 0; q < options_.qps; ++q) {
+    qps_.push_back(fabric.CreateUd(node_));
+  }
+  // The shared receive arena and the per-QP tx staging come from the node's
+  // registered-memory pool: bringing the tier up (and every client connect
+  // after it) performs zero MR registrations.
+  pool_ = mem::Pool::Shared(node_);
+  arena_ = pool_->Alloc(slot_bytes() *
+                        (static_cast<size_t>(options_.recv_slots) +
+                         static_cast<size_t>(options_.qps)));
+  free_slots_.reserve(static_cast<size_t>(options_.recv_slots));
+  for (int s = 0; s < options_.recv_slots; ++s) {
+    free_slots_.push_back(static_cast<uint32_t>(s));
+  }
+}
+
+PooledServer::~PooledServer() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"node", node_.name()}};
+  reg.GetCounter("conn.pooled.connects", labels)->Add(connects_);
+  reg.GetCounter("conn.pooled.disconnects", labels)->Add(disconnects_);
+  reg.GetCounter("conn.pooled.requests", labels)->Add(requests_served_);
+  if (dropped_requests_ > 0) {
+    reg.GetCounter("conn.pooled.dropped_requests", labels)->Add(dropped_requests_);
+  }
+  for (rdma::QueuePair* qp : qps_) {
+    fabric_.RetireQp(qp);
+  }
+  pool_->Free(arena_);
+}
+
+size_t PooledServer::slot_bytes() const { return SlotBytesFor(options_); }
+
+size_t PooledServer::rx_offset(uint32_t slot) const {
+  return arena_.offset + static_cast<size_t>(slot) * slot_bytes();
+}
+
+size_t PooledServer::tx_offset(int qp_index) const {
+  return arena_.offset +
+         slot_bytes() * (static_cast<size_t>(options_.recv_slots) +
+                         static_cast<size_t>(qp_index));
+}
+
+rdma::AddressHandle PooledServer::address(int qp_index) const {
+  return rdma::AddressHandle{node_.id(), qps_[static_cast<size_t>(qp_index)]->qp_num()};
+}
+
+uint64_t PooledServer::recv_overflows() const {
+  uint64_t total = 0;
+  for (const rdma::QueuePair* qp : qps_) {
+    total += qp->dropped_no_recv();
+  }
+  return total;
+}
+
+void PooledServer::TopUpRecv(int qp_index) {
+  rdma::QueuePair* qp = qps_[static_cast<size_t>(qp_index)];
+  // Fair-share target; the shared free list is what makes this an SRQ: a QP
+  // that drains faster frees more slots and re-arms first, so slots flow to
+  // wherever the burst lands instead of being strip-owned per QP.
+  const size_t target = std::max<size_t>(
+      1, static_cast<size_t>(options_.recv_slots) / static_cast<size_t>(num_qps()));
+  while (!free_slots_.empty() && qp->recv_queue_depth() < target) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    qp->PostRecv(slot, *arena_.mr, rx_offset(slot), static_cast<uint32_t>(slot_bytes()));
+  }
+}
+
+uint32_t PooledServer::AssignCid(const rdma::AddressHandle& reply) {
+  // Monotonic, skipping 0 (the handshake sentinel) and any still-live cid
+  // after a 24-bit wrap (16M connects within one server lifetime).
+  do {
+    next_cid_ = (next_cid_ + 1) & rfp::wire::kPooledCidMax;
+  } while (next_cid_ == rfp::wire::kPooledCidNone || clients_.count(next_cid_) != 0);
+  clients_[next_cid_] = ClientEntry{reply};
+  if (check::FabricChecker* chk = fabric_.checker()) {
+    chk->OnCidAssign(this, next_cid_);
+  }
+  return next_cid_;
+}
+
+void PooledServer::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (int q = 0; q < num_qps(); ++q) {
+    TopUpRecv(q);
+    fabric_.engine().Spawn(ServeLoop(q));
+  }
+}
+
+namespace {
+
+// Stages [ResponseHeader][payload] at `tx` and sends it. One tx slot per QP
+// suffices: each ServeLoop awaits its send before polling again.
+sim::Task<void> SendReply(rdma::QueuePair* qp, rdma::MemoryRegion* mr, size_t tx,
+                          rdma::AddressHandle to, uint16_t seq, uint16_t time_us,
+                          std::span<const std::byte> payload) {
+  rfp::ResponseHeader reply;
+  reply.size_status = rfp::wire::PackSizeStatus(static_cast<uint32_t>(payload.size()), true);
+  reply.time_us = time_us;
+  reply.seq = seq;
+  mr->Store(tx, reply);
+  if (!payload.empty()) {
+    mr->WriteBytes(tx + rfp::kHeaderBytes, payload);
+  }
+  co_await qp->SendTo(to, *mr, tx,
+                      static_cast<uint32_t>(rfp::kHeaderBytes + payload.size()));
+}
+
+}  // namespace
+
+sim::Task<void> PooledServer::ServeLoop(int qp_index) {
+  sim::Engine& engine = fabric_.engine();
+  rdma::QueuePair* qp = qps_[static_cast<size_t>(qp_index)];
+  rdma::MemoryRegion* mr = arena_.mr;
+  const size_t tx = tx_offset(qp_index);
+  const int thread_index = rpc_.num_threads() > 0 ? qp_index % rpc_.num_threads() : 0;
+  std::vector<std::byte> request(options_.max_message_bytes);
+  std::vector<std::byte> response(options_.max_message_bytes);
+  while (!stop_) {
+    TopUpRecv(qp_index);
+    const auto wc = qp->recv_cq()->Poll();
+    if (!wc.has_value()) {
+      co_await engine.Sleep(options_.server_poll_ns);
+      continue;
+    }
+    const uint32_t slot = static_cast<uint32_t>(wc->wr_id);
+    const size_t rx = rx_offset(slot);
+    bool ok = wc->ok() && wc->byte_len >= rfp::kReqHeaderBytes + kRpcIdBytes;
+    rfp::RequestHeader header;
+    uint32_t cid = 0;
+    uint16_t rpc_id = 0;
+    size_t body_bytes = 0;
+    if (ok) {
+      header = mr->Load<rfp::RequestHeader>(rx);
+      cid = rfp::wire::UnpackPooledCid(header);
+      const uint32_t msg = rfp::wire::UnpackPooledSize(header);
+      ok = msg >= kRpcIdBytes && rfp::kReqHeaderBytes + msg <= wc->byte_len;
+      if (ok) {
+        rpc_id = mr->Load<uint16_t>(rx + rfp::kReqHeaderBytes);
+        body_bytes = msg - kRpcIdBytes;
+        mr->ReadBytes(rx + rfp::kReqHeaderBytes + kRpcIdBytes,
+                      std::span(request.data(), body_bytes));
+      }
+    }
+    // The slot is consumed either way; the next top-up re-arms it on
+    // whichever QP runs dry first.
+    free_slots_.push_back(slot);
+    if (!ok) {
+      ++dropped_requests_;
+      continue;
+    }
+    if (rpc_id == kRpcConnect) {
+      if (body_bytes < 2 * sizeof(uint32_t)) {
+        ++dropped_requests_;
+        continue;
+      }
+      uint32_t client_node = 0;
+      uint32_t client_qpn = 0;
+      std::memcpy(&client_node, request.data(), sizeof(uint32_t));
+      std::memcpy(&client_qpn, request.data() + sizeof(uint32_t), sizeof(uint32_t));
+      const rdma::AddressHandle reply_to{client_node, client_qpn};
+      // A retransmitted connect assigns a fresh cid and the client keeps the
+      // first reply's — the duplicate entry then ages in the table until the
+      // server dies. Retransmits need injected loss or a pathological
+      // timeout, so the leak is bounded by the retransmit count; connects_
+      // vs live_connections() exposes it.
+      const uint32_t new_cid = AssignCid(reply_to);
+      ++connects_;
+      std::memcpy(response.data(), &new_cid, sizeof(uint32_t));
+      co_await SendReply(qp, mr, tx, reply_to, header.seq, 0,
+                         std::span<const std::byte>(response.data(), sizeof(uint32_t)));
+      continue;
+    }
+    const auto it = clients_.find(cid);
+    if (cid == rfp::wire::kPooledCidNone || it == clients_.end()) {
+      // Stale or closed connection (or a disconnect retransmit): drop, the
+      // client's retransmit path surfaces the failure.
+      ++dropped_requests_;
+      continue;
+    }
+    // Capture the reply address by value: the handler below may suspend, and
+    // a concurrent disconnect on another QP would invalidate the iterator.
+    const rdma::AddressHandle reply_to = it->second.reply;
+    if (rpc_id == kRpcDisconnect) {
+      clients_.erase(it);
+      if (check::FabricChecker* chk = fabric_.checker()) {
+        chk->OnCidRelease(this, cid);
+      }
+      ++disconnects_;
+      co_await SendReply(qp, mr, tx, reply_to, header.seq, 0, {});
+      continue;
+    }
+    const rfp::AsyncHandler* handler = rpc_.FindHandler(rpc_id);
+    if (handler == nullptr) {
+      ++dropped_requests_;
+      continue;
+    }
+    // Same handler table as the channel sweep; handlers are idempotent by
+    // the RFP contract, so the server executes every arrival (retransmits
+    // included) without a dedup filter, like the UD baseline.
+    const sim::Time begun = engine.now();
+    const rfp::HandlerContext ctx{thread_index};
+    const rfp::HandlerResult result =
+        co_await (*handler)(ctx, std::span<const std::byte>(request.data(), body_bytes),
+                            std::span<std::byte>(response.data(), response.size()));
+    co_await engine.Sleep(options_.dispatch_cpu_ns + result.process_ns);
+    size_t resp_size = result.response_size;
+    if (result.zero_copy.valid()) {
+      // Pooled responses are pushed datagrams — there is no client-READ leg
+      // to fetch the entry — so an indirect result is materialized after the
+      // prefix, like the dedicated channel's server-reply fallback.
+      rdma::MemoryRegion* entry = fabric_.FindRemote(rdma::RemoteKey{result.zero_copy.rkey});
+      const size_t value_len = result.zero_copy.len;
+      if (entry == nullptr || resp_size + value_len > response.size()) {
+        ++dropped_requests_;
+        continue;
+      }
+      entry->ReadBytes(result.zero_copy.offset,
+                       std::span(response.data() + resp_size, value_len));
+      resp_size += value_len;
+    }
+    ++requests_served_;
+    co_await SendReply(qp, mr, tx, reply_to, header.seq,
+                       rfp::SaturateTimeUs(engine.now() - begun),
+                       std::span<const std::byte>(response.data(), resp_size));
+  }
+}
+
+// ---- Client -------------------------------------------------------------------
+
+PooledClient::PooledClient(rdma::Fabric& fabric, rdma::Node& node, PooledServer& server,
+                           PooledOptions options)
+    : fabric_(fabric), node_(node), server_(server), options_(options) {
+  ValidateOptions(options_);
+  server_addr_ = server.address(server.PickQp());
+  qp_ = fabric.CreateUd(node);
+  // Client buffers come from the node pool too: connecting a logical client
+  // costs zero MR registrations end to end (the setup fast path).
+  pool_ = mem::Pool::Shared(node);
+  span_ = pool_->Alloc(slot_bytes() * (static_cast<size_t>(options_.client_recv_slots) + 1));
+  for (int i = 0; i < options_.client_recv_slots; ++i) {
+    RepostRecv(static_cast<uint64_t>(i));
+  }
+}
+
+PooledClient::~PooledClient() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  const obs::Labels labels{{"client", node_.name()}};
+  reg.GetCounter("conn.pooled.client_connects", labels)->Add(stats_.connects);
+  reg.GetCounter("conn.pooled.client_calls", labels)->Add(stats_.calls);
+  if (stats_.connects > 0) {
+    reg.GetHistogram("conn.connect_ns", labels)->Merge(connect_latency_);
+  }
+  if (stats_.retransmits > 0) {
+    reg.GetCounter("conn.pooled.client_retransmits", labels)->Add(stats_.retransmits);
+  }
+  if (stats_.failures > 0) {
+    reg.GetCounter("conn.pooled.client_failures", labels)->Add(stats_.failures);
+  }
+  fabric_.RetireQp(qp_);
+  pool_->Free(span_);
+}
+
+size_t PooledClient::slot_bytes() const { return SlotBytesFor(options_); }
+
+size_t PooledClient::tx_off() const {
+  return span_.offset + slot_bytes() * static_cast<size_t>(options_.client_recv_slots);
+}
+
+void PooledClient::RepostRecv(uint64_t wr_id) {
+  qp_->PostRecv(wr_id, *span_.mr, span_.offset + static_cast<size_t>(wr_id) * slot_bytes(),
+                static_cast<uint32_t>(slot_bytes()));
+}
+
+sim::Task<void> PooledClient::Connect() {
+  if (connected()) {
+    throw std::logic_error("conn pooled: already connected");
+  }
+  const sim::Time start = fabric_.engine().now();
+  const size_t tx = tx_off();
+  span_.mr->Store(tx + rfp::kReqHeaderBytes, kRpcConnect);
+  span_.mr->Store(tx + rfp::kReqHeaderBytes + kRpcIdBytes, node_.id());
+  span_.mr->Store(tx + rfp::kReqHeaderBytes + kRpcIdBytes + sizeof(uint32_t), qp_->qp_num());
+  std::array<std::byte, sizeof(uint32_t)> out{};
+  const size_t n = co_await Transact(
+      static_cast<uint32_t>(kRpcIdBytes + 2 * sizeof(uint32_t)),
+      std::span<std::byte>(out.data(), out.size()));
+  if (n < sizeof(uint32_t)) {
+    throw std::runtime_error("conn pooled: malformed connect response");
+  }
+  std::memcpy(&cid_, out.data(), sizeof(uint32_t));
+  ++stats_.connects;
+  connect_latency_.Record(fabric_.engine().now() - start);
+}
+
+sim::Task<void> PooledClient::Disconnect() {
+  if (!connected()) {
+    co_return;
+  }
+  const size_t tx = tx_off();
+  span_.mr->Store(tx + rfp::kReqHeaderBytes, kRpcDisconnect);
+  co_await Transact(static_cast<uint32_t>(kRpcIdBytes), {});
+  cid_ = 0;
+  ++stats_.disconnects;
+}
+
+sim::Task<size_t> PooledClient::Call(uint16_t rpc_id, std::span<const std::byte> request,
+                                     std::span<std::byte> response) {
+  if (!connected()) {
+    throw std::logic_error("conn pooled: Call before Connect");
+  }
+  if (request.size() > options_.max_message_bytes) {
+    throw std::invalid_argument("conn pooled: request exceeds max_message_bytes");
+  }
+  const size_t tx = tx_off();
+  span_.mr->Store(tx + rfp::kReqHeaderBytes, rpc_id);
+  if (!request.empty()) {
+    span_.mr->WriteBytes(tx + rfp::kReqHeaderBytes + kRpcIdBytes, request);
+  }
+  ++stats_.calls;
+  co_return co_await Transact(static_cast<uint32_t>(kRpcIdBytes + request.size()), response);
+}
+
+sim::Task<size_t> PooledClient::Transact(uint32_t body_bytes, std::span<std::byte> response) {
+  sim::Engine& engine = fabric_.engine();
+  const size_t tx = tx_off();
+  const uint16_t seq = ++next_seq_;
+  rfp::RequestHeader header;
+  rfp::wire::PackPooledRequest(header, body_bytes, cid_, seq);
+  span_.mr->Store(tx, header);
+  const uint32_t wire_bytes = rfp::kReqHeaderBytes + body_bytes;
+  int transmits = 0;
+  sim::Time deadline = 0;
+  while (true) {
+    if (transmits == 0 || engine.now() >= deadline) {
+      if (transmits > options_.max_retransmits) {
+        ++stats_.failures;
+        throw std::runtime_error("conn pooled: call timed out after retransmits");
+      }
+      if (transmits > 0) {
+        ++stats_.retransmits;
+      }
+      ++transmits;
+      ++stats_.sends;
+      co_await qp_->SendTo(server_addr_, *span_.mr, tx, wire_bytes);
+      deadline = engine.now() + options_.retry_timeout_ns;
+    }
+    // Drain arrived responses, filtering stale replies by sequence tag.
+    while (auto wc = qp_->recv_cq()->Poll()) {
+      const size_t rx = span_.offset + static_cast<size_t>(wc->wr_id) * slot_bytes();
+      const rfp::ResponseHeader reply = span_.mr->Load<rfp::ResponseHeader>(rx);
+      const size_t payload =
+          wc->byte_len >= rfp::kHeaderBytes ? wc->byte_len - rfp::kHeaderBytes : 0;
+      const bool match = wc->ok() && reply.seq == seq;
+      if (match && payload <= response.size()) {
+        span_.mr->ReadBytes(rx + rfp::kHeaderBytes, response.subspan(0, payload));
+      }
+      RepostRecv(wc->wr_id);
+      if (match) {
+        co_return payload;
+      }
+      ++stats_.duplicates;
+    }
+    co_await engine.Sleep(options_.client_poll_ns);
+  }
+}
+
+}  // namespace conn

@@ -1,0 +1,219 @@
+// Pooled-QP connection tier (docs/connections.md).
+//
+// The RDMAvisor observation: per-client RC connections make QP state and
+// registered memory grow linearly with clients, so a million-client fabric
+// needs the data plane multiplexed over shared resources. This tier serves
+// M >> N logical clients through N server UD QPs:
+//
+//   * SRQ-style shared receive — all N QPs draw receive slots from one
+//     shared, pool-backed slot arena (a hot QP drains more slots, exactly
+//     what a hardware SRQ buys), so receive memory is sized for the node's
+//     aggregate burst, not per client.
+//   * Connection-id demux — each logical client holds a 24-bit cid assigned
+//     at connect time and carried in the formerly-spare RequestHeader bits
+//     (wire::PackPooledRequest); the server routes replies by cid entry, not
+//     by QP, so QP count stays N however many clients connect.
+//   * Setup fast path (the Swift argument: control plane must be fast too) —
+//     connect is one datagram round trip against pre-registered pool memory;
+//     no QP creation, no MR registration, no per-client server allocation
+//     beyond one address-table entry.
+//
+// Requests dispatch through the owning RpcServer's handler table
+// (RpcServer::FindHandler), so one registered handler serves dedicated
+// channels and pooled clients alike. The transport is unreliable: clients
+// carry a sequence tag, retransmit on timeout, and filter duplicate replies;
+// the server executes every arrival (handlers are idempotent by the RFP
+// contract).
+//
+// Wire format:
+//   request   [rfp::RequestHeader (16 B, cid in mode/slot/size bits)]
+//             [rpc_id u16][body]
+//   response  [rfp::ResponseHeader (8 B, seq echo)][payload]
+// Control ids kRpcConnect / kRpcDisconnect ride the same format; connect's
+// body is [client_node u32][client_qpn u32] (the reply address — cid 0 has
+// no entry yet) and its response body is [cid u32].
+
+#ifndef SRC_CONN_POOLED_H_
+#define SRC_CONN_POOLED_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/pool.h"
+#include "src/rdma/fabric.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace conn {
+
+// Reserved rpc ids of the connection-control plane. Applications own the low
+// id space; anything >= 0xfff0 is the tier's.
+constexpr uint16_t kRpcConnect = 0xfff0;
+constexpr uint16_t kRpcDisconnect = 0xfff1;
+
+struct PooledOptions {
+  int qps = 4;                 // server UD QPs (the "N" of N QPs, M clients)
+  int recv_slots = 256;        // shared receive slots across all server QPs
+  int client_recv_slots = 8;   // posted RECVs per client QP
+  uint32_t max_message_bytes = 8192;
+  sim::Time server_poll_ns = 200;   // server CQ poll cadence when idle
+  sim::Time client_poll_ns = 200;   // client response poll cadence
+  sim::Time retry_timeout_ns = 20'000;
+  int max_retransmits = 10;
+  sim::Time dispatch_cpu_ns = 150;  // per-request unpack/dispatch/pack cost
+};
+
+// Throws std::invalid_argument on inconsistent options (qps < 1, fewer
+// receive slots than QPs, messages too large for the pooled 16-bit size
+// field, ...).
+void ValidateOptions(const PooledOptions& options);
+
+// The server side: N UD QPs + one shared receive-slot arena, dispatching
+// into `rpc`'s handler table. Does not touch `rpc`'s channel sweep — the
+// pooled path and dedicated channels serve concurrently from one handler
+// registration.
+class PooledServer {
+ public:
+  PooledServer(rdma::Fabric& fabric, rfp::RpcServer& rpc, PooledOptions options = {});
+
+  // Flushes conn.pooled.* counters into the default metrics registry,
+  // labeled {node}, and frees the slot arena back to the node pool.
+  ~PooledServer();
+
+  PooledServer(const PooledServer&) = delete;
+  PooledServer& operator=(const PooledServer&) = delete;
+
+  void Start();
+  void Stop() { stop_ = true; }
+
+  int num_qps() const { return static_cast<int>(qps_.size()); }
+  // Datagram address of QP `qp_index`, what clients send to.
+  rdma::AddressHandle address(int qp_index) const;
+  // Round-robin QP assignment for new clients.
+  int PickQp() { return next_qp_++ % num_qps(); }
+
+  rdma::Node& node() { return node_; }
+  const PooledOptions& options() const { return options_; }
+
+  // Logical connections currently live (cid entries in the demux table).
+  size_t live_connections() const { return clients_.size(); }
+  uint64_t connects() const { return connects_; }
+  uint64_t disconnects() const { return disconnects_; }
+  uint64_t requests_served() const { return requests_served_; }
+  // Requests dropped: unknown cid (stale/closed connection) or malformed.
+  uint64_t dropped_requests() const { return dropped_requests_; }
+  // Datagrams dropped because no receive slot was posted (burst overflow).
+  uint64_t recv_overflows() const;
+
+ private:
+  struct ClientEntry {
+    rdma::AddressHandle reply;  // where this cid's responses go
+  };
+
+  sim::Task<void> ServeLoop(int qp_index);
+  // Posts free shared slots onto `qp_index` up to its fair-share target.
+  // Called every loop iteration, so a QP that drains faster re-arms with
+  // more of the shared pool — the SRQ effect.
+  void TopUpRecv(int qp_index);
+  size_t slot_bytes() const;
+  size_t rx_offset(uint32_t slot) const;
+  size_t tx_offset(int qp_index) const;
+  uint32_t AssignCid(const rdma::AddressHandle& reply);
+
+  rdma::Fabric& fabric_;
+  rfp::RpcServer& rpc_;
+  rdma::Node& node_;
+  PooledOptions options_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::vector<rdma::QueuePair*> qps_;
+  std::shared_ptr<mem::Pool> pool_;
+  // One pool span: [recv_slots shared slots][one tx slot per QP]. Receive
+  // slots are a shared free list; wr_id = slot index.
+  mem::Span arena_;
+  std::vector<uint32_t> free_slots_;
+  std::unordered_map<uint32_t, ClientEntry> clients_;
+  uint32_t next_cid_ = 0;
+  int next_qp_ = 0;
+  uint64_t connects_ = 0;
+  uint64_t disconnects_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t dropped_requests_ = 0;
+};
+
+// One logical client endpoint. A single PooledClient (one UD QP, one pool
+// span) can play many logical connections sequentially — Connect, calls,
+// Disconnect, repeat — which is how the scale bench drives 10^6 logical
+// clients through a handful of driver actors.
+class PooledClient {
+ public:
+  struct Stats {
+    uint64_t connects = 0;
+    uint64_t disconnects = 0;
+    uint64_t calls = 0;
+    uint64_t sends = 0;       // includes retransmits
+    uint64_t retransmits = 0;
+    uint64_t duplicates = 0;  // late replies to already-completed seqs
+    uint64_t failures = 0;    // calls that exhausted max_retransmits
+  };
+
+  // The client must use the same PooledOptions geometry as the server.
+  PooledClient(rdma::Fabric& fabric, rdma::Node& node, PooledServer& server,
+               PooledOptions options = {});
+
+  // Flushes conn.pooled client counters and the connect-latency histogram
+  // into the default metrics registry, labeled {client}, and frees the slot
+  // span back to the node pool.
+  ~PooledClient();
+
+  PooledClient(const PooledClient&) = delete;
+  PooledClient& operator=(const PooledClient&) = delete;
+
+  // Obtains a connection id from the server — one datagram round trip, no
+  // MR work (the setup fast path). Throws when already connected.
+  sim::Task<void> Connect();
+
+  // Releases the connection id (acknowledged). No-op when not connected.
+  sim::Task<void> Disconnect();
+
+  // Invokes `rpc_id` through the pooled path; returns the response payload
+  // size. Throws std::runtime_error after max_retransmits timeouts and
+  // std::logic_error when not connected.
+  sim::Task<size_t> Call(uint16_t rpc_id, std::span<const std::byte> request,
+                         std::span<std::byte> response);
+
+  bool connected() const { return cid_ != 0; }
+  uint32_t cid() const { return cid_; }
+  const Stats& stats() const { return stats_; }
+  const sim::Histogram& connect_latency() const { return connect_latency_; }
+
+ private:
+  size_t slot_bytes() const;
+  size_t tx_off() const;
+  void RepostRecv(uint64_t wr_id);
+  // One request/response exchange under the current cid (retransmit +
+  // duplicate filter). The request bytes must already be staged in the tx
+  // slot after the header.
+  sim::Task<size_t> Transact(uint32_t body_bytes, std::span<std::byte> response);
+
+  rdma::Fabric& fabric_;
+  rdma::Node& node_;
+  PooledServer& server_;
+  PooledOptions options_;
+  rdma::AddressHandle server_addr_;
+  rdma::QueuePair* qp_;
+  std::shared_ptr<mem::Pool> pool_;
+  mem::Span span_;  // [client_recv_slots slots][tx slot]
+  uint32_t cid_ = 0;
+  uint16_t next_seq_ = 0;
+  Stats stats_;
+  sim::Histogram connect_latency_;
+};
+
+}  // namespace conn
+
+#endif  // SRC_CONN_POOLED_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "src/explore/history.h"
 #include "src/kv/common.h"
@@ -10,40 +12,77 @@
 
 namespace kv {
 
-JakiroConfig ServerReplyConfig(JakiroConfig base) {
-  base.channel_options.force_mode = rfp::RfpOptions::ForceMode::kForceReply;
-  return base;
+void ConfigBuilder::ForceParadigm(rfp::RfpOptions::ForceMode mode, const char* preset) {
+  if (paradigm_forced_ && config_.channel_options.force_mode != mode) {
+    throw std::invalid_argument(std::string("jakiro config: ") + preset +
+                                " conflicts with the previously forced paradigm — a channel "
+                                "cannot force both server-reply and remote-fetch");
+  }
+  paradigm_forced_ = true;
+  config_.channel_options.force_mode = mode;
 }
 
-JakiroConfig NoSwitchConfig(JakiroConfig base) {
-  base.channel_options.force_mode = rfp::RfpOptions::ForceMode::kForceFetch;
-  return base;
+ConfigBuilder& ConfigBuilder::ServerReply() {
+  ForceParadigm(rfp::RfpOptions::ForceMode::kForceReply, "ServerReply()");
+  return *this;
 }
 
-JakiroConfig FaultTolerantConfig(JakiroConfig base) {
-  rfp::RfpOptions& ch = base.channel_options;
+ConfigBuilder& ConfigBuilder::NoSwitch() {
+  ForceParadigm(rfp::RfpOptions::ForceMode::kForceFetch, "NoSwitch()");
+  return *this;
+}
+
+ConfigBuilder& ConfigBuilder::FaultTolerant() {
+  rfp::RfpOptions& ch = config_.channel_options;
   ch.fetch_timeout_ns = sim::Micros(200);
   ch.fetch_backoff_initial_ns = sim::Micros(2);
   ch.checksum_responses = true;
-  return base;
+  return *this;
+}
+
+ConfigBuilder& ConfigBuilder::OverloadProtected() {
+  rfp::RfpOptions& ch = config_.channel_options;
+  ch.call_deadline_ns = sim::Millis(2);
+  ch.breaker_enabled = true;
+  config_.server_options.admission_control = true;
+  return *this;
+}
+
+ConfigBuilder& ConfigBuilder::Pipelined(int window) {
+  config_.channel_options.window = window;
+  return *this;
+}
+
+ConfigBuilder& ConfigBuilder::ZeroCopy() {
+  config_.zero_copy_get = true;
+  return *this;
+}
+
+// Deprecated wrapper definitions (declarations carry the attribute; defining
+// them is not a "use", so this file stays warning-clean under -Werror).
+
+JakiroConfig ServerReplyConfig(JakiroConfig base) {
+  return JakiroConfig::Build(std::move(base)).ServerReply();
+}
+
+JakiroConfig NoSwitchConfig(JakiroConfig base) {
+  return JakiroConfig::Build(std::move(base)).NoSwitch();
+}
+
+JakiroConfig FaultTolerantConfig(JakiroConfig base) {
+  return JakiroConfig::Build(std::move(base)).FaultTolerant();
 }
 
 JakiroConfig OverloadProtectedConfig(JakiroConfig base) {
-  rfp::RfpOptions& ch = base.channel_options;
-  ch.call_deadline_ns = sim::Millis(2);
-  ch.breaker_enabled = true;
-  base.server_options.admission_control = true;
-  return base;
+  return JakiroConfig::Build(std::move(base)).OverloadProtected();
 }
 
 JakiroConfig PipelinedConfig(JakiroConfig base, int window) {
-  base.channel_options.window = window;
-  return base;
+  return JakiroConfig::Build(std::move(base)).Pipelined(window);
 }
 
 JakiroConfig ZeroCopyConfig(JakiroConfig base) {
-  base.zero_copy_get = true;
-  return base;
+  return JakiroConfig::Build(std::move(base)).ZeroCopy();
 }
 
 JakiroServer::JakiroServer(rdma::Fabric& fabric, rdma::Node& node, JakiroConfig config)
@@ -192,13 +231,13 @@ void JakiroServer::RegisterHandlers() {
       });
 }
 
-JakiroClient::JakiroClient(JakiroServer& server, rdma::Node& client_node) : server_(server) {
-  for (int t = 0; t < server.num_threads(); ++t) {
-    rfp::Channel* channel =
-        server.rpc().AcceptChannel(client_node, server.config().channel_options, t);
-    channels_.push_back(channel);
-    stubs_.push_back(std::make_unique<rfp::RpcClient>(channel));
-  }
+JakiroClient::JakiroClient(JakiroServer& server, rdma::Node& client_node)
+    : JakiroClient(server, client_node, conn::Connector::Direct()) {}
+
+JakiroClient::JakiroClient(JakiroServer& server, rdma::Node& client_node,
+                           conn::Connector& connector)
+    : server_(server) {
+  endpoints_ = connector.LeaseAll(server.rpc(), client_node, server.config().channel_options);
   scratch_.resize(server.config().channel_options.max_message_bytes);
 }
 
@@ -208,7 +247,7 @@ sim::Task<std::optional<size_t>> JakiroClient::Get(std::span<const std::byte> ke
   const uint64_t hid =
       recorder_ == nullptr ? 0 : recorder_->OnInvoke(explore::OpKind::kGet, key);
   const size_t req = EncodeGet(scratch_, key);
-  const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
+  const size_t n = co_await endpoints_[static_cast<size_t>(owner)].stub()->Call(
       kRpcGet, std::span<const std::byte>(scratch_.data(), req), scratch_);
   ++operations_;
   if (n < 1 || DecodeStatus(std::span<const std::byte>(scratch_.data(), n)) != Status::kOk) {
@@ -235,7 +274,7 @@ sim::Task<bool> JakiroClient::Put(std::span<const std::byte> key,
   const uint64_t hid =
       recorder_ == nullptr ? 0 : recorder_->OnInvoke(explore::OpKind::kPut, key, value);
   const size_t req = EncodePut(scratch_, key, value);
-  const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
+  const size_t n = co_await endpoints_[static_cast<size_t>(owner)].stub()->Call(
       kRpcPut, std::span<const std::byte>(scratch_.data(), req), scratch_);
   ++operations_;
   const bool ok = n >= 1 &&
@@ -253,7 +292,7 @@ sim::Task<bool> JakiroClient::Delete(std::span<const std::byte> key) {
   const uint64_t hid =
       recorder_ == nullptr ? 0 : recorder_->OnInvoke(explore::OpKind::kDelete, key);
   const size_t req = EncodeDelete(scratch_, key);
-  const size_t n = co_await stubs_[static_cast<size_t>(owner)]->Call(
+  const size_t n = co_await endpoints_[static_cast<size_t>(owner)].stub()->Call(
       kRpcDelete, std::span<const std::byte>(scratch_.data(), req), scratch_);
   ++operations_;
   const bool found = n >= 1 &&
@@ -301,7 +340,7 @@ sim::Task<void> JakiroClient::MultiGet(
         hids.push_back(recorder_->OnInvoke(explore::OpKind::kGet, keys[idx]));
       }
     }
-    const size_t resp_size = co_await stubs_[owner]->Call(
+    const size_t resp_size = co_await endpoints_[owner].stub()->Call(
         kRpcMultiGet, std::span<const std::byte>(scratch_.data(), n), scratch_);
     ++operations_;
     if (resp_size < 3 ||
@@ -382,7 +421,7 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
           p.hids.push_back(recorder_->OnInvoke(explore::OpKind::kGet, keys[idx]));
         }
       }
-      p.handle = co_await stubs_[owner]->SubmitCall(
+      p.handle = co_await endpoints_[owner].stub()->SubmitCall(
           kRpcMultiGet, std::span<const std::byte>(scratch_.data(), n));
       p.resp.resize(server_.config().channel_options.max_message_bytes);
       pending.push_back(std::move(p));
@@ -390,7 +429,7 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
   }
   size_t arena_used = 0;
   for (Pending& p : pending) {
-    const size_t resp_size = co_await stubs_[p.stub]->AwaitCall(p.handle, p.resp);
+    const size_t resp_size = co_await endpoints_[p.stub].stub()->AwaitCall(p.handle, p.resp);
     ++operations_;
     if (resp_size < 3 ||
         DecodeStatus(std::span<const std::byte>(p.resp.data(), resp_size)) != Status::kOk) {
@@ -427,16 +466,16 @@ sim::Task<void> JakiroClient::MultiGetPipelined(
 
 sim::Histogram JakiroClient::MergedLatency() const {
   sim::Histogram merged;
-  for (const auto& stub : stubs_) {
-    merged.Merge(stub->latency());
+  for (const conn::ChannelLease& endpoint : endpoints_) {
+    merged.Merge(endpoint.stub()->latency());
   }
   return merged;
 }
 
 rfp::Channel::Stats JakiroClient::MergedChannelStats() const {
   rfp::Channel::Stats merged;
-  for (const rfp::Channel* channel : channels_) {
-    const rfp::Channel::Stats& s = channel->stats();
+  for (const conn::ChannelLease& endpoint : endpoints_) {
+    const rfp::Channel::Stats& s = endpoint.channel()->stats();
     merged.calls += s.calls;
     merged.request_writes += s.request_writes;
     merged.fetch_reads += s.fetch_reads;
@@ -466,8 +505,8 @@ rfp::Channel::Stats JakiroClient::MergedChannelStats() const {
 
 sim::Time JakiroClient::TotalBusy() const {
   sim::Time total = 0;
-  for (rfp::Channel* channel : channels_) {
-    total += channel->client_busy().busy();
+  for (const conn::ChannelLease& endpoint : endpoints_) {
+    total += endpoint.channel()->client_busy().busy();
   }
   return total;
 }

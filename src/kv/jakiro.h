@@ -19,8 +19,10 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "src/conn/connector.h"
 #include "src/kv/bucket_table.h"
 #include "src/rdma/fabric.h"
 #include "src/rfp/options.h"
@@ -32,6 +34,8 @@ class HistoryRecorder;
 }
 
 namespace kv {
+
+class ConfigBuilder;
 
 struct JakiroConfig {
   int server_threads = 6;
@@ -47,34 +51,80 @@ struct JakiroConfig {
   bool zero_copy_get = false;
   rfp::RfpOptions channel_options;
   rfp::ServerOptions server_options;
+
+  // The one entry point for configuring Jakiro variants — presets compose
+  // instead of nesting free-function calls:
+  //
+  //   kv::JakiroConfig cfg =
+  //       kv::JakiroConfig::Build().FaultTolerant().Pipelined(8).ZeroCopy();
+  //
+  // Mutually exclusive presets (ServerReply vs NoSwitch force opposite
+  // transport paradigms) are rejected with std::invalid_argument at build
+  // time rather than silently last-writer-wins.
+  static ConfigBuilder Build();
+  static ConfigBuilder Build(JakiroConfig base);
 };
 
-// The paper's ServerReply system: identical store, reply-only transport.
+// Chainable preset builder, obtained from JakiroConfig::Build(). Each preset
+// mutates the config in place and returns the builder; the result converts
+// implicitly to JakiroConfig (or call Done() to be explicit).
+class ConfigBuilder {
+ public:
+  explicit ConfigBuilder(JakiroConfig base = {}) : config_(std::move(base)) {}
+
+  // The paper's ServerReply system: identical store, reply-only transport.
+  ConfigBuilder& ServerReply();
+  // "Jakiro w/o switch": remote fetching with the hybrid fallback disabled.
+  ConfigBuilder& NoSwitch();
+  // Channel recovery machinery: fetch deadline with bounded backoff,
+  // response checksums with reissue-on-corrupt, transparent RC reconnection.
+  // Throughput-neutral on a healthy fabric (docs/fault_injection.md).
+  ConfigBuilder& FaultTolerant();
+  // Server-side admission control with deadline shedding plus the client
+  // circuit breaker and a per-call deadline (docs/overload.md).
+  ConfigBuilder& OverloadProtected();
+  // Multi-slot channels with doorbell-batched posting (docs/pipelining.md).
+  ConfigBuilder& Pipelined(int window = 8);
+  // Pool-backed partitions plus indirect GET responses (docs/memory.md).
+  ConfigBuilder& ZeroCopy();
+
+  JakiroConfig Done() const { return config_; }
+  // Implicit by design: Build() chains read as the config they produce.
+  operator JakiroConfig() const { return config_; }  // NOLINT
+
+ private:
+  // Rejects ServerReply + NoSwitch composition (conflicting force modes).
+  void ForceParadigm(rfp::RfpOptions::ForceMode mode, const char* preset);
+
+  JakiroConfig config_;
+  bool paradigm_forced_ = false;
+};
+
+inline ConfigBuilder JakiroConfig::Build() { return ConfigBuilder(JakiroConfig{}); }
+
+inline ConfigBuilder JakiroConfig::Build(JakiroConfig base) {
+  return ConfigBuilder(std::move(base));
+}
+
+// Deprecated preset wrappers, kept one release for out-of-tree callers.
+// Each is exactly Build(base).<Preset>().
+
+[[deprecated("use kv::JakiroConfig::Build().ServerReply()")]]
 JakiroConfig ServerReplyConfig(JakiroConfig base = {});
 
-// "Jakiro w/o switch": remote fetching with the hybrid fallback disabled.
+[[deprecated("use kv::JakiroConfig::Build().NoSwitch()")]]
 JakiroConfig NoSwitchConfig(JakiroConfig base = {});
 
-// Fault-tolerant Jakiro: enables the channel recovery machinery (fetch
-// deadline with bounded backoff, response checksums with reissue-on-corrupt,
-// transparent RC reconnection). Throughput-neutral on a healthy fabric; see
-// docs/fault_injection.md.
+[[deprecated("use kv::JakiroConfig::Build().FaultTolerant()")]]
 JakiroConfig FaultTolerantConfig(JakiroConfig base = {});
 
-// Overload-protected Jakiro: server-side admission control with deadline
-// shedding plus the client circuit breaker and a per-call deadline.
-// Behavior-neutral below the overload watermarks; see docs/overload.md.
+[[deprecated("use kv::JakiroConfig::Build().OverloadProtected()")]]
 JakiroConfig OverloadProtectedConfig(JakiroConfig base = {});
 
-// Pipelined Jakiro: multi-slot channels with doorbell-batched posting
-// (docs/pipelining.md). MultiGet splits each owner's sub-batch across the
-// call window and submits the chunks back to back, so the per-chunk fetches
-// overlap instead of running strictly in sequence.
+[[deprecated("use kv::JakiroConfig::Build().Pipelined(window)")]]
 JakiroConfig PipelinedConfig(JakiroConfig base = {}, int window = 8);
 
-// Zero-copy Jakiro: pool-backed partitions plus indirect GET responses
-// (docs/memory.md). Wire-compatible with the plain client — the assembled
-// response bytes are identical; only the transport of the value changes.
+[[deprecated("use kv::JakiroConfig::Build().ZeroCopy()")]]
 JakiroConfig ZeroCopyConfig(JakiroConfig base = {});
 
 class JakiroServer {
@@ -125,8 +175,16 @@ class JakiroServer {
 
 class JakiroClient {
  public:
-  // Opens one channel per server thread from `client_node`.
+  // Opens one channel per server thread from `client_node` through the
+  // process-wide direct connector (dedicated server-owned channels — the
+  // legacy bringup).
   JakiroClient(JakiroServer& server, rdma::Node& client_node);
+
+  // Same, but resolving every endpoint through `connector` — a cached
+  // connector gives this client LRU-managed channels that survive eviction
+  // via transparent re-establish (docs/connections.md). The connector must
+  // outlive the client.
+  JakiroClient(JakiroServer& server, rdma::Node& client_node, conn::Connector& connector);
 
   // GET: returns the value size, or nullopt when the key is absent.
   sim::Task<std::optional<size_t>> Get(std::span<const std::byte> key,
@@ -164,8 +222,8 @@ class JakiroClient {
   // Aggregate client CPU busy time across this client's channels.
   sim::Time TotalBusy() const;
 
-  rfp::Channel* channel(int thread) { return channels_[static_cast<size_t>(thread)]; }
-  int num_channels() const { return static_cast<int>(channels_.size()); }
+  rfp::Channel* channel(int thread) { return endpoints_[static_cast<size_t>(thread)].channel(); }
+  int num_channels() const { return static_cast<int>(endpoints_.size()); }
 
  private:
   // MultiGet over pipelined channels (RfpOptions::window > 1): each owner's
@@ -176,8 +234,9 @@ class JakiroClient {
                                     std::span<std::optional<std::span<const std::byte>>> values_out);
 
   JakiroServer& server_;
-  std::vector<rfp::Channel*> channels_;
-  std::vector<std::unique_ptr<rfp::RpcClient>> stubs_;
+  // One leased channel + stub per server thread, from the constructor's
+  // Connector (lease release, not this client, decides channel lifetime).
+  std::vector<conn::ChannelLease> endpoints_;
   std::vector<std::byte> scratch_;
   uint64_t operations_ = 0;
   explore::HistoryRecorder* recorder_ = nullptr;

@@ -147,6 +147,16 @@ MemoryRegion* Fabric::FindRemote(RemoteKey rkey) {
   return it == regions_by_rkey_.end() ? nullptr : it->second;
 }
 
+size_t Fabric::LiveQpCount(const Node& node) const {
+  size_t live = 0;
+  for (const auto& qp : qps_) {
+    if (!qp->retired() && qp->local_node() == &node) {
+      ++live;
+    }
+  }
+  return live;
+}
+
 QueuePair* Fabric::FindQp(uint32_t node_id, uint32_t qp_num) {
   auto it = qps_by_addr_.find(QpAddr(node_id, qp_num));
   return it == qps_by_addr_.end() ? nullptr : it->second;

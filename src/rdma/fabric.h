@@ -103,6 +103,13 @@ class Fabric {
   uint64_t RegistrationCount(const Node& node) const { return node.registration_count_; }
   uint64_t DeregistrationCount(const Node& node) const { return node.deregistration_count_; }
 
+  // QP census, the connection-state side of the same scaling story: live
+  // (non-retired) QPs whose local endpoint is `node`. The pooled connection
+  // tier (src/conn) must keep this flat at N while serving M >> N logical
+  // clients — QP state, like registered memory, must not grow with client
+  // count (docs/connections.md).
+  size_t LiveQpCount(const Node& node) const;
+
   // Resolves an rkey to its region; nullptr when unknown.
   MemoryRegion* FindRemote(RemoteKey rkey);
 

@@ -70,7 +70,8 @@ sim::Task<WorkCompletion> QueuePair::Read(MemoryRegion& local, size_t local_off,
   WorkCompletion wc = MakeWc(Opcode::kRead, len, qp_num_);
   check::FabricChecker* chk = fabric_->checker();
   if (chk != nullptr) {
-    chk->OnPost(qp_num_, Opcode::kRead, in_error(), type_ == QpType::kRc, retired_);
+    chk->OnPost(qp_num_, Opcode::kRead, in_error(), type_ == QpType::kRc, retired_,
+                batch_follower);
   }
   if (retired_) {
     wc.status = WcStatus::kQpError;
@@ -145,7 +146,8 @@ sim::Task<WorkCompletion> QueuePair::Write(MemoryRegion& local, size_t local_off
   WorkCompletion wc = MakeWc(Opcode::kWrite, len, qp_num_);
   check::FabricChecker* chk = fabric_->checker();
   if (chk != nullptr) {
-    chk->OnPost(qp_num_, Opcode::kWrite, in_error(), type_ != QpType::kUd, retired_);
+    chk->OnPost(qp_num_, Opcode::kWrite, in_error(), type_ != QpType::kUd, retired_,
+                batch_follower);
   }
   if (retired_) {
     wc.status = WcStatus::kQpError;

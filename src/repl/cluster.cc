@@ -82,9 +82,14 @@ uint32_t Cluster::epoch() const {
 // ---- Client -----------------------------------------------------------------
 
 Client::Client(Cluster& cluster, rdma::Node& client_node)
+    : Client(cluster, client_node, conn::Connector::Direct()) {}
+
+Client::Client(Cluster& cluster, rdma::Node& client_node, conn::Connector& connector)
     : cluster_(cluster), engine_(client_node.fabric()->engine()) {
-  primary_client_ = std::make_unique<kv::JakiroClient>(cluster_.primary(), client_node);
-  backup_client_ = std::make_unique<kv::JakiroClient>(cluster_.backup(), client_node);
+  primary_client_ =
+      std::make_unique<kv::JakiroClient>(cluster_.primary(), client_node, connector);
+  backup_client_ =
+      std::make_unique<kv::JakiroClient>(cluster_.backup(), client_node, connector);
   Refresh();
 }
 

@@ -17,6 +17,7 @@
 #include <optional>
 #include <span>
 
+#include "src/conn/connector.h"
 #include "src/kv/jakiro.h"
 #include "src/rdma/fabric.h"
 #include "src/repl/failover.h"
@@ -88,7 +89,14 @@ class Cluster {
 // intervals) is exhausted.
 class Client {
  public:
+  // Channels come from the process-wide direct connector (legacy bringup).
   Client(Cluster& cluster, rdma::Node& client_node);
+
+  // Failover-aware client whose channels resolve through `connector` — with
+  // a cached connector both per-node endpoints share the LRU budget, and an
+  // eviction mid-failover is absorbed by the same redirect/retry machinery
+  // (docs/connections.md). The connector must outlive the client.
+  Client(Cluster& cluster, rdma::Node& client_node, conn::Connector& connector);
 
   sim::Task<bool> Put(std::span<const std::byte> key, std::span<const std::byte> value);
   sim::Task<std::optional<size_t>> Get(std::span<const std::byte> key,

@@ -46,6 +46,12 @@ Channel::Channel(rdma::Fabric& fabric, rdma::Node& client, rdma::Node& server,
   const size_t ring_bytes = 2 * window * block_bytes_;
   server_pool_ = mem::Pool::Shared(server);
   client_pool_ = mem::Pool::Shared(client);
+  // Rings that can never fit a node's registered-memory cap fail here with
+  // an actionable message instead of deep inside mem::Pool as a generic
+  // ExhaustedError (the pool can still throw that when the cap is merely
+  // *occupied* — that path stays recoverable).
+  ValidateOptions(options_, server_pool_->options().max_registered_bytes, server.name());
+  ValidateOptions(options_, client_pool_->options().max_registered_bytes, client.name());
   try {
     server_span_ = server_pool_->Alloc(ring_bytes);
     client_span_ = client_pool_->Alloc(ring_bytes);
@@ -173,6 +179,19 @@ Channel::~Channel() {
   fabric_->RetireQp(server_qp_);
   server_pool_->Free(server_span_);
   client_pool_->Free(client_span_);
+}
+
+void Channel::Detach() {
+  // Both endpoints go to the error state: in-flight completions drain
+  // normally, everything after completes with kQpError, and the next client
+  // op triggers EnsureConnected + idempotent re-issue — exactly the fault
+  // path tests/rfp already pin, which is what makes cache eviction safe
+  // under in-flight calls.
+  client_qp_->SetError();
+  server_qp_->SetError();
+  if (sim::TraceSink* trace = engine_.trace_sink()) {
+    trace->Instant("conn", "channel_detach", reinterpret_cast<uint64_t>(this), engine_.now());
+  }
 }
 
 void Channel::set_fetch_size(uint32_t f) {

@@ -363,6 +363,21 @@ class Channel {
   rdma::Node* client_node() const { return client_node_; }
   rdma::Node* server_node() const { return server_node_; }
 
+  // ---- Connection tier hooks (src/conn, docs/connections.md) ---------------
+
+  // Severs the RC pair in place: both endpoints transition to the error
+  // state, so every outstanding and future op on this channel completes with
+  // a QP error, and the next client attempt takes the transparent reconnect
+  // path (EnsureConnected + idempotent re-issue). Registered rings stay
+  // untouched — a conn::ChannelCache eviction is therefore indistinguishable
+  // from the QP failure the recovery machinery already handles.
+  void Detach();
+
+  // Registered bytes this channel pins across both nodes (the pool spans
+  // backing its rings). conn::ChannelCache charges its byte capacity with
+  // this.
+  size_t registered_footprint_bytes() const { return server_span_.size + client_span_.size; }
+
   // Fault-injection targeting: the server-side region holding this channel's
   // [request block][response block] rings, and the offset of the response
   // ring within that (pool-shared) region. A corruption fault flips bytes at

@@ -68,6 +68,26 @@ void ValidateOptions(const RfpOptions& options) {
   if (options.overload_override_calls < 0) Reject("overload_override_calls must be >= 0");
 }
 
+void ValidateOptions(const RfpOptions& options, size_t pool_cap_bytes,
+                     const std::string& node_name) {
+  ValidateOptions(options);
+  if (pool_cap_bytes == 0) {
+    return;  // unbounded pool
+  }
+  const uint64_t slot = static_cast<uint64_t>(kReqHeaderBytes) + options.max_message_bytes +
+                        (options.checksum_responses ? kChecksumBytes : 0);
+  const uint64_t ring = uint64_t{2} * static_cast<uint64_t>(options.window) * slot;
+  if (ring > pool_cap_bytes) {
+    throw std::invalid_argument(
+        "rfp options: channel rings need " + std::to_string(ring) + " bytes (2 rings x window " +
+        std::to_string(options.window) + " x " + std::to_string(slot) +
+        "-byte slots) but node '" + node_name + "' caps registered memory at " +
+        std::to_string(pool_cap_bytes) +
+        " bytes (NicConfig mem_max_registered_bytes); shrink window or max_message_bytes, or "
+        "raise the cap");
+  }
+}
+
 void ValidateOptions(const ServerOptions& options) {
   if (options.max_message_bytes == 0) Reject("max_message_bytes must be > 0");
   CheckNonNegative(options.dispatch_cpu_ns, "dispatch_cpu_ns must be >= 0");

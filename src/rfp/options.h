@@ -3,7 +3,9 @@
 #ifndef SRC_RFP_OPTIONS_H_
 #define SRC_RFP_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "src/sim/time.h"
 
@@ -242,6 +244,16 @@ struct ServerOptions {
 // and RpcServer constructors enforce these, mirroring rdma::ValidateConfig.
 void ValidateOptions(const RfpOptions& options);
 void ValidateOptions(const ServerOptions& options);
+
+// Additionally cross-checks the window x slot ring footprint against a node
+// pool's registered-memory cap (mem::PoolOptions::max_registered_bytes, i.e.
+// the NicConfig mem_max_registered_bytes knob; 0 = unbounded, always passes).
+// Without this, an oversized window only surfaces deep inside mem::Pool as a
+// generic ExhaustedError; the Channel constructor calls this up front so a
+// misconfiguration reads as "shrink the window", not "pool exhausted".
+// `node_name` labels the offending node in the message.
+void ValidateOptions(const RfpOptions& options, size_t pool_cap_bytes,
+                     const std::string& node_name);
 
 }  // namespace rfp
 

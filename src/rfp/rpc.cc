@@ -84,11 +84,50 @@ RpcServer::~RpcServer() {
 int RpcServer::channels_owned_by(int thread) const {
   int owned = 0;
   for (const ChannelEntry& entry : endpoints_) {
-    if (entry.owner == thread) {
+    if (entry.channel != nullptr && entry.owner == thread) {
       ++owned;
     }
   }
   return owned;
+}
+
+bool RpcServer::CloseChannel(Channel* channel) {
+  for (ChannelEntry& entry : endpoints_) {
+    if (entry.channel != channel || channel == nullptr) {
+      continue;
+    }
+    if (entry.busy) {
+      // A visit is suspended inside this channel; the sweep destroys it when
+      // the visit ends (see ServeLoop).
+      entry.closing = true;
+      return true;
+    }
+    DestroyChannel(entry);
+    return true;
+  }
+  return false;
+}
+
+void RpcServer::DestroyChannel(ChannelEntry& entry) {
+  Channel* channel = entry.channel;
+  // Tombstone first: sweeps skip null-channel entries, and the entry must
+  // stay in place because suspended sweeps iterate endpoints_ by index.
+  entry.channel = nullptr;
+  entry.closing = false;
+  for (auto it = owned_channels_.begin(); it != owned_channels_.end(); ++it) {
+    if (it->get() == channel) {
+      // ~Channel flushes its stats and returns the ring spans to the node
+      // pools — no MR is deregistered (docs/memory.md).
+      owned_channels_.erase(it);
+      break;
+    }
+  }
+  ++channels_closed_;
+}
+
+const AsyncHandler* RpcServer::FindHandler(uint16_t rpc_id) const {
+  auto it = handlers_.find(rpc_id);
+  return it == handlers_.end() ? nullptr : &it->second;
 }
 
 void RpcServer::RecordMalformedRequest(int thread_index, const char* why) {
@@ -199,7 +238,7 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
     bool any = false;
     size_t owned = 0;
     for (const ChannelEntry& entry : endpoints_) {
-      if (entry.owner == thread_index) {
+      if (entry.channel != nullptr && entry.owner == thread_index) {
         ++owned;
       }
     }
@@ -227,7 +266,7 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
     // there told clients to retry straight into the backlog.
     size_t pending = 0;
     for (const ChannelEntry& entry : endpoints_) {
-      if (entry.owner == thread_index) {
+      if (entry.channel != nullptr && entry.owner == thread_index) {
         pending += static_cast<size_t>(entry.channel->PendingRequests());
       }
     }
@@ -263,7 +302,7 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
       // dispatcher that forgot visits suspend, so it both steals fenced
       // channels and sweeps a stolen channel whose old owner is still
       // mid-visit (tests/explore corpus pins the resulting double-serve).
-      if (endpoints_[ci].owner != thread_index ||
+      if (endpoints_[ci].channel == nullptr || endpoints_[ci].owner != thread_index ||
           (endpoints_[ci].busy && !unsafe_steal_busy_)) {
         continue;
       }
@@ -407,6 +446,11 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
         co_await channel->FlushServerPushes();
       }
       endpoints_[ci].busy = false;
+      if (endpoints_[ci].closing) {
+        // A CloseChannel raced this visit; destroy now that the visit's
+        // spans into the channel are dead.
+        DestroyChannel(endpoints_[ci]);
+      }
     }
     // ---- Work stealing (docs/multicore.md) -------------------------------
     // Between sweeps, claim channels stranded on crashed workers; when this
@@ -418,7 +462,8 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
       int budget = options_.max_steals_per_sweep;
       for (size_t ci = 0; ci < endpoints_.size() && budget > 0; ++ci) {
         ChannelEntry& entry = endpoints_[ci];
-        if (entry.owner == thread_index || (entry.busy && !unsafe_steal_busy_)) {
+        if (entry.channel == nullptr || entry.owner == thread_index ||
+            (entry.busy && !unsafe_steal_busy_)) {
           continue;
         }
         if (!threads_[static_cast<size_t>(entry.owner)].crashed) {
@@ -430,7 +475,8 @@ sim::Task<void> RpcServer::ServeLoop(int thread_index) {
       if (!any) {
         for (size_t ci = 0; ci < endpoints_.size() && budget > 0; ++ci) {
           ChannelEntry& entry = endpoints_[ci];
-          if (entry.owner == thread_index || (entry.busy && !unsafe_steal_busy_) ||
+          if (entry.channel == nullptr || entry.owner == thread_index ||
+              (entry.busy && !unsafe_steal_busy_) ||
               threads_[static_cast<size_t>(entry.owner)].crashed) {
             continue;
           }

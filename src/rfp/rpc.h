@@ -95,8 +95,30 @@ class RpcServer {
   void RegisterAsyncHandler(uint16_t rpc_id, AsyncHandler handler);
 
   // Creates a channel from `client` to this server, served by `thread`.
-  // The returned channel is owned by the server and lives as long as it.
+  // The returned channel is owned by the server and lives as long as it
+  // (or until CloseChannel).
   Channel* AcceptChannel(rdma::Node& client, const RfpOptions& options, int thread);
+
+  // ---- Connection tier (src/conn, docs/connections.md) ---------------------
+
+  // Destroys a channel previously returned by AcceptChannel: it leaves the
+  // dispatch sweep and its rings return to the node pools (no MR is
+  // deregistered — see docs/memory.md). When the channel's visit is
+  // currently suspended mid-handler (busy fence), destruction is deferred to
+  // the end of that visit, so a handler never loses the channel under its
+  // feet. The caller must guarantee no client-side actor still uses the
+  // channel; conn::ChannelCache detaches first when one might. Returns false
+  // when this server does not own `channel`.
+  bool CloseChannel(Channel* channel);
+
+  // Handler lookup for out-of-band transports: the pooled connection tier
+  // dispatches through the same handler table the channel sweep uses, so an
+  // application's handlers serve pooled and dedicated clients alike.
+  // Returns nullptr when no handler is registered for `rpc_id`.
+  const AsyncHandler* FindHandler(uint16_t rpc_id) const;
+
+  // Channels destroyed via CloseChannel (immediate + deferred).
+  uint64_t channels_closed() const { return channels_closed_; }
 
   // Spawns one sweep actor per server thread.
   void Start();
@@ -224,13 +246,20 @@ class RpcServer {
   // instant: `owner` names the only worker that may touch the channel, and
   // `busy` fences a visit in progress (visits suspend, so a steal decided
   // mid-visit would otherwise hand two workers the same channel).
+  // `channel == nullptr` marks a closed entry: it stays in endpoints_ (sweep
+  // visits are index-based and may be suspended mid-iteration, so erasing
+  // would shift indices under them) and every scan skips it. `closing`
+  // defers a CloseChannel that raced an in-progress visit.
   struct ChannelEntry {
     Channel* channel = nullptr;
     int owner = 0;
     bool busy = false;
+    bool closing = false;
   };
 
   sim::Task<void> ServeLoop(int thread_index);
+  // Frees entry's channel (rings back to the pools) and tombstones the entry.
+  void DestroyChannel(ChannelEntry& entry);
   void RecordMalformedRequest(int thread_index, const char* why);
   // Claims `entry` for `thief`; `why` labels the trace instant
   // ("orphan_claim" / "channel_steal").
@@ -251,6 +280,7 @@ class RpcServer {
   uint64_t overload_enters_ = 0;
   uint64_t malformed_requests_ = 0;
   uint64_t channel_steals_ = 0;
+  uint64_t channels_closed_ = 0;
   // Replication epoch gate (docs/replication.md). Empty gated_rpcs_ = the
   // legacy single-node server; the defaults below then never matter.
   std::unordered_set<uint16_t> gated_rpcs_;

@@ -185,6 +185,43 @@ constexpr uint32_t kReqHeaderBytes = 16;
 
 namespace wire {
 
+// ---- Pooled-transport connection id (src/conn, docs/connections.md) ---------
+//
+// On the pooled UD path N server QPs serve M >> N logical clients, so requests
+// must identify their logical connection in-band. The RequestHeader travels at
+// the front of each datagram, and three of its fields are spare there: there
+// is no slot ring (the slot byte), no paradigm mode (the mode byte — UD replies
+// are always pushed), and pooled payloads are bounded to 64 KiB so size bits
+// 16-23 never carry size. Together those 24 formerly-spare bits carry the
+// per-client connection id the server demultiplexes on. Cid 0 is reserved for
+// the connect handshake itself (no cid assigned yet).
+constexpr uint32_t kPooledSizeMask = 0xffffu;
+constexpr uint32_t kPooledCidMax = 0x00ff'ffffu;
+constexpr uint32_t kPooledCidNone = 0;
+
+inline void PackPooledRequest(RequestHeader& header, uint32_t size, uint32_t cid,
+                              uint16_t seq) {
+  header.size_status =
+      kStatusBit | (size & kPooledSizeMask) | (((cid >> 16) & 0xffu) << 16);
+  header.seq = seq;
+  header.mode = static_cast<uint8_t>(cid & 0xffu);
+  header.slot = static_cast<uint8_t>((cid >> 8) & 0xffu);
+  header.deadline_ns = 0;
+}
+
+inline uint32_t UnpackPooledSize(const RequestHeader& header) {
+  return header.size_status & kPooledSizeMask;
+}
+
+inline uint32_t UnpackPooledCid(const RequestHeader& header) {
+  return static_cast<uint32_t>(header.mode) | (static_cast<uint32_t>(header.slot) << 8) |
+         (((header.size_status >> 16) & 0xffu) << 16);
+}
+
+}  // namespace wire
+
+namespace wire {
+
 // Staged payload of an indirect (zero-copy) response: where the value lives
 // in the server's registered memory, how many prefix bytes the handler wrote
 // inline (staged right after this struct), and the entry's reuse epoch. The

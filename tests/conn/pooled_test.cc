@@ -1,0 +1,294 @@
+// Pooled-QP connection tier (docs/connections.md): M logical clients over N
+// server UD QPs. The scaling contracts under test:
+//
+//   * connection ids are unique while live, and a disconnect frees the id;
+//   * the server's QP census (Fabric::LiveQpCount) and registered-memory
+//     census stay flat however many logical clients connect — connection
+//     state must not grow with client count;
+//   * requests from all logical clients dispatch through the one RpcServer
+//     handler table and round-trip correctly, including under injected
+//     datagram loss (retransmit + duplicate filter);
+//   * the checker's cid-scoped invariant flags aliasing/double-release.
+
+#include "src/conn/pooled.h"
+
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/check/checker.h"
+#include "src/rdma/fabric.h"
+#include "src/rfp/rpc.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace conn {
+namespace {
+
+constexpr uint16_t kEcho = 1;
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+class PooledTest : public ::testing::Test {
+ protected:
+  PooledTest() {
+    rpc_ = std::make_unique<rfp::RpcServer>(fabric_, server_node_, 2);
+    rpc_->RegisterHandler(kEcho, [](const rfp::HandlerContext&, std::span<const std::byte> req,
+                                    std::span<std::byte> resp) {
+      std::memcpy(resp.data(), req.data(), req.size());
+      return rfp::HandlerResult{req.size(), sim::Nanos(300)};
+    });
+  }
+
+  PooledServer* MakeServer(PooledOptions options = {}) {
+    pooled_ = std::make_unique<PooledServer>(fabric_, *rpc_, options);
+    pooled_->Start();
+    return pooled_.get();
+  }
+
+  sim::Engine engine_;
+  rdma::Fabric fabric_{engine_};
+  rdma::Node& server_node_{fabric_.AddNode("server")};
+  std::unique_ptr<rfp::RpcServer> rpc_;
+  std::unique_ptr<PooledServer> pooled_;
+};
+
+TEST_F(PooledTest, RejectsInconsistentOptions) {
+  for (auto mutate : {
+           +[](PooledOptions& o) { o.qps = 0; },
+           +[](PooledOptions& o) { o.recv_slots = o.qps - 1; },
+           +[](PooledOptions& o) { o.client_recv_slots = 0; },
+           +[](PooledOptions& o) { o.max_message_bytes = 0; },
+           +[](PooledOptions& o) { o.max_message_bytes = 0x10000; },
+           +[](PooledOptions& o) { o.retry_timeout_ns = 0; },
+           +[](PooledOptions& o) { o.max_retransmits = -1; },
+       }) {
+    PooledOptions options;
+    mutate(options);
+    EXPECT_THROW(ValidateOptions(options), std::invalid_argument);
+  }
+}
+
+TEST_F(PooledTest, ConnectAssignsUniqueCidsAndDisconnectFreesThem) {
+  PooledServer* server = MakeServer();
+  std::vector<std::unique_ptr<PooledClient>> clients;
+  for (int i = 0; i < 8; ++i) {
+    rdma::Node& node = fabric_.AddNode("client" + std::to_string(i));
+    clients.push_back(std::make_unique<PooledClient>(fabric_, node, *server));
+  }
+  int done = 0;
+  for (auto& client : clients) {
+    engine_.Spawn([](PooledClient* c, int* out) -> sim::Task<void> {
+      co_await c->Connect();
+      ++*out;
+    }(client.get(), &done));
+  }
+  engine_.RunUntil(sim::Millis(1));
+  ASSERT_EQ(done, 8);
+
+  std::set<uint32_t> cids;
+  for (const auto& client : clients) {
+    EXPECT_TRUE(client->connected());
+    EXPECT_NE(client->cid(), 0u);
+    cids.insert(client->cid());
+  }
+  EXPECT_EQ(cids.size(), 8u);  // no aliasing
+  EXPECT_EQ(server->live_connections(), 8u);
+  EXPECT_EQ(server->connects(), 8u);
+
+  for (auto& client : clients) {
+    engine_.Spawn([](PooledClient* c) -> sim::Task<void> { co_await c->Disconnect(); }(
+        client.get()));
+  }
+  engine_.RunUntil(sim::Millis(2));
+  EXPECT_EQ(server->live_connections(), 0u);
+  EXPECT_EQ(server->disconnects(), 8u);
+}
+
+TEST_F(PooledTest, ManyClientsShareFewQpsWithFlatServerCensus) {
+  PooledOptions options;
+  options.qps = 2;
+  PooledServer* server = MakeServer(options);
+  // The pooled tier itself owns the only server QPs: census == N.
+  EXPECT_EQ(fabric_.LiveQpCount(server_node_), 2u);
+  const size_t bytes_before = fabric_.RegisteredBytes(server_node_);
+  const uint64_t regs_before = fabric_.RegistrationCount(server_node_);
+
+  constexpr int kClients = 12;
+  constexpr int kCalls = 5;
+  std::vector<std::unique_ptr<PooledClient>> clients;
+  int done = 0;
+  for (int i = 0; i < kClients; ++i) {
+    rdma::Node& node = fabric_.AddNode("client" + std::to_string(i));
+    clients.push_back(std::make_unique<PooledClient>(fabric_, node, *server, options));
+    engine_.Spawn([](PooledClient* c, int id, int* out) -> sim::Task<void> {
+      co_await c->Connect();
+      std::vector<std::byte> resp(256);
+      for (int k = 0; k < kCalls; ++k) {
+        const std::string msg = "c" + std::to_string(id) + "-m" + std::to_string(k);
+        const size_t n = co_await c->Call(
+            kEcho, std::as_bytes(std::span(msg.data(), msg.size())), resp);
+        EXPECT_EQ(std::string(reinterpret_cast<const char*>(resp.data()), n), msg);
+      }
+      co_await c->Disconnect();
+      ++*out;
+    }(clients.back().get(), i, &done));
+  }
+  engine_.RunUntil(sim::Millis(20));
+  EXPECT_EQ(done, kClients);
+  EXPECT_EQ(server->requests_served(), static_cast<uint64_t>(kClients * kCalls));
+  // M clients came and went; the server-side footprint never moved.
+  EXPECT_EQ(fabric_.LiveQpCount(server_node_), 2u);
+  EXPECT_EQ(fabric_.RegisteredBytes(server_node_), bytes_before);
+  EXPECT_EQ(fabric_.RegistrationCount(server_node_), regs_before);
+}
+
+TEST_F(PooledTest, OneEndpointPlaysManyLogicalConnectionsSequentially) {
+  PooledServer* server = MakeServer();
+  rdma::Node& node = fabric_.AddNode("client");
+  PooledClient client(fabric_, node, *server);
+  const size_t client_bytes = fabric_.RegisteredBytes(node);
+
+  constexpr int kGenerations = 50;
+  int done = 0;
+  engine_.Spawn([](PooledClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(64);
+    for (int g = 0; g < kGenerations; ++g) {
+      co_await c->Connect();
+      const size_t n = co_await c->Call(kEcho, AsBytes("gen"), resp);
+      EXPECT_EQ(n, 3u);
+      co_await c->Disconnect();
+      ++*out;
+    }
+  }(&client, &done));
+  engine_.RunUntil(sim::Millis(20));
+
+  EXPECT_EQ(done, kGenerations);
+  EXPECT_EQ(server->connects(), static_cast<uint64_t>(kGenerations));
+  EXPECT_EQ(server->live_connections(), 0u);
+  // The connect fast path does no MR work: the client's footprint is its
+  // construction-time slot span, across all fifty logical connections.
+  EXPECT_EQ(fabric_.RegisteredBytes(node), client_bytes);
+}
+
+TEST_F(PooledTest, RetransmitsAndFiltersDuplicatesUnderLoss) {
+  rdma::FabricConfig fc;
+  fc.unreliable_loss_prob = 0.2;
+  fc.seed = 7;
+  sim::Engine engine;
+  rdma::Fabric fabric(engine, fc);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  rfp::RpcServer rpc(fabric, server_node, 1);
+  rpc.RegisterHandler(kEcho, [](const rfp::HandlerContext&, std::span<const std::byte> req,
+                                std::span<std::byte> resp) {
+    std::memcpy(resp.data(), req.data(), req.size());
+    return rfp::HandlerResult{req.size(), sim::Nanos(300)};
+  });
+  PooledServer server(fabric, rpc, {});
+  server.Start();
+  PooledClient client(fabric, client_node, server);
+
+  constexpr int kCalls = 100;
+  int done = 0;
+  engine.Spawn([](PooledClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(64);
+    co_await c->Connect();
+    for (int k = 0; k < kCalls; ++k) {
+      const std::string msg = "m" + std::to_string(k);
+      const size_t n =
+          co_await c->Call(kEcho, std::as_bytes(std::span(msg.data(), msg.size())), resp);
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(resp.data()), n), msg);
+      ++*out;
+    }
+  }(&client, &done));
+  engine.RunUntil(sim::Millis(100));
+
+  EXPECT_EQ(done, kCalls);
+  // 20% loss across ~100 round trips: some retransmits are certain, and the
+  // handlers being idempotent means retransmitted executions are harmless.
+  EXPECT_GT(client.stats().retransmits, 0u);
+  EXPECT_GT(client.stats().sends, client.stats().calls);
+}
+
+TEST_F(PooledTest, UnknownRpcIdIsDroppedAndCallFails) {
+  PooledOptions options;
+  options.max_retransmits = 2;
+  options.retry_timeout_ns = sim::Micros(5);
+  PooledServer* server = MakeServer(options);
+  rdma::Node& node = fabric_.AddNode("client");
+  PooledClient client(fabric_, node, *server, options);
+
+  bool threw = false;
+  engine_.Spawn([](PooledClient* c, bool* out) -> sim::Task<void> {
+    co_await c->Connect();
+    std::vector<std::byte> resp(64);
+    try {
+      co_await c->Call(/*rpc_id=*/999, {}, resp);
+    } catch (const std::runtime_error&) {
+      *out = true;
+    }
+  }(&client, &threw));
+  engine_.RunUntil(sim::Millis(5));
+
+  EXPECT_TRUE(threw);
+  EXPECT_GT(pooled_->dropped_requests(), 0u);
+  EXPECT_EQ(client.stats().failures, 1u);
+}
+
+TEST_F(PooledTest, StrictCheckerAcceptsTheConnectionLifecycle) {
+  check::ScopedMode strict(check::Mode::kStrict);
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  rdma::Node& server_node = fabric.AddNode("server");
+  rdma::Node& client_node = fabric.AddNode("client");
+  rfp::RpcServer rpc(fabric, server_node, 1);
+  rpc.RegisterHandler(kEcho, [](const rfp::HandlerContext&, std::span<const std::byte> req,
+                                std::span<std::byte> resp) {
+    std::memcpy(resp.data(), req.data(), req.size());
+    return rfp::HandlerResult{req.size(), sim::Nanos(300)};
+  });
+  PooledServer server(fabric, rpc, {});
+  server.Start();
+  PooledClient client(fabric, client_node, server);
+
+  int done = 0;
+  engine.Spawn([](PooledClient* c, int* out) -> sim::Task<void> {
+    std::vector<std::byte> resp(64);
+    for (int g = 0; g < 5; ++g) {
+      co_await c->Connect();
+      co_await c->Call(kEcho, AsBytes("ok"), resp);
+      co_await c->Disconnect();
+      ++*out;
+    }
+  }(&client, &done));
+  EXPECT_NO_THROW(engine.RunUntil(sim::Millis(5)));
+  EXPECT_EQ(done, 5);
+}
+
+TEST_F(PooledTest, CheckerFlagsCidAliasingAndDoubleRelease) {
+  check::ScopedMode strict(check::Mode::kStrict);
+  sim::Engine engine;
+  rdma::Fabric fabric(engine);
+  check::FabricChecker* checker = fabric.checker();
+  ASSERT_NE(checker, nullptr);
+
+  const int server_tag = 0;  // any stable address stands in for a server
+  checker->OnCidAssign(&server_tag, 42);
+  EXPECT_THROW(checker->OnCidAssign(&server_tag, 42), check::ViolationError);
+  checker->OnCidRelease(&server_tag, 42);
+  EXPECT_THROW(checker->OnCidRelease(&server_tag, 42), check::ViolationError);
+  // Scoping is per server: the same cid on another server is independent.
+  const int other_tag = 0;
+  EXPECT_NO_THROW(checker->OnCidAssign(&other_tag, 7));
+  EXPECT_NO_THROW(checker->OnCidAssign(&server_tag, 7));
+}
+
+}  // namespace
+}  // namespace conn

@@ -342,7 +342,7 @@ KvFingerprint RunKvMatrix(uint64_t seed) {
 
   kv::JakiroConfig config;
   config.server_threads = kServerThreads;
-  config = kv::FaultTolerantConfig(config);
+  config = kv::JakiroConfig::Build(config).FaultTolerant();
   kv::JakiroServer server(fabric, server_node, config);
 
   workload::WorkloadSpec spec;

@@ -118,7 +118,7 @@ TEST(KvEquivalenceTest, ServerReplyVariantMatchesReference) {
   rdma::Fabric fabric(engine);
   rdma::Node& server_node = fabric.AddNode("server");
   rdma::Node& client_node = fabric.AddNode("client");
-  JakiroServer server(fabric, server_node, ServerReplyConfig());
+  JakiroServer server(fabric, server_node, JakiroConfig::Build().ServerReply());
   JakiroClient client(server, client_node);
   server.Start();
   Observations observed;

@@ -125,7 +125,7 @@ TEST_F(JakiroTest, WorkloadValuesVerifyEndToEnd) {
 }
 
 TEST_F(JakiroTest, ServerReplyVariantUsesOutboundPushes) {
-  JakiroServer* server = MakeServer(ServerReplyConfig());
+  JakiroServer* server = MakeServer(JakiroConfig::Build().ServerReply());
   JakiroClient client(*server, *client_node_);
   server->Start();
 
@@ -303,7 +303,7 @@ TEST_F(JakiroTest, MultiGetAmortizesRoundTrips) {
 // ---- Zero-copy GET (docs/memory.md) -------------------------------------------
 
 TEST_F(JakiroTest, ZeroCopyGetAssemblesIdenticalBytes) {
-  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroServer* server = MakeServer(JakiroConfig::Build().ZeroCopy());
   JakiroClient client(*server, *client_node_);
   server->Start();
   EXPECT_TRUE(server->partition(0).pool_backed());
@@ -349,7 +349,7 @@ TEST_F(JakiroTest, ZeroCopyGetAssemblesIdenticalBytes) {
 }
 
 TEST_F(JakiroTest, ZeroCopyMissesAndDeletesStayOnCopyPath) {
-  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroServer* server = MakeServer(JakiroConfig::Build().ZeroCopy());
   JakiroClient client(*server, *client_node_);
   server->Start();
 
@@ -369,7 +369,7 @@ TEST_F(JakiroTest, ZeroCopyMissesAndDeletesStayOnCopyPath) {
 }
 
 TEST_F(JakiroTest, ZeroCopyZeroLengthValueRoundTrips) {
-  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroServer* server = MakeServer(JakiroConfig::Build().ZeroCopy());
   JakiroClient client(*server, *client_node_);
   server->Start();
 
@@ -394,7 +394,7 @@ TEST_F(JakiroTest, ZeroCopyZeroLengthValueRoundTrips) {
 }
 
 TEST_F(JakiroTest, ZeroCopyOversizedValueThrowsLengthError) {
-  JakiroServer* server = MakeServer(ZeroCopyConfig());
+  JakiroServer* server = MakeServer(JakiroConfig::Build().ZeroCopy());
   JakiroClient client(*server, *client_node_);
   server->Start();
   engine_.Spawn([](JakiroClient* c) -> sim::Task<void> {
@@ -406,7 +406,7 @@ TEST_F(JakiroTest, ZeroCopyOversizedValueThrowsLengthError) {
 }
 
 TEST_F(JakiroTest, ZeroCopyWorksOnPipelinedChannels) {
-  JakiroServer* server = MakeServer(ZeroCopyConfig(PipelinedConfig({}, 4)));
+  JakiroServer* server = MakeServer(JakiroConfig::Build().Pipelined(4).ZeroCopy());
   JakiroClient client(*server, *client_node_);
   server->Start();
 
@@ -440,7 +440,7 @@ TEST_F(JakiroTest, ZeroCopyFallsBackUnderForcedReply) {
   // Forced server-reply channels cannot deliver an indirect descriptor (the
   // client never fetches): the send must materialize the value once and take
   // the copy path, counted as a fallback.
-  JakiroServer* server = MakeServer(ServerReplyConfig(ZeroCopyConfig()));
+  JakiroServer* server = MakeServer(JakiroConfig::Build().ZeroCopy().ServerReply());
   JakiroClient client(*server, *client_node_);
   server->Start();
 

@@ -408,7 +408,7 @@ TEST(PipelineJakiroTest, PipelinedMultiGetMatchesSequential) {
 
   std::vector<std::optional<std::string>> pipe_values;
   const Channel::Stats pipe_stats =
-      run(kv::PipelinedConfig(sequential, /*window=*/4), &pipe_values);
+      run(kv::JakiroConfig::Build(sequential).Pipelined(4), &pipe_values);
 
   ASSERT_EQ(pipe_values.size(), 12u);
   EXPECT_EQ(pipe_values, seq_values);  // identical results, different transport
